@@ -1,0 +1,182 @@
+//! Micro-benchmarks of the building blocks: the multi-version store, the
+//! acceptor's checkAndWrite-based state machine, the combination search, and
+//! a full uncontended commit through the simulated VVV cluster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdstore::{Cluster, ClusterConfig, CommitProtocol, Topology, TransactionClient};
+use mvkv::{MvKvStore, Row, Timestamp};
+use paxos::{AcceptorStore, Ballot};
+use simnet::SimTime;
+use walog::combine::best_combination;
+use walog::{ItemRef, LogEntry, LogPosition, Transaction, TxnId};
+
+fn bench_mvkv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvkv");
+    group.bench_function("write_new_version", |b| {
+        let store = MvKvStore::new();
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1;
+            store
+                .write("row", Row::new().with("a", ts.to_string()), Some(Timestamp(ts)))
+                .unwrap();
+        });
+    });
+    group.bench_function("read_latest_of_1000_versions", |b| {
+        let store = MvKvStore::new();
+        for ts in 1..=1000 {
+            store
+                .write("row", Row::new().with("a", ts.to_string()), Some(Timestamp(ts)))
+                .unwrap();
+        }
+        b.iter(|| store.read("row", Some(Timestamp(900))));
+    });
+    group.bench_function("check_and_write", |b| {
+        let store = MvKvStore::new();
+        store.write("row", Row::new().with("nextBal", "0"), None).unwrap();
+        let mut v = 0u64;
+        b.iter(|| {
+            let expected = v.to_string();
+            v += 1;
+            store.check_and_write(
+                "row",
+                "nextBal",
+                Some(&expected),
+                Row::new().with("nextBal", v.to_string()),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_acceptor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acceptor");
+    group.bench_function("prepare_accept_apply_cycle", |b| {
+        let store = MvKvStore::new();
+        let acceptor = AcceptorStore::new(&store);
+        let entry = LogEntry::single(
+            Transaction::builder(TxnId::new(1, 1), "g", LogPosition(0))
+                .write(ItemRef::new("row", "a"), "v")
+                .build(),
+        );
+        let mut position = 0u64;
+        b.iter(|| {
+            position += 1;
+            let pos = LogPosition(position);
+            let ballot = Ballot::initial(7);
+            let group = "g".to_string();
+            acceptor.handle_prepare(&group, pos, ballot);
+            acceptor.handle_accept(&group, pos, ballot, &entry);
+            acceptor.handle_apply(&group, pos, ballot, &entry);
+        });
+    });
+    group.finish();
+}
+
+fn bench_combination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combination");
+    for candidates in [2usize, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("best_combination", candidates),
+            &candidates,
+            |b, &n| {
+                let own = Transaction::builder(TxnId::new(0, 0), "g", LogPosition(0))
+                    .read(ItemRef::new("row", "a0"), Some("v"))
+                    .write(ItemRef::new("row", "a0"), "x")
+                    .build();
+                let pool: Vec<Transaction> = (1..=n)
+                    .map(|i| {
+                        Transaction::builder(TxnId::new(i as u32, i as u64), "g", LogPosition(0))
+                            .read(ItemRef::new("row", format!("a{}", i % 5)), Some("v"))
+                            .write(ItemRef::new("row", format!("a{}", (i + 1) % 5)), "x")
+                            .build()
+                    })
+                    .collect();
+                b.iter(|| best_combination(&own, &pool));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A full uncontended read/write transaction committed through the simulated
+/// three-replica Virginia cluster, including all message rounds.
+fn bench_end_to_end_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_commit");
+    group.sample_size(20);
+    for protocol in [CommitProtocol::BasicPaxos, CommitProtocol::PaxosCp] {
+        group.bench_function(protocol.name(), |b| {
+            b.iter(|| {
+                let mut cluster =
+                    Cluster::build(ClusterConfig::new(Topology::vvv(), protocol).with_seed(1));
+                let directory = cluster.directory();
+                // Drive a single client synchronously by pumping the
+                // simulation between client actions.
+                struct OneShot {
+                    client: Option<TransactionClient>,
+                }
+                use mdstore::{ClientAction, Msg};
+                use simnet::{Actor, Context, NodeId};
+                impl Actor<Msg> for OneShot {
+                    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+                        let client = self.client.as_mut().unwrap();
+                        client.begin(ctx.now(), "g").unwrap();
+                        client.write("row", "a", "1").unwrap();
+                        for action in client.commit(ctx.now()).unwrap() {
+                            match action {
+                                ClientAction::Send(to, msg) => ctx.send(to, msg),
+                                ClientAction::ArmTimer { delay, tag } => {
+                                    ctx.set_timer(delay, tag);
+                                }
+                                ClientAction::Finished(_) => {}
+                            }
+                        }
+                    }
+                    fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+                        let client = self.client.as_mut().unwrap();
+                        for action in client.on_message(ctx.now(), from, &msg) {
+                            match action {
+                                ClientAction::Send(to, msg) => ctx.send(to, msg),
+                                ClientAction::ArmTimer { delay, tag } => {
+                                    ctx.set_timer(delay, tag);
+                                }
+                                ClientAction::Finished(result) => assert!(result.committed),
+                            }
+                        }
+                    }
+                    fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
+                        let client = self.client.as_mut().unwrap();
+                        for action in client.on_timer(ctx.now(), tag) {
+                            match action {
+                                ClientAction::Send(to, msg) => ctx.send(to, msg),
+                                ClientAction::ArmTimer { delay, tag } => {
+                                    ctx.set_timer(delay, tag);
+                                }
+                                ClientAction::Finished(result) => assert!(result.committed),
+                            }
+                        }
+                    }
+                }
+                let client_config = cluster.client_config();
+                cluster.add_client(0, |node| {
+                    Box::new(OneShot {
+                        client: Some(TransactionClient::new(node, 0, directory, client_config)),
+                    })
+                });
+                cluster.run_to_completion();
+                assert_eq!(cluster.committed_in_log(0, "g"), 1);
+                SimTime::ZERO
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mvkv,
+    bench_acceptor,
+    bench_combination,
+    bench_end_to_end_commit
+);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Experiment harness CLI: regenerate every table/figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin experiments -- all
+//! cargo run --release -p bench-suite --bin experiments -- fig6 --quick
+//! cargo run --release -p bench-suite --bin experiments -- fig4a --json out.json
+//! ```
+
+use bench_suite::{
+    ablation_specs, fig4_specs, fig5_specs, fig6_specs, fig7_specs, fig8_specs,
+    format_commit_table, format_latency_table, format_per_replica_table,
+};
+use workload::{run_experiment, ExperimentResult, ExperimentSpec};
+
+struct Options {
+    targets: Vec<String>,
+    quick: bool,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut targets = Vec::new();
+    let mut quick = false;
+    let mut json_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json_path = args.next(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    Options { targets, quick, json_path }
+}
+
+fn run_batch(name: &str, specs: Vec<ExperimentSpec>) -> Vec<ExperimentResult> {
+    eprintln!("== running {name}: {} experiments ==", specs.len());
+    specs
+        .iter()
+        .map(|spec| {
+            eprintln!("   running {} ({} transactions)...", spec.name, spec.total_transactions());
+            run_experiment(spec)
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut all_results: Vec<ExperimentResult> = Vec::new();
+    let wants = |name: &str| {
+        opts.targets.iter().any(|t| t == name)
+            || opts.targets.iter().any(|t| t == "all")
+            || (name.starts_with("fig4") && opts.targets.iter().any(|t| t == "fig4"))
+            || (name.starts_with("fig5") && opts.targets.iter().any(|t| t == "fig5"))
+    };
+
+    if wants("fig4a") || wants("fig4b") {
+        let results = run_batch("figure 4", fig4_specs(opts.quick));
+        println!("\n=== Figure 4(a): successful commits vs. number of replicas ===");
+        println!("{}", format_commit_table(&results));
+        println!("=== Figure 4(b): commit latency vs. number of replicas ===");
+        println!("{}", format_latency_table(&results));
+        all_results.extend(results);
+    }
+    if wants("fig5a") || wants("fig5b") {
+        let results = run_batch("figure 5", fig5_specs(opts.quick));
+        println!("\n=== Figure 5(a): successful commits per datacenter combination ===");
+        println!("{}", format_commit_table(&results));
+        println!("=== Figure 5(b): transaction latency per datacenter combination ===");
+        println!("{}", format_latency_table(&results));
+        all_results.extend(results);
+    }
+    if wants("fig6") {
+        let results = run_batch("figure 6", fig6_specs(opts.quick));
+        println!("\n=== Figure 6: varying total number of attributes (data contention), VVV ===");
+        println!("{}", format_commit_table(&results));
+        all_results.extend(results);
+    }
+    if wants("fig7") {
+        let results = run_batch("figure 7", fig7_specs(opts.quick));
+        println!("\n=== Figure 7: impact of increasing concurrency (offered load), VVV ===");
+        println!("{}", format_commit_table(&results));
+        all_results.extend(results);
+    }
+    if wants("fig8") {
+        let results = run_batch("figure 8", fig8_specs(opts.quick));
+        println!("\n=== Figure 8: per-datacenter concurrency, VOC, one workload per datacenter ===");
+        println!("{}", format_commit_table(&results));
+        println!("{}", format_per_replica_table(&results));
+        println!("{}", format_latency_table(&results));
+        all_results.extend(results);
+    }
+    if wants("ablation") {
+        let results = run_batch("ablation", ablation_specs(opts.quick));
+        println!("\n=== Ablation: Paxos-CP mechanisms in isolation (VVV, paper workload) ===");
+        println!("{}", format_commit_table(&results));
+        println!("{}", format_latency_table(&results));
+        all_results.extend(results);
+    }
+
+    if let Some(path) = opts.json_path {
+        let json = serde_json::to_string_pretty(&all_results).expect("results serialize");
+        std::fs::write(&path, json).expect("write json output");
+        eprintln!("wrote {} results to {path}", all_results.len());
+    }
+
+    // Every experiment verified serializability before returning; summarize.
+    let combined: usize = all_results.iter().map(|r| r.totals.combined_commits).sum();
+    let total_txns: usize = all_results.iter().map(|r| r.attempted).sum();
+    eprintln!(
+        "\nverified {} experiments / {} transactions (one-copy serializability + replica agreement); {} combined commits",
+        all_results.len(),
+        total_txns,
+        combined
+    );
+}

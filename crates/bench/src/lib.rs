@@ -1,0 +1,27 @@
+//! # bench-suite — regenerating the paper's evaluation (Figures 4–8)
+//!
+//! Each module corresponds to one figure of the paper's §6 and produces the
+//! same rows/series the figure plots: commit counts out of 500 split by
+//! promotion round, and commit latency split by promotion round, for basic
+//! Paxos and Paxos-CP.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin experiments -- all
+//! ```
+//!
+//! or a single figure with `-- fig4a`, `-- fig6`, etc. `--quick` scales the
+//! workload down (fewer transactions) for smoke runs. Criterion
+//! micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+
+pub use figures::{
+    ablation_specs, fig4_specs, fig5_specs, fig6_specs, fig7_specs, fig8_specs, FigureRun,
+};
+pub use report::{format_commit_table, format_latency_table, format_per_replica_table};

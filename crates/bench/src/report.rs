@@ -1,0 +1,151 @@
+//! Plain-text tables mirroring the rows/series the paper's figures plot.
+
+use mdstore::RunMetrics;
+use workload::ExperimentResult;
+
+/// Maximum promotion round shown as its own column; deeper rounds are folded
+/// into the last column (the paper observed at most seven promotions).
+const MAX_ROUNDS_SHOWN: usize = 8;
+
+fn commits_row(metrics: &RunMetrics) -> Vec<usize> {
+    let mut row = vec![0usize; MAX_ROUNDS_SHOWN];
+    for (round, count) in metrics.commits_by_promotion.iter().enumerate() {
+        let idx = round.min(MAX_ROUNDS_SHOWN - 1);
+        row[idx] += count;
+    }
+    row
+}
+
+/// Commit-count table: one row per experiment, columns = commits by
+/// promotion round plus totals (the bars of Figures 4(a), 5(a), 6, 7, 8).
+pub fn format_commit_table(results: &[ExperimentResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>9} {:>7}  {}\n",
+        "experiment", "attempted", "commits", "by promotion round (0,1,2,...)"
+    ));
+    for result in results {
+        let rounds = commits_row(&result.totals);
+        let rounds_str = rounds
+            .iter()
+            .map(|n| format!("{n:>4}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>7}  {}\n",
+            result.name, result.attempted, result.totals.committed, rounds_str
+        ));
+    }
+    out
+}
+
+/// Latency table: mean/median/p95 commit latency overall and for round 0
+/// (the stacked-latency view of Figures 4(b) and 5(b)).
+pub fn format_latency_table(results: &[ExperimentResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>10} {:>10} {:>12} {:>12}\n",
+        "experiment", "mean(ms)", "p50(ms)", "p95(ms)", "round0(ms)", "promoted(ms)"
+    ));
+    for result in results {
+        let all = result.totals.commit_latency();
+        let round0 = result.totals.commit_latency_at_round(0);
+        let promoted_samples: Vec<simnet::SimDuration> = result
+            .totals
+            .commit_latency_us_by_promotion
+            .iter()
+            .skip(1)
+            .flatten()
+            .map(|us| simnet::SimDuration::from_micros(*us))
+            .collect();
+        let promoted = mdstore::LatencyStats::from_samples(&promoted_samples);
+        out.push_str(&format!(
+            "{:<28} {:>10.1} {:>10.1} {:>10.1} {:>12.1} {:>12.1}\n",
+            result.name, all.mean_ms, all.p50_ms, all.p95_ms, round0.mean_ms, promoted.mean_ms
+        ));
+    }
+    out
+}
+
+/// Per-datacenter table for Figure 8: commits and mean latency of the
+/// workload instance placed in each datacenter.
+pub fn format_per_replica_table(results: &[ExperimentResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>10} {:>9} {:>10} {:>12}\n",
+        "experiment", "replica", "attempted", "commits", "promoted", "mean lat(ms)"
+    ));
+    for result in results {
+        let mut replicas: Vec<usize> = result.client_replicas.clone();
+        replicas.sort_unstable();
+        replicas.dedup();
+        for replica in replicas {
+            let metrics = result.metrics_for_replica(replica);
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>10} {:>9} {:>10} {:>12.1}\n",
+                result.name,
+                replica,
+                metrics.attempted,
+                metrics.committed,
+                metrics.promoted_commits(),
+                metrics.commit_latency().mean_ms
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdstore::RunMetrics;
+    use simnet::{NetStats, SimDuration};
+
+    fn fake_result(name: &str) -> ExperimentResult {
+        let totals = RunMetrics {
+            attempted: 10,
+            committed: 7,
+            aborted: 3,
+            commits_by_promotion: vec![5, 2],
+            commit_latency_us_by_promotion: vec![vec![1_000, 2_000], vec![5_000]],
+            ..RunMetrics::default()
+        };
+        ExperimentResult {
+            name: name.into(),
+            cluster: "VVV".into(),
+            protocol: "paxos-cp".into(),
+            attempted: 10,
+            totals: totals.clone(),
+            per_client: vec![totals],
+            client_replicas: vec![0],
+            check: Vec::new(),
+            net: NetStats::default(),
+            duration: SimDuration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn tables_contain_the_experiment_rows() {
+        let results = vec![fake_result("exp-a"), fake_result("exp-b")];
+        let commits = format_commit_table(&results);
+        assert!(commits.contains("exp-a") && commits.contains("exp-b"));
+        assert!(commits.contains("   5    2"));
+        let latency = format_latency_table(&results);
+        assert!(latency.contains("exp-a"));
+        let per_replica = format_per_replica_table(&results);
+        assert!(per_replica.contains("exp-a"));
+        assert!(per_replica.lines().count() >= 3);
+    }
+
+    #[test]
+    fn deep_promotion_rounds_fold_into_last_column() {
+        let metrics = RunMetrics {
+            commits_by_promotion: vec![1; 12],
+            ..RunMetrics::default()
+        };
+        let row = commits_row(&metrics);
+        assert_eq!(row.len(), 8);
+        assert_eq!(row[7], 5); // rounds 7..11 folded
+        assert_eq!(row.iter().sum::<usize>(), 12);
+    }
+}

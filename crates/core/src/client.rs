@@ -1,0 +1,595 @@
+//! The Transaction Client: the library an application instance links
+//! against to run transactions (§2.2, §4).
+//!
+//! The client keeps the optimistic read/write sets of the active
+//! transaction, serves `begin`/`read` against the local datacenter's store
+//! (the paper's prototype optimization), buffers `write`s locally, and at
+//! `commit` time drives the Paxos or Paxos-CP proposer (Algorithm 2) over
+//! the simulated network. The embedding actor (a workload driver or an
+//! application model) forwards incoming messages and timer expirations and
+//! executes the [`ClientAction`]s the client returns.
+
+use crate::datacenter::SharedCore;
+use crate::directory::Directory;
+use crate::msg::Msg;
+use paxos::{
+    AbortReason, CommitProtocol, PaxosMsg, Proposer, ProposerAction, ProposerConfig,
+    ProposerEvent, TimerKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{NodeId, SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+use walog::{GroupKey, ItemRef, LogPosition, ReadRecord, Transaction, TxnId, WriteRecord};
+
+/// Tuning knobs of a Transaction Client.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Which commit protocol to run.
+    pub protocol: CommitProtocol,
+    /// Promotion cap (`None` = unlimited, the paper's evaluation setting).
+    pub max_promotions: Option<u32>,
+    /// Whether Paxos-CP combination is enabled.
+    pub combination: bool,
+    /// Whether the leader fast path is attempted.
+    pub fast_path: bool,
+    /// Reply timeout (the paper uses 2 s for loss detection).
+    pub message_timeout: SimDuration,
+    /// Upper bound of the randomized backoff before re-preparing.
+    pub backoff_max: SimDuration,
+    /// Extra window Paxos-CP waits for straggler prepare replies when votes
+    /// are present (see `paxos::TimerKind::Gather`).
+    pub gather_window: SimDuration,
+}
+
+impl ClientConfig {
+    /// Basic Paxos with the paper's timeouts.
+    pub fn basic() -> Self {
+        ClientConfig {
+            protocol: CommitProtocol::BasicPaxos,
+            max_promotions: Some(0),
+            combination: false,
+            fast_path: true,
+            message_timeout: SimDuration::from_secs(2),
+            backoff_max: SimDuration::from_millis(150),
+            gather_window: SimDuration::from_millis(50),
+        }
+    }
+
+    /// Paxos-CP with the paper's evaluation settings (unlimited promotions).
+    pub fn cp() -> Self {
+        ClientConfig {
+            protocol: CommitProtocol::PaxosCp,
+            max_promotions: None,
+            combination: true,
+            fast_path: true,
+            ..ClientConfig::basic()
+        }
+    }
+
+    /// Config for the requested protocol variant.
+    pub fn for_protocol(protocol: CommitProtocol) -> Self {
+        match protocol {
+            CommitProtocol::BasicPaxos => ClientConfig::basic(),
+            CommitProtocol::PaxosCp => ClientConfig::cp(),
+        }
+    }
+
+    fn proposer_config(&self, num_replicas: usize) -> ProposerConfig {
+        let base = match self.protocol {
+            CommitProtocol::BasicPaxos => ProposerConfig::basic(num_replicas),
+            CommitProtocol::PaxosCp => ProposerConfig::cp(num_replicas),
+        };
+        base.with_max_promotions(match self.protocol {
+            CommitProtocol::BasicPaxos => Some(0),
+            CommitProtocol::PaxosCp => self.max_promotions,
+        })
+        .with_combination(self.combination)
+        .with_fast_path(self.fast_path)
+    }
+}
+
+/// Outcome of one transaction, as reported to the application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxnResult {
+    /// Whether the transaction committed.
+    pub committed: bool,
+    /// True when the transaction had no writes (read-only transactions
+    /// commit locally without touching the log, §2.2).
+    pub read_only: bool,
+    /// Number of Paxos-CP promotions it went through.
+    pub promotions: u32,
+    /// Whether it committed inside a combined (multi-transaction) log entry.
+    pub combined: bool,
+    /// Prepare/accept rounds executed across all positions.
+    pub rounds: u32,
+    /// Commit-protocol latency: from the `commit` call to the commit/abort
+    /// decision (what Figures 4(b) and 5(b) plot).
+    pub latency: SimDuration,
+    /// End-to-end latency: from `begin` to the decision (includes the
+    /// application's own operation execution time).
+    pub total_latency: SimDuration,
+    /// Abort reason when not committed.
+    pub abort_reason: Option<AbortReason>,
+}
+
+/// Effects the embedding actor must carry out on behalf of the client.
+#[derive(Clone, Debug)]
+pub enum ClientAction {
+    /// Send a message to a node.
+    Send(NodeId, Msg),
+    /// Arm a timer; deliver the tag back via [`TransactionClient::on_timer`].
+    ArmTimer {
+        /// Delay before firing.
+        delay: SimDuration,
+        /// Tag to echo back.
+        tag: u64,
+    },
+    /// The active transaction finished.
+    Finished(TxnResult),
+}
+
+/// Errors from misusing the client API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// `read`/`write`/`commit` called with no active transaction.
+    NoActiveTransaction,
+    /// `begin` called while a transaction is still active.
+    TransactionInProgress,
+    /// Commit already in progress for the active transaction.
+    CommitInProgress,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            ClientError::NoActiveTransaction => "no active transaction",
+            ClientError::TransactionInProgress => "a transaction is already active",
+            ClientError::CommitInProgress => "commit already in progress",
+        };
+        f.write_str(text)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+struct ActiveTxn {
+    group: GroupKey,
+    read_position: LogPosition,
+    reads: Vec<ReadRecord>,
+    writes: Vec<WriteRecord>,
+    write_index: BTreeMap<ItemRef, String>,
+    began_at: SimTime,
+    commit_started_at: Option<SimTime>,
+    commit: Option<CommitDriver>,
+}
+
+struct CommitDriver {
+    proposer: Proposer,
+    /// Client timer tag → proposer timer token.
+    timer_tokens: HashMap<u64, u64>,
+}
+
+/// The Transaction Client library.
+pub struct TransactionClient {
+    node: NodeId,
+    home_replica: usize,
+    directory: Arc<Directory>,
+    config: ClientConfig,
+    rng: StdRng,
+    seq: u64,
+    next_tag: u64,
+    active: Option<ActiveTxn>,
+}
+
+impl TransactionClient {
+    /// Create a client running on `node`, homed in the datacenter with
+    /// replica index `home_replica`.
+    pub fn new(
+        node: NodeId,
+        home_replica: usize,
+        directory: Arc<Directory>,
+        config: ClientConfig,
+    ) -> Self {
+        TransactionClient {
+            node,
+            home_replica,
+            directory,
+            config,
+            rng: StdRng::seed_from_u64(0x9e37_79b9 ^ node.0 as u64),
+            seq: 0,
+            next_tag: 0,
+            active: None,
+        }
+    }
+
+    /// The datacenter this client currently considers local.
+    pub fn home_replica(&self) -> usize {
+        self.home_replica
+    }
+
+    /// Re-home the client to another datacenter (failover after its local
+    /// datacenter became unavailable).
+    pub fn set_home_replica(&mut self, replica: usize) {
+        self.home_replica = replica;
+    }
+
+    /// Whether a transaction is currently active.
+    pub fn in_transaction(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Whether the active transaction is in its commit phase.
+    pub fn committing(&self) -> bool {
+        self.active.as_ref().is_some_and(|t| t.commit.is_some())
+    }
+
+    fn home_core(&self) -> SharedCore {
+        self.directory.core(self.home_replica)
+    }
+
+    /// Start a transaction on `group` at simulated time `now`. The read
+    /// position is the local datacenter's latest gap-free log position.
+    pub fn begin(&mut self, now: SimTime, group: impl Into<GroupKey>) -> Result<(), ClientError> {
+        if self.active.is_some() {
+            return Err(ClientError::TransactionInProgress);
+        }
+        let group = group.into();
+        let read_position = self.home_core().lock().read_position(&group);
+        self.active = Some(ActiveTxn {
+            group,
+            read_position,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            write_index: BTreeMap::new(),
+            began_at: now,
+            commit_started_at: None,
+            commit: None,
+        });
+        Ok(())
+    }
+
+    /// Read one item of the active transaction's group.
+    ///
+    /// Reads first consult the transaction's own write set (A1,
+    /// read-your-writes); otherwise they are served from the local store at
+    /// the transaction's read position (A2) and recorded in the read set.
+    pub fn read(&mut self, key: &str, attr: &str) -> Result<Option<String>, ClientError> {
+        let txn = self.active.as_mut().ok_or(ClientError::NoActiveTransaction)?;
+        if txn.commit.is_some() {
+            return Err(ClientError::CommitInProgress);
+        }
+        let item = ItemRef::new(key, attr);
+        if let Some(value) = txn.write_index.get(&item) {
+            return Ok(Some(value.clone()));
+        }
+        let observed = self
+            .directory
+            .core(self.home_replica)
+            .lock()
+            .read(&txn.group, key, attr, txn.read_position)
+            .unwrap_or_else(|_gap| {
+                // The read position was taken from the local gap-free prefix,
+                // so a gap at or below it is impossible; treat defensively as
+                // a missing value rather than panicking in release runs.
+                debug_assert!(false, "local read below the gap-free prefix cannot need catch-up");
+                None
+            });
+        txn.reads.push(ReadRecord { item, observed: observed.clone() });
+        Ok(observed)
+    }
+
+    /// Buffer a write to one item of the active transaction's group.
+    pub fn write(
+        &mut self,
+        key: &str,
+        attr: &str,
+        value: impl Into<String>,
+    ) -> Result<(), ClientError> {
+        let txn = self.active.as_mut().ok_or(ClientError::NoActiveTransaction)?;
+        if txn.commit.is_some() {
+            return Err(ClientError::CommitInProgress);
+        }
+        let value = value.into();
+        let item = ItemRef::new(key, attr);
+        txn.write_index.insert(item.clone(), value.clone());
+        txn.writes.push(WriteRecord { item, value });
+        Ok(())
+    }
+
+    /// Try to commit the active transaction. Read-only transactions finish
+    /// immediately; read/write transactions start the commit protocol and
+    /// finish later via [`ClientAction::Finished`].
+    pub fn commit(&mut self, now: SimTime) -> Result<Vec<ClientAction>, ClientError> {
+        let txn = self.active.as_mut().ok_or(ClientError::NoActiveTransaction)?;
+        if txn.commit.is_some() {
+            return Err(ClientError::CommitInProgress);
+        }
+        txn.commit_started_at = Some(now);
+        if txn.writes.is_empty() {
+            let began = txn.began_at;
+            self.active = None;
+            return Ok(vec![ClientAction::Finished(TxnResult {
+                committed: true,
+                read_only: true,
+                promotions: 0,
+                combined: false,
+                rounds: 0,
+                latency: SimDuration::ZERO,
+                total_latency: now.since(began),
+                abort_reason: None,
+            })]);
+        }
+        self.seq += 1;
+        let id = TxnId::new(self.node.0, self.seq);
+        let transaction = Transaction {
+            id,
+            group: txn.group.clone(),
+            read_position: txn.read_position,
+            reads: txn.reads.clone(),
+            writes: txn.writes.clone(),
+        };
+        let commit_position = txn.read_position.next();
+        let cfg = self.config.proposer_config(self.directory.num_replicas());
+        let mut proposer = Proposer::new(
+            cfg,
+            txn.group.clone(),
+            self.node.0 as u64,
+            transaction,
+            commit_position,
+        );
+        let actions = proposer.start();
+        txn.commit = Some(CommitDriver { proposer, timer_tokens: HashMap::new() });
+        Ok(self.translate(now, actions))
+    }
+
+    /// Feed an incoming message (commit-protocol replies) into the client.
+    pub fn on_message(&mut self, now: SimTime, from: NodeId, msg: &Msg) -> Vec<ClientAction> {
+        let Msg::Paxos(paxos_msg) = msg else {
+            return Vec::new();
+        };
+        let Some(replica) = self.directory.replica_of_service(from) else {
+            return Vec::new();
+        };
+        let event = match paxos_msg {
+            PaxosMsg::PrepareReply { position, ballot, promised, next_bal, last_vote, .. } => {
+                ProposerEvent::PrepareReply {
+                    from: replica,
+                    position: *position,
+                    ballot: *ballot,
+                    promised: *promised,
+                    next_bal: *next_bal,
+                    last_vote: last_vote.clone(),
+                }
+            }
+            PaxosMsg::AcceptReply { position, ballot, accepted, .. } => ProposerEvent::AcceptReply {
+                from: replica,
+                position: *position,
+                ballot: *ballot,
+                accepted: *accepted,
+            },
+            PaxosMsg::LeaderClaimReply { position, granted, .. } => ProposerEvent::FastPathReply {
+                position: *position,
+                granted: *granted,
+            },
+            _ => return Vec::new(),
+        };
+        self.drive(now, event)
+    }
+
+    /// Feed a timer expiration (tag previously returned in
+    /// [`ClientAction::ArmTimer`]) into the client.
+    pub fn on_timer(&mut self, now: SimTime, tag: u64) -> Vec<ClientAction> {
+        let Some(txn) = self.active.as_mut() else {
+            return Vec::new();
+        };
+        let Some(driver) = txn.commit.as_mut() else {
+            return Vec::new();
+        };
+        let Some(token) = driver.timer_tokens.remove(&tag) else {
+            return Vec::new();
+        };
+        self.drive(now, ProposerEvent::Timer { token })
+    }
+
+    fn drive(&mut self, now: SimTime, event: ProposerEvent) -> Vec<ClientAction> {
+        let Some(txn) = self.active.as_mut() else {
+            return Vec::new();
+        };
+        let Some(driver) = txn.commit.as_mut() else {
+            return Vec::new();
+        };
+        let actions = driver.proposer.on_event(event);
+        self.translate(now, actions)
+    }
+
+    fn translate(&mut self, now: SimTime, actions: Vec<ProposerAction>) -> Vec<ClientAction> {
+        let mut out = Vec::new();
+        for action in actions {
+            match action {
+                ProposerAction::Broadcast(msg) => {
+                    for replica in 0..self.directory.num_replicas() {
+                        out.push(ClientAction::Send(
+                            self.directory.service_node(replica),
+                            Msg::Paxos(msg.clone()),
+                        ));
+                    }
+                }
+                ProposerAction::SendToLeader(msg) => {
+                    let leader = self.leader_replica_for(msg.group(), msg.position());
+                    out.push(ClientAction::Send(
+                        self.directory.service_node(leader),
+                        Msg::Paxos(msg),
+                    ));
+                }
+                ProposerAction::ArmTimer { token, kind } => {
+                    let delay = match kind {
+                        TimerKind::ReplyTimeout => self.config.message_timeout,
+                        TimerKind::Backoff => {
+                            let max = self.config.backoff_max.as_micros().max(1);
+                            SimDuration::from_micros(self.rng.gen_range(0..max))
+                        }
+                        TimerKind::Gather => self.config.gather_window,
+                    };
+                    self.next_tag += 1;
+                    let tag = self.next_tag;
+                    if let Some(txn) = self.active.as_mut() {
+                        if let Some(driver) = txn.commit.as_mut() {
+                            driver.timer_tokens.insert(tag, token);
+                        }
+                    }
+                    out.push(ClientAction::ArmTimer { delay, tag });
+                }
+                ProposerAction::Learned { position, entry } => {
+                    // Install what we learned into the local datacenter so the
+                    // next transaction's read position advances immediately.
+                    if let Some(txn) = self.active.as_ref() {
+                        self.home_core().lock().install_entry(&txn.group, position, entry);
+                    }
+                }
+                ProposerAction::Finished(outcome) => {
+                    let txn = self.active.take().expect("finished implies an active transaction");
+                    let commit_started = txn.commit_started_at.unwrap_or(txn.began_at);
+                    out.push(ClientAction::Finished(TxnResult {
+                        committed: outcome.committed,
+                        read_only: false,
+                        promotions: outcome.promotions,
+                        combined: outcome.combined,
+                        rounds: outcome.rounds,
+                        latency: now.since(commit_started),
+                        total_latency: now.since(txn.began_at),
+                        abort_reason: outcome.abort_reason,
+                    }));
+                }
+            }
+        }
+        out
+    }
+
+    /// The replica hosting the leader of `position`: the datacenter of the
+    /// client that won `position - 1`, defaulting to this client's own
+    /// datacenter when unknown (the very first position, a no-op entry, or a
+    /// winner from an unregistered client).
+    fn leader_replica_for(&self, group: &str, position: LogPosition) -> usize {
+        self.home_core()
+            .lock()
+            .previous_winner_client(group, position)
+            .and_then(|client| self.directory.replica_of_client_raw(client))
+            .unwrap_or(self.home_replica)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datacenter::DatacenterCore;
+    use walog::LogEntry;
+
+    fn directory_with_one_dc() -> (Arc<Directory>, SharedCore) {
+        let dir = Directory::new();
+        let core = DatacenterCore::shared("dc0", 0);
+        dir.register_datacenter(NodeId(0), core.clone());
+        (dir, core)
+    }
+
+    fn seeded_entry(core: &SharedCore, position: u64, attr: &str, value: &str) {
+        let txn = Transaction::builder(TxnId::new(0, position), "g", LogPosition(position - 1))
+            .write(ItemRef::new("row", attr), value)
+            .build();
+        core.lock()
+            .install_entry(&"g".into(), LogPosition(position), LogEntry::single(txn));
+    }
+
+    #[test]
+    fn begin_read_write_and_read_your_writes() {
+        let (dir, core) = directory_with_one_dc();
+        seeded_entry(&core, 1, "a", "committed");
+        let mut client = TransactionClient::new(NodeId(5), 0, dir, ClientConfig::cp());
+        dir_register(&client);
+        client.begin(SimTime::ZERO, "g").unwrap();
+        assert!(client.in_transaction());
+        // Read of committed data.
+        assert_eq!(client.read("row", "a").unwrap().as_deref(), Some("committed"));
+        // Read of never-written data.
+        assert_eq!(client.read("row", "b").unwrap(), None);
+        // Read-your-writes.
+        client.write("row", "b", "mine").unwrap();
+        assert_eq!(client.read("row", "b").unwrap().as_deref(), Some("mine"));
+        // API misuse is reported.
+        assert_eq!(
+            client.begin(SimTime::ZERO, "g").unwrap_err(),
+            ClientError::TransactionInProgress
+        );
+    }
+
+    fn dir_register(client: &TransactionClient) {
+        client.directory.register_client(client.node, client.home_replica);
+    }
+
+    #[test]
+    fn read_only_transactions_commit_immediately() {
+        let (dir, core) = directory_with_one_dc();
+        seeded_entry(&core, 1, "a", "x");
+        let mut client = TransactionClient::new(NodeId(5), 0, dir, ClientConfig::basic());
+        client.begin(SimTime::from_micros(10), "g").unwrap();
+        client.read("row", "a").unwrap();
+        let actions = client.commit(SimTime::from_micros(30)).unwrap();
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            ClientAction::Finished(result) => {
+                assert!(result.committed);
+                assert!(result.read_only);
+                assert_eq!(result.latency, SimDuration::ZERO);
+                assert_eq!(result.total_latency, SimDuration::from_micros(20));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!client.in_transaction());
+    }
+
+    #[test]
+    fn commit_of_write_transaction_contacts_the_leader_or_replicas() {
+        let (dir, _core) = directory_with_one_dc();
+        let mut client = TransactionClient::new(NodeId(5), 0, dir, ClientConfig::cp());
+        client.begin(SimTime::ZERO, "g").unwrap();
+        client.write("row", "a", "1").unwrap();
+        let actions = client.commit(SimTime::ZERO).unwrap();
+        // Fast path enabled: first action is a leader claim to the local
+        // service, plus a timer.
+        assert!(matches!(
+            &actions[0],
+            ClientAction::Send(NodeId(0), Msg::Paxos(PaxosMsg::LeaderClaim { .. }))
+        ));
+        assert!(matches!(actions[1], ClientAction::ArmTimer { .. }));
+        assert!(client.committing());
+        // Operations during commit are rejected.
+        assert_eq!(client.read("row", "a").unwrap_err(), ClientError::CommitInProgress);
+        assert_eq!(client.commit(SimTime::ZERO).unwrap_err(), ClientError::CommitInProgress);
+    }
+
+    #[test]
+    fn errors_without_active_transaction() {
+        let (dir, _core) = directory_with_one_dc();
+        let mut client = TransactionClient::new(NodeId(5), 0, dir, ClientConfig::basic());
+        assert_eq!(client.read("row", "a").unwrap_err(), ClientError::NoActiveTransaction);
+        assert_eq!(client.write("row", "a", "1").unwrap_err(), ClientError::NoActiveTransaction);
+        assert!(client.commit(SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn rehoming_changes_the_local_datacenter() {
+        let dir = Directory::new();
+        let core0 = DatacenterCore::shared("dc0", 0);
+        let core1 = DatacenterCore::shared("dc1", 1);
+        dir.register_datacenter(NodeId(0), core0);
+        dir.register_datacenter(NodeId(1), core1.clone());
+        seeded_entry(&core1, 1, "a", "dc1-value");
+        let mut client = TransactionClient::new(NodeId(5), 0, dir, ClientConfig::basic());
+        assert_eq!(client.home_replica(), 0);
+        client.set_home_replica(1);
+        client.begin(SimTime::ZERO, "g").unwrap();
+        assert_eq!(client.read("row", "a").unwrap().as_deref(), Some("dc1-value"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Cluster assembly: wire datacenters, services and clients into one
+//! deterministic simulation, with failure injection and post-run
+//! verification.
+
+use crate::client::ClientConfig;
+use crate::datacenter::{DatacenterCore, SharedCore};
+use crate::directory::Directory;
+use crate::msg::Msg;
+use crate::service::TransactionService;
+use crate::topology::Topology;
+use paxos::CommitProtocol;
+use simnet::{Actor, NodeId, SimDuration, SimTime, Simulation};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use walog::checker::{self, CheckReport, Violation};
+use walog::{GroupKey, GroupLog};
+
+/// Configuration of a cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Datacenter layout and network behaviour.
+    pub topology: Topology,
+    /// Commit protocol every client uses (individual clients may override).
+    pub protocol: CommitProtocol,
+    /// Simulation seed (same seed ⇒ identical execution).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A cluster with the given topology and protocol, seed 42.
+    pub fn new(topology: Topology, protocol: CommitProtocol) -> Self {
+        ClusterConfig {
+            topology,
+            protocol,
+            seed: 42,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A running multi-datacenter cluster: the simulation, the datacenter
+/// storage cores and the lookup directory.
+pub struct Cluster {
+    sim: Simulation<Msg>,
+    directory: Arc<Directory>,
+    config: ClusterConfig,
+    service_nodes: Vec<NodeId>,
+}
+
+impl Cluster {
+    /// Build the cluster: one site, one storage core and one Transaction
+    /// Service per datacenter in the topology.
+    pub fn build(config: ClusterConfig) -> Self {
+        let mut sim: Simulation<Msg> =
+            Simulation::new(config.topology.network_config(), config.seed);
+        let directory = Directory::new();
+        let mut service_nodes = Vec::new();
+        for (replica, region) in config.topology.regions().iter().enumerate() {
+            let site = sim.add_site(format!("{region}-{replica}"));
+            let core: SharedCore = DatacenterCore::shared(format!("{region}-{replica}"), replica);
+            let service = TransactionService::new(
+                replica,
+                core.clone(),
+                directory.clone(),
+                config.topology.message_timeout,
+            );
+            let node = sim.add_node(site, Box::new(service));
+            directory.register_datacenter(node, core);
+            service_nodes.push(node);
+        }
+        Cluster {
+            sim,
+            directory,
+            config,
+            service_nodes,
+        }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The shared directory (services, cores, client placement).
+    pub fn directory(&self) -> Arc<Directory> {
+        self.directory.clone()
+    }
+
+    /// Number of datacenters.
+    pub fn num_datacenters(&self) -> usize {
+        self.service_nodes.len()
+    }
+
+    /// The Transaction Service node of a replica.
+    pub fn service_node(&self, replica: usize) -> NodeId {
+        self.service_nodes[replica]
+    }
+
+    /// The storage core of a replica.
+    pub fn core(&self, replica: usize) -> SharedCore {
+        self.directory.core(replica)
+    }
+
+    /// The default client configuration for this cluster's protocol, using
+    /// the topology's message timeout.
+    pub fn client_config(&self) -> ClientConfig {
+        let mut cfg = ClientConfig::for_protocol(self.config.protocol);
+        cfg.message_timeout = self.config.topology.message_timeout;
+        cfg
+    }
+
+    /// Add a client actor homed in `replica`'s datacenter. The closure
+    /// receives the node id the actor will run as (so it can construct its
+    /// embedded [`crate::TransactionClient`]).
+    pub fn add_client<F>(&mut self, replica: usize, make_actor: F) -> NodeId
+    where
+        F: FnOnce(NodeId) -> Box<dyn Actor<Msg>>,
+    {
+        let expected = NodeId(self.sim.node_count() as u32);
+        self.directory.register_client(expected, replica);
+        let actor = make_actor(expected);
+        let node = self.sim.add_node(simnet::SiteId(replica as u32), actor);
+        assert_eq!(node, expected, "node ids are assigned densely in registration order");
+        node
+    }
+
+    /// Direct access to the simulation (running, failure injection, stats).
+    pub fn sim(&self) -> &Simulation<Msg> {
+        &self.sim
+    }
+
+    /// Mutable access to the simulation.
+    pub fn sim_mut(&mut self) -> &mut Simulation<Msg> {
+        &mut self.sim
+    }
+
+    /// Run until no events remain (capped to guard against livelock).
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.sim.run_until_idle_capped(200_000_000)
+    }
+
+    /// Run for a span of virtual time.
+    pub fn run_for(&mut self, span: SimDuration) -> u64 {
+        self.sim.run_for(span)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Take a whole datacenter offline (its service stops answering and all
+    /// messages to/from its site are dropped).
+    pub fn crash_datacenter(&mut self, replica: usize) {
+        self.sim.crash_site(simnet::SiteId(replica as u32));
+    }
+
+    /// Bring a datacenter back online.
+    pub fn recover_datacenter(&mut self, replica: usize) {
+        self.sim.recover_site(simnet::SiteId(replica as u32));
+    }
+
+    /// All transaction groups any datacenter has a log for.
+    pub fn groups(&self) -> Vec<GroupKey> {
+        let mut groups = BTreeSet::new();
+        for core in self.directory.cores() {
+            for (group, _) in core.lock().logs() {
+                groups.insert(group.clone());
+            }
+        }
+        groups.into_iter().collect()
+    }
+
+    /// Snapshot every datacenter's log for one group.
+    pub fn replica_logs(&self, group: &str) -> Vec<GroupLog> {
+        self.directory
+            .cores()
+            .iter()
+            .map(|core| core.lock().log(group).cloned().unwrap_or_default())
+            .collect()
+    }
+
+    /// Verify the paper's correctness properties over everything the cluster
+    /// decided: replica agreement (R1) and one-copy serializability
+    /// (Definition 1 / L1–L3) of the merged history, per transaction group.
+    /// Returns the merged check report of every group.
+    pub fn verify(&self) -> Result<Vec<(GroupKey, CheckReport)>, Violation> {
+        let mut reports = Vec::new();
+        for group in self.groups() {
+            let logs = self.replica_logs(&group);
+            let refs: Vec<&GroupLog> = logs.iter().collect();
+            let report = checker::check_all(&refs)?;
+            reports.push((group, report));
+        }
+        Ok(reports)
+    }
+
+    /// Total committed transactions recorded in a replica's log for a group
+    /// (used by experiments to cross-check client-side metrics).
+    pub fn committed_in_log(&self, replica: usize, group: &str) -> usize {
+        self.directory
+            .core(replica)
+            .lock()
+            .log(group)
+            .map(|l| l.committed_transaction_count())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn build_creates_one_service_per_datacenter() {
+        let cluster = Cluster::build(ClusterConfig::new(
+            Topology::from_name("VOC").unwrap(),
+            CommitProtocol::PaxosCp,
+        ));
+        assert_eq!(cluster.num_datacenters(), 3);
+        assert_eq!(cluster.sim().node_count(), 3);
+        assert_eq!(cluster.directory().num_replicas(), 3);
+        assert_eq!(cluster.groups().len(), 0);
+        assert!(cluster.verify().unwrap().is_empty());
+        assert_eq!(cluster.committed_in_log(0, "g"), 0);
+    }
+
+    #[test]
+    fn client_config_follows_protocol_and_timeout() {
+        let cluster = Cluster::build(ClusterConfig::new(
+            Topology::vvv(),
+            CommitProtocol::BasicPaxos,
+        ));
+        let cfg = cluster.client_config();
+        assert_eq!(cfg.protocol, CommitProtocol::BasicPaxos);
+        assert_eq!(cfg.message_timeout, SimDuration::from_secs(2));
+    }
+}

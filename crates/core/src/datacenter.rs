@@ -1,0 +1,352 @@
+//! Per-datacenter storage state shared by the local Transaction Service and
+//! the Transaction Clients running in the same datacenter.
+//!
+//! The paper's architecture keeps all durable state in the key-value store
+//! and the replicated write-ahead log; the Transaction Service processes are
+//! stateless. We model the datacenter's durable state as one
+//! [`DatacenterCore`] value shared behind a mutex: the service actor mutates
+//! it when handling messages, and local clients read it directly (the
+//! "execute operations directly on the local key-value store" optimization
+//! the paper uses for its evaluation prototype).
+
+use mvkv::{MvKvStore, Row, Timestamp};
+use parking_lot::Mutex;
+use paxos::AcceptorStore;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use walog::{GroupKey, GroupLog, LogEntry, LogPosition};
+
+/// Shared handle to a datacenter's storage state.
+pub type SharedCore = Arc<Mutex<DatacenterCore>>;
+
+/// Failure returned when a read cannot be served because the local log has
+/// gaps below the requested read position; the caller must catch up first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatchUpNeeded {
+    /// The positions that are missing locally.
+    pub missing: Vec<LogPosition>,
+}
+
+/// The durable state of one datacenter: multi-version store, write-ahead
+/// logs (one per transaction group) and leader bookkeeping for the fast
+/// path.
+pub struct DatacenterCore {
+    /// Human-readable name (e.g. `"virginia-1"`).
+    name: String,
+    /// Replica index of this datacenter within the cluster.
+    replica: usize,
+    store: MvKvStore,
+    logs: HashMap<GroupKey, GroupLog>,
+    /// First client to claim each (group, position) via the leader fast
+    /// path; later claimants are denied.
+    leader_claims: HashMap<(GroupKey, LogPosition), u64>,
+}
+
+impl DatacenterCore {
+    /// Create an empty datacenter state.
+    pub fn new(name: impl Into<String>, replica: usize) -> Self {
+        DatacenterCore {
+            name: name.into(),
+            replica,
+            store: MvKvStore::new(),
+            logs: HashMap::new(),
+            leader_claims: HashMap::new(),
+        }
+    }
+
+    /// Convenience: wrap in the shared handle used across actors.
+    pub fn shared(name: impl Into<String>, replica: usize) -> SharedCore {
+        Arc::new(Mutex::new(DatacenterCore::new(name, replica)))
+    }
+
+    /// Datacenter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replica index within the cluster.
+    pub fn replica(&self) -> usize {
+        self.replica
+    }
+
+    /// Direct access to the key-value store (local client reads, acceptor
+    /// state, tests).
+    pub fn store(&self) -> &MvKvStore {
+        &self.store
+    }
+
+    /// The Paxos acceptor view over this datacenter's store.
+    pub fn acceptor(&self) -> AcceptorStore<'_> {
+        AcceptorStore::new(&self.store)
+    }
+
+    /// The write-ahead log of a group (empty log if never touched).
+    pub fn log(&self, group: &str) -> Option<&GroupLog> {
+        self.logs.get(group)
+    }
+
+    /// All groups with a local log, with their logs (used by the checker).
+    pub fn logs(&self) -> impl Iterator<Item = (&GroupKey, &GroupLog)> {
+        self.logs.iter()
+    }
+
+    /// The read position a transaction beginning now should use: the highest
+    /// position up to which this datacenter's log is gap-free (and therefore
+    /// locally readable after applying).
+    pub fn read_position(&self, group: &str) -> LogPosition {
+        self.logs
+            .get(group)
+            .map(|l| l.contiguous_prefix())
+            .unwrap_or(LogPosition::ZERO)
+    }
+
+    /// Install a decided entry into the local log (idempotent) and eagerly
+    /// apply every gap-free entry to the key-value store.
+    ///
+    /// Panics if a *different* entry was already installed at the position:
+    /// that would violate replication property (R1) and indicates a protocol
+    /// bug, which tests must surface loudly.
+    pub fn install_entry(&mut self, group: &GroupKey, position: LogPosition, entry: LogEntry) {
+        let log = self.logs.entry(group.clone()).or_default();
+        log.install(position, entry)
+            .expect("replication property R1 violated: conflicting entry for a decided position");
+        Self::apply_contiguous(log, &self.store);
+    }
+
+    /// Apply every decided-but-unapplied entry in the gap-free prefix of the
+    /// group's log to the key-value store.
+    fn apply_contiguous(log: &mut GroupLog, store: &MvKvStore) {
+        let through = log.contiguous_prefix();
+        let Some(pending) = log.unapplied_range(through) else {
+            return;
+        };
+        let batches: Vec<(LogPosition, BTreeMap<String, Row>)> = pending
+            .into_iter()
+            .map(|(pos, entry)| (pos, Self::entry_writes(entry)))
+            .collect();
+        for (pos, writes) in batches {
+            for (key, row) in writes {
+                store.apply_idempotent(&key, row, Timestamp(pos.0));
+            }
+            log.mark_applied_through(pos);
+        }
+    }
+
+    /// Collapse an entry's writes into one row-delta per key. Later
+    /// transactions in a combined entry overwrite earlier ones, matching the
+    /// serialization order within the entry.
+    fn entry_writes(entry: &LogEntry) -> BTreeMap<String, Row> {
+        let mut per_key: BTreeMap<String, Row> = BTreeMap::new();
+        for txn in entry.transactions() {
+            for write in &txn.writes {
+                per_key
+                    .entry(write.item.key.clone())
+                    .or_default()
+                    .set(write.item.attr.clone(), write.value.clone());
+            }
+        }
+        per_key
+    }
+
+    /// Read one item as of `read_position` (A2). Fails with the list of
+    /// missing log positions when the local log has gaps at or below the
+    /// read position, in which case the caller must catch up first (§4.1,
+    /// Fault Tolerance and Recovery).
+    pub fn read(
+        &mut self,
+        group: &str,
+        key: &str,
+        attr: &str,
+        read_position: LogPosition,
+    ) -> Result<Option<String>, CatchUpNeeded> {
+        if read_position > LogPosition::ZERO {
+            let log = self.logs.entry(group.to_owned()).or_default();
+            let missing = log.missing_up_to(read_position);
+            if !missing.is_empty() {
+                return Err(CatchUpNeeded { missing });
+            }
+            Self::apply_contiguous(log, &self.store);
+        }
+        Ok(self
+            .store
+            .read(key, Some(Timestamp(read_position.0)))
+            .and_then(|v| v.row.get(attr).map(str::to_owned)))
+    }
+
+    /// Whether this datacenter has decided (locally installed) the entry at
+    /// `position`.
+    pub fn has_entry(&self, group: &str, position: LogPosition) -> bool {
+        self.logs
+            .get(group)
+            .map(|l| l.contains(position))
+            .unwrap_or(false)
+    }
+
+    /// Leader fast-path bookkeeping: grant the claim iff this is the first
+    /// claim for the position and no Paxos activity has touched it yet.
+    pub fn leader_claim(&mut self, group: &GroupKey, position: LogPosition, client: u64) -> bool {
+        if self.has_entry(group, position) {
+            return false;
+        }
+        if self.acceptor().promised_ballot(group, position).is_some()
+            || self.acceptor().current_vote(group, position).is_some()
+        {
+            return false;
+        }
+        match self.leader_claims.entry((group.clone(), position)) {
+            std::collections::hash_map::Entry::Occupied(existing) => *existing.get() == client,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(client);
+                true
+            }
+        }
+    }
+
+    /// The client that proposed the winning value of `position - 1`, used to
+    /// locate the leader of `position` (§4.1: "the leader for a log position
+    /// is the site local to the application instance that won the previous
+    /// log position").
+    pub fn previous_winner_client(&self, group: &str, position: LogPosition) -> Option<u64> {
+        if position.0 <= 1 {
+            return None;
+        }
+        self.logs
+            .get(group)?
+            .get(position.prev())?
+            .transactions()
+            .first()
+            .map(|t| t.id.client as u64)
+    }
+
+    /// Total committed transactions across this datacenter's logs.
+    pub fn committed_transactions(&self) -> usize {
+        self.logs.values().map(|l| l.committed_transaction_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walog::{ItemRef, Transaction, TxnId};
+
+    fn group() -> GroupKey {
+        "g".to_string()
+    }
+
+    fn write_entry(client: u32, seq: u64, read_pos: u64, attr: &str, value: &str) -> LogEntry {
+        LogEntry::single(
+            Transaction::builder(TxnId::new(client, seq), group(), LogPosition(read_pos))
+                .write(ItemRef::new("row", attr), value)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn install_and_read_through_log_positions() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        core.install_entry(&group(), LogPosition(1), write_entry(0, 1, 0, "a", "1"));
+        core.install_entry(&group(), LogPosition(2), write_entry(0, 2, 1, "a", "2"));
+        assert_eq!(core.read_position(&group()), LogPosition(2));
+        assert_eq!(
+            core.read(&group(), "row", "a", LogPosition(1)).unwrap(),
+            Some("1".to_string())
+        );
+        assert_eq!(
+            core.read(&group(), "row", "a", LogPosition(2)).unwrap(),
+            Some("2".to_string())
+        );
+        assert_eq!(core.read(&group(), "row", "missing", LogPosition(2)).unwrap(), None);
+        assert_eq!(core.committed_transactions(), 2);
+    }
+
+    #[test]
+    fn read_at_position_zero_sees_nothing() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        core.install_entry(&group(), LogPosition(1), write_entry(0, 1, 0, "a", "1"));
+        assert_eq!(core.read(&group(), "row", "a", LogPosition::ZERO).unwrap(), None);
+    }
+
+    #[test]
+    fn gap_forces_catch_up() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        core.install_entry(&group(), LogPosition(1), write_entry(0, 1, 0, "a", "1"));
+        core.install_entry(&group(), LogPosition(3), write_entry(0, 3, 2, "a", "3"));
+        // Read position 3 needs position 2, which is missing.
+        let err = core.read(&group(), "row", "a", LogPosition(3)).unwrap_err();
+        assert_eq!(err.missing, vec![LogPosition(2)]);
+        // Reads below the gap still work.
+        assert_eq!(
+            core.read(&group(), "row", "a", LogPosition(1)).unwrap(),
+            Some("1".to_string())
+        );
+        // Filling the gap resolves it and applies everything.
+        core.install_entry(&group(), LogPosition(2), write_entry(1, 2, 1, "b", "2"));
+        assert_eq!(
+            core.read(&group(), "row", "a", LogPosition(3)).unwrap(),
+            Some("3".to_string())
+        );
+        assert_eq!(core.read_position(&group()), LogPosition(3));
+    }
+
+    #[test]
+    fn combined_entry_applies_in_list_order() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        let first = Transaction::builder(TxnId::new(0, 1), group(), LogPosition(0))
+            .write(ItemRef::new("row", "a"), "first")
+            .build();
+        let second = Transaction::builder(TxnId::new(1, 2), group(), LogPosition(0))
+            .write(ItemRef::new("row", "a"), "second")
+            .write(ItemRef::new("row", "b"), "2")
+            .build();
+        core.install_entry(&group(), LogPosition(1), LogEntry::combined(vec![first, second]));
+        assert_eq!(
+            core.read(&group(), "row", "a", LogPosition(1)).unwrap(),
+            Some("second".to_string())
+        );
+        assert_eq!(
+            core.read(&group(), "row", "b", LogPosition(1)).unwrap(),
+            Some("2".to_string())
+        );
+    }
+
+    #[test]
+    fn duplicate_install_is_idempotent_but_conflicting_install_panics() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        let entry = write_entry(0, 1, 0, "a", "1");
+        core.install_entry(&group(), LogPosition(1), entry.clone());
+        core.install_entry(&group(), LogPosition(1), entry);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            core.install_entry(&group(), LogPosition(1), write_entry(9, 9, 0, "a", "x"));
+        }));
+        assert!(result.is_err(), "conflicting install must panic (R1)");
+    }
+
+    #[test]
+    fn leader_claims_are_first_come_first_served() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        assert!(core.leader_claim(&group(), LogPosition(1), 10));
+        // The same client asking again is still granted (idempotent).
+        assert!(core.leader_claim(&group(), LogPosition(1), 10));
+        assert!(!core.leader_claim(&group(), LogPosition(1), 11));
+        // A position that already has a decided entry is never granted.
+        core.install_entry(&group(), LogPosition(2), write_entry(0, 1, 1, "a", "1"));
+        assert!(!core.leader_claim(&group(), LogPosition(2), 10));
+    }
+
+    #[test]
+    fn leader_claim_denied_after_paxos_activity() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        core.acceptor()
+            .handle_prepare(&group(), LogPosition(1), paxos::Ballot::initial(5));
+        assert!(!core.leader_claim(&group(), LogPosition(1), 10));
+    }
+
+    #[test]
+    fn previous_winner_is_first_transaction_of_previous_entry() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        assert_eq!(core.previous_winner_client(&group(), LogPosition(1)), None);
+        core.install_entry(&group(), LogPosition(1), write_entry(7, 1, 0, "a", "1"));
+        assert_eq!(core.previous_winner_client(&group(), LogPosition(2)), Some(7));
+        assert_eq!(core.previous_winner_client(&group(), LogPosition(3)), None);
+    }
+}

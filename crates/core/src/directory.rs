@@ -1,0 +1,108 @@
+//! Cluster directory: how clients and services find each other.
+
+use crate::datacenter::SharedCore;
+use parking_lot::RwLock;
+use simnet::NodeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Immutable-after-wiring lookup table shared by every actor in a cluster:
+/// which node is the Transaction Service of each replica, which datacenter a
+/// client lives in, and the shared storage core of each datacenter.
+#[derive(Default)]
+pub struct Directory {
+    service_nodes: RwLock<Vec<NodeId>>,
+    cores: RwLock<Vec<SharedCore>>,
+    client_replica: RwLock<HashMap<NodeId, usize>>,
+}
+
+impl Directory {
+    /// Create an empty directory, to be populated by the cluster builder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Directory::default())
+    }
+
+    /// Register a datacenter: its service node and its shared storage core.
+    /// Must be called in replica order.
+    pub fn register_datacenter(&self, service: NodeId, core: SharedCore) -> usize {
+        let mut services = self.service_nodes.write();
+        let mut cores = self.cores.write();
+        services.push(service);
+        cores.push(core);
+        services.len() - 1
+    }
+
+    /// Register a client node as living in the given replica's datacenter.
+    pub fn register_client(&self, client: NodeId, replica: usize) {
+        self.client_replica.write().insert(client, replica);
+    }
+
+    /// Number of datacenters (replicas).
+    pub fn num_replicas(&self) -> usize {
+        self.service_nodes.read().len()
+    }
+
+    /// The Transaction Service node of a replica.
+    pub fn service_node(&self, replica: usize) -> NodeId {
+        self.service_nodes.read()[replica]
+    }
+
+    /// All Transaction Service nodes, in replica order.
+    pub fn service_nodes(&self) -> Vec<NodeId> {
+        self.service_nodes.read().clone()
+    }
+
+    /// The replica index whose service node is `node`, if any.
+    pub fn replica_of_service(&self, node: NodeId) -> Option<usize> {
+        self.service_nodes.read().iter().position(|n| *n == node)
+    }
+
+    /// The storage core of a replica's datacenter.
+    pub fn core(&self, replica: usize) -> SharedCore {
+        self.cores.read()[replica].clone()
+    }
+
+    /// All storage cores, in replica order.
+    pub fn cores(&self) -> Vec<SharedCore> {
+        self.cores.read().clone()
+    }
+
+    /// The datacenter (replica index) a client node lives in.
+    pub fn replica_of_client(&self, client: NodeId) -> Option<usize> {
+        self.client_replica.read().get(&client).copied()
+    }
+
+    /// The datacenter of a client identified by its raw node id (used to
+    /// resolve the leader of a log position from the winning transaction's
+    /// client id).
+    pub fn replica_of_client_raw(&self, client_raw: u64) -> Option<usize> {
+        self.replica_of_client(NodeId(client_raw as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datacenter::DatacenterCore;
+
+    #[test]
+    fn registration_and_lookup() {
+        let dir = Directory::new();
+        let c0 = DatacenterCore::shared("dc0", 0);
+        let c1 = DatacenterCore::shared("dc1", 1);
+        assert_eq!(dir.register_datacenter(NodeId(0), c0), 0);
+        assert_eq!(dir.register_datacenter(NodeId(1), c1), 1);
+        dir.register_client(NodeId(5), 1);
+
+        assert_eq!(dir.num_replicas(), 2);
+        assert_eq!(dir.service_node(1), NodeId(1));
+        assert_eq!(dir.service_nodes(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(dir.replica_of_service(NodeId(1)), Some(1));
+        assert_eq!(dir.replica_of_service(NodeId(9)), None);
+        assert_eq!(dir.replica_of_client(NodeId(5)), Some(1));
+        assert_eq!(dir.replica_of_client(NodeId(6)), None);
+        assert_eq!(dir.replica_of_client_raw(5), Some(1));
+        assert_eq!(dir.core(0).lock().name(), "dc0");
+        assert_eq!(dir.cores().len(), 2);
+    }
+}

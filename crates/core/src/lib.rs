@@ -1,0 +1,51 @@
+//! # mdstore — the multi-datacenter transactional datastore (the paper's core)
+//!
+//! This crate assembles the substrates (simulated network, multi-version
+//! store, replicated write-ahead log, Paxos state machines) into the system
+//! of the paper: a transactional datastore fully replicated at several
+//! datacenters, where every datacenter can serve transactions and the commit
+//! protocol — basic Paxos or **Paxos-CP** — provides both replication and
+//! concurrency control.
+//!
+//! The pieces map one-to-one onto the paper's architecture (Figure 1):
+//!
+//! * [`topology`] — datacenters, regions and the wide-area RTTs measured in
+//!   the paper's evaluation (Virginia ↔ Oregon/California ≈ 90 ms, intra
+//!   Virginia ≈ 1.5 ms, Oregon ↔ California ≈ 20 ms).
+//! * [`DatacenterCore`] — the per-datacenter storage state: the key-value
+//!   store, the replicated write-ahead logs, and the leader bookkeeping for
+//!   the fast path. Shared by the local Transaction Services and Transaction
+//!   Clients, mirroring the paper's "client executes operations directly on
+//!   its local key-value store" optimization.
+//! * [`TransactionService`] — the per-datacenter service actor: answers
+//!   begin/read requests from remote clients, plays the Paxos acceptor role
+//!   (Algorithm 1), installs decided entries, catches up missing log
+//!   positions by running recovery Paxos instances with no-op values.
+//! * [`TransactionClient`] — the client library: `begin` / `read` / `write`
+//!   / `commit` with an optimistic read/write set, driving the Paxos or
+//!   Paxos-CP proposer (Algorithm 2) at commit time.
+//! * [`Cluster`] — the harness that wires everything into a deterministic
+//!   simulation, injects failures, and verifies the resulting logs with the
+//!   serializability checker after every run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod datacenter;
+pub mod directory;
+pub mod metrics;
+pub mod msg;
+pub mod service;
+pub mod topology;
+
+pub use client::{ClientAction, ClientConfig, TransactionClient, TxnResult};
+pub use cluster::{Cluster, ClusterConfig};
+pub use datacenter::DatacenterCore;
+pub use directory::Directory;
+pub use metrics::{LatencyStats, RunMetrics};
+pub use msg::Msg;
+pub use paxos::{CommitProtocol, ProposerConfig};
+pub use service::TransactionService;
+pub use topology::{Region, Topology};

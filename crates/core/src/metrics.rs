@@ -1,0 +1,229 @@
+//! Latency and commit statistics collected by clients and experiments.
+
+use serde::{Deserialize, Serialize};
+use simnet::SimDuration;
+
+/// Summary statistics over a set of latency samples.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency in milliseconds.
+    pub p95_ms: f64,
+    /// Maximum latency in milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Compute summary statistics from raw samples.
+    pub fn from_samples(samples: &[SimDuration]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut ms: Vec<f64> = samples.iter().map(|d| d.as_millis_f64()).collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let count = ms.len();
+        let mean = ms.iter().sum::<f64>() / count as f64;
+        let pct = |p: f64| {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            ms[idx.min(count - 1)]
+        };
+        LatencyStats {
+            count,
+            mean_ms: mean,
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            max_ms: *ms.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Aggregated outcome counters for a set of transactions (one client or one
+/// whole experiment).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Transactions attempted.
+    pub attempted: usize,
+    /// Transactions committed (any round).
+    pub committed: usize,
+    /// Transactions aborted.
+    pub aborted: usize,
+    /// Committed transactions indexed by the number of promotions they
+    /// needed: index 0 = committed on the first try, index 1 = one
+    /// promotion, and so on (the per-round bars of Figures 4–8).
+    pub commits_by_promotion: Vec<usize>,
+    /// Transactions that committed as part of a combined (multi-transaction)
+    /// log entry.
+    pub combined_commits: usize,
+    /// Read-only transactions (commit trivially, never logged).
+    pub read_only: usize,
+    /// Latency samples of committed transactions, in microseconds, grouped
+    /// by promotion round (same indexing as `commits_by_promotion`).
+    pub commit_latency_us_by_promotion: Vec<Vec<u64>>,
+    /// Latency samples of aborted transactions, in microseconds.
+    pub abort_latency_us: Vec<u64>,
+}
+
+impl RunMetrics {
+    /// Record one transaction outcome.
+    pub fn record(&mut self, result: &crate::client::TxnResult) {
+        self.attempted += 1;
+        if result.read_only {
+            self.read_only += 1;
+        }
+        if result.committed {
+            self.committed += 1;
+            let round = result.promotions as usize;
+            if self.commits_by_promotion.len() <= round {
+                self.commits_by_promotion.resize(round + 1, 0);
+                self.commit_latency_us_by_promotion
+                    .resize_with(round + 1, Vec::new);
+            }
+            self.commits_by_promotion[round] += 1;
+            self.commit_latency_us_by_promotion[round].push(result.latency.as_micros());
+            if result.combined {
+                self.combined_commits += 1;
+            }
+        } else {
+            self.aborted += 1;
+            self.abort_latency_us.push(result.latency.as_micros());
+        }
+    }
+
+    /// Merge another set of metrics into this one (e.g. per-client metrics
+    /// into an experiment total).
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.attempted += other.attempted;
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.combined_commits += other.combined_commits;
+        self.read_only += other.read_only;
+        if self.commits_by_promotion.len() < other.commits_by_promotion.len() {
+            self.commits_by_promotion
+                .resize(other.commits_by_promotion.len(), 0);
+            self.commit_latency_us_by_promotion
+                .resize_with(other.commits_by_promotion.len(), Vec::new);
+        }
+        for (i, n) in other.commits_by_promotion.iter().enumerate() {
+            self.commits_by_promotion[i] += n;
+        }
+        for (i, samples) in other.commit_latency_us_by_promotion.iter().enumerate() {
+            self.commit_latency_us_by_promotion[i].extend_from_slice(samples);
+        }
+        self.abort_latency_us.extend_from_slice(&other.abort_latency_us);
+    }
+
+    /// Commits that needed at least one promotion.
+    pub fn promoted_commits(&self) -> usize {
+        self.commits_by_promotion.iter().skip(1).sum()
+    }
+
+    /// Latency statistics of all committed transactions.
+    pub fn commit_latency(&self) -> LatencyStats {
+        let samples: Vec<SimDuration> = self
+            .commit_latency_us_by_promotion
+            .iter()
+            .flatten()
+            .map(|us| SimDuration::from_micros(*us))
+            .collect();
+        LatencyStats::from_samples(&samples)
+    }
+
+    /// Latency statistics of commits at a specific promotion round.
+    pub fn commit_latency_at_round(&self, round: usize) -> LatencyStats {
+        let samples: Vec<SimDuration> = self
+            .commit_latency_us_by_promotion
+            .get(round)
+            .map(|v| v.iter().map(|us| SimDuration::from_micros(*us)).collect())
+            .unwrap_or_default();
+        LatencyStats::from_samples(&samples)
+    }
+
+    /// Latency statistics of all transactions (committed and aborted).
+    pub fn overall_latency(&self) -> LatencyStats {
+        let samples: Vec<SimDuration> = self
+            .commit_latency_us_by_promotion
+            .iter()
+            .flatten()
+            .chain(self.abort_latency_us.iter())
+            .map(|us| SimDuration::from_micros(*us))
+            .collect();
+        LatencyStats::from_samples(&samples)
+    }
+
+    /// The highest promotion round that produced a commit.
+    pub fn max_promotion_round(&self) -> usize {
+        self.commits_by_promotion
+            .iter()
+            .rposition(|n| *n > 0)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::TxnResult;
+
+    fn result(committed: bool, promotions: u32, latency_ms: u64) -> TxnResult {
+        TxnResult {
+            committed,
+            read_only: false,
+            promotions,
+            combined: false,
+            rounds: 1,
+            latency: SimDuration::from_millis(latency_ms),
+            total_latency: SimDuration::from_millis(latency_ms),
+            abort_reason: None,
+        }
+    }
+
+    #[test]
+    fn latency_stats_from_samples() {
+        let samples: Vec<SimDuration> = (1..=100).map(SimDuration::from_millis).collect();
+        let stats = LatencyStats::from_samples(&samples);
+        assert_eq!(stats.count, 100);
+        assert!((stats.mean_ms - 50.5).abs() < 1e-9);
+        assert!((stats.p50_ms - 50.0).abs() <= 1.0);
+        assert!((stats.p95_ms - 95.0).abs() <= 1.0);
+        assert_eq!(stats.max_ms, 100.0);
+        assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn record_groups_commits_by_promotion_round() {
+        let mut m = RunMetrics::default();
+        m.record(&result(true, 0, 10));
+        m.record(&result(true, 0, 20));
+        m.record(&result(true, 2, 30));
+        m.record(&result(false, 1, 40));
+        assert_eq!(m.attempted, 4);
+        assert_eq!(m.committed, 3);
+        assert_eq!(m.aborted, 1);
+        assert_eq!(m.commits_by_promotion, vec![2, 0, 1]);
+        assert_eq!(m.promoted_commits(), 1);
+        assert_eq!(m.max_promotion_round(), 2);
+        assert_eq!(m.commit_latency().count, 3);
+        assert_eq!(m.commit_latency_at_round(0).count, 2);
+        assert_eq!(m.commit_latency_at_round(7).count, 0);
+        assert_eq!(m.overall_latency().count, 4);
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = RunMetrics::default();
+        a.record(&result(true, 0, 10));
+        let mut b = RunMetrics::default();
+        b.record(&result(true, 3, 15));
+        b.record(&result(false, 0, 5));
+        a.merge(&b);
+        assert_eq!(a.attempted, 3);
+        assert_eq!(a.committed, 2);
+        assert_eq!(a.commits_by_promotion, vec![1, 0, 0, 1]);
+        assert_eq!(a.abort_latency_us.len(), 1);
+    }
+}

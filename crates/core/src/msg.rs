@@ -1,0 +1,118 @@
+//! The wire protocol between Transaction Clients and Transaction Services.
+//!
+//! Everything a client cannot do against its local datacenter's store goes
+//! over the simulated network: the Paxos commit protocol, and the
+//! begin/read fallback used when the local datacenter is unavailable
+//! (§2.2: "If a Transaction Client cannot access the Transaction Service
+//! within its own datacenter, it can access the Transaction Service in
+//! another datacenter").
+
+use paxos::PaxosMsg;
+use walog::{GroupKey, LogPosition};
+
+/// All messages exchanged in the system.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// A commit-protocol message (client → service or service → client).
+    Paxos(PaxosMsg),
+    /// Remote `begin`: ask a service for the current read position of a
+    /// transaction group.
+    BeginRequest {
+        /// Client-chosen correlation id.
+        req_id: u64,
+        /// Transaction group.
+        group: GroupKey,
+    },
+    /// Answer to [`Msg::BeginRequest`].
+    BeginReply {
+        /// Echoed correlation id.
+        req_id: u64,
+        /// Transaction group.
+        group: GroupKey,
+        /// Read position the transaction should use.
+        read_position: LogPosition,
+    },
+    /// Remote read: ask a service for the value of one item as of a read
+    /// position.
+    ReadRequest {
+        /// Client-chosen correlation id.
+        req_id: u64,
+        /// Transaction group.
+        group: GroupKey,
+        /// Row key.
+        key: String,
+        /// Attribute name.
+        attr: String,
+        /// Read position (A2: every read of the transaction uses this).
+        read_position: LogPosition,
+    },
+    /// Answer to [`Msg::ReadRequest`].
+    ReadReply {
+        /// Echoed correlation id.
+        req_id: u64,
+        /// Transaction group.
+        group: GroupKey,
+        /// Row key.
+        key: String,
+        /// Attribute name.
+        attr: String,
+        /// The value observed, or `None` if the item has never been written
+        /// as of the read position.
+        value: Option<String>,
+        /// True when the service could not serve the read (e.g. it is still
+        /// catching up); the client should retry elsewhere.
+        unavailable: bool,
+    },
+}
+
+impl Msg {
+    /// Short tag for logging and statistics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Paxos(p) => p.kind(),
+            Msg::BeginRequest { .. } => "begin_request",
+            Msg::BeginReply { .. } => "begin_reply",
+            Msg::ReadRequest { .. } => "read_request",
+            Msg::ReadReply { .. } => "read_reply",
+        }
+    }
+}
+
+impl From<PaxosMsg> for Msg {
+    fn from(msg: PaxosMsg) -> Self {
+        Msg::Paxos(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxos::Ballot;
+
+    #[test]
+    fn kinds_and_conversion() {
+        let m: Msg = PaxosMsg::Prepare {
+            group: "g".into(),
+            position: LogPosition(1),
+            ballot: Ballot::initial(1),
+        }
+        .into();
+        assert_eq!(m.kind(), "prepare");
+        assert_eq!(
+            Msg::BeginRequest { req_id: 1, group: "g".into() }.kind(),
+            "begin_request"
+        );
+        assert_eq!(
+            Msg::ReadReply {
+                req_id: 1,
+                group: "g".into(),
+                key: "k".into(),
+                attr: "a".into(),
+                value: None,
+                unavailable: false
+            }
+            .kind(),
+            "read_reply"
+        );
+    }
+}

@@ -1,0 +1,517 @@
+//! The Transaction Service: one per datacenter (logically — the paper runs
+//! many stateless processes; state lives in the store, so one actor per
+//! datacenter is behaviourally identical).
+//!
+//! Responsibilities (§2.2, §4):
+//! * answer remote `begin` and `read` requests from Transaction Clients
+//!   whose local datacenter is unavailable;
+//! * play the Paxos acceptor role (Algorithm 1) for every log position;
+//! * install decided entries into the local write-ahead log and apply them
+//!   to the local key-value store;
+//! * catch up missing log positions by running recovery Paxos instances
+//!   proposing no-ops (§4.1, Fault Tolerance and Recovery).
+
+use crate::datacenter::SharedCore;
+use crate::directory::Directory;
+use crate::msg::Msg;
+use paxos::{
+    PaxosMsg, Proposer, ProposerAction, ProposerConfig, ProposerEvent, ReplicaId, TimerKind,
+};
+use simnet::{Actor, Context, NodeId, SimDuration};
+use std::collections::HashMap;
+use std::sync::Arc;
+use walog::{GroupKey, LogPosition};
+
+/// A remote read waiting for the local log to catch up.
+#[derive(Clone, Debug)]
+struct PendingRead {
+    from: NodeId,
+    req_id: u64,
+    group: GroupKey,
+    key: String,
+    attr: String,
+    read_position: LogPosition,
+}
+
+/// The per-datacenter Transaction Service actor.
+pub struct TransactionService {
+    replica: usize,
+    core: SharedCore,
+    directory: Arc<Directory>,
+    message_timeout: SimDuration,
+    backoff_max: SimDuration,
+    recovery: HashMap<(GroupKey, LogPosition), Proposer>,
+    /// Timer tag → (recovery instance key, proposer timer token).
+    timers: HashMap<u64, ((GroupKey, LogPosition), u64)>,
+    next_tag: u64,
+    pending_reads: Vec<PendingRead>,
+}
+
+impl TransactionService {
+    /// Create the service for `replica`, backed by the datacenter's shared
+    /// storage core.
+    pub fn new(
+        replica: usize,
+        core: SharedCore,
+        directory: Arc<Directory>,
+        message_timeout: SimDuration,
+    ) -> Self {
+        TransactionService {
+            replica,
+            core,
+            directory,
+            message_timeout,
+            backoff_max: SimDuration::from_millis(100),
+            recovery: HashMap::new(),
+            timers: HashMap::new(),
+            next_tag: 0,
+            pending_reads: Vec::new(),
+        }
+    }
+
+    /// The replica index this service belongs to.
+    pub fn replica(&self) -> usize {
+        self.replica
+    }
+
+    fn node_for_replica(&self, replica: ReplicaId) -> NodeId {
+        self.directory.service_node(replica)
+    }
+
+    fn handle_paxos(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: PaxosMsg) {
+        match msg {
+            PaxosMsg::Prepare { group, position, ballot } => {
+                let outcome = self.core.lock().acceptor().handle_prepare(&group, position, ballot);
+                ctx.send(
+                    from,
+                    Msg::Paxos(PaxosMsg::PrepareReply {
+                        group,
+                        position,
+                        ballot,
+                        promised: outcome.promised,
+                        next_bal: outcome.next_bal,
+                        last_vote: outcome.last_vote,
+                    }),
+                );
+            }
+            PaxosMsg::Accept { group, position, ballot, value } => {
+                let accepted = self
+                    .core
+                    .lock()
+                    .acceptor()
+                    .handle_accept(&group, position, ballot, &value);
+                ctx.send(
+                    from,
+                    Msg::Paxos(PaxosMsg::AcceptReply { group, position, ballot, accepted }),
+                );
+            }
+            PaxosMsg::Apply { group, position, ballot, value } => {
+                {
+                    let mut core = self.core.lock();
+                    core.acceptor().handle_apply(&group, position, ballot, &value);
+                    core.install_entry(&group, position, value);
+                }
+                // A decided position may unblock queued remote reads and
+                // makes any recovery instance for it redundant.
+                self.recovery.remove(&(group, position));
+                self.flush_pending_reads(ctx);
+            }
+            PaxosMsg::LeaderClaim { group, position } => {
+                let granted = self
+                    .core
+                    .lock()
+                    .leader_claim(&group, position, from.0 as u64);
+                ctx.send(
+                    from,
+                    Msg::Paxos(PaxosMsg::LeaderClaimReply { group, position, granted }),
+                );
+            }
+            PaxosMsg::PrepareReply {
+                ref group,
+                position,
+                ballot,
+                promised,
+                next_bal,
+                ref last_vote,
+            } => {
+                let replica = self.directory.replica_of_service(from).unwrap_or(0);
+                self.drive_recovery(
+                    ctx,
+                    (group.clone(), position),
+                    ProposerEvent::PrepareReply {
+                        from: replica,
+                        position,
+                        ballot,
+                        promised,
+                        next_bal,
+                        last_vote: last_vote.clone(),
+                    },
+                );
+            }
+            PaxosMsg::AcceptReply { ref group, position, ballot, accepted } => {
+                let replica = self.directory.replica_of_service(from).unwrap_or(0);
+                self.drive_recovery(
+                    ctx,
+                    (group.clone(), position),
+                    ProposerEvent::AcceptReply { from: replica, position, ballot, accepted },
+                );
+            }
+            PaxosMsg::LeaderClaimReply { .. } => {
+                // Recovery proposers never use the fast path; nothing to do.
+            }
+        }
+    }
+
+    fn handle_begin(&mut self, ctx: &mut Context<Msg>, from: NodeId, req_id: u64, group: GroupKey) {
+        let read_position = self.core.lock().read_position(&group);
+        ctx.send(from, Msg::BeginReply { req_id, group, read_position });
+    }
+
+    fn handle_read(&mut self, ctx: &mut Context<Msg>, pending: PendingRead) {
+        let result = self.core.lock().read(
+            &pending.group,
+            &pending.key,
+            &pending.attr,
+            pending.read_position,
+        );
+        match result {
+            Ok(value) => {
+                ctx.send(
+                    pending.from,
+                    Msg::ReadReply {
+                        req_id: pending.req_id,
+                        group: pending.group,
+                        key: pending.key,
+                        attr: pending.attr,
+                        value,
+                        unavailable: false,
+                    },
+                );
+            }
+            Err(gap) => {
+                // Start a recovery instance for every missing position, then
+                // park the read until the log catches up.
+                for position in gap.missing {
+                    self.start_recovery(ctx, pending.group.clone(), position);
+                }
+                self.pending_reads.push(pending);
+            }
+        }
+    }
+
+    fn flush_pending_reads(&mut self, ctx: &mut Context<Msg>) {
+        let pending = std::mem::take(&mut self.pending_reads);
+        for read in pending {
+            self.handle_read(ctx, read);
+        }
+    }
+
+    fn start_recovery(&mut self, ctx: &mut Context<Msg>, group: GroupKey, position: LogPosition) {
+        if self.recovery.contains_key(&(group.clone(), position)) {
+            return;
+        }
+        if self.core.lock().has_entry(&group, position) {
+            return;
+        }
+        let cfg = ProposerConfig::basic(self.directory.num_replicas());
+        let mut proposer = Proposer::new_recovery(
+            cfg,
+            group.clone(),
+            ctx.node().0 as u64,
+            position,
+        );
+        let actions = proposer.start();
+        self.recovery.insert((group.clone(), position), proposer);
+        self.apply_recovery_actions(ctx, (group, position), actions);
+    }
+
+    fn drive_recovery(
+        &mut self,
+        ctx: &mut Context<Msg>,
+        key: (GroupKey, LogPosition),
+        event: ProposerEvent,
+    ) {
+        let Some(proposer) = self.recovery.get_mut(&key) else {
+            return;
+        };
+        let actions = proposer.on_event(event);
+        self.apply_recovery_actions(ctx, key, actions);
+    }
+
+    fn apply_recovery_actions(
+        &mut self,
+        ctx: &mut Context<Msg>,
+        key: (GroupKey, LogPosition),
+        actions: Vec<ProposerAction>,
+    ) {
+        for action in actions {
+            match action {
+                ProposerAction::Broadcast(msg) => {
+                    for replica in 0..self.directory.num_replicas() {
+                        ctx.send(self.node_for_replica(replica), Msg::Paxos(msg.clone()));
+                    }
+                }
+                ProposerAction::SendToLeader(msg) => {
+                    // Recovery never uses the fast path, but route sensibly
+                    // anyway: ask our own datacenter.
+                    ctx.send(self.node_for_replica(self.replica), Msg::Paxos(msg));
+                }
+                ProposerAction::ArmTimer { token, kind } => {
+                    let delay = match kind {
+                        TimerKind::ReplyTimeout => self.message_timeout,
+                        TimerKind::Backoff => ctx.rand_backoff(self.backoff_max),
+                        TimerKind::Gather => SimDuration::from_millis(50),
+                    };
+                    self.next_tag += 1;
+                    let tag = self.next_tag;
+                    self.timers.insert(tag, (key.clone(), token));
+                    ctx.set_timer(delay, tag);
+                }
+                ProposerAction::Learned { position, entry } => {
+                    self.core.lock().install_entry(&key.0, position, entry);
+                }
+                ProposerAction::Finished(_) => {
+                    self.recovery.remove(&key);
+                    self.flush_pending_reads(ctx);
+                }
+            }
+        }
+    }
+}
+
+impl Actor<Msg> for TransactionService {
+    fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Paxos(p) => self.handle_paxos(ctx, from, p),
+            Msg::BeginRequest { req_id, group } => self.handle_begin(ctx, from, req_id, group),
+            Msg::ReadRequest { req_id, group, key, attr, read_position } => {
+                let pending = PendingRead { from, req_id, group, key, attr, read_position };
+                self.handle_read(ctx, pending);
+            }
+            Msg::BeginReply { .. } | Msg::ReadReply { .. } => {
+                // Services never issue begin/read requests; stray replies are
+                // ignored.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
+        if let Some((key, token)) = self.timers.remove(&tag) {
+            self.drive_recovery(ctx, key, ProposerEvent::Timer { token });
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<Msg>) {
+        // After an outage the service proactively catches up: it asks itself
+        // for the read position (a no-op) and relies on incoming traffic plus
+        // recovery instances started by reads to fill gaps. Pending reads
+        // accumulated before the crash are re-examined.
+        self.flush_pending_reads(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datacenter::DatacenterCore;
+    use paxos::Ballot;
+    use simnet::{NetworkConfig, Simulation};
+    use walog::{ItemRef, LogEntry, Transaction, TxnId};
+
+    /// A scripted prober actor that sends a batch of messages at start and
+    /// records everything it receives.
+    struct Prober {
+        to_send: Vec<(NodeId, Msg)>,
+        received: std::sync::Arc<parking_lot::Mutex<Vec<Msg>>>,
+    }
+
+    impl Actor<Msg> for Prober {
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            for (to, msg) in self.to_send.drain(..) {
+                ctx.send(to, msg);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+            self.received.lock().push(msg);
+        }
+    }
+
+    fn single_dc_harness(
+        to_send: impl Fn(NodeId) -> Vec<(NodeId, Msg)>,
+    ) -> (Simulation<Msg>, SharedCore, std::sync::Arc<parking_lot::Mutex<Vec<Msg>>>) {
+        let mut sim: Simulation<Msg> =
+            Simulation::new(NetworkConfig::uniform(SimDuration::from_millis(1)), 1);
+        let site = sim.add_site("dc0");
+        let core = DatacenterCore::shared("dc0", 0);
+        let directory = Directory::new();
+        let service = TransactionService::new(
+            0,
+            core.clone(),
+            directory.clone(),
+            SimDuration::from_secs(2),
+        );
+        let service_node = sim.add_node(site, Box::new(service));
+        directory.register_datacenter(service_node, core.clone());
+        let received = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let prober = Prober {
+            to_send: to_send(service_node),
+            received: received.clone(),
+        };
+        let prober_node = sim.add_node(site, Box::new(prober));
+        directory.register_client(prober_node, 0);
+        (sim, core, received)
+    }
+
+    fn entry(seq: u64, attr: &str, value: &str) -> LogEntry {
+        LogEntry::single(
+            Transaction::builder(TxnId::new(1, seq), "g", LogPosition(0))
+                .write(ItemRef::new("row", attr), value)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn service_answers_begin_requests_with_read_position() {
+        let (mut sim, core, received) = single_dc_harness(|svc| {
+            vec![(svc, Msg::BeginRequest { req_id: 1, group: "g".into() })]
+        });
+        core.lock().install_entry(&"g".into(), LogPosition(1), entry(1, "a", "1"));
+        sim.run_until_idle_capped(1_000);
+        let got = received.lock();
+        assert_eq!(got.len(), 1);
+        match &got[0] {
+            Msg::BeginReply { read_position, .. } => assert_eq!(*read_position, LogPosition(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn service_acts_as_acceptor_for_prepare_and_accept() {
+        let ballot = Ballot::initial(42);
+        let value = entry(5, "a", "v");
+        let value_clone = value.clone();
+        let (mut sim, core, received) = single_dc_harness(move |svc| {
+            vec![
+                (
+                    svc,
+                    Msg::Paxos(PaxosMsg::Prepare {
+                        group: "g".into(),
+                        position: LogPosition(1),
+                        ballot,
+                    }),
+                ),
+                (
+                    svc,
+                    Msg::Paxos(PaxosMsg::Accept {
+                        group: "g".into(),
+                        position: LogPosition(1),
+                        ballot,
+                        value: value_clone.clone(),
+                    }),
+                ),
+                (
+                    svc,
+                    Msg::Paxos(PaxosMsg::Apply {
+                        group: "g".into(),
+                        position: LogPosition(1),
+                        ballot,
+                        value: value_clone.clone(),
+                    }),
+                ),
+            ]
+        });
+        sim.run_until_idle_capped(1_000);
+        let got = received.lock();
+        assert!(got.iter().any(|m| matches!(
+            m,
+            Msg::Paxos(PaxosMsg::PrepareReply { promised: true, .. })
+        )));
+        assert!(got.iter().any(|m| matches!(
+            m,
+            Msg::Paxos(PaxosMsg::AcceptReply { accepted: true, .. })
+        )));
+        // The apply installed the entry and applied it to the store.
+        assert!(core.lock().has_entry("g", LogPosition(1)));
+        assert_eq!(
+            core.lock().read("g", "row", "a", LogPosition(1)).unwrap(),
+            Some("v".to_string())
+        );
+    }
+
+    #[test]
+    fn remote_read_is_served_at_the_requested_position() {
+        let (mut sim, core, received) = single_dc_harness(|svc| {
+            vec![(
+                svc,
+                Msg::ReadRequest {
+                    req_id: 9,
+                    group: "g".into(),
+                    key: "row".into(),
+                    attr: "a".into(),
+                    read_position: LogPosition(1),
+                },
+            )]
+        });
+        core.lock().install_entry(&"g".into(), LogPosition(1), entry(1, "a", "42"));
+        sim.run_until_idle_capped(1_000);
+        let got = received.lock();
+        assert_eq!(got.len(), 1);
+        match &got[0] {
+            Msg::ReadReply { req_id, value, unavailable, .. } => {
+                assert_eq!(*req_id, 9);
+                assert_eq!(value.as_deref(), Some("42"));
+                assert!(!unavailable);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leader_claim_granted_once_per_position() {
+        let (mut sim, _core, received) = single_dc_harness(|svc| {
+            vec![
+                (svc, Msg::Paxos(PaxosMsg::LeaderClaim { group: "g".into(), position: LogPosition(1) })),
+            ]
+        });
+        sim.run_until_idle_capped(1_000);
+        let got = received.lock();
+        assert!(matches!(
+            got[0],
+            Msg::Paxos(PaxosMsg::LeaderClaimReply { granted: true, .. })
+        ));
+    }
+
+    #[test]
+    fn read_with_log_gap_triggers_recovery_and_eventually_answers() {
+        // The service is missing position 1 but a read at position 1 arrives.
+        // With a single replica, the recovery instance reaches a majority (1
+        // of 1) by talking to itself and decides a no-op, after which the
+        // read is answered (with no value, since only a no-op committed).
+        let (mut sim, core, received) = single_dc_harness(|svc| {
+            vec![(
+                svc,
+                Msg::ReadRequest {
+                    req_id: 3,
+                    group: "g".into(),
+                    key: "row".into(),
+                    attr: "a".into(),
+                    read_position: LogPosition(1),
+                },
+            )]
+        });
+        sim.run_until_idle_capped(10_000);
+        let got = received.lock();
+        assert_eq!(got.len(), 1, "read must eventually be answered");
+        match &got[0] {
+            Msg::ReadReply { value, unavailable, .. } => {
+                assert_eq!(value, &None);
+                assert!(!unavailable);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The gap was filled with a no-op entry.
+        let core = core.lock();
+        let log = core.log("g").unwrap();
+        assert!(log.get(LogPosition(1)).unwrap().is_noop());
+    }
+}

@@ -1,0 +1,32 @@
+//! # mvkv — the per-datacenter multi-version key-value store
+//!
+//! The paper's transaction tier sits on top of a key-value store that must
+//! provide exactly three atomically executed operations (§2.2):
+//!
+//! * `read(key, timestamp) -> value` — most recent version with a timestamp
+//!   ≤ the requested one;
+//! * `write(key, value, timestamp)` — create a new version at the given
+//!   logical timestamp, failing if a version with a greater timestamp
+//!   already exists;
+//! * `checkAndWrite(key.testAttribute, testValue, key, value)` — conditional
+//!   write against the latest version of the row (the primitive the Paxos
+//!   acceptor in Algorithm 1 uses to persist its ballot state atomically).
+//!
+//! The paper uses HBase; any store with these primitives qualifies, so this
+//! crate provides a self-contained in-process implementation with the same
+//! semantics: rows are named by string keys, each version is a full
+//! attribute map (columns), and the logical timestamp of an application
+//! write is the write-ahead-log position that committed it.
+//!
+//! Writes are *merge-upserts*: a new version starts from the latest existing
+//! version and overlays the supplied attributes, which mirrors column-family
+//! stores where untouched columns remain visible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod store;
+mod types;
+
+pub use store::{CasOutcome, MvKvStore, StoreStats};
+pub use types::{Attr, Key, MvkvError, Row, Timestamp, VersionRead};

@@ -1,0 +1,379 @@
+//! The in-process multi-version store.
+
+use crate::types::{Key, MvkvError, Row, Timestamp, VersionRead};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+
+/// Outcome of a `check_and_write` (compare-and-swap) operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CasOutcome {
+    /// The test attribute matched and the write was applied.
+    Applied,
+    /// The test attribute did not match; nothing was written.
+    Rejected,
+}
+
+impl CasOutcome {
+    /// True when the conditional write was applied.
+    pub fn applied(self) -> bool {
+        matches!(self, CasOutcome::Applied)
+    }
+}
+
+/// Operation counters for a store instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of `read` calls served.
+    pub reads: u64,
+    /// Number of successful `write` calls.
+    pub writes: u64,
+    /// Number of `check_and_write` calls that applied.
+    pub cas_applied: u64,
+    /// Number of `check_and_write` calls that were rejected.
+    pub cas_rejected: u64,
+    /// Writes rejected because of a stale timestamp.
+    pub stale_writes: u64,
+}
+
+#[derive(Default)]
+struct VersionedRow {
+    versions: BTreeMap<Timestamp, Row>,
+}
+
+impl VersionedRow {
+    fn latest(&self) -> Option<(&Timestamp, &Row)> {
+        self.versions.iter().next_back()
+    }
+
+    fn at(&self, ts: Timestamp) -> Option<(&Timestamp, &Row)> {
+        self.versions.range(..=ts).next_back()
+    }
+}
+
+/// A multi-version key-value store for one datacenter.
+///
+/// All operations are atomic with respect to each other (the paper requires
+/// per-row atomicity; we provide whole-store atomicity, which is strictly
+/// stronger and does not change protocol behaviour). The store is cheap to
+/// share: clone an `Arc<MvKvStore>` per user.
+#[derive(Default)]
+pub struct MvKvStore {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    rows: HashMap<Key, VersionedRow>,
+    stats: StoreStats,
+}
+
+impl MvKvStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        MvKvStore::default()
+    }
+
+    /// Read the most recent version of `key` with timestamp ≤ `at`.
+    /// With `at = None`, reads the most recent version.
+    pub fn read(&self, key: &str, at: Option<Timestamp>) -> Option<VersionRead> {
+        let mut inner = self.inner.write();
+        inner.stats.reads += 1;
+        let row = inner.rows.get(key)?;
+        let found = match at {
+            Some(ts) => row.at(ts),
+            None => row.latest(),
+        };
+        found.map(|(ts, row)| VersionRead {
+            timestamp: *ts,
+            row: row.clone(),
+        })
+    }
+
+    /// Read a single attribute of `key` as of timestamp `at`.
+    pub fn read_attr(&self, key: &str, attr: &str, at: Option<Timestamp>) -> Option<String> {
+        self.read(key, at)
+            .and_then(|v| v.row.get(attr).map(str::to_owned))
+    }
+
+    /// Write `attrs` as a new version of `key`.
+    ///
+    /// The new version is the latest version overlaid with `attrs`
+    /// (merge-upsert). If `ts` is given, it must be strictly greater than
+    /// the latest existing version; otherwise a timestamp one greater than
+    /// the latest is generated. Returns the timestamp actually written.
+    pub fn write(&self, key: &str, attrs: Row, ts: Option<Timestamp>) -> Result<Timestamp, MvkvError> {
+        let mut inner = self.inner.write();
+        let row = inner.rows.entry(key.to_owned()).or_default();
+        let latest = row.latest().map(|(ts, _)| *ts);
+        let target = match (ts, latest) {
+            (Some(t), Some(l)) if t <= l => {
+                inner.stats.stale_writes += 1;
+                return Err(MvkvError::StaleTimestamp {
+                    attempted: t,
+                    latest: l,
+                });
+            }
+            (Some(t), _) => t,
+            (None, Some(l)) => l.next(),
+            (None, None) => Timestamp(1),
+        };
+        let merged = match row.latest() {
+            Some((_, base)) => base.merged_with(&attrs),
+            None => attrs,
+        };
+        row.versions.insert(target, merged);
+        inner.stats.writes += 1;
+        Ok(target)
+    }
+
+    /// Write at a specific timestamp, treating an existing version at **the
+    /// same or greater** timestamp as success-without-effect (idempotent
+    /// replay). Used when applying write-ahead-log entries: applying the same
+    /// log position twice must not fail.
+    pub fn apply_idempotent(&self, key: &str, attrs: Row, ts: Timestamp) -> bool {
+        match self.write(key, attrs, Some(ts)) {
+            Ok(_) => true,
+            Err(MvkvError::StaleTimestamp { .. }) => false,
+        }
+    }
+
+    /// The paper's `checkAndWrite`: if the **latest** version of `key` has
+    /// `test_attr` equal to `expected` (a missing row or attribute matches
+    /// `expected = None`), write `attrs` as a new version and report
+    /// [`CasOutcome::Applied`]; otherwise write nothing.
+    pub fn check_and_write(
+        &self,
+        key: &str,
+        test_attr: &str,
+        expected: Option<&str>,
+        attrs: Row,
+    ) -> CasOutcome {
+        let mut inner = self.inner.write();
+        let row = inner.rows.entry(key.to_owned()).or_default();
+        let current = row
+            .latest()
+            .and_then(|(_, r)| r.get(test_attr).map(str::to_owned));
+        if current.as_deref() != expected {
+            inner.stats.cas_rejected += 1;
+            return CasOutcome::Rejected;
+        }
+        let target = row.latest().map(|(ts, _)| ts.next()).unwrap_or(Timestamp(1));
+        let merged = match row.latest() {
+            Some((_, base)) => base.merged_with(&attrs),
+            None => attrs,
+        };
+        row.versions.insert(target, merged);
+        inner.stats.writes += 1;
+        inner.stats.cas_applied += 1;
+        CasOutcome::Applied
+    }
+
+    /// The latest version timestamp of `key`, if any version exists.
+    pub fn latest_timestamp(&self, key: &str) -> Option<Timestamp> {
+        self.inner
+            .read()
+            .rows
+            .get(key)
+            .and_then(|r| r.latest().map(|(ts, _)| *ts))
+    }
+
+    /// Number of stored versions of `key`.
+    pub fn version_count(&self, key: &str) -> usize {
+        self.inner
+            .read()
+            .rows
+            .get(key)
+            .map(|r| r.versions.len())
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct keys with at least one version.
+    pub fn key_count(&self) -> usize {
+        self.inner.read().rows.len()
+    }
+
+    /// Drop all versions of `key` strictly older than `keep_from`, keeping at
+    /// least the latest version. Returns the number of versions removed.
+    pub fn gc_versions_before(&self, key: &str, keep_from: Timestamp) -> usize {
+        let mut inner = self.inner.write();
+        let Some(row) = inner.rows.get_mut(key) else {
+            return 0;
+        };
+        let latest = match row.latest() {
+            Some((ts, _)) => *ts,
+            None => return 0,
+        };
+        let cutoff = keep_from.min(latest);
+        let keep = row.versions.split_off(&cutoff);
+        let removed = row.versions.len();
+        row.versions = keep;
+        removed
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.read().stats
+    }
+
+    /// All keys currently present (sorted), mainly for debugging and tests.
+    pub fn keys(&self) -> Vec<Key> {
+        let mut keys: Vec<_> = self.inner.read().rows.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(pairs: &[(&str, &str)]) -> Row {
+        Row::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn read_returns_latest_version_at_or_before_timestamp() {
+        let store = MvKvStore::new();
+        store.write("k", row(&[("a", "v1")]), Some(Timestamp(1))).unwrap();
+        store.write("k", row(&[("a", "v3")]), Some(Timestamp(3))).unwrap();
+
+        let at2 = store.read("k", Some(Timestamp(2))).unwrap();
+        assert_eq!(at2.timestamp, Timestamp(1));
+        assert_eq!(at2.row.get("a"), Some("v1"));
+
+        let at3 = store.read("k", Some(Timestamp(3))).unwrap();
+        assert_eq!(at3.row.get("a"), Some("v3"));
+
+        let latest = store.read("k", None).unwrap();
+        assert_eq!(latest.timestamp, Timestamp(3));
+
+        assert!(store.read("k", Some(Timestamp::ZERO)).is_none());
+        assert!(store.read("missing", None).is_none());
+    }
+
+    #[test]
+    fn write_merges_with_previous_version() {
+        let store = MvKvStore::new();
+        store.write("k", row(&[("a", "1"), ("b", "2")]), Some(Timestamp(1))).unwrap();
+        store.write("k", row(&[("b", "20")]), Some(Timestamp(2))).unwrap();
+        let v = store.read("k", None).unwrap();
+        assert_eq!(v.row.get("a"), Some("1"));
+        assert_eq!(v.row.get("b"), Some("20"));
+        // The old version is still readable.
+        let old = store.read("k", Some(Timestamp(1))).unwrap();
+        assert_eq!(old.row.get("b"), Some("2"));
+    }
+
+    #[test]
+    fn stale_write_is_rejected_with_error() {
+        let store = MvKvStore::new();
+        store.write("k", row(&[("a", "1")]), Some(Timestamp(5))).unwrap();
+        let err = store
+            .write("k", row(&[("a", "2")]), Some(Timestamp(5)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MvkvError::StaleTimestamp {
+                attempted: Timestamp(5),
+                latest: Timestamp(5)
+            }
+        );
+        assert_eq!(store.stats().stale_writes, 1);
+    }
+
+    #[test]
+    fn apply_idempotent_swallows_replays() {
+        let store = MvKvStore::new();
+        assert!(store.apply_idempotent("k", row(&[("a", "1")]), Timestamp(4)));
+        assert!(!store.apply_idempotent("k", row(&[("a", "1")]), Timestamp(4)));
+        assert_eq!(store.version_count("k"), 1);
+    }
+
+    #[test]
+    fn generated_timestamps_are_monotonic() {
+        let store = MvKvStore::new();
+        let t1 = store.write("k", row(&[("a", "1")]), None).unwrap();
+        let t2 = store.write("k", row(&[("a", "2")]), None).unwrap();
+        assert!(t2 > t1);
+        assert_eq!(t1, Timestamp(1));
+        assert_eq!(t2, Timestamp(2));
+    }
+
+    #[test]
+    fn check_and_write_applies_only_on_match() {
+        let store = MvKvStore::new();
+        // Missing row: expected None matches.
+        assert_eq!(
+            store.check_and_write("p", "nextBal", None, row(&[("nextBal", "3")])),
+            CasOutcome::Applied
+        );
+        // Wrong expectation rejected.
+        assert_eq!(
+            store.check_and_write("p", "nextBal", Some("99"), row(&[("nextBal", "5")])),
+            CasOutcome::Rejected
+        );
+        assert_eq!(store.read_attr("p", "nextBal", None).as_deref(), Some("3"));
+        // Correct expectation applied, other attributes preserved via merge.
+        store.write("p", row(&[("other", "x")]), None).unwrap();
+        assert_eq!(
+            store.check_and_write("p", "nextBal", Some("3"), row(&[("nextBal", "7")])),
+            CasOutcome::Applied
+        );
+        let v = store.read("p", None).unwrap();
+        assert_eq!(v.row.get("nextBal"), Some("7"));
+        assert_eq!(v.row.get("other"), Some("x"));
+        let stats = store.stats();
+        assert_eq!(stats.cas_applied, 2);
+        assert_eq!(stats.cas_rejected, 1);
+    }
+
+    #[test]
+    fn cas_on_missing_attribute_matches_none() {
+        let store = MvKvStore::new();
+        store.write("p", row(&[("other", "x")]), None).unwrap();
+        assert_eq!(
+            store.check_and_write("p", "nextBal", None, row(&[("nextBal", "1")])),
+            CasOutcome::Applied
+        );
+    }
+
+    #[test]
+    fn gc_keeps_latest_and_later_versions() {
+        let store = MvKvStore::new();
+        for i in 1..=5 {
+            store.write("k", row(&[("a", &i.to_string())]), Some(Timestamp(i))).unwrap();
+        }
+        let removed = store.gc_versions_before("k", Timestamp(4));
+        assert_eq!(removed, 3);
+        assert_eq!(store.version_count("k"), 2);
+        assert!(store.read("k", Some(Timestamp(3))).is_none());
+        assert_eq!(store.read("k", None).unwrap().timestamp, Timestamp(5));
+        // GC past the latest version still keeps the latest.
+        let removed = store.gc_versions_before("k", Timestamp(100));
+        assert_eq!(removed, 1);
+        assert_eq!(store.version_count("k"), 1);
+        assert_eq!(store.gc_versions_before("missing", Timestamp(1)), 0);
+    }
+
+    #[test]
+    fn key_listing_and_counts() {
+        let store = MvKvStore::new();
+        store.write("b", Row::new().with("x", "1"), None).unwrap();
+        store.write("a", Row::new().with("x", "1"), None).unwrap();
+        assert_eq!(store.key_count(), 2);
+        assert_eq!(store.keys(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(store.latest_timestamp("a"), Some(Timestamp(1)));
+        assert_eq!(store.latest_timestamp("zzz"), None);
+    }
+
+    #[test]
+    fn reads_are_counted() {
+        let store = MvKvStore::new();
+        store.write("k", Row::new().with("a", "1"), None).unwrap();
+        store.read("k", None);
+        store.read("k", None);
+        store.read("nope", None);
+        assert_eq!(store.stats().reads, 3);
+        assert_eq!(store.stats().writes, 1);
+    }
+}

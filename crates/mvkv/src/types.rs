@@ -1,0 +1,204 @@
+//! Core value types for the multi-version store.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Row key. Keys are unique within and across applications (the transaction
+/// group key of the paper is just another row key prefix).
+pub type Key = String;
+
+/// Attribute (column) name within a row.
+pub type Attr = String;
+
+/// Logical timestamp of a row version.
+///
+/// In the transaction tier a committed transaction's write-ahead-log
+/// position serves as the timestamp of every write it contains (§3.2), so
+/// timestamps are small dense integers rather than wall-clock values.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The smallest timestamp; no committed data carries it.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The next timestamp after this one.
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts({})", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A single version of a row: an attribute (column) → value map.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Row(BTreeMap<Attr, String>);
+
+impl Row {
+    /// An empty row.
+    pub fn new() -> Self {
+        Row(BTreeMap::new())
+    }
+
+    /// Build a row from attribute/value pairs.
+    pub fn from_pairs<I, A, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (A, V)>,
+        A: Into<Attr>,
+        V: Into<String>,
+    {
+        Row(pairs
+            .into_iter()
+            .map(|(a, v)| (a.into(), v.into()))
+            .collect())
+    }
+
+    /// Set an attribute, returning `self` for chaining.
+    pub fn with(mut self, attr: impl Into<Attr>, value: impl Into<String>) -> Self {
+        self.set(attr, value);
+        self
+    }
+
+    /// Set an attribute in place.
+    pub fn set(&mut self, attr: impl Into<Attr>, value: impl Into<String>) {
+        self.0.insert(attr.into(), value.into());
+    }
+
+    /// Get an attribute value.
+    pub fn get(&self, attr: &str) -> Option<&str> {
+        self.0.get(attr).map(String::as_str)
+    }
+
+    /// Whether the row has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Iterate over attribute/value pairs in attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(a, v)| (a.as_str(), v.as_str()))
+    }
+
+    /// Overlay `other` on top of this row: attributes in `other` win,
+    /// attributes only in `self` are preserved. This is the merge-upsert
+    /// behaviour of column-family stores.
+    pub fn merged_with(&self, other: &Row) -> Row {
+        let mut out = self.0.clone();
+        for (a, v) in &other.0 {
+            out.insert(a.clone(), v.clone());
+        }
+        Row(out)
+    }
+}
+
+impl<A: Into<Attr>, V: Into<String>> FromIterator<(A, V)> for Row {
+    fn from_iter<T: IntoIterator<Item = (A, V)>>(iter: T) -> Self {
+        Row::from_pairs(iter)
+    }
+}
+
+/// The result of a successful versioned read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VersionRead {
+    /// Timestamp of the version returned.
+    pub timestamp: Timestamp,
+    /// The row contents at that version.
+    pub row: Row,
+}
+
+/// Errors surfaced by the store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MvkvError {
+    /// A `write` specified a timestamp that is not greater than the latest
+    /// existing version of the row (the paper's "if a version with greater
+    /// timestamp exists, an error is returned").
+    StaleTimestamp {
+        /// Timestamp the caller attempted to write at.
+        attempted: Timestamp,
+        /// Latest version that already exists.
+        latest: Timestamp,
+    },
+}
+
+impl fmt::Display for MvkvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvkvError::StaleTimestamp { attempted, latest } => write!(
+                f,
+                "stale write at ts {attempted}: a version with timestamp {latest} already exists"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MvkvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_builder_and_accessors() {
+        let row = Row::new().with("a", "1").with("b", "2");
+        assert_eq!(row.get("a"), Some("1"));
+        assert_eq!(row.get("missing"), None);
+        assert_eq!(row.len(), 2);
+        assert!(!row.is_empty());
+        let pairs: Vec<_> = row.iter().collect();
+        assert_eq!(pairs, vec![("a", "1"), ("b", "2")]);
+    }
+
+    #[test]
+    fn merge_overlays_new_attributes_and_keeps_old() {
+        let base = Row::new().with("a", "1").with("b", "2");
+        let delta = Row::new().with("b", "20").with("c", "30");
+        let merged = base.merged_with(&delta);
+        assert_eq!(merged.get("a"), Some("1"));
+        assert_eq!(merged.get("b"), Some("20"));
+        assert_eq!(merged.get("c"), Some("30"));
+        // Originals untouched.
+        assert_eq!(base.get("b"), Some("2"));
+    }
+
+    #[test]
+    fn timestamp_ordering_and_next() {
+        assert!(Timestamp(3) > Timestamp(2));
+        assert_eq!(Timestamp(3).next(), Timestamp(4));
+        assert_eq!(Timestamp::ZERO.next(), Timestamp(1));
+        assert_eq!(format!("{}", Timestamp(7)), "7");
+    }
+
+    #[test]
+    fn error_display_mentions_both_timestamps() {
+        let e = MvkvError::StaleTimestamp {
+            attempted: Timestamp(3),
+            latest: Timestamp(9),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains('9'));
+    }
+
+    #[test]
+    fn row_from_iterator() {
+        let row: Row = vec![("x", "1"), ("y", "2")].into_iter().collect();
+        assert_eq!(row.get("y"), Some("2"));
+    }
+}

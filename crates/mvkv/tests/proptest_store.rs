@@ -1,0 +1,133 @@
+//! Property-based tests for the multi-version store.
+//!
+//! The key invariant used by the transaction tier is snapshot stability:
+//! once a read at timestamp `t` has returned a value, later writes (which
+//! must carry strictly larger timestamps) never change what a read at `t`
+//! returns. Correctness of the read position mechanism (A2) rests on this.
+
+use mvkv::{MvKvStore, Row, Timestamp};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { key: u8, attr: u8, value: u16 },
+    Read { key: u8, at: Option<u64> },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u8..4, any::<u16>()).prop_map(|(key, attr, value)| Op::Write { key, attr, value }),
+        (0u8..4, proptest::option::of(0u64..40)).prop_map(|(key, at)| Op::Read { key, at }),
+    ]
+}
+
+/// One modelled version: its timestamp and full attribute map.
+type ModelVersion = (u64, BTreeMap<u8, u16>);
+
+/// A naive reference model: for each key, the full list of versions in write
+/// order.
+#[derive(Default)]
+struct Model {
+    versions: BTreeMap<u8, Vec<ModelVersion>>,
+}
+
+impl Model {
+    fn write(&mut self, key: u8, attr: u8, value: u16) -> u64 {
+        let versions = self.versions.entry(key).or_default();
+        let mut merged = versions.last().map(|(_, m)| m.clone()).unwrap_or_default();
+        merged.insert(attr, value);
+        let ts = versions.last().map(|(t, _)| t + 1).unwrap_or(1);
+        versions.push((ts, merged));
+        ts
+    }
+
+    fn read(&self, key: u8, at: Option<u64>) -> Option<(u64, BTreeMap<u8, u16>)> {
+        let versions = self.versions.get(&key)?;
+        match at {
+            None => versions.last().cloned(),
+            Some(t) => versions.iter().rev().find(|(ts, _)| *ts <= t).cloned(),
+        }
+    }
+}
+
+fn to_row(map: &BTreeMap<u8, u16>) -> Row {
+    Row::from_pairs(map.iter().map(|(a, v)| (format!("a{a}"), v.to_string())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The store agrees with a simple single-threaded reference model for
+    /// arbitrary interleavings of merge-writes and timestamped reads.
+    #[test]
+    fn store_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let store = MvKvStore::new();
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Write { key, attr, value } => {
+                    let expected_ts = model.write(key, attr, value);
+                    let got = store
+                        .write(&format!("k{key}"), Row::new().with(format!("a{attr}"), value.to_string()), None)
+                        .unwrap();
+                    prop_assert_eq!(got, Timestamp(expected_ts));
+                }
+                Op::Read { key, at } => {
+                    let expected = model.read(key, at);
+                    let got = store.read(&format!("k{key}"), at.map(Timestamp));
+                    match (expected, got) {
+                        (None, None) => {}
+                        (Some((ts, map)), Some(read)) => {
+                            prop_assert_eq!(read.timestamp, Timestamp(ts));
+                            prop_assert_eq!(read.row, to_row(&map));
+                        }
+                        (e, g) => prop_assert!(false, "model {:?} vs store {:?}", e, g.map(|v| v.timestamp)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Snapshot stability: a read at a fixed timestamp returns the same value
+    /// before and after any sequence of later writes.
+    #[test]
+    fn snapshot_reads_are_stable(
+        prefix in proptest::collection::vec((0u8..3, any::<u16>()), 1..20),
+        suffix in proptest::collection::vec((0u8..3, any::<u16>()), 1..20),
+    ) {
+        let store = MvKvStore::new();
+        for (attr, value) in &prefix {
+            store.write("row", Row::new().with(format!("a{attr}"), value.to_string()), None).unwrap();
+        }
+        let snapshot_ts = store.latest_timestamp("row").unwrap();
+        let before = store.read("row", Some(snapshot_ts)).unwrap();
+        for (attr, value) in &suffix {
+            store.write("row", Row::new().with(format!("a{attr}"), value.to_string()), None).unwrap();
+        }
+        let after = store.read("row", Some(snapshot_ts)).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    /// check_and_write never applies when the expectation is wrong, and
+    /// always applies when it is right (single-threaded).
+    #[test]
+    fn cas_respects_expectation(values in proptest::collection::vec(0u16..1000, 1..30)) {
+        let store = MvKvStore::new();
+        let mut current: Option<String> = None;
+        for v in values {
+            let next = v.to_string();
+            // Wrong expectation: guaranteed different from current.
+            let wrong = Some("not-the-value");
+            prop_assert!(!store
+                .check_and_write("k", "attr", wrong, Row::new().with("attr", next.clone()))
+                .applied());
+            // Right expectation applies.
+            prop_assert!(store
+                .check_and_write("k", "attr", current.as_deref(), Row::new().with("attr", next.clone()))
+                .applied());
+            current = Some(next);
+        }
+        prop_assert_eq!(store.read_attr("k", "attr", None), current);
+    }
+}

@@ -1,0 +1,292 @@
+//! The acceptor role of the Transaction Service (Algorithm 1).
+//!
+//! The service is stateless: all Paxos state for a log position —
+//! `⟨nextBal, ballotNumber, value⟩` — lives in the local key-value store and
+//! is updated with `checkAndWrite`, so any service process in the
+//! datacenter can handle any message. This module wraps an [`mvkv`] store
+//! with exactly those reads and conditional writes.
+
+use crate::ballot::Ballot;
+use mvkv::{MvKvStore, Row};
+use walog::{GroupKey, LogEntry, LogPosition};
+
+/// Attribute names used for acceptor state rows.
+const ATTR_NEXT_BAL: &str = "nextBal";
+const ATTR_VOTE_BAL: &str = "ballotNumber";
+const ATTR_VALUE: &str = "value";
+
+/// Outcome of handling a prepare message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrepareOutcome {
+    /// Whether the promise was made (the prepare's ballot exceeded the
+    /// stored `nextBal`).
+    pub promised: bool,
+    /// The highest promised ballot after handling the message.
+    pub next_bal: Option<Ballot>,
+    /// The vote already cast for the position, if any.
+    pub last_vote: Option<(Ballot, LogEntry)>,
+}
+
+/// Stateless acceptor operating against a datacenter's key-value store.
+///
+/// Each `(group, position)` pair has its own state row; the row key embeds
+/// both so Paxos metadata never collides with application data.
+pub struct AcceptorStore<'a> {
+    store: &'a MvKvStore,
+}
+
+impl<'a> AcceptorStore<'a> {
+    /// Wrap a datacenter's store.
+    pub fn new(store: &'a MvKvStore) -> Self {
+        AcceptorStore { store }
+    }
+
+    /// The row key holding the instance state for `(group, position)`.
+    pub fn state_key(group: &str, position: LogPosition) -> String {
+        format!("__paxos/{group}/{position}")
+    }
+
+    fn read_state(
+        &self,
+        group: &str,
+        position: LogPosition,
+    ) -> (Option<Ballot>, Option<(Ballot, LogEntry)>) {
+        let key = Self::state_key(group, position);
+        let Some(version) = self.store.read(&key, None) else {
+            return (None, None);
+        };
+        let next_bal = version.row.get(ATTR_NEXT_BAL).and_then(Ballot::decode);
+        let vote = match (version.row.get(ATTR_VOTE_BAL), version.row.get(ATTR_VALUE)) {
+            (Some(bal), Some(value)) => Ballot::decode(bal)
+                .zip(serde_json::from_str::<LogEntry>(value).ok()),
+            _ => None,
+        };
+        (next_bal, vote)
+    }
+
+    /// Handle a `prepare` message (Algorithm 1, lines 3–15): promise not to
+    /// accept ballots lower than `ballot` if it exceeds the current
+    /// `nextBal`, and report the last vote either way.
+    ///
+    /// The compare-and-swap loop mirrors the pseudocode: the promise is only
+    /// recorded if `nextBal` has not changed since it was read, otherwise
+    /// the read is retried.
+    pub fn handle_prepare(
+        &self,
+        group: &GroupKey,
+        position: LogPosition,
+        ballot: Ballot,
+    ) -> PrepareOutcome {
+        let key = Self::state_key(group, position);
+        loop {
+            let (next_bal, last_vote) = self.read_state(group, position);
+            let exceeds = match next_bal {
+                Some(current) => ballot > current,
+                None => true,
+            };
+            if !exceeds {
+                return PrepareOutcome {
+                    promised: false,
+                    next_bal,
+                    last_vote,
+                };
+            }
+            let applied = self
+                .store
+                .check_and_write(
+                    &key,
+                    ATTR_NEXT_BAL,
+                    next_bal.map(Ballot::encode).as_deref(),
+                    Row::new().with(ATTR_NEXT_BAL, ballot.encode()),
+                )
+                .applied();
+            if applied {
+                return PrepareOutcome {
+                    promised: true,
+                    next_bal: Some(ballot),
+                    last_vote,
+                };
+            }
+            // nextBal changed under us (another service process of the same
+            // datacenter raced); re-read and re-evaluate, exactly like the
+            // `keepTrying` loop in the paper.
+        }
+    }
+
+    /// Handle an `accept` message (Algorithm 1, lines 16–19): cast the vote
+    /// iff `ballot` equals the most recent promise. A round-0 fast-path
+    /// ballot is additionally allowed to be accepted when no promise has
+    /// been made yet (the leader optimization skips the prepare phase).
+    pub fn handle_accept(
+        &self,
+        group: &GroupKey,
+        position: LogPosition,
+        ballot: Ballot,
+        value: &LogEntry,
+    ) -> bool {
+        let key = Self::state_key(group, position);
+        let encoded = serde_json::to_string(value).expect("log entries serialize");
+        let vote_row = Row::new()
+            .with(ATTR_VOTE_BAL, ballot.encode())
+            .with(ATTR_VALUE, encoded)
+            .with(ATTR_NEXT_BAL, ballot.encode());
+        let (next_bal, _) = self.read_state(group, position);
+        match next_bal {
+            // Regular path: the accept's ballot must match the promise
+            // recorded by the prepare phase.
+            Some(current) if current == ballot => self
+                .store
+                .check_and_write(&key, ATTR_NEXT_BAL, Some(&current.encode()), vote_row)
+                .applied(),
+            // Fast path: nothing promised yet and the proposer used the
+            // reserved round-0 ballot granted by the position's leader.
+            None if ballot.is_fast() => self
+                .store
+                .check_and_write(&key, ATTR_NEXT_BAL, None, vote_row)
+                .applied(),
+            _ => false,
+        }
+    }
+
+    /// Handle an `apply` message (Algorithm 1, lines 20–21): record the
+    /// chosen value unconditionally. Returns the decided entry so the
+    /// embedding service can install it in its write-ahead log.
+    pub fn handle_apply(
+        &self,
+        group: &GroupKey,
+        position: LogPosition,
+        ballot: Ballot,
+        value: &LogEntry,
+    ) -> LogEntry {
+        let key = Self::state_key(group, position);
+        let encoded = serde_json::to_string(value).expect("log entries serialize");
+        // Unconditional overwrite of the vote attributes, as in the paper.
+        let _ = self.store.write(
+            &key,
+            Row::new()
+                .with(ATTR_VOTE_BAL, ballot.encode())
+                .with(ATTR_VALUE, encoded),
+            None,
+        );
+        value.clone()
+    }
+
+    /// The vote currently recorded for `(group, position)`, if any — used by
+    /// recovering services and by tests.
+    pub fn current_vote(
+        &self,
+        group: &GroupKey,
+        position: LogPosition,
+    ) -> Option<(Ballot, LogEntry)> {
+        self.read_state(group, position).1
+    }
+
+    /// The highest promised ballot for `(group, position)`, if any.
+    pub fn promised_ballot(&self, group: &GroupKey, position: LogPosition) -> Option<Ballot> {
+        self.read_state(group, position).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walog::{ItemRef, Transaction, TxnId};
+
+    fn entry(seq: u64) -> LogEntry {
+        LogEntry::single(
+            Transaction::builder(TxnId::new(1, seq), "g", LogPosition(0))
+                .write(ItemRef::new("row", "a"), seq.to_string())
+                .build(),
+        )
+    }
+
+    fn group() -> GroupKey {
+        "g".to_string()
+    }
+
+    #[test]
+    fn prepare_promises_increasing_ballots_only() {
+        let store = MvKvStore::new();
+        let acc = AcceptorStore::new(&store);
+        let b1 = Ballot { round: 1, proposer: 1 };
+        let b2 = Ballot { round: 2, proposer: 2 };
+
+        let out = acc.handle_prepare(&group(), LogPosition(1), b2);
+        assert!(out.promised);
+        assert_eq!(out.next_bal, Some(b2));
+        assert!(out.last_vote.is_none());
+
+        // A lower ballot is refused and told about the higher promise.
+        let out = acc.handle_prepare(&group(), LogPosition(1), b1);
+        assert!(!out.promised);
+        assert_eq!(out.next_bal, Some(b2));
+
+        // Re-preparing with a higher ballot works.
+        let b3 = Ballot { round: 3, proposer: 1 };
+        assert!(acc.handle_prepare(&group(), LogPosition(1), b3).promised);
+        assert_eq!(acc.promised_ballot(&group(), LogPosition(1)), Some(b3));
+    }
+
+    #[test]
+    fn accept_requires_matching_promise() {
+        let store = MvKvStore::new();
+        let acc = AcceptorStore::new(&store);
+        let b1 = Ballot { round: 1, proposer: 1 };
+        let b2 = Ballot { round: 2, proposer: 2 };
+        let value = entry(1);
+
+        // No promise yet: regular ballot refused.
+        assert!(!acc.handle_accept(&group(), LogPosition(1), b1, &value));
+
+        acc.handle_prepare(&group(), LogPosition(1), b1);
+        assert!(acc.handle_accept(&group(), LogPosition(1), b1, &value));
+        let vote = acc.current_vote(&group(), LogPosition(1)).unwrap();
+        assert_eq!(vote.0, b1);
+        assert_eq!(vote.1, value);
+
+        // A later promise invalidates the old ballot for accepts.
+        acc.handle_prepare(&group(), LogPosition(1), b2);
+        assert!(!acc.handle_accept(&group(), LogPosition(1), b1, &entry(9)));
+        // But the vote for b1 is still reported as the last vote.
+        let out = acc.handle_prepare(&group(), LogPosition(1), Ballot { round: 3, proposer: 3 });
+        assert_eq!(out.last_vote.unwrap().1, value);
+    }
+
+    #[test]
+    fn fast_path_accept_works_only_on_untouched_position() {
+        let store = MvKvStore::new();
+        let acc = AcceptorStore::new(&store);
+        let fast = Ballot::fast(7);
+        let value = entry(1);
+        assert!(acc.handle_accept(&group(), LogPosition(1), fast, &value));
+        // A second fast accept for the same position (different proposer)
+        // is refused: the position is no longer untouched.
+        assert!(!acc.handle_accept(&group(), LogPosition(1), Ballot::fast(8), &entry(2)));
+        // Regular prepare with round >= 1 supersedes the fast vote but
+        // reports it, so the new proposer adopts the old value.
+        let out = acc.handle_prepare(&group(), LogPosition(1), Ballot::initial(9));
+        assert!(out.promised);
+        assert_eq!(out.last_vote.unwrap().1, value);
+    }
+
+    #[test]
+    fn apply_records_value_and_returns_it() {
+        let store = MvKvStore::new();
+        let acc = AcceptorStore::new(&store);
+        let b = Ballot { round: 4, proposer: 2 };
+        let value = entry(3);
+        let returned = acc.handle_apply(&group(), LogPosition(2), b, &value);
+        assert_eq!(returned, value);
+        assert_eq!(acc.current_vote(&group(), LogPosition(2)).unwrap().1, value);
+    }
+
+    #[test]
+    fn instances_for_different_positions_and_groups_are_independent() {
+        let store = MvKvStore::new();
+        let acc = AcceptorStore::new(&store);
+        let b = Ballot { round: 1, proposer: 1 };
+        acc.handle_prepare(&group(), LogPosition(1), b);
+        assert!(acc.promised_ballot(&group(), LogPosition(2)).is_none());
+        assert!(acc.promised_ballot(&"other".to_string(), LogPosition(1)).is_none());
+    }
+}

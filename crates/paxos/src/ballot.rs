@@ -1,0 +1,104 @@
+//! Proposal (ballot) numbers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A proposal number: globally unique and totally ordered.
+///
+/// Uniqueness comes from embedding the proposing client's id; ordering is by
+/// round first, then client id. Round 0 is reserved for the leader fast
+/// path: an accept with a round-0 ballot may be accepted by a replica that
+/// has not yet promised anything (skipping the prepare phase).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct Ballot {
+    /// Monotonically increasing round chosen by the proposer.
+    pub round: u64,
+    /// Node id of the proposing client (tie-breaker and uniqueness).
+    pub proposer: u64,
+}
+
+impl Ballot {
+    /// The fast-path ballot for a proposer: round 0.
+    pub fn fast(proposer: u64) -> Self {
+        Ballot { round: 0, proposer }
+    }
+
+    /// The first regular (non-fast-path) ballot for a proposer.
+    pub fn initial(proposer: u64) -> Self {
+        Ballot { round: 1, proposer }
+    }
+
+    /// A ballot strictly greater than both `self` and `other` (if any),
+    /// keeping this proposer's identity. Implements `nextPropNumber`.
+    pub fn advance_past(self, other: Option<Ballot>) -> Ballot {
+        let floor = other.map(|b| b.round).unwrap_or(0).max(self.round);
+        Ballot {
+            round: floor + 1,
+            proposer: self.proposer,
+        }
+    }
+
+    /// True for the round-0 fast-path ballot.
+    pub fn is_fast(self) -> bool {
+        self.round == 0
+    }
+
+    /// Encode for storage as a key-value attribute.
+    pub fn encode(self) -> String {
+        format!("{}:{}", self.round, self.proposer)
+    }
+
+    /// Decode from the attribute encoding; `None` for malformed input.
+    pub fn decode(s: &str) -> Option<Ballot> {
+        let (round, proposer) = s.split_once(':')?;
+        Some(Ballot {
+            round: round.parse().ok()?,
+            proposer: proposer.parse().ok()?,
+        })
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round, self.proposer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_round_then_proposer() {
+        assert!(Ballot { round: 2, proposer: 1 } > Ballot { round: 1, proposer: 9 });
+        assert!(Ballot { round: 1, proposer: 2 } > Ballot { round: 1, proposer: 1 });
+        assert!(Ballot::fast(3) < Ballot::initial(1));
+    }
+
+    #[test]
+    fn advance_past_exceeds_both_inputs() {
+        let mine = Ballot { round: 2, proposer: 7 };
+        let seen = Ballot { round: 9, proposer: 1 };
+        let next = mine.advance_past(Some(seen));
+        assert!(next > mine && next > seen);
+        assert_eq!(next.proposer, 7);
+        let next2 = mine.advance_past(None);
+        assert_eq!(next2.round, 3);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let b = Ballot { round: 42, proposer: 17 };
+        assert_eq!(Ballot::decode(&b.encode()), Some(b));
+        assert_eq!(Ballot::decode("garbage"), None);
+        assert_eq!(Ballot::decode("1:x"), None);
+    }
+
+    #[test]
+    fn fast_path_detection() {
+        assert!(Ballot::fast(1).is_fast());
+        assert!(!Ballot::initial(1).is_fast());
+    }
+}

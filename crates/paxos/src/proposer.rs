@@ -1,0 +1,999 @@
+//! The proposer role of the Transaction Client (Algorithm 2), including the
+//! Paxos-CP promotion loop, as a driver-agnostic state machine.
+//!
+//! The embedding layer (the `mdstore` transaction client) feeds the machine
+//! with [`ProposerEvent`]s — replica replies and timer expirations — and
+//! executes the [`ProposerAction`]s it returns: broadcasting messages,
+//! arming timers, installing learned log entries, and finally reporting the
+//! [`CommitOutcome`] to the application.
+
+use crate::ballot::Ballot;
+use crate::config::{CommitProtocol, ProposerConfig};
+use crate::msg::{PaxosMsg, ReplicaId};
+use crate::selector::{enhanced_find_winning_val, find_winning_val, ValueChoice, Vote};
+use std::collections::BTreeMap;
+use walog::{GroupKey, LogEntry, LogPosition, Transaction};
+
+/// Which timer a [`ProposerAction::ArmTimer`] request refers to. The driver
+/// chooses the concrete durations (the paper uses a 2 s reply timeout and a
+/// short randomized backoff).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Waiting for prepare/accept/fast-path replies.
+    ReplyTimeout,
+    /// Randomized backoff before retrying the prepare phase.
+    Backoff,
+    /// Paxos-CP only: a majority has promised but other replicas have not
+    /// answered yet and the answers received carry votes. The proposer
+    /// waits a short extra window so `enhancedFindWinningVal` sees "more
+    /// than a simple majority" of responses (§5), then chooses.
+    Gather,
+}
+
+/// Inputs to the proposer state machine.
+#[derive(Clone, Debug)]
+pub enum ProposerEvent {
+    /// Reply to the leader fast-path claim.
+    FastPathReply {
+        /// Position the claim was for.
+        position: LogPosition,
+        /// Whether this client was first and may skip the prepare phase.
+        granted: bool,
+    },
+    /// A replica's reply to a prepare message.
+    PrepareReply {
+        /// Answering replica.
+        from: ReplicaId,
+        /// Position of the instance.
+        position: LogPosition,
+        /// Ballot the reply answers.
+        ballot: Ballot,
+        /// Whether the promise was made.
+        promised: bool,
+        /// The replica's current highest promise.
+        next_bal: Option<Ballot>,
+        /// The replica's last cast vote.
+        last_vote: Option<(Ballot, LogEntry)>,
+    },
+    /// A replica's reply to an accept message.
+    AcceptReply {
+        /// Answering replica.
+        from: ReplicaId,
+        /// Position of the instance.
+        position: LogPosition,
+        /// Ballot the reply answers.
+        ballot: Ballot,
+        /// Whether the vote was cast.
+        accepted: bool,
+    },
+    /// A previously armed timer fired.
+    Timer {
+        /// Token returned by the matching [`ProposerAction::ArmTimer`].
+        token: u64,
+    },
+}
+
+/// Effects requested by the proposer state machine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProposerAction {
+    /// Send the message to every replica (including the client's own site).
+    Broadcast(PaxosMsg),
+    /// Send the message to the leader of the current position (the driver
+    /// knows which replica that is).
+    SendToLeader(PaxosMsg),
+    /// Arm a timer of the given kind; deliver `ProposerEvent::Timer { token }`
+    /// when it fires. Arming implicitly cancels any earlier timer.
+    ArmTimer {
+        /// Token to echo back on expiry.
+        token: u64,
+        /// Which duration class the driver should use.
+        kind: TimerKind,
+    },
+    /// The proposer has learned that `entry` is the decided value of
+    /// `position`; the driver should install it in the local write-ahead log.
+    Learned {
+        /// Decided position.
+        position: LogPosition,
+        /// Decided value.
+        entry: LogEntry,
+    },
+    /// The commit attempt finished; report the outcome to the application.
+    Finished(CommitOutcome),
+}
+
+/// Why a transaction was aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The log position was won by a conflicting value: the transaction's
+    /// reads were invalidated, so neither commit nor promotion is possible.
+    Conflict,
+    /// The configured promotion cap was reached.
+    PromotionLimit,
+    /// The per-position round safety valve was exceeded (pathological
+    /// message loss or partition).
+    RoundLimit,
+}
+
+/// Result of a commit attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommitOutcome {
+    /// Whether the transaction committed.
+    pub committed: bool,
+    /// The position it committed at (when committed).
+    pub position: Option<LogPosition>,
+    /// Number of promotions performed before the final outcome.
+    pub promotions: u32,
+    /// Whether the transaction committed as part of a combined (multi
+    /// transaction) entry.
+    pub combined: bool,
+    /// Total prepare/accept rounds executed across positions.
+    pub rounds: u32,
+    /// Abort reason (when not committed).
+    pub abort_reason: Option<AbortReason>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    FastWait,
+    Prepare,
+    Accept,
+    Backoff,
+    Done,
+}
+
+#[derive(Clone, Debug, Default)]
+struct RoundState {
+    prepare_replies: BTreeMap<ReplicaId, Vote>,
+    accept_acks: usize,
+    accept_rejects: usize,
+    proposed: Option<LogEntry>,
+    gathering: bool,
+}
+
+/// What the proposer is trying to get decided.
+#[derive(Clone, Debug)]
+enum Goal {
+    /// Commit an application transaction (the normal case).
+    Commit(Transaction),
+    /// Learn (or force) the value of a position by proposing a no-op — the
+    /// recovery path of §4.1: a Transaction Service with a log gap runs a
+    /// Paxos instance to learn the missing entry.
+    Recover,
+}
+
+/// The proposer state machine for one transaction's commit attempt.
+pub struct Proposer {
+    cfg: ProposerConfig,
+    group: GroupKey,
+    client_id: u64,
+    goal: Goal,
+    position: LogPosition,
+    ballot: Ballot,
+    highest_seen: Option<Ballot>,
+    phase: Phase,
+    round: RoundState,
+    promotions: u32,
+    rounds_this_position: u32,
+    total_rounds: u32,
+    timer_token: u64,
+    finished: bool,
+}
+
+impl Proposer {
+    /// Create a proposer that will try to commit `own_txn` to
+    /// `commit_position` (= the transaction's read position + 1).
+    pub fn new(
+        cfg: ProposerConfig,
+        group: GroupKey,
+        client_id: u64,
+        own_txn: Transaction,
+        commit_position: LogPosition,
+    ) -> Self {
+        Self::with_goal(cfg, group, client_id, Goal::Commit(own_txn), commit_position)
+    }
+
+    /// Create a recovery proposer that proposes a no-op for `position` in
+    /// order to learn (or force) its decided value. Recovery always runs the
+    /// basic protocol: there is nothing to combine or promote.
+    pub fn new_recovery(
+        mut cfg: ProposerConfig,
+        group: GroupKey,
+        client_id: u64,
+        position: LogPosition,
+    ) -> Self {
+        cfg.protocol = CommitProtocol::BasicPaxos;
+        cfg.fast_path = false;
+        Self::with_goal(cfg, group, client_id, Goal::Recover, position)
+    }
+
+    fn with_goal(
+        cfg: ProposerConfig,
+        group: GroupKey,
+        client_id: u64,
+        goal: Goal,
+        commit_position: LogPosition,
+    ) -> Self {
+        Proposer {
+            cfg,
+            group,
+            client_id,
+            goal,
+            position: commit_position,
+            ballot: Ballot::initial(client_id),
+            highest_seen: None,
+            phase: Phase::Idle,
+            round: RoundState::default(),
+            promotions: 0,
+            rounds_this_position: 0,
+            total_rounds: 0,
+            timer_token: 0,
+            finished: false,
+        }
+    }
+
+    fn own_value(&self) -> LogEntry {
+        match &self.goal {
+            Goal::Commit(txn) => LogEntry::single(txn.clone()),
+            Goal::Recover => LogEntry::noop(),
+        }
+    }
+
+    /// True when this proposer is a recovery (no-op) proposer.
+    pub fn is_recovery(&self) -> bool {
+        matches!(self.goal, Goal::Recover)
+    }
+
+    /// The position currently being competed for.
+    pub fn current_position(&self) -> LogPosition {
+        self.position
+    }
+
+    /// The transaction being committed (`None` for recovery proposers).
+    pub fn transaction(&self) -> Option<&Transaction> {
+        match &self.goal {
+            Goal::Commit(txn) => Some(txn),
+            Goal::Recover => None,
+        }
+    }
+
+    /// Number of promotions performed so far.
+    pub fn promotions(&self) -> u32 {
+        self.promotions
+    }
+
+    /// Whether the state machine has emitted its final outcome.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Begin the commit attempt. Returns the initial batch of actions.
+    pub fn start(&mut self) -> Vec<ProposerAction> {
+        debug_assert_eq!(self.phase, Phase::Idle);
+        let mut out = Vec::new();
+        if self.cfg.fast_path {
+            self.phase = Phase::FastWait;
+            out.push(ProposerAction::SendToLeader(PaxosMsg::LeaderClaim {
+                group: self.group.clone(),
+                position: self.position,
+            }));
+            out.push(self.arm_timer(TimerKind::ReplyTimeout));
+        } else {
+            self.begin_prepare(&mut out);
+        }
+        out
+    }
+
+    /// Feed an event into the state machine.
+    pub fn on_event(&mut self, event: ProposerEvent) -> Vec<ProposerAction> {
+        if self.finished {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        match event {
+            ProposerEvent::FastPathReply { position, granted } => {
+                if self.phase == Phase::FastWait && position == self.position {
+                    if granted {
+                        self.ballot = Ballot::fast(self.client_id);
+                        let value = self.own_value();
+                        self.begin_accept(value, &mut out);
+                    } else {
+                        self.begin_prepare(&mut out);
+                    }
+                }
+            }
+            ProposerEvent::PrepareReply {
+                from,
+                position,
+                ballot,
+                promised,
+                next_bal,
+                last_vote,
+            } => {
+                if self.phase == Phase::Prepare && position == self.position && ballot == self.ballot
+                {
+                    self.note_ballot(next_bal);
+                    self.round.prepare_replies.insert(
+                        from,
+                        Vote {
+                            from,
+                            promised,
+                            last_vote,
+                        },
+                    );
+                    self.maybe_finish_prepare(&mut out);
+                }
+            }
+            ProposerEvent::AcceptReply {
+                from: _,
+                position,
+                ballot,
+                accepted,
+            } => {
+                if self.phase == Phase::Accept && position == self.position && ballot == self.ballot
+                {
+                    if accepted {
+                        self.round.accept_acks += 1;
+                    } else {
+                        self.round.accept_rejects += 1;
+                    }
+                    self.maybe_finish_accept(&mut out);
+                }
+            }
+            ProposerEvent::Timer { token } => {
+                if token == self.timer_token {
+                    self.on_timeout(&mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn arm_timer(&mut self, kind: TimerKind) -> ProposerAction {
+        self.timer_token += 1;
+        ProposerAction::ArmTimer {
+            token: self.timer_token,
+            kind,
+        }
+    }
+
+    fn note_ballot(&mut self, seen: Option<Ballot>) {
+        if let Some(b) = seen {
+            if Some(b) > self.highest_seen {
+                self.highest_seen = Some(b);
+            }
+        }
+    }
+
+    fn begin_prepare(&mut self, out: &mut Vec<ProposerAction>) {
+        self.rounds_this_position += 1;
+        self.total_rounds += 1;
+        if self.rounds_this_position > self.cfg.max_rounds_per_position {
+            self.finish_abort(AbortReason::RoundLimit, out);
+            return;
+        }
+        self.ballot = self.ballot.advance_past(self.highest_seen);
+        self.round = RoundState::default();
+        self.phase = Phase::Prepare;
+        out.push(ProposerAction::Broadcast(PaxosMsg::Prepare {
+            group: self.group.clone(),
+            position: self.position,
+            ballot: self.ballot,
+        }));
+        out.push(self.arm_timer(TimerKind::ReplyTimeout));
+    }
+
+    fn begin_accept(&mut self, value: LogEntry, out: &mut Vec<ProposerAction>) {
+        self.phase = Phase::Accept;
+        self.round.accept_acks = 0;
+        self.round.accept_rejects = 0;
+        self.round.proposed = Some(value.clone());
+        out.push(ProposerAction::Broadcast(PaxosMsg::Accept {
+            group: self.group.clone(),
+            position: self.position,
+            ballot: self.ballot,
+            value,
+        }));
+        out.push(self.arm_timer(TimerKind::ReplyTimeout));
+    }
+
+    fn maybe_finish_prepare(&mut self, out: &mut Vec<ProposerAction>) {
+        let promised = self
+            .round
+            .prepare_replies
+            .values()
+            .filter(|v| v.promised)
+            .count();
+        let replied = self.round.prepare_replies.len();
+        if promised >= self.cfg.majority() {
+            if replied == self.cfg.num_replicas {
+                self.choose_and_accept(out);
+                return;
+            }
+            // A majority has promised but some replicas are still silent.
+            // Basic Paxos proceeds immediately (the paper's Algorithm 2).
+            // Paxos-CP benefits from seeing more than a bare majority of
+            // responses, so if the answers received carry votes — i.e. the
+            // position is contended and combination/promotion information is
+            // at stake — it waits a short gather window for stragglers.
+            let has_votes = self
+                .round
+                .prepare_replies
+                .values()
+                .any(|v| v.last_vote.is_some());
+            let conclusive = !self.cfg.protocol.is_cp() || !has_votes;
+            if conclusive {
+                self.choose_and_accept(out);
+                return;
+            }
+            // Promotion decisions are already conclusive at a majority: if a
+            // value has a majority of votes, waiting cannot change the fact.
+            let Goal::Commit(own_txn) = self.goal.clone() else {
+                self.choose_and_accept(out);
+                return;
+            };
+            let votes: Vec<Vote> = self.round.prepare_replies.values().cloned().collect();
+            if let ValueChoice::Promote { decided } = enhanced_find_winning_val(
+                &votes,
+                &own_txn,
+                self.cfg.num_replicas,
+                self.cfg.combination_enabled,
+            ) {
+                self.handle_loss(&decided, out);
+                return;
+            }
+            if !self.round.gathering {
+                self.round.gathering = true;
+                out.push(self.arm_timer(TimerKind::Gather));
+            }
+        } else if replied == self.cfg.num_replicas {
+            // Everyone answered but a competing proposer has a higher
+            // ballot: back off and retry with a larger one.
+            self.enter_backoff(out);
+        }
+    }
+
+    fn choose_and_accept(&mut self, out: &mut Vec<ProposerAction>) {
+        let votes: Vec<Vote> = self.round.prepare_replies.values().cloned().collect();
+        let own_entry = self.own_value();
+        match (&self.goal, self.cfg.protocol) {
+            (Goal::Recover, _) | (_, CommitProtocol::BasicPaxos) => {
+                let value = find_winning_val(&votes, &own_entry);
+                self.begin_accept(value, out);
+            }
+            (Goal::Commit(own_txn), CommitProtocol::PaxosCp) => {
+                match enhanced_find_winning_val(
+                    &votes,
+                    &own_txn.clone(),
+                    self.cfg.num_replicas,
+                    self.cfg.combination_enabled,
+                ) {
+                    ValueChoice::Propose(value) => self.begin_accept(value, out),
+                    ValueChoice::Promote { decided } => {
+                        // Stop competing for this position (no accepts are
+                        // sent) and either promote or abort.
+                        self.handle_loss(&decided, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn maybe_finish_accept(&mut self, out: &mut Vec<ProposerAction>) {
+        let acks = self.round.accept_acks;
+        let rejects = self.round.accept_rejects;
+        let outstanding = self.cfg.num_replicas - acks - rejects;
+        if acks >= self.cfg.majority() {
+            self.on_decided(out);
+        } else if acks + outstanding < self.cfg.majority() {
+            // A majority can no longer be reached in this round.
+            self.enter_backoff(out);
+        }
+    }
+
+    fn on_decided(&mut self, out: &mut Vec<ProposerAction>) {
+        let decided = self
+            .round
+            .proposed
+            .clone()
+            .expect("accept phase always has a proposed value");
+        out.push(ProposerAction::Broadcast(PaxosMsg::Apply {
+            group: self.group.clone(),
+            position: self.position,
+            ballot: self.ballot,
+            value: decided.clone(),
+        }));
+        out.push(ProposerAction::Learned {
+            position: self.position,
+            entry: decided.clone(),
+        });
+        let own_id = match &self.goal {
+            Goal::Commit(txn) => Some(txn.id),
+            Goal::Recover => None,
+        };
+        match own_id {
+            // Recovery: the position is now learned; report a non-commit
+            // outcome (nothing of ours was committed).
+            None => self.finish_abort_with(None, out),
+            Some(id) if decided.contains(id) => self.finish_commit(decided.len() > 1, out),
+            Some(_) => {
+                // We pushed someone else's value through (mandated by the
+                // Paxos safety rule). Our own transaction lost this position.
+                match self.cfg.protocol {
+                    CommitProtocol::BasicPaxos => self.finish_abort(AbortReason::Conflict, out),
+                    CommitProtocol::PaxosCp => self.handle_loss(&decided, out),
+                }
+            }
+        }
+    }
+
+    /// The current position was (or will be) won by `winner` without our
+    /// transaction: abort on conflict, otherwise promote to the next
+    /// position if the cap allows.
+    fn handle_loss(&mut self, winner: &LogEntry, out: &mut Vec<ProposerAction>) {
+        let Goal::Commit(own_txn) = &self.goal else {
+            // Recovery proposers never lose anything of their own.
+            self.finish_abort_with(None, out);
+            return;
+        };
+        if winner.invalidates_reads_of(own_txn) {
+            self.finish_abort(AbortReason::Conflict, out);
+            return;
+        }
+        if let Some(cap) = self.cfg.max_promotions {
+            if self.promotions >= cap {
+                self.finish_abort(AbortReason::PromotionLimit, out);
+                return;
+            }
+        }
+        self.promotions += 1;
+        self.position = self.position.next();
+        self.rounds_this_position = 0;
+        self.highest_seen = None;
+        self.ballot = Ballot::initial(self.client_id);
+        // Promotion re-enters the protocol at Step 1 (prepare) for the next
+        // position; the fast path is not consulted again.
+        self.begin_prepare(out);
+    }
+
+    fn enter_backoff(&mut self, out: &mut Vec<ProposerAction>) {
+        self.phase = Phase::Backoff;
+        out.push(self.arm_timer(TimerKind::Backoff));
+    }
+
+    fn on_timeout(&mut self, out: &mut Vec<ProposerAction>) {
+        match self.phase {
+            Phase::FastWait => {
+                // Leader unreachable: fall back to the full protocol.
+                self.begin_prepare(out);
+            }
+            Phase::Prepare => {
+                let promised = self
+                    .round
+                    .prepare_replies
+                    .values()
+                    .filter(|v| v.promised)
+                    .count();
+                if promised >= self.cfg.majority() {
+                    self.choose_and_accept(out);
+                } else {
+                    self.enter_backoff(out);
+                }
+            }
+            Phase::Accept => {
+                if self.round.accept_acks >= self.cfg.majority() {
+                    self.on_decided(out);
+                } else {
+                    self.enter_backoff(out);
+                }
+            }
+            Phase::Backoff => {
+                self.begin_prepare(out);
+            }
+            Phase::Idle | Phase::Done => {}
+        }
+    }
+
+    fn finish_commit(&mut self, combined: bool, out: &mut Vec<ProposerAction>) {
+        self.phase = Phase::Done;
+        self.finished = true;
+        out.push(ProposerAction::Finished(CommitOutcome {
+            committed: true,
+            position: Some(self.position),
+            promotions: self.promotions,
+            combined,
+            rounds: self.total_rounds,
+            abort_reason: None,
+        }));
+    }
+
+    fn finish_abort(&mut self, reason: AbortReason, out: &mut Vec<ProposerAction>) {
+        self.finish_abort_with(Some(reason), out);
+    }
+
+    fn finish_abort_with(&mut self, reason: Option<AbortReason>, out: &mut Vec<ProposerAction>) {
+        self.phase = Phase::Done;
+        self.finished = true;
+        out.push(ProposerAction::Finished(CommitOutcome {
+            committed: false,
+            position: None,
+            promotions: self.promotions,
+            combined: false,
+            rounds: self.total_rounds,
+            abort_reason: reason,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walog::{ItemRef, TxnId};
+
+    fn own_txn(reads: &[&str], writes: &[&str]) -> Transaction {
+        let mut b = Transaction::builder(TxnId::new(7, 1), "g", LogPosition(0));
+        for r in reads {
+            b = b.read(ItemRef::new("row", *r), Some("v"));
+        }
+        for w in writes {
+            b = b.write(ItemRef::new("row", *w), "x");
+        }
+        b.build()
+    }
+
+    fn other_entry(writes: &[&str]) -> LogEntry {
+        let mut b = Transaction::builder(TxnId::new(9, 50), "g", LogPosition(0));
+        for w in writes {
+            b = b.write(ItemRef::new("row", *w), "y");
+        }
+        LogEntry::single(b.build())
+    }
+
+    fn proposer(cfg: ProposerConfig) -> Proposer {
+        Proposer::new(cfg, "g".into(), 7, own_txn(&["a"], &["a"]), LogPosition(1))
+    }
+
+    fn prepare_reply(
+        p: &Proposer,
+        from: ReplicaId,
+        promised: bool,
+        last_vote: Option<(Ballot, LogEntry)>,
+    ) -> ProposerEvent {
+        ProposerEvent::PrepareReply {
+            from,
+            position: p.current_position(),
+            ballot: current_ballot(p),
+            promised,
+            next_bal: None,
+            last_vote,
+        }
+    }
+
+    fn accept_reply(p: &Proposer, from: ReplicaId, accepted: bool) -> ProposerEvent {
+        ProposerEvent::AcceptReply {
+            from,
+            position: p.current_position(),
+            ballot: current_ballot(p),
+            accepted,
+        }
+    }
+
+    fn current_ballot(p: &Proposer) -> Ballot {
+        p.ballot
+    }
+
+    fn finished(actions: &[ProposerAction]) -> Option<&CommitOutcome> {
+        actions.iter().find_map(|a| match a {
+            ProposerAction::Finished(o) => Some(o),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn uncontended_commit_through_full_protocol() {
+        let mut p = proposer(ProposerConfig::basic(3).with_fast_path(false));
+        let actions = p.start();
+        assert!(matches!(actions[0], ProposerAction::Broadcast(PaxosMsg::Prepare { .. })));
+        // Two promises reach the majority and trigger the accept phase.
+        assert!(p.on_event(prepare_reply(&p, 0, true, None)).is_empty());
+        let actions = p.on_event(prepare_reply(&p, 1, true, None));
+        assert!(matches!(actions[0], ProposerAction::Broadcast(PaxosMsg::Accept { .. })));
+        // Two accept acks decide the value.
+        assert!(p.on_event(accept_reply(&p, 0, true)).is_empty());
+        let actions = p.on_event(accept_reply(&p, 1, true));
+        assert!(matches!(actions[0], ProposerAction::Broadcast(PaxosMsg::Apply { .. })));
+        assert!(matches!(actions[1], ProposerAction::Learned { .. }));
+        let outcome = finished(&actions).unwrap();
+        assert!(outcome.committed);
+        assert_eq!(outcome.position, Some(LogPosition(1)));
+        assert_eq!(outcome.promotions, 0);
+        assert!(p.is_finished());
+        // Further events are ignored once finished.
+        assert!(p.on_event(accept_reply(&p, 2, true)).is_empty());
+    }
+
+    #[test]
+    fn fast_path_grant_skips_prepare() {
+        let mut p = proposer(ProposerConfig::basic(3));
+        let actions = p.start();
+        assert!(matches!(actions[0], ProposerAction::SendToLeader(PaxosMsg::LeaderClaim { .. })));
+        let actions = p.on_event(ProposerEvent::FastPathReply {
+            position: LogPosition(1),
+            granted: true,
+        });
+        match &actions[0] {
+            ProposerAction::Broadcast(PaxosMsg::Accept { ballot, .. }) => {
+                assert!(ballot.is_fast())
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fast_path_denied_falls_back_to_prepare() {
+        let mut p = proposer(ProposerConfig::basic(3));
+        p.start();
+        let actions = p.on_event(ProposerEvent::FastPathReply {
+            position: LogPosition(1),
+            granted: false,
+        });
+        assert!(matches!(actions[0], ProposerAction::Broadcast(PaxosMsg::Prepare { .. })));
+    }
+
+    #[test]
+    fn basic_paxos_aborts_when_losing_to_decided_value() {
+        let mut p = proposer(ProposerConfig::basic(3).with_fast_path(false));
+        p.start();
+        let winner = other_entry(&["z"]);
+        // Both replies carry a vote for the other value: the basic rule
+        // forces us to re-propose it; when it decides, we abort.
+        p.on_event(prepare_reply(&p, 0, true, Some((Ballot { round: 9, proposer: 1 }, winner.clone()))));
+        let actions = p.on_event(prepare_reply(&p, 1, true, Some((Ballot { round: 9, proposer: 1 }, winner.clone()))));
+        match &actions[0] {
+            ProposerAction::Broadcast(PaxosMsg::Accept { value, .. }) => assert_eq!(value, &winner),
+            other => panic!("unexpected {other:?}"),
+        }
+        p.on_event(accept_reply(&p, 0, true));
+        let actions = p.on_event(accept_reply(&p, 1, true));
+        let outcome = finished(&actions).unwrap();
+        assert!(!outcome.committed);
+        assert_eq!(outcome.abort_reason, Some(AbortReason::Conflict));
+    }
+
+    #[test]
+    fn paxos_cp_promotes_after_losing_to_non_conflicting_value() {
+        let mut p = proposer(ProposerConfig::cp(3).with_fast_path(false));
+        p.start();
+        // Own txn reads/writes "a"; winner writes "z" (no conflict).
+        let winner = other_entry(&["z"]);
+        let vote = Some((Ballot { round: 3, proposer: 2 }, winner.clone()));
+        p.on_event(prepare_reply(&p, 0, true, vote.clone()));
+        let actions = p.on_event(prepare_reply(&p, 1, true, vote));
+        // Majority already voted for the winner: promotion, so the next
+        // action is a prepare for position 2, with no accept for position 1.
+        match &actions[0] {
+            ProposerAction::Broadcast(PaxosMsg::Prepare { position, .. }) => {
+                assert_eq!(*position, LogPosition(2))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(p.promotions(), 1);
+        assert_eq!(p.current_position(), LogPosition(2));
+        // Clean prepare/accept on position 2 commits the transaction.
+        p.on_event(prepare_reply(&p, 0, true, None));
+        let actions = p.on_event(prepare_reply(&p, 1, true, None));
+        assert!(matches!(actions[0], ProposerAction::Broadcast(PaxosMsg::Accept { .. })));
+        p.on_event(accept_reply(&p, 0, true));
+        let actions = p.on_event(accept_reply(&p, 1, true));
+        let outcome = finished(&actions).unwrap();
+        assert!(outcome.committed);
+        assert_eq!(outcome.promotions, 1);
+        assert_eq!(outcome.position, Some(LogPosition(2)));
+    }
+
+    #[test]
+    fn paxos_cp_aborts_when_winner_invalidates_reads() {
+        let mut p = proposer(ProposerConfig::cp(3).with_fast_path(false));
+        p.start();
+        // Own txn reads "a"; winner writes "a": conflict, no promotion.
+        let winner = other_entry(&["a"]);
+        let vote = Some((Ballot { round: 3, proposer: 2 }, winner.clone()));
+        p.on_event(prepare_reply(&p, 0, true, vote.clone()));
+        let actions = p.on_event(prepare_reply(&p, 1, true, vote));
+        let outcome = finished(&actions).unwrap();
+        assert!(!outcome.committed);
+        assert_eq!(outcome.abort_reason, Some(AbortReason::Conflict));
+        assert_eq!(outcome.promotions, 0);
+    }
+
+    #[test]
+    fn promotion_cap_is_enforced() {
+        let mut p = Proposer::new(
+            ProposerConfig::cp(3).with_fast_path(false).with_max_promotions(Some(0)),
+            "g".into(),
+            7,
+            own_txn(&["a"], &["a"]),
+            LogPosition(1),
+        );
+        p.start();
+        let winner = other_entry(&["z"]);
+        let vote = Some((Ballot { round: 3, proposer: 2 }, winner.clone()));
+        p.on_event(prepare_reply(&p, 0, true, vote.clone()));
+        let actions = p.on_event(prepare_reply(&p, 1, true, vote));
+        let outcome = finished(&actions).unwrap();
+        assert!(!outcome.committed);
+        assert_eq!(outcome.abort_reason, Some(AbortReason::PromotionLimit));
+    }
+
+    #[test]
+    fn prepare_timeout_without_majority_backs_off_and_retries_with_higher_ballot() {
+        let mut p = proposer(ProposerConfig::basic(3).with_fast_path(false));
+        let actions = p.start();
+        let first_ballot = current_ballot(&p);
+        let token = match actions[1] {
+            ProposerAction::ArmTimer { token, .. } => token,
+            _ => panic!("expected timer"),
+        };
+        // Only one promise arrives, then the reply timeout fires.
+        p.on_event(prepare_reply(&p, 0, true, None));
+        let actions = p.on_event(ProposerEvent::Timer { token });
+        let backoff_token = match actions[0] {
+            ProposerAction::ArmTimer { token, kind } => {
+                assert_eq!(kind, TimerKind::Backoff);
+                token
+            }
+            _ => panic!("expected backoff"),
+        };
+        let actions = p.on_event(ProposerEvent::Timer { token: backoff_token });
+        match &actions[0] {
+            ProposerAction::Broadcast(PaxosMsg::Prepare { ballot, .. }) => {
+                assert!(*ballot > first_ballot);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejected_prepare_advances_past_competing_ballot() {
+        let mut p = proposer(ProposerConfig::basic(3).with_fast_path(false));
+        p.start();
+        let big = Ballot { round: 40, proposer: 2 };
+        // All three replicas answer: two refuse because of a higher promise.
+        p.on_event(ProposerEvent::PrepareReply {
+            from: 0,
+            position: LogPosition(1),
+            ballot: current_ballot(&p),
+            promised: false,
+            next_bal: Some(big),
+            last_vote: None,
+        });
+        p.on_event(ProposerEvent::PrepareReply {
+            from: 1,
+            position: LogPosition(1),
+            ballot: current_ballot(&p),
+            promised: false,
+            next_bal: Some(big),
+            last_vote: None,
+        });
+        let actions = p.on_event(prepare_reply(&p, 2, true, None));
+        let backoff_token = match actions[0] {
+            ProposerAction::ArmTimer { token, kind } => {
+                assert_eq!(kind, TimerKind::Backoff);
+                token
+            }
+            _ => panic!("expected backoff"),
+        };
+        let actions = p.on_event(ProposerEvent::Timer { token: backoff_token });
+        match &actions[0] {
+            ProposerAction::Broadcast(PaxosMsg::Prepare { ballot, .. }) => {
+                assert!(*ballot > big, "new ballot {ballot:?} must exceed {big:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accept_rejections_force_retry() {
+        let mut p = proposer(ProposerConfig::basic(3).with_fast_path(false));
+        p.start();
+        p.on_event(prepare_reply(&p, 0, true, None));
+        p.on_event(prepare_reply(&p, 1, true, None));
+        // Two rejections make a majority impossible in this round.
+        p.on_event(accept_reply(&p, 0, false));
+        let actions = p.on_event(accept_reply(&p, 1, false));
+        assert!(matches!(
+            actions[0],
+            ProposerAction::ArmTimer { kind: TimerKind::Backoff, .. }
+        ));
+    }
+
+    #[test]
+    fn stale_replies_for_old_ballots_or_positions_are_ignored() {
+        let mut p = proposer(ProposerConfig::basic(3).with_fast_path(false));
+        p.start();
+        let wrong_ballot = ProposerEvent::PrepareReply {
+            from: 0,
+            position: LogPosition(1),
+            ballot: Ballot { round: 99, proposer: 99 },
+            promised: true,
+            next_bal: None,
+            last_vote: None,
+        };
+        assert!(p.on_event(wrong_ballot).is_empty());
+        let wrong_position = ProposerEvent::PrepareReply {
+            from: 0,
+            position: LogPosition(9),
+            ballot: current_ballot(&p),
+            promised: true,
+            next_bal: None,
+            last_vote: None,
+        };
+        assert!(p.on_event(wrong_position).is_empty());
+        // Stale timer tokens are ignored too.
+        assert!(p.on_event(ProposerEvent::Timer { token: 9999 }).is_empty());
+    }
+
+    #[test]
+    fn round_limit_aborts_eventually() {
+        let mut p = Proposer::new(
+            ProposerConfig::basic(3).with_fast_path(false),
+            "g".into(),
+            7,
+            own_txn(&[], &["a"]),
+            LogPosition(1),
+        );
+        let mut actions = p.start();
+        // Repeatedly time out every phase; the round safety valve must fire.
+        for _ in 0..200 {
+            if p.is_finished() {
+                break;
+            }
+            let token = actions
+                .iter()
+                .find_map(|a| match a {
+                    ProposerAction::ArmTimer { token, .. } => Some(*token),
+                    _ => None,
+                })
+                .expect("each batch arms a timer until finished");
+            actions = p.on_event(ProposerEvent::Timer { token });
+        }
+        assert!(p.is_finished());
+        let outcome = actions
+            .iter()
+            .find_map(|a| match a {
+                ProposerAction::Finished(o) => Some(o),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(outcome.abort_reason, Some(AbortReason::RoundLimit));
+    }
+
+    #[test]
+    fn commit_in_combined_entry_is_flagged() {
+        let mut p = proposer(ProposerConfig::cp(3).with_fast_path(false));
+        p.start();
+        // One replica has a vote for a disjoint transaction with only one
+        // vote: the combine window is open, so the proposal packs both.
+        let other = other_entry(&["q"]);
+        p.on_event(prepare_reply(&p, 0, true, None));
+        let actions =
+            p.on_event(prepare_reply(&p, 1, true, Some((Ballot { round: 1, proposer: 2 }, other))));
+        // A majority has promised but a vote was seen: the proposer waits a
+        // gather window for the remaining replica instead of choosing early.
+        assert!(matches!(
+            actions[0],
+            ProposerAction::ArmTimer { kind: TimerKind::Gather, .. }
+        ));
+        let actions = p.on_event(prepare_reply(&p, 2, true, None));
+        let proposed = match &actions[0] {
+            ProposerAction::Broadcast(PaxosMsg::Accept { value, .. }) => value.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(proposed.len(), 2);
+        p.on_event(accept_reply(&p, 0, true));
+        let actions = p.on_event(accept_reply(&p, 1, true));
+        let outcome = finished(&actions).unwrap();
+        assert!(outcome.committed);
+        assert!(outcome.combined);
+    }
+}

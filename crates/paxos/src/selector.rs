@@ -1,0 +1,250 @@
+//! Value selection for the accept phase: `findWinningVal` (basic Paxos) and
+//! `enhancedFindWinningVal` (Paxos-CP), Algorithm 2 lines 66–87.
+
+use crate::ballot::Ballot;
+use crate::msg::ReplicaId;
+use walog::combine::best_combination;
+use walog::{LogEntry, Transaction};
+
+/// One replica's answer collected during the prepare phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Vote {
+    /// The replica that answered.
+    pub from: ReplicaId,
+    /// Whether it promised this ballot.
+    pub promised: bool,
+    /// Its last cast vote for the position, if any.
+    pub last_vote: Option<(Ballot, LogEntry)>,
+}
+
+/// What the proposer should do next, as decided by the value-selection rule.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValueChoice {
+    /// Send `accept` messages carrying this value.
+    Propose(LogEntry),
+    /// Another value already has a majority of votes: stop competing for
+    /// this position (do not send accepts) and consider promotion. The
+    /// carried entry is the value observed to have won.
+    Promote {
+        /// The entry that has already gathered a majority of votes.
+        decided: LogEntry,
+    },
+}
+
+/// `findWinningVal` (Algorithm 2, lines 66–75): the proposer must adopt the
+/// vote with the highest proposal number; only when every response carries a
+/// null vote may it propose its own value.
+pub fn find_winning_val(votes: &[Vote], own: &LogEntry) -> LogEntry {
+    votes
+        .iter()
+        .filter_map(|v| v.last_vote.as_ref())
+        .max_by_key(|(ballot, _)| *ballot)
+        .map(|(_, value)| value.clone())
+        .unwrap_or_else(|| own.clone())
+}
+
+/// `enhancedFindWinningVal` (Algorithm 2, lines 76–87): decide between
+/// *combination*, *promotion*, and the basic rule.
+///
+/// * If no value can possibly have gathered a majority of votes yet
+///   (`maxVotes + (D − |responseSet|) < majority`), the proposer is free to
+///   choose — it proposes the longest valid combination of its own
+///   transaction with the transactions seen in other votes.
+/// * If some value already has a majority of votes and the proposer's
+///   transaction is not part of it, the position is lost: promote.
+/// * Otherwise fall back to the basic rule.
+pub fn enhanced_find_winning_val(
+    votes: &[Vote],
+    own_txn: &Transaction,
+    num_replicas: usize,
+    combination_enabled: bool,
+) -> ValueChoice {
+    let own_entry = LogEntry::single(own_txn.clone());
+    let majority = num_replicas / 2 + 1;
+    let responses = votes.len();
+
+    // Count votes per distinct value (non-null votes only).
+    let mut tallies: Vec<(&LogEntry, usize)> = Vec::new();
+    for vote in votes {
+        if let Some((_, value)) = &vote.last_vote {
+            match tallies.iter_mut().find(|(v, _)| *v == value) {
+                Some((_, count)) => *count += 1,
+                None => tallies.push((value, 1)),
+            }
+        }
+    }
+    let (max_val, max_votes) = tallies
+        .iter()
+        .max_by_key(|(_, count)| *count)
+        .map(|(v, c)| (Some(*v), *c))
+        .unwrap_or((None, 0));
+
+    let missing = num_replicas.saturating_sub(responses);
+
+    if max_votes + missing < majority {
+        // No value can have a majority: safe to choose freely, so combine.
+        if !combination_enabled {
+            return ValueChoice::Propose(find_winning_val(votes, &own_entry));
+        }
+        let candidates: Vec<Transaction> = votes
+            .iter()
+            .filter_map(|v| v.last_vote.as_ref())
+            .flat_map(|(_, entry)| entry.transactions().iter().cloned())
+            .collect();
+        let combined = best_combination(own_txn, &candidates);
+        return ValueChoice::Propose(LogEntry::combined(combined));
+    }
+
+    if max_votes >= majority {
+        let decided = max_val.expect("max_votes > 0 implies a value").clone();
+        if !decided.contains(own_txn.id) {
+            return ValueChoice::Promote { decided };
+        }
+        // Our transaction is already part of the winning value: push it
+        // through with the basic rule (which will select that same value).
+        return ValueChoice::Propose(find_winning_val(votes, &own_entry));
+    }
+
+    ValueChoice::Propose(find_winning_val(votes, &own_entry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walog::{ItemRef, LogPosition, TxnId};
+
+    fn txn(client: u32, seq: u64, reads: &[&str], writes: &[&str]) -> Transaction {
+        let mut b = Transaction::builder(TxnId::new(client, seq), "g", LogPosition(0));
+        for r in reads {
+            b = b.read(ItemRef::new("row", *r), Some("v"));
+        }
+        for w in writes {
+            b = b.write(ItemRef::new("row", *w), "x");
+        }
+        b.build()
+    }
+
+    fn vote(from: ReplicaId, last: Option<(Ballot, LogEntry)>) -> Vote {
+        Vote {
+            from,
+            promised: true,
+            last_vote: last,
+        }
+    }
+
+    fn ballot(round: u64) -> Ballot {
+        Ballot { round, proposer: 1 }
+    }
+
+    #[test]
+    fn find_winning_val_prefers_highest_ballot_vote() {
+        let own = LogEntry::single(txn(0, 1, &[], &["own"]));
+        let low = LogEntry::single(txn(1, 2, &[], &["low"]));
+        let high = LogEntry::single(txn(2, 3, &[], &["high"]));
+        let votes = vec![
+            vote(0, None),
+            vote(1, Some((ballot(1), low))),
+            vote(2, Some((ballot(5), high.clone()))),
+        ];
+        assert_eq!(find_winning_val(&votes, &own), high);
+        // All-null votes: own value.
+        let votes = vec![vote(0, None), vote(1, None)];
+        assert_eq!(find_winning_val(&votes, &own), own);
+    }
+
+    #[test]
+    fn enhanced_combines_when_no_majority_possible() {
+        // D = 3, majority = 2. Two responses, each with a different non-null
+        // vote (1 vote each): maxVotes + missing = 1 + 1 = 2, NOT < 2, so the
+        // combine window is closed. With all-null votes it is open.
+        let own = txn(0, 1, &["a"], &["a"]);
+        let other = LogEntry::single(txn(1, 2, &["b"], &["b"]));
+        let votes = vec![vote(0, None), vote(1, None), vote(2, None)];
+        match enhanced_find_winning_val(&votes, &own, 3, true) {
+            ValueChoice::Propose(entry) => {
+                assert_eq!(entry.len(), 1);
+                assert!(entry.contains(own.id));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Full response set with one minority vote: 1 + 0 < 2 → combine own
+        // with the other transaction.
+        let votes = vec![
+            vote(0, None),
+            vote(1, None),
+            vote(2, Some((ballot(1), other))),
+        ];
+        match enhanced_find_winning_val(&votes, &own, 3, true) {
+            ValueChoice::Propose(entry) => {
+                assert_eq!(entry.len(), 2, "combination should pack both transactions");
+                assert!(entry.contains(own.id));
+                assert!(entry.contains(TxnId::new(1, 2)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enhanced_respects_combination_switch() {
+        let own = txn(0, 1, &["a"], &["a"]);
+        let other = LogEntry::single(txn(1, 2, &["b"], &["b"]));
+        let votes = vec![
+            vote(0, None),
+            vote(1, None),
+            vote(2, Some((ballot(1), other.clone()))),
+        ];
+        match enhanced_find_winning_val(&votes, &own, 3, false) {
+            // With combination disabled the basic rule applies: adopt the
+            // highest-ballot non-null vote.
+            ValueChoice::Propose(entry) => assert_eq!(entry, other),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enhanced_promotes_when_other_value_has_majority() {
+        let own = txn(0, 1, &["a"], &["a"]);
+        let winner = LogEntry::single(txn(1, 2, &[], &["b"]));
+        let votes = vec![
+            vote(0, Some((ballot(2), winner.clone()))),
+            vote(1, Some((ballot(2), winner.clone()))),
+            vote(2, None),
+        ];
+        match enhanced_find_winning_val(&votes, &own, 3, true) {
+            ValueChoice::Promote { decided } => assert_eq!(decided, winner),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enhanced_does_not_promote_when_own_is_in_winning_value() {
+        let own = txn(0, 1, &["a"], &["a"]);
+        let winner = LogEntry::combined(vec![txn(1, 2, &[], &["b"]), own.clone()]);
+        let votes = vec![
+            vote(0, Some((ballot(2), winner.clone()))),
+            vote(1, Some((ballot(2), winner.clone()))),
+        ];
+        match enhanced_find_winning_val(&votes, &own, 3, true) {
+            ValueChoice::Propose(entry) => assert_eq!(entry, winner),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enhanced_falls_back_to_basic_rule_in_the_uncertain_window() {
+        // D = 5, majority = 3. Three responses, one vote for X: maxVotes +
+        // missing = 1 + 2 = 3, not < 3 and not >= majority in responses, so
+        // the basic rule applies and X (the only non-null vote) is adopted.
+        let own = txn(0, 1, &["a"], &["a"]);
+        let x = LogEntry::single(txn(1, 2, &[], &["x"]));
+        let votes = vec![
+            vote(0, None),
+            vote(1, None),
+            vote(2, Some((ballot(4), x.clone()))),
+        ];
+        match enhanced_find_winning_val(&votes, &own, 5, true) {
+            ValueChoice::Propose(entry) => assert_eq!(entry, x),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The actor abstraction: protocol participants driven by messages and timers.
+
+use crate::sim::NodeId;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Identifier for a pending timer, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub(crate) u64);
+
+/// An effect requested by an actor during a callback.
+///
+/// Actions are buffered in the [`Context`] and applied by the simulation
+/// after the callback returns, which keeps actor callbacks free of borrows
+/// into the simulation state.
+#[derive(Debug)]
+pub enum Action<M> {
+    /// Send `msg` to `to` over the simulated network.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Message payload.
+        msg: M,
+    },
+    /// Fire a timer for the requesting actor after `delay`, carrying `tag`.
+    SetTimer {
+        /// Timer id assigned at request time.
+        id: TimerId,
+        /// How long from now the timer fires.
+        delay: SimDuration,
+        /// Actor-interpreted payload distinguishing timer purposes.
+        tag: u64,
+    },
+    /// Cancel a previously set timer. Cancelling an already-fired or unknown
+    /// timer is a no-op.
+    CancelTimer(TimerId),
+}
+
+/// The execution context handed to actor callbacks.
+///
+/// Provides the current virtual time, the actor's own node id, a seeded RNG
+/// slice (deterministic per simulation), and buffers for outgoing actions.
+pub struct Context<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) actions: &'a mut Vec<Action<M>>,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) next_timer_id: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node id of the actor being invoked.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Send a message to another node (or to self) over the network.
+    ///
+    /// Delivery is subject to the network model: latency, jitter, loss,
+    /// partitions and destination liveness.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Schedule a timer that fires after `delay` with the given `tag`.
+    ///
+    /// Returns a [`TimerId`] that can be passed to [`Context::cancel_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.actions.push(Action::SetTimer { id, delay, tag });
+        id
+    }
+
+    /// Cancel a pending timer. No-op if the timer already fired.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer(id));
+    }
+
+    /// Draw a uniformly distributed `f64` in `[0, 1)` from the simulation RNG.
+    pub fn rand_f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Draw a uniformly distributed integer in `[0, bound)`.
+    pub fn rand_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..bound)
+        }
+    }
+
+    /// A random duration in `[0, max)`, used for randomized backoff.
+    pub fn rand_backoff(&mut self, max: SimDuration) -> SimDuration {
+        SimDuration::from_micros(self.rand_below(max.as_micros().max(1)))
+    }
+}
+
+/// A simulated process: a transaction service, a transaction client, a
+/// workload driver, or any other protocol participant.
+///
+/// All callbacks run to completion atomically at a single virtual instant;
+/// effects they request are applied afterwards.
+pub trait Actor<M> {
+    /// Invoked once when the simulation starts (or when the node is added to
+    /// an already-running simulation).
+    fn on_start(&mut self, _ctx: &mut Context<M>) {}
+
+    /// Invoked when a message from `from` is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<M>, from: NodeId, msg: M);
+
+    /// Invoked when a timer set by this actor fires.
+    fn on_timer(&mut self, _ctx: &mut Context<M>, _tag: u64) {}
+
+    /// Invoked when the node is brought back up after a crash. State kept in
+    /// the actor itself is preserved (it models durable state plus the
+    /// process image); messages and timers that targeted the node while it
+    /// was down have been dropped.
+    fn on_recover(&mut self, _ctx: &mut Context<M>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn context_buffers_actions_in_order() {
+        let mut actions: Vec<Action<u32>> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut next_timer = 0;
+        let mut ctx = Context {
+            now: SimTime::from_micros(5),
+            node: NodeId(3),
+            actions: &mut actions,
+            rng: &mut rng,
+            next_timer_id: &mut next_timer,
+        };
+        ctx.send(NodeId(1), 10);
+        let t = ctx.set_timer(SimDuration::from_millis(2), 99);
+        ctx.cancel_timer(t);
+        assert_eq!(actions.len(), 3);
+        assert!(matches!(actions[0], Action::Send { to: NodeId(1), msg: 10 }));
+        assert!(matches!(
+            actions[1],
+            Action::SetTimer { tag: 99, id: TimerId(0), .. }
+        ));
+        assert!(matches!(actions[2], Action::CancelTimer(TimerId(0))));
+    }
+
+    #[test]
+    fn timer_ids_are_unique_and_monotonic() {
+        let mut actions: Vec<Action<u32>> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut next_timer = 0;
+        let mut ctx = Context {
+            now: SimTime::ZERO,
+            node: NodeId(0),
+            actions: &mut actions,
+            rng: &mut rng,
+            next_timer_id: &mut next_timer,
+        };
+        let a = ctx.set_timer(SimDuration::from_millis(1), 0);
+        let b = ctx.set_timer(SimDuration::from_millis(1), 0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn rand_below_zero_bound_is_zero() {
+        let mut actions: Vec<Action<u32>> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut next_timer = 0;
+        let mut ctx = Context {
+            now: SimTime::ZERO,
+            node: NodeId(0),
+            actions: &mut actions,
+            rng: &mut rng,
+            next_timer_id: &mut next_timer,
+        };
+        assert_eq!(ctx.rand_below(0), 0);
+        let v = ctx.rand_f64();
+        assert!((0.0..1.0).contains(&v));
+    }
+}

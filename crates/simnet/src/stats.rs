@@ -1,0 +1,68 @@
+//! Network-level statistics collected by the simulation kernel.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing everything the simulated network did.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages handed to the network by actors.
+    pub sent: u64,
+    /// Messages delivered to a destination actor.
+    pub delivered: u64,
+    /// Messages dropped by random loss.
+    pub dropped_loss: u64,
+    /// Messages dropped because of a partition.
+    pub dropped_partition: u64,
+    /// Messages dropped because the source or destination was down.
+    pub dropped_down: u64,
+    /// Timers that fired.
+    pub timers_fired: u64,
+    /// Timers cancelled before firing.
+    pub timers_cancelled: u64,
+    /// Timers suppressed because their owner was down when they fired.
+    pub timers_suppressed: u64,
+}
+
+impl NetStats {
+    /// Total messages dropped for any reason.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_loss + self.dropped_partition + self.dropped_down
+    }
+
+    /// Fraction of sent messages that were delivered (1.0 when nothing sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropped_sums_all_drop_reasons() {
+        let s = NetStats {
+            dropped_loss: 2,
+            dropped_partition: 3,
+            dropped_down: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.dropped(), 9);
+    }
+
+    #[test]
+    fn delivery_ratio_handles_zero_sent() {
+        let s = NetStats::default();
+        assert_eq!(s.delivery_ratio(), 1.0);
+        let s = NetStats {
+            sent: 10,
+            delivered: 7,
+            ..Default::default()
+        };
+        assert!((s.delivery_ratio() - 0.7).abs() < 1e-12);
+    }
+}

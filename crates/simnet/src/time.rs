@@ -1,0 +1,226 @@
+//! Virtual time primitives.
+//!
+//! The simulator measures time in whole microseconds. Microsecond resolution
+//! is fine enough to distinguish intra-datacenter hops (hundreds of
+//! microseconds) while keeping arithmetic in `u64` exact for any plausible
+//! experiment length.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock, in microseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (time zero).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// The raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The time expressed in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The time expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The duration elapsed since an earlier instant.
+    ///
+    /// Saturates to zero if `earlier` is in the future, which keeps latency
+    /// accounting robust against reordered bookkeeping.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Construct from fractional milliseconds (useful for sub-millisecond RTTs).
+    pub fn from_millis_f64(ms: f64) -> Self {
+        SimDuration((ms * 1_000.0).round().max(0.0) as u64)
+    }
+
+    /// The raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration expressed in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The duration expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The instant this duration after `start`.
+    pub fn after(self, start: SimTime) -> SimTime {
+        start + self
+    }
+
+    /// Multiply the duration by an integer factor.
+    pub const fn saturating_mul(self, factor: u64) -> Self {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// Scale the duration by a floating-point factor (used for jitter).
+    pub fn mul_f64(self, factor: f64) -> Self {
+        SimDuration((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+
+    /// Integer division of two durations, as a float (e.g. RTT ratios).
+    pub fn ratio(self, other: SimDuration) -> f64 {
+        if other.0 == 0 {
+            f64::INFINITY
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t0 = SimTime::ZERO;
+        let d = SimDuration::from_millis(90);
+        let t1 = t0 + d;
+        assert_eq!(t1.as_micros(), 90_000);
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1.since(t0), d);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let early = SimTime::from_micros(10);
+        let late = SimTime::from_micros(50);
+        assert_eq!(early.since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
+        assert_eq!(
+            SimDuration::from_millis(3),
+            SimDuration::from_micros(3_000)
+        );
+        assert_eq!(SimDuration::from_millis_f64(1.5).as_micros(), 1_500);
+    }
+
+    #[test]
+    fn scaling_and_ratio() {
+        let d = SimDuration::from_millis(10);
+        assert_eq!(d.mul_f64(1.5), SimDuration::from_millis(15));
+        assert_eq!(d.saturating_mul(3), SimDuration::from_millis(30));
+        assert!((d.ratio(SimDuration::from_millis(5)) - 2.0).abs() < 1e-9);
+        assert!(d.ratio(SimDuration::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn display_is_in_milliseconds() {
+        assert_eq!(format!("{}", SimDuration::from_micros(1_500)), "1.500ms");
+        assert_eq!(format!("{}", SimTime::from_micros(250)), "0.250ms");
+    }
+}

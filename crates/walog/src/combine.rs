@@ -1,0 +1,218 @@
+//! The *combination* logic of Paxos-CP (§5).
+//!
+//! When no value can yet have a majority for a log position, the proposing
+//! client is free to choose any value. Instead of proposing only its own
+//! transaction, a Paxos-CP client proposes an ordered list built from its
+//! own transaction plus transactions seen in other replicas' votes, as long
+//! as the list itself is one-copy serializable: *no transaction in the list
+//! reads an item written by any preceding transaction in the list*.
+//!
+//! The paper notes the exhaustive search is over every subset in every
+//! order, which is fine because contention keeps the candidate count tiny
+//! (two or three); for larger candidate sets it prescribes a greedy single
+//! pass. Both are implemented here and selected by a threshold.
+
+use crate::types::Transaction;
+use std::collections::BTreeSet;
+
+/// Is the ordered list a valid combined entry? True iff no transaction
+/// reads an item written by any *preceding* transaction in the list.
+pub fn is_valid_combination(list: &[Transaction]) -> bool {
+    for (i, later) in list.iter().enumerate() {
+        for earlier in &list[..i] {
+            if later.reads_item_written_by(earlier) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Can `txn` be appended to `list` without invalidating its reads?
+pub fn can_append(list: &[Transaction], txn: &Transaction) -> bool {
+    list.iter().all(|earlier| !txn.reads_item_written_by(earlier))
+}
+
+/// Candidate-count threshold above which [`best_combination`] switches from
+/// exhaustive permutation search to the greedy single pass.
+pub const EXHAUSTIVE_LIMIT: usize = 4;
+
+/// Build the combined value a Paxos-CP client proposes: an ordered list that
+/// contains `own` and as many of `candidates` as possible while remaining a
+/// valid combination.
+///
+/// Candidates equal to `own` (same id) or duplicated among themselves are
+/// ignored. With at most [`EXHAUSTIVE_LIMIT`] distinct candidates the search
+/// is exhaustive (maximum list length, ties broken towards placing `own`
+/// earliest); beyond that a greedy pass appends each candidate that still
+/// fits, in the order given.
+pub fn best_combination(own: &Transaction, candidates: &[Transaction]) -> Vec<Transaction> {
+    let mut seen: BTreeSet<_> = BTreeSet::new();
+    seen.insert(own.id);
+    let distinct: Vec<&Transaction> = candidates
+        .iter()
+        .filter(|c| seen.insert(c.id))
+        .collect();
+
+    if distinct.len() <= EXHAUSTIVE_LIMIT {
+        exhaustive(own, &distinct)
+    } else {
+        greedy(own, &distinct)
+    }
+}
+
+fn greedy(own: &Transaction, candidates: &[&Transaction]) -> Vec<Transaction> {
+    let mut list = vec![own.clone()];
+    for cand in candidates {
+        if can_append(&list, cand) {
+            list.push((*cand).clone());
+        }
+    }
+    list
+}
+
+/// Exhaustive search: depth-first over all orderings of all subsets of the
+/// full pool (own + candidates), keeping the longest valid list that
+/// contains `own`. The pool is at most `EXHAUSTIVE_LIMIT + 1` transactions,
+/// so the search space is bounded by `5! · 2^5` interleavings in the worst
+/// case — microseconds in practice.
+fn exhaustive(own: &Transaction, candidates: &[&Transaction]) -> Vec<Transaction> {
+    let mut pool: Vec<&Transaction> = Vec::with_capacity(candidates.len() + 1);
+    pool.push(own);
+    pool.extend_from_slice(candidates);
+
+    let mut best: Vec<usize> = vec![0]; // indices into pool; always contains `own`
+    let mut current: Vec<usize> = Vec::new();
+    let mut used = vec![false; pool.len()];
+
+    fn dfs(
+        pool: &[&Transaction],
+        used: &mut Vec<bool>,
+        current: &mut Vec<usize>,
+        best: &mut Vec<usize>,
+    ) {
+        // Record current if it is better (longer) and contains own (index 0).
+        if current.contains(&0) && current.len() > best.len() {
+            *best = current.clone();
+        }
+        for i in 0..pool.len() {
+            if used[i] {
+                continue;
+            }
+            // Appending pool[i] must not let it read from anything already in
+            // the list.
+            let ok = current
+                .iter()
+                .all(|&j| !pool[i].reads_item_written_by(pool[j]));
+            if !ok {
+                continue;
+            }
+            used[i] = true;
+            current.push(i);
+            dfs(pool, used, current, best);
+            current.pop();
+            used[i] = false;
+        }
+    }
+
+    dfs(&pool, &mut used, &mut current, &mut best);
+    best.into_iter().map(|i| pool[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ItemRef, LogPosition, TxnId};
+
+    fn txn(seq: u64, reads: &[&str], writes: &[&str]) -> Transaction {
+        let mut b = Transaction::builder(TxnId::new(0, seq), "g", LogPosition(0));
+        for r in reads {
+            b = b.read(ItemRef::new("row", *r), Some("v"));
+        }
+        for w in writes {
+            b = b.write(ItemRef::new("row", *w), "x");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn valid_combination_rejects_read_after_write() {
+        let w = txn(1, &[], &["a"]);
+        let r = txn(2, &["a"], &["b"]);
+        assert!(is_valid_combination(&[r.clone(), w.clone()]));
+        assert!(!is_valid_combination(&[w.clone(), r.clone()]));
+        assert!(is_valid_combination(&[]));
+        assert!(is_valid_combination(&[w]));
+    }
+
+    #[test]
+    fn can_append_checks_only_new_transaction_reads() {
+        let list = vec![txn(1, &[], &["a"]), txn(2, &[], &["b"])];
+        assert!(!can_append(&list, &txn(3, &["a"], &["c"])));
+        assert!(can_append(&list, &txn(4, &["z"], &["a"])));
+    }
+
+    #[test]
+    fn combination_includes_all_disjoint_transactions() {
+        let own = txn(1, &["a"], &["a"]);
+        let cands = vec![txn(2, &["b"], &["b"]), txn(3, &["c"], &["c"])];
+        let combo = best_combination(&own, &cands);
+        assert_eq!(combo.len(), 3);
+        assert!(combo.iter().any(|t| t.id == own.id));
+        assert!(is_valid_combination(&combo));
+    }
+
+    #[test]
+    fn combination_orders_around_conflicts() {
+        // own reads "a"; candidate writes "a". Valid only with own first.
+        let own = txn(1, &["a"], &["z"]);
+        let cand = vec![txn(2, &[], &["a"])];
+        let combo = best_combination(&own, &cand);
+        assert_eq!(combo.len(), 2);
+        assert_eq!(combo[0].id, own.id);
+        assert!(is_valid_combination(&combo));
+    }
+
+    #[test]
+    fn combination_drops_irreconcilable_conflicts() {
+        // own reads "a" and writes "a"; candidate reads "a" and writes "a".
+        // Whichever goes second reads the other's write, so only one fits.
+        let own = txn(1, &["a"], &["a"]);
+        let cand = vec![txn(2, &["a"], &["a"])];
+        let combo = best_combination(&own, &cand);
+        assert_eq!(combo.len(), 1);
+        assert_eq!(combo[0].id, own.id);
+    }
+
+    #[test]
+    fn duplicates_and_own_id_in_candidates_are_ignored() {
+        let own = txn(1, &["a"], &["a"]);
+        let cands = vec![own.clone(), txn(2, &["b"], &["b"]), txn(2, &["b"], &["b"])];
+        let combo = best_combination(&own, &cands);
+        assert_eq!(combo.len(), 2);
+    }
+
+    #[test]
+    fn greedy_path_used_for_many_candidates() {
+        let own = txn(0, &["own"], &["own"]);
+        // 6 candidates (> EXHAUSTIVE_LIMIT), all mutually disjoint.
+        let cands: Vec<Transaction> = (1..=6)
+            .map(|i| txn(i, &[&format!("r{i}")], &[&format!("w{i}")]))
+            .collect();
+        let combo = best_combination(&own, &cands);
+        assert_eq!(combo.len(), 7);
+        assert!(is_valid_combination(&combo));
+    }
+
+    #[test]
+    fn exhaustive_beats_greedy_on_order_sensitive_input() {
+        // Candidate c1 writes "x"; candidate c2 reads "x". Greedy order
+        // [own, c1, c2] would reject c2; exhaustive finds [own, c2, c1].
+        let own = txn(0, &["o"], &["o"]);
+        let c1 = txn(1, &[], &["x"]);
+        let c2 = txn(2, &["x"], &["y"]);
+        let combo = best_combination(&own, &[c1, c2]);
+        assert_eq!(combo.len(), 3, "exhaustive search should fit all three");
+        assert!(is_valid_combination(&combo));
+    }
+}

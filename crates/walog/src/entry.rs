@@ -1,0 +1,149 @@
+//! Log entries: the value decided by one Paxos instance.
+//!
+//! Under basic Paxos an entry holds exactly one transaction. Under Paxos-CP
+//! the *combination* enhancement lets one entry hold an ordered list of
+//! mutually non-conflicting transactions (§5), all of which commit at the
+//! same log position. Recovery proposes an explicit no-op entry to learn a
+//! position without adding work (§4.1, "Fault Tolerance and Recovery").
+
+use crate::types::{Transaction, TxnId};
+use serde::{Deserialize, Serialize};
+
+/// The value written to a single write-ahead-log position.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct LogEntry {
+    transactions: Vec<Transaction>,
+    /// True when this entry was proposed purely to learn/fill the position
+    /// during recovery and carries no transactions.
+    noop: bool,
+}
+
+impl LogEntry {
+    /// An entry holding a single transaction (the only shape basic Paxos
+    /// ever proposes).
+    pub fn single(txn: Transaction) -> Self {
+        LogEntry {
+            transactions: vec![txn],
+            noop: false,
+        }
+    }
+
+    /// An entry holding an ordered list of transactions (Paxos-CP
+    /// combination). The caller is responsible for having validated the
+    /// list with [`crate::combine::is_valid_combination`].
+    pub fn combined(transactions: Vec<Transaction>) -> Self {
+        LogEntry {
+            transactions,
+            noop: false,
+        }
+    }
+
+    /// The explicit no-op entry used by recovery.
+    pub fn noop() -> Self {
+        LogEntry {
+            transactions: Vec::new(),
+            noop: true,
+        }
+    }
+
+    /// True for the recovery no-op entry.
+    pub fn is_noop(&self) -> bool {
+        self.noop || self.transactions.is_empty()
+    }
+
+    /// The transactions committed by this entry, in serialization order.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Number of transactions in the entry.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True when the entry commits no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Whether the entry contains the given transaction.
+    pub fn contains(&self, id: TxnId) -> bool {
+        self.transactions.iter().any(|t| t.id == id)
+    }
+
+    /// The ids of all transactions in the entry, in order.
+    pub fn txn_ids(&self) -> Vec<TxnId> {
+        self.transactions.iter().map(|t| t.id).collect()
+    }
+
+    /// Would a transaction with the given read set be invalidated by this
+    /// entry? True when `txn` reads any item written by any transaction in
+    /// this entry — the test used by the *promotion* enhancement to decide
+    /// whether a loser may compete for the next position.
+    pub fn invalidates_reads_of(&self, txn: &Transaction) -> bool {
+        self.transactions
+            .iter()
+            .any(|winner| txn.reads_item_written_by(winner))
+    }
+}
+
+impl From<Transaction> for LogEntry {
+    fn from(txn: Transaction) -> Self {
+        LogEntry::single(txn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ItemRef, LogPosition, Transaction, TxnId};
+
+    fn txn(seq: u64, reads: &[&str], writes: &[&str]) -> Transaction {
+        let mut b = Transaction::builder(TxnId::new(0, seq), "g", LogPosition(0));
+        for r in reads {
+            b = b.read(ItemRef::new("row", *r), Some("v"));
+        }
+        for w in writes {
+            b = b.write(ItemRef::new("row", *w), "x");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_and_combined_entries() {
+        let e = LogEntry::single(txn(1, &["a"], &["b"]));
+        assert_eq!(e.len(), 1);
+        assert!(!e.is_noop());
+        assert!(e.contains(TxnId::new(0, 1)));
+        assert!(!e.contains(TxnId::new(0, 2)));
+
+        let c = LogEntry::combined(vec![txn(1, &[], &["a"]), txn(2, &[], &["b"])]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.txn_ids(), vec![TxnId::new(0, 1), TxnId::new(0, 2)]);
+    }
+
+    #[test]
+    fn noop_entries_are_empty() {
+        let e = LogEntry::noop();
+        assert!(e.is_noop());
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn invalidates_reads_detects_read_write_conflict() {
+        let winner = LogEntry::single(txn(1, &[], &["x"]));
+        let reads_x = txn(2, &["x"], &["y"]);
+        let reads_z = txn(3, &["z"], &["y"]);
+        assert!(winner.invalidates_reads_of(&reads_x));
+        assert!(!winner.invalidates_reads_of(&reads_z));
+        // A no-op entry never invalidates anything.
+        assert!(!LogEntry::noop().invalidates_reads_of(&reads_x));
+    }
+
+    #[test]
+    fn from_transaction_builds_single_entry() {
+        let e: LogEntry = txn(5, &[], &["a"]).into();
+        assert_eq!(e.len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # walog — the replicated write-ahead log and serializability theory
+//!
+//! Section 3 of the paper defines the correctness framework for the
+//! transaction tier: a fully replicated, per-transaction-group write-ahead
+//! log whose entries are committed transactions, subject to
+//!
+//! * **(L1)** the log contains only operations of committed transactions,
+//! * **(L2)** all operations of a committed transaction live in one log
+//!   position,
+//! * **(L3)** appending an entry preserves one-copy serializability of the
+//!   history contained in the log,
+//! * **(R1)** no two replicas disagree on the value of a log position,
+//!
+//! plus the read rules **(A1)** (read-your-writes) and **(A2)** (all reads
+//! of a transaction are served at a single read position).
+//!
+//! This crate provides the vocabulary types ([`Transaction`], [`LogEntry`],
+//! [`LogPosition`], [`GroupLog`]), the conflict relations used by the
+//! Paxos-CP *combination* and *promotion* enhancements, and an offline
+//! [`checker`] that verifies one-copy serializability (Definition 1) and
+//! replica agreement over the logs produced by a simulation — the same
+//! obligations the paper discharges by proof, discharged here by exhaustive
+//! checking on every experiment run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod combine;
+mod entry;
+mod log;
+mod types;
+
+pub use entry::LogEntry;
+pub use log::{GroupLog, LogError};
+pub use types::{GroupKey, ItemRef, LogPosition, ReadRecord, Transaction, TxnId, WriteRecord};

@@ -1,0 +1,240 @@
+//! A single replica's copy of a transaction group's write-ahead log.
+
+use crate::entry::LogEntry;
+use crate::types::LogPosition;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised by log maintenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogError {
+    /// An attempt was made to install a different value at an
+    /// already-decided position — this would violate replication property
+    /// (R1) and indicates a protocol bug, so the log refuses it.
+    ConflictingEntry {
+        /// The position being written.
+        position: LogPosition,
+    },
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::ConflictingEntry { position } => {
+                write!(f, "conflicting entry for already-decided log position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// One replica's write-ahead log for one transaction group.
+///
+/// Entries may be installed out of order (a replica can miss Paxos messages
+/// and learn later positions first); the log tracks both the highest decided
+/// position and the highest position up to which the prefix is gap-free,
+/// plus an *applied* cursor recording how far entries have been flushed into
+/// the local key-value store.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GroupLog {
+    entries: BTreeMap<LogPosition, LogEntry>,
+    applied_through: LogPosition,
+}
+
+impl GroupLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        GroupLog::default()
+    }
+
+    /// Install `entry` at `position` (idempotent). Installing a *different*
+    /// entry at a decided position is an (R1) violation and returns an error.
+    pub fn install(&mut self, position: LogPosition, entry: LogEntry) -> Result<(), LogError> {
+        debug_assert!(position > LogPosition::ZERO, "log positions start at 1");
+        match self.entries.get(&position) {
+            Some(existing) if *existing != entry => Err(LogError::ConflictingEntry { position }),
+            Some(_) => Ok(()),
+            None => {
+                self.entries.insert(position, entry);
+                Ok(())
+            }
+        }
+    }
+
+    /// The entry at `position`, if decided locally.
+    pub fn get(&self, position: LogPosition) -> Option<&LogEntry> {
+        self.entries.get(&position)
+    }
+
+    /// Whether `position` has been decided locally.
+    pub fn contains(&self, position: LogPosition) -> bool {
+        self.entries.contains_key(&position)
+    }
+
+    /// The highest decided position (0 when empty).
+    pub fn last_decided(&self) -> LogPosition {
+        self.entries
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(LogPosition::ZERO)
+    }
+
+    /// The highest position `p` such that every position `1..=p` is decided
+    /// locally; 0 when position 1 is missing. This is the position a local
+    /// read can safely be served at without catch-up.
+    pub fn contiguous_prefix(&self) -> LogPosition {
+        let mut expect = LogPosition(1);
+        for pos in self.entries.keys() {
+            if *pos == expect {
+                expect = expect.next();
+            } else if *pos > expect {
+                break;
+            }
+        }
+        expect.prev()
+    }
+
+    /// Positions `1..=through` that are not yet decided locally (the gaps a
+    /// recovering replica must learn before serving reads at `through`).
+    pub fn missing_up_to(&self, through: LogPosition) -> Vec<LogPosition> {
+        (1..=through.0)
+            .map(LogPosition)
+            .filter(|p| !self.entries.contains_key(p))
+            .collect()
+    }
+
+    /// Iterate decided entries in position order.
+    pub fn iter(&self) -> impl Iterator<Item = (LogPosition, &LogEntry)> {
+        self.entries.iter().map(|(p, e)| (*p, e))
+    }
+
+    /// Number of decided positions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been decided.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Highest position whose entry has been applied to the key-value store.
+    pub fn applied_through(&self) -> LogPosition {
+        self.applied_through
+    }
+
+    /// Record that entries up to and including `position` have been applied.
+    /// The cursor never moves backwards.
+    pub fn mark_applied_through(&mut self, position: LogPosition) {
+        if position > self.applied_through {
+            self.applied_through = position;
+        }
+    }
+
+    /// Entries decided but not yet applied, up to `through`, in order.
+    /// Returns `None` if some position in `(applied_through, through]` is
+    /// missing (the caller must catch up first).
+    pub fn unapplied_range(
+        &self,
+        through: LogPosition,
+    ) -> Option<Vec<(LogPosition, &LogEntry)>> {
+        let mut out = Vec::new();
+        let mut pos = self.applied_through.next();
+        while pos <= through {
+            match self.entries.get(&pos) {
+                Some(e) => out.push((pos, e)),
+                None => return None,
+            }
+            pos = pos.next();
+        }
+        Some(out)
+    }
+
+    /// Total number of committed transactions across all decided entries.
+    pub fn committed_transaction_count(&self) -> usize {
+        self.entries.values().map(|e| e.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ItemRef, Transaction, TxnId};
+
+    fn entry(seq: u64) -> LogEntry {
+        LogEntry::single(
+            Transaction::builder(TxnId::new(0, seq), "g", LogPosition(0))
+                .write(ItemRef::new("row", "a"), seq.to_string())
+                .build(),
+        )
+    }
+
+    #[test]
+    fn install_is_idempotent_but_rejects_conflicts() {
+        let mut log = GroupLog::new();
+        log.install(LogPosition(1), entry(1)).unwrap();
+        log.install(LogPosition(1), entry(1)).unwrap();
+        let err = log.install(LogPosition(1), entry(2)).unwrap_err();
+        assert_eq!(err, LogError::ConflictingEntry { position: LogPosition(1) });
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn contiguous_prefix_and_gaps() {
+        let mut log = GroupLog::new();
+        assert_eq!(log.contiguous_prefix(), LogPosition::ZERO);
+        log.install(LogPosition(1), entry(1)).unwrap();
+        log.install(LogPosition(2), entry(2)).unwrap();
+        log.install(LogPosition(4), entry(4)).unwrap();
+        assert_eq!(log.last_decided(), LogPosition(4));
+        assert_eq!(log.contiguous_prefix(), LogPosition(2));
+        assert_eq!(log.missing_up_to(LogPosition(4)), vec![LogPosition(3)]);
+        assert_eq!(log.missing_up_to(LogPosition(2)), vec![]);
+        log.install(LogPosition(3), entry(3)).unwrap();
+        assert_eq!(log.contiguous_prefix(), LogPosition(4));
+    }
+
+    #[test]
+    fn applied_cursor_and_unapplied_range() {
+        let mut log = GroupLog::new();
+        for i in 1..=3 {
+            log.install(LogPosition(i), entry(i)).unwrap();
+        }
+        let pending = log.unapplied_range(LogPosition(3)).unwrap();
+        assert_eq!(pending.len(), 3);
+        log.mark_applied_through(LogPosition(2));
+        assert_eq!(log.applied_through(), LogPosition(2));
+        let pending = log.unapplied_range(LogPosition(3)).unwrap();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].0, LogPosition(3));
+        // Cursor never regresses.
+        log.mark_applied_through(LogPosition(1));
+        assert_eq!(log.applied_through(), LogPosition(2));
+        // A gap makes the range unavailable.
+        log.install(LogPosition(5), entry(5)).unwrap();
+        assert!(log.unapplied_range(LogPosition(5)).is_none());
+    }
+
+    #[test]
+    fn committed_transaction_count_sums_entries() {
+        let mut log = GroupLog::new();
+        log.install(LogPosition(1), entry(1)).unwrap();
+        log.install(
+            LogPosition(2),
+            LogEntry::combined(vec![
+                Transaction::builder(TxnId::new(0, 10), "g", LogPosition(1))
+                    .write(ItemRef::new("row", "b"), "1")
+                    .build(),
+                Transaction::builder(TxnId::new(1, 11), "g", LogPosition(1))
+                    .write(ItemRef::new("row", "c"), "2")
+                    .build(),
+            ]),
+        )
+        .unwrap();
+        log.install(LogPosition(3), LogEntry::noop()).unwrap();
+        assert_eq!(log.committed_transaction_count(), 3);
+    }
+}

@@ -1,0 +1,306 @@
+//! Vocabulary types: log positions, transaction identifiers, read/write sets.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Key of a transaction group: the unit of transactional access and of
+/// write-ahead-log replication (§2.1). Every data item belongs to exactly
+/// one group.
+pub type GroupKey = String;
+
+/// Position in a transaction group's write-ahead log.
+///
+/// Positions are numbered from 1; position 0 denotes the empty log prefix
+/// ("no transaction committed yet") and is used as the read position of the
+/// very first transaction.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LogPosition(pub u64);
+
+impl LogPosition {
+    /// The empty prefix (before the first entry).
+    pub const ZERO: LogPosition = LogPosition(0);
+
+    /// The following log position.
+    pub fn next(self) -> LogPosition {
+        LogPosition(self.0 + 1)
+    }
+
+    /// The preceding log position (saturating at zero).
+    pub fn prev(self) -> LogPosition {
+        LogPosition(self.0.saturating_sub(1))
+    }
+
+    /// Convert to the key-value-store timestamp used for writes committed at
+    /// this position (§3.2: the commit log position is the write timestamp).
+    pub fn as_timestamp(self) -> mvkv::Timestamp {
+        mvkv::Timestamp(self.0)
+    }
+}
+
+impl fmt::Debug for LogPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pos({})", self.0)
+    }
+}
+
+impl fmt::Display for LogPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Globally unique transaction identifier: the issuing client plus a
+/// client-local sequence number.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct TxnId {
+    /// Issuing transaction client (node id in the simulation).
+    pub client: u32,
+    /// Client-local sequence number.
+    pub seq: u64,
+}
+
+impl TxnId {
+    /// Construct a transaction id.
+    pub fn new(client: u32, seq: u64) -> Self {
+        TxnId { client, seq }
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}t{}", self.client, self.seq)
+    }
+}
+
+/// A reference to a data item: a row key plus an attribute (column) name.
+/// The paper's evaluation uses a single row with many attributes, so
+/// conflicts are attribute-granular.
+#[derive(
+    Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct ItemRef {
+    /// Row key within the transaction group.
+    pub key: String,
+    /// Attribute (column) name.
+    pub attr: String,
+}
+
+impl ItemRef {
+    /// Construct an item reference.
+    pub fn new(key: impl Into<String>, attr: impl Into<String>) -> Self {
+        ItemRef {
+            key: key.into(),
+            attr: attr.into(),
+        }
+    }
+}
+
+impl fmt::Display for ItemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.key, self.attr)
+    }
+}
+
+/// One read performed by a transaction, with the value it observed (used by
+/// the offline serializability checker to validate reads-from relations).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ReadRecord {
+    /// The item that was read.
+    pub item: ItemRef,
+    /// The value observed; `None` means the item had never been written as
+    /// of the transaction's read position.
+    pub observed: Option<String>,
+}
+
+/// One write performed by a transaction.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct WriteRecord {
+    /// The item written.
+    pub item: ItemRef,
+    /// The value written.
+    pub value: String,
+}
+
+/// A read/write transaction as it appears in the write-ahead log: its
+/// identity, the read position it used for every read (A2), the reads it
+/// performed (with observed values) and the writes it intends to install.
+///
+/// Read-only transactions never enter the log (§3.2) and are therefore not
+/// represented by this type.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Unique transaction identifier.
+    pub id: TxnId,
+    /// The transaction group this transaction operated on.
+    pub group: GroupKey,
+    /// The log position whose prefix every read observed (A2).
+    pub read_position: LogPosition,
+    /// Reads performed, in program order.
+    pub reads: Vec<ReadRecord>,
+    /// Writes to be installed at the commit position.
+    pub writes: Vec<WriteRecord>,
+}
+
+impl Transaction {
+    /// Start building a transaction.
+    pub fn builder(id: TxnId, group: impl Into<GroupKey>, read_position: LogPosition) -> TransactionBuilder {
+        TransactionBuilder {
+            txn: Transaction {
+                id,
+                group: group.into(),
+                read_position,
+                reads: Vec::new(),
+                writes: Vec::new(),
+            },
+        }
+    }
+
+    /// The set of items read (deduplicated).
+    pub fn read_set(&self) -> BTreeSet<&ItemRef> {
+        self.reads.iter().map(|r| &r.item).collect()
+    }
+
+    /// The set of items written (deduplicated, last write wins is irrelevant
+    /// for conflict analysis).
+    pub fn write_set(&self) -> BTreeSet<&ItemRef> {
+        self.writes.iter().map(|w| &w.item).collect()
+    }
+
+    /// The final value written per item (last write in program order wins).
+    pub fn final_writes(&self) -> BTreeMap<&ItemRef, &str> {
+        let mut map = BTreeMap::new();
+        for w in &self.writes {
+            map.insert(&w.item, w.value.as_str());
+        }
+        map
+    }
+
+    /// Whether this transaction wrote anything (read-only transactions are
+    /// never logged, but the type does not forbid constructing them).
+    pub fn is_read_write(&self) -> bool {
+        !self.writes.is_empty()
+    }
+
+    /// Does this transaction read any item that `other` writes?
+    ///
+    /// This is the relation the Paxos-CP enhancements care about: if `self`
+    /// reads something `other` wrote and `other` is serialized after
+    /// `self`'s read position but before `self`, then `self`'s reads are
+    /// stale and it cannot be combined with or promoted past `other`.
+    pub fn reads_item_written_by(&self, other: &Transaction) -> bool {
+        let writes = other.write_set();
+        self.reads.iter().any(|r| writes.contains(&r.item))
+    }
+
+    /// Does this transaction write any item that `other` also writes?
+    /// Not a correctness obstacle in the paper's model (blind writes at the
+    /// same position are ordered by list order), but useful for analysis.
+    pub fn writes_overlap(&self, other: &Transaction) -> bool {
+        let writes = other.write_set();
+        self.writes.iter().any(|w| writes.contains(&w.item))
+    }
+}
+
+/// Builder for [`Transaction`].
+pub struct TransactionBuilder {
+    txn: Transaction,
+}
+
+impl TransactionBuilder {
+    /// Record a read of `item` observing `observed`.
+    pub fn read(mut self, item: ItemRef, observed: Option<&str>) -> Self {
+        self.txn.reads.push(ReadRecord {
+            item,
+            observed: observed.map(str::to_owned),
+        });
+        self
+    }
+
+    /// Record a write of `value` to `item`.
+    pub fn write(mut self, item: ItemRef, value: impl Into<String>) -> Self {
+        self.txn.writes.push(WriteRecord {
+            item,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Transaction {
+        self.txn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(a: &str) -> ItemRef {
+        ItemRef::new("row", a)
+    }
+
+    fn txn(id: u64, reads: &[&str], writes: &[&str]) -> Transaction {
+        let mut b = Transaction::builder(TxnId::new(1, id), "g", LogPosition(0));
+        for r in reads {
+            b = b.read(item(r), Some("v"));
+        }
+        for w in writes {
+            b = b.write(item(w), "x");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn log_position_arithmetic() {
+        assert_eq!(LogPosition(3).next(), LogPosition(4));
+        assert_eq!(LogPosition(3).prev(), LogPosition(2));
+        assert_eq!(LogPosition::ZERO.prev(), LogPosition::ZERO);
+        assert_eq!(LogPosition(5).as_timestamp(), mvkv::Timestamp(5));
+        assert_eq!(format!("{}", LogPosition(5)), "5");
+    }
+
+    #[test]
+    fn read_write_sets_deduplicate() {
+        let t = txn(1, &["a", "a", "b"], &["c", "c"]);
+        assert_eq!(t.read_set().len(), 2);
+        assert_eq!(t.write_set().len(), 1);
+        assert!(t.is_read_write());
+        assert!(!txn(2, &["a"], &[]).is_read_write());
+    }
+
+    #[test]
+    fn final_writes_takes_last_value() {
+        let t = Transaction::builder(TxnId::new(1, 1), "g", LogPosition(0))
+            .write(item("a"), "first")
+            .write(item("a"), "second")
+            .build();
+        let finals = t.final_writes();
+        assert_eq!(finals.len(), 1);
+        assert_eq!(finals.values().next().copied(), Some("second"));
+    }
+
+    #[test]
+    fn conflict_relations() {
+        let reader = txn(1, &["a", "b"], &["z"]);
+        let writer = txn(2, &[], &["b"]);
+        let disjoint = txn(3, &["q"], &["r"]);
+        assert!(reader.reads_item_written_by(&writer));
+        assert!(!writer.reads_item_written_by(&reader));
+        assert!(!reader.reads_item_written_by(&disjoint));
+        let other_writer = txn(4, &[], &["z"]);
+        assert!(reader.writes_overlap(&other_writer));
+        assert!(!reader.writes_overlap(&writer));
+    }
+
+    #[test]
+    fn txn_id_display_and_ordering() {
+        assert_eq!(format!("{}", TxnId::new(3, 9)), "c3t9");
+        assert!(TxnId::new(1, 2) < TxnId::new(2, 0));
+        assert_eq!(format!("{}", ItemRef::new("row", "a7")), "row.a7");
+    }
+}

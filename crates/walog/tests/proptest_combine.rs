@@ -1,0 +1,109 @@
+//! Property tests for the combination logic and the serializability checker.
+
+use proptest::prelude::*;
+use walog::checker::{check_one_copy_serializability, Violation};
+use walog::combine::{best_combination, can_append, is_valid_combination};
+use walog::{GroupLog, ItemRef, LogEntry, LogPosition, Transaction, TxnId};
+
+/// Strategy producing a transaction over a small attribute universe.
+fn txn_strategy(client: u32, seq: u64) -> impl Strategy<Value = Transaction> {
+    (
+        proptest::collection::btree_set(0u8..6, 0..3),
+        proptest::collection::btree_set(0u8..6, 1..3),
+    )
+        .prop_map(move |(reads, writes)| {
+            let mut b = Transaction::builder(TxnId::new(client, seq), "g", LogPosition(0));
+            for r in reads {
+                b = b.read(ItemRef::new("row", format!("a{r}")), Some("v"));
+            }
+            for w in writes {
+                b = b.write(ItemRef::new("row", format!("a{w}")), "x");
+            }
+            b.build()
+        })
+}
+
+fn txn_pool(n: usize) -> impl Strategy<Value = Vec<Transaction>> {
+    (0..n)
+        .map(|i| txn_strategy(i as u32, i as u64))
+        .collect::<Vec<_>>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// best_combination always returns a valid list containing the client's
+    /// own transaction, regardless of candidate shape, and never duplicates.
+    #[test]
+    fn combination_is_always_valid_and_contains_own(pool in txn_pool(6)) {
+        let own = &pool[0];
+        let candidates = &pool[1..];
+        let combo = best_combination(own, candidates);
+        prop_assert!(combo.iter().any(|t| t.id == own.id));
+        prop_assert!(is_valid_combination(&combo));
+        let mut ids: Vec<_> = combo.iter().map(|t| t.id).collect();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), combo.len());
+    }
+
+    /// Appending via can_append preserves validity: an inductive restatement
+    /// of the combination safety argument of Theorem 3.
+    #[test]
+    fn can_append_preserves_validity(pool in txn_pool(7)) {
+        let mut list: Vec<Transaction> = Vec::new();
+        for txn in pool {
+            if can_append(&list, &txn) {
+                list.push(txn);
+                prop_assert!(is_valid_combination(&list));
+            }
+        }
+    }
+
+    /// A log whose entries are built exclusively from valid combinations of
+    /// fresh-read transactions passes the one-copy serializability checker.
+    ///
+    /// Transactions here read nothing (blind writes), so any packing is
+    /// serializable; the checker must agree.
+    #[test]
+    fn blind_write_histories_always_pass_checker(
+        sizes in proptest::collection::vec(1usize..4, 1..6)
+    ) {
+        let mut log = GroupLog::new();
+        let mut seq = 0u64;
+        for (i, size) in sizes.iter().enumerate() {
+            let pos = LogPosition(i as u64 + 1);
+            let txns: Vec<Transaction> = (0..*size)
+                .map(|j| {
+                    seq += 1;
+                    Transaction::builder(TxnId::new(j as u32, seq), "g", pos.prev())
+                        .write(ItemRef::new("row", format!("a{}", seq % 5)), seq.to_string())
+                        .build()
+                })
+                .collect();
+            log.install(pos, LogEntry::combined(txns)).unwrap();
+        }
+        prop_assert!(check_one_copy_serializability(&log).is_ok());
+    }
+
+    /// Forged histories in which a transaction's observed read value is
+    /// tampered with are always rejected by the checker.
+    #[test]
+    fn tampered_observation_is_always_caught(real in 1u64..50, fake in 51u64..100) {
+        let mut log = GroupLog::new();
+        let writer = Transaction::builder(TxnId::new(0, 1), "g", LogPosition(0))
+            .write(ItemRef::new("row", "x"), real.to_string())
+            .build();
+        log.install(LogPosition(1), LogEntry::single(writer)).unwrap();
+        let reader = Transaction::builder(TxnId::new(1, 2), "g", LogPosition(1))
+            .read(ItemRef::new("row", "x"), Some(&fake.to_string()))
+            .write(ItemRef::new("row", "y"), "1")
+            .build();
+        log.install(LogPosition(2), LogEntry::single(reader)).unwrap();
+        let tampered_caught = matches!(
+            check_one_copy_serializability(&log),
+            Err(Violation::WrongObservedValue { .. })
+        );
+        prop_assert!(tampered_caught);
+    }
+}

@@ -1,0 +1,298 @@
+//! One benchmark client thread, as a simulation actor.
+
+use mdstore::{ClientAction, ClientConfig, Directory, Msg, RunMetrics, TransactionClient};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{Actor, Context, NodeId, SimDuration, SimTime};
+use std::sync::Arc;
+use walog::GroupKey;
+
+/// Metrics sink shared between a driver actor and the experiment harness.
+pub type SharedMetrics = Arc<Mutex<RunMetrics>>;
+
+/// Reserved timer tag used by the driver itself (client timers use the tags
+/// the client allocates, which start at 1).
+const START_TXN_TAG: u64 = u64::MAX;
+/// Reserved timer tag for "execute the next operation of the open txn".
+const NEXT_OP_TAG: u64 = u64::MAX - 1;
+
+/// Configuration of one benchmark client thread.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Transaction group to operate on.
+    pub group: GroupKey,
+    /// Row key of the entity group (the paper's evaluation uses one row).
+    pub row_key: String,
+    /// Number of attributes in the entity group; operations pick attributes
+    /// uniformly at random from `a0 .. a{n-1}`.
+    pub num_attributes: usize,
+    /// Transactions this driver will issue.
+    pub num_transactions: usize,
+    /// Operations per transaction (the paper uses 10).
+    pub ops_per_txn: usize,
+    /// Fraction of operations that are reads (the paper uses 0.5).
+    pub read_fraction: f64,
+    /// Target transaction rate: a new transaction is started no sooner than
+    /// `1 / target_tps` after the previous one started (and never before the
+    /// previous one finished).
+    pub target_tps: f64,
+    /// Delay before the first transaction (staggered starts).
+    pub start_delay: SimDuration,
+    /// Simulated execution cost of one application operation: the paper's
+    /// YCSB client executes each read against HBase and spends client-side
+    /// CPU per operation, so a 10-operation transaction stays open for on
+    /// the order of a hundred milliseconds. This knob reproduces that open
+    /// window, which is what creates log-position contention between
+    /// concurrently executing transactions.
+    pub op_delay: SimDuration,
+    /// Uniform jitter fraction applied to each operation's delay (a real
+    /// client's per-operation cost varies; without jitter the simulated
+    /// clients lock into fixed phase relationships that either always or
+    /// never collide, which no real deployment exhibits).
+    pub op_jitter: f64,
+    /// Uniform jitter fraction applied to the inter-arrival time between
+    /// transaction starts, for the same reason.
+    pub arrival_jitter: f64,
+    /// Seed for the operation generator (derived per driver by the runner).
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            group: "group0".into(),
+            row_key: "row0".into(),
+            num_attributes: 100,
+            num_transactions: 125,
+            ops_per_txn: 10,
+            read_fraction: 0.5,
+            target_tps: 1.0,
+            start_delay: SimDuration::ZERO,
+            op_delay: SimDuration::from_millis(10),
+            op_jitter: 0.5,
+            arrival_jitter: 0.3,
+            seed: 1,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// The target inter-arrival time between transaction starts.
+    pub fn interarrival(&self) -> SimDuration {
+        if self.target_tps <= 0.0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros((1_000_000.0 / self.target_tps).round() as u64)
+        }
+    }
+}
+
+/// One benchmark client thread: owns a [`TransactionClient`], issues
+/// transactions per its schedule, and records outcomes into the shared
+/// metrics sink.
+pub struct ClientDriver {
+    config: DriverConfig,
+    client: TransactionClient,
+    metrics: SharedMetrics,
+    rng: StdRng,
+    issued: usize,
+    last_start: Option<SimTime>,
+    waiting_commit: bool,
+    /// Operations still to execute for the currently open transaction.
+    ops_remaining: usize,
+    op_seq: u64,
+}
+
+impl ClientDriver {
+    /// Create a driver for `node`, homed at `home_replica`.
+    pub fn new(
+        node: NodeId,
+        home_replica: usize,
+        directory: Arc<Directory>,
+        client_config: ClientConfig,
+        config: DriverConfig,
+        metrics: SharedMetrics,
+    ) -> Self {
+        let seed = config.seed;
+        ClientDriver {
+            config,
+            client: TransactionClient::new(node, home_replica, directory, client_config),
+            metrics,
+            rng: StdRng::seed_from_u64(seed),
+            issued: 0,
+            last_start: None,
+            waiting_commit: false,
+            ops_remaining: 0,
+            op_seq: 0,
+        }
+    }
+
+    /// Number of transactions issued so far.
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+
+    fn attr_name(&mut self) -> String {
+        let idx = self.rng.gen_range(0..self.config.num_attributes.max(1));
+        format!("a{idx}")
+    }
+
+    fn jittered(&mut self, base: SimDuration, fraction: f64) -> SimDuration {
+        if fraction <= 0.0 || base == SimDuration::ZERO {
+            return base;
+        }
+        let factor = 1.0 + fraction * (self.rng.gen::<f64>() * 2.0 - 1.0);
+        base.mul_f64(factor.max(0.0))
+    }
+
+    fn apply_actions(&mut self, ctx: &mut Context<Msg>, actions: Vec<ClientAction>) {
+        for action in actions {
+            match action {
+                ClientAction::Send(to, msg) => ctx.send(to, msg),
+                ClientAction::ArmTimer { delay, tag } => {
+                    ctx.set_timer(delay, tag);
+                }
+                ClientAction::Finished(result) => {
+                    self.metrics.lock().record(&result);
+                    self.waiting_commit = false;
+                    self.schedule_next(ctx);
+                }
+            }
+        }
+    }
+
+    fn schedule_next(&mut self, ctx: &mut Context<Msg>) {
+        if self.issued >= self.config.num_transactions {
+            return;
+        }
+        let gap = self.jittered(self.config.interarrival(), self.config.arrival_jitter);
+        let earliest = match self.last_start {
+            Some(start) => start + gap,
+            None => SimTime::ZERO,
+        };
+        let now = ctx.now();
+        if earliest > now {
+            ctx.set_timer(earliest - now, START_TXN_TAG);
+        } else {
+            self.start_transaction(ctx);
+        }
+    }
+
+    fn start_transaction(&mut self, ctx: &mut Context<Msg>) {
+        if self.waiting_commit || self.client.in_transaction()
+            || self.issued >= self.config.num_transactions
+        {
+            return;
+        }
+        self.issued += 1;
+        self.last_start = Some(ctx.now());
+        self.client
+            .begin(ctx.now(), self.config.group.clone())
+            .expect("driver issues transactions sequentially");
+        self.ops_remaining = self.config.ops_per_txn;
+        // Each operation costs `op_delay` of simulated execution time; the
+        // transaction stays open while they run, which is what creates
+        // contention for its commit position.
+        self.schedule_or_run_next_op(ctx);
+    }
+
+    fn schedule_or_run_next_op(&mut self, ctx: &mut Context<Msg>) {
+        if self.config.op_delay == SimDuration::ZERO {
+            while self.ops_remaining > 0 {
+                self.run_one_op(ctx);
+            }
+            self.start_commit(ctx);
+        } else {
+            let delay = self.jittered(self.config.op_delay, self.config.op_jitter);
+            ctx.set_timer(delay, NEXT_OP_TAG);
+        }
+    }
+
+    fn run_one_op(&mut self, ctx: &mut Context<Msg>) {
+        let attr = self.attr_name();
+        if self.rng.gen::<f64>() < self.config.read_fraction {
+            self.client
+                .read(&self.config.row_key.clone(), &attr)
+                .expect("read inside an active transaction");
+        } else {
+            self.op_seq += 1;
+            let value = format!("v{}-{}", ctx.node().0, self.op_seq);
+            self.client
+                .write(&self.config.row_key.clone(), &attr, value)
+                .expect("write inside an active transaction");
+        }
+        self.ops_remaining -= 1;
+    }
+
+    fn on_op_timer(&mut self, ctx: &mut Context<Msg>) {
+        if self.ops_remaining == 0 || !self.client.in_transaction() {
+            return;
+        }
+        self.run_one_op(ctx);
+        if self.ops_remaining > 0 {
+            let delay = self.jittered(self.config.op_delay, self.config.op_jitter);
+            ctx.set_timer(delay, NEXT_OP_TAG);
+        } else {
+            self.start_commit(ctx);
+        }
+    }
+
+    fn start_commit(&mut self, ctx: &mut Context<Msg>) {
+        self.waiting_commit = true;
+        let actions = self
+            .client
+            .commit(ctx.now())
+            .expect("commit of the just-built transaction");
+        self.apply_actions(ctx, actions);
+    }
+}
+
+impl Actor<Msg> for ClientDriver {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        if self.config.num_transactions == 0 {
+            return;
+        }
+        ctx.set_timer(self.config.start_delay, START_TXN_TAG);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+        let now = ctx.now();
+        let actions = self.client.on_message(now, from, &msg);
+        self.apply_actions(ctx, actions);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
+        match tag {
+            START_TXN_TAG => self.start_transaction(ctx),
+            NEXT_OP_TAG => self.on_op_timer(ctx),
+            _ => {
+                let now = ctx.now();
+                let actions = self.client.on_timer(now, tag);
+                self.apply_actions(ctx, actions);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interarrival_from_target_tps() {
+        let at_rate = |tps: f64| DriverConfig { target_tps: tps, ..DriverConfig::default() };
+        assert_eq!(at_rate(2.0).interarrival(), SimDuration::from_millis(500));
+        assert_eq!(at_rate(0.5).interarrival(), SimDuration::from_secs(2));
+        assert_eq!(at_rate(0.0).interarrival(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn default_config_matches_the_paper_workload() {
+        let cfg = DriverConfig::default();
+        assert_eq!(cfg.ops_per_txn, 10);
+        assert!((cfg.read_fraction - 0.5).abs() < f64::EPSILON);
+        assert_eq!(cfg.num_attributes, 100);
+        assert!((cfg.target_tps - 1.0).abs() < f64::EPSILON);
+    }
+}

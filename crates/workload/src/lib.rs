@@ -1,0 +1,31 @@
+//! # workload — YCSB-style transactional workloads and the experiment runner
+//!
+//! The paper evaluates its prototype with the Yahoo! Cloud Serving Benchmark
+//! extended with transaction support: every experiment issues 500
+//! transactions of ten operations each (50 % reads, 50 % writes) against a
+//! single entity group stored as one row with a configurable number of
+//! attributes, at a target rate of one transaction per second per client
+//! thread, with staggered thread starts (§6).
+//!
+//! This crate reproduces that workload generator on top of the simulated
+//! cluster:
+//!
+//! * [`DriverConfig`] / [`ClientDriver`] — one benchmark "thread": an actor
+//!   owning a [`mdstore::TransactionClient`], issuing transactions on a
+//!   schedule and recording outcomes;
+//! * [`ExperimentSpec`] / [`run_experiment`] — build a cluster from a
+//!   topology, place drivers, run the simulation to completion, verify the
+//!   resulting logs with the serializability checker, and aggregate metrics
+//!   into an [`ExperimentResult`] (commit counts by promotion round, latency
+//!   by round, combination counts — the quantities plotted in Figures 4–8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod runner;
+mod spec;
+
+pub use driver::{ClientDriver, DriverConfig, SharedMetrics};
+pub use runner::run_experiment;
+pub use spec::{ExperimentResult, ExperimentSpec, Placement};

@@ -1,0 +1,134 @@
+//! Build a cluster from an experiment spec, run it, verify it, aggregate it.
+
+use crate::driver::{ClientDriver, DriverConfig, SharedMetrics};
+use crate::spec::{ExperimentResult, ExperimentSpec};
+use mdstore::{Cluster, ClusterConfig, RunMetrics};
+use parking_lot::Mutex;
+use simnet::SimDuration;
+use std::sync::Arc;
+
+/// Run one experiment to completion and return its measurements.
+///
+/// The run panics if the resulting logs violate replica agreement or
+/// one-copy serializability: correctness is checked on every experiment, not
+/// just in unit tests.
+pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
+    let mut cluster = Cluster::build(
+        ClusterConfig::new(spec.topology.clone(), spec.protocol).with_seed(spec.seed),
+    );
+
+    // One shared metrics sink per client so per-datacenter numbers (Figure 8)
+    // can be reconstructed afterwards.
+    let mut sinks: Vec<SharedMetrics> = Vec::with_capacity(spec.num_clients);
+    let mut client_replicas = Vec::with_capacity(spec.num_clients);
+    for client_index in 0..spec.num_clients {
+        let replica = spec.replica_for_client(client_index);
+        let metrics: SharedMetrics = Arc::new(Mutex::new(RunMetrics::default()));
+        sinks.push(metrics.clone());
+        client_replicas.push(replica);
+
+        let mut client_config = cluster.client_config();
+        if let Some(cap) = spec.max_promotions {
+            client_config.max_promotions = cap;
+        }
+        if let Some(combination) = spec.combination {
+            client_config.combination = combination;
+        }
+        if let Some(fast_path) = spec.fast_path {
+            client_config.fast_path = fast_path;
+        }
+
+        let driver_config = DriverConfig {
+            group: "group0".into(),
+            row_key: "row0".into(),
+            num_attributes: spec.num_attributes,
+            num_transactions: spec.transactions_per_client,
+            ops_per_txn: spec.ops_per_txn,
+            read_fraction: spec.read_fraction,
+            target_tps: spec.target_tps,
+            op_delay: spec.op_delay,
+            op_jitter: 0.5,
+            arrival_jitter: 0.3,
+            start_delay: SimDuration::from_micros(
+                spec.stagger.as_micros() * client_index as u64,
+            ),
+            seed: spec.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (client_index as u64 + 1),
+        };
+
+        let directory = cluster.directory();
+        cluster.add_client(replica, |node| {
+            Box::new(ClientDriver::new(
+                node,
+                replica,
+                directory,
+                client_config,
+                driver_config,
+                metrics,
+            ))
+        });
+    }
+
+    let started = cluster.now();
+    cluster.run_to_completion();
+    let duration = cluster.now() - started;
+
+    let check = cluster
+        .verify()
+        .expect("experiment produced a non-serializable or diverged history");
+
+    let per_client: Vec<RunMetrics> = sinks.iter().map(|s| s.lock().clone()).collect();
+    let mut totals = RunMetrics::default();
+    for metrics in &per_client {
+        totals.merge(metrics);
+    }
+    assert_eq!(
+        totals.attempted,
+        spec.total_transactions(),
+        "every scheduled transaction must reach an outcome"
+    );
+
+    ExperimentResult {
+        name: spec.name.clone(),
+        cluster: spec.topology.name(),
+        protocol: spec.protocol.name().to_string(),
+        attempted: totals.attempted,
+        totals,
+        per_client,
+        client_replicas,
+        check,
+        net: cluster.sim().stats().clone(),
+        duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdstore::{CommitProtocol, Topology};
+
+    /// A deliberately small smoke test; the full 500-transaction runs live in
+    /// the integration tests and the benchmark harness.
+    #[test]
+    fn small_experiment_runs_and_verifies() {
+        let spec = ExperimentSpec::paper_default(Topology::vvv(), CommitProtocol::PaxosCp)
+            .with_clients(2, 10)
+            .with_seed(7);
+        let result = run_experiment(&spec);
+        assert_eq!(result.attempted, 20);
+        assert!(result.totals.committed + result.totals.aborted == 20);
+        assert!(result.totals.committed > 0);
+        assert!(!result.check.is_empty());
+        assert_eq!(result.per_client.len(), 2);
+        assert!(result.commit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn basic_paxos_never_promotes() {
+        let spec = ExperimentSpec::paper_default(Topology::vvv(), CommitProtocol::BasicPaxos)
+            .with_clients(2, 10)
+            .with_seed(11);
+        let result = run_experiment(&spec);
+        assert_eq!(result.attempted, 20);
+        assert_eq!(result.totals.promoted_commits(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Experiment specifications and results.
+
+use mdstore::{CommitProtocol, RunMetrics, Topology};
+use serde::{Deserialize, Serialize};
+use simnet::{NetStats, SimDuration};
+use walog::checker::CheckReport;
+use walog::GroupKey;
+
+/// Where benchmark clients are placed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Every client runs in the given datacenter (one YCSB instance, the
+    /// setting of Figures 4–7).
+    AllAt(usize),
+    /// Clients are spread round-robin over the datacenters (one YCSB
+    /// instance per datacenter, the setting of Figure 8).
+    RoundRobin,
+}
+
+/// A complete experiment description: cluster, protocol and workload.
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    /// Human-readable name (used in harness output).
+    pub name: String,
+    /// Datacenter layout.
+    pub topology: Topology,
+    /// Commit protocol under test.
+    pub protocol: CommitProtocol,
+    /// Number of concurrent benchmark clients (the paper uses 4 threads).
+    pub num_clients: usize,
+    /// Client placement.
+    pub placement: Placement,
+    /// Transactions issued per client.
+    pub transactions_per_client: usize,
+    /// Operations per transaction.
+    pub ops_per_txn: usize,
+    /// Fraction of read operations.
+    pub read_fraction: f64,
+    /// Total attributes in the entity group (contention knob of Figure 6).
+    pub num_attributes: usize,
+    /// Per-client target transaction rate (throughput knob of Figure 7).
+    pub target_tps: f64,
+    /// Simulated execution cost per application operation (models the YCSB
+    /// client's per-operation HBase access and processing time; see
+    /// `DriverConfig::op_delay`).
+    pub op_delay: SimDuration,
+    /// Gap between successive clients' first transactions (staggered starts).
+    pub stagger: SimDuration,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Promotion cap override (`None` = protocol default).
+    pub max_promotions: Option<Option<u32>>,
+    /// Combination enable override (`None` = protocol default).
+    pub combination: Option<bool>,
+    /// Leader fast path override (`None` = protocol default).
+    pub fast_path: Option<bool>,
+}
+
+impl ExperimentSpec {
+    /// The paper's default workload — 500 transactions split over 4 clients,
+    /// 10 operations per transaction, 50 % reads, 100 attributes, 1 tx/s per
+    /// client — on the given cluster and protocol.
+    pub fn paper_default(topology: Topology, protocol: CommitProtocol) -> Self {
+        ExperimentSpec {
+            name: format!("{}-{}", topology.name(), protocol.name()),
+            topology,
+            protocol,
+            num_clients: 4,
+            placement: Placement::AllAt(0),
+            transactions_per_client: 125,
+            ops_per_txn: 10,
+            read_fraction: 0.5,
+            num_attributes: 100,
+            target_tps: 1.0,
+            op_delay: SimDuration::from_millis(18),
+            stagger: SimDuration::from_millis(250),
+            seed: 42,
+            max_promotions: None,
+            combination: None,
+            fast_path: None,
+        }
+    }
+
+    /// Total transactions across all clients.
+    pub fn total_transactions(&self) -> usize {
+        self.num_clients * self.transactions_per_client
+    }
+
+    /// Builder-style name override.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style attribute-count override (contention knob).
+    pub fn with_attributes(mut self, n: usize) -> Self {
+        self.num_attributes = n;
+        self
+    }
+
+    /// Builder-style per-client target rate override (throughput knob).
+    pub fn with_target_tps(mut self, tps: f64) -> Self {
+        self.target_tps = tps;
+        self
+    }
+
+    /// Builder-style placement override.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Builder-style client-count / per-client-transaction override.
+    pub fn with_clients(mut self, clients: usize, transactions_each: usize) -> Self {
+        self.num_clients = clients;
+        self.transactions_per_client = transactions_each;
+        self
+    }
+
+    /// The datacenter a given client index is placed in.
+    pub fn replica_for_client(&self, client_index: usize) -> usize {
+        match self.placement {
+            Placement::AllAt(replica) => replica.min(self.topology.num_datacenters() - 1),
+            Placement::RoundRobin => client_index % self.topology.num_datacenters(),
+        }
+    }
+}
+
+/// Everything measured in one experiment run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment name (copied from the spec).
+    pub name: String,
+    /// Cluster name (e.g. `"VVV"`).
+    pub cluster: String,
+    /// Protocol name (`"paxos"` or `"paxos-cp"`).
+    pub protocol: String,
+    /// Total transactions attempted.
+    pub attempted: usize,
+    /// Aggregate metrics over all clients.
+    pub totals: RunMetrics,
+    /// Per-client metrics, in client order (Figure 8 reports per datacenter;
+    /// combine with `client_replicas`).
+    pub per_client: Vec<RunMetrics>,
+    /// The datacenter each client was placed in.
+    pub client_replicas: Vec<usize>,
+    /// Serializability check report per transaction group (the run fails
+    /// loudly before producing a result if any property is violated).
+    pub check: Vec<(GroupKey, CheckReport)>,
+    /// Network statistics of the simulation.
+    pub net: NetStats,
+    /// Virtual time the experiment took.
+    pub duration: SimDuration,
+}
+
+impl ExperimentResult {
+    /// Commit counts summed per promotion round, padded to `rounds` entries.
+    pub fn commits_by_round(&self, rounds: usize) -> Vec<usize> {
+        let mut out = self.totals.commits_by_promotion.clone();
+        if out.len() < rounds {
+            out.resize(rounds, 0);
+        }
+        out
+    }
+
+    /// Fraction of attempted transactions that committed.
+    pub fn commit_ratio(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.totals.committed as f64 / self.attempted as f64
+        }
+    }
+
+    /// Aggregate metrics of the clients placed in one datacenter.
+    pub fn metrics_for_replica(&self, replica: usize) -> RunMetrics {
+        let mut total = RunMetrics::default();
+        for (metrics, r) in self.per_client.iter().zip(&self.client_replicas) {
+            if *r == replica {
+                total.merge(metrics);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_500_transactions() {
+        let spec = ExperimentSpec::paper_default(Topology::vvv(), CommitProtocol::PaxosCp);
+        assert_eq!(spec.total_transactions(), 500);
+        assert_eq!(spec.num_clients, 4);
+        assert_eq!(spec.ops_per_txn, 10);
+    }
+
+    #[test]
+    fn placement_maps_clients_to_replicas() {
+        let spec = ExperimentSpec::paper_default(Topology::voc(), CommitProtocol::PaxosCp)
+            .with_placement(Placement::RoundRobin)
+            .with_clients(3, 500);
+        assert_eq!(spec.replica_for_client(0), 0);
+        assert_eq!(spec.replica_for_client(1), 1);
+        assert_eq!(spec.replica_for_client(2), 2);
+        let spec = spec.with_placement(Placement::AllAt(1));
+        assert_eq!(spec.replica_for_client(2), 1);
+        // Out-of-range placement clamps to the last datacenter.
+        let spec = spec.with_placement(Placement::AllAt(99));
+        assert_eq!(spec.replica_for_client(0), 2);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let spec = ExperimentSpec::paper_default(Topology::vvv(), CommitProtocol::BasicPaxos)
+            .named("x")
+            .with_seed(7)
+            .with_attributes(20)
+            .with_target_tps(4.0);
+        assert_eq!(spec.name, "x");
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.num_attributes, 20);
+        assert!((spec.target_tps - 4.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,45 @@
+//! Contention study: how data contention affects basic Paxos vs. Paxos-CP
+//! (a miniature of Figure 6 of the paper, runnable in a few seconds).
+//!
+//! Basic Paxos aborts one of any two transactions racing for the same log
+//! position regardless of what they touch — concurrency *prevention*.
+//! Paxos-CP only aborts on real read-write conflicts, so its commit rate
+//! climbs as the entity group gets wider (less contention).
+//!
+//! ```text
+//! cargo run --release --example contention_study
+//! ```
+
+use paxos_cp::mdstore::{CommitProtocol, Topology};
+use paxos_cp::workload::{run_experiment, ExperimentSpec};
+
+fn main() {
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>12}",
+        "attributes", "paxos commits", "cp commits", "cp promoted", "cp combined"
+    );
+    for attributes in [10usize, 50, 200] {
+        let mut row = Vec::new();
+        for protocol in [CommitProtocol::BasicPaxos, CommitProtocol::PaxosCp] {
+            let spec = ExperimentSpec::paper_default(Topology::vvv(), protocol)
+                .named(format!("contention-{attributes}-{}", protocol.name()))
+                .with_clients(4, 30)
+                .with_attributes(attributes)
+                .with_seed(2024);
+            row.push(run_experiment(&spec));
+        }
+        let (paxos, cp) = (&row[0], &row[1]);
+        println!(
+            "{:<12} {:>9}/{:<4} {:>9}/{:<4} {:>12} {:>12}",
+            attributes,
+            paxos.totals.committed,
+            paxos.attempted,
+            cp.totals.committed,
+            cp.attempted,
+            cp.totals.promoted_commits(),
+            cp.totals.combined_commits,
+        );
+    }
+    println!("\nthe basic protocol's commit count barely moves with contention;");
+    println!("Paxos-CP recovers nearly every non-conflicting transaction through promotion.");
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the Paxos-CP reproduction.
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`simnet`] — deterministic discrete-event simulation kernel.
+//! * [`mvkv`] — multi-version key-value store substrate.
+//! * [`walog`] — write-ahead log model and serializability theory.
+//! * [`paxos`] — basic Paxos and Paxos-CP commit protocol state machines.
+//! * [`mdstore`] — the transaction tier (the paper's core contribution).
+//! * [`workload`] — YCSB-style workload generation and experiment runner.
+
+pub use mdstore;
+pub use mvkv;
+pub use paxos;
+pub use simnet;
+pub use walog;
+pub use workload;

@@ -1,0 +1,221 @@
+//! Availability and recovery: datacenter outages, lossy networks, remote
+//! reads and log catch-up — the behaviours §2.2 and §4.1 of the paper
+//! promise.
+
+use parking_lot::Mutex;
+use paxos_cp::mdstore::{
+    ClientAction, Cluster, ClusterConfig, CommitProtocol, Msg, RunMetrics, Topology,
+    TransactionClient,
+};
+use paxos_cp::simnet::{Actor, Context, NodeId, SimDuration};
+use std::sync::Arc;
+
+/// A minimal closed-loop writer client used by the fault-injection tests.
+struct Writer {
+    client: Option<TransactionClient>,
+    remaining: usize,
+    pause: SimDuration,
+    metrics: Arc<Mutex<RunMetrics>>,
+}
+
+impl Writer {
+    fn apply(&mut self, ctx: &mut Context<Msg>, actions: Vec<ClientAction>) {
+        for action in actions {
+            match action {
+                ClientAction::Send(to, msg) => ctx.send(to, msg),
+                ClientAction::ArmTimer { delay, tag } => {
+                    ctx.set_timer(delay, tag);
+                }
+                ClientAction::Finished(result) => {
+                    self.metrics.lock().record(&result);
+                    if self.remaining > 0 {
+                        ctx.set_timer(self.pause, u64::MAX);
+                    }
+                }
+            }
+        }
+    }
+
+    fn start(&mut self, ctx: &mut Context<Msg>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let client = self.client.as_mut().unwrap();
+        client.begin(ctx.now(), "g").unwrap();
+        let counter = client
+            .read("row", "counter")
+            .unwrap()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        client.write("row", "counter", (counter + 1).to_string()).unwrap();
+        let actions = client.commit(ctx.now()).unwrap();
+        self.apply(ctx, actions);
+    }
+}
+
+impl Actor<Msg> for Writer {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        self.start(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+        let client = self.client.as_mut().unwrap();
+        let actions = client.on_message(ctx.now(), from, &msg);
+        self.apply(ctx, actions);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
+        if tag == u64::MAX {
+            self.start(ctx);
+        } else {
+            let client = self.client.as_mut().unwrap();
+            let actions = client.on_timer(ctx.now(), tag);
+            self.apply(ctx, actions);
+        }
+    }
+}
+
+fn add_writer(cluster: &mut Cluster, replica: usize, count: usize) -> Arc<Mutex<RunMetrics>> {
+    let metrics = Arc::new(Mutex::new(RunMetrics::default()));
+    let directory = cluster.directory();
+    let client_config = cluster.client_config();
+    let sink = metrics.clone();
+    cluster.add_client(replica, |node| {
+        Box::new(Writer {
+            client: Some(TransactionClient::new(node, replica, directory, client_config)),
+            remaining: count,
+            pause: SimDuration::from_millis(50),
+            metrics: sink,
+        })
+    });
+    metrics
+}
+
+#[test]
+fn commits_continue_while_a_minority_datacenter_is_down() {
+    let mut cluster = Cluster::build(ClusterConfig::new(
+        Topology::voc(),
+        CommitProtocol::PaxosCp,
+    ));
+    let metrics = add_writer(&mut cluster, 0, 40);
+    cluster.run_for(SimDuration::from_secs(1));
+    let before = metrics.lock().committed;
+
+    cluster.crash_datacenter(2);
+    cluster.run_for(SimDuration::from_secs(15));
+    let during = metrics.lock().committed;
+    assert!(during > before, "two of three datacenters must keep committing");
+
+    cluster.recover_datacenter(2);
+    cluster.run_to_completion();
+    let finished = {
+        let m = metrics.lock();
+        m.committed + m.aborted
+    };
+    assert_eq!(finished, 40);
+    cluster.verify().expect("post-recovery logs must agree and be serializable");
+}
+
+#[test]
+fn recovered_datacenter_catches_up_through_remote_reads() {
+    let mut cluster = Cluster::build(ClusterConfig::new(
+        Topology::voc(),
+        CommitProtocol::PaxosCp,
+    ));
+    let metrics = add_writer(&mut cluster, 0, 25);
+
+    // Crash California before anything commits, so it misses the whole run.
+    cluster.crash_datacenter(2);
+    cluster.run_for(SimDuration::from_secs(30));
+    let committed = metrics.lock().committed;
+    assert!(committed > 0);
+    assert_eq!(cluster.committed_in_log(2, "g"), 0, "the dead replica saw nothing");
+
+    // Recover it and ask its Transaction Service for a remote read at the
+    // latest position: the service must run recovery instances to learn the
+    // missing log prefix before answering.
+    cluster.recover_datacenter(2);
+    let latest = cluster.core(0).lock().read_position("g");
+    struct RemoteReader {
+        target: NodeId,
+        read_position: walog::LogPosition,
+        answer: Arc<Mutex<Option<Option<String>>>>,
+    }
+    use paxos_cp::walog;
+    impl Actor<Msg> for RemoteReader {
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            ctx.send(
+                self.target,
+                Msg::ReadRequest {
+                    req_id: 1,
+                    group: "g".into(),
+                    key: "row".into(),
+                    attr: "counter".into(),
+                    read_position: self.read_position,
+                },
+            );
+        }
+        fn on_message(&mut self, _ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+            if let Msg::ReadReply { value, .. } = msg {
+                *self.answer.lock() = Some(value);
+            }
+        }
+    }
+    let answer: Arc<Mutex<Option<Option<String>>>> = Arc::new(Mutex::new(None));
+    let target = cluster.service_node(2);
+    let answer_clone = answer.clone();
+    cluster.add_client(1, move |_node| {
+        Box::new(RemoteReader {
+            target,
+            read_position: latest,
+            answer: answer_clone,
+        })
+    });
+    cluster.run_to_completion();
+
+    let got = answer.lock().clone().expect("the remote read must be answered");
+    assert_eq!(
+        got,
+        Some(committed.to_string()),
+        "the recovered replica must serve the latest committed counter value"
+    );
+    assert!(
+        cluster.committed_in_log(2, "g") >= committed,
+        "catch-up must have installed the missing log prefix"
+    );
+    cluster.verify().expect("logs agree after catch-up");
+}
+
+#[test]
+fn a_two_datacenter_cluster_stalls_without_its_peer_and_resumes_after_recovery() {
+    let mut cluster = Cluster::build(ClusterConfig::new(
+        Topology::from_name("VV").unwrap(),
+        CommitProtocol::BasicPaxos,
+    ));
+    let metrics = add_writer(&mut cluster, 0, 10);
+    // With D = 2 the majority is 2: losing either datacenter blocks commits
+    // (the price of synchronous majority replication).
+    cluster.crash_datacenter(1);
+    cluster.run_for(SimDuration::from_secs(30));
+    assert_eq!(metrics.lock().committed, 0, "no majority, no commits");
+
+    cluster.recover_datacenter(1);
+    cluster.run_to_completion();
+    assert!(metrics.lock().committed > 0, "commits resume once the peer returns");
+    cluster.verify().expect("logs agree after the stall");
+}
+
+#[test]
+fn heavy_message_loss_slows_but_does_not_corrupt() {
+    let mut cluster = Cluster::build(ClusterConfig::new(
+        Topology::vvv().with_loss(0.25),
+        CommitProtocol::PaxosCp,
+    ));
+    let metrics = add_writer(&mut cluster, 0, 15);
+    cluster.run_to_completion();
+    let m = metrics.lock();
+    assert_eq!(m.committed + m.aborted, 15);
+    assert!(m.committed > 0);
+    drop(m);
+    assert!(cluster.sim().stats().dropped_loss > 0);
+    cluster.verify().expect("lossy runs must still be serializable");
+}
