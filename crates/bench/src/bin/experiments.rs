@@ -8,7 +8,7 @@
 
 use bench_suite::{
     ablation_specs, fig4_specs, fig5_specs, fig6_specs, fig7_specs, fig8_specs,
-    format_commit_table, format_latency_table, format_per_replica_table,
+    format_commit_table, format_latency_table, format_per_replica_table, results_to_json,
 };
 use workload::{run_experiment, ExperimentResult, ExperimentSpec};
 
@@ -33,7 +33,11 @@ fn parse_args() -> Options {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
-    Options { targets, quick, json_path }
+    Options {
+        targets,
+        quick,
+        json_path,
+    }
 }
 
 fn run_batch(name: &str, specs: Vec<ExperimentSpec>) -> Vec<ExperimentResult> {
@@ -41,7 +45,11 @@ fn run_batch(name: &str, specs: Vec<ExperimentSpec>) -> Vec<ExperimentResult> {
     specs
         .iter()
         .map(|spec| {
-            eprintln!("   running {} ({} transactions)...", spec.name, spec.total_transactions());
+            eprintln!(
+                "   running {} ({} transactions)...",
+                spec.name,
+                spec.total_transactions()
+            );
             run_experiment(spec)
         })
         .collect()
@@ -87,7 +95,9 @@ fn main() {
     }
     if wants("fig8") {
         let results = run_batch("figure 8", fig8_specs(opts.quick));
-        println!("\n=== Figure 8: per-datacenter concurrency, VOC, one workload per datacenter ===");
+        println!(
+            "\n=== Figure 8: per-datacenter concurrency, VOC, one workload per datacenter ==="
+        );
         println!("{}", format_commit_table(&results));
         println!("{}", format_per_replica_table(&results));
         println!("{}", format_latency_table(&results));
@@ -102,8 +112,7 @@ fn main() {
     }
 
     if let Some(path) = opts.json_path {
-        let json = serde_json::to_string_pretty(&all_results).expect("results serialize");
-        std::fs::write(&path, json).expect("write json output");
+        std::fs::write(&path, results_to_json(&all_results)).expect("write json output");
         eprintln!("wrote {} results to {path}", all_results.len());
     }
 

@@ -26,9 +26,7 @@ fn scale(spec: ExperimentSpec, quick: bool) -> ExperimentSpec {
     }
 }
 
-fn both_protocols(
-    make: impl Fn(CommitProtocol) -> ExperimentSpec,
-) -> Vec<ExperimentSpec> {
+fn both_protocols(make: impl Fn(CommitProtocol) -> ExperimentSpec) -> Vec<ExperimentSpec> {
     vec![
         make(CommitProtocol::BasicPaxos),
         make(CommitProtocol::PaxosCp),

@@ -24,4 +24,6 @@ pub mod report;
 pub use figures::{
     ablation_specs, fig4_specs, fig5_specs, fig6_specs, fig7_specs, fig8_specs, FigureRun,
 };
-pub use report::{format_commit_table, format_latency_table, format_per_replica_table};
+pub use report::{
+    format_commit_table, format_latency_table, format_per_replica_table, results_to_json,
+};

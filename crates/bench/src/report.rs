@@ -95,6 +95,66 @@ pub fn format_per_replica_table(results: &[ExperimentResult]) -> String {
     out
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render experiment results as a JSON array (hand-rolled — the build
+/// environment has no serde). Covers the fields downstream analysis uses:
+/// identity, commit counts by round, latency summaries and network totals.
+pub fn results_to_json(results: &[ExperimentResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let latency = r.totals.commit_latency();
+        let rounds = r
+            .totals
+            .commits_by_promotion
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            concat!(
+                "  {{\"name\": \"{}\", \"cluster\": \"{}\", \"protocol\": \"{}\", ",
+                "\"attempted\": {}, \"committed\": {}, \"aborted\": {}, ",
+                "\"combined_commits\": {}, \"commits_by_promotion\": [{}], ",
+                "\"commit_latency_ms\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}}, ",
+                "\"messages_sent\": {}, \"messages_delivered\": {}, \"duration_s\": {:.3}}}{}\n",
+            ),
+            json_escape(&r.name),
+            json_escape(&r.cluster),
+            json_escape(&r.protocol),
+            r.attempted,
+            r.totals.committed,
+            r.totals.aborted,
+            r.totals.combined_commits,
+            rounds,
+            latency.mean_ms,
+            latency.p50_ms,
+            latency.p95_ms,
+            latency.max_ms,
+            r.net.sent,
+            r.net.delivered,
+            r.duration.as_secs_f64(),
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +195,18 @@ mod tests {
         let per_replica = format_per_replica_table(&results);
         assert!(per_replica.contains("exp-a"));
         assert!(per_replica.lines().count() >= 3);
+    }
+
+    #[test]
+    fn json_output_contains_core_fields_and_escapes() {
+        let mut results = vec![fake_result("exp-a"), fake_result("quote\"name")];
+        results[0].totals.combined_commits = 3;
+        let json = results_to_json(&results);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert!(json.contains("\"name\": \"exp-a\""));
+        assert!(json.contains("quote\\\"name"));
+        assert!(json.contains("\"commits_by_promotion\": [5, 2]"));
+        assert!(json.contains("\"combined_commits\": 3"));
     }
 
     #[test]

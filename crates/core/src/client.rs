@@ -8,13 +8,19 @@
 //! the simulated network. The embedding actor (a workload driver or an
 //! application model) forwards incoming messages and timer expirations and
 //! executes the [`ClientAction`]s the client returns.
+//!
+//! Names cross into the interned data plane exactly once, at this API
+//! boundary: the string-accepting methods (`begin`, `read`, `write`) intern
+//! through the cluster's shared [`walog::SymbolTable`] and delegate to the
+//! id-based fast paths (`begin_id`, `read_id`, `write_id`) that hot
+//! workload drivers call directly with pre-interned ids.
 
 use crate::datacenter::SharedCore;
 use crate::directory::Directory;
 use crate::msg::Msg;
 use paxos::{
-    AbortReason, CommitProtocol, PaxosMsg, Proposer, ProposerAction, ProposerConfig,
-    ProposerEvent, TimerKind,
+    AbortReason, CommitProtocol, PaxosMsg, Proposer, ProposerAction, ProposerConfig, ProposerEvent,
+    TimerKind,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,7 +28,9 @@ use simnet::{NodeId, SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
-use walog::{GroupKey, ItemRef, LogPosition, ReadRecord, Transaction, TxnId, WriteRecord};
+use walog::{
+    AttrId, GroupId, ItemRef, KeyId, LogPosition, ReadRecord, Transaction, TxnId, WriteRecord,
+};
 
 /// Tuning knobs of a Transaction Client.
 #[derive(Clone, Debug)]
@@ -156,7 +164,7 @@ impl fmt::Display for ClientError {
 impl std::error::Error for ClientError {}
 
 struct ActiveTxn {
-    group: GroupKey,
+    group: GroupId,
     read_position: LogPosition,
     reads: Vec<ReadRecord>,
     writes: Vec<WriteRecord>,
@@ -216,6 +224,11 @@ impl TransactionClient {
         self.home_replica = replica;
     }
 
+    /// The cluster's shared symbol table (for callers that pre-intern).
+    pub fn symbols(&self) -> &Arc<walog::SymbolTable> {
+        self.directory.symbols()
+    }
+
     /// Whether a transaction is currently active.
     pub fn in_transaction(&self) -> bool {
         self.active.is_some()
@@ -230,14 +243,20 @@ impl TransactionClient {
         self.directory.core(self.home_replica)
     }
 
-    /// Start a transaction on `group` at simulated time `now`. The read
-    /// position is the local datacenter's latest gap-free log position.
-    pub fn begin(&mut self, now: SimTime, group: impl Into<GroupKey>) -> Result<(), ClientError> {
+    /// Start a transaction on the named group at simulated time `now`,
+    /// interning the name through the cluster symbol table.
+    pub fn begin(&mut self, now: SimTime, group: &str) -> Result<(), ClientError> {
+        let group = self.directory.symbols().group(group);
+        self.begin_id(now, group)
+    }
+
+    /// Start a transaction on a pre-interned group. The read position is the
+    /// local datacenter's latest gap-free log position.
+    pub fn begin_id(&mut self, now: SimTime, group: GroupId) -> Result<(), ClientError> {
         if self.active.is_some() {
             return Err(ClientError::TransactionInProgress);
         }
-        let group = group.into();
-        let read_position = self.home_core().lock().read_position(&group);
+        let read_position = self.home_core().lock().read_position(group);
         self.active = Some(ActiveTxn {
             group,
             read_position,
@@ -251,13 +270,22 @@ impl TransactionClient {
         Ok(())
     }
 
-    /// Read one item of the active transaction's group.
+    /// Read one item of the active transaction's group, interning the names.
+    pub fn read(&mut self, key: &str, attr: &str) -> Result<Option<String>, ClientError> {
+        let item = self.directory.symbols().item(key, attr);
+        self.read_id(item.key, item.attr)
+    }
+
+    /// Read one pre-interned item of the active transaction's group.
     ///
     /// Reads first consult the transaction's own write set (A1,
     /// read-your-writes); otherwise they are served from the local store at
     /// the transaction's read position (A2) and recorded in the read set.
-    pub fn read(&mut self, key: &str, attr: &str) -> Result<Option<String>, ClientError> {
-        let txn = self.active.as_mut().ok_or(ClientError::NoActiveTransaction)?;
+    pub fn read_id(&mut self, key: KeyId, attr: AttrId) -> Result<Option<String>, ClientError> {
+        let txn = self
+            .active
+            .as_mut()
+            .ok_or(ClientError::NoActiveTransaction)?;
         if txn.commit.is_some() {
             return Err(ClientError::CommitInProgress);
         }
@@ -269,32 +297,54 @@ impl TransactionClient {
             .directory
             .core(self.home_replica)
             .lock()
-            .read(&txn.group, key, attr, txn.read_position)
+            .read(txn.group, key, attr, txn.read_position)
             .unwrap_or_else(|_gap| {
                 // The read position was taken from the local gap-free prefix,
                 // so a gap at or below it is impossible; treat defensively as
                 // a missing value rather than panicking in release runs.
-                debug_assert!(false, "local read below the gap-free prefix cannot need catch-up");
+                debug_assert!(
+                    false,
+                    "local read below the gap-free prefix cannot need catch-up"
+                );
                 None
             });
-        txn.reads.push(ReadRecord { item, observed: observed.clone() });
+        txn.reads.push(ReadRecord {
+            item,
+            observed: observed.clone(),
+        });
         Ok(observed)
     }
 
-    /// Buffer a write to one item of the active transaction's group.
+    /// Buffer a write to one item of the active transaction's group,
+    /// interning the names.
     pub fn write(
         &mut self,
         key: &str,
         attr: &str,
         value: impl Into<String>,
     ) -> Result<(), ClientError> {
-        let txn = self.active.as_mut().ok_or(ClientError::NoActiveTransaction)?;
+        let item = self.directory.symbols().item(key, attr);
+        self.write_id(item.key, item.attr, value)
+    }
+
+    /// Buffer a write to one pre-interned item of the active transaction's
+    /// group.
+    pub fn write_id(
+        &mut self,
+        key: KeyId,
+        attr: AttrId,
+        value: impl Into<String>,
+    ) -> Result<(), ClientError> {
+        let txn = self
+            .active
+            .as_mut()
+            .ok_or(ClientError::NoActiveTransaction)?;
         if txn.commit.is_some() {
             return Err(ClientError::CommitInProgress);
         }
         let value = value.into();
         let item = ItemRef::new(key, attr);
-        txn.write_index.insert(item.clone(), value.clone());
+        txn.write_index.insert(item, value.clone());
         txn.writes.push(WriteRecord { item, value });
         Ok(())
     }
@@ -303,7 +353,10 @@ impl TransactionClient {
     /// immediately; read/write transactions start the commit protocol and
     /// finish later via [`ClientAction::Finished`].
     pub fn commit(&mut self, now: SimTime) -> Result<Vec<ClientAction>, ClientError> {
-        let txn = self.active.as_mut().ok_or(ClientError::NoActiveTransaction)?;
+        let txn = self
+            .active
+            .as_mut()
+            .ok_or(ClientError::NoActiveTransaction)?;
         if txn.commit.is_some() {
             return Err(ClientError::CommitInProgress);
         }
@@ -324,24 +377,27 @@ impl TransactionClient {
         }
         self.seq += 1;
         let id = TxnId::new(self.node.0, self.seq);
-        let transaction = Transaction {
+        let transaction = Transaction::new(
             id,
-            group: txn.group.clone(),
-            read_position: txn.read_position,
-            reads: txn.reads.clone(),
-            writes: txn.writes.clone(),
-        };
+            txn.group,
+            txn.read_position,
+            txn.reads.clone(),
+            txn.writes.clone(),
+        );
         let commit_position = txn.read_position.next();
         let cfg = self.config.proposer_config(self.directory.num_replicas());
         let mut proposer = Proposer::new(
             cfg,
-            txn.group.clone(),
+            txn.group,
             self.node.0 as u64,
             transaction,
             commit_position,
         );
         let actions = proposer.start();
-        txn.commit = Some(CommitDriver { proposer, timer_tokens: HashMap::new() });
+        txn.commit = Some(CommitDriver {
+            proposer,
+            timer_tokens: HashMap::new(),
+        });
         Ok(self.translate(now, actions))
     }
 
@@ -354,23 +410,35 @@ impl TransactionClient {
             return Vec::new();
         };
         let event = match paxos_msg {
-            PaxosMsg::PrepareReply { position, ballot, promised, next_bal, last_vote, .. } => {
-                ProposerEvent::PrepareReply {
-                    from: replica,
-                    position: *position,
-                    ballot: *ballot,
-                    promised: *promised,
-                    next_bal: *next_bal,
-                    last_vote: last_vote.clone(),
-                }
-            }
-            PaxosMsg::AcceptReply { position, ballot, accepted, .. } => ProposerEvent::AcceptReply {
+            PaxosMsg::PrepareReply {
+                position,
+                ballot,
+                promised,
+                next_bal,
+                last_vote,
+                ..
+            } => ProposerEvent::PrepareReply {
+                from: replica,
+                position: *position,
+                ballot: *ballot,
+                promised: *promised,
+                next_bal: *next_bal,
+                last_vote: last_vote.clone(),
+            },
+            PaxosMsg::AcceptReply {
+                position,
+                ballot,
+                accepted,
+                ..
+            } => ProposerEvent::AcceptReply {
                 from: replica,
                 position: *position,
                 ballot: *ballot,
                 accepted: *accepted,
             },
-            PaxosMsg::LeaderClaimReply { position, granted, .. } => ProposerEvent::FastPathReply {
+            PaxosMsg::LeaderClaimReply {
+                position, granted, ..
+            } => ProposerEvent::FastPathReply {
                 position: *position,
                 granted: *granted,
             },
@@ -446,11 +514,16 @@ impl TransactionClient {
                     // Install what we learned into the local datacenter so the
                     // next transaction's read position advances immediately.
                     if let Some(txn) = self.active.as_ref() {
-                        self.home_core().lock().install_entry(&txn.group, position, entry);
+                        self.home_core()
+                            .lock()
+                            .install_entry(txn.group, position, entry);
                     }
                 }
                 ProposerAction::Finished(outcome) => {
-                    let txn = self.active.take().expect("finished implies an active transaction");
+                    let txn = self
+                        .active
+                        .take()
+                        .expect("finished implies an active transaction");
                     let commit_started = txn.commit_started_at.unwrap_or(txn.began_at);
                     out.push(ClientAction::Finished(TxnResult {
                         committed: outcome.committed,
@@ -472,7 +545,7 @@ impl TransactionClient {
     /// client that won `position - 1`, defaulting to this client's own
     /// datacenter when unknown (the very first position, a no-op entry, or a
     /// winner from an unregistered client).
-    fn leader_replica_for(&self, group: &str, position: LogPosition) -> usize {
+    fn leader_replica_for(&self, group: GroupId, position: LogPosition) -> usize {
         self.home_core()
             .lock()
             .previous_winner_client(group, position)
@@ -494,24 +567,31 @@ mod tests {
         (dir, core)
     }
 
-    fn seeded_entry(core: &SharedCore, position: u64, attr: &str, value: &str) {
-        let txn = Transaction::builder(TxnId::new(0, position), "g", LogPosition(position - 1))
-            .write(ItemRef::new("row", attr), value)
+    fn seeded_entry(dir: &Directory, core: &SharedCore, position: u64, attr: &str, value: &str) {
+        let group = dir.symbols().group("g");
+        let txn = Transaction::builder(TxnId::new(0, position), group, LogPosition(position - 1))
+            .write(dir.symbols().item("row", attr), value)
             .build();
-        core.lock()
-            .install_entry(&"g".into(), LogPosition(position), LogEntry::single(txn));
+        core.lock().install_entry(
+            group,
+            LogPosition(position),
+            Arc::new(LogEntry::single(txn)),
+        );
     }
 
     #[test]
     fn begin_read_write_and_read_your_writes() {
         let (dir, core) = directory_with_one_dc();
-        seeded_entry(&core, 1, "a", "committed");
+        seeded_entry(&dir, &core, 1, "a", "committed");
         let mut client = TransactionClient::new(NodeId(5), 0, dir, ClientConfig::cp());
         dir_register(&client);
         client.begin(SimTime::ZERO, "g").unwrap();
         assert!(client.in_transaction());
         // Read of committed data.
-        assert_eq!(client.read("row", "a").unwrap().as_deref(), Some("committed"));
+        assert_eq!(
+            client.read("row", "a").unwrap().as_deref(),
+            Some("committed")
+        );
         // Read of never-written data.
         assert_eq!(client.read("row", "b").unwrap(), None);
         // Read-your-writes.
@@ -525,13 +605,15 @@ mod tests {
     }
 
     fn dir_register(client: &TransactionClient) {
-        client.directory.register_client(client.node, client.home_replica);
+        client
+            .directory
+            .register_client(client.node, client.home_replica);
     }
 
     #[test]
     fn read_only_transactions_commit_immediately() {
         let (dir, core) = directory_with_one_dc();
-        seeded_entry(&core, 1, "a", "x");
+        seeded_entry(&dir, &core, 1, "a", "x");
         let mut client = TransactionClient::new(NodeId(5), 0, dir, ClientConfig::basic());
         client.begin(SimTime::from_micros(10), "g").unwrap();
         client.read("row", "a").unwrap();
@@ -565,16 +647,45 @@ mod tests {
         assert!(matches!(actions[1], ClientAction::ArmTimer { .. }));
         assert!(client.committing());
         // Operations during commit are rejected.
-        assert_eq!(client.read("row", "a").unwrap_err(), ClientError::CommitInProgress);
-        assert_eq!(client.commit(SimTime::ZERO).unwrap_err(), ClientError::CommitInProgress);
+        assert_eq!(
+            client.read("row", "a").unwrap_err(),
+            ClientError::CommitInProgress
+        );
+        assert_eq!(
+            client.commit(SimTime::ZERO).unwrap_err(),
+            ClientError::CommitInProgress
+        );
+    }
+
+    #[test]
+    fn id_fast_paths_match_the_string_api() {
+        let (dir, core) = directory_with_one_dc();
+        seeded_entry(&dir, &core, 1, "a", "seeded");
+        let group = dir.symbols().group("g");
+        let item = dir.symbols().item("row", "a");
+        let mut client = TransactionClient::new(NodeId(5), 0, dir, ClientConfig::cp());
+        client.begin_id(SimTime::ZERO, group).unwrap();
+        assert_eq!(
+            client.read_id(item.key, item.attr).unwrap().as_deref(),
+            Some("seeded")
+        );
+        client.write_id(item.key, item.attr, "next").unwrap();
+        // Read-your-writes through the string API sees the id-written value.
+        assert_eq!(client.read("row", "a").unwrap().as_deref(), Some("next"));
     }
 
     #[test]
     fn errors_without_active_transaction() {
         let (dir, _core) = directory_with_one_dc();
         let mut client = TransactionClient::new(NodeId(5), 0, dir, ClientConfig::basic());
-        assert_eq!(client.read("row", "a").unwrap_err(), ClientError::NoActiveTransaction);
-        assert_eq!(client.write("row", "a", "1").unwrap_err(), ClientError::NoActiveTransaction);
+        assert_eq!(
+            client.read("row", "a").unwrap_err(),
+            ClientError::NoActiveTransaction
+        );
+        assert_eq!(
+            client.write("row", "a", "1").unwrap_err(),
+            ClientError::NoActiveTransaction
+        );
         assert!(client.commit(SimTime::ZERO).is_err());
     }
 
@@ -585,11 +696,14 @@ mod tests {
         let core1 = DatacenterCore::shared("dc1", 1);
         dir.register_datacenter(NodeId(0), core0);
         dir.register_datacenter(NodeId(1), core1.clone());
-        seeded_entry(&core1, 1, "a", "dc1-value");
+        seeded_entry(&dir, &core1, 1, "a", "dc1-value");
         let mut client = TransactionClient::new(NodeId(5), 0, dir, ClientConfig::basic());
         assert_eq!(client.home_replica(), 0);
         client.set_home_replica(1);
         client.begin(SimTime::ZERO, "g").unwrap();
-        assert_eq!(client.read("row", "a").unwrap().as_deref(), Some("dc1-value"));
+        assert_eq!(
+            client.read("row", "a").unwrap().as_deref(),
+            Some("dc1-value")
+        );
     }
 }

@@ -13,7 +13,7 @@ use simnet::{Actor, NodeId, SimDuration, SimTime, Simulation};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use walog::checker::{self, CheckReport, Violation};
-use walog::{GroupKey, GroupLog};
+use walog::{GroupId, GroupLog, SymbolTable};
 
 /// Configuration of a cluster.
 #[derive(Clone, Debug)]
@@ -44,7 +44,8 @@ impl ClusterConfig {
 }
 
 /// A running multi-datacenter cluster: the simulation, the datacenter
-/// storage cores and the lookup directory.
+/// storage cores and the lookup directory (which also carries the shared
+/// symbol table every name is interned through).
 pub struct Cluster {
     sim: Simulation<Msg>,
     directory: Arc<Directory>,
@@ -91,6 +92,11 @@ impl Cluster {
         self.directory.clone()
     }
 
+    /// The cluster-wide symbol table.
+    pub fn symbols(&self) -> Arc<SymbolTable> {
+        Arc::clone(self.directory.symbols())
+    }
+
     /// Number of datacenters.
     pub fn num_datacenters(&self) -> usize {
         self.service_nodes.len()
@@ -125,7 +131,10 @@ impl Cluster {
         self.directory.register_client(expected, replica);
         let actor = make_actor(expected);
         let node = self.sim.add_node(simnet::SiteId(replica as u32), actor);
-        assert_eq!(node, expected, "node ids are assigned densely in registration order");
+        assert_eq!(
+            node, expected,
+            "node ids are assigned densely in registration order"
+        );
         node
     }
 
@@ -166,18 +175,19 @@ impl Cluster {
     }
 
     /// All transaction groups any datacenter has a log for.
-    pub fn groups(&self) -> Vec<GroupKey> {
+    pub fn groups(&self) -> Vec<GroupId> {
         let mut groups = BTreeSet::new();
         for core in self.directory.cores() {
             for (group, _) in core.lock().logs() {
-                groups.insert(group.clone());
+                groups.insert(group);
             }
         }
         groups.into_iter().collect()
     }
 
-    /// Snapshot every datacenter's log for one group.
-    pub fn replica_logs(&self, group: &str) -> Vec<GroupLog> {
+    /// Snapshot every datacenter's log for one group (entries are shared
+    /// with the live logs, not deep-copied).
+    pub fn replica_logs(&self, group: GroupId) -> Vec<GroupLog> {
         self.directory
             .cores()
             .iter()
@@ -189,10 +199,10 @@ impl Cluster {
     /// decided: replica agreement (R1) and one-copy serializability
     /// (Definition 1 / L1–L3) of the merged history, per transaction group.
     /// Returns the merged check report of every group.
-    pub fn verify(&self) -> Result<Vec<(GroupKey, CheckReport)>, Violation> {
+    pub fn verify(&self) -> Result<Vec<(GroupId, CheckReport)>, Violation> {
         let mut reports = Vec::new();
         for group in self.groups() {
-            let logs = self.replica_logs(&group);
+            let logs = self.replica_logs(group);
             let refs: Vec<&GroupLog> = logs.iter().collect();
             let report = checker::check_all(&refs)?;
             reports.push((group, report));
@@ -200,9 +210,19 @@ impl Cluster {
         Ok(reports)
     }
 
-    /// Total committed transactions recorded in a replica's log for a group
-    /// (used by experiments to cross-check client-side metrics).
+    /// Total committed transactions recorded in a replica's log for a named
+    /// group (used by experiments to cross-check client-side metrics).
+    /// Returns 0 for a group name that was never interned.
     pub fn committed_in_log(&self, replica: usize, group: &str) -> usize {
+        self.directory
+            .symbols()
+            .try_group(group)
+            .map(|id| self.committed_in_log_id(replica, id))
+            .unwrap_or(0)
+    }
+
+    /// Total committed transactions recorded in a replica's log for a group.
+    pub fn committed_in_log_id(&self, replica: usize, group: GroupId) -> usize {
         self.directory
             .core(replica)
             .lock()

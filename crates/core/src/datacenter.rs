@@ -8,13 +8,17 @@
 //! it when handling messages, and local clients read it directly (the
 //! "execute operations directly on the local key-value store" optimization
 //! the paper uses for its evaluation prototype).
+//!
+//! Everything here speaks interned ids: logs are keyed by `GroupId`,
+//! entries install as shared `Arc<LogEntry>`s, and applying an entry
+//! assembles per-key rows with integer attribute ids.
 
-use mvkv::{MvKvStore, Row, Timestamp};
+use mvkv::{Key, MvKvStore, Row, Timestamp};
 use parking_lot::Mutex;
 use paxos::AcceptorStore;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use walog::{GroupKey, GroupLog, LogEntry, LogPosition};
+use walog::{AttrId, GroupId, GroupLog, KeyId, LogEntry, LogPosition};
 
 /// Shared handle to a datacenter's storage state.
 pub type SharedCore = Arc<Mutex<DatacenterCore>>;
@@ -36,10 +40,10 @@ pub struct DatacenterCore {
     /// Replica index of this datacenter within the cluster.
     replica: usize,
     store: MvKvStore,
-    logs: HashMap<GroupKey, GroupLog>,
+    logs: HashMap<GroupId, GroupLog>,
     /// First client to claim each (group, position) via the leader fast
     /// path; later claimants are denied.
-    leader_claims: HashMap<(GroupKey, LogPosition), u64>,
+    leader_claims: HashMap<(GroupId, LogPosition), u64>,
 }
 
 impl DatacenterCore {
@@ -81,21 +85,21 @@ impl DatacenterCore {
     }
 
     /// The write-ahead log of a group (empty log if never touched).
-    pub fn log(&self, group: &str) -> Option<&GroupLog> {
-        self.logs.get(group)
+    pub fn log(&self, group: GroupId) -> Option<&GroupLog> {
+        self.logs.get(&group)
     }
 
     /// All groups with a local log, with their logs (used by the checker).
-    pub fn logs(&self) -> impl Iterator<Item = (&GroupKey, &GroupLog)> {
-        self.logs.iter()
+    pub fn logs(&self) -> impl Iterator<Item = (GroupId, &GroupLog)> {
+        self.logs.iter().map(|(g, l)| (*g, l))
     }
 
     /// The read position a transaction beginning now should use: the highest
     /// position up to which this datacenter's log is gap-free (and therefore
     /// locally readable after applying).
-    pub fn read_position(&self, group: &str) -> LogPosition {
+    pub fn read_position(&self, group: GroupId) -> LogPosition {
         self.logs
-            .get(group)
+            .get(&group)
             .map(|l| l.contiguous_prefix())
             .unwrap_or(LogPosition::ZERO)
     }
@@ -106,8 +110,8 @@ impl DatacenterCore {
     /// Panics if a *different* entry was already installed at the position:
     /// that would violate replication property (R1) and indicates a protocol
     /// bug, which tests must surface loudly.
-    pub fn install_entry(&mut self, group: &GroupKey, position: LogPosition, entry: LogEntry) {
-        let log = self.logs.entry(group.clone()).or_default();
+    pub fn install_entry(&mut self, group: GroupId, position: LogPosition, entry: Arc<LogEntry>) {
+        let log = self.logs.entry(group).or_default();
         log.install(position, entry)
             .expect("replication property R1 violated: conflicting entry for a decided position");
         Self::apply_contiguous(log, &self.store);
@@ -120,13 +124,9 @@ impl DatacenterCore {
         let Some(pending) = log.unapplied_range(through) else {
             return;
         };
-        let batches: Vec<(LogPosition, BTreeMap<String, Row>)> = pending
-            .into_iter()
-            .map(|(pos, entry)| (pos, Self::entry_writes(entry)))
-            .collect();
-        for (pos, writes) in batches {
-            for (key, row) in writes {
-                store.apply_idempotent(&key, row, Timestamp(pos.0));
+        for (pos, entry) in pending {
+            for (key, row) in Self::entry_writes(&entry) {
+                store.apply_idempotent(key, row, Timestamp(pos.0));
             }
             log.mark_applied_through(pos);
         }
@@ -135,14 +135,14 @@ impl DatacenterCore {
     /// Collapse an entry's writes into one row-delta per key. Later
     /// transactions in a combined entry overwrite earlier ones, matching the
     /// serialization order within the entry.
-    fn entry_writes(entry: &LogEntry) -> BTreeMap<String, Row> {
-        let mut per_key: BTreeMap<String, Row> = BTreeMap::new();
+    fn entry_writes(entry: &LogEntry) -> BTreeMap<Key, Row> {
+        let mut per_key: BTreeMap<Key, Row> = BTreeMap::new();
         for txn in entry.transactions() {
-            for write in &txn.writes {
+            for write in txn.writes() {
                 per_key
-                    .entry(write.item.key.clone())
+                    .entry(write.item.key.store_key())
                     .or_default()
-                    .set(write.item.attr.clone(), write.value.clone());
+                    .set(write.item.attr.into(), write.value.clone());
             }
         }
         per_key
@@ -154,37 +154,38 @@ impl DatacenterCore {
     /// Fault Tolerance and Recovery).
     pub fn read(
         &mut self,
-        group: &str,
-        key: &str,
-        attr: &str,
+        group: GroupId,
+        key: KeyId,
+        attr: AttrId,
         read_position: LogPosition,
     ) -> Result<Option<String>, CatchUpNeeded> {
         if read_position > LogPosition::ZERO {
-            let log = self.logs.entry(group.to_owned()).or_default();
+            let log = self.logs.entry(group).or_default();
             let missing = log.missing_up_to(read_position);
             if !missing.is_empty() {
                 return Err(CatchUpNeeded { missing });
             }
             Self::apply_contiguous(log, &self.store);
         }
-        Ok(self
-            .store
-            .read(key, Some(Timestamp(read_position.0)))
-            .and_then(|v| v.row.get(attr).map(str::to_owned)))
+        Ok(self.store.read_attr(
+            key.store_key(),
+            attr.into(),
+            Some(Timestamp(read_position.0)),
+        ))
     }
 
     /// Whether this datacenter has decided (locally installed) the entry at
     /// `position`.
-    pub fn has_entry(&self, group: &str, position: LogPosition) -> bool {
+    pub fn has_entry(&self, group: GroupId, position: LogPosition) -> bool {
         self.logs
-            .get(group)
+            .get(&group)
             .map(|l| l.contains(position))
             .unwrap_or(false)
     }
 
     /// Leader fast-path bookkeeping: grant the claim iff this is the first
     /// claim for the position and no Paxos activity has touched it yet.
-    pub fn leader_claim(&mut self, group: &GroupKey, position: LogPosition, client: u64) -> bool {
+    pub fn leader_claim(&mut self, group: GroupId, position: LogPosition, client: u64) -> bool {
         if self.has_entry(group, position) {
             return false;
         }
@@ -193,7 +194,7 @@ impl DatacenterCore {
         {
             return false;
         }
-        match self.leader_claims.entry((group.clone(), position)) {
+        match self.leader_claims.entry((group, position)) {
             std::collections::hash_map::Entry::Occupied(existing) => *existing.get() == client,
             std::collections::hash_map::Entry::Vacant(slot) => {
                 slot.insert(client);
@@ -206,12 +207,12 @@ impl DatacenterCore {
     /// locate the leader of `position` (§4.1: "the leader for a log position
     /// is the site local to the application instance that won the previous
     /// log position").
-    pub fn previous_winner_client(&self, group: &str, position: LogPosition) -> Option<u64> {
+    pub fn previous_winner_client(&self, group: GroupId, position: LogPosition) -> Option<u64> {
         if position.0 <= 1 {
             return None;
         }
         self.logs
-            .get(group)?
+            .get(&group)?
             .get(position.prev())?
             .transactions()
             .first()
@@ -220,7 +221,10 @@ impl DatacenterCore {
 
     /// Total committed transactions across this datacenter's logs.
     pub fn committed_transactions(&self) -> usize {
-        self.logs.values().map(|l| l.committed_transaction_count()).sum()
+        self.logs
+            .values()
+            .map(|l| l.committed_transaction_count())
+            .sum()
     }
 }
 
@@ -229,82 +233,96 @@ mod tests {
     use super::*;
     use walog::{ItemRef, Transaction, TxnId};
 
-    fn group() -> GroupKey {
-        "g".to_string()
-    }
+    const GROUP: GroupId = GroupId(0);
+    const ROW: KeyId = KeyId(0);
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
 
-    fn write_entry(client: u32, seq: u64, read_pos: u64, attr: &str, value: &str) -> LogEntry {
-        LogEntry::single(
-            Transaction::builder(TxnId::new(client, seq), group(), LogPosition(read_pos))
-                .write(ItemRef::new("row", attr), value)
+    fn write_entry(
+        client: u32,
+        seq: u64,
+        read_pos: u64,
+        attr: AttrId,
+        value: &str,
+    ) -> Arc<LogEntry> {
+        Arc::new(LogEntry::single(
+            Transaction::builder(TxnId::new(client, seq), GROUP, LogPosition(read_pos))
+                .write(ItemRef::new(ROW, attr), value)
                 .build(),
-        )
+        ))
     }
 
     #[test]
     fn install_and_read_through_log_positions() {
         let mut core = DatacenterCore::new("dc0", 0);
-        core.install_entry(&group(), LogPosition(1), write_entry(0, 1, 0, "a", "1"));
-        core.install_entry(&group(), LogPosition(2), write_entry(0, 2, 1, "a", "2"));
-        assert_eq!(core.read_position(&group()), LogPosition(2));
+        core.install_entry(GROUP, LogPosition(1), write_entry(0, 1, 0, A, "1"));
+        core.install_entry(GROUP, LogPosition(2), write_entry(0, 2, 1, A, "2"));
+        assert_eq!(core.read_position(GROUP), LogPosition(2));
         assert_eq!(
-            core.read(&group(), "row", "a", LogPosition(1)).unwrap(),
+            core.read(GROUP, ROW, A, LogPosition(1)).unwrap(),
             Some("1".to_string())
         );
         assert_eq!(
-            core.read(&group(), "row", "a", LogPosition(2)).unwrap(),
+            core.read(GROUP, ROW, A, LogPosition(2)).unwrap(),
             Some("2".to_string())
         );
-        assert_eq!(core.read(&group(), "row", "missing", LogPosition(2)).unwrap(), None);
+        assert_eq!(
+            core.read(GROUP, ROW, AttrId(9), LogPosition(2)).unwrap(),
+            None
+        );
         assert_eq!(core.committed_transactions(), 2);
     }
 
     #[test]
     fn read_at_position_zero_sees_nothing() {
         let mut core = DatacenterCore::new("dc0", 0);
-        core.install_entry(&group(), LogPosition(1), write_entry(0, 1, 0, "a", "1"));
-        assert_eq!(core.read(&group(), "row", "a", LogPosition::ZERO).unwrap(), None);
+        core.install_entry(GROUP, LogPosition(1), write_entry(0, 1, 0, A, "1"));
+        assert_eq!(core.read(GROUP, ROW, A, LogPosition::ZERO).unwrap(), None);
     }
 
     #[test]
     fn gap_forces_catch_up() {
         let mut core = DatacenterCore::new("dc0", 0);
-        core.install_entry(&group(), LogPosition(1), write_entry(0, 1, 0, "a", "1"));
-        core.install_entry(&group(), LogPosition(3), write_entry(0, 3, 2, "a", "3"));
+        core.install_entry(GROUP, LogPosition(1), write_entry(0, 1, 0, A, "1"));
+        core.install_entry(GROUP, LogPosition(3), write_entry(0, 3, 2, A, "3"));
         // Read position 3 needs position 2, which is missing.
-        let err = core.read(&group(), "row", "a", LogPosition(3)).unwrap_err();
+        let err = core.read(GROUP, ROW, A, LogPosition(3)).unwrap_err();
         assert_eq!(err.missing, vec![LogPosition(2)]);
         // Reads below the gap still work.
         assert_eq!(
-            core.read(&group(), "row", "a", LogPosition(1)).unwrap(),
+            core.read(GROUP, ROW, A, LogPosition(1)).unwrap(),
             Some("1".to_string())
         );
         // Filling the gap resolves it and applies everything.
-        core.install_entry(&group(), LogPosition(2), write_entry(1, 2, 1, "b", "2"));
+        core.install_entry(GROUP, LogPosition(2), write_entry(1, 2, 1, B, "2"));
         assert_eq!(
-            core.read(&group(), "row", "a", LogPosition(3)).unwrap(),
+            core.read(GROUP, ROW, A, LogPosition(3)).unwrap(),
             Some("3".to_string())
         );
-        assert_eq!(core.read_position(&group()), LogPosition(3));
+        assert_eq!(core.read_position(GROUP), LogPosition(3));
     }
 
     #[test]
     fn combined_entry_applies_in_list_order() {
         let mut core = DatacenterCore::new("dc0", 0);
-        let first = Transaction::builder(TxnId::new(0, 1), group(), LogPosition(0))
-            .write(ItemRef::new("row", "a"), "first")
+        let first = Transaction::builder(TxnId::new(0, 1), GROUP, LogPosition(0))
+            .write(ItemRef::new(ROW, A), "first")
             .build();
-        let second = Transaction::builder(TxnId::new(1, 2), group(), LogPosition(0))
-            .write(ItemRef::new("row", "a"), "second")
-            .write(ItemRef::new("row", "b"), "2")
+        let second = Transaction::builder(TxnId::new(1, 2), GROUP, LogPosition(0))
+            .write(ItemRef::new(ROW, A), "second")
+            .write(ItemRef::new(ROW, B), "2")
             .build();
-        core.install_entry(&group(), LogPosition(1), LogEntry::combined(vec![first, second]));
+        core.install_entry(
+            GROUP,
+            LogPosition(1),
+            Arc::new(LogEntry::combined(vec![first, second])),
+        );
         assert_eq!(
-            core.read(&group(), "row", "a", LogPosition(1)).unwrap(),
+            core.read(GROUP, ROW, A, LogPosition(1)).unwrap(),
             Some("second".to_string())
         );
         assert_eq!(
-            core.read(&group(), "row", "b", LogPosition(1)).unwrap(),
+            core.read(GROUP, ROW, B, LogPosition(1)).unwrap(),
             Some("2".to_string())
         );
     }
@@ -312,11 +330,11 @@ mod tests {
     #[test]
     fn duplicate_install_is_idempotent_but_conflicting_install_panics() {
         let mut core = DatacenterCore::new("dc0", 0);
-        let entry = write_entry(0, 1, 0, "a", "1");
-        core.install_entry(&group(), LogPosition(1), entry.clone());
-        core.install_entry(&group(), LogPosition(1), entry);
+        let entry = write_entry(0, 1, 0, A, "1");
+        core.install_entry(GROUP, LogPosition(1), Arc::clone(&entry));
+        core.install_entry(GROUP, LogPosition(1), entry);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            core.install_entry(&group(), LogPosition(1), write_entry(9, 9, 0, "a", "x"));
+            core.install_entry(GROUP, LogPosition(1), write_entry(9, 9, 0, A, "x"));
         }));
         assert!(result.is_err(), "conflicting install must panic (R1)");
     }
@@ -324,29 +342,29 @@ mod tests {
     #[test]
     fn leader_claims_are_first_come_first_served() {
         let mut core = DatacenterCore::new("dc0", 0);
-        assert!(core.leader_claim(&group(), LogPosition(1), 10));
+        assert!(core.leader_claim(GROUP, LogPosition(1), 10));
         // The same client asking again is still granted (idempotent).
-        assert!(core.leader_claim(&group(), LogPosition(1), 10));
-        assert!(!core.leader_claim(&group(), LogPosition(1), 11));
+        assert!(core.leader_claim(GROUP, LogPosition(1), 10));
+        assert!(!core.leader_claim(GROUP, LogPosition(1), 11));
         // A position that already has a decided entry is never granted.
-        core.install_entry(&group(), LogPosition(2), write_entry(0, 1, 1, "a", "1"));
-        assert!(!core.leader_claim(&group(), LogPosition(2), 10));
+        core.install_entry(GROUP, LogPosition(2), write_entry(0, 1, 1, A, "1"));
+        assert!(!core.leader_claim(GROUP, LogPosition(2), 10));
     }
 
     #[test]
     fn leader_claim_denied_after_paxos_activity() {
         let mut core = DatacenterCore::new("dc0", 0);
         core.acceptor()
-            .handle_prepare(&group(), LogPosition(1), paxos::Ballot::initial(5));
-        assert!(!core.leader_claim(&group(), LogPosition(1), 10));
+            .handle_prepare(GROUP, LogPosition(1), paxos::Ballot::initial(5));
+        assert!(!core.leader_claim(GROUP, LogPosition(1), 10));
     }
 
     #[test]
     fn previous_winner_is_first_transaction_of_previous_entry() {
         let mut core = DatacenterCore::new("dc0", 0);
-        assert_eq!(core.previous_winner_client(&group(), LogPosition(1)), None);
-        core.install_entry(&group(), LogPosition(1), write_entry(7, 1, 0, "a", "1"));
-        assert_eq!(core.previous_winner_client(&group(), LogPosition(2)), Some(7));
-        assert_eq!(core.previous_winner_client(&group(), LogPosition(3)), None);
+        assert_eq!(core.previous_winner_client(GROUP, LogPosition(1)), None);
+        core.install_entry(GROUP, LogPosition(1), write_entry(7, 1, 0, A, "1"));
+        assert_eq!(core.previous_winner_client(GROUP, LogPosition(2)), Some(7));
+        assert_eq!(core.previous_winner_client(GROUP, LogPosition(3)), None);
     }
 }

@@ -1,25 +1,45 @@
-//! Cluster directory: how clients and services find each other.
+//! Cluster directory: how clients and services find each other, and the
+//! shared symbol table they intern names through.
 
 use crate::datacenter::SharedCore;
 use parking_lot::RwLock;
 use simnet::NodeId;
 use std::collections::HashMap;
 use std::sync::Arc;
+use walog::SymbolTable;
 
 /// Immutable-after-wiring lookup table shared by every actor in a cluster:
 /// which node is the Transaction Service of each replica, which datacenter a
-/// client lives in, and the shared storage core of each datacenter.
-#[derive(Default)]
+/// client lives in, the shared storage core of each datacenter, and the
+/// cluster-wide [`SymbolTable`] mapping group/key/attribute names to the
+/// interned ids the whole data plane runs on.
 pub struct Directory {
+    symbols: Arc<SymbolTable>,
     service_nodes: RwLock<Vec<NodeId>>,
     cores: RwLock<Vec<SharedCore>>,
     client_replica: RwLock<HashMap<NodeId, usize>>,
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Directory {
+            symbols: SymbolTable::shared(),
+            service_nodes: RwLock::new(Vec::new()),
+            cores: RwLock::new(Vec::new()),
+            client_replica: RwLock::new(HashMap::new()),
+        }
+    }
 }
 
 impl Directory {
     /// Create an empty directory, to be populated by the cluster builder.
     pub fn new() -> Arc<Self> {
         Arc::new(Directory::default())
+    }
+
+    /// The cluster-wide symbol table.
+    pub fn symbols(&self) -> &Arc<SymbolTable> {
+        &self.symbols
     }
 
     /// Register a datacenter: its service node and its shared storage core.
@@ -104,5 +124,14 @@ mod tests {
         assert_eq!(dir.replica_of_client_raw(5), Some(1));
         assert_eq!(dir.core(0).lock().name(), "dc0");
         assert_eq!(dir.cores().len(), 2);
+    }
+
+    #[test]
+    fn symbols_are_shared_cluster_wide() {
+        let dir = Directory::new();
+        let a = dir.symbols().group("ledger");
+        let b = dir.symbols().group("ledger");
+        assert_eq!(a, b);
+        assert_eq!(dir.symbols().group_name(a).as_deref(), Some("ledger"));
     }
 }

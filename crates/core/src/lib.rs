@@ -12,6 +12,10 @@
 //! * [`topology`] — datacenters, regions and the wide-area RTTs measured in
 //!   the paper's evaluation (Virginia ↔ Oregon/California ≈ 90 ms, intra
 //!   Virginia ≈ 1.5 ms, Oregon ↔ California ≈ 20 ms).
+//! * [`Directory`] — cluster-wide lookup (service nodes, storage cores,
+//!   client placement) plus the shared `walog::SymbolTable`: every group,
+//!   key and attribute name is interned once at the client API boundary and
+//!   travels the rest of the pipeline as a `Copy` integer id.
 //! * [`DatacenterCore`] — the per-datacenter storage state: the key-value
 //!   store, the replicated write-ahead logs, and the leader bookkeeping for
 //!   the fast path. Shared by the local Transaction Services and Transaction

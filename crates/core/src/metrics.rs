@@ -1,10 +1,9 @@
 //! Latency and commit statistics collected by clients and experiments.
 
-use serde::{Deserialize, Serialize};
 use simnet::SimDuration;
 
 /// Summary statistics over a set of latency samples.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct LatencyStats {
     /// Number of samples.
     pub count: usize,
@@ -44,7 +43,7 @@ impl LatencyStats {
 
 /// Aggregated outcome counters for a set of transactions (one client or one
 /// whole experiment).
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunMetrics {
     /// Transactions attempted.
     pub attempted: usize,
@@ -114,7 +113,8 @@ impl RunMetrics {
         for (i, samples) in other.commit_latency_us_by_promotion.iter().enumerate() {
             self.commit_latency_us_by_promotion[i].extend_from_slice(samples);
         }
-        self.abort_latency_us.extend_from_slice(&other.abort_latency_us);
+        self.abort_latency_us
+            .extend_from_slice(&other.abort_latency_us);
     }
 
     /// Commits that needed at least one promotion.

@@ -6,9 +6,12 @@
 //! (§2.2: "If a Transaction Client cannot access the Transaction Service
 //! within its own datacenter, it can access the Transaction Service in
 //! another datacenter").
+//!
+//! Groups, keys and attributes travel as interned `Copy` ids; only read
+//! *values* are owned strings.
 
 use paxos::PaxosMsg;
-use walog::{GroupKey, LogPosition};
+use walog::{AttrId, GroupId, KeyId, LogPosition};
 
 /// All messages exchanged in the system.
 #[derive(Clone, Debug, PartialEq)]
@@ -21,14 +24,14 @@ pub enum Msg {
         /// Client-chosen correlation id.
         req_id: u64,
         /// Transaction group.
-        group: GroupKey,
+        group: GroupId,
     },
     /// Answer to [`Msg::BeginRequest`].
     BeginReply {
         /// Echoed correlation id.
         req_id: u64,
         /// Transaction group.
-        group: GroupKey,
+        group: GroupId,
         /// Read position the transaction should use.
         read_position: LogPosition,
     },
@@ -38,11 +41,11 @@ pub enum Msg {
         /// Client-chosen correlation id.
         req_id: u64,
         /// Transaction group.
-        group: GroupKey,
+        group: GroupId,
         /// Row key.
-        key: String,
-        /// Attribute name.
-        attr: String,
+        key: KeyId,
+        /// Attribute id.
+        attr: AttrId,
         /// Read position (A2: every read of the transaction uses this).
         read_position: LogPosition,
     },
@@ -51,11 +54,11 @@ pub enum Msg {
         /// Echoed correlation id.
         req_id: u64,
         /// Transaction group.
-        group: GroupKey,
+        group: GroupId,
         /// Row key.
-        key: String,
-        /// Attribute name.
-        attr: String,
+        key: KeyId,
+        /// Attribute id.
+        attr: AttrId,
         /// The value observed, or `None` if the item has never been written
         /// as of the read position.
         value: Option<String>,
@@ -92,22 +95,26 @@ mod tests {
     #[test]
     fn kinds_and_conversion() {
         let m: Msg = PaxosMsg::Prepare {
-            group: "g".into(),
+            group: GroupId(0),
             position: LogPosition(1),
             ballot: Ballot::initial(1),
         }
         .into();
         assert_eq!(m.kind(), "prepare");
         assert_eq!(
-            Msg::BeginRequest { req_id: 1, group: "g".into() }.kind(),
+            Msg::BeginRequest {
+                req_id: 1,
+                group: GroupId(0)
+            }
+            .kind(),
             "begin_request"
         );
         assert_eq!(
             Msg::ReadReply {
                 req_id: 1,
-                group: "g".into(),
-                key: "k".into(),
-                attr: "a".into(),
+                group: GroupId(0),
+                key: KeyId(0),
+                attr: AttrId(0),
                 value: None,
                 unavailable: false
             }

@@ -10,6 +10,15 @@
 //!   to the local key-value store;
 //! * catch up missing log positions by running recovery Paxos instances
 //!   proposing no-ops (§4.1, Fault Tolerance and Recovery).
+//!
+//! Reads that arrive before the local log caught up are parked in a map
+//! keyed by `(group, read position)`: one bucket per position being waited
+//! on, duplicate requests (same requester and correlation id) replace their
+//! earlier entry instead of accumulating, and a re-attempted read that is
+//! *still* gapped after its requester's timeout is answered
+//! `unavailable` (retry elsewhere) and evicted — the unbounded-growth
+//! failure mode of the original flat list cannot occur, and a read whose
+//! data became servable is always served, however late.
 
 use crate::datacenter::SharedCore;
 use crate::directory::Directory;
@@ -17,20 +26,23 @@ use crate::msg::Msg;
 use paxos::{
     PaxosMsg, Proposer, ProposerAction, ProposerConfig, ProposerEvent, ReplicaId, TimerKind,
 };
-use simnet::{Actor, Context, NodeId, SimDuration};
+use simnet::{Actor, Context, NodeId, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
-use walog::{GroupKey, LogPosition};
+use walog::{AttrId, GroupId, KeyId, LogPosition};
 
 /// A remote read waiting for the local log to catch up.
 #[derive(Clone, Debug)]
 struct PendingRead {
     from: NodeId,
     req_id: u64,
-    group: GroupKey,
-    key: String,
-    attr: String,
+    group: GroupId,
+    key: KeyId,
+    attr: AttrId,
     read_position: LogPosition,
+    /// When the read was first parked; re-attempts that still cannot be
+    /// served after the requester's timeout answer `unavailable` and evict.
+    enqueued_at: SimTime,
 }
 
 /// The per-datacenter Transaction Service actor.
@@ -40,11 +52,16 @@ pub struct TransactionService {
     directory: Arc<Directory>,
     message_timeout: SimDuration,
     backoff_max: SimDuration,
-    recovery: HashMap<(GroupKey, LogPosition), Proposer>,
+    recovery: HashMap<(GroupId, LogPosition), Proposer>,
     /// Timer tag → (recovery instance key, proposer timer token).
-    timers: HashMap<u64, ((GroupKey, LogPosition), u64)>,
+    timers: HashMap<u64, ((GroupId, LogPosition), u64)>,
     next_tag: u64,
-    pending_reads: Vec<PendingRead>,
+    /// Parked remote reads, bucketed by the (group, read position) they
+    /// wait for.
+    pending_reads: HashMap<(GroupId, LogPosition), Vec<PendingRead>>,
+    /// Parked reads answered `unavailable` and evicted because their
+    /// requester timed out before the log caught up.
+    expired_reads: u64,
 }
 
 impl TransactionService {
@@ -65,7 +82,8 @@ impl TransactionService {
             recovery: HashMap::new(),
             timers: HashMap::new(),
             next_tag: 0,
-            pending_reads: Vec::new(),
+            pending_reads: HashMap::new(),
+            expired_reads: 0,
         }
     }
 
@@ -74,14 +92,32 @@ impl TransactionService {
         self.replica
     }
 
+    /// Number of remote reads currently parked waiting for log catch-up.
+    pub fn pending_read_count(&self) -> usize {
+        self.pending_reads.values().map(Vec::len).sum()
+    }
+
+    /// Parked reads answered `unavailable` because their requester timed out.
+    pub fn expired_read_count(&self) -> u64 {
+        self.expired_reads
+    }
+
     fn node_for_replica(&self, replica: ReplicaId) -> NodeId {
         self.directory.service_node(replica)
     }
 
     fn handle_paxos(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: PaxosMsg) {
         match msg {
-            PaxosMsg::Prepare { group, position, ballot } => {
-                let outcome = self.core.lock().acceptor().handle_prepare(&group, position, ballot);
+            PaxosMsg::Prepare {
+                group,
+                position,
+                ballot,
+            } => {
+                let outcome = self
+                    .core
+                    .lock()
+                    .acceptor()
+                    .handle_prepare(group, position, ballot);
                 ctx.send(
                     from,
                     Msg::Paxos(PaxosMsg::PrepareReply {
@@ -94,40 +130,60 @@ impl TransactionService {
                     }),
                 );
             }
-            PaxosMsg::Accept { group, position, ballot, value } => {
+            PaxosMsg::Accept {
+                group,
+                position,
+                ballot,
+                value,
+            } => {
                 let accepted = self
                     .core
                     .lock()
                     .acceptor()
-                    .handle_accept(&group, position, ballot, &value);
+                    .handle_accept(group, position, ballot, &value);
                 ctx.send(
                     from,
-                    Msg::Paxos(PaxosMsg::AcceptReply { group, position, ballot, accepted }),
+                    Msg::Paxos(PaxosMsg::AcceptReply {
+                        group,
+                        position,
+                        ballot,
+                        accepted,
+                    }),
                 );
             }
-            PaxosMsg::Apply { group, position, ballot, value } => {
+            PaxosMsg::Apply {
+                group,
+                position,
+                ballot,
+                value,
+            } => {
                 {
                     let mut core = self.core.lock();
-                    core.acceptor().handle_apply(&group, position, ballot, &value);
-                    core.install_entry(&group, position, value);
+                    core.acceptor()
+                        .handle_apply(group, position, ballot, &value);
+                    core.install_entry(group, position, value);
                 }
-                // A decided position may unblock queued remote reads and
-                // makes any recovery instance for it redundant.
+                // A decided position may unblock queued remote reads of this
+                // group and makes any recovery instance for it redundant.
                 self.recovery.remove(&(group, position));
-                self.flush_pending_reads(ctx);
+                self.flush_pending_reads_for(ctx, group);
             }
             PaxosMsg::LeaderClaim { group, position } => {
                 let granted = self
                     .core
                     .lock()
-                    .leader_claim(&group, position, from.0 as u64);
+                    .leader_claim(group, position, from.0 as u64);
                 ctx.send(
                     from,
-                    Msg::Paxos(PaxosMsg::LeaderClaimReply { group, position, granted }),
+                    Msg::Paxos(PaxosMsg::LeaderClaimReply {
+                        group,
+                        position,
+                        granted,
+                    }),
                 );
             }
             PaxosMsg::PrepareReply {
-                ref group,
+                group,
                 position,
                 ballot,
                 promised,
@@ -137,7 +193,7 @@ impl TransactionService {
                 let replica = self.directory.replica_of_service(from).unwrap_or(0);
                 self.drive_recovery(
                     ctx,
-                    (group.clone(), position),
+                    (group, position),
                     ProposerEvent::PrepareReply {
                         from: replica,
                         position,
@@ -148,12 +204,22 @@ impl TransactionService {
                     },
                 );
             }
-            PaxosMsg::AcceptReply { ref group, position, ballot, accepted } => {
+            PaxosMsg::AcceptReply {
+                group,
+                position,
+                ballot,
+                accepted,
+            } => {
                 let replica = self.directory.replica_of_service(from).unwrap_or(0);
                 self.drive_recovery(
                     ctx,
-                    (group.clone(), position),
-                    ProposerEvent::AcceptReply { from: replica, position, ballot, accepted },
+                    (group, position),
+                    ProposerEvent::AcceptReply {
+                        from: replica,
+                        position,
+                        ballot,
+                        accepted,
+                    },
                 );
             }
             PaxosMsg::LeaderClaimReply { .. } => {
@@ -162,16 +228,23 @@ impl TransactionService {
         }
     }
 
-    fn handle_begin(&mut self, ctx: &mut Context<Msg>, from: NodeId, req_id: u64, group: GroupKey) {
-        let read_position = self.core.lock().read_position(&group);
-        ctx.send(from, Msg::BeginReply { req_id, group, read_position });
+    fn handle_begin(&mut self, ctx: &mut Context<Msg>, from: NodeId, req_id: u64, group: GroupId) {
+        let read_position = self.core.lock().read_position(group);
+        ctx.send(
+            from,
+            Msg::BeginReply {
+                req_id,
+                group,
+                read_position,
+            },
+        );
     }
 
     fn handle_read(&mut self, ctx: &mut Context<Msg>, pending: PendingRead) {
         let result = self.core.lock().read(
-            &pending.group,
-            &pending.key,
-            &pending.attr,
+            pending.group,
+            pending.key,
+            pending.attr,
             pending.read_position,
         );
         match result {
@@ -189,46 +262,108 @@ impl TransactionService {
                 );
             }
             Err(gap) => {
+                // Still gapped. If the requester has been waiting longer
+                // than the message timeout it has given up client-side:
+                // answer `unavailable` (so a patient requester can retry
+                // elsewhere) and evict instead of re-parking forever. A
+                // fresh request is never expired — expiry only applies to
+                // re-attempts of parked reads, after serving was tried.
+                if ctx.now().since(pending.enqueued_at) > self.message_timeout {
+                    self.expired_reads += 1;
+                    ctx.send(
+                        pending.from,
+                        Msg::ReadReply {
+                            req_id: pending.req_id,
+                            group: pending.group,
+                            key: pending.key,
+                            attr: pending.attr,
+                            value: None,
+                            unavailable: true,
+                        },
+                    );
+                    return;
+                }
                 // Start a recovery instance for every missing position, then
                 // park the read until the log catches up.
                 for position in gap.missing {
-                    self.start_recovery(ctx, pending.group.clone(), position);
+                    self.start_recovery(ctx, pending.group, position);
                 }
-                self.pending_reads.push(pending);
+                self.park_read(pending);
             }
         }
     }
 
+    /// Park a read in its `(group, read position)` bucket, replacing any
+    /// earlier entry for the same requester and correlation id (a retried
+    /// request must not accumulate).
+    fn park_read(&mut self, pending: PendingRead) {
+        let bucket = self
+            .pending_reads
+            .entry((pending.group, pending.read_position))
+            .or_default();
+        if let Some(existing) = bucket
+            .iter_mut()
+            .find(|p| p.from == pending.from && p.req_id == pending.req_id)
+        {
+            *existing = pending;
+        } else {
+            bucket.push(pending);
+        }
+    }
+
+    /// Re-attempt every parked read (all groups): used after an outage,
+    /// when anything might have changed. Serving is always attempted
+    /// first; only reads that are *still* gapped are expired or re-parked
+    /// (see [`TransactionService::handle_read`]).
     fn flush_pending_reads(&mut self, ctx: &mut Context<Msg>) {
-        let pending = std::mem::take(&mut self.pending_reads);
+        let pending: Vec<PendingRead> = self
+            .pending_reads
+            .drain()
+            .flat_map(|(_, bucket)| bucket)
+            .collect();
         for read in pending {
             self.handle_read(ctx, read);
         }
     }
 
-    fn start_recovery(&mut self, ctx: &mut Context<Msg>, group: GroupKey, position: LogPosition) {
-        if self.recovery.contains_key(&(group.clone(), position)) {
+    /// Re-attempt the parked reads of one group: a decided position can
+    /// only unblock reads of that group's log, so the per-decide flush
+    /// leaves other groups' buckets untouched.
+    fn flush_pending_reads_for(&mut self, ctx: &mut Context<Msg>, group: GroupId) {
+        let keys: Vec<(GroupId, LogPosition)> = self
+            .pending_reads
+            .keys()
+            .filter(|(g, _)| *g == group)
+            .copied()
+            .collect();
+        let pending: Vec<PendingRead> = keys
+            .into_iter()
+            .filter_map(|key| self.pending_reads.remove(&key))
+            .flatten()
+            .collect();
+        for read in pending {
+            self.handle_read(ctx, read);
+        }
+    }
+
+    fn start_recovery(&mut self, ctx: &mut Context<Msg>, group: GroupId, position: LogPosition) {
+        if self.recovery.contains_key(&(group, position)) {
             return;
         }
-        if self.core.lock().has_entry(&group, position) {
+        if self.core.lock().has_entry(group, position) {
             return;
         }
         let cfg = ProposerConfig::basic(self.directory.num_replicas());
-        let mut proposer = Proposer::new_recovery(
-            cfg,
-            group.clone(),
-            ctx.node().0 as u64,
-            position,
-        );
+        let mut proposer = Proposer::new_recovery(cfg, group, ctx.node().0 as u64, position);
         let actions = proposer.start();
-        self.recovery.insert((group.clone(), position), proposer);
+        self.recovery.insert((group, position), proposer);
         self.apply_recovery_actions(ctx, (group, position), actions);
     }
 
     fn drive_recovery(
         &mut self,
         ctx: &mut Context<Msg>,
-        key: (GroupKey, LogPosition),
+        key: (GroupId, LogPosition),
         event: ProposerEvent,
     ) {
         let Some(proposer) = self.recovery.get_mut(&key) else {
@@ -241,7 +376,7 @@ impl TransactionService {
     fn apply_recovery_actions(
         &mut self,
         ctx: &mut Context<Msg>,
-        key: (GroupKey, LogPosition),
+        key: (GroupId, LogPosition),
         actions: Vec<ProposerAction>,
     ) {
         for action in actions {
@@ -264,15 +399,15 @@ impl TransactionService {
                     };
                     self.next_tag += 1;
                     let tag = self.next_tag;
-                    self.timers.insert(tag, (key.clone(), token));
+                    self.timers.insert(tag, (key, token));
                     ctx.set_timer(delay, tag);
                 }
                 ProposerAction::Learned { position, entry } => {
-                    self.core.lock().install_entry(&key.0, position, entry);
+                    self.core.lock().install_entry(key.0, position, entry);
                 }
                 ProposerAction::Finished(_) => {
                     self.recovery.remove(&key);
-                    self.flush_pending_reads(ctx);
+                    self.flush_pending_reads_for(ctx, key.0);
                 }
             }
         }
@@ -284,8 +419,22 @@ impl Actor<Msg> for TransactionService {
         match msg {
             Msg::Paxos(p) => self.handle_paxos(ctx, from, p),
             Msg::BeginRequest { req_id, group } => self.handle_begin(ctx, from, req_id, group),
-            Msg::ReadRequest { req_id, group, key, attr, read_position } => {
-                let pending = PendingRead { from, req_id, group, key, attr, read_position };
+            Msg::ReadRequest {
+                req_id,
+                group,
+                key,
+                attr,
+                read_position,
+            } => {
+                let pending = PendingRead {
+                    from,
+                    req_id,
+                    group,
+                    key,
+                    attr,
+                    read_position,
+                    enqueued_at: ctx.now(),
+                };
                 self.handle_read(ctx, pending);
             }
             Msg::BeginReply { .. } | Msg::ReadReply { .. } => {
@@ -316,13 +465,18 @@ mod tests {
     use crate::datacenter::DatacenterCore;
     use paxos::Ballot;
     use simnet::{NetworkConfig, Simulation};
+    use std::sync::Arc as StdArc;
     use walog::{ItemRef, LogEntry, Transaction, TxnId};
+
+    const GROUP: GroupId = GroupId(0);
+    const ROW: KeyId = KeyId(0);
+    const A: AttrId = AttrId(0);
 
     /// A scripted prober actor that sends a batch of messages at start and
     /// records everything it receives.
     struct Prober {
         to_send: Vec<(NodeId, Msg)>,
-        received: std::sync::Arc<parking_lot::Mutex<Vec<Msg>>>,
+        received: StdArc<parking_lot::Mutex<Vec<Msg>>>,
     }
 
     impl Actor<Msg> for Prober {
@@ -338,7 +492,11 @@ mod tests {
 
     fn single_dc_harness(
         to_send: impl Fn(NodeId) -> Vec<(NodeId, Msg)>,
-    ) -> (Simulation<Msg>, SharedCore, std::sync::Arc<parking_lot::Mutex<Vec<Msg>>>) {
+    ) -> (
+        Simulation<Msg>,
+        SharedCore,
+        StdArc<parking_lot::Mutex<Vec<Msg>>>,
+    ) {
         let mut sim: Simulation<Msg> =
             Simulation::new(NetworkConfig::uniform(SimDuration::from_millis(1)), 1);
         let site = sim.add_site("dc0");
@@ -352,7 +510,7 @@ mod tests {
         );
         let service_node = sim.add_node(site, Box::new(service));
         directory.register_datacenter(service_node, core.clone());
-        let received = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let received = StdArc::new(parking_lot::Mutex::new(Vec::new()));
         let prober = Prober {
             to_send: to_send(service_node),
             received: received.clone(),
@@ -362,20 +520,27 @@ mod tests {
         (sim, core, received)
     }
 
-    fn entry(seq: u64, attr: &str, value: &str) -> LogEntry {
-        LogEntry::single(
-            Transaction::builder(TxnId::new(1, seq), "g", LogPosition(0))
-                .write(ItemRef::new("row", attr), value)
+    fn entry(seq: u64, attr: AttrId, value: &str) -> Arc<LogEntry> {
+        Arc::new(LogEntry::single(
+            Transaction::builder(TxnId::new(1, seq), GROUP, LogPosition(0))
+                .write(ItemRef::new(ROW, attr), value)
                 .build(),
-        )
+        ))
     }
 
     #[test]
     fn service_answers_begin_requests_with_read_position() {
         let (mut sim, core, received) = single_dc_harness(|svc| {
-            vec![(svc, Msg::BeginRequest { req_id: 1, group: "g".into() })]
+            vec![(
+                svc,
+                Msg::BeginRequest {
+                    req_id: 1,
+                    group: GROUP,
+                },
+            )]
         });
-        core.lock().install_entry(&"g".into(), LogPosition(1), entry(1, "a", "1"));
+        core.lock()
+            .install_entry(GROUP, LogPosition(1), entry(1, A, "1"));
         sim.run_until_idle_capped(1_000);
         let got = received.lock();
         assert_eq!(got.len(), 1);
@@ -388,14 +553,14 @@ mod tests {
     #[test]
     fn service_acts_as_acceptor_for_prepare_and_accept() {
         let ballot = Ballot::initial(42);
-        let value = entry(5, "a", "v");
-        let value_clone = value.clone();
+        let value = entry(5, A, "v");
+        let value_clone = Arc::clone(&value);
         let (mut sim, core, received) = single_dc_harness(move |svc| {
             vec![
                 (
                     svc,
                     Msg::Paxos(PaxosMsg::Prepare {
-                        group: "g".into(),
+                        group: GROUP,
                         position: LogPosition(1),
                         ballot,
                     }),
@@ -403,37 +568,35 @@ mod tests {
                 (
                     svc,
                     Msg::Paxos(PaxosMsg::Accept {
-                        group: "g".into(),
+                        group: GROUP,
                         position: LogPosition(1),
                         ballot,
-                        value: value_clone.clone(),
+                        value: Arc::clone(&value_clone),
                     }),
                 ),
                 (
                     svc,
                     Msg::Paxos(PaxosMsg::Apply {
-                        group: "g".into(),
+                        group: GROUP,
                         position: LogPosition(1),
                         ballot,
-                        value: value_clone.clone(),
+                        value: Arc::clone(&value_clone),
                     }),
                 ),
             ]
         });
         sim.run_until_idle_capped(1_000);
         let got = received.lock();
-        assert!(got.iter().any(|m| matches!(
-            m,
-            Msg::Paxos(PaxosMsg::PrepareReply { promised: true, .. })
-        )));
-        assert!(got.iter().any(|m| matches!(
-            m,
-            Msg::Paxos(PaxosMsg::AcceptReply { accepted: true, .. })
-        )));
+        assert!(got
+            .iter()
+            .any(|m| matches!(m, Msg::Paxos(PaxosMsg::PrepareReply { promised: true, .. }))));
+        assert!(got
+            .iter()
+            .any(|m| matches!(m, Msg::Paxos(PaxosMsg::AcceptReply { accepted: true, .. }))));
         // The apply installed the entry and applied it to the store.
-        assert!(core.lock().has_entry("g", LogPosition(1)));
+        assert!(core.lock().has_entry(GROUP, LogPosition(1)));
         assert_eq!(
-            core.lock().read("g", "row", "a", LogPosition(1)).unwrap(),
+            core.lock().read(GROUP, ROW, A, LogPosition(1)).unwrap(),
             Some("v".to_string())
         );
     }
@@ -445,19 +608,25 @@ mod tests {
                 svc,
                 Msg::ReadRequest {
                     req_id: 9,
-                    group: "g".into(),
-                    key: "row".into(),
-                    attr: "a".into(),
+                    group: GROUP,
+                    key: ROW,
+                    attr: A,
                     read_position: LogPosition(1),
                 },
             )]
         });
-        core.lock().install_entry(&"g".into(), LogPosition(1), entry(1, "a", "42"));
+        core.lock()
+            .install_entry(GROUP, LogPosition(1), entry(1, A, "42"));
         sim.run_until_idle_capped(1_000);
         let got = received.lock();
         assert_eq!(got.len(), 1);
         match &got[0] {
-            Msg::ReadReply { req_id, value, unavailable, .. } => {
+            Msg::ReadReply {
+                req_id,
+                value,
+                unavailable,
+                ..
+            } => {
                 assert_eq!(*req_id, 9);
                 assert_eq!(value.as_deref(), Some("42"));
                 assert!(!unavailable);
@@ -469,9 +638,13 @@ mod tests {
     #[test]
     fn leader_claim_granted_once_per_position() {
         let (mut sim, _core, received) = single_dc_harness(|svc| {
-            vec![
-                (svc, Msg::Paxos(PaxosMsg::LeaderClaim { group: "g".into(), position: LogPosition(1) })),
-            ]
+            vec![(
+                svc,
+                Msg::Paxos(PaxosMsg::LeaderClaim {
+                    group: GROUP,
+                    position: LogPosition(1),
+                }),
+            )]
         });
         sim.run_until_idle_capped(1_000);
         let got = received.lock();
@@ -492,9 +665,9 @@ mod tests {
                 svc,
                 Msg::ReadRequest {
                     req_id: 3,
-                    group: "g".into(),
-                    key: "row".into(),
-                    attr: "a".into(),
+                    group: GROUP,
+                    key: ROW,
+                    attr: A,
                     read_position: LogPosition(1),
                 },
             )]
@@ -503,7 +676,9 @@ mod tests {
         let got = received.lock();
         assert_eq!(got.len(), 1, "read must eventually be answered");
         match &got[0] {
-            Msg::ReadReply { value, unavailable, .. } => {
+            Msg::ReadReply {
+                value, unavailable, ..
+            } => {
                 assert_eq!(value, &None);
                 assert!(!unavailable);
             }
@@ -511,7 +686,205 @@ mod tests {
         }
         // The gap was filled with a no-op entry.
         let core = core.lock();
-        let log = core.log("g").unwrap();
+        let log = core.log(GROUP).unwrap();
         assert!(log.get(LogPosition(1)).unwrap().is_noop());
+    }
+
+    /// Two-service harness where the peer datacenter is crashed, so recovery
+    /// (majority 2) cannot finish and parked reads stay parked until an
+    /// Apply arrives from outside.
+    fn stalled_recovery_harness(
+        reads: Vec<Msg>,
+    ) -> (
+        Simulation<Msg>,
+        NodeId,
+        StdArc<parking_lot::Mutex<Vec<Msg>>>,
+    ) {
+        let mut sim: Simulation<Msg> =
+            Simulation::new(NetworkConfig::uniform(SimDuration::from_millis(1)), 1);
+        let directory = Directory::new();
+        let mut nodes = Vec::new();
+        for replica in 0..2 {
+            let site = sim.add_site(format!("dc{replica}"));
+            let core = DatacenterCore::shared(format!("dc{replica}"), replica);
+            let service = TransactionService::new(
+                replica,
+                core.clone(),
+                directory.clone(),
+                SimDuration::from_secs(2),
+            );
+            let node = sim.add_node(site, Box::new(service));
+            directory.register_datacenter(node, core);
+            nodes.push(node);
+        }
+        // Peer down: recovery instances can never reach a majority.
+        sim.crash_node(nodes[1]);
+        let received = StdArc::new(parking_lot::Mutex::new(Vec::new()));
+        let target = nodes[0];
+        let prober = Prober {
+            to_send: reads.into_iter().map(|m| (target, m)).collect(),
+            received: received.clone(),
+        };
+        let site0 = sim.network().site_of(target);
+        let prober_node = sim.add_node(site0, Box::new(prober));
+        directory.register_client(prober_node, 0);
+        (sim, target, received)
+    }
+
+    fn read_request_at(req_id: u64, position: u64) -> Msg {
+        Msg::ReadRequest {
+            req_id,
+            group: GROUP,
+            key: ROW,
+            attr: A,
+            read_position: LogPosition(position),
+        }
+    }
+
+    fn read_request(req_id: u64) -> Msg {
+        read_request_at(req_id, 1)
+    }
+
+    /// Decide position 1 of GROUP at service_node via an injected Apply.
+    fn apply_position_one(sim: &mut Simulation<Msg>, service_node: NodeId, value: &str) {
+        let helper = Prober {
+            to_send: vec![(
+                service_node,
+                Msg::Paxos(PaxosMsg::Apply {
+                    group: GROUP,
+                    position: LogPosition(1),
+                    ballot: Ballot::initial(9),
+                    value: entry(1, A, value),
+                }),
+            )],
+            received: StdArc::new(parking_lot::Mutex::new(Vec::new())),
+        };
+        let site = sim.network().site_of(service_node);
+        sim.add_node(site, Box::new(helper));
+    }
+
+    #[test]
+    fn parked_read_that_becomes_servable_is_served_even_after_the_timeout() {
+        // The read waits at position 1; the position decides long after the
+        // 2 s requester timeout. Serving is attempted before expiry, so the
+        // requester gets the real value, not an `unavailable` brush-off.
+        let (mut sim, service_node, received) = stalled_recovery_harness(vec![read_request(3)]);
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(
+            received.lock().is_empty(),
+            "read must be parked, not answered"
+        );
+        sim.run_for(SimDuration::from_secs(10));
+        apply_position_one(&mut sim, service_node, "late");
+        sim.run_for(SimDuration::from_secs(5));
+        let got = received.lock();
+        assert_eq!(got.len(), 1, "late-but-servable read must get one answer");
+        match &got[0] {
+            Msg::ReadReply {
+                req_id: 3,
+                value,
+                unavailable: false,
+                ..
+            } => assert_eq!(value.as_deref(), Some("late")),
+            other => panic!("expected the real value, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parked_reads_still_gapped_after_the_timeout_are_answered_unavailable_and_evicted() {
+        // The read waits at position 2. Position 1 decides long after the
+        // 2 s requester timeout, which triggers a flush — but position 2 is
+        // still missing, so the read cannot be served: it is answered
+        // `unavailable` (retry elsewhere) and evicted instead of being
+        // re-parked forever.
+        let (mut sim, service_node, received) =
+            stalled_recovery_harness(vec![read_request_at(3, 2)]);
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(
+            received.lock().is_empty(),
+            "read must be parked, not answered"
+        );
+        sim.run_for(SimDuration::from_secs(10));
+        apply_position_one(&mut sim, service_node, "p1");
+        sim.run_for(SimDuration::from_secs(5));
+        let got = received.lock();
+        assert_eq!(
+            got.len(),
+            1,
+            "expired gapped read must get exactly one answer"
+        );
+        assert!(
+            matches!(
+                &got[0],
+                Msg::ReadReply {
+                    req_id: 3,
+                    unavailable: true,
+                    value: None,
+                    ..
+                }
+            ),
+            "expired gapped read must be answered unavailable, got {got:?}"
+        );
+    }
+
+    #[test]
+    fn decides_in_one_group_do_not_disturb_other_groups_parked_reads() {
+        // A read parked on group 0 must stay parked (not be re-attempted or
+        // expired) when an unrelated group's position decides.
+        let (mut sim, service_node, received) = stalled_recovery_harness(vec![read_request(5)]);
+        sim.run_for(SimDuration::from_millis(500));
+        let other_group = GroupId(1);
+        let helper = Prober {
+            to_send: vec![(
+                service_node,
+                Msg::Paxos(PaxosMsg::Apply {
+                    group: other_group,
+                    position: LogPosition(1),
+                    ballot: Ballot::initial(9),
+                    value: StdArc::new(walog::LogEntry::noop()),
+                }),
+            )],
+            received: StdArc::new(parking_lot::Mutex::new(Vec::new())),
+        };
+        let site = sim.network().site_of(service_node);
+        sim.add_node(site, Box::new(helper));
+        sim.run_for(SimDuration::from_millis(500));
+        assert!(
+            received.lock().is_empty(),
+            "an unrelated group's decide must not answer group 0's parked read"
+        );
+    }
+
+    #[test]
+    fn duplicate_parked_reads_are_replaced_not_accumulated() {
+        // The same (requester, req_id) read arrives three times (client
+        // retries); once the position decides within the timeout, exactly
+        // one reply is sent.
+        let (mut sim, service_node, received) =
+            stalled_recovery_harness(vec![read_request(7), read_request(7), read_request(7)]);
+        sim.run_for(SimDuration::from_millis(500));
+        assert!(received.lock().is_empty());
+        let helper = Prober {
+            to_send: vec![(
+                service_node,
+                Msg::Paxos(PaxosMsg::Apply {
+                    group: GROUP,
+                    position: LogPosition(1),
+                    ballot: Ballot::initial(9),
+                    value: entry(1, A, "v"),
+                }),
+            )],
+            received: StdArc::new(parking_lot::Mutex::new(Vec::new())),
+        };
+        let site = sim.network().site_of(service_node);
+        sim.add_node(site, Box::new(helper));
+        sim.run_for(SimDuration::from_secs(5));
+        let got = received.lock();
+        assert_eq!(
+            got.len(),
+            1,
+            "duplicate parked reads must collapse to one reply, got {got:?}"
+        );
+        assert!(matches!(&got[0], Msg::ReadReply { req_id: 7, .. }));
     }
 }

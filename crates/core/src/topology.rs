@@ -89,7 +89,10 @@ pub struct Topology {
 impl Topology {
     /// Build a topology from an ordered list of datacenter regions.
     pub fn new(datacenters: Vec<Region>) -> Self {
-        assert!(!datacenters.is_empty(), "a cluster needs at least one datacenter");
+        assert!(
+            !datacenters.is_empty(),
+            "a cluster needs at least one datacenter"
+        );
         Topology {
             datacenters,
             loss_probability: 0.0,
@@ -146,10 +149,8 @@ impl Topology {
     /// matrix is filled with per-pair one-way latencies (half the region
     /// RTT); intra-datacenter hops take 0.25 ms.
     pub fn network_config(&self) -> NetworkConfig {
-        let mut latency = LatencyMatrix::new(
-            SimDuration::from_micros(250),
-            SimDuration::from_millis(45),
-        );
+        let mut latency =
+            LatencyMatrix::new(SimDuration::from_micros(250), SimDuration::from_millis(45));
         for (i, a) in self.datacenters.iter().enumerate() {
             for (j, b) in self.datacenters.iter().enumerate() {
                 if i < j {

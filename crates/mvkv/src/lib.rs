@@ -14,9 +14,11 @@
 //!
 //! The paper uses HBase; any store with these primitives qualifies, so this
 //! crate provides a self-contained in-process implementation with the same
-//! semantics: rows are named by string keys, each version is a full
-//! attribute map (columns), and the logical timestamp of an application
-//! write is the write-ahead-log position that committed it.
+//! semantics: rows are named by interned `Copy` integer [`Key`]s, attributes
+//! by interned [`Attr`] ids (see `walog::ident` for the shared string
+//! table), each version is a full attribute map (columns), and the logical
+//! timestamp of an application write is the write-ahead-log position that
+//! committed it.
 //!
 //! Writes are *merge-upserts*: a new version starts from the latest existing
 //! version and overlays the supplied attributes, which mirrors column-family

@@ -1,6 +1,6 @@
 //! The in-process multi-version store.
 
-use crate::types::{Key, MvkvError, Row, Timestamp, VersionRead};
+use crate::types::{Attr, Key, MvkvError, Row, Timestamp, VersionRead};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 
@@ -55,7 +55,9 @@ impl VersionedRow {
 /// All operations are atomic with respect to each other (the paper requires
 /// per-row atomicity; we provide whole-store atomicity, which is strictly
 /// stronger and does not change protocol behaviour). The store is cheap to
-/// share: clone an `Arc<MvKvStore>` per user.
+/// share: clone an `Arc<MvKvStore>` per user. Rows and attributes are named
+/// by `Copy` integer ids, so no operation on the commit hot path hashes or
+/// clones a string.
 #[derive(Default)]
 pub struct MvKvStore {
     inner: RwLock<Inner>,
@@ -75,10 +77,10 @@ impl MvKvStore {
 
     /// Read the most recent version of `key` with timestamp ≤ `at`.
     /// With `at = None`, reads the most recent version.
-    pub fn read(&self, key: &str, at: Option<Timestamp>) -> Option<VersionRead> {
+    pub fn read(&self, key: Key, at: Option<Timestamp>) -> Option<VersionRead> {
         let mut inner = self.inner.write();
         inner.stats.reads += 1;
-        let row = inner.rows.get(key)?;
+        let row = inner.rows.get(&key)?;
         let found = match at {
             Some(ts) => row.at(ts),
             None => row.latest(),
@@ -90,7 +92,7 @@ impl MvKvStore {
     }
 
     /// Read a single attribute of `key` as of timestamp `at`.
-    pub fn read_attr(&self, key: &str, attr: &str, at: Option<Timestamp>) -> Option<String> {
+    pub fn read_attr(&self, key: Key, attr: Attr, at: Option<Timestamp>) -> Option<String> {
         self.read(key, at)
             .and_then(|v| v.row.get(attr).map(str::to_owned))
     }
@@ -101,9 +103,14 @@ impl MvKvStore {
     /// (merge-upsert). If `ts` is given, it must be strictly greater than
     /// the latest existing version; otherwise a timestamp one greater than
     /// the latest is generated. Returns the timestamp actually written.
-    pub fn write(&self, key: &str, attrs: Row, ts: Option<Timestamp>) -> Result<Timestamp, MvkvError> {
+    pub fn write(
+        &self,
+        key: Key,
+        attrs: Row,
+        ts: Option<Timestamp>,
+    ) -> Result<Timestamp, MvkvError> {
         let mut inner = self.inner.write();
-        let row = inner.rows.entry(key.to_owned()).or_default();
+        let row = inner.rows.entry(key).or_default();
         let latest = row.latest().map(|(ts, _)| *ts);
         let target = match (ts, latest) {
             (Some(t), Some(l)) if t <= l => {
@@ -130,7 +137,7 @@ impl MvKvStore {
     /// same or greater** timestamp as success-without-effect (idempotent
     /// replay). Used when applying write-ahead-log entries: applying the same
     /// log position twice must not fail.
-    pub fn apply_idempotent(&self, key: &str, attrs: Row, ts: Timestamp) -> bool {
+    pub fn apply_idempotent(&self, key: Key, attrs: Row, ts: Timestamp) -> bool {
         match self.write(key, attrs, Some(ts)) {
             Ok(_) => true,
             Err(MvkvError::StaleTimestamp { .. }) => false,
@@ -143,21 +150,22 @@ impl MvKvStore {
     /// [`CasOutcome::Applied`]; otherwise write nothing.
     pub fn check_and_write(
         &self,
-        key: &str,
-        test_attr: &str,
+        key: Key,
+        test_attr: Attr,
         expected: Option<&str>,
         attrs: Row,
     ) -> CasOutcome {
         let mut inner = self.inner.write();
-        let row = inner.rows.entry(key.to_owned()).or_default();
-        let current = row
-            .latest()
-            .and_then(|(_, r)| r.get(test_attr).map(str::to_owned));
-        if current.as_deref() != expected {
+        let row = inner.rows.entry(key).or_default();
+        let current = row.latest().and_then(|(_, r)| r.get(test_attr));
+        if current != expected {
             inner.stats.cas_rejected += 1;
             return CasOutcome::Rejected;
         }
-        let target = row.latest().map(|(ts, _)| ts.next()).unwrap_or(Timestamp(1));
+        let target = row
+            .latest()
+            .map(|(ts, _)| ts.next())
+            .unwrap_or(Timestamp(1));
         let merged = match row.latest() {
             Some((_, base)) => base.merged_with(&attrs),
             None => attrs,
@@ -169,20 +177,20 @@ impl MvKvStore {
     }
 
     /// The latest version timestamp of `key`, if any version exists.
-    pub fn latest_timestamp(&self, key: &str) -> Option<Timestamp> {
+    pub fn latest_timestamp(&self, key: Key) -> Option<Timestamp> {
         self.inner
             .read()
             .rows
-            .get(key)
+            .get(&key)
             .and_then(|r| r.latest().map(|(ts, _)| *ts))
     }
 
     /// Number of stored versions of `key`.
-    pub fn version_count(&self, key: &str) -> usize {
+    pub fn version_count(&self, key: Key) -> usize {
         self.inner
             .read()
             .rows
-            .get(key)
+            .get(&key)
             .map(|r| r.versions.len())
             .unwrap_or(0)
     }
@@ -194,9 +202,9 @@ impl MvKvStore {
 
     /// Drop all versions of `key` strictly older than `keep_from`, keeping at
     /// least the latest version. Returns the number of versions removed.
-    pub fn gc_versions_before(&self, key: &str, keep_from: Timestamp) -> usize {
+    pub fn gc_versions_before(&self, key: Key, keep_from: Timestamp) -> usize {
         let mut inner = self.inner.write();
-        let Some(row) = inner.rows.get_mut(key) else {
+        let Some(row) = inner.rows.get_mut(&key) else {
             return 0;
         };
         let latest = match row.latest() {
@@ -217,7 +225,7 @@ impl MvKvStore {
 
     /// All keys currently present (sorted), mainly for debugging and tests.
     pub fn keys(&self) -> Vec<Key> {
-        let mut keys: Vec<_> = self.inner.read().rows.keys().cloned().collect();
+        let mut keys: Vec<_> = self.inner.read().rows.keys().copied().collect();
         keys.sort();
         keys
     }
@@ -227,49 +235,63 @@ impl MvKvStore {
 mod tests {
     use super::*;
 
-    fn row(pairs: &[(&str, &str)]) -> Row {
+    const K: Key = Key(10);
+    const A: Attr = Attr(0);
+    const B: Attr = Attr(1);
+
+    fn row(pairs: &[(Attr, &str)]) -> Row {
         Row::from_pairs(pairs.iter().copied())
     }
 
     #[test]
     fn read_returns_latest_version_at_or_before_timestamp() {
         let store = MvKvStore::new();
-        store.write("k", row(&[("a", "v1")]), Some(Timestamp(1))).unwrap();
-        store.write("k", row(&[("a", "v3")]), Some(Timestamp(3))).unwrap();
+        store
+            .write(K, row(&[(A, "v1")]), Some(Timestamp(1)))
+            .unwrap();
+        store
+            .write(K, row(&[(A, "v3")]), Some(Timestamp(3)))
+            .unwrap();
 
-        let at2 = store.read("k", Some(Timestamp(2))).unwrap();
+        let at2 = store.read(K, Some(Timestamp(2))).unwrap();
         assert_eq!(at2.timestamp, Timestamp(1));
-        assert_eq!(at2.row.get("a"), Some("v1"));
+        assert_eq!(at2.row.get(A), Some("v1"));
 
-        let at3 = store.read("k", Some(Timestamp(3))).unwrap();
-        assert_eq!(at3.row.get("a"), Some("v3"));
+        let at3 = store.read(K, Some(Timestamp(3))).unwrap();
+        assert_eq!(at3.row.get(A), Some("v3"));
 
-        let latest = store.read("k", None).unwrap();
+        let latest = store.read(K, None).unwrap();
         assert_eq!(latest.timestamp, Timestamp(3));
 
-        assert!(store.read("k", Some(Timestamp::ZERO)).is_none());
-        assert!(store.read("missing", None).is_none());
+        assert!(store.read(K, Some(Timestamp::ZERO)).is_none());
+        assert!(store.read(Key(999), None).is_none());
     }
 
     #[test]
     fn write_merges_with_previous_version() {
         let store = MvKvStore::new();
-        store.write("k", row(&[("a", "1"), ("b", "2")]), Some(Timestamp(1))).unwrap();
-        store.write("k", row(&[("b", "20")]), Some(Timestamp(2))).unwrap();
-        let v = store.read("k", None).unwrap();
-        assert_eq!(v.row.get("a"), Some("1"));
-        assert_eq!(v.row.get("b"), Some("20"));
+        store
+            .write(K, row(&[(A, "1"), (B, "2")]), Some(Timestamp(1)))
+            .unwrap();
+        store
+            .write(K, row(&[(B, "20")]), Some(Timestamp(2)))
+            .unwrap();
+        let v = store.read(K, None).unwrap();
+        assert_eq!(v.row.get(A), Some("1"));
+        assert_eq!(v.row.get(B), Some("20"));
         // The old version is still readable.
-        let old = store.read("k", Some(Timestamp(1))).unwrap();
-        assert_eq!(old.row.get("b"), Some("2"));
+        let old = store.read(K, Some(Timestamp(1))).unwrap();
+        assert_eq!(old.row.get(B), Some("2"));
     }
 
     #[test]
     fn stale_write_is_rejected_with_error() {
         let store = MvKvStore::new();
-        store.write("k", row(&[("a", "1")]), Some(Timestamp(5))).unwrap();
+        store
+            .write(K, row(&[(A, "1")]), Some(Timestamp(5)))
+            .unwrap();
         let err = store
-            .write("k", row(&[("a", "2")]), Some(Timestamp(5)))
+            .write(K, row(&[(A, "2")]), Some(Timestamp(5)))
             .unwrap_err();
         assert_eq!(
             err,
@@ -284,16 +306,16 @@ mod tests {
     #[test]
     fn apply_idempotent_swallows_replays() {
         let store = MvKvStore::new();
-        assert!(store.apply_idempotent("k", row(&[("a", "1")]), Timestamp(4)));
-        assert!(!store.apply_idempotent("k", row(&[("a", "1")]), Timestamp(4)));
-        assert_eq!(store.version_count("k"), 1);
+        assert!(store.apply_idempotent(K, row(&[(A, "1")]), Timestamp(4)));
+        assert!(!store.apply_idempotent(K, row(&[(A, "1")]), Timestamp(4)));
+        assert_eq!(store.version_count(K), 1);
     }
 
     #[test]
     fn generated_timestamps_are_monotonic() {
         let store = MvKvStore::new();
-        let t1 = store.write("k", row(&[("a", "1")]), None).unwrap();
-        let t2 = store.write("k", row(&[("a", "2")]), None).unwrap();
+        let t1 = store.write(K, row(&[(A, "1")]), None).unwrap();
+        let t2 = store.write(K, row(&[(A, "2")]), None).unwrap();
         assert!(t2 > t1);
         assert_eq!(t1, Timestamp(1));
         assert_eq!(t2, Timestamp(2));
@@ -302,26 +324,29 @@ mod tests {
     #[test]
     fn check_and_write_applies_only_on_match() {
         let store = MvKvStore::new();
+        let p = Key(1);
+        let next_bal = Attr(100);
+        let other = Attr(101);
         // Missing row: expected None matches.
         assert_eq!(
-            store.check_and_write("p", "nextBal", None, row(&[("nextBal", "3")])),
+            store.check_and_write(p, next_bal, None, row(&[(next_bal, "3")])),
             CasOutcome::Applied
         );
         // Wrong expectation rejected.
         assert_eq!(
-            store.check_and_write("p", "nextBal", Some("99"), row(&[("nextBal", "5")])),
+            store.check_and_write(p, next_bal, Some("99"), row(&[(next_bal, "5")])),
             CasOutcome::Rejected
         );
-        assert_eq!(store.read_attr("p", "nextBal", None).as_deref(), Some("3"));
+        assert_eq!(store.read_attr(p, next_bal, None).as_deref(), Some("3"));
         // Correct expectation applied, other attributes preserved via merge.
-        store.write("p", row(&[("other", "x")]), None).unwrap();
+        store.write(p, row(&[(other, "x")]), None).unwrap();
         assert_eq!(
-            store.check_and_write("p", "nextBal", Some("3"), row(&[("nextBal", "7")])),
+            store.check_and_write(p, next_bal, Some("3"), row(&[(next_bal, "7")])),
             CasOutcome::Applied
         );
-        let v = store.read("p", None).unwrap();
-        assert_eq!(v.row.get("nextBal"), Some("7"));
-        assert_eq!(v.row.get("other"), Some("x"));
+        let v = store.read(p, None).unwrap();
+        assert_eq!(v.row.get(next_bal), Some("7"));
+        assert_eq!(v.row.get(other), Some("x"));
         let stats = store.stats();
         assert_eq!(stats.cas_applied, 2);
         assert_eq!(stats.cas_rejected, 1);
@@ -330,9 +355,10 @@ mod tests {
     #[test]
     fn cas_on_missing_attribute_matches_none() {
         let store = MvKvStore::new();
-        store.write("p", row(&[("other", "x")]), None).unwrap();
+        let p = Key(1);
+        store.write(p, row(&[(B, "x")]), None).unwrap();
         assert_eq!(
-            store.check_and_write("p", "nextBal", None, row(&[("nextBal", "1")])),
+            store.check_and_write(p, A, None, row(&[(A, "1")])),
             CasOutcome::Applied
         );
     }
@@ -341,38 +367,40 @@ mod tests {
     fn gc_keeps_latest_and_later_versions() {
         let store = MvKvStore::new();
         for i in 1..=5 {
-            store.write("k", row(&[("a", &i.to_string())]), Some(Timestamp(i))).unwrap();
+            store
+                .write(K, row(&[(A, &i.to_string())]), Some(Timestamp(i)))
+                .unwrap();
         }
-        let removed = store.gc_versions_before("k", Timestamp(4));
+        let removed = store.gc_versions_before(K, Timestamp(4));
         assert_eq!(removed, 3);
-        assert_eq!(store.version_count("k"), 2);
-        assert!(store.read("k", Some(Timestamp(3))).is_none());
-        assert_eq!(store.read("k", None).unwrap().timestamp, Timestamp(5));
+        assert_eq!(store.version_count(K), 2);
+        assert!(store.read(K, Some(Timestamp(3))).is_none());
+        assert_eq!(store.read(K, None).unwrap().timestamp, Timestamp(5));
         // GC past the latest version still keeps the latest.
-        let removed = store.gc_versions_before("k", Timestamp(100));
+        let removed = store.gc_versions_before(K, Timestamp(100));
         assert_eq!(removed, 1);
-        assert_eq!(store.version_count("k"), 1);
-        assert_eq!(store.gc_versions_before("missing", Timestamp(1)), 0);
+        assert_eq!(store.version_count(K), 1);
+        assert_eq!(store.gc_versions_before(Key(999), Timestamp(1)), 0);
     }
 
     #[test]
     fn key_listing_and_counts() {
         let store = MvKvStore::new();
-        store.write("b", Row::new().with("x", "1"), None).unwrap();
-        store.write("a", Row::new().with("x", "1"), None).unwrap();
+        store.write(Key(2), Row::new().with(A, "1"), None).unwrap();
+        store.write(Key(1), Row::new().with(A, "1"), None).unwrap();
         assert_eq!(store.key_count(), 2);
-        assert_eq!(store.keys(), vec!["a".to_string(), "b".to_string()]);
-        assert_eq!(store.latest_timestamp("a"), Some(Timestamp(1)));
-        assert_eq!(store.latest_timestamp("zzz"), None);
+        assert_eq!(store.keys(), vec![Key(1), Key(2)]);
+        assert_eq!(store.latest_timestamp(Key(1)), Some(Timestamp(1)));
+        assert_eq!(store.latest_timestamp(Key(999)), None);
     }
 
     #[test]
     fn reads_are_counted() {
         let store = MvKvStore::new();
-        store.write("k", Row::new().with("a", "1"), None).unwrap();
-        store.read("k", None);
-        store.read("k", None);
-        store.read("nope", None);
+        store.write(K, Row::new().with(A, "1"), None).unwrap();
+        store.read(K, None);
+        store.read(K, None);
+        store.read(Key(999), None);
         assert_eq!(store.stats().reads, 3);
         assert_eq!(store.stats().writes, 1);
     }

@@ -1,24 +1,56 @@
 //! Core value types for the multi-version store.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Row key. Keys are unique within and across applications (the transaction
-/// group key of the paper is just another row key prefix).
-pub type Key = String;
+/// Row key: a dense integer identifier.
+///
+/// Application rows carry interned key ids (see `walog::ident`); protocol
+/// metadata (the Paxos acceptor state) lives in a reserved region of the key
+/// space with the top bit set, so the two can never collide. Using a `Copy`
+/// integer instead of an owned string keeps every store operation on the
+/// commit hot path free of allocation and string hashing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key(pub u64);
 
-/// Attribute (column) name within a row.
-pub type Attr = String;
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// Attribute (column) identifier within a row: a dense interned integer.
+///
+/// The topmost ids (`u32::MAX` downwards) are reserved for protocol
+/// attributes such as the acceptor's `nextBal`; the interner never hands
+/// them out.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Attr(pub u32);
+
+impl fmt::Debug for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
 
 /// Logical timestamp of a row version.
 ///
 /// In the transaction tier a committed transaction's write-ahead-log
 /// position serves as the timestamp of every write it contains (§3.2), so
 /// timestamps are small dense integers rather than wall-clock values.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {
@@ -44,7 +76,7 @@ impl fmt::Display for Timestamp {
 }
 
 /// A single version of a row: an attribute (column) → value map.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Row(BTreeMap<Attr, String>);
 
 impl Row {
@@ -54,32 +86,28 @@ impl Row {
     }
 
     /// Build a row from attribute/value pairs.
-    pub fn from_pairs<I, A, V>(pairs: I) -> Self
+    pub fn from_pairs<I, V>(pairs: I) -> Self
     where
-        I: IntoIterator<Item = (A, V)>,
-        A: Into<Attr>,
+        I: IntoIterator<Item = (Attr, V)>,
         V: Into<String>,
     {
-        Row(pairs
-            .into_iter()
-            .map(|(a, v)| (a.into(), v.into()))
-            .collect())
+        Row(pairs.into_iter().map(|(a, v)| (a, v.into())).collect())
     }
 
     /// Set an attribute, returning `self` for chaining.
-    pub fn with(mut self, attr: impl Into<Attr>, value: impl Into<String>) -> Self {
+    pub fn with(mut self, attr: Attr, value: impl Into<String>) -> Self {
         self.set(attr, value);
         self
     }
 
     /// Set an attribute in place.
-    pub fn set(&mut self, attr: impl Into<Attr>, value: impl Into<String>) {
-        self.0.insert(attr.into(), value.into());
+    pub fn set(&mut self, attr: Attr, value: impl Into<String>) {
+        self.0.insert(attr, value.into());
     }
 
     /// Get an attribute value.
-    pub fn get(&self, attr: &str) -> Option<&str> {
-        self.0.get(attr).map(String::as_str)
+    pub fn get(&self, attr: Attr) -> Option<&str> {
+        self.0.get(&attr).map(String::as_str)
     }
 
     /// Whether the row has no attributes.
@@ -93,8 +121,8 @@ impl Row {
     }
 
     /// Iterate over attribute/value pairs in attribute order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.0.iter().map(|(a, v)| (a.as_str(), v.as_str()))
+    pub fn iter(&self) -> impl Iterator<Item = (Attr, &str)> {
+        self.0.iter().map(|(a, v)| (*a, v.as_str()))
     }
 
     /// Overlay `other` on top of this row: attributes in `other` win,
@@ -103,14 +131,14 @@ impl Row {
     pub fn merged_with(&self, other: &Row) -> Row {
         let mut out = self.0.clone();
         for (a, v) in &other.0 {
-            out.insert(a.clone(), v.clone());
+            out.insert(*a, v.clone());
         }
         Row(out)
     }
 }
 
-impl<A: Into<Attr>, V: Into<String>> FromIterator<(A, V)> for Row {
-    fn from_iter<T: IntoIterator<Item = (A, V)>>(iter: T) -> Self {
+impl<V: Into<String>> FromIterator<(Attr, V)> for Row {
+    fn from_iter<T: IntoIterator<Item = (Attr, V)>>(iter: T) -> Self {
         Row::from_pairs(iter)
     }
 }
@@ -157,25 +185,25 @@ mod tests {
 
     #[test]
     fn row_builder_and_accessors() {
-        let row = Row::new().with("a", "1").with("b", "2");
-        assert_eq!(row.get("a"), Some("1"));
-        assert_eq!(row.get("missing"), None);
+        let row = Row::new().with(Attr(0), "1").with(Attr(1), "2");
+        assert_eq!(row.get(Attr(0)), Some("1"));
+        assert_eq!(row.get(Attr(9)), None);
         assert_eq!(row.len(), 2);
         assert!(!row.is_empty());
         let pairs: Vec<_> = row.iter().collect();
-        assert_eq!(pairs, vec![("a", "1"), ("b", "2")]);
+        assert_eq!(pairs, vec![(Attr(0), "1"), (Attr(1), "2")]);
     }
 
     #[test]
     fn merge_overlays_new_attributes_and_keeps_old() {
-        let base = Row::new().with("a", "1").with("b", "2");
-        let delta = Row::new().with("b", "20").with("c", "30");
+        let base = Row::new().with(Attr(0), "1").with(Attr(1), "2");
+        let delta = Row::new().with(Attr(1), "20").with(Attr(2), "30");
         let merged = base.merged_with(&delta);
-        assert_eq!(merged.get("a"), Some("1"));
-        assert_eq!(merged.get("b"), Some("20"));
-        assert_eq!(merged.get("c"), Some("30"));
+        assert_eq!(merged.get(Attr(0)), Some("1"));
+        assert_eq!(merged.get(Attr(1)), Some("20"));
+        assert_eq!(merged.get(Attr(2)), Some("30"));
         // Originals untouched.
-        assert_eq!(base.get("b"), Some("2"));
+        assert_eq!(base.get(Attr(1)), Some("2"));
     }
 
     #[test]
@@ -198,7 +226,14 @@ mod tests {
 
     #[test]
     fn row_from_iterator() {
-        let row: Row = vec![("x", "1"), ("y", "2")].into_iter().collect();
-        assert_eq!(row.get("y"), Some("2"));
+        let row: Row = vec![(Attr(7), "1"), (Attr(8), "2")].into_iter().collect();
+        assert_eq!(row.get(Attr(8)), Some("2"));
+    }
+
+    #[test]
+    fn key_and_attr_display() {
+        assert_eq!(format!("{}", Key(5)), "k5");
+        assert_eq!(format!("{}", Attr(3)), "a3");
+        assert!(Key(1) < Key(2));
     }
 }

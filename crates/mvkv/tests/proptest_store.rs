@@ -5,7 +5,7 @@
 //! must carry strictly larger timestamps) never change what a read at `t`
 //! returns. Correctness of the read position mechanism (A2) rests on this.
 
-use mvkv::{MvKvStore, Row, Timestamp};
+use mvkv::{Attr, Key, MvKvStore, Row, Timestamp};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -17,7 +17,11 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..4, 0u8..4, any::<u16>()).prop_map(|(key, attr, value)| Op::Write { key, attr, value }),
+        (0u8..4, 0u8..4, any::<u16>()).prop_map(|(key, attr, value)| Op::Write {
+            key,
+            attr,
+            value
+        }),
         (0u8..4, proptest::option::of(0u64..40)).prop_map(|(key, at)| Op::Read { key, at }),
     ]
 }
@@ -52,7 +56,7 @@ impl Model {
 }
 
 fn to_row(map: &BTreeMap<u8, u16>) -> Row {
-    Row::from_pairs(map.iter().map(|(a, v)| (format!("a{a}"), v.to_string())))
+    Row::from_pairs(map.iter().map(|(a, v)| (Attr(*a as u32), v.to_string())))
 }
 
 proptest! {
@@ -69,13 +73,13 @@ proptest! {
                 Op::Write { key, attr, value } => {
                     let expected_ts = model.write(key, attr, value);
                     let got = store
-                        .write(&format!("k{key}"), Row::new().with(format!("a{attr}"), value.to_string()), None)
+                        .write(Key(key as u64), Row::new().with(Attr(attr as u32), value.to_string()), None)
                         .unwrap();
                     prop_assert_eq!(got, Timestamp(expected_ts));
                 }
                 Op::Read { key, at } => {
                     let expected = model.read(key, at);
-                    let got = store.read(&format!("k{key}"), at.map(Timestamp));
+                    let got = store.read(Key(key as u64), at.map(Timestamp));
                     match (expected, got) {
                         (None, None) => {}
                         (Some((ts, map)), Some(read)) => {
@@ -97,15 +101,16 @@ proptest! {
         suffix in proptest::collection::vec((0u8..3, any::<u16>()), 1..20),
     ) {
         let store = MvKvStore::new();
+        let row = Key(0);
         for (attr, value) in &prefix {
-            store.write("row", Row::new().with(format!("a{attr}"), value.to_string()), None).unwrap();
+            store.write(row, Row::new().with(Attr(*attr as u32), value.to_string()), None).unwrap();
         }
-        let snapshot_ts = store.latest_timestamp("row").unwrap();
-        let before = store.read("row", Some(snapshot_ts)).unwrap();
+        let snapshot_ts = store.latest_timestamp(row).unwrap();
+        let before = store.read(row, Some(snapshot_ts)).unwrap();
         for (attr, value) in &suffix {
-            store.write("row", Row::new().with(format!("a{attr}"), value.to_string()), None).unwrap();
+            store.write(row, Row::new().with(Attr(*attr as u32), value.to_string()), None).unwrap();
         }
-        let after = store.read("row", Some(snapshot_ts)).unwrap();
+        let after = store.read(row, Some(snapshot_ts)).unwrap();
         prop_assert_eq!(before, after);
     }
 
@@ -114,20 +119,22 @@ proptest! {
     #[test]
     fn cas_respects_expectation(values in proptest::collection::vec(0u16..1000, 1..30)) {
         let store = MvKvStore::new();
+        let key = Key(0);
+        let attr = Attr(0);
         let mut current: Option<String> = None;
         for v in values {
             let next = v.to_string();
             // Wrong expectation: guaranteed different from current.
             let wrong = Some("not-the-value");
             prop_assert!(!store
-                .check_and_write("k", "attr", wrong, Row::new().with("attr", next.clone()))
+                .check_and_write(key, attr, wrong, Row::new().with(attr, next.clone()))
                 .applied());
             // Right expectation applies.
             prop_assert!(store
-                .check_and_write("k", "attr", current.as_deref(), Row::new().with("attr", next.clone()))
+                .check_and_write(key, attr, current.as_deref(), Row::new().with(attr, next.clone()))
                 .applied());
             current = Some(next);
         }
-        prop_assert_eq!(store.read_attr("k", "attr", None), current);
+        prop_assert_eq!(store.read_attr(key, attr, None), current);
     }
 }

@@ -5,15 +5,32 @@
 //! is updated with `checkAndWrite`, so any service process in the
 //! datacenter can handle any message. This module wraps an [`mvkv`] store
 //! with exactly those reads and conditional writes.
+//!
+//! State rows live in a reserved region of the integer key space (top bit
+//! set), so no interned application key can ever collide with protocol
+//! metadata, and the row key for `(group, position)` is computed with two
+//! shifts — no string formatting on the message-handling hot path. Vote
+//! values are persisted with the compact [`LogEntry::encode`] codec.
 
 use crate::ballot::Ballot;
-use mvkv::{MvKvStore, Row};
-use walog::{GroupKey, LogEntry, LogPosition};
+use mvkv::{Attr, Key, MvKvStore, Row};
+use std::sync::Arc;
+use walog::{GroupId, LogEntry, LogPosition};
 
-/// Attribute names used for acceptor state rows.
-const ATTR_NEXT_BAL: &str = "nextBal";
-const ATTR_VOTE_BAL: &str = "ballotNumber";
-const ATTR_VALUE: &str = "value";
+/// Reserved attribute ids for acceptor state rows (the paper's `nextBal`,
+/// `ballotNumber` and `value` columns). These sit at the top of the
+/// attribute space, above everything the interner will ever assign (see
+/// `walog::ident::MAX_INTERNED`).
+const ATTR_NEXT_BAL: Attr = Attr(u32::MAX);
+const ATTR_VOTE_BAL: Attr = Attr(u32::MAX - 1);
+const ATTR_VALUE: Attr = Attr(u32::MAX - 2);
+
+/// Key-space layout for acceptor state rows: bit 63 flags protocol
+/// metadata, bits 62..38 carry the group id, bits 37..0 the log position.
+const PAXOS_KEY_FLAG: u64 = 1 << 63;
+const GROUP_SHIFT: u32 = 38;
+const MAX_STATE_GROUP: u64 = 1 << 25;
+const MAX_STATE_POSITION: u64 = 1 << GROUP_SHIFT;
 
 /// Outcome of handling a prepare message.
 #[derive(Clone, Debug, PartialEq)]
@@ -24,13 +41,14 @@ pub struct PrepareOutcome {
     /// The highest promised ballot after handling the message.
     pub next_bal: Option<Ballot>,
     /// The vote already cast for the position, if any.
-    pub last_vote: Option<(Ballot, LogEntry)>,
+    pub last_vote: Option<(Ballot, Arc<LogEntry>)>,
 }
 
 /// Stateless acceptor operating against a datacenter's key-value store.
 ///
 /// Each `(group, position)` pair has its own state row; the row key embeds
-/// both so Paxos metadata never collides with application data.
+/// both (in the reserved region of the key space) so Paxos metadata never
+/// collides with application data.
 pub struct AcceptorStore<'a> {
     store: &'a MvKvStore,
 }
@@ -42,23 +60,28 @@ impl<'a> AcceptorStore<'a> {
     }
 
     /// The row key holding the instance state for `(group, position)`.
-    pub fn state_key(group: &str, position: LogPosition) -> String {
-        format!("__paxos/{group}/{position}")
+    pub fn state_key(group: GroupId, position: LogPosition) -> Key {
+        assert!(
+            (group.0 as u64) < MAX_STATE_GROUP && position.0 < MAX_STATE_POSITION,
+            "acceptor state key space exceeded: {group} at {position}"
+        );
+        Key(PAXOS_KEY_FLAG | ((group.0 as u64) << GROUP_SHIFT) | position.0)
     }
 
     fn read_state(
         &self,
-        group: &str,
+        group: GroupId,
         position: LogPosition,
-    ) -> (Option<Ballot>, Option<(Ballot, LogEntry)>) {
+    ) -> (Option<Ballot>, Option<(Ballot, Arc<LogEntry>)>) {
         let key = Self::state_key(group, position);
-        let Some(version) = self.store.read(&key, None) else {
+        let Some(version) = self.store.read(key, None) else {
             return (None, None);
         };
         let next_bal = version.row.get(ATTR_NEXT_BAL).and_then(Ballot::decode);
         let vote = match (version.row.get(ATTR_VOTE_BAL), version.row.get(ATTR_VALUE)) {
-            (Some(bal), Some(value)) => Ballot::decode(bal)
-                .zip(serde_json::from_str::<LogEntry>(value).ok()),
+            (Some(bal), Some(value)) => {
+                Ballot::decode(bal).zip(LogEntry::decode(value).map(Arc::new))
+            }
             _ => None,
         };
         (next_bal, vote)
@@ -73,7 +96,7 @@ impl<'a> AcceptorStore<'a> {
     /// the read is retried.
     pub fn handle_prepare(
         &self,
-        group: &GroupKey,
+        group: GroupId,
         position: LogPosition,
         ballot: Ballot,
     ) -> PrepareOutcome {
@@ -94,7 +117,7 @@ impl<'a> AcceptorStore<'a> {
             let applied = self
                 .store
                 .check_and_write(
-                    &key,
+                    key,
                     ATTR_NEXT_BAL,
                     next_bal.map(Ballot::encode).as_deref(),
                     Row::new().with(ATTR_NEXT_BAL, ballot.encode()),
@@ -119,16 +142,15 @@ impl<'a> AcceptorStore<'a> {
     /// been made yet (the leader optimization skips the prepare phase).
     pub fn handle_accept(
         &self,
-        group: &GroupKey,
+        group: GroupId,
         position: LogPosition,
         ballot: Ballot,
         value: &LogEntry,
     ) -> bool {
         let key = Self::state_key(group, position);
-        let encoded = serde_json::to_string(value).expect("log entries serialize");
         let vote_row = Row::new()
             .with(ATTR_VOTE_BAL, ballot.encode())
-            .with(ATTR_VALUE, encoded)
+            .with(ATTR_VALUE, value.encode())
             .with(ATTR_NEXT_BAL, ballot.encode());
         let (next_bal, _) = self.read_state(group, position);
         match next_bal {
@@ -136,53 +158,53 @@ impl<'a> AcceptorStore<'a> {
             // recorded by the prepare phase.
             Some(current) if current == ballot => self
                 .store
-                .check_and_write(&key, ATTR_NEXT_BAL, Some(&current.encode()), vote_row)
+                .check_and_write(key, ATTR_NEXT_BAL, Some(&current.encode()), vote_row)
                 .applied(),
             // Fast path: nothing promised yet and the proposer used the
             // reserved round-0 ballot granted by the position's leader.
             None if ballot.is_fast() => self
                 .store
-                .check_and_write(&key, ATTR_NEXT_BAL, None, vote_row)
+                .check_and_write(key, ATTR_NEXT_BAL, None, vote_row)
                 .applied(),
             _ => false,
         }
     }
 
     /// Handle an `apply` message (Algorithm 1, lines 20–21): record the
-    /// chosen value unconditionally. Returns the decided entry so the
-    /// embedding service can install it in its write-ahead log.
+    /// chosen value unconditionally. Returns the decided entry (shared, not
+    /// copied) so the embedding service can install it in its write-ahead
+    /// log.
     pub fn handle_apply(
         &self,
-        group: &GroupKey,
+        group: GroupId,
         position: LogPosition,
         ballot: Ballot,
-        value: &LogEntry,
-    ) -> LogEntry {
+        value: &Arc<LogEntry>,
+    ) -> Arc<LogEntry> {
         let key = Self::state_key(group, position);
-        let encoded = serde_json::to_string(value).expect("log entries serialize");
         // Unconditional overwrite of the vote attributes, as in the paper.
         let _ = self.store.write(
-            &key,
+            key,
             Row::new()
                 .with(ATTR_VOTE_BAL, ballot.encode())
-                .with(ATTR_VALUE, encoded),
+                .with(ATTR_VALUE, value.encode()),
             None,
         );
-        value.clone()
+        Arc::clone(value)
     }
 
     /// The vote currently recorded for `(group, position)`, if any — used by
     /// recovering services and by tests.
     pub fn current_vote(
         &self,
-        group: &GroupKey,
+        group: GroupId,
         position: LogPosition,
-    ) -> Option<(Ballot, LogEntry)> {
+    ) -> Option<(Ballot, Arc<LogEntry>)> {
         self.read_state(group, position).1
     }
 
     /// The highest promised ballot for `(group, position)`, if any.
-    pub fn promised_ballot(&self, group: &GroupKey, position: LogPosition) -> Option<Ballot> {
+    pub fn promised_ballot(&self, group: GroupId, position: LogPosition) -> Option<Ballot> {
         self.read_state(group, position).0
     }
 }
@@ -190,66 +212,99 @@ impl<'a> AcceptorStore<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use walog::ident::{AttrId, KeyId};
     use walog::{ItemRef, Transaction, TxnId};
 
-    fn entry(seq: u64) -> LogEntry {
-        LogEntry::single(
-            Transaction::builder(TxnId::new(1, seq), "g", LogPosition(0))
-                .write(ItemRef::new("row", "a"), seq.to_string())
+    fn entry(seq: u64) -> Arc<LogEntry> {
+        Arc::new(LogEntry::single(
+            Transaction::builder(TxnId::new(1, seq), group(), LogPosition(0))
+                .write(ItemRef::new(KeyId(0), AttrId(0)), seq.to_string())
                 .build(),
-        )
+        ))
     }
 
-    fn group() -> GroupKey {
-        "g".to_string()
+    fn group() -> GroupId {
+        GroupId(0)
+    }
+
+    #[test]
+    fn state_keys_are_disjoint_from_application_keys_and_each_other() {
+        let k = AcceptorStore::state_key(GroupId(3), LogPosition(7));
+        assert!(k.0 & PAXOS_KEY_FLAG != 0);
+        assert_ne!(k, AcceptorStore::state_key(GroupId(3), LogPosition(8)));
+        assert_ne!(k, AcceptorStore::state_key(GroupId(4), LogPosition(7)));
+        // Application keys (interned ids zero-extended) never carry the flag.
+        assert_eq!(KeyId(u32::MAX).store_key().0 & PAXOS_KEY_FLAG, 0);
     }
 
     #[test]
     fn prepare_promises_increasing_ballots_only() {
         let store = MvKvStore::new();
         let acc = AcceptorStore::new(&store);
-        let b1 = Ballot { round: 1, proposer: 1 };
-        let b2 = Ballot { round: 2, proposer: 2 };
+        let b1 = Ballot {
+            round: 1,
+            proposer: 1,
+        };
+        let b2 = Ballot {
+            round: 2,
+            proposer: 2,
+        };
 
-        let out = acc.handle_prepare(&group(), LogPosition(1), b2);
+        let out = acc.handle_prepare(group(), LogPosition(1), b2);
         assert!(out.promised);
         assert_eq!(out.next_bal, Some(b2));
         assert!(out.last_vote.is_none());
 
         // A lower ballot is refused and told about the higher promise.
-        let out = acc.handle_prepare(&group(), LogPosition(1), b1);
+        let out = acc.handle_prepare(group(), LogPosition(1), b1);
         assert!(!out.promised);
         assert_eq!(out.next_bal, Some(b2));
 
         // Re-preparing with a higher ballot works.
-        let b3 = Ballot { round: 3, proposer: 1 };
-        assert!(acc.handle_prepare(&group(), LogPosition(1), b3).promised);
-        assert_eq!(acc.promised_ballot(&group(), LogPosition(1)), Some(b3));
+        let b3 = Ballot {
+            round: 3,
+            proposer: 1,
+        };
+        assert!(acc.handle_prepare(group(), LogPosition(1), b3).promised);
+        assert_eq!(acc.promised_ballot(group(), LogPosition(1)), Some(b3));
     }
 
     #[test]
     fn accept_requires_matching_promise() {
         let store = MvKvStore::new();
         let acc = AcceptorStore::new(&store);
-        let b1 = Ballot { round: 1, proposer: 1 };
-        let b2 = Ballot { round: 2, proposer: 2 };
+        let b1 = Ballot {
+            round: 1,
+            proposer: 1,
+        };
+        let b2 = Ballot {
+            round: 2,
+            proposer: 2,
+        };
         let value = entry(1);
 
         // No promise yet: regular ballot refused.
-        assert!(!acc.handle_accept(&group(), LogPosition(1), b1, &value));
+        assert!(!acc.handle_accept(group(), LogPosition(1), b1, &value));
 
-        acc.handle_prepare(&group(), LogPosition(1), b1);
-        assert!(acc.handle_accept(&group(), LogPosition(1), b1, &value));
-        let vote = acc.current_vote(&group(), LogPosition(1)).unwrap();
+        acc.handle_prepare(group(), LogPosition(1), b1);
+        assert!(acc.handle_accept(group(), LogPosition(1), b1, &value));
+        let vote = acc.current_vote(group(), LogPosition(1)).unwrap();
         assert_eq!(vote.0, b1);
-        assert_eq!(vote.1, value);
+        assert_eq!(*vote.1, *value);
 
         // A later promise invalidates the old ballot for accepts.
-        acc.handle_prepare(&group(), LogPosition(1), b2);
-        assert!(!acc.handle_accept(&group(), LogPosition(1), b1, &entry(9)));
+        acc.handle_prepare(group(), LogPosition(1), b2);
+        assert!(!acc.handle_accept(group(), LogPosition(1), b1, &entry(9)));
         // But the vote for b1 is still reported as the last vote.
-        let out = acc.handle_prepare(&group(), LogPosition(1), Ballot { round: 3, proposer: 3 });
-        assert_eq!(out.last_vote.unwrap().1, value);
+        let out = acc.handle_prepare(
+            group(),
+            LogPosition(1),
+            Ballot {
+                round: 3,
+                proposer: 3,
+            },
+        );
+        assert_eq!(*out.last_vote.unwrap().1, *value);
     }
 
     #[test]
@@ -258,35 +313,44 @@ mod tests {
         let acc = AcceptorStore::new(&store);
         let fast = Ballot::fast(7);
         let value = entry(1);
-        assert!(acc.handle_accept(&group(), LogPosition(1), fast, &value));
+        assert!(acc.handle_accept(group(), LogPosition(1), fast, &value));
         // A second fast accept for the same position (different proposer)
         // is refused: the position is no longer untouched.
-        assert!(!acc.handle_accept(&group(), LogPosition(1), Ballot::fast(8), &entry(2)));
+        assert!(!acc.handle_accept(group(), LogPosition(1), Ballot::fast(8), &entry(2)));
         // Regular prepare with round >= 1 supersedes the fast vote but
         // reports it, so the new proposer adopts the old value.
-        let out = acc.handle_prepare(&group(), LogPosition(1), Ballot::initial(9));
+        let out = acc.handle_prepare(group(), LogPosition(1), Ballot::initial(9));
         assert!(out.promised);
-        assert_eq!(out.last_vote.unwrap().1, value);
+        assert_eq!(*out.last_vote.unwrap().1, *value);
     }
 
     #[test]
     fn apply_records_value_and_returns_it() {
         let store = MvKvStore::new();
         let acc = AcceptorStore::new(&store);
-        let b = Ballot { round: 4, proposer: 2 };
+        let b = Ballot {
+            round: 4,
+            proposer: 2,
+        };
         let value = entry(3);
-        let returned = acc.handle_apply(&group(), LogPosition(2), b, &value);
-        assert_eq!(returned, value);
-        assert_eq!(acc.current_vote(&group(), LogPosition(2)).unwrap().1, value);
+        let returned = acc.handle_apply(group(), LogPosition(2), b, &value);
+        assert!(Arc::ptr_eq(&returned, &value));
+        assert_eq!(
+            *acc.current_vote(group(), LogPosition(2)).unwrap().1,
+            *value
+        );
     }
 
     #[test]
     fn instances_for_different_positions_and_groups_are_independent() {
         let store = MvKvStore::new();
         let acc = AcceptorStore::new(&store);
-        let b = Ballot { round: 1, proposer: 1 };
-        acc.handle_prepare(&group(), LogPosition(1), b);
-        assert!(acc.promised_ballot(&group(), LogPosition(2)).is_none());
-        assert!(acc.promised_ballot(&"other".to_string(), LogPosition(1)).is_none());
+        let b = Ballot {
+            round: 1,
+            proposer: 1,
+        };
+        acc.handle_prepare(group(), LogPosition(1), b);
+        assert!(acc.promised_ballot(group(), LogPosition(2)).is_none());
+        assert!(acc.promised_ballot(GroupId(9), LogPosition(1)).is_none());
     }
 }

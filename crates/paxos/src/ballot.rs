@@ -1,6 +1,5 @@
 //! Proposal (ballot) numbers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A proposal number: globally unique and totally ordered.
@@ -9,9 +8,7 @@ use std::fmt;
 /// round first, then client id. Round 0 is reserved for the leader fast
 /// path: an accept with a round-0 ballot may be accepted by a replica that
 /// has not yet promised anything (skipping the prepare phase).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Ballot {
     /// Monotonically increasing round chosen by the proposer.
     pub round: u64,
@@ -72,15 +69,37 @@ mod tests {
 
     #[test]
     fn ordering_is_round_then_proposer() {
-        assert!(Ballot { round: 2, proposer: 1 } > Ballot { round: 1, proposer: 9 });
-        assert!(Ballot { round: 1, proposer: 2 } > Ballot { round: 1, proposer: 1 });
+        assert!(
+            Ballot {
+                round: 2,
+                proposer: 1
+            } > Ballot {
+                round: 1,
+                proposer: 9
+            }
+        );
+        assert!(
+            Ballot {
+                round: 1,
+                proposer: 2
+            } > Ballot {
+                round: 1,
+                proposer: 1
+            }
+        );
         assert!(Ballot::fast(3) < Ballot::initial(1));
     }
 
     #[test]
     fn advance_past_exceeds_both_inputs() {
-        let mine = Ballot { round: 2, proposer: 7 };
-        let seen = Ballot { round: 9, proposer: 1 };
+        let mine = Ballot {
+            round: 2,
+            proposer: 7,
+        };
+        let seen = Ballot {
+            round: 9,
+            proposer: 1,
+        };
         let next = mine.advance_past(Some(seen));
         assert!(next > mine && next > seen);
         assert_eq!(next.proposer, 7);
@@ -90,7 +109,10 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trips() {
-        let b = Ballot { round: 42, proposer: 17 };
+        let b = Ballot {
+            round: 42,
+            proposer: 17,
+        };
         assert_eq!(Ballot::decode(&b.encode()), Some(b));
         assert_eq!(Ballot::decode("garbage"), None);
         assert_eq!(Ballot::decode("1:x"), None);

@@ -1,9 +1,7 @@
 //! Proposer configuration: protocol variant and tuning knobs.
 
-use serde::{Deserialize, Serialize};
-
 /// Which commit protocol the Transaction Client runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CommitProtocol {
     /// The basic Paxos commit protocol of §4: one transaction per log
     /// position, losers abort.
@@ -28,7 +26,7 @@ impl CommitProtocol {
 }
 
 /// Configuration of a single commit attempt (one proposer run).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProposerConfig {
     /// Protocol variant.
     pub protocol: CommitProtocol,

@@ -1,8 +1,12 @@
 //! Wire messages of the commit protocol (Figure 3 of the paper).
+//!
+//! Groups travel as `Copy` interned ids and decided values as shared
+//! `Arc<LogEntry>`s: broadcasting an accept/apply to every replica clones a
+//! pointer per recipient, never the transactions inside.
 
 use crate::ballot::Ballot;
-use serde::{Deserialize, Serialize};
-use walog::{GroupKey, LogEntry, LogPosition};
+use std::sync::Arc;
+use walog::{GroupId, LogEntry, LogPosition};
 
 /// Index of a replica (datacenter) in `0..num_replicas`. The embedding layer
 /// maps replica ids to concrete transport addresses.
@@ -10,13 +14,13 @@ pub type ReplicaId = usize;
 
 /// Messages exchanged between a Transaction Client (proposer) and the
 /// Transaction Services (acceptors) for a single log position's instance.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum PaxosMsg {
     /// Step 1: the client asks every replica to promise not to accept lower
     /// ballots for this position.
     Prepare {
         /// Transaction group whose log is being appended to.
-        group: GroupKey,
+        group: GroupId,
         /// Log position the instance decides.
         position: LogPosition,
         /// The client's proposal number.
@@ -25,7 +29,7 @@ pub enum PaxosMsg {
     /// Step 2: a replica's answer to a prepare — its "last vote".
     PrepareReply {
         /// Transaction group.
-        group: GroupKey,
+        group: GroupId,
         /// Log position.
         position: LogPosition,
         /// Ballot this reply answers (echo of the prepare).
@@ -38,24 +42,24 @@ pub enum PaxosMsg {
         next_bal: Option<Ballot>,
         /// The vote already cast for this position, if any: the ballot at
         /// which the replica accepted, and the accepted value.
-        last_vote: Option<(Ballot, LogEntry)>,
+        last_vote: Option<(Ballot, Arc<LogEntry>)>,
     },
     /// Step 3: the client asks replicas to accept a concrete value.
     Accept {
         /// Transaction group.
-        group: GroupKey,
+        group: GroupId,
         /// Log position.
         position: LogPosition,
         /// The client's proposal number (must match the replica's promise).
         ballot: Ballot,
         /// Proposed value: one transaction (basic Paxos) or an ordered list
         /// (Paxos-CP combination), or a no-op (recovery).
-        value: LogEntry,
+        value: Arc<LogEntry>,
     },
     /// Step 4: a replica's answer to an accept.
     AcceptReply {
         /// Transaction group.
-        group: GroupKey,
+        group: GroupId,
         /// Log position.
         position: LogPosition,
         /// Ballot this reply answers.
@@ -67,26 +71,26 @@ pub enum PaxosMsg {
     /// in its write-ahead log.
     Apply {
         /// Transaction group.
-        group: GroupKey,
+        group: GroupId,
         /// Log position.
         position: LogPosition,
         /// Ballot under which the value was chosen.
         ballot: Ballot,
         /// The decided value.
-        value: LogEntry,
+        value: Arc<LogEntry>,
     },
     /// Leader fast path: ask the leader of this position whether this client
     /// is the first to start the commit protocol for it (§4.1).
     LeaderClaim {
         /// Transaction group.
-        group: GroupKey,
+        group: GroupId,
         /// Log position.
         position: LogPosition,
     },
     /// Leader fast path answer.
     LeaderClaimReply {
         /// Transaction group.
-        group: GroupKey,
+        group: GroupId,
         /// Log position.
         position: LogPosition,
         /// True when the asking client was first and may skip the prepare
@@ -110,7 +114,7 @@ impl PaxosMsg {
     }
 
     /// The transaction group this message concerns.
-    pub fn group(&self) -> &str {
+    pub fn group(&self) -> GroupId {
         match self {
             PaxosMsg::Prepare { group, .. }
             | PaxosMsg::PrepareReply { group, .. }
@@ -118,7 +122,7 @@ impl PaxosMsg {
             | PaxosMsg::AcceptReply { group, .. }
             | PaxosMsg::Apply { group, .. }
             | PaxosMsg::LeaderClaim { group, .. }
-            | PaxosMsg::LeaderClaimReply { group, .. } => group,
+            | PaxosMsg::LeaderClaimReply { group, .. } => *group,
         }
     }
 
@@ -142,14 +146,15 @@ mod tests {
 
     #[test]
     fn accessors_cover_every_variant() {
+        let g = GroupId(0);
         let msgs = vec![
             PaxosMsg::Prepare {
-                group: "g".into(),
+                group: g,
                 position: LogPosition(3),
                 ballot: Ballot::initial(1),
             },
             PaxosMsg::PrepareReply {
-                group: "g".into(),
+                group: g,
                 position: LogPosition(3),
                 ballot: Ballot::initial(1),
                 promised: true,
@@ -157,29 +162,29 @@ mod tests {
                 last_vote: None,
             },
             PaxosMsg::Accept {
-                group: "g".into(),
+                group: g,
                 position: LogPosition(3),
                 ballot: Ballot::initial(1),
-                value: LogEntry::noop(),
+                value: Arc::new(LogEntry::noop()),
             },
             PaxosMsg::AcceptReply {
-                group: "g".into(),
+                group: g,
                 position: LogPosition(3),
                 ballot: Ballot::initial(1),
                 accepted: true,
             },
             PaxosMsg::Apply {
-                group: "g".into(),
+                group: g,
                 position: LogPosition(3),
                 ballot: Ballot::initial(1),
-                value: LogEntry::noop(),
+                value: Arc::new(LogEntry::noop()),
             },
             PaxosMsg::LeaderClaim {
-                group: "g".into(),
+                group: g,
                 position: LogPosition(3),
             },
             PaxosMsg::LeaderClaimReply {
-                group: "g".into(),
+                group: g,
                 position: LogPosition(3),
                 granted: false,
             },
@@ -188,7 +193,25 @@ mod tests {
         assert_eq!(kinds.len(), 7);
         for m in &msgs {
             assert_eq!(m.position(), LogPosition(3));
-            assert_eq!(m.group(), "g");
+            assert_eq!(m.group(), g);
+        }
+    }
+
+    #[test]
+    fn cloning_an_accept_shares_the_entry() {
+        let value = Arc::new(LogEntry::noop());
+        let msg = PaxosMsg::Accept {
+            group: GroupId(0),
+            position: LogPosition(1),
+            ballot: Ballot::initial(1),
+            value: Arc::clone(&value),
+        };
+        let copy = msg.clone();
+        match (&msg, &copy) {
+            (PaxosMsg::Accept { value: a, .. }, PaxosMsg::Accept { value: b, .. }) => {
+                assert!(Arc::ptr_eq(a, b), "clone must share, not deep-copy");
+            }
+            _ => unreachable!(),
         }
     }
 }

@@ -6,13 +6,19 @@
 //! executes the [`ProposerAction`]s it returns: broadcasting messages,
 //! arming timers, installing learned log entries, and finally reporting the
 //! [`CommitOutcome`] to the application.
+//!
+//! The proposer's own value is built once as an `Arc<LogEntry>` and shared
+//! with every accept/apply message and learned-entry installation; the
+//! promotion conflict test runs as integer-set lookups against the winning
+//! entry's cached write set.
 
 use crate::ballot::Ballot;
 use crate::config::{CommitProtocol, ProposerConfig};
 use crate::msg::{PaxosMsg, ReplicaId};
 use crate::selector::{enhanced_find_winning_val, find_winning_val, ValueChoice, Vote};
 use std::collections::BTreeMap;
-use walog::{GroupKey, LogEntry, LogPosition, Transaction};
+use std::sync::Arc;
+use walog::{GroupId, LogEntry, LogPosition, Transaction};
 
 /// Which timer a [`ProposerAction::ArmTimer`] request refers to. The driver
 /// chooses the concrete durations (the paper uses a 2 s reply timeout and a
@@ -53,7 +59,7 @@ pub enum ProposerEvent {
         /// The replica's current highest promise.
         next_bal: Option<Ballot>,
         /// The replica's last cast vote.
-        last_vote: Option<(Ballot, LogEntry)>,
+        last_vote: Option<(Ballot, Arc<LogEntry>)>,
     },
     /// A replica's reply to an accept message.
     AcceptReply {
@@ -95,7 +101,7 @@ pub enum ProposerAction {
         /// Decided position.
         position: LogPosition,
         /// Decided value.
-        entry: LogEntry,
+        entry: Arc<LogEntry>,
     },
     /// The commit attempt finished; report the outcome to the application.
     Finished(CommitOutcome),
@@ -147,7 +153,7 @@ struct RoundState {
     prepare_replies: BTreeMap<ReplicaId, Vote>,
     accept_acks: usize,
     accept_rejects: usize,
-    proposed: Option<LogEntry>,
+    proposed: Option<Arc<LogEntry>>,
     gathering: bool,
 }
 
@@ -165,9 +171,12 @@ enum Goal {
 /// The proposer state machine for one transaction's commit attempt.
 pub struct Proposer {
     cfg: ProposerConfig,
-    group: GroupKey,
+    group: GroupId,
     client_id: u64,
     goal: Goal,
+    /// The value this proposer wants decided: `LogEntry::single` of its
+    /// transaction, or a no-op for recovery. Built once, shared everywhere.
+    own_entry: Arc<LogEntry>,
     position: LogPosition,
     ballot: Ballot,
     highest_seen: Option<Ballot>,
@@ -185,12 +194,18 @@ impl Proposer {
     /// `commit_position` (= the transaction's read position + 1).
     pub fn new(
         cfg: ProposerConfig,
-        group: GroupKey,
+        group: GroupId,
         client_id: u64,
         own_txn: Transaction,
         commit_position: LogPosition,
     ) -> Self {
-        Self::with_goal(cfg, group, client_id, Goal::Commit(own_txn), commit_position)
+        Self::with_goal(
+            cfg,
+            group,
+            client_id,
+            Goal::Commit(own_txn),
+            commit_position,
+        )
     }
 
     /// Create a recovery proposer that proposes a no-op for `position` in
@@ -198,7 +213,7 @@ impl Proposer {
     /// basic protocol: there is nothing to combine or promote.
     pub fn new_recovery(
         mut cfg: ProposerConfig,
-        group: GroupKey,
+        group: GroupId,
         client_id: u64,
         position: LogPosition,
     ) -> Self {
@@ -209,16 +224,21 @@ impl Proposer {
 
     fn with_goal(
         cfg: ProposerConfig,
-        group: GroupKey,
+        group: GroupId,
         client_id: u64,
         goal: Goal,
         commit_position: LogPosition,
     ) -> Self {
+        let own_entry = match &goal {
+            Goal::Commit(txn) => Arc::new(LogEntry::single(txn.clone())),
+            Goal::Recover => Arc::new(LogEntry::noop()),
+        };
         Proposer {
             cfg,
             group,
             client_id,
             goal,
+            own_entry,
             position: commit_position,
             ballot: Ballot::initial(client_id),
             highest_seen: None,
@@ -232,11 +252,8 @@ impl Proposer {
         }
     }
 
-    fn own_value(&self) -> LogEntry {
-        match &self.goal {
-            Goal::Commit(txn) => LogEntry::single(txn.clone()),
-            Goal::Recover => LogEntry::noop(),
-        }
+    fn own_value(&self) -> Arc<LogEntry> {
+        Arc::clone(&self.own_entry)
     }
 
     /// True when this proposer is a recovery (no-op) proposer.
@@ -274,7 +291,7 @@ impl Proposer {
         if self.cfg.fast_path {
             self.phase = Phase::FastWait;
             out.push(ProposerAction::SendToLeader(PaxosMsg::LeaderClaim {
-                group: self.group.clone(),
+                group: self.group,
                 position: self.position,
             }));
             out.push(self.arm_timer(TimerKind::ReplyTimeout));
@@ -310,7 +327,9 @@ impl Proposer {
                 next_bal,
                 last_vote,
             } => {
-                if self.phase == Phase::Prepare && position == self.position && ballot == self.ballot
+                if self.phase == Phase::Prepare
+                    && position == self.position
+                    && ballot == self.ballot
                 {
                     self.note_ballot(next_bal);
                     self.round.prepare_replies.insert(
@@ -376,20 +395,20 @@ impl Proposer {
         self.round = RoundState::default();
         self.phase = Phase::Prepare;
         out.push(ProposerAction::Broadcast(PaxosMsg::Prepare {
-            group: self.group.clone(),
+            group: self.group,
             position: self.position,
             ballot: self.ballot,
         }));
         out.push(self.arm_timer(TimerKind::ReplyTimeout));
     }
 
-    fn begin_accept(&mut self, value: LogEntry, out: &mut Vec<ProposerAction>) {
+    fn begin_accept(&mut self, value: Arc<LogEntry>, out: &mut Vec<ProposerAction>) {
         self.phase = Phase::Accept;
         self.round.accept_acks = 0;
         self.round.accept_rejects = 0;
-        self.round.proposed = Some(value.clone());
+        self.round.proposed = Some(Arc::clone(&value));
         out.push(ProposerAction::Broadcast(PaxosMsg::Accept {
-            group: self.group.clone(),
+            group: self.group,
             position: self.position,
             ballot: self.ballot,
             value,
@@ -428,14 +447,15 @@ impl Proposer {
             }
             // Promotion decisions are already conclusive at a majority: if a
             // value has a majority of votes, waiting cannot change the fact.
-            let Goal::Commit(own_txn) = self.goal.clone() else {
+            let Goal::Commit(own_txn) = &self.goal else {
                 self.choose_and_accept(out);
                 return;
             };
             let votes: Vec<Vote> = self.round.prepare_replies.values().cloned().collect();
             if let ValueChoice::Promote { decided } = enhanced_find_winning_val(
                 &votes,
-                &own_txn,
+                own_txn,
+                &self.own_entry,
                 self.cfg.num_replicas,
                 self.cfg.combination_enabled,
             ) {
@@ -455,16 +475,16 @@ impl Proposer {
 
     fn choose_and_accept(&mut self, out: &mut Vec<ProposerAction>) {
         let votes: Vec<Vote> = self.round.prepare_replies.values().cloned().collect();
-        let own_entry = self.own_value();
         match (&self.goal, self.cfg.protocol) {
             (Goal::Recover, _) | (_, CommitProtocol::BasicPaxos) => {
-                let value = find_winning_val(&votes, &own_entry);
+                let value = find_winning_val(&votes, &self.own_entry);
                 self.begin_accept(value, out);
             }
             (Goal::Commit(own_txn), CommitProtocol::PaxosCp) => {
                 match enhanced_find_winning_val(
                     &votes,
-                    &own_txn.clone(),
+                    own_txn,
+                    &self.own_entry,
                     self.cfg.num_replicas,
                     self.cfg.combination_enabled,
                 ) {
@@ -498,14 +518,14 @@ impl Proposer {
             .clone()
             .expect("accept phase always has a proposed value");
         out.push(ProposerAction::Broadcast(PaxosMsg::Apply {
-            group: self.group.clone(),
+            group: self.group,
             position: self.position,
             ballot: self.ballot,
-            value: decided.clone(),
+            value: Arc::clone(&decided),
         }));
         out.push(ProposerAction::Learned {
             position: self.position,
-            entry: decided.clone(),
+            entry: Arc::clone(&decided),
         });
         let own_id = match &self.goal {
             Goal::Commit(txn) => Some(txn.id),
@@ -628,36 +648,46 @@ impl Proposer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use walog::ident::{AttrId, KeyId};
     use walog::{ItemRef, TxnId};
 
-    fn own_txn(reads: &[&str], writes: &[&str]) -> Transaction {
-        let mut b = Transaction::builder(TxnId::new(7, 1), "g", LogPosition(0));
+    fn item(a: u32) -> ItemRef {
+        ItemRef::new(KeyId(0), AttrId(a))
+    }
+
+    // Attribute ids standing in for the original string names.
+    const A: u32 = 0;
+    const Z: u32 = 25;
+    const Q: u32 = 16;
+
+    fn own_txn(reads: &[u32], writes: &[u32]) -> Transaction {
+        let mut b = Transaction::builder(TxnId::new(7, 1), GroupId(0), LogPosition(0));
         for r in reads {
-            b = b.read(ItemRef::new("row", *r), Some("v"));
+            b = b.read(item(*r), Some("v"));
         }
         for w in writes {
-            b = b.write(ItemRef::new("row", *w), "x");
+            b = b.write(item(*w), "x");
         }
         b.build()
     }
 
-    fn other_entry(writes: &[&str]) -> LogEntry {
-        let mut b = Transaction::builder(TxnId::new(9, 50), "g", LogPosition(0));
+    fn other_entry(writes: &[u32]) -> Arc<LogEntry> {
+        let mut b = Transaction::builder(TxnId::new(9, 50), GroupId(0), LogPosition(0));
         for w in writes {
-            b = b.write(ItemRef::new("row", *w), "y");
+            b = b.write(item(*w), "y");
         }
-        LogEntry::single(b.build())
+        Arc::new(LogEntry::single(b.build()))
     }
 
     fn proposer(cfg: ProposerConfig) -> Proposer {
-        Proposer::new(cfg, "g".into(), 7, own_txn(&["a"], &["a"]), LogPosition(1))
+        Proposer::new(cfg, GroupId(0), 7, own_txn(&[A], &[A]), LogPosition(1))
     }
 
     fn prepare_reply(
         p: &Proposer,
         from: ReplicaId,
         promised: bool,
-        last_vote: Option<(Ballot, LogEntry)>,
+        last_vote: Option<(Ballot, Arc<LogEntry>)>,
     ) -> ProposerEvent {
         ProposerEvent::PrepareReply {
             from,
@@ -693,15 +723,24 @@ mod tests {
     fn uncontended_commit_through_full_protocol() {
         let mut p = proposer(ProposerConfig::basic(3).with_fast_path(false));
         let actions = p.start();
-        assert!(matches!(actions[0], ProposerAction::Broadcast(PaxosMsg::Prepare { .. })));
+        assert!(matches!(
+            actions[0],
+            ProposerAction::Broadcast(PaxosMsg::Prepare { .. })
+        ));
         // Two promises reach the majority and trigger the accept phase.
         assert!(p.on_event(prepare_reply(&p, 0, true, None)).is_empty());
         let actions = p.on_event(prepare_reply(&p, 1, true, None));
-        assert!(matches!(actions[0], ProposerAction::Broadcast(PaxosMsg::Accept { .. })));
+        assert!(matches!(
+            actions[0],
+            ProposerAction::Broadcast(PaxosMsg::Accept { .. })
+        ));
         // Two accept acks decide the value.
         assert!(p.on_event(accept_reply(&p, 0, true)).is_empty());
         let actions = p.on_event(accept_reply(&p, 1, true));
-        assert!(matches!(actions[0], ProposerAction::Broadcast(PaxosMsg::Apply { .. })));
+        assert!(matches!(
+            actions[0],
+            ProposerAction::Broadcast(PaxosMsg::Apply { .. })
+        ));
         assert!(matches!(actions[1], ProposerAction::Learned { .. }));
         let outcome = finished(&actions).unwrap();
         assert!(outcome.committed);
@@ -713,10 +752,32 @@ mod tests {
     }
 
     #[test]
+    fn decided_value_is_shared_not_copied() {
+        let mut p = proposer(ProposerConfig::basic(3).with_fast_path(false));
+        p.start();
+        p.on_event(prepare_reply(&p, 0, true, None));
+        p.on_event(prepare_reply(&p, 1, true, None));
+        p.on_event(accept_reply(&p, 0, true));
+        let actions = p.on_event(accept_reply(&p, 1, true));
+        let apply_value = actions.iter().find_map(|a| match a {
+            ProposerAction::Broadcast(PaxosMsg::Apply { value, .. }) => Some(value),
+            _ => None,
+        });
+        let learned_value = actions.iter().find_map(|a| match a {
+            ProposerAction::Learned { entry, .. } => Some(entry),
+            _ => None,
+        });
+        assert!(Arc::ptr_eq(apply_value.unwrap(), learned_value.unwrap()));
+    }
+
+    #[test]
     fn fast_path_grant_skips_prepare() {
         let mut p = proposer(ProposerConfig::basic(3));
         let actions = p.start();
-        assert!(matches!(actions[0], ProposerAction::SendToLeader(PaxosMsg::LeaderClaim { .. })));
+        assert!(matches!(
+            actions[0],
+            ProposerAction::SendToLeader(PaxosMsg::LeaderClaim { .. })
+        ));
         let actions = p.on_event(ProposerEvent::FastPathReply {
             position: LogPosition(1),
             granted: true,
@@ -737,20 +798,47 @@ mod tests {
             position: LogPosition(1),
             granted: false,
         });
-        assert!(matches!(actions[0], ProposerAction::Broadcast(PaxosMsg::Prepare { .. })));
+        assert!(matches!(
+            actions[0],
+            ProposerAction::Broadcast(PaxosMsg::Prepare { .. })
+        ));
     }
 
     #[test]
     fn basic_paxos_aborts_when_losing_to_decided_value() {
         let mut p = proposer(ProposerConfig::basic(3).with_fast_path(false));
         p.start();
-        let winner = other_entry(&["z"]);
+        let winner = other_entry(&[Z]);
         // Both replies carry a vote for the other value: the basic rule
         // forces us to re-propose it; when it decides, we abort.
-        p.on_event(prepare_reply(&p, 0, true, Some((Ballot { round: 9, proposer: 1 }, winner.clone()))));
-        let actions = p.on_event(prepare_reply(&p, 1, true, Some((Ballot { round: 9, proposer: 1 }, winner.clone()))));
+        p.on_event(prepare_reply(
+            &p,
+            0,
+            true,
+            Some((
+                Ballot {
+                    round: 9,
+                    proposer: 1,
+                },
+                Arc::clone(&winner),
+            )),
+        ));
+        let actions = p.on_event(prepare_reply(
+            &p,
+            1,
+            true,
+            Some((
+                Ballot {
+                    round: 9,
+                    proposer: 1,
+                },
+                Arc::clone(&winner),
+            )),
+        ));
         match &actions[0] {
-            ProposerAction::Broadcast(PaxosMsg::Accept { value, .. }) => assert_eq!(value, &winner),
+            ProposerAction::Broadcast(PaxosMsg::Accept { value, .. }) => {
+                assert!(Arc::ptr_eq(value, &winner))
+            }
             other => panic!("unexpected {other:?}"),
         }
         p.on_event(accept_reply(&p, 0, true));
@@ -764,9 +852,15 @@ mod tests {
     fn paxos_cp_promotes_after_losing_to_non_conflicting_value() {
         let mut p = proposer(ProposerConfig::cp(3).with_fast_path(false));
         p.start();
-        // Own txn reads/writes "a"; winner writes "z" (no conflict).
-        let winner = other_entry(&["z"]);
-        let vote = Some((Ballot { round: 3, proposer: 2 }, winner.clone()));
+        // Own txn reads/writes a0; winner writes a25 (no conflict).
+        let winner = other_entry(&[Z]);
+        let vote = Some((
+            Ballot {
+                round: 3,
+                proposer: 2,
+            },
+            winner,
+        ));
         p.on_event(prepare_reply(&p, 0, true, vote.clone()));
         let actions = p.on_event(prepare_reply(&p, 1, true, vote));
         // Majority already voted for the winner: promotion, so the next
@@ -782,7 +876,10 @@ mod tests {
         // Clean prepare/accept on position 2 commits the transaction.
         p.on_event(prepare_reply(&p, 0, true, None));
         let actions = p.on_event(prepare_reply(&p, 1, true, None));
-        assert!(matches!(actions[0], ProposerAction::Broadcast(PaxosMsg::Accept { .. })));
+        assert!(matches!(
+            actions[0],
+            ProposerAction::Broadcast(PaxosMsg::Accept { .. })
+        ));
         p.on_event(accept_reply(&p, 0, true));
         let actions = p.on_event(accept_reply(&p, 1, true));
         let outcome = finished(&actions).unwrap();
@@ -795,9 +892,15 @@ mod tests {
     fn paxos_cp_aborts_when_winner_invalidates_reads() {
         let mut p = proposer(ProposerConfig::cp(3).with_fast_path(false));
         p.start();
-        // Own txn reads "a"; winner writes "a": conflict, no promotion.
-        let winner = other_entry(&["a"]);
-        let vote = Some((Ballot { round: 3, proposer: 2 }, winner.clone()));
+        // Own txn reads a0; winner writes a0: conflict, no promotion.
+        let winner = other_entry(&[A]);
+        let vote = Some((
+            Ballot {
+                round: 3,
+                proposer: 2,
+            },
+            winner,
+        ));
         p.on_event(prepare_reply(&p, 0, true, vote.clone()));
         let actions = p.on_event(prepare_reply(&p, 1, true, vote));
         let outcome = finished(&actions).unwrap();
@@ -809,15 +912,23 @@ mod tests {
     #[test]
     fn promotion_cap_is_enforced() {
         let mut p = Proposer::new(
-            ProposerConfig::cp(3).with_fast_path(false).with_max_promotions(Some(0)),
-            "g".into(),
+            ProposerConfig::cp(3)
+                .with_fast_path(false)
+                .with_max_promotions(Some(0)),
+            GroupId(0),
             7,
-            own_txn(&["a"], &["a"]),
+            own_txn(&[A], &[A]),
             LogPosition(1),
         );
         p.start();
-        let winner = other_entry(&["z"]);
-        let vote = Some((Ballot { round: 3, proposer: 2 }, winner.clone()));
+        let winner = other_entry(&[Z]);
+        let vote = Some((
+            Ballot {
+                round: 3,
+                proposer: 2,
+            },
+            winner,
+        ));
         p.on_event(prepare_reply(&p, 0, true, vote.clone()));
         let actions = p.on_event(prepare_reply(&p, 1, true, vote));
         let outcome = finished(&actions).unwrap();
@@ -844,7 +955,9 @@ mod tests {
             }
             _ => panic!("expected backoff"),
         };
-        let actions = p.on_event(ProposerEvent::Timer { token: backoff_token });
+        let actions = p.on_event(ProposerEvent::Timer {
+            token: backoff_token,
+        });
         match &actions[0] {
             ProposerAction::Broadcast(PaxosMsg::Prepare { ballot, .. }) => {
                 assert!(*ballot > first_ballot);
@@ -857,7 +970,10 @@ mod tests {
     fn rejected_prepare_advances_past_competing_ballot() {
         let mut p = proposer(ProposerConfig::basic(3).with_fast_path(false));
         p.start();
-        let big = Ballot { round: 40, proposer: 2 };
+        let big = Ballot {
+            round: 40,
+            proposer: 2,
+        };
         // All three replicas answer: two refuse because of a higher promise.
         p.on_event(ProposerEvent::PrepareReply {
             from: 0,
@@ -883,7 +999,9 @@ mod tests {
             }
             _ => panic!("expected backoff"),
         };
-        let actions = p.on_event(ProposerEvent::Timer { token: backoff_token });
+        let actions = p.on_event(ProposerEvent::Timer {
+            token: backoff_token,
+        });
         match &actions[0] {
             ProposerAction::Broadcast(PaxosMsg::Prepare { ballot, .. }) => {
                 assert!(*ballot > big, "new ballot {ballot:?} must exceed {big:?}");
@@ -903,7 +1021,10 @@ mod tests {
         let actions = p.on_event(accept_reply(&p, 1, false));
         assert!(matches!(
             actions[0],
-            ProposerAction::ArmTimer { kind: TimerKind::Backoff, .. }
+            ProposerAction::ArmTimer {
+                kind: TimerKind::Backoff,
+                ..
+            }
         ));
     }
 
@@ -914,7 +1035,10 @@ mod tests {
         let wrong_ballot = ProposerEvent::PrepareReply {
             from: 0,
             position: LogPosition(1),
-            ballot: Ballot { round: 99, proposer: 99 },
+            ballot: Ballot {
+                round: 99,
+                proposer: 99,
+            },
             promised: true,
             next_bal: None,
             last_vote: None,
@@ -937,9 +1061,9 @@ mod tests {
     fn round_limit_aborts_eventually() {
         let mut p = Proposer::new(
             ProposerConfig::basic(3).with_fast_path(false),
-            "g".into(),
+            GroupId(0),
             7,
-            own_txn(&[], &["a"]),
+            own_txn(&[], &[A]),
             LogPosition(1),
         );
         let mut actions = p.start();
@@ -974,19 +1098,32 @@ mod tests {
         p.start();
         // One replica has a vote for a disjoint transaction with only one
         // vote: the combine window is open, so the proposal packs both.
-        let other = other_entry(&["q"]);
+        let other = other_entry(&[Q]);
         p.on_event(prepare_reply(&p, 0, true, None));
-        let actions =
-            p.on_event(prepare_reply(&p, 1, true, Some((Ballot { round: 1, proposer: 2 }, other))));
+        let actions = p.on_event(prepare_reply(
+            &p,
+            1,
+            true,
+            Some((
+                Ballot {
+                    round: 1,
+                    proposer: 2,
+                },
+                other,
+            )),
+        ));
         // A majority has promised but a vote was seen: the proposer waits a
         // gather window for the remaining replica instead of choosing early.
         assert!(matches!(
             actions[0],
-            ProposerAction::ArmTimer { kind: TimerKind::Gather, .. }
+            ProposerAction::ArmTimer {
+                kind: TimerKind::Gather,
+                ..
+            }
         ));
         let actions = p.on_event(prepare_reply(&p, 2, true, None));
         let proposed = match &actions[0] {
-            ProposerAction::Broadcast(PaxosMsg::Accept { value, .. }) => value.clone(),
+            ProposerAction::Broadcast(PaxosMsg::Accept { value, .. }) => Arc::clone(value),
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(proposed.len(), 2);

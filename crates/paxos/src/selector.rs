@@ -1,8 +1,14 @@
 //! Value selection for the accept phase: `findWinningVal` (basic Paxos) and
 //! `enhancedFindWinningVal` (Paxos-CP), Algorithm 2 lines 66–87.
+//!
+//! Votes carry `Arc<LogEntry>`s, so adopting a previously voted value —
+//! the common contended case — is a pointer clone, and the conflict test
+//! behind promotion is an integer-set lookup against the entry's cached
+//! packed write set.
 
 use crate::ballot::Ballot;
 use crate::msg::ReplicaId;
+use std::sync::Arc;
 use walog::combine::best_combination;
 use walog::{LogEntry, Transaction};
 
@@ -14,33 +20,33 @@ pub struct Vote {
     /// Whether it promised this ballot.
     pub promised: bool,
     /// Its last cast vote for the position, if any.
-    pub last_vote: Option<(Ballot, LogEntry)>,
+    pub last_vote: Option<(Ballot, Arc<LogEntry>)>,
 }
 
 /// What the proposer should do next, as decided by the value-selection rule.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ValueChoice {
     /// Send `accept` messages carrying this value.
-    Propose(LogEntry),
+    Propose(Arc<LogEntry>),
     /// Another value already has a majority of votes: stop competing for
     /// this position (do not send accepts) and consider promotion. The
     /// carried entry is the value observed to have won.
     Promote {
         /// The entry that has already gathered a majority of votes.
-        decided: LogEntry,
+        decided: Arc<LogEntry>,
     },
 }
 
 /// `findWinningVal` (Algorithm 2, lines 66–75): the proposer must adopt the
 /// vote with the highest proposal number; only when every response carries a
 /// null vote may it propose its own value.
-pub fn find_winning_val(votes: &[Vote], own: &LogEntry) -> LogEntry {
+pub fn find_winning_val(votes: &[Vote], own: &Arc<LogEntry>) -> Arc<LogEntry> {
     votes
         .iter()
         .filter_map(|v| v.last_vote.as_ref())
         .max_by_key(|(ballot, _)| *ballot)
-        .map(|(_, value)| value.clone())
-        .unwrap_or_else(|| own.clone())
+        .map(|(_, value)| Arc::clone(value))
+        .unwrap_or_else(|| Arc::clone(own))
 }
 
 /// `enhancedFindWinningVal` (Algorithm 2, lines 76–87): decide between
@@ -53,21 +59,28 @@ pub fn find_winning_val(votes: &[Vote], own: &LogEntry) -> LogEntry {
 /// * If some value already has a majority of votes and the proposer's
 ///   transaction is not part of it, the position is lost: promote.
 /// * Otherwise fall back to the basic rule.
+///
+/// `own_entry` is the proposer's cached single-transaction entry for
+/// `own_txn` (kept by the caller so repeated rounds never rebuild it).
 pub fn enhanced_find_winning_val(
     votes: &[Vote],
     own_txn: &Transaction,
+    own_entry: &Arc<LogEntry>,
     num_replicas: usize,
     combination_enabled: bool,
 ) -> ValueChoice {
-    let own_entry = LogEntry::single(own_txn.clone());
+    debug_assert!(own_entry.contains(own_txn.id));
     let majority = num_replicas / 2 + 1;
     let responses = votes.len();
 
     // Count votes per distinct value (non-null votes only).
-    let mut tallies: Vec<(&LogEntry, usize)> = Vec::new();
+    let mut tallies: Vec<(&Arc<LogEntry>, usize)> = Vec::new();
     for vote in votes {
         if let Some((_, value)) = &vote.last_vote {
-            match tallies.iter_mut().find(|(v, _)| *v == value) {
+            match tallies
+                .iter_mut()
+                .find(|(v, _)| Arc::ptr_eq(v, value) || ***v == **value)
+            {
                 Some((_, count)) => *count += 1,
                 None => tallies.push((value, 1)),
             }
@@ -84,47 +97,63 @@ pub fn enhanced_find_winning_val(
     if max_votes + missing < majority {
         // No value can have a majority: safe to choose freely, so combine.
         if !combination_enabled {
-            return ValueChoice::Propose(find_winning_val(votes, &own_entry));
+            return ValueChoice::Propose(find_winning_val(votes, own_entry));
         }
         let candidates: Vec<Transaction> = votes
             .iter()
             .filter_map(|v| v.last_vote.as_ref())
             .flat_map(|(_, entry)| entry.transactions().iter().cloned())
             .collect();
+        if candidates.is_empty() {
+            // Nothing to combine with: propose the cached own entry as-is.
+            return ValueChoice::Propose(Arc::clone(own_entry));
+        }
         let combined = best_combination(own_txn, &candidates);
-        return ValueChoice::Propose(LogEntry::combined(combined));
+        if combined.len() == 1 {
+            return ValueChoice::Propose(Arc::clone(own_entry));
+        }
+        return ValueChoice::Propose(Arc::new(LogEntry::combined(combined)));
     }
 
     if max_votes >= majority {
-        let decided = max_val.expect("max_votes > 0 implies a value").clone();
+        let decided = Arc::clone(max_val.expect("max_votes > 0 implies a value"));
         if !decided.contains(own_txn.id) {
             return ValueChoice::Promote { decided };
         }
         // Our transaction is already part of the winning value: push it
         // through with the basic rule (which will select that same value).
-        return ValueChoice::Propose(find_winning_val(votes, &own_entry));
+        return ValueChoice::Propose(find_winning_val(votes, own_entry));
     }
 
-    ValueChoice::Propose(find_winning_val(votes, &own_entry))
+    ValueChoice::Propose(find_winning_val(votes, own_entry))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use walog::ident::{AttrId, GroupId, KeyId};
     use walog::{ItemRef, LogPosition, TxnId};
 
-    fn txn(client: u32, seq: u64, reads: &[&str], writes: &[&str]) -> Transaction {
-        let mut b = Transaction::builder(TxnId::new(client, seq), "g", LogPosition(0));
+    fn item(a: u32) -> ItemRef {
+        ItemRef::new(KeyId(0), AttrId(a))
+    }
+
+    fn txn(client: u32, seq: u64, reads: &[u32], writes: &[u32]) -> Transaction {
+        let mut b = Transaction::builder(TxnId::new(client, seq), GroupId(0), LogPosition(0));
         for r in reads {
-            b = b.read(ItemRef::new("row", *r), Some("v"));
+            b = b.read(item(*r), Some("v"));
         }
         for w in writes {
-            b = b.write(ItemRef::new("row", *w), "x");
+            b = b.write(item(*w), "x");
         }
         b.build()
     }
 
-    fn vote(from: ReplicaId, last: Option<(Ballot, LogEntry)>) -> Vote {
+    fn entry(txn: Transaction) -> Arc<LogEntry> {
+        Arc::new(LogEntry::single(txn))
+    }
+
+    fn vote(from: ReplicaId, last: Option<(Ballot, Arc<LogEntry>)>) -> Vote {
         Vote {
             from,
             promised: true,
@@ -138,18 +167,18 @@ mod tests {
 
     #[test]
     fn find_winning_val_prefers_highest_ballot_vote() {
-        let own = LogEntry::single(txn(0, 1, &[], &["own"]));
-        let low = LogEntry::single(txn(1, 2, &[], &["low"]));
-        let high = LogEntry::single(txn(2, 3, &[], &["high"]));
+        let own = entry(txn(0, 1, &[], &[10]));
+        let low = entry(txn(1, 2, &[], &[11]));
+        let high = entry(txn(2, 3, &[], &[12]));
         let votes = vec![
             vote(0, None),
             vote(1, Some((ballot(1), low))),
-            vote(2, Some((ballot(5), high.clone()))),
+            vote(2, Some((ballot(5), Arc::clone(&high)))),
         ];
-        assert_eq!(find_winning_val(&votes, &own), high);
+        assert!(Arc::ptr_eq(&find_winning_val(&votes, &own), &high));
         // All-null votes: own value.
         let votes = vec![vote(0, None), vote(1, None)];
-        assert_eq!(find_winning_val(&votes, &own), own);
+        assert!(Arc::ptr_eq(&find_winning_val(&votes, &own), &own));
     }
 
     #[test]
@@ -157,13 +186,14 @@ mod tests {
         // D = 3, majority = 2. Two responses, each with a different non-null
         // vote (1 vote each): maxVotes + missing = 1 + 1 = 2, NOT < 2, so the
         // combine window is closed. With all-null votes it is open.
-        let own = txn(0, 1, &["a"], &["a"]);
-        let other = LogEntry::single(txn(1, 2, &["b"], &["b"]));
+        let own = txn(0, 1, &[0], &[0]);
+        let own_entry = entry(own.clone());
+        let other = entry(txn(1, 2, &[1], &[1]));
         let votes = vec![vote(0, None), vote(1, None), vote(2, None)];
-        match enhanced_find_winning_val(&votes, &own, 3, true) {
-            ValueChoice::Propose(entry) => {
-                assert_eq!(entry.len(), 1);
-                assert!(entry.contains(own.id));
+        match enhanced_find_winning_val(&votes, &own, &own_entry, 3, true) {
+            ValueChoice::Propose(e) => {
+                assert_eq!(e.len(), 1);
+                assert!(e.contains(own.id));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -174,11 +204,11 @@ mod tests {
             vote(1, None),
             vote(2, Some((ballot(1), other))),
         ];
-        match enhanced_find_winning_val(&votes, &own, 3, true) {
-            ValueChoice::Propose(entry) => {
-                assert_eq!(entry.len(), 2, "combination should pack both transactions");
-                assert!(entry.contains(own.id));
-                assert!(entry.contains(TxnId::new(1, 2)));
+        match enhanced_find_winning_val(&votes, &own, &own_entry, 3, true) {
+            ValueChoice::Propose(e) => {
+                assert_eq!(e.len(), 2, "combination should pack both transactions");
+                assert!(e.contains(own.id));
+                assert!(e.contains(TxnId::new(1, 2)));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -186,46 +216,70 @@ mod tests {
 
     #[test]
     fn enhanced_respects_combination_switch() {
-        let own = txn(0, 1, &["a"], &["a"]);
-        let other = LogEntry::single(txn(1, 2, &["b"], &["b"]));
+        let own = txn(0, 1, &[0], &[0]);
+        let own_entry = entry(own.clone());
+        let other = entry(txn(1, 2, &[1], &[1]));
         let votes = vec![
             vote(0, None),
             vote(1, None),
-            vote(2, Some((ballot(1), other.clone()))),
+            vote(2, Some((ballot(1), Arc::clone(&other)))),
         ];
-        match enhanced_find_winning_val(&votes, &own, 3, false) {
+        match enhanced_find_winning_val(&votes, &own, &own_entry, 3, false) {
             // With combination disabled the basic rule applies: adopt the
             // highest-ballot non-null vote.
-            ValueChoice::Propose(entry) => assert_eq!(entry, other),
+            ValueChoice::Propose(e) => assert!(Arc::ptr_eq(&e, &other)),
             other => panic!("unexpected {other:?}"),
         }
     }
 
     #[test]
     fn enhanced_promotes_when_other_value_has_majority() {
-        let own = txn(0, 1, &["a"], &["a"]);
-        let winner = LogEntry::single(txn(1, 2, &[], &["b"]));
+        let own = txn(0, 1, &[0], &[0]);
+        let own_entry = entry(own.clone());
+        let winner = entry(txn(1, 2, &[], &[1]));
         let votes = vec![
-            vote(0, Some((ballot(2), winner.clone()))),
-            vote(1, Some((ballot(2), winner.clone()))),
+            vote(0, Some((ballot(2), Arc::clone(&winner)))),
+            vote(1, Some((ballot(2), Arc::clone(&winner)))),
             vote(2, None),
         ];
-        match enhanced_find_winning_val(&votes, &own, 3, true) {
-            ValueChoice::Promote { decided } => assert_eq!(decided, winner),
+        match enhanced_find_winning_val(&votes, &own, &own_entry, 3, true) {
+            ValueChoice::Promote { decided } => assert!(Arc::ptr_eq(&decided, &winner)),
             other => panic!("unexpected {other:?}"),
         }
     }
 
     #[test]
-    fn enhanced_does_not_promote_when_own_is_in_winning_value() {
-        let own = txn(0, 1, &["a"], &["a"]);
-        let winner = LogEntry::combined(vec![txn(1, 2, &[], &["b"]), own.clone()]);
+    fn majority_is_recognized_across_distinct_allocations() {
+        // The same decided value may arrive in different Arc allocations
+        // (e.g. decoded from two acceptors' stores): the tally must count
+        // them as one value.
+        let own = txn(0, 1, &[0], &[0]);
+        let own_entry = entry(own.clone());
+        let winner_a = entry(txn(1, 2, &[], &[1]));
+        let winner_b = entry(txn(1, 2, &[], &[1]));
+        assert!(!Arc::ptr_eq(&winner_a, &winner_b));
         let votes = vec![
-            vote(0, Some((ballot(2), winner.clone()))),
-            vote(1, Some((ballot(2), winner.clone()))),
+            vote(0, Some((ballot(2), winner_a))),
+            vote(1, Some((ballot(2), winner_b))),
+            vote(2, None),
         ];
-        match enhanced_find_winning_val(&votes, &own, 3, true) {
-            ValueChoice::Propose(entry) => assert_eq!(entry, winner),
+        assert!(matches!(
+            enhanced_find_winning_val(&votes, &own, &own_entry, 3, true),
+            ValueChoice::Promote { .. }
+        ));
+    }
+
+    #[test]
+    fn enhanced_does_not_promote_when_own_is_in_winning_value() {
+        let own = txn(0, 1, &[0], &[0]);
+        let own_entry = entry(own.clone());
+        let winner = Arc::new(LogEntry::combined(vec![txn(1, 2, &[], &[1]), own.clone()]));
+        let votes = vec![
+            vote(0, Some((ballot(2), Arc::clone(&winner)))),
+            vote(1, Some((ballot(2), Arc::clone(&winner)))),
+        ];
+        match enhanced_find_winning_val(&votes, &own, &own_entry, 3, true) {
+            ValueChoice::Propose(e) => assert!(Arc::ptr_eq(&e, &winner)),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -235,15 +289,16 @@ mod tests {
         // D = 5, majority = 3. Three responses, one vote for X: maxVotes +
         // missing = 1 + 2 = 3, not < 3 and not >= majority in responses, so
         // the basic rule applies and X (the only non-null vote) is adopted.
-        let own = txn(0, 1, &["a"], &["a"]);
-        let x = LogEntry::single(txn(1, 2, &[], &["x"]));
+        let own = txn(0, 1, &[0], &[0]);
+        let own_entry = entry(own.clone());
+        let x = entry(txn(1, 2, &[], &[7]));
         let votes = vec![
             vote(0, None),
             vote(1, None),
-            vote(2, Some((ballot(4), x.clone()))),
+            vote(2, Some((ballot(4), Arc::clone(&x)))),
         ];
-        match enhanced_find_winning_val(&votes, &own, 5, true) {
-            ValueChoice::Propose(entry) => assert_eq!(entry, x),
+        match enhanced_find_winning_val(&votes, &own, &own_entry, 5, true) {
+            ValueChoice::Propose(e) => assert!(Arc::ptr_eq(&e, &x)),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -9,14 +9,15 @@
 //! far nastier interleavings than the well-behaved network model does.
 
 use paxos::{
-    AcceptorStore, CommitOutcome, PaxosMsg, Proposer, ProposerAction, ProposerConfig,
-    ProposerEvent,
+    AcceptorStore, CommitOutcome, PaxosMsg, Proposer, ProposerAction, ProposerConfig, ProposerEvent,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
-use walog::{GroupKey, ItemRef, LogEntry, LogPosition, Transaction, TxnId};
+use std::sync::Arc;
+use walog::ident::{AttrId, KeyId};
+use walog::{GroupId, ItemRef, LogEntry, LogPosition, Transaction, TxnId};
 
 struct Harness {
     stores: Vec<mvkv::MvKvStore>,
@@ -24,8 +25,8 @@ struct Harness {
     inboxes: Vec<VecDeque<ProposerEvent>>,
     pending_timers: Vec<Vec<u64>>,
     outcomes: Vec<Option<CommitOutcome>>,
-    learned: HashMap<LogPosition, LogEntry>,
-    group: GroupKey,
+    learned: HashMap<LogPosition, Arc<LogEntry>>,
+    group: GroupId,
     rng: StdRng,
     drop_probability: f64,
 }
@@ -38,20 +39,24 @@ impl Harness {
         seed: u64,
         drop_probability: f64,
     ) -> Self {
-        let group: GroupKey = "g".to_string();
+        let group = GroupId(0);
         let stores = (0..num_acceptors).map(|_| mvkv::MvKvStore::new()).collect();
         let proposers = (0..num_proposers)
             .map(|i| {
-                let txn = Transaction::builder(TxnId::new(i as u32, 1), group.clone(), LogPosition(0))
-                    .read(ItemRef::new("row", format!("r{}", i % 3)), None)
-                    .write(ItemRef::new("row", format!("w{i}")), format!("v{i}"))
+                // Proposer i reads attr (i % 3) and writes attr 10 + i.
+                let txn = Transaction::builder(TxnId::new(i as u32, 1), group, LogPosition(0))
+                    .read(ItemRef::new(KeyId(0), AttrId((i % 3) as u32)), None)
+                    .write(
+                        ItemRef::new(KeyId(0), AttrId(10 + i as u32)),
+                        format!("v{i}"),
+                    )
                     .build();
                 let cfg = if cp {
                     ProposerConfig::cp(num_acceptors).with_fast_path(false)
                 } else {
                     ProposerConfig::basic(num_acceptors).with_fast_path(false)
                 };
-                Proposer::new(cfg, group.clone(), i as u64, txn, LogPosition(1))
+                Proposer::new(cfg, group, i as u64, txn, LogPosition(1))
             })
             .collect();
         Harness {
@@ -93,17 +98,15 @@ impl Harness {
                 ProposerAction::ArmTimer { token, .. } => {
                     self.pending_timers[proposer_idx].push(token);
                 }
-                ProposerAction::Learned { position, entry } => {
-                    match self.learned.get(&position) {
-                        Some(existing) => assert_eq!(
-                            existing, &entry,
-                            "two learners disagree on position {position}"
-                        ),
-                        None => {
-                            self.learned.insert(position, entry);
-                        }
+                ProposerAction::Learned { position, entry } => match self.learned.get(&position) {
+                    Some(existing) => assert_eq!(
+                        **existing, *entry,
+                        "two learners disagree on position {position}"
+                    ),
+                    None => {
+                        self.learned.insert(position, entry);
                     }
-                }
+                },
                 ProposerAction::Finished(outcome) => {
                     self.outcomes[proposer_idx] = Some(outcome);
                 }
@@ -114,8 +117,10 @@ impl Harness {
     fn acceptor_handle(&mut self, acceptor_idx: usize, msg: &PaxosMsg) -> Option<ProposerEvent> {
         let acceptor = AcceptorStore::new(&self.stores[acceptor_idx]);
         match msg {
-            PaxosMsg::Prepare { position, ballot, .. } => {
-                let out = acceptor.handle_prepare(&self.group, *position, *ballot);
+            PaxosMsg::Prepare {
+                position, ballot, ..
+            } => {
+                let out = acceptor.handle_prepare(self.group, *position, *ballot);
                 Some(ProposerEvent::PrepareReply {
                     from: acceptor_idx,
                     position: *position,
@@ -125,8 +130,13 @@ impl Harness {
                     last_vote: out.last_vote,
                 })
             }
-            PaxosMsg::Accept { position, ballot, value, .. } => {
-                let accepted = acceptor.handle_accept(&self.group, *position, *ballot, value);
+            PaxosMsg::Accept {
+                position,
+                ballot,
+                value,
+                ..
+            } => {
+                let accepted = acceptor.handle_accept(self.group, *position, *ballot, value);
                 Some(ProposerEvent::AcceptReply {
                     from: acceptor_idx,
                     position: *position,
@@ -134,8 +144,13 @@ impl Harness {
                     accepted,
                 })
             }
-            PaxosMsg::Apply { position, ballot, value, .. } => {
-                acceptor.handle_apply(&self.group, *position, *ballot, value);
+            PaxosMsg::Apply {
+                position,
+                ballot,
+                value,
+                ..
+            } => {
+                acceptor.handle_apply(self.group, *position, *ballot, value);
                 None
             }
             _ => None,
@@ -211,7 +226,7 @@ proptest! {
         for (position, entry) in &harness.learned {
             for store in &harness.stores {
                 let acceptor = AcceptorStore::new(store);
-                if let Some((_, vote)) = acceptor.current_vote(&"g".to_string(), *position) {
+                if let Some((_, vote)) = acceptor.current_vote(GroupId(0), *position) {
                     // A vote for a decided position may be for an older value
                     // only if that acceptor was not part of the deciding
                     // majority; equality is required only when it matches.

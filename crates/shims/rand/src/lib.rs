@@ -1,0 +1,183 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal deterministic RNG with the `rand` surface the codebase uses:
+//! `StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen` and `Rng::gen_range`.
+//!
+//! The generator is SplitMix64: not cryptographic, but high-quality enough
+//! for simulation jitter, message-loss draws and workload generation, and —
+//! crucially for the deterministic simulator — the same seed produces the
+//! same stream on every platform.
+
+use std::ops::Range;
+
+/// Namespace mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// The workspace's standard RNG: SplitMix64.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+/// Seeding behaviour (`rand::SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Pre-mix once so seeds 0 and 1 do not produce near-identical
+        // initial outputs.
+        let mut rng = StdRng { state: seed };
+        let _ = rng.next_u64();
+        rng
+    }
+}
+
+impl StdRng {
+    /// Advance the SplitMix64 state and return the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types samplable uniformly over their whole domain (`rand`'s `Standard`
+/// distribution subset).
+pub trait Standard: Sized {
+    /// Draw one value from 64 random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        // 53 high-quality bits mapped to [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_bits(bits: u64) -> $t {
+                bits as $t
+            }
+        }
+    )*}
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types samplable from a half-open range (`rand`'s `SampleUniform` subset).
+pub trait SampleUniform: Sized + Copy {
+    /// Draw one value from `range` using `bits` (uniform up to the modulo
+    /// bias, which is negligible for the range sizes this workspace uses).
+    fn from_range(range: Range<Self>, bits: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_range(range: Range<$t>, bits: u64) -> $t {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as u128) - (range.start as u128);
+                range.start + ((bits as u128 % span) as $t)
+            }
+        }
+    )*}
+}
+uniform_int!(u8, u16, u32, u64, usize);
+
+/// The sampling interface (`rand::Rng` subset).
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value uniformly over the type's whole domain.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Sample a value uniformly from a half-open range. Panics on an empty
+    /// range, like `rand`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::from_range(range, self.next_u64())
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        StdRng::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn samples_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all buckets should be hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(5u32..5);
+    }
+}

@@ -147,10 +147,20 @@ mod tests {
         let t = ctx.set_timer(SimDuration::from_millis(2), 99);
         ctx.cancel_timer(t);
         assert_eq!(actions.len(), 3);
-        assert!(matches!(actions[0], Action::Send { to: NodeId(1), msg: 10 }));
+        assert!(matches!(
+            actions[0],
+            Action::Send {
+                to: NodeId(1),
+                msg: 10
+            }
+        ));
         assert!(matches!(
             actions[1],
-            Action::SetTimer { tag: 99, id: TimerId(0), .. }
+            Action::SetTimer {
+                tag: 99,
+                id: TimerId(0),
+                ..
+            }
         ));
         assert!(matches!(actions[2], Action::CancelTimer(TimerId(0))));
     }

@@ -277,10 +277,7 @@ mod tests {
     #[test]
     fn latency_matrix_lookup_and_fallback() {
         let (v, o, c) = sites();
-        let mut m = LatencyMatrix::new(
-            SimDuration::from_micros(250),
-            SimDuration::from_millis(50),
-        );
+        let mut m = LatencyMatrix::new(SimDuration::from_micros(250), SimDuration::from_millis(50));
         m.set_rtt(v, o, SimDuration::from_millis(90));
         assert_eq!(m.one_way(v, o), SimDuration::from_millis(45));
         assert_eq!(m.one_way(o, v), SimDuration::from_millis(45));

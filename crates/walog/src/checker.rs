@@ -16,12 +16,17 @@
 //!   transaction's read position, and no transaction serialized between the
 //!   transaction's read position and its commit position may have written
 //!   anything the transaction read ([`check_one_copy_serializability`]).
+//!
+//! The checker runs over the interned representation directly: items are
+//! compared as packed integers, and replica logs share their entries by
+//! `Arc`, so merging replicas' histories copies pointers, not transactions.
 
 use crate::entry::LogEntry;
 use crate::log::GroupLog;
 use crate::types::{ItemRef, LogPosition, TxnId};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// A violation of one of the correctness properties.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -104,7 +109,7 @@ impl fmt::Display for Violation {
 }
 
 /// Summary of a successful verification.
-#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CheckReport {
     /// Number of log positions examined.
     pub positions: usize,
@@ -122,11 +127,11 @@ pub struct CheckReport {
 /// Check property (R1): for every position decided by more than one replica,
 /// all replicas hold the same entry.
 pub fn check_replica_agreement(logs: &[&GroupLog]) -> Result<(), Violation> {
-    let mut seen: HashMap<LogPosition, &LogEntry> = HashMap::new();
+    let mut seen: HashMap<LogPosition, &Arc<LogEntry>> = HashMap::new();
     for log in logs {
         for (pos, entry) in log.iter() {
             match seen.get(&pos) {
-                Some(existing) if *existing != entry => {
+                Some(existing) if !Arc::ptr_eq(existing, entry) && ***existing != **entry => {
                     return Err(Violation::ReplicaDisagreement { position: pos })
                 }
                 Some(_) => {}
@@ -141,7 +146,8 @@ pub fn check_replica_agreement(logs: &[&GroupLog]) -> Result<(), Violation> {
 
 /// Merge several replicas' logs into one (they must already agree; see
 /// [`check_replica_agreement`]). The union covers positions any replica
-/// decided, which is the history `H` of Theorem 1.
+/// decided, which is the history `H` of Theorem 1. Entries are shared with
+/// the source logs, not copied.
 pub fn merged_log(logs: &[&GroupLog]) -> GroupLog {
     let mut merged = GroupLog::new();
     for log in logs {
@@ -149,7 +155,7 @@ pub fn merged_log(logs: &[&GroupLog]) -> GroupLog {
             // Agreement was checked by the caller; an install error here
             // means the caller skipped that step, which is a bug.
             merged
-                .install(pos, entry.clone())
+                .install(pos, Arc::clone(entry))
                 .expect("replica logs disagree; run check_replica_agreement first");
         }
     }
@@ -176,11 +182,14 @@ pub fn check_one_copy_serializability(log: &GroupLog) -> Result<CheckReport, Vio
         }
         // Writes performed by earlier transactions of this same entry: they
         // are serialized before later list members but share the position.
-        let mut intra_entry: HashMap<&ItemRef, (TxnId, &str)> = HashMap::new();
+        let mut intra_entry: HashMap<ItemRef, (TxnId, &str)> = HashMap::new();
         for txn in entry.transactions() {
             report.transactions += 1;
             if let Some(prev) = committed_at.insert(txn.id, pos) {
-                return Err(Violation::DuplicateCommit { txn: txn.id, positions: (prev, pos) });
+                return Err(Violation::DuplicateCommit {
+                    txn: txn.id,
+                    positions: (prev, pos),
+                });
             }
             if txn.read_position >= pos {
                 return Err(Violation::InvalidReadPosition {
@@ -189,13 +198,13 @@ pub fn check_one_copy_serializability(log: &GroupLog) -> Result<CheckReport, Vio
                     committed_at: pos,
                 });
             }
-            for read in &txn.reads {
+            for read in txn.reads() {
                 // Structural staleness: any write of this item serialized in
                 // (read_position, pos) or earlier in this entry is a violation.
                 if let Some((writer, _)) = intra_entry.get(&read.item) {
                     return Err(Violation::StaleRead {
                         txn: txn.id,
-                        item: read.item.clone(),
+                        item: read.item,
                         written_by: *writer,
                         at: pos,
                     });
@@ -208,7 +217,7 @@ pub fn check_one_copy_serializability(log: &GroupLog) -> Result<CheckReport, Vio
                     {
                         return Err(Violation::StaleRead {
                             txn: txn.id,
-                            item: read.item.clone(),
+                            item: read.item,
                             written_by: *writer,
                             at: *p,
                         });
@@ -226,22 +235,22 @@ pub fn check_one_copy_serializability(log: &GroupLog) -> Result<CheckReport, Vio
                 if expected != read.observed {
                     return Err(Violation::WrongObservedValue {
                         txn: txn.id,
-                        item: read.item.clone(),
+                        item: read.item,
                         expected,
                         observed: read.observed.clone(),
                     });
                 }
             }
-            for write in &txn.writes {
-                intra_entry.insert(&write.item, (txn.id, write.value.as_str()));
+            for write in txn.writes() {
+                intra_entry.insert(write.item, (txn.id, write.value.as_str()));
             }
             report.serial_order.push(txn.id);
         }
         // Fold this entry's writes into the version history, respecting list
         // order (later list members overwrite earlier ones at equal position).
         for txn in entry.transactions() {
-            for write in &txn.writes {
-                let history = versions.entry(write.item.clone()).or_default();
+            for write in txn.writes() {
+                let history = versions.entry(write.item).or_default();
                 // Remove any same-position earlier value for the item so the
                 // last writer in list order wins at this position.
                 if let Some(last) = history.last() {
@@ -283,30 +292,45 @@ pub fn collect_violations(logs: &[&GroupLog]) -> Vec<Violation> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ident::{AttrId, GroupId, KeyId};
     use crate::types::Transaction;
 
-    fn item(a: &str) -> ItemRef {
-        ItemRef::new("row", a)
+    fn item(a: u32) -> ItemRef {
+        ItemRef::new(KeyId(0), AttrId(a))
     }
 
-    fn write_txn(client: u32, seq: u64, read_pos: u64, attr: &str, value: &str) -> Transaction {
-        Transaction::builder(TxnId::new(client, seq), "g", LogPosition(read_pos))
+    // Attribute ids used by names in the original string-keyed tests.
+    const X: u32 = 0;
+    const Y: u32 = 1;
+    const Z: u32 = 2;
+
+    fn write_txn(client: u32, seq: u64, read_pos: u64, attr: u32, value: &str) -> Transaction {
+        Transaction::builder(TxnId::new(client, seq), GroupId(0), LogPosition(read_pos))
             .write(item(attr), value)
             .build()
+    }
+
+    fn single(txn: Transaction) -> Arc<LogEntry> {
+        Arc::new(LogEntry::single(txn))
     }
 
     #[test]
     fn replica_agreement_detects_divergence() {
         let mut a = GroupLog::new();
         let mut b = GroupLog::new();
-        a.install(LogPosition(1), LogEntry::single(write_txn(0, 1, 0, "x", "1"))).unwrap();
-        b.install(LogPosition(1), LogEntry::single(write_txn(0, 1, 0, "x", "1"))).unwrap();
+        a.install(LogPosition(1), single(write_txn(0, 1, 0, X, "1")))
+            .unwrap();
+        b.install(LogPosition(1), single(write_txn(0, 1, 0, X, "1")))
+            .unwrap();
         assert!(check_replica_agreement(&[&a, &b]).is_ok());
         let mut c = GroupLog::new();
-        c.install(LogPosition(1), LogEntry::single(write_txn(9, 9, 0, "x", "other"))).unwrap();
+        c.install(LogPosition(1), single(write_txn(9, 9, 0, X, "other")))
+            .unwrap();
         assert_eq!(
             check_replica_agreement(&[&a, &c]),
-            Err(Violation::ReplicaDisagreement { position: LogPosition(1) })
+            Err(Violation::ReplicaDisagreement {
+                position: LogPosition(1)
+            })
         );
     }
 
@@ -314,8 +338,10 @@ mod tests {
     fn merged_log_covers_union_of_positions() {
         let mut a = GroupLog::new();
         let mut b = GroupLog::new();
-        a.install(LogPosition(1), LogEntry::single(write_txn(0, 1, 0, "x", "1"))).unwrap();
-        b.install(LogPosition(2), LogEntry::single(write_txn(0, 2, 1, "x", "2"))).unwrap();
+        a.install(LogPosition(1), single(write_txn(0, 1, 0, X, "1")))
+            .unwrap();
+        b.install(LogPosition(2), single(write_txn(0, 2, 1, X, "2")))
+            .unwrap();
         let merged = merged_log(&[&a, &b]);
         assert_eq!(merged.len(), 2);
     }
@@ -323,13 +349,14 @@ mod tests {
     #[test]
     fn serial_history_with_correct_reads_passes() {
         let mut log = GroupLog::new();
-        log.install(LogPosition(1), LogEntry::single(write_txn(0, 1, 0, "x", "1"))).unwrap();
+        log.install(LogPosition(1), single(write_txn(0, 1, 0, X, "1")))
+            .unwrap();
         // Transaction reads x (value "1" as of position 1) and writes y.
-        let t2 = Transaction::builder(TxnId::new(1, 2), "g", LogPosition(1))
-            .read(item("x"), Some("1"))
-            .write(item("y"), "2")
+        let t2 = Transaction::builder(TxnId::new(1, 2), GroupId(0), LogPosition(1))
+            .read(item(X), Some("1"))
+            .write(item(Y), "2")
             .build();
-        log.install(LogPosition(2), LogEntry::single(t2)).unwrap();
+        log.install(LogPosition(2), single(t2)).unwrap();
         let report = check_one_copy_serializability(&log).unwrap();
         assert_eq!(report.transactions, 2);
         assert_eq!(report.positions, 2);
@@ -339,16 +366,18 @@ mod tests {
     #[test]
     fn stale_read_is_detected() {
         let mut log = GroupLog::new();
-        log.install(LogPosition(1), LogEntry::single(write_txn(0, 1, 0, "x", "1"))).unwrap();
+        log.install(LogPosition(1), single(write_txn(0, 1, 0, X, "1")))
+            .unwrap();
         // t2 commits at position 2 writing x.
-        log.install(LogPosition(2), LogEntry::single(write_txn(0, 2, 1, "x", "2"))).unwrap();
+        log.install(LogPosition(2), single(write_txn(0, 2, 1, X, "2")))
+            .unwrap();
         // t3 read x at read position 1 (observing "1") but commits at
         // position 3, after t2 overwrote x: stale.
-        let t3 = Transaction::builder(TxnId::new(1, 3), "g", LogPosition(1))
-            .read(item("x"), Some("1"))
-            .write(item("z"), "3")
+        let t3 = Transaction::builder(TxnId::new(1, 3), GroupId(0), LogPosition(1))
+            .read(item(X), Some("1"))
+            .write(item(Z), "3")
             .build();
-        log.install(LogPosition(3), LogEntry::single(t3)).unwrap();
+        log.install(LogPosition(3), single(t3)).unwrap();
         match check_one_copy_serializability(&log) {
             Err(Violation::StaleRead { txn, at, .. }) => {
                 assert_eq!(txn, TxnId::new(1, 3));
@@ -361,12 +390,13 @@ mod tests {
     #[test]
     fn wrong_observed_value_is_detected() {
         let mut log = GroupLog::new();
-        log.install(LogPosition(1), LogEntry::single(write_txn(0, 1, 0, "x", "1"))).unwrap();
-        let t2 = Transaction::builder(TxnId::new(1, 2), "g", LogPosition(1))
-            .read(item("x"), Some("not-1"))
-            .write(item("y"), "2")
+        log.install(LogPosition(1), single(write_txn(0, 1, 0, X, "1")))
+            .unwrap();
+        let t2 = Transaction::builder(TxnId::new(1, 2), GroupId(0), LogPosition(1))
+            .read(item(X), Some("not-1"))
+            .write(item(Y), "2")
             .build();
-        log.install(LogPosition(2), LogEntry::single(t2)).unwrap();
+        log.install(LogPosition(2), single(t2)).unwrap();
         assert!(matches!(
             check_one_copy_serializability(&log),
             Err(Violation::WrongObservedValue { .. })
@@ -376,22 +406,22 @@ mod tests {
     #[test]
     fn read_of_never_written_item_expects_none() {
         let mut log = GroupLog::new();
-        let t = Transaction::builder(TxnId::new(0, 1), "g", LogPosition(0))
-            .read(item("fresh"), None)
-            .write(item("fresh"), "1")
+        let t = Transaction::builder(TxnId::new(0, 1), GroupId(0), LogPosition(0))
+            .read(item(9), None)
+            .write(item(9), "1")
             .build();
-        log.install(LogPosition(1), LogEntry::single(t)).unwrap();
+        log.install(LogPosition(1), single(t)).unwrap();
         assert!(check_one_copy_serializability(&log).is_ok());
     }
 
     #[test]
     fn duplicate_commit_across_positions_is_detected() {
         let mut log = GroupLog::new();
-        let t = write_txn(0, 1, 0, "x", "1");
-        log.install(LogPosition(1), LogEntry::single(t.clone())).unwrap();
+        let t = write_txn(0, 1, 0, X, "1");
+        log.install(LogPosition(1), single(t.clone())).unwrap();
         let mut t_later = t;
         t_later.read_position = LogPosition(1);
-        log.install(LogPosition(2), LogEntry::single(t_later)).unwrap();
+        log.install(LogPosition(2), single(t_later)).unwrap();
         assert!(matches!(
             check_one_copy_serializability(&log),
             Err(Violation::DuplicateCommit { .. })
@@ -401,13 +431,17 @@ mod tests {
     #[test]
     fn combined_entry_with_internal_conflict_is_detected() {
         let mut log = GroupLog::new();
-        let writer = write_txn(0, 1, 0, "x", "1");
+        let writer = write_txn(0, 1, 0, X, "1");
         // Second list member reads x, which the first wrote: invalid combine.
-        let reader = Transaction::builder(TxnId::new(1, 2), "g", LogPosition(0))
-            .read(item("x"), None)
-            .write(item("y"), "2")
+        let reader = Transaction::builder(TxnId::new(1, 2), GroupId(0), LogPosition(0))
+            .read(item(X), None)
+            .write(item(Y), "2")
             .build();
-        log.install(LogPosition(1), LogEntry::combined(vec![writer, reader])).unwrap();
+        log.install(
+            LogPosition(1),
+            Arc::new(LogEntry::combined(vec![writer, reader])),
+        )
+        .unwrap();
         assert!(matches!(
             check_one_copy_serializability(&log),
             Err(Violation::StaleRead { .. })
@@ -417,10 +451,12 @@ mod tests {
     #[test]
     fn valid_combined_entry_passes_and_is_counted() {
         let mut log = GroupLog::new();
-        let a = write_txn(0, 1, 0, "x", "1");
-        let b = write_txn(1, 2, 0, "y", "2");
-        log.install(LogPosition(1), LogEntry::combined(vec![a, b])).unwrap();
-        log.install(LogPosition(2), LogEntry::noop()).unwrap();
+        let a = write_txn(0, 1, 0, X, "1");
+        let b = write_txn(1, 2, 0, Y, "2");
+        log.install(LogPosition(1), Arc::new(LogEntry::combined(vec![a, b])))
+            .unwrap();
+        log.install(LogPosition(2), Arc::new(LogEntry::noop()))
+            .unwrap();
         let report = check_one_copy_serializability(&log).unwrap();
         assert_eq!(report.combined_positions, 1);
         assert_eq!(report.noop_positions, 1);
@@ -430,8 +466,8 @@ mod tests {
     #[test]
     fn invalid_read_position_is_detected() {
         let mut log = GroupLog::new();
-        let t = write_txn(0, 1, 5, "x", "1"); // read position 5 >= commit position 1
-        log.install(LogPosition(1), LogEntry::single(t)).unwrap();
+        let t = write_txn(0, 1, 5, X, "1"); // read position 5 >= commit position 1
+        log.install(LogPosition(1), single(t)).unwrap();
         assert!(matches!(
             check_one_copy_serializability(&log),
             Err(Violation::InvalidReadPosition { .. })
@@ -442,9 +478,12 @@ mod tests {
     fn check_all_combines_agreement_and_serializability() {
         let mut a = GroupLog::new();
         let mut b = GroupLog::new();
-        a.install(LogPosition(1), LogEntry::single(write_txn(0, 1, 0, "x", "1"))).unwrap();
-        b.install(LogPosition(1), LogEntry::single(write_txn(0, 1, 0, "x", "1"))).unwrap();
-        b.install(LogPosition(2), LogEntry::single(write_txn(0, 2, 1, "y", "2"))).unwrap();
+        a.install(LogPosition(1), single(write_txn(0, 1, 0, X, "1")))
+            .unwrap();
+        b.install(LogPosition(1), single(write_txn(0, 1, 0, X, "1")))
+            .unwrap();
+        b.install(LogPosition(2), single(write_txn(0, 2, 1, Y, "2")))
+            .unwrap();
         let report = check_all(&[&a, &b]).unwrap();
         assert_eq!(report.positions, 2);
         assert!(collect_violations(&[&a, &b]).is_empty());
@@ -455,14 +494,15 @@ mod tests {
         // Two blind writers of the same item combined in one entry: the later
         // list member's value is what a subsequent reader must observe.
         let mut log = GroupLog::new();
-        let w1 = write_txn(0, 1, 0, "x", "first");
-        let w2 = write_txn(1, 2, 0, "x", "second");
-        log.install(LogPosition(1), LogEntry::combined(vec![w1, w2])).unwrap();
-        let reader = Transaction::builder(TxnId::new(2, 3), "g", LogPosition(1))
-            .read(item("x"), Some("second"))
-            .write(item("y"), "1")
+        let w1 = write_txn(0, 1, 0, X, "first");
+        let w2 = write_txn(1, 2, 0, X, "second");
+        log.install(LogPosition(1), Arc::new(LogEntry::combined(vec![w1, w2])))
+            .unwrap();
+        let reader = Transaction::builder(TxnId::new(2, 3), GroupId(0), LogPosition(1))
+            .read(item(X), Some("second"))
+            .write(item(Y), "1")
             .build();
-        log.install(LogPosition(2), LogEntry::single(reader)).unwrap();
+        log.install(LogPosition(2), single(reader)).unwrap();
         assert!(check_one_copy_serializability(&log).is_ok());
     }
 }

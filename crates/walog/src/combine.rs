@@ -11,6 +11,11 @@
 //! order, which is fine because contention keeps the candidate count tiny
 //! (two or three); for larger candidate sets it prescribes a greedy single
 //! pass. Both are implemented here and selected by a threshold.
+//!
+//! With interned items, every conflict edge evaluated by the search is a
+//! binary search of packed integers against a transaction's cached write
+//! set — the inner loop of the enhanced commit protocol runs without
+//! touching a string.
 
 use crate::types::Transaction;
 use std::collections::BTreeSet;
@@ -30,7 +35,8 @@ pub fn is_valid_combination(list: &[Transaction]) -> bool {
 
 /// Can `txn` be appended to `list` without invalidating its reads?
 pub fn can_append(list: &[Transaction], txn: &Transaction) -> bool {
-    list.iter().all(|earlier| !txn.reads_item_written_by(earlier))
+    list.iter()
+        .all(|earlier| !txn.reads_item_written_by(earlier))
 }
 
 /// Candidate-count threshold above which [`best_combination`] switches from
@@ -49,10 +55,7 @@ pub const EXHAUSTIVE_LIMIT: usize = 4;
 pub fn best_combination(own: &Transaction, candidates: &[Transaction]) -> Vec<Transaction> {
     let mut seen: BTreeSet<_> = BTreeSet::new();
     seen.insert(own.id);
-    let distinct: Vec<&Transaction> = candidates
-        .iter()
-        .filter(|c| seen.insert(c.id))
-        .collect();
+    let distinct: Vec<&Transaction> = candidates.iter().filter(|c| seen.insert(c.id)).collect();
 
     if distinct.len() <= EXHAUSTIVE_LIMIT {
         exhaustive(own, &distinct)
@@ -122,23 +125,28 @@ fn exhaustive(own: &Transaction, candidates: &[&Transaction]) -> Vec<Transaction
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ident::{AttrId, GroupId, KeyId};
     use crate::types::{ItemRef, LogPosition, TxnId};
 
-    fn txn(seq: u64, reads: &[&str], writes: &[&str]) -> Transaction {
-        let mut b = Transaction::builder(TxnId::new(0, seq), "g", LogPosition(0));
+    fn item(a: u32) -> ItemRef {
+        ItemRef::new(KeyId(0), AttrId(a))
+    }
+
+    fn txn(seq: u64, reads: &[u32], writes: &[u32]) -> Transaction {
+        let mut b = Transaction::builder(TxnId::new(0, seq), GroupId(0), LogPosition(0));
         for r in reads {
-            b = b.read(ItemRef::new("row", *r), Some("v"));
+            b = b.read(item(*r), Some("v"));
         }
         for w in writes {
-            b = b.write(ItemRef::new("row", *w), "x");
+            b = b.write(item(*w), "x");
         }
         b.build()
     }
 
     #[test]
     fn valid_combination_rejects_read_after_write() {
-        let w = txn(1, &[], &["a"]);
-        let r = txn(2, &["a"], &["b"]);
+        let w = txn(1, &[], &[0]);
+        let r = txn(2, &[0], &[1]);
         assert!(is_valid_combination(&[r.clone(), w.clone()]));
         assert!(!is_valid_combination(&[w.clone(), r.clone()]));
         assert!(is_valid_combination(&[]));
@@ -147,15 +155,15 @@ mod tests {
 
     #[test]
     fn can_append_checks_only_new_transaction_reads() {
-        let list = vec![txn(1, &[], &["a"]), txn(2, &[], &["b"])];
-        assert!(!can_append(&list, &txn(3, &["a"], &["c"])));
-        assert!(can_append(&list, &txn(4, &["z"], &["a"])));
+        let list = vec![txn(1, &[], &[0]), txn(2, &[], &[1])];
+        assert!(!can_append(&list, &txn(3, &[0], &[2])));
+        assert!(can_append(&list, &txn(4, &[25], &[0])));
     }
 
     #[test]
     fn combination_includes_all_disjoint_transactions() {
-        let own = txn(1, &["a"], &["a"]);
-        let cands = vec![txn(2, &["b"], &["b"]), txn(3, &["c"], &["c"])];
+        let own = txn(1, &[0], &[0]);
+        let cands = vec![txn(2, &[1], &[1]), txn(3, &[2], &[2])];
         let combo = best_combination(&own, &cands);
         assert_eq!(combo.len(), 3);
         assert!(combo.iter().any(|t| t.id == own.id));
@@ -164,9 +172,9 @@ mod tests {
 
     #[test]
     fn combination_orders_around_conflicts() {
-        // own reads "a"; candidate writes "a". Valid only with own first.
-        let own = txn(1, &["a"], &["z"]);
-        let cand = vec![txn(2, &[], &["a"])];
+        // own reads a0; candidate writes a0. Valid only with own first.
+        let own = txn(1, &[0], &[25]);
+        let cand = vec![txn(2, &[], &[0])];
         let combo = best_combination(&own, &cand);
         assert_eq!(combo.len(), 2);
         assert_eq!(combo[0].id, own.id);
@@ -175,10 +183,10 @@ mod tests {
 
     #[test]
     fn combination_drops_irreconcilable_conflicts() {
-        // own reads "a" and writes "a"; candidate reads "a" and writes "a".
+        // own reads a0 and writes a0; candidate reads a0 and writes a0.
         // Whichever goes second reads the other's write, so only one fits.
-        let own = txn(1, &["a"], &["a"]);
-        let cand = vec![txn(2, &["a"], &["a"])];
+        let own = txn(1, &[0], &[0]);
+        let cand = vec![txn(2, &[0], &[0])];
         let combo = best_combination(&own, &cand);
         assert_eq!(combo.len(), 1);
         assert_eq!(combo[0].id, own.id);
@@ -186,18 +194,19 @@ mod tests {
 
     #[test]
     fn duplicates_and_own_id_in_candidates_are_ignored() {
-        let own = txn(1, &["a"], &["a"]);
-        let cands = vec![own.clone(), txn(2, &["b"], &["b"]), txn(2, &["b"], &["b"])];
+        let own = txn(1, &[0], &[0]);
+        let cands = vec![own.clone(), txn(2, &[1], &[1]), txn(2, &[1], &[1])];
         let combo = best_combination(&own, &cands);
         assert_eq!(combo.len(), 2);
     }
 
     #[test]
     fn greedy_path_used_for_many_candidates() {
-        let own = txn(0, &["own"], &["own"]);
-        // 6 candidates (> EXHAUSTIVE_LIMIT), all mutually disjoint.
+        let own = txn(0, &[100], &[100]);
+        // 6 candidates (> EXHAUSTIVE_LIMIT), all mutually disjoint: candidate
+        // i reads attr i and writes attr 50+i.
         let cands: Vec<Transaction> = (1..=6)
-            .map(|i| txn(i, &[&format!("r{i}")], &[&format!("w{i}")]))
+            .map(|i| txn(i, &[i as u32], &[50 + i as u32]))
             .collect();
         let combo = best_combination(&own, &cands);
         assert_eq!(combo.len(), 7);
@@ -206,11 +215,11 @@ mod tests {
 
     #[test]
     fn exhaustive_beats_greedy_on_order_sensitive_input() {
-        // Candidate c1 writes "x"; candidate c2 reads "x". Greedy order
+        // Candidate c1 writes a7; candidate c2 reads a7. Greedy order
         // [own, c1, c2] would reject c2; exhaustive finds [own, c2, c1].
-        let own = txn(0, &["o"], &["o"]);
-        let c1 = txn(1, &[], &["x"]);
-        let c2 = txn(2, &["x"], &["y"]);
+        let own = txn(0, &[30], &[30]);
+        let c1 = txn(1, &[], &[7]);
+        let c2 = txn(2, &[7], &[8]);
         let combo = best_combination(&own, &[c1, c2]);
         assert_eq!(combo.len(), 3, "exhaustive search should fit all three");
         assert!(is_valid_combination(&combo));

@@ -5,36 +5,54 @@
 //! mutually non-conflicting transactions (§5), all of which commit at the
 //! same log position. Recovery proposes an explicit no-op entry to learn a
 //! position without adding work (§4.1, "Fault Tolerance and Recovery").
+//!
+//! Entries are immutable once constructed and are shared as
+//! `Arc<LogEntry>` across messages, votes, logs and install paths, so a
+//! decided value is deep-copied zero times no matter how many replicas
+//! learn it. Each entry caches the union of its transactions' write sets as
+//! a sorted packed-integer array; [`LogEntry::invalidates_reads_of`] — the
+//! test the promotion enhancement runs on every contended commit — is a
+//! binary search over it.
 
-use crate::types::{Transaction, TxnId};
-use serde::{Deserialize, Serialize};
+use crate::ident::{AttrId, GroupId, KeyId};
+use crate::types::{ItemRef, LogPosition, ReadRecord, Transaction, TxnId, WriteRecord};
 
 /// The value written to a single write-ahead-log position.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct LogEntry {
     transactions: Vec<Transaction>,
     /// True when this entry was proposed purely to learn/fill the position
     /// during recovery and carries no transactions.
     noop: bool,
+    /// Sorted, deduplicated union of the transactions' packed write sets.
+    write_items: Box<[u64]>,
+}
+
+fn union_write_items(transactions: &[Transaction]) -> Box<[u64]> {
+    crate::types::sorted_packed_set(
+        transactions
+            .iter()
+            .flat_map(|t| t.write_items().iter().copied())
+            .collect(),
+    )
 }
 
 impl LogEntry {
     /// An entry holding a single transaction (the only shape basic Paxos
     /// ever proposes).
     pub fn single(txn: Transaction) -> Self {
-        LogEntry {
-            transactions: vec![txn],
-            noop: false,
-        }
+        LogEntry::combined(vec![txn])
     }
 
     /// An entry holding an ordered list of transactions (Paxos-CP
     /// combination). The caller is responsible for having validated the
     /// list with [`crate::combine::is_valid_combination`].
     pub fn combined(transactions: Vec<Transaction>) -> Self {
+        let write_items = union_write_items(&transactions);
         LogEntry {
             transactions,
             noop: false,
+            write_items,
         }
     }
 
@@ -43,6 +61,7 @@ impl LogEntry {
         LogEntry {
             transactions: Vec::new(),
             noop: true,
+            write_items: Box::new([]),
         }
     }
 
@@ -76,14 +95,187 @@ impl LogEntry {
         self.transactions.iter().map(|t| t.id).collect()
     }
 
+    /// The union of the transactions' write sets, as sorted packed items.
+    pub fn write_items(&self) -> &[u64] {
+        &self.write_items
+    }
+
     /// Would a transaction with the given read set be invalidated by this
     /// entry? True when `txn` reads any item written by any transaction in
     /// this entry — the test used by the *promotion* enhancement to decide
     /// whether a loser may compete for the next position.
+    ///
+    /// Runs as a binary search per read over the entry's cached packed
+    /// write set: pure integer comparisons, no hashing, no allocation.
     pub fn invalidates_reads_of(&self, txn: &Transaction) -> bool {
-        self.transactions
+        if self.write_items.is_empty() {
+            return false;
+        }
+        txn.reads()
             .iter()
-            .any(|winner| txn.reads_item_written_by(winner))
+            .any(|r| self.write_items.binary_search(&r.item.packed()).is_ok())
+    }
+
+    /// Encode the entry for storage as a key-value attribute (the acceptor
+    /// persists its vote through `checkAndWrite`, §4). The format is a
+    /// compact ASCII token stream; thanks to interning, every field except
+    /// the observed/written values is an integer.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(32 + self.transactions.len() * 64);
+        out.push_str("LE1 ");
+        out.push_str(if self.noop { "1" } else { "0" });
+        push_num(&mut out, self.transactions.len() as u64);
+        for txn in &self.transactions {
+            push_num(&mut out, txn.id.client as u64);
+            push_num(&mut out, txn.id.seq);
+            push_num(&mut out, txn.group.0 as u64);
+            push_num(&mut out, txn.read_position.0);
+            push_num(&mut out, txn.reads().len() as u64);
+            for read in txn.reads() {
+                push_num(&mut out, read.item.key.0 as u64);
+                push_num(&mut out, read.item.attr.0 as u64);
+                match &read.observed {
+                    Some(value) => {
+                        out.push_str(" 1");
+                        push_str(&mut out, value);
+                    }
+                    None => out.push_str(" 0"),
+                }
+            }
+            push_num(&mut out, txn.writes().len() as u64);
+            for write in txn.writes() {
+                push_num(&mut out, write.item.key.0 as u64);
+                push_num(&mut out, write.item.attr.0 as u64);
+                push_str(&mut out, &write.value);
+            }
+        }
+        out
+    }
+
+    /// Decode an entry produced by [`LogEntry::encode`]; `None` for
+    /// malformed input.
+    pub fn decode(input: &str) -> Option<LogEntry> {
+        let mut cursor = Cursor::new(input);
+        cursor.expect_tag("LE1")?;
+        let noop = cursor.num()? == 1;
+        let ntxn = cursor.num()? as usize;
+        // Refuse absurd counts rather than attempting a huge allocation.
+        if ntxn > input.len() {
+            return None;
+        }
+        let mut transactions = Vec::with_capacity(ntxn);
+        for _ in 0..ntxn {
+            let client = u32::try_from(cursor.num()?).ok()?;
+            let seq = cursor.num()?;
+            let group = GroupId(u32::try_from(cursor.num()?).ok()?);
+            let read_position = LogPosition(cursor.num()?);
+            let nreads = cursor.num()? as usize;
+            if nreads > input.len() {
+                return None;
+            }
+            let mut reads = Vec::with_capacity(nreads);
+            for _ in 0..nreads {
+                let item = cursor.item()?;
+                let observed = match cursor.num()? {
+                    0 => None,
+                    1 => Some(cursor.string()?),
+                    _ => return None,
+                };
+                reads.push(ReadRecord { item, observed });
+            }
+            let nwrites = cursor.num()? as usize;
+            if nwrites > input.len() {
+                return None;
+            }
+            let mut writes = Vec::with_capacity(nwrites);
+            for _ in 0..nwrites {
+                let item = cursor.item()?;
+                let value = cursor.string()?;
+                writes.push(WriteRecord { item, value });
+            }
+            transactions.push(Transaction::new(
+                TxnId::new(client, seq),
+                group,
+                read_position,
+                reads,
+                writes,
+            ));
+        }
+        if !cursor.at_end() {
+            return None;
+        }
+        let mut entry = LogEntry::combined(transactions);
+        entry.noop = noop;
+        Some(entry)
+    }
+}
+
+fn push_num(out: &mut String, n: u64) {
+    out.push(' ');
+    out.push_str(&n.to_string());
+}
+
+/// Append a length-prefixed string (`len:bytes`), so values need no
+/// escaping.
+fn push_str(out: &mut String, s: &str) {
+    out.push(' ');
+    out.push_str(&s.len().to_string());
+    out.push(':');
+    out.push_str(s);
+}
+
+struct Cursor<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Self {
+        Cursor { rest: input }
+    }
+
+    fn expect_tag(&mut self, tag: &str) -> Option<()> {
+        self.rest = self.rest.strip_prefix(tag)?;
+        Some(())
+    }
+
+    fn skip_space(&mut self) -> Option<()> {
+        self.rest = self.rest.strip_prefix(' ')?;
+        Some(())
+    }
+
+    fn num(&mut self) -> Option<u64> {
+        self.skip_space()?;
+        let end = self
+            .rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return None;
+        }
+        let (digits, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        digits.parse().ok()
+    }
+
+    fn item(&mut self) -> Option<ItemRef> {
+        let key = KeyId(u32::try_from(self.num()?).ok()?);
+        let attr = AttrId(u32::try_from(self.num()?).ok()?);
+        Some(ItemRef::new(key, attr))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.num()? as usize;
+        self.rest = self.rest.strip_prefix(':')?;
+        if !self.rest.is_char_boundary(len) || self.rest.len() < len {
+            return None;
+        }
+        let (value, rest) = self.rest.split_at(len);
+        self.rest = rest;
+        Some(value.to_string())
+    }
+
+    fn at_end(&self) -> bool {
+        self.rest.is_empty()
     }
 }
 
@@ -96,30 +288,36 @@ impl From<Transaction> for LogEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ident::{AttrId, GroupId, KeyId};
     use crate::types::{ItemRef, LogPosition, Transaction, TxnId};
 
-    fn txn(seq: u64, reads: &[&str], writes: &[&str]) -> Transaction {
-        let mut b = Transaction::builder(TxnId::new(0, seq), "g", LogPosition(0));
+    fn item(a: u32) -> ItemRef {
+        ItemRef::new(KeyId(0), AttrId(a))
+    }
+
+    fn txn(seq: u64, reads: &[u32], writes: &[u32]) -> Transaction {
+        let mut b = Transaction::builder(TxnId::new(0, seq), GroupId(0), LogPosition(0));
         for r in reads {
-            b = b.read(ItemRef::new("row", *r), Some("v"));
+            b = b.read(item(*r), Some("v"));
         }
         for w in writes {
-            b = b.write(ItemRef::new("row", *w), "x");
+            b = b.write(item(*w), "x");
         }
         b.build()
     }
 
     #[test]
     fn single_and_combined_entries() {
-        let e = LogEntry::single(txn(1, &["a"], &["b"]));
+        let e = LogEntry::single(txn(1, &[0], &[1]));
         assert_eq!(e.len(), 1);
         assert!(!e.is_noop());
         assert!(e.contains(TxnId::new(0, 1)));
         assert!(!e.contains(TxnId::new(0, 2)));
 
-        let c = LogEntry::combined(vec![txn(1, &[], &["a"]), txn(2, &[], &["b"])]);
+        let c = LogEntry::combined(vec![txn(1, &[], &[0]), txn(2, &[], &[1])]);
         assert_eq!(c.len(), 2);
         assert_eq!(c.txn_ids(), vec![TxnId::new(0, 1), TxnId::new(0, 2)]);
+        assert_eq!(c.write_items(), &[item(0).packed(), item(1).packed()]);
     }
 
     #[test]
@@ -132,18 +330,56 @@ mod tests {
 
     #[test]
     fn invalidates_reads_detects_read_write_conflict() {
-        let winner = LogEntry::single(txn(1, &[], &["x"]));
-        let reads_x = txn(2, &["x"], &["y"]);
-        let reads_z = txn(3, &["z"], &["y"]);
-        assert!(winner.invalidates_reads_of(&reads_x));
-        assert!(!winner.invalidates_reads_of(&reads_z));
+        let winner = LogEntry::single(txn(1, &[], &[7]));
+        let reads_7 = txn(2, &[7], &[8]);
+        let reads_9 = txn(3, &[9], &[8]);
+        assert!(winner.invalidates_reads_of(&reads_7));
+        assert!(!winner.invalidates_reads_of(&reads_9));
         // A no-op entry never invalidates anything.
-        assert!(!LogEntry::noop().invalidates_reads_of(&reads_x));
+        assert!(!LogEntry::noop().invalidates_reads_of(&reads_7));
     }
 
     #[test]
     fn from_transaction_builds_single_entry() {
-        let e: LogEntry = txn(5, &[], &["a"]).into();
+        let e: LogEntry = txn(5, &[], &[0]).into();
         assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn codec_round_trips_entries() {
+        let cases = vec![
+            LogEntry::noop(),
+            LogEntry::single(txn(1, &[0, 1], &[2])),
+            LogEntry::combined(vec![txn(1, &[], &[0]), txn(9, &[3], &[1, 2])]),
+        ];
+        for entry in cases {
+            let encoded = entry.encode();
+            let decoded = LogEntry::decode(&encoded).expect("round trip");
+            assert_eq!(decoded, entry, "failed for {encoded:?}");
+        }
+    }
+
+    #[test]
+    fn codec_preserves_values_with_spaces_and_unicode() {
+        let t = Transaction::builder(TxnId::new(3, 4), GroupId(7), LogPosition(2))
+            .read(item(0), Some("hello world 1:2 3"))
+            .read(item(1), None)
+            .write(item(2), "värde : med 空白")
+            .build();
+        let entry = LogEntry::single(t);
+        assert_eq!(LogEntry::decode(&entry.encode()), Some(entry));
+    }
+
+    #[test]
+    fn codec_rejects_malformed_input() {
+        assert_eq!(LogEntry::decode(""), None);
+        assert_eq!(LogEntry::decode("garbage"), None);
+        assert_eq!(LogEntry::decode("LE1 0"), None);
+        assert_eq!(LogEntry::decode("LE1 0 1 1"), None);
+        // Truncated netstring.
+        assert_eq!(LogEntry::decode("LE1 0 1 0 1 0 0 0 1 0 0 10:short"), None);
+        // Trailing garbage.
+        let valid = LogEntry::noop().encode();
+        assert_eq!(LogEntry::decode(&format!("{valid} extra")), None);
     }
 }

@@ -14,13 +14,20 @@
 //! plus the read rules **(A1)** (read-your-writes) and **(A2)** (all reads
 //! of a transaction are served at a single read position).
 //!
-//! This crate provides the vocabulary types ([`Transaction`], [`LogEntry`],
-//! [`LogPosition`], [`GroupLog`]), the conflict relations used by the
-//! Paxos-CP *combination* and *promotion* enhancements, and an offline
-//! [`checker`] that verifies one-copy serializability (Definition 1) and
-//! replica agreement over the logs produced by a simulation — the same
-//! obligations the paper discharges by proof, discharged here by exhaustive
-//! checking on every experiment run.
+//! This crate provides the interned identifier plane ([`ident`]: the
+//! cluster-wide [`SymbolTable`] mapping group/key/attribute names to dense
+//! `Copy` ids), the vocabulary types built on it ([`Transaction`],
+//! [`LogEntry`], [`LogPosition`], [`GroupLog`]), the conflict relations used
+//! by the Paxos-CP *combination* and *promotion* enhancements (integer-set
+//! intersections over cached packed write sets), and an offline [`checker`]
+//! that verifies one-copy serializability (Definition 1) and replica
+//! agreement over the logs produced by a simulation — the same obligations
+//! the paper discharges by proof, discharged here by exhaustive checking on
+//! every experiment run.
+//!
+//! Decided log values are shared as `Arc<LogEntry>` across messages, votes,
+//! replica logs and install paths: one allocation per decided value, no
+//! matter how many replicas learn it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,9 +35,11 @@
 pub mod checker;
 pub mod combine;
 mod entry;
+pub mod ident;
 mod log;
 mod types;
 
 pub use entry::LogEntry;
+pub use ident::{AttrId, GroupId, KeyId, SymbolTable};
 pub use log::{GroupLog, LogError};
-pub use types::{GroupKey, ItemRef, LogPosition, ReadRecord, Transaction, TxnId, WriteRecord};
+pub use types::{ItemRef, LogPosition, ReadRecord, Transaction, TxnId, WriteRecord};

@@ -2,9 +2,9 @@
 
 use crate::entry::LogEntry;
 use crate::types::LogPosition;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised by log maintenance.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,7 +22,10 @@ impl fmt::Display for LogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LogError::ConflictingEntry { position } => {
-                write!(f, "conflicting entry for already-decided log position {position}")
+                write!(
+                    f,
+                    "conflicting entry for already-decided log position {position}"
+                )
             }
         }
     }
@@ -32,14 +35,18 @@ impl std::error::Error for LogError {}
 
 /// One replica's write-ahead log for one transaction group.
 ///
+/// Entries are held as `Arc<LogEntry>`: a decided value is shared between
+/// the Paxos messages that carried it, every replica's log, and the
+/// checker's merged history without ever being deep-cloned.
+///
 /// Entries may be installed out of order (a replica can miss Paxos messages
 /// and learn later positions first); the log tracks both the highest decided
 /// position and the highest position up to which the prefix is gap-free,
 /// plus an *applied* cursor recording how far entries have been flushed into
 /// the local key-value store.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct GroupLog {
-    entries: BTreeMap<LogPosition, LogEntry>,
+    entries: BTreeMap<LogPosition, Arc<LogEntry>>,
     applied_through: LogPosition,
 }
 
@@ -51,11 +58,18 @@ impl GroupLog {
 
     /// Install `entry` at `position` (idempotent). Installing a *different*
     /// entry at a decided position is an (R1) violation and returns an error.
-    pub fn install(&mut self, position: LogPosition, entry: LogEntry) -> Result<(), LogError> {
+    pub fn install(&mut self, position: LogPosition, entry: Arc<LogEntry>) -> Result<(), LogError> {
         debug_assert!(position > LogPosition::ZERO, "log positions start at 1");
         match self.entries.get(&position) {
-            Some(existing) if *existing != entry => Err(LogError::ConflictingEntry { position }),
-            Some(_) => Ok(()),
+            Some(existing) => {
+                // Same shared allocation (the common case once a value is
+                // decided) or structurally equal: idempotent re-install.
+                if Arc::ptr_eq(existing, &entry) || **existing == *entry {
+                    Ok(())
+                } else {
+                    Err(LogError::ConflictingEntry { position })
+                }
+            }
             None => {
                 self.entries.insert(position, entry);
                 Ok(())
@@ -64,7 +78,7 @@ impl GroupLog {
     }
 
     /// The entry at `position`, if decided locally.
-    pub fn get(&self, position: LogPosition) -> Option<&LogEntry> {
+    pub fn get(&self, position: LogPosition) -> Option<&Arc<LogEntry>> {
         self.entries.get(&position)
     }
 
@@ -107,7 +121,7 @@ impl GroupLog {
     }
 
     /// Iterate decided entries in position order.
-    pub fn iter(&self) -> impl Iterator<Item = (LogPosition, &LogEntry)> {
+    pub fn iter(&self) -> impl Iterator<Item = (LogPosition, &Arc<LogEntry>)> {
         self.entries.iter().map(|(p, e)| (*p, e))
     }
 
@@ -140,12 +154,12 @@ impl GroupLog {
     pub fn unapplied_range(
         &self,
         through: LogPosition,
-    ) -> Option<Vec<(LogPosition, &LogEntry)>> {
+    ) -> Option<Vec<(LogPosition, Arc<LogEntry>)>> {
         let mut out = Vec::new();
         let mut pos = self.applied_through.next();
         while pos <= through {
             match self.entries.get(&pos) {
-                Some(e) => out.push((pos, e)),
+                Some(e) => out.push((pos, Arc::clone(e))),
                 None => return None,
             }
             pos = pos.next();
@@ -162,23 +176,33 @@ impl GroupLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ident::{AttrId, GroupId, KeyId};
     use crate::types::{ItemRef, Transaction, TxnId};
 
-    fn entry(seq: u64) -> LogEntry {
-        LogEntry::single(
-            Transaction::builder(TxnId::new(0, seq), "g", LogPosition(0))
-                .write(ItemRef::new("row", "a"), seq.to_string())
+    fn entry(seq: u64) -> Arc<LogEntry> {
+        Arc::new(LogEntry::single(
+            Transaction::builder(TxnId::new(0, seq), GroupId(0), LogPosition(0))
+                .write(ItemRef::new(KeyId(0), AttrId(0)), seq.to_string())
                 .build(),
-        )
+        ))
     }
 
     #[test]
     fn install_is_idempotent_but_rejects_conflicts() {
         let mut log = GroupLog::new();
-        log.install(LogPosition(1), entry(1)).unwrap();
+        let e1 = entry(1);
+        log.install(LogPosition(1), Arc::clone(&e1)).unwrap();
+        // Same Arc and a structurally equal but distinct allocation are both
+        // accepted.
+        log.install(LogPosition(1), e1).unwrap();
         log.install(LogPosition(1), entry(1)).unwrap();
         let err = log.install(LogPosition(1), entry(2)).unwrap_err();
-        assert_eq!(err, LogError::ConflictingEntry { position: LogPosition(1) });
+        assert_eq!(
+            err,
+            LogError::ConflictingEntry {
+                position: LogPosition(1)
+            }
+        );
         assert_eq!(log.len(), 1);
     }
 
@@ -224,17 +248,18 @@ mod tests {
         log.install(LogPosition(1), entry(1)).unwrap();
         log.install(
             LogPosition(2),
-            LogEntry::combined(vec![
-                Transaction::builder(TxnId::new(0, 10), "g", LogPosition(1))
-                    .write(ItemRef::new("row", "b"), "1")
+            Arc::new(LogEntry::combined(vec![
+                Transaction::builder(TxnId::new(0, 10), GroupId(0), LogPosition(1))
+                    .write(ItemRef::new(KeyId(0), AttrId(1)), "1")
                     .build(),
-                Transaction::builder(TxnId::new(1, 11), "g", LogPosition(1))
-                    .write(ItemRef::new("row", "c"), "2")
+                Transaction::builder(TxnId::new(1, 11), GroupId(0), LogPosition(1))
+                    .write(ItemRef::new(KeyId(0), AttrId(2)), "2")
                     .build(),
-            ]),
+            ])),
         )
         .unwrap();
-        log.install(LogPosition(3), LogEntry::noop()).unwrap();
+        log.install(LogPosition(3), Arc::new(LogEntry::noop()))
+            .unwrap();
         assert_eq!(log.committed_transaction_count(), 3);
     }
 }

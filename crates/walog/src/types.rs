@@ -1,22 +1,22 @@
 //! Vocabulary types: log positions, transaction identifiers, read/write sets.
+//!
+//! Every name in these types is an interned id (see [`crate::ident`]):
+//! [`ItemRef`] is a `Copy` pair of integers, and each [`Transaction`] caches
+//! its deduplicated write set as a sorted array of packed `u64` items, so
+//! the conflict relations the Paxos-CP enhancements evaluate on every
+//! contended commit are integer-set intersections — no string hashing, no
+//! allocation.
 
-use serde::{Deserialize, Serialize};
+use crate::ident::{AttrId, GroupId, KeyId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-
-/// Key of a transaction group: the unit of transactional access and of
-/// write-ahead-log replication (§2.1). Every data item belongs to exactly
-/// one group.
-pub type GroupKey = String;
 
 /// Position in a transaction group's write-ahead log.
 ///
 /// Positions are numbered from 1; position 0 denotes the empty log prefix
 /// ("no transaction committed yet") and is used as the read position of the
 /// very first transaction.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LogPosition(pub u64);
 
 impl LogPosition {
@@ -54,9 +54,7 @@ impl fmt::Display for LogPosition {
 
 /// Globally unique transaction identifier: the issuing client plus a
 /// client-local sequence number.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TxnId {
     /// Issuing transaction client (node id in the simulation).
     pub client: u32,
@@ -77,25 +75,37 @@ impl fmt::Display for TxnId {
     }
 }
 
-/// A reference to a data item: a row key plus an attribute (column) name.
-/// The paper's evaluation uses a single row with many attributes, so
-/// conflicts are attribute-granular.
-#[derive(
-    Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+/// A reference to a data item: an interned row key plus an interned
+/// attribute (column). The paper's evaluation uses a single row with many
+/// attributes, so conflicts are attribute-granular.
+///
+/// `ItemRef` is `Copy` and packs into a single `u64`
+/// ([`ItemRef::packed`]), which is what the conflict relations compare.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ItemRef {
     /// Row key within the transaction group.
-    pub key: String,
-    /// Attribute (column) name.
-    pub attr: String,
+    pub key: KeyId,
+    /// Attribute (column) id.
+    pub attr: AttrId,
 }
 
 impl ItemRef {
     /// Construct an item reference.
-    pub fn new(key: impl Into<String>, attr: impl Into<String>) -> Self {
+    pub fn new(key: KeyId, attr: AttrId) -> Self {
+        ItemRef { key, attr }
+    }
+
+    /// The item as a single integer (key in the high half, attribute in the
+    /// low half); the representation conflict checks intersect on.
+    pub fn packed(self) -> u64 {
+        ((self.key.0 as u64) << 32) | self.attr.0 as u64
+    }
+
+    /// Inverse of [`ItemRef::packed`].
+    pub fn from_packed(packed: u64) -> Self {
         ItemRef {
-            key: key.into(),
-            attr: attr.into(),
+            key: KeyId((packed >> 32) as u32),
+            attr: AttrId(packed as u32),
         }
     }
 }
@@ -108,7 +118,7 @@ impl fmt::Display for ItemRef {
 
 /// One read performed by a transaction, with the value it observed (used by
 /// the offline serializability checker to validate reads-from relations).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ReadRecord {
     /// The item that was read.
     pub item: ItemRef,
@@ -118,7 +128,7 @@ pub struct ReadRecord {
 }
 
 /// One write performed by a transaction.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct WriteRecord {
     /// The item written.
     pub item: ItemRef,
@@ -132,50 +142,115 @@ pub struct WriteRecord {
 ///
 /// Read-only transactions never enter the log (§3.2) and are therefore not
 /// represented by this type.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+///
+/// Construct via [`Transaction::new`] or [`Transaction::builder`]; both
+/// finalize the cached sorted write set the conflict relations use.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Transaction {
     /// Unique transaction identifier.
     pub id: TxnId,
     /// The transaction group this transaction operated on.
-    pub group: GroupKey,
+    pub group: GroupId,
     /// The log position whose prefix every read observed (A2).
     pub read_position: LogPosition,
-    /// Reads performed, in program order.
-    pub reads: Vec<ReadRecord>,
-    /// Writes to be installed at the commit position.
-    pub writes: Vec<WriteRecord>,
+    /// Reads performed, in program order. Private so the cached write set
+    /// below can never desynchronize; read via [`Transaction::reads`].
+    reads: Vec<ReadRecord>,
+    /// Writes to be installed at the commit position. Private for the same
+    /// reason; read via [`Transaction::writes`].
+    writes: Vec<WriteRecord>,
+    /// Deduplicated write set as sorted packed items — the integer-set
+    /// representation conflict checks intersect on. Derived from `writes`
+    /// at construction; immutability of `writes` keeps it exact.
+    write_items: Box<[u64]>,
+}
+
+/// Canonical packed-item set representation: sorted and deduplicated, ready
+/// for binary search. The single construction point for both the
+/// per-transaction and per-entry caches, so the invariant lives in one
+/// place.
+pub(crate) fn sorted_packed_set(mut items: Vec<u64>) -> Box<[u64]> {
+    items.sort_unstable();
+    items.dedup();
+    items.into_boxed_slice()
+}
+
+/// Build the packed write set of a write list.
+fn packed_write_set(writes: &[WriteRecord]) -> Box<[u64]> {
+    sorted_packed_set(writes.iter().map(|w| w.item.packed()).collect())
 }
 
 impl Transaction {
-    /// Start building a transaction.
-    pub fn builder(id: TxnId, group: impl Into<GroupKey>, read_position: LogPosition) -> TransactionBuilder {
-        TransactionBuilder {
-            txn: Transaction {
-                id,
-                group: group.into(),
-                read_position,
-                reads: Vec::new(),
-                writes: Vec::new(),
-            },
+    /// Construct a transaction from its recorded reads and writes.
+    pub fn new(
+        id: TxnId,
+        group: GroupId,
+        read_position: LogPosition,
+        reads: Vec<ReadRecord>,
+        writes: Vec<WriteRecord>,
+    ) -> Self {
+        let write_items = packed_write_set(&writes);
+        Transaction {
+            id,
+            group,
+            read_position,
+            reads,
+            writes,
+            write_items,
         }
     }
 
+    /// Start building a transaction.
+    pub fn builder(id: TxnId, group: GroupId, read_position: LogPosition) -> TransactionBuilder {
+        TransactionBuilder {
+            id,
+            group,
+            read_position,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    /// The reads performed, in program order.
+    pub fn reads(&self) -> &[ReadRecord] {
+        &self.reads
+    }
+
+    /// The writes to install at the commit position, in program order.
+    pub fn writes(&self) -> &[WriteRecord] {
+        &self.writes
+    }
+
+    /// The deduplicated write set as sorted packed items.
+    pub fn write_items(&self) -> &[u64] {
+        &self.write_items
+    }
+
+    /// Whether this transaction writes `item` (binary search over the packed
+    /// write set).
+    pub fn writes_item(&self, item: ItemRef) -> bool {
+        self.write_items.binary_search(&item.packed()).is_ok()
+    }
+
     /// The set of items read (deduplicated).
-    pub fn read_set(&self) -> BTreeSet<&ItemRef> {
-        self.reads.iter().map(|r| &r.item).collect()
+    pub fn read_set(&self) -> BTreeSet<ItemRef> {
+        self.reads.iter().map(|r| r.item).collect()
     }
 
     /// The set of items written (deduplicated, last write wins is irrelevant
     /// for conflict analysis).
-    pub fn write_set(&self) -> BTreeSet<&ItemRef> {
-        self.writes.iter().map(|w| &w.item).collect()
+    pub fn write_set(&self) -> BTreeSet<ItemRef> {
+        self.write_items
+            .iter()
+            .map(|p| ItemRef::from_packed(*p))
+            .collect()
     }
 
     /// The final value written per item (last write in program order wins).
-    pub fn final_writes(&self) -> BTreeMap<&ItemRef, &str> {
+    pub fn final_writes(&self) -> BTreeMap<ItemRef, &str> {
         let mut map = BTreeMap::new();
         for w in &self.writes {
-            map.insert(&w.item, w.value.as_str());
+            map.insert(w.item, w.value.as_str());
         }
         map
     }
@@ -193,28 +268,43 @@ impl Transaction {
     /// `self`'s read position but before `self`, then `self`'s reads are
     /// stale and it cannot be combined with or promoted past `other`.
     pub fn reads_item_written_by(&self, other: &Transaction) -> bool {
-        let writes = other.write_set();
-        self.reads.iter().any(|r| writes.contains(&r.item))
+        if other.write_items.is_empty() {
+            return false;
+        }
+        self.reads.iter().any(|r| other.writes_item(r.item))
     }
 
     /// Does this transaction write any item that `other` also writes?
     /// Not a correctness obstacle in the paper's model (blind writes at the
     /// same position are ordered by list order), but useful for analysis.
     pub fn writes_overlap(&self, other: &Transaction) -> bool {
-        let writes = other.write_set();
-        self.writes.iter().any(|w| writes.contains(&w.item))
+        // Sorted-merge intersection over the two packed write sets.
+        let (mut a, mut b) = (self.write_items.iter(), other.write_items.iter());
+        let (mut x, mut y) = (a.next(), b.next());
+        while let (Some(va), Some(vb)) = (x, y) {
+            match va.cmp(vb) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => x = a.next(),
+                std::cmp::Ordering::Greater => y = b.next(),
+            }
+        }
+        false
     }
 }
 
 /// Builder for [`Transaction`].
 pub struct TransactionBuilder {
-    txn: Transaction,
+    id: TxnId,
+    group: GroupId,
+    read_position: LogPosition,
+    reads: Vec<ReadRecord>,
+    writes: Vec<WriteRecord>,
 }
 
 impl TransactionBuilder {
     /// Record a read of `item` observing `observed`.
     pub fn read(mut self, item: ItemRef, observed: Option<&str>) -> Self {
-        self.txn.reads.push(ReadRecord {
+        self.reads.push(ReadRecord {
             item,
             observed: observed.map(str::to_owned),
         });
@@ -223,7 +313,7 @@ impl TransactionBuilder {
 
     /// Record a write of `value` to `item`.
     pub fn write(mut self, item: ItemRef, value: impl Into<String>) -> Self {
-        self.txn.writes.push(WriteRecord {
+        self.writes.push(WriteRecord {
             item,
             value: value.into(),
         });
@@ -232,25 +322,32 @@ impl TransactionBuilder {
 
     /// Finish building.
     pub fn build(self) -> Transaction {
-        self.txn
+        Transaction::new(
+            self.id,
+            self.group,
+            self.read_position,
+            self.reads,
+            self.writes,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ident::{AttrId, GroupId, KeyId};
 
-    fn item(a: &str) -> ItemRef {
-        ItemRef::new("row", a)
+    fn item(a: u32) -> ItemRef {
+        ItemRef::new(KeyId(0), AttrId(a))
     }
 
-    fn txn(id: u64, reads: &[&str], writes: &[&str]) -> Transaction {
-        let mut b = Transaction::builder(TxnId::new(1, id), "g", LogPosition(0));
+    fn txn(id: u64, reads: &[u32], writes: &[u32]) -> Transaction {
+        let mut b = Transaction::builder(TxnId::new(1, id), GroupId(0), LogPosition(0));
         for r in reads {
-            b = b.read(item(r), Some("v"));
+            b = b.read(item(*r), Some("v"));
         }
         for w in writes {
-            b = b.write(item(w), "x");
+            b = b.write(item(*w), "x");
         }
         b.build()
     }
@@ -266,18 +363,30 @@ mod tests {
 
     #[test]
     fn read_write_sets_deduplicate() {
-        let t = txn(1, &["a", "a", "b"], &["c", "c"]);
+        let t = txn(1, &[0, 0, 1], &[2, 2]);
         assert_eq!(t.read_set().len(), 2);
         assert_eq!(t.write_set().len(), 1);
+        assert_eq!(t.write_items().len(), 1);
         assert!(t.is_read_write());
-        assert!(!txn(2, &["a"], &[]).is_read_write());
+        assert!(!txn(2, &[0], &[]).is_read_write());
+    }
+
+    #[test]
+    fn packed_item_round_trips() {
+        let i = ItemRef::new(KeyId(7), AttrId(9));
+        assert_eq!(ItemRef::from_packed(i.packed()), i);
+        // Key occupies the high half: distinct keys with equal attrs differ.
+        assert_ne!(
+            ItemRef::new(KeyId(1), AttrId(0)).packed(),
+            ItemRef::new(KeyId(0), AttrId(1)).packed()
+        );
     }
 
     #[test]
     fn final_writes_takes_last_value() {
-        let t = Transaction::builder(TxnId::new(1, 1), "g", LogPosition(0))
-            .write(item("a"), "first")
-            .write(item("a"), "second")
+        let t = Transaction::builder(TxnId::new(1, 1), GroupId(0), LogPosition(0))
+            .write(item(0), "first")
+            .write(item(0), "second")
             .build();
         let finals = t.final_writes();
         assert_eq!(finals.len(), 1);
@@ -286,21 +395,32 @@ mod tests {
 
     #[test]
     fn conflict_relations() {
-        let reader = txn(1, &["a", "b"], &["z"]);
-        let writer = txn(2, &[], &["b"]);
-        let disjoint = txn(3, &["q"], &["r"]);
+        let reader = txn(1, &[0, 1], &[25]);
+        let writer = txn(2, &[], &[1]);
+        let disjoint = txn(3, &[16], &[17]);
         assert!(reader.reads_item_written_by(&writer));
         assert!(!writer.reads_item_written_by(&reader));
         assert!(!reader.reads_item_written_by(&disjoint));
-        let other_writer = txn(4, &[], &["z"]);
+        let other_writer = txn(4, &[], &[25]);
         assert!(reader.writes_overlap(&other_writer));
         assert!(!reader.writes_overlap(&writer));
+    }
+
+    #[test]
+    fn writes_item_uses_the_cached_set() {
+        let t = txn(1, &[], &[3, 1, 2, 1]);
+        assert_eq!(
+            t.write_items(),
+            &[item(1).packed(), item(2).packed(), item(3).packed()]
+        );
+        assert!(t.writes_item(item(2)));
+        assert!(!t.writes_item(item(9)));
     }
 
     #[test]
     fn txn_id_display_and_ordering() {
         assert_eq!(format!("{}", TxnId::new(3, 9)), "c3t9");
         assert!(TxnId::new(1, 2) < TxnId::new(2, 0));
-        assert_eq!(format!("{}", ItemRef::new("row", "a7")), "row.a7");
+        assert_eq!(format!("{}", ItemRef::new(KeyId(0), AttrId(7))), "k0.a7");
     }
 }

@@ -1,9 +1,15 @@
 //! Property tests for the combination logic and the serializability checker.
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use walog::checker::{check_one_copy_serializability, Violation};
 use walog::combine::{best_combination, can_append, is_valid_combination};
+use walog::ident::{AttrId, GroupId, KeyId};
 use walog::{GroupLog, ItemRef, LogEntry, LogPosition, Transaction, TxnId};
+
+fn item(a: u32) -> ItemRef {
+    ItemRef::new(KeyId(0), AttrId(a))
+}
 
 /// Strategy producing a transaction over a small attribute universe.
 fn txn_strategy(client: u32, seq: u64) -> impl Strategy<Value = Transaction> {
@@ -12,12 +18,12 @@ fn txn_strategy(client: u32, seq: u64) -> impl Strategy<Value = Transaction> {
         proptest::collection::btree_set(0u8..6, 1..3),
     )
         .prop_map(move |(reads, writes)| {
-            let mut b = Transaction::builder(TxnId::new(client, seq), "g", LogPosition(0));
+            let mut b = Transaction::builder(TxnId::new(client, seq), GroupId(0), LogPosition(0));
             for r in reads {
-                b = b.read(ItemRef::new("row", format!("a{r}")), Some("v"));
+                b = b.read(item(r as u32), Some("v"));
             }
             for w in writes {
-                b = b.write(ItemRef::new("row", format!("a{w}")), "x");
+                b = b.write(item(w as u32), "x");
             }
             b.build()
         })
@@ -76,12 +82,12 @@ proptest! {
             let txns: Vec<Transaction> = (0..*size)
                 .map(|j| {
                     seq += 1;
-                    Transaction::builder(TxnId::new(j as u32, seq), "g", pos.prev())
-                        .write(ItemRef::new("row", format!("a{}", seq % 5)), seq.to_string())
+                    Transaction::builder(TxnId::new(j as u32, seq), GroupId(0), pos.prev())
+                        .write(item((seq % 5) as u32), seq.to_string())
                         .build()
                 })
                 .collect();
-            log.install(pos, LogEntry::combined(txns)).unwrap();
+            log.install(pos, Arc::new(LogEntry::combined(txns))).unwrap();
         }
         prop_assert!(check_one_copy_serializability(&log).is_ok());
     }
@@ -91,15 +97,15 @@ proptest! {
     #[test]
     fn tampered_observation_is_always_caught(real in 1u64..50, fake in 51u64..100) {
         let mut log = GroupLog::new();
-        let writer = Transaction::builder(TxnId::new(0, 1), "g", LogPosition(0))
-            .write(ItemRef::new("row", "x"), real.to_string())
+        let writer = Transaction::builder(TxnId::new(0, 1), GroupId(0), LogPosition(0))
+            .write(item(0), real.to_string())
             .build();
-        log.install(LogPosition(1), LogEntry::single(writer)).unwrap();
-        let reader = Transaction::builder(TxnId::new(1, 2), "g", LogPosition(1))
-            .read(ItemRef::new("row", "x"), Some(&fake.to_string()))
-            .write(ItemRef::new("row", "y"), "1")
+        log.install(LogPosition(1), Arc::new(LogEntry::single(writer))).unwrap();
+        let reader = Transaction::builder(TxnId::new(1, 2), GroupId(0), LogPosition(1))
+            .read(item(0), Some(&fake.to_string()))
+            .write(item(1), "1")
             .build();
-        log.install(LogPosition(2), LogEntry::single(reader)).unwrap();
+        log.install(LogPosition(2), Arc::new(LogEntry::single(reader))).unwrap();
         let tampered_caught = matches!(
             check_one_copy_serializability(&log),
             Err(Violation::WrongObservedValue { .. })

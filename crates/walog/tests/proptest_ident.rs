@@ -1,0 +1,198 @@
+//! Property tests for the interner and a regression test pinning down that
+//! the serializability checker's verdict depends only on the *structure* of
+//! a history, not on which concrete ids the interner assigned — i.e. an
+//! interned log is judged exactly like its string-keyed equivalent was.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use walog::checker::{check_all, check_one_copy_serializability};
+use walog::{GroupLog, LogEntry, LogPosition, SymbolTable, Transaction, TxnId};
+
+/// Strategy for short printable names.
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..36, 1..8).prop_map(|chars| {
+        chars
+            .into_iter()
+            .map(|c| {
+                if c < 26 {
+                    (b'a' + c) as char
+                } else {
+                    (b'0' + c - 26) as char
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// intern → resolve is the identity, interning is idempotent, and
+    /// distinct names get distinct ids — for all three namespaces.
+    #[test]
+    fn intern_resolve_round_trips(names in proptest::collection::vec(name_strategy(), 1..20)) {
+        let table = SymbolTable::new();
+        for name in &names {
+            let g = table.group(name);
+            let k = table.key(name);
+            let a = table.attr(name);
+            prop_assert_eq!(table.group(name), g, "group interning must be idempotent");
+            prop_assert_eq!(table.key(name), k);
+            prop_assert_eq!(table.attr(name), a);
+            prop_assert_eq!(table.group_name(g).as_deref(), Some(name.as_str()));
+            prop_assert_eq!(table.key_name(k).as_deref(), Some(name.as_str()));
+            prop_assert_eq!(table.attr_name(a).as_deref(), Some(name.as_str()));
+        }
+        // Distinct names ⇒ distinct ids (injective on the set of names).
+        let distinct: BTreeSet<&String> = names.iter().collect();
+        let ids: BTreeSet<u32> = distinct.iter().map(|n| table.attr(n).0).collect();
+        prop_assert_eq!(ids.len(), distinct.len());
+    }
+
+    /// Ids are stable across replicas: every replica holds the same shared
+    /// table, so two lookups through two handles agree; and a second table
+    /// fed the same names in the same order assigns the same ids (dense,
+    /// order-determined assignment).
+    #[test]
+    fn ids_are_stable_across_replicas(names in proptest::collection::vec(name_strategy(), 1..20)) {
+        let shared = SymbolTable::shared();
+        let replica_a = Arc::clone(&shared);
+        let replica_b = Arc::clone(&shared);
+        for name in &names {
+            prop_assert_eq!(replica_a.key(name), replica_b.key(name));
+        }
+        let rebuilt = SymbolTable::new();
+        for name in &names {
+            rebuilt.key(name);
+        }
+        for name in &names {
+            prop_assert_eq!(rebuilt.try_key(name), shared.try_key(name));
+        }
+    }
+}
+
+/// Describe a small history in terms of *names*, intern it through a given
+/// table, and return the per-replica logs. The history is the string-keyed
+/// seed checker test scenario: a writer, a combined entry, a reader with a
+/// correct observation, and a no-op.
+fn build_history(table: &SymbolTable, replicas: usize) -> Vec<GroupLog> {
+    let group = table.group("ledger");
+    let w1 = Transaction::builder(TxnId::new(0, 1), group, LogPosition(0))
+        .write(table.item("row", "balance"), "100")
+        .build();
+    let combined = LogEntry::combined(vec![
+        Transaction::builder(TxnId::new(1, 2), group, LogPosition(1))
+            .write(table.item("row", "owner"), "alice")
+            .build(),
+        Transaction::builder(TxnId::new(2, 3), group, LogPosition(1))
+            .write(table.item("row", "limit"), "500")
+            .build(),
+    ]);
+    let reader = Transaction::builder(TxnId::new(3, 4), group, LogPosition(2))
+        .read(table.item("row", "balance"), Some("100"))
+        .read(table.item("row", "missing"), None)
+        .write(table.item("row", "audited"), "yes")
+        .build();
+    let entries = [
+        Arc::new(LogEntry::single(w1)),
+        Arc::new(combined),
+        Arc::new(reader.into()),
+        Arc::new(LogEntry::noop()),
+    ];
+    (0..replicas)
+        .map(|_| {
+            let mut log = GroupLog::new();
+            for (i, entry) in entries.iter().enumerate() {
+                log.install(LogPosition(i as u64 + 1), Arc::clone(entry))
+                    .unwrap();
+            }
+            log
+        })
+        .collect()
+}
+
+/// Regression: the checker accepts an interned history exactly as it
+/// accepted the string-keyed equivalent, and its verdict is invariant under
+/// the concrete id assignment — two interners fed the same names in
+/// different orders produce different ids but identical check reports.
+#[test]
+fn checker_verdict_is_id_assignment_invariant() {
+    // Table A sees the history's names in natural order.
+    let table_a = SymbolTable::new();
+    let logs_a = build_history(&table_a, 3);
+
+    // Table B is polluted first so every id differs from table A's.
+    let table_b = SymbolTable::new();
+    for i in 0..7 {
+        table_b.group(&format!("noise-g{i}"));
+        table_b.key(&format!("noise-k{i}"));
+        table_b.attr(&format!("noise-a{i}"));
+    }
+    let logs_b = build_history(&table_b, 3);
+
+    assert_ne!(
+        table_a.attr("balance"),
+        table_b.attr("balance"),
+        "the two tables must assign different ids for the test to mean anything"
+    );
+
+    let refs_a: Vec<&GroupLog> = logs_a.iter().collect();
+    let refs_b: Vec<&GroupLog> = logs_b.iter().collect();
+    let report_a = check_all(&refs_a).expect("history A is serializable");
+    let report_b = check_all(&refs_b).expect("history B is serializable");
+
+    // Identical structural verdicts: same counts, same serial order.
+    assert_eq!(report_a, report_b);
+    assert_eq!(report_a.positions, 4);
+    assert_eq!(report_a.transactions, 4);
+    assert_eq!(report_a.combined_positions, 1);
+    assert_eq!(report_a.noop_positions, 1);
+}
+
+/// Regression: a history that was invalid under string keys (stale read) is
+/// equally invalid under any id assignment.
+#[test]
+fn checker_rejects_stale_reads_under_any_id_assignment() {
+    for noise in [0usize, 5] {
+        let table = SymbolTable::new();
+        for i in 0..noise {
+            table.attr(&format!("noise{i}"));
+        }
+        let group = table.group("g");
+        let mut log = GroupLog::new();
+        log.install(
+            LogPosition(1),
+            Arc::new(LogEntry::single(
+                Transaction::builder(TxnId::new(0, 1), group, LogPosition(0))
+                    .write(table.item("row", "x"), "1")
+                    .build(),
+            )),
+        )
+        .unwrap();
+        log.install(
+            LogPosition(2),
+            Arc::new(LogEntry::single(
+                Transaction::builder(TxnId::new(0, 2), group, LogPosition(1))
+                    .write(table.item("row", "x"), "2")
+                    .build(),
+            )),
+        )
+        .unwrap();
+        // Reads x as of position 1 but commits at 3: stale under any ids.
+        log.install(
+            LogPosition(3),
+            Arc::new(LogEntry::single(
+                Transaction::builder(TxnId::new(1, 3), group, LogPosition(1))
+                    .read(table.item("row", "x"), Some("1"))
+                    .write(table.item("row", "y"), "3")
+                    .build(),
+            )),
+        )
+        .unwrap();
+        assert!(
+            check_one_copy_serializability(&log).is_err(),
+            "stale read must be rejected with {noise} noise symbols interned first"
+        );
+    }
+}

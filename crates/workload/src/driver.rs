@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::{Actor, Context, NodeId, SimDuration, SimTime};
 use std::sync::Arc;
-use walog::GroupKey;
+use walog::{AttrId, GroupId, KeyId};
 
 /// Metrics sink shared between a driver actor and the experiment harness.
 pub type SharedMetrics = Arc<Mutex<RunMetrics>>;
@@ -20,8 +20,8 @@ const NEXT_OP_TAG: u64 = u64::MAX - 1;
 /// Configuration of one benchmark client thread.
 #[derive(Clone, Debug)]
 pub struct DriverConfig {
-    /// Transaction group to operate on.
-    pub group: GroupKey,
+    /// Transaction group to operate on (interned once at driver start).
+    pub group: String,
     /// Row key of the entity group (the paper's evaluation uses one row).
     pub row_key: String,
     /// Number of attributes in the entity group; operations pick attributes
@@ -91,11 +91,19 @@ impl DriverConfig {
 /// One benchmark client thread: owns a [`TransactionClient`], issues
 /// transactions per its schedule, and records outcomes into the shared
 /// metrics sink.
+///
+/// All names are interned once at construction: the hot operation loop
+/// issues reads and writes through the client's id-based fast paths and
+/// never touches the symbol table again.
 pub struct ClientDriver {
     config: DriverConfig,
     client: TransactionClient,
     metrics: SharedMetrics,
     rng: StdRng,
+    group: GroupId,
+    row: KeyId,
+    /// Pre-interned attribute ids `a0 .. a{n-1}`.
+    attrs: Vec<AttrId>,
     issued: usize,
     last_start: Option<SimTime>,
     waiting_commit: bool,
@@ -115,11 +123,20 @@ impl ClientDriver {
         metrics: SharedMetrics,
     ) -> Self {
         let seed = config.seed;
+        let symbols = directory.symbols();
+        let group = symbols.group(&config.group);
+        let row = symbols.key(&config.row_key);
+        let attrs = (0..config.num_attributes.max(1))
+            .map(|i| symbols.attr(&format!("a{i}")))
+            .collect();
         ClientDriver {
-            config,
             client: TransactionClient::new(node, home_replica, directory, client_config),
+            config,
             metrics,
             rng: StdRng::seed_from_u64(seed),
+            group,
+            row,
+            attrs,
             issued: 0,
             last_start: None,
             waiting_commit: false,
@@ -133,9 +150,9 @@ impl ClientDriver {
         self.issued
     }
 
-    fn attr_name(&mut self) -> String {
-        let idx = self.rng.gen_range(0..self.config.num_attributes.max(1));
-        format!("a{idx}")
+    fn pick_attr(&mut self) -> AttrId {
+        let idx = self.rng.gen_range(0..self.attrs.len());
+        self.attrs[idx]
     }
 
     fn jittered(&mut self, base: SimDuration, fraction: f64) -> SimDuration {
@@ -180,7 +197,8 @@ impl ClientDriver {
     }
 
     fn start_transaction(&mut self, ctx: &mut Context<Msg>) {
-        if self.waiting_commit || self.client.in_transaction()
+        if self.waiting_commit
+            || self.client.in_transaction()
             || self.issued >= self.config.num_transactions
         {
             return;
@@ -188,7 +206,7 @@ impl ClientDriver {
         self.issued += 1;
         self.last_start = Some(ctx.now());
         self.client
-            .begin(ctx.now(), self.config.group.clone())
+            .begin_id(ctx.now(), self.group)
             .expect("driver issues transactions sequentially");
         self.ops_remaining = self.config.ops_per_txn;
         // Each operation costs `op_delay` of simulated execution time; the
@@ -210,16 +228,16 @@ impl ClientDriver {
     }
 
     fn run_one_op(&mut self, ctx: &mut Context<Msg>) {
-        let attr = self.attr_name();
+        let attr = self.pick_attr();
         if self.rng.gen::<f64>() < self.config.read_fraction {
             self.client
-                .read(&self.config.row_key.clone(), &attr)
+                .read_id(self.row, attr)
                 .expect("read inside an active transaction");
         } else {
             self.op_seq += 1;
             let value = format!("v{}-{}", ctx.node().0, self.op_seq);
             self.client
-                .write(&self.config.row_key.clone(), &attr, value)
+                .write_id(self.row, attr, value)
                 .expect("write inside an active transaction");
         }
         self.ops_remaining -= 1;
@@ -281,7 +299,10 @@ mod tests {
 
     #[test]
     fn interarrival_from_target_tps() {
-        let at_rate = |tps: f64| DriverConfig { target_tps: tps, ..DriverConfig::default() };
+        let at_rate = |tps: f64| DriverConfig {
+            target_tps: tps,
+            ..DriverConfig::default()
+        };
         assert_eq!(at_rate(2.0).interarrival(), SimDuration::from_millis(500));
         assert_eq!(at_rate(0.5).interarrival(), SimDuration::from_secs(2));
         assert_eq!(at_rate(0.0).interarrival(), SimDuration::ZERO);

@@ -49,9 +49,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             op_delay: spec.op_delay,
             op_jitter: 0.5,
             arrival_jitter: 0.3,
-            start_delay: SimDuration::from_micros(
-                spec.stagger.as_micros() * client_index as u64,
-            ),
+            start_delay: SimDuration::from_micros(spec.stagger.as_micros() * client_index as u64),
             seed: spec.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (client_index as u64 + 1),
         };
 
@@ -72,9 +70,18 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     cluster.run_to_completion();
     let duration = cluster.now() - started;
 
-    let check = cluster
+    let symbols = cluster.symbols();
+    let check: Vec<(String, _)> = cluster
         .verify()
-        .expect("experiment produced a non-serializable or diverged history");
+        .expect("experiment produced a non-serializable or diverged history")
+        .into_iter()
+        .map(|(group, report)| {
+            let name = symbols
+                .group_name(group)
+                .unwrap_or_else(|| group.to_string());
+            (name, report)
+        })
+        .collect();
 
     let per_client: Vec<RunMetrics> = sinks.iter().map(|s| s.lock().clone()).collect();
     let mut totals = RunMetrics::default();

@@ -1,13 +1,11 @@
 //! Experiment specifications and results.
 
 use mdstore::{CommitProtocol, RunMetrics, Topology};
-use serde::{Deserialize, Serialize};
 use simnet::{NetStats, SimDuration};
 use walog::checker::CheckReport;
-use walog::GroupKey;
 
 /// Where benchmark clients are placed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Placement {
     /// Every client runs in the given datacenter (one YCSB instance, the
     /// setting of Figures 4–7).
@@ -133,7 +131,7 @@ impl ExperimentSpec {
 }
 
 /// Everything measured in one experiment run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentResult {
     /// Experiment name (copied from the spec).
     pub name: String,
@@ -150,9 +148,10 @@ pub struct ExperimentResult {
     pub per_client: Vec<RunMetrics>,
     /// The datacenter each client was placed in.
     pub client_replicas: Vec<usize>,
-    /// Serializability check report per transaction group (the run fails
-    /// loudly before producing a result if any property is violated).
-    pub check: Vec<(GroupKey, CheckReport)>,
+    /// Serializability check report per transaction group, keyed by the
+    /// group's resolved name (the run fails loudly before producing a
+    /// result if any property is violated).
+    pub check: Vec<(String, CheckReport)>,
     /// Network statistics of the simulation.
     pub net: NetStats,
     /// Virtual time the experiment took.

@@ -8,11 +8,11 @@
 //! cargo run --release --example bank_ledger
 //! ```
 
+use parking_lot::Mutex;
 use paxos_cp::mdstore::{
     ClientAction, Cluster, ClusterConfig, CommitProtocol, Msg, Topology, TransactionClient,
 };
 use paxos_cp::simnet::{Actor, Context, NodeId, SimDuration};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 const ACCOUNTS: usize = 8;
@@ -39,7 +39,10 @@ struct Teller {
 impl Teller {
     fn next_rand(&mut self) -> u64 {
         // A small deterministic LCG keeps the example self-contained.
-        self.rng_state = self.rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.rng_state = self
+            .rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
         self.rng_state >> 16
     }
 
@@ -78,12 +81,21 @@ impl Teller {
         }
         let amount = (self.next_rand() % 50) as i64 + 1;
         let client = self.client.as_mut().unwrap();
-        client.begin(ctx.now(), GROUP).expect("sequential transfers");
-        let balance = |v: Option<String>| v.and_then(|s| s.parse::<i64>().ok()).unwrap_or(INITIAL_BALANCE);
+        client
+            .begin(ctx.now(), GROUP)
+            .expect("sequential transfers");
+        let balance = |v: Option<String>| {
+            v.and_then(|s| s.parse::<i64>().ok())
+                .unwrap_or(INITIAL_BALANCE)
+        };
         let from_balance = balance(client.read(ROW, &format!("acct{from}")).unwrap());
         let to_balance = balance(client.read(ROW, &format!("acct{to}")).unwrap());
         client
-            .write(ROW, &format!("acct{from}"), (from_balance - amount).to_string())
+            .write(
+                ROW,
+                &format!("acct{from}"),
+                (from_balance - amount).to_string(),
+            )
             .unwrap();
         client
             .write(ROW, &format!("acct{to}"), (to_balance + amount).to_string())
@@ -114,10 +126,7 @@ impl Actor<Msg> for Teller {
 }
 
 fn main() {
-    let mut cluster = Cluster::build(ClusterConfig::new(
-        Topology::voc(),
-        CommitProtocol::PaxosCp,
-    ));
+    let mut cluster = Cluster::build(ClusterConfig::new(Topology::voc(), CommitProtocol::PaxosCp));
     let stats = Arc::new(Mutex::new(Stats::default()));
     // One teller per datacenter, each issuing 25 transfers.
     for replica in 0..cluster.num_datacenters() {
@@ -126,7 +135,12 @@ fn main() {
         let sink = stats.clone();
         cluster.add_client(replica, |node| {
             Box::new(Teller {
-                client: Some(TransactionClient::new(node, replica, directory, client_config)),
+                client: Some(TransactionClient::new(
+                    node,
+                    replica,
+                    directory,
+                    client_config,
+                )),
                 transfers_left: 25,
                 rng_state: 0xA5A5_0000 + node.0 as u64,
                 stats: sink,
@@ -142,17 +156,27 @@ fn main() {
     );
 
     // Verify serializability, then audit the ledger at every datacenter.
-    let reports = cluster.verify().expect("ledger history must be serializable");
-    println!("serializability verified over {} log positions", reports[0].1.positions);
+    let reports = cluster
+        .verify()
+        .expect("ledger history must be serializable");
+    println!(
+        "serializability verified over {} log positions",
+        reports[0].1.positions
+    );
 
+    // Resolve the interned ids once for the direct store audit below.
+    let symbols = cluster.symbols();
+    let group = symbols.group(GROUP);
+    let row = symbols.key(ROW);
     for replica in 0..cluster.num_datacenters() {
         let core = cluster.core(replica);
         let mut core = core.lock();
-        let position = core.read_position(GROUP);
+        let position = core.read_position(group);
         let mut total = 0i64;
         for account in 0..ACCOUNTS {
+            let attr = symbols.attr(&format!("acct{account}"));
             let value = core
-                .read(GROUP, ROW, &format!("acct{account}"), position)
+                .read(group, row, attr, position)
                 .unwrap()
                 .and_then(|s| s.parse::<i64>().ok())
                 .unwrap_or(INITIAL_BALANCE);
@@ -162,7 +186,11 @@ fn main() {
             "datacenter {replica}: total balance across {ACCOUNTS} accounts = {total} (expected {})",
             ACCOUNTS as i64 * INITIAL_BALANCE
         );
-        assert_eq!(total, ACCOUNTS as i64 * INITIAL_BALANCE, "money must be conserved");
+        assert_eq!(
+            total,
+            ACCOUNTS as i64 * INITIAL_BALANCE,
+            "money must be conserved"
+        );
     }
     println!("money conserved at every datacenter — transfers were serializable.");
 }

@@ -8,12 +8,12 @@
 //! cargo run --release --example datacenter_outage
 //! ```
 
+use parking_lot::Mutex;
 use paxos_cp::mdstore::{
     ClientAction, Cluster, ClusterConfig, CommitProtocol, Msg, RunMetrics, Topology,
     TransactionClient,
 };
 use paxos_cp::simnet::{Actor, Context, NodeId, SimDuration};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// A client that issues short read/write transactions back to back.
@@ -46,7 +46,9 @@ impl Writer {
         }
         self.remaining -= 1;
         let client = self.client.as_mut().expect("client is set at construction");
-        client.begin(ctx.now(), "accounts").expect("sequential transactions");
+        client
+            .begin(ctx.now(), "accounts")
+            .expect("sequential transactions");
         let current = client.read("balances", &self.attr).expect("read in txn");
         let next = current.and_then(|v| v.parse::<u64>().ok()).unwrap_or(0) + 1;
         client
@@ -74,10 +76,7 @@ impl Actor<Msg> for Writer {
 }
 
 fn main() {
-    let mut cluster = Cluster::build(ClusterConfig::new(
-        Topology::voc(),
-        CommitProtocol::PaxosCp,
-    ));
+    let mut cluster = Cluster::build(ClusterConfig::new(Topology::voc(), CommitProtocol::PaxosCp));
     let metrics = Arc::new(Mutex::new(RunMetrics::default()));
     let directory = cluster.directory();
     let client_config = cluster.client_config();
@@ -103,7 +102,10 @@ fn main() {
     cluster.run_for(SimDuration::from_secs(20));
     let during = metrics.lock().committed;
     println!("commits while california is down: {}", during - before);
-    assert!(during > before, "a majority of datacenters must keep committing");
+    assert!(
+        during > before,
+        "a majority of datacenters must keep committing"
+    );
 
     // Bring it back; the remaining workload plus read-triggered recovery
     // catches the replica up, and all logs must agree.
@@ -113,18 +115,27 @@ fn main() {
     let total = metrics.lock().committed;
     println!("total commits: {total} / 200 attempted");
 
-    let reports = cluster.verify().expect("logs must agree and be serializable");
+    let symbols = cluster.symbols();
+    let reports = cluster
+        .verify()
+        .expect("logs must agree and be serializable");
     for (group, report) in reports {
+        let name = symbols
+            .group_name(group)
+            .unwrap_or_else(|| group.to_string());
         println!(
-            "group {group}: {} log positions, {} committed transactions — replica agreement and one-copy serializability verified",
+            "group {name}: {} log positions, {} committed transactions — replica agreement and one-copy serializability verified",
             report.positions, report.transactions
         );
     }
     let final_balance = {
+        let group = symbols.group("accounts");
+        let row = symbols.key("balances");
+        let attr = symbols.attr("alice");
         let core = cluster.core(0);
         let mut core = core.lock();
-        let position = core.read_position("accounts");
-        core.read("accounts", "balances", "alice", position).ok().flatten()
+        let position = core.read_position(group);
+        core.read(group, row, attr, position).ok().flatten()
     };
     println!("final balance of 'alice' at datacenter 0: {final_balance:?}");
 }

@@ -48,7 +48,9 @@ impl Writer {
             .unwrap()
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(0);
-        client.write("row", "counter", (counter + 1).to_string()).unwrap();
+        client
+            .write("row", "counter", (counter + 1).to_string())
+            .unwrap();
         let actions = client.commit(ctx.now()).unwrap();
         self.apply(ctx, actions);
     }
@@ -81,7 +83,12 @@ fn add_writer(cluster: &mut Cluster, replica: usize, count: usize) -> Arc<Mutex<
     let sink = metrics.clone();
     cluster.add_client(replica, |node| {
         Box::new(Writer {
-            client: Some(TransactionClient::new(node, replica, directory, client_config)),
+            client: Some(TransactionClient::new(
+                node,
+                replica,
+                directory,
+                client_config,
+            )),
             remaining: count,
             pause: SimDuration::from_millis(50),
             metrics: sink,
@@ -92,10 +99,7 @@ fn add_writer(cluster: &mut Cluster, replica: usize, count: usize) -> Arc<Mutex<
 
 #[test]
 fn commits_continue_while_a_minority_datacenter_is_down() {
-    let mut cluster = Cluster::build(ClusterConfig::new(
-        Topology::voc(),
-        CommitProtocol::PaxosCp,
-    ));
+    let mut cluster = Cluster::build(ClusterConfig::new(Topology::voc(), CommitProtocol::PaxosCp));
     let metrics = add_writer(&mut cluster, 0, 40);
     cluster.run_for(SimDuration::from_secs(1));
     let before = metrics.lock().committed;
@@ -103,7 +107,10 @@ fn commits_continue_while_a_minority_datacenter_is_down() {
     cluster.crash_datacenter(2);
     cluster.run_for(SimDuration::from_secs(15));
     let during = metrics.lock().committed;
-    assert!(during > before, "two of three datacenters must keep committing");
+    assert!(
+        during > before,
+        "two of three datacenters must keep committing"
+    );
 
     cluster.recover_datacenter(2);
     cluster.run_to_completion();
@@ -112,15 +119,14 @@ fn commits_continue_while_a_minority_datacenter_is_down() {
         m.committed + m.aborted
     };
     assert_eq!(finished, 40);
-    cluster.verify().expect("post-recovery logs must agree and be serializable");
+    cluster
+        .verify()
+        .expect("post-recovery logs must agree and be serializable");
 }
 
 #[test]
 fn recovered_datacenter_catches_up_through_remote_reads() {
-    let mut cluster = Cluster::build(ClusterConfig::new(
-        Topology::voc(),
-        CommitProtocol::PaxosCp,
-    ));
+    let mut cluster = Cluster::build(ClusterConfig::new(Topology::voc(), CommitProtocol::PaxosCp));
     let metrics = add_writer(&mut cluster, 0, 25);
 
     // Crash California before anything commits, so it misses the whole run.
@@ -128,28 +134,37 @@ fn recovered_datacenter_catches_up_through_remote_reads() {
     cluster.run_for(SimDuration::from_secs(30));
     let committed = metrics.lock().committed;
     assert!(committed > 0);
-    assert_eq!(cluster.committed_in_log(2, "g"), 0, "the dead replica saw nothing");
+    assert_eq!(
+        cluster.committed_in_log(2, "g"),
+        0,
+        "the dead replica saw nothing"
+    );
 
     // Recover it and ask its Transaction Service for a remote read at the
     // latest position: the service must run recovery instances to learn the
     // missing log prefix before answering.
     cluster.recover_datacenter(2);
-    let latest = cluster.core(0).lock().read_position("g");
+    use paxos_cp::walog;
+    let symbols = cluster.symbols();
+    let group = symbols.group("g");
+    let item = symbols.item("row", "counter");
+    let latest = cluster.core(0).lock().read_position(group);
     struct RemoteReader {
         target: NodeId,
+        group: walog::GroupId,
+        item: walog::ItemRef,
         read_position: walog::LogPosition,
         answer: Arc<Mutex<Option<Option<String>>>>,
     }
-    use paxos_cp::walog;
     impl Actor<Msg> for RemoteReader {
         fn on_start(&mut self, ctx: &mut Context<Msg>) {
             ctx.send(
                 self.target,
                 Msg::ReadRequest {
                     req_id: 1,
-                    group: "g".into(),
-                    key: "row".into(),
-                    attr: "counter".into(),
+                    group: self.group,
+                    key: self.item.key,
+                    attr: self.item.attr,
                     read_position: self.read_position,
                 },
             );
@@ -166,13 +181,18 @@ fn recovered_datacenter_catches_up_through_remote_reads() {
     cluster.add_client(1, move |_node| {
         Box::new(RemoteReader {
             target,
+            group,
+            item,
             read_position: latest,
             answer: answer_clone,
         })
     });
     cluster.run_to_completion();
 
-    let got = answer.lock().clone().expect("the remote read must be answered");
+    let got = answer
+        .lock()
+        .clone()
+        .expect("the remote read must be answered");
     assert_eq!(
         got,
         Some(committed.to_string()),
@@ -200,7 +220,10 @@ fn a_two_datacenter_cluster_stalls_without_its_peer_and_resumes_after_recovery()
 
     cluster.recover_datacenter(1);
     cluster.run_to_completion();
-    assert!(metrics.lock().committed > 0, "commits resume once the peer returns");
+    assert!(
+        metrics.lock().committed > 0,
+        "commits resume once the peer returns"
+    );
     cluster.verify().expect("logs agree after the stall");
 }
 
@@ -217,5 +240,7 @@ fn heavy_message_loss_slows_but_does_not_corrupt() {
     assert!(m.committed > 0);
     drop(m);
     assert!(cluster.sim().stats().dropped_loss > 0);
-    cluster.verify().expect("lossy runs must still be serializable");
+    cluster
+        .verify()
+        .expect("lossy runs must still be serializable");
 }

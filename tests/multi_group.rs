@@ -41,7 +41,7 @@ impl GroupWriter {
         }
         self.count -= 1;
         let client = self.client.as_mut().unwrap();
-        client.begin(ctx.now(), self.group.clone()).unwrap();
+        client.begin(ctx.now(), &self.group).unwrap();
         let n = client
             .read("row", "n")
             .unwrap()
@@ -86,7 +86,12 @@ fn add_group_writer(
     let group = group.to_string();
     cluster.add_client(replica, |node| {
         Box::new(GroupWriter {
-            client: Some(TransactionClient::new(node, replica, directory, client_config)),
+            client: Some(TransactionClient::new(
+                node,
+                replica,
+                directory,
+                client_config,
+            )),
             group,
             count,
             metrics: sink,
@@ -97,10 +102,7 @@ fn add_group_writer(
 
 #[test]
 fn groups_have_independent_logs_and_do_not_contend() {
-    let mut cluster = Cluster::build(ClusterConfig::new(
-        Topology::vvv(),
-        CommitProtocol::PaxosCp,
-    ));
+    let mut cluster = Cluster::build(ClusterConfig::new(Topology::vvv(), CommitProtocol::PaxosCp));
     // Three groups, one dedicated writer each, all in the same datacenter.
     let m_orders = add_group_writer(&mut cluster, 0, "orders", 12);
     let m_users = add_group_writer(&mut cluster, 0, "users", 9);
@@ -118,9 +120,21 @@ fn groups_have_independent_logs_and_do_not_contend() {
 
     // Each group has its own log with exactly its own transactions, on every
     // replica.
-    let mut groups = cluster.groups();
+    let symbols = cluster.symbols();
+    let mut groups: Vec<String> = cluster
+        .groups()
+        .into_iter()
+        .map(|g| {
+            symbols
+                .group_name(g)
+                .expect("groups come from interned names")
+        })
+        .collect();
     groups.sort();
-    assert_eq!(groups, vec!["carts".to_string(), "orders".into(), "users".into()]);
+    assert_eq!(
+        groups,
+        vec!["carts".to_string(), "orders".into(), "users".into()]
+    );
     for replica in 0..cluster.num_datacenters() {
         assert_eq!(cluster.committed_in_log(replica, "orders"), 12);
         assert_eq!(cluster.committed_in_log(replica, "users"), 9);
@@ -131,7 +145,8 @@ fn groups_have_independent_logs_and_do_not_contend() {
     let reports = cluster.verify().expect("all groups serializable");
     assert_eq!(reports.len(), 3);
     for (group, report) in reports {
-        let expected = match group.as_str() {
+        let name = symbols.group_name(group).expect("interned group");
+        let expected = match name.as_str() {
             "orders" => 12,
             "users" => 9,
             "carts" => 7,
@@ -144,13 +159,15 @@ fn groups_have_independent_logs_and_do_not_contend() {
     // And the per-group counters are visible through the key-value store at
     // every datacenter: the final value of each group's counter equals its
     // commit count.
+    let item = symbols.item("row", "n");
     for replica in 0..cluster.num_datacenters() {
         for (group, expected) in [("orders", 12u64), ("users", 9), ("carts", 7)] {
+            let group_id = symbols.group(group);
             let core = cluster.core(replica);
             let mut core = core.lock();
-            let position = core.read_position(group);
+            let position = core.read_position(group_id);
             let value = core
-                .read(group, "row", "n", position)
+                .read(group_id, item.key, item.attr, position)
                 .unwrap()
                 .and_then(|v| v.parse::<u64>().ok())
                 .unwrap_or(0);

@@ -33,7 +33,10 @@ fn paxos_cp_commits_strictly_more_than_basic_under_contention() {
             cp.totals.committed,
             basic.totals.committed
         );
-        assert!(cp.totals.promoted_commits() > 0, "promotions must contribute");
+        assert!(
+            cp.totals.promoted_commits() > 0,
+            "promotions must contribute"
+        );
     }
 }
 
@@ -89,7 +92,10 @@ fn low_contention_lets_paxos_cp_commit_nearly_everything() {
     let spec = contended_spec(CommitProtocol::PaxosCp, 60).with_attributes(500);
     let result = run_experiment(&spec);
     let ratio = result.commit_ratio();
-    assert!(ratio > 0.9, "expected >90% commits at low contention, got {ratio}");
+    assert!(
+        ratio > 0.9,
+        "expected >90% commits at low contention, got {ratio}"
+    );
 }
 
 #[test]

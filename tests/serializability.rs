@@ -54,7 +54,10 @@ fn serializability_holds_under_message_loss() {
         s.topology = Topology::vvv().with_loss(0.10);
         let result = run_experiment(&s);
         assert_eq!(result.attempted, 45);
-        assert!(result.net.dropped_loss > 0, "loss must actually have occurred");
+        assert!(
+            result.net.dropped_loss > 0,
+            "loss must actually have occurred"
+        );
         assert!(
             result.totals.committed > 0,
             "a lossy but connected majority still commits"
@@ -87,7 +90,10 @@ fn read_only_transactions_always_commit_and_stay_out_of_the_log() {
     assert_eq!(result.totals.committed, result.attempted);
     assert_eq!(result.totals.read_only, result.attempted);
     let logged: usize = result.check.iter().map(|(_, r)| r.transactions).sum();
-    assert_eq!(logged, 0, "read-only transactions never enter the write-ahead log");
+    assert_eq!(
+        logged, 0,
+        "read-only transactions never enter the write-ahead log"
+    );
 }
 
 #[test]
