@@ -4,11 +4,17 @@
 //! cargo run --release -p bench-suite --bin experiments -- all
 //! cargo run --release -p bench-suite --bin experiments -- fig6 --quick
 //! cargo run --release -p bench-suite --bin experiments -- fig4a --json out.json
+//! cargo run --release -p bench-suite --bin experiments -- scaling
 //! ```
+//!
+//! `scaling` runs the sharded multi-group and batch-size sweeps (not part
+//! of the paper; see `docs/BENCHMARKS.md`); `all` includes them alongside
+//! the paper figures and the ablation.
 
 use bench_suite::{
-    ablation_specs, fig4_specs, fig5_specs, fig6_specs, fig7_specs, fig8_specs,
-    format_commit_table, format_latency_table, format_per_replica_table, results_to_json,
+    ablation_specs, batch_sweep_specs, fig4_specs, fig5_specs, fig6_specs, fig7_specs, fig8_specs,
+    format_commit_table, format_latency_table, format_per_replica_table, format_scaling_table,
+    group_sweep_specs, results_to_json, run_scaling,
 };
 use workload::{run_experiment, ExperimentResult, ExperimentSpec};
 
@@ -102,6 +108,37 @@ fn main() {
         println!("{}", format_per_replica_table(&results));
         println!("{}", format_latency_table(&results));
         all_results.extend(results);
+    }
+    if wants("scaling") {
+        eprintln!("== running scaling: group and batch sweeps ==");
+        let group_results: Vec<_> = group_sweep_specs(opts.quick)
+            .iter()
+            .map(|spec| {
+                eprintln!(
+                    "   running {} groups x batch {} ({} transactions)...",
+                    spec.groups,
+                    spec.batch_size,
+                    spec.total_transactions()
+                );
+                run_scaling(spec)
+            })
+            .collect();
+        println!("\n=== Scaling: group-count sweep (64 writers, batch 4, VVV) ===");
+        println!("{}", format_scaling_table(&group_results));
+        let batch_results: Vec<_> = batch_sweep_specs(opts.quick)
+            .iter()
+            .map(|spec| {
+                eprintln!(
+                    "   running {} groups x batch {} ({} transactions)...",
+                    spec.groups,
+                    spec.batch_size,
+                    spec.total_transactions()
+                );
+                run_scaling(spec)
+            })
+            .collect();
+        println!("=== Scaling: batch-size sweep (16 writers, 4 groups, VVV) ===");
+        println!("{}", format_scaling_table(&batch_results));
     }
     if wants("ablation") {
         let results = run_batch("ablation", ablation_specs(opts.quick));

@@ -20,10 +20,15 @@
 
 pub mod figures;
 pub mod report;
+pub mod scaling;
 
 pub use figures::{
     ablation_specs, fig4_specs, fig5_specs, fig6_specs, fig7_specs, fig8_specs, FigureRun,
 };
 pub use report::{
     format_commit_table, format_latency_table, format_per_replica_table, results_to_json,
+};
+pub use scaling::{
+    batch_sweep_specs, format_scaling_table, group_sweep_specs, run_scaling, ScalingResult,
+    ScalingSpec,
 };

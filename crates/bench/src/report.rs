@@ -129,7 +129,8 @@ pub fn results_to_json(results: &[ExperimentResult]) -> String {
             concat!(
                 "  {{\"name\": \"{}\", \"cluster\": \"{}\", \"protocol\": \"{}\", ",
                 "\"attempted\": {}, \"committed\": {}, \"aborted\": {}, ",
-                "\"combined_commits\": {}, \"commits_by_promotion\": [{}], ",
+                "\"combined_commits\": {}, \"expired_reads\": {}, ",
+                "\"commits_by_promotion\": [{}], ",
                 "\"commit_latency_ms\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}}, ",
                 "\"messages_sent\": {}, \"messages_delivered\": {}, \"duration_s\": {:.3}}}{}\n",
             ),
@@ -140,6 +141,7 @@ pub fn results_to_json(results: &[ExperimentResult]) -> String {
             r.totals.committed,
             r.totals.aborted,
             r.totals.combined_commits,
+            r.totals.expired_reads,
             rounds,
             latency.mean_ms,
             latency.p50_ms,

@@ -1,0 +1,361 @@
+//! Sharded multi-group scaling workload: sweep the number of transaction
+//! groups and the batch size, measuring aggregate committed
+//! transactions/sec of simulated time.
+//!
+//! The paper's §2.1 data model partitions rows into transaction groups so
+//! that independent groups commit in parallel; this workload exercises
+//! exactly that. A fixed pool of batching writers (each a
+//! [`mdstore::GroupCommitter`] driving windows of independent
+//! transactions) is sharded over `groups` groups, each writer homed in its
+//! group's leader datacenter per the directory's leader map. With one
+//! group every writer contends for the same log; with many groups the same
+//! offered concurrency spreads over independent logs and commits in
+//! parallel — aggregate throughput scales with group count. The batch-size
+//! sweep holds the sharding fixed and varies the window size, measuring
+//! committed transactions per Paxos instance (the round-trip
+//! amortization).
+//!
+//! Every run is verified (replica agreement + one-copy serializability per
+//! group) before its numbers are reported.
+
+use mdstore::{
+    BatchConfig, ClientAction, Cluster, ClusterConfig, CommitProtocol, GroupCommitter, Msg,
+    RunMetrics, Topology,
+};
+use parking_lot::Mutex;
+use simnet::{Actor, Context, NodeId, SimDuration};
+use std::sync::Arc;
+use walog::{GroupId, ItemRef, Transaction, TxnId};
+
+/// Reserved timer tag for "start the next submission round".
+const NEXT_ROUND_TAG: u64 = u64::MAX;
+
+/// One point of the scaling sweep.
+#[derive(Clone, Debug)]
+pub struct ScalingSpec {
+    /// Cluster layout.
+    pub topology: Topology,
+    /// Number of transaction groups the writers shard over.
+    pub groups: usize,
+    /// Total batching writers (round-robin over the groups).
+    pub writers: usize,
+    /// Submission rounds per writer (each round submits one full window).
+    pub rounds: usize,
+    /// Transactions per window (= the committer's `max_batch`).
+    pub batch_size: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl ScalingSpec {
+    /// A sweep point on the default three-Virginia cluster.
+    pub fn new(groups: usize, batch_size: usize) -> Self {
+        ScalingSpec {
+            topology: Topology::vvv(),
+            groups: groups.max(1),
+            writers: 16,
+            rounds: 4,
+            batch_size: batch_size.max(1),
+            seed: 42,
+        }
+    }
+
+    /// Builder-style writer-count override.
+    pub fn with_writers(mut self, writers: usize) -> Self {
+        self.writers = writers.max(1);
+        self
+    }
+
+    /// Builder-style rounds override.
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds.max(1);
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total transactions the run will attempt.
+    pub fn total_transactions(&self) -> usize {
+        self.writers * self.rounds * self.batch_size
+    }
+}
+
+/// Measurements of one sweep point.
+#[derive(Clone, Debug)]
+pub struct ScalingResult {
+    /// Number of groups the load was sharded over.
+    pub groups: usize,
+    /// Window size (`max_batch`).
+    pub batch_size: usize,
+    /// Transactions attempted.
+    pub attempted: usize,
+    /// Transactions committed.
+    pub committed: usize,
+    /// Transactions aborted.
+    pub aborted: usize,
+    /// Decided non-noop log entries across all groups (replica 0): the
+    /// number of Paxos instances that committed work.
+    pub instances: usize,
+    /// Committed transactions per Paxos instance (batching/combination
+    /// amortization).
+    pub txns_per_instance: f64,
+    /// Virtual time the run took, in seconds.
+    pub sim_seconds: f64,
+    /// Aggregate committed transactions per second of simulated time.
+    pub throughput_tps: f64,
+}
+
+/// One batching writer: submits `rounds` windows of `batch_size`
+/// independent transactions (each touching its own attribute) to its
+/// group's committer.
+struct BatchWriter {
+    committer: Option<GroupCommitter>,
+    /// Items this writer's window sessions write, one per slot.
+    items: Vec<ItemRef>,
+    rounds_left: usize,
+    outstanding: usize,
+    seq: u64,
+    metrics: Arc<Mutex<RunMetrics>>,
+}
+
+impl BatchWriter {
+    fn apply(&mut self, ctx: &mut Context<Msg>, actions: Vec<ClientAction>) {
+        for action in actions {
+            match action {
+                ClientAction::Send(to, msg) => ctx.send(to, msg),
+                ClientAction::ArmTimer { delay, tag } => {
+                    ctx.set_timer(delay, tag);
+                }
+                ClientAction::Finished(result) => {
+                    self.metrics.lock().record(&result);
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                    if self.outstanding == 0 && self.rounds_left > 0 {
+                        ctx.set_timer(SimDuration::from_millis(1), NEXT_ROUND_TAG);
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_round(&mut self, ctx: &mut Context<Msg>) {
+        if self.rounds_left == 0 {
+            return;
+        }
+        self.rounds_left -= 1;
+        let committer = self.committer.as_mut().unwrap();
+        let group = committer.group();
+        let read_position = committer.read_position();
+        let node = ctx.node().0;
+        let mut batch_actions = Vec::new();
+        self.outstanding = self.items.len();
+        for item in self.items.clone() {
+            self.seq += 1;
+            let txn = Transaction::builder(TxnId::new(node, self.seq), group, read_position)
+                .write(item, format!("v{}-{}", node, self.seq))
+                .build();
+            let committer = self.committer.as_mut().unwrap();
+            batch_actions.extend(committer.submit(ctx.now(), txn));
+        }
+        self.apply(ctx, batch_actions);
+    }
+}
+
+impl Actor<Msg> for BatchWriter {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        self.start_round(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+        let committer = self.committer.as_mut().unwrap();
+        let actions = committer.on_message(ctx.now(), from, &msg);
+        self.apply(ctx, actions);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
+        if tag == NEXT_ROUND_TAG {
+            self.start_round(ctx);
+        } else {
+            let committer = self.committer.as_mut().unwrap();
+            let actions = committer.on_timer(ctx.now(), tag);
+            self.apply(ctx, actions);
+        }
+    }
+}
+
+/// Run one sweep point to completion, verify it, and measure it.
+pub fn run_scaling(spec: &ScalingSpec) -> ScalingResult {
+    let mut cluster = Cluster::build(
+        ClusterConfig::new(spec.topology.clone(), CommitProtocol::PaxosCp).with_seed(spec.seed),
+    );
+    let directory = cluster.directory();
+    // Intern the group names first so their ids (and therefore their homes
+    // in the leader map) are dense and round-robin over the datacenters.
+    let groups: Vec<GroupId> = (0..spec.groups)
+        .map(|g| directory.symbols().group(&format!("g{g}")))
+        .collect();
+
+    let mut sinks: Vec<Arc<Mutex<RunMetrics>>> = Vec::with_capacity(spec.writers);
+    for w in 0..spec.writers {
+        let group = groups[w % groups.len()];
+        // Home each writer in its group's leader datacenter: the sharded
+        // locality the leader map exists for.
+        let home = directory.group_home(group);
+        let row = directory.symbols().key(&format!("row{w}"));
+        let items: Vec<ItemRef> = (0..spec.batch_size)
+            .map(|s| ItemRef::new(row, directory.symbols().attr(&format!("w{w}s{s}"))))
+            .collect();
+        let metrics = Arc::new(Mutex::new(RunMetrics::default()));
+        sinks.push(metrics.clone());
+        let mut client_config = cluster.client_config();
+        client_config.max_promotions = None;
+        let batch_config = BatchConfig::default().with_max_batch(spec.batch_size);
+        let dir = directory.clone();
+        let rounds = spec.rounds;
+        let sink = metrics;
+        cluster.add_client(home, move |node| {
+            Box::new(BatchWriter {
+                committer: Some(GroupCommitter::new(
+                    node,
+                    home,
+                    group,
+                    dir,
+                    client_config,
+                    batch_config,
+                )),
+                items,
+                rounds_left: rounds,
+                outstanding: 0,
+                seq: 0,
+                metrics: sink,
+            })
+        });
+    }
+
+    let started = cluster.now();
+    cluster.run_to_completion();
+    let duration = cluster.now() - started;
+    cluster
+        .verify()
+        .expect("scaling run produced a non-serializable or diverged history");
+
+    let mut totals = RunMetrics::default();
+    for sink in &sinks {
+        totals.merge(&sink.lock());
+    }
+    let instances: usize = groups
+        .iter()
+        .map(|g| cluster.decided_instances_id(0, *g))
+        .sum();
+    let sim_seconds = duration.as_micros() as f64 / 1_000_000.0;
+    ScalingResult {
+        groups: spec.groups,
+        batch_size: spec.batch_size,
+        attempted: totals.attempted,
+        committed: totals.committed,
+        aborted: totals.aborted,
+        instances,
+        txns_per_instance: if instances == 0 {
+            0.0
+        } else {
+            totals.committed as f64 / instances as f64
+        },
+        sim_seconds,
+        throughput_tps: if sim_seconds > 0.0 {
+            totals.committed as f64 / sim_seconds
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The group-count sweep: the same writer pool sharded over 1, 4, 16 and
+/// 64 groups (batch size 4).
+pub fn group_sweep_specs(quick: bool) -> Vec<ScalingSpec> {
+    [1usize, 4, 16, 64]
+        .into_iter()
+        .map(|groups| {
+            ScalingSpec::new(groups, 4)
+                .with_writers(64)
+                .with_rounds(if quick { 1 } else { 2 })
+                .with_seed(90 + groups as u64)
+        })
+        .collect()
+}
+
+/// The batch-size sweep: 4 groups, window sizes 1, 2, 4 and 8.
+pub fn batch_sweep_specs(quick: bool) -> Vec<ScalingSpec> {
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|batch| {
+            ScalingSpec::new(4, batch)
+                .with_writers(16)
+                .with_rounds(if quick { 2 } else { 4 })
+                .with_seed(190 + batch as u64)
+        })
+        .collect()
+}
+
+/// Format a sweep as an aligned text table.
+pub fn format_scaling_table(results: &[ScalingResult]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "groups  batch  attempted  committed  aborted  instances  txns/inst  sim_s    agg tx/s\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{:>6}  {:>5}  {:>9}  {:>9}  {:>7}  {:>9}  {:>9.2}  {:>7.2}  {:>9.1}\n",
+            r.groups,
+            r.batch_size,
+            r.attempted,
+            r.committed,
+            r.aborted,
+            r.instances,
+            r.txns_per_instance,
+            r.sim_seconds,
+            r.throughput_tps,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scaling_run_commits_and_batches() {
+        let spec = ScalingSpec::new(4, 4)
+            .with_writers(4)
+            .with_rounds(2)
+            .with_seed(7);
+        let result = run_scaling(&spec);
+        assert_eq!(result.attempted, spec.total_transactions());
+        assert_eq!(result.committed + result.aborted, result.attempted);
+        assert!(result.committed > 0);
+        // Windows of 4 independent transactions must amortize: at least two
+        // committed transactions per Paxos instance on average.
+        assert!(
+            result.txns_per_instance >= 2.0,
+            "batch amortization missing: {} txns / {} instances",
+            result.committed,
+            result.instances
+        );
+        assert!(result.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn sweep_specs_cover_the_documented_points() {
+        let groups: Vec<usize> = group_sweep_specs(true).iter().map(|s| s.groups).collect();
+        assert_eq!(groups, vec![1, 4, 16, 64]);
+        let batches: Vec<usize> = batch_sweep_specs(true)
+            .iter()
+            .map(|s| s.batch_size)
+            .collect();
+        assert_eq!(batches, vec![1, 2, 4, 8]);
+        assert!(group_sweep_specs(false)[0].total_transactions() > 0);
+    }
+}

@@ -1,0 +1,606 @@
+//! Client-side proposal batching: the per-group committer.
+//!
+//! The paper's evaluation runs one Paxos instance per transaction. A
+//! [`GroupCommitter`] instead collects the independent transactions a
+//! client produces for one group within a submission window and commits
+//! them in a **single** Paxos-CP instance: the batch travels as one
+//! combined log entry, so one prepare/accept exchange plus one piggybacked
+//! apply broadcast decide every member — the wide-area round trips that
+//! dominate geo-replicated commit latency are amortized over the whole
+//! batch.
+//!
+//! The pipeline per window:
+//!
+//! 1. [`GroupCommitter::submit`] buffers finished transactions; a window
+//!    flushes when it reaches [`BatchConfig::max_batch`] members, when its
+//!    [`BatchConfig::window`] deadline fires, or on an explicit
+//!    [`GroupCommitter::flush`].
+//! 2. At flush, members whose reads a log entry decided since their read
+//!    position has invalidated are aborted immediately (ordinary optimistic
+//!    validation); the rest run through
+//!    [`walog::combine::partition_compatible`] — members that would read an
+//!    earlier member's write are deferred to the next instance, so an
+//!    internally conflicting window *splits* instead of proposing an
+//!    invalid combination.
+//! 3. The surviving batch drives one [`paxos::Proposer`] (built with
+//!    [`paxos::Proposer::new_batch`]). Losses are handled per member:
+//!    members a winning entry invalidates abort, members the winner already
+//!    contains are recognized as committed, and the rest promote together.
+//! 4. Every member's fate is reported as its own
+//!    [`ClientAction::Finished`]; the next window (including deferred
+//!    members) starts automatically.
+//!
+//! The committer routes its fast-path leader claim through the directory's
+//! per-group leader map ([`Directory::group_home`]), so a sharded workload
+//! has each datacenter leading — and batching for — its own subset of
+//! groups.
+
+use crate::client::{ClientAction, ClientConfig, TxnResult};
+use crate::datacenter::SharedCore;
+use crate::directory::Directory;
+use crate::msg::Msg;
+use paxos::{CommitProtocol, PaxosMsg, Proposer, ProposerAction, ProposerEvent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::{NodeId, SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+use walog::combine::partition_compatible;
+use walog::{GroupId, LogPosition, Transaction};
+
+/// Tuning knobs of a [`GroupCommitter`].
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Flush the window as soon as it holds this many transactions.
+    /// Batching is a Paxos-CP mechanism (one log entry, many transactions);
+    /// under [`CommitProtocol::BasicPaxos`] the effective batch size is 1.
+    pub max_batch: usize,
+    /// Flush an incomplete window this long after its first submission.
+    pub window: SimDuration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 8,
+            window: SimDuration::from_millis(5),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Builder-style batch-size override.
+    pub fn with_max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n.max(1);
+        self
+    }
+}
+
+/// One in-flight batch instance.
+struct Inflight {
+    proposer: Proposer,
+    started_at: SimTime,
+    /// Committer timer tag → proposer timer token.
+    timer_tokens: HashMap<u64, u64>,
+}
+
+/// A batching commit pipeline for one transaction group.
+///
+/// Unlike [`crate::TransactionClient`] — which owns the read/write sets of
+/// a single active transaction — the committer accepts fully built
+/// [`Transaction`]s (several application sessions' worth per window) and
+/// owns only their journey through the commit protocol. The embedding
+/// actor forwards messages/timers and executes the returned
+/// [`ClientAction`]s, exactly as it would for a `TransactionClient`.
+pub struct GroupCommitter {
+    node: NodeId,
+    group: GroupId,
+    home_replica: usize,
+    directory: Arc<Directory>,
+    config: ClientConfig,
+    batch: BatchConfig,
+    rng: StdRng,
+    /// Transactions waiting for the next instance (submission order).
+    window: Vec<Transaction>,
+    /// Tag of the armed window-deadline timer, if any.
+    window_tag: Option<u64>,
+    inflight: Option<Inflight>,
+    next_tag: u64,
+}
+
+impl GroupCommitter {
+    /// Create a committer for `group`, running on `node` and homed in the
+    /// datacenter with replica index `home_replica`.
+    pub fn new(
+        node: NodeId,
+        home_replica: usize,
+        group: GroupId,
+        directory: Arc<Directory>,
+        config: ClientConfig,
+        batch: BatchConfig,
+    ) -> Self {
+        GroupCommitter {
+            node,
+            group,
+            home_replica,
+            directory,
+            config,
+            batch,
+            rng: StdRng::seed_from_u64(0x51ed_270b ^ node.0 as u64),
+            window: Vec::new(),
+            window_tag: None,
+            inflight: None,
+            next_tag: 0,
+        }
+    }
+
+    /// The group this committer serves.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// The group's current read position at the local datacenter: the
+    /// position new transactions for this committer should read at.
+    pub fn read_position(&self) -> LogPosition {
+        self.home_core().lock().read_position(self.group)
+    }
+
+    /// Transactions buffered for a future instance.
+    pub fn pending(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether a batch instance is currently in flight.
+    pub fn committing(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    fn home_core(&self) -> SharedCore {
+        self.directory.core(self.home_replica)
+    }
+
+    fn effective_max_batch(&self) -> usize {
+        match self.config.protocol {
+            CommitProtocol::BasicPaxos => 1,
+            CommitProtocol::PaxosCp => self.batch.max_batch.max(1),
+        }
+    }
+
+    /// Submit a finished transaction for group commit. Returns the actions
+    /// to execute (a flush's protocol messages when the window filled, or a
+    /// window-deadline timer).
+    pub fn submit(&mut self, now: SimTime, txn: Transaction) -> Vec<ClientAction> {
+        debug_assert_eq!(
+            txn.group, self.group,
+            "transaction routed to wrong committer"
+        );
+        self.window.push(txn);
+        let mut out = Vec::new();
+        if self.inflight.is_none() && self.window.len() >= self.effective_max_batch() {
+            self.start_next_batch(now, &mut out);
+        } else if self.inflight.is_none() && self.window_tag.is_none() {
+            self.next_tag += 1;
+            let tag = self.next_tag;
+            self.window_tag = Some(tag);
+            out.push(ClientAction::ArmTimer {
+                delay: self.batch.window,
+                tag,
+            });
+        }
+        out
+    }
+
+    /// Flush the current window immediately (no-op while an instance is in
+    /// flight — the window flushes automatically when it finishes).
+    pub fn flush(&mut self, now: SimTime) -> Vec<ClientAction> {
+        let mut out = Vec::new();
+        self.start_next_batch(now, &mut out);
+        out
+    }
+
+    /// A member read at `read_position`; entries decided since then must
+    /// not have written anything it read (optimistic validation before the
+    /// batch competes for `position + 1`).
+    fn is_stale(&self, txn: &Transaction, through: LogPosition) -> bool {
+        let core = self.home_core();
+        let core = core.lock();
+        let Some(log) = core.log(self.group) else {
+            return false;
+        };
+        (txn.read_position.0 + 1..=through.0)
+            .map(LogPosition)
+            .filter_map(|p| log.get(p))
+            .any(|entry| entry.invalidates_reads_of(txn))
+    }
+
+    fn start_next_batch(&mut self, now: SimTime, out: &mut Vec<ClientAction>) {
+        if self.inflight.is_some() || self.window.is_empty() {
+            return;
+        }
+        self.window_tag = None;
+        let position = self.read_position();
+        // Optimistic validation: abort members whose reads are already
+        // known to be invalidated by entries decided since they read.
+        let candidates = std::mem::take(&mut self.window);
+        let mut valid = Vec::with_capacity(candidates.len());
+        for txn in candidates {
+            if self.is_stale(&txn, position) {
+                out.push(ClientAction::Finished(TxnResult {
+                    committed: false,
+                    read_only: false,
+                    promotions: 0,
+                    combined: false,
+                    rounds: 0,
+                    latency: SimDuration::ZERO,
+                    total_latency: SimDuration::ZERO,
+                    abort_reason: Some(paxos::AbortReason::Conflict),
+                }));
+            } else {
+                valid.push(txn);
+            }
+        }
+        if valid.is_empty() {
+            return;
+        }
+        // Split internally conflicting windows: deferred members wait for
+        // the next instance instead of invalidating the combination. A
+        // batch larger than the cap (possible when submissions piled up
+        // while an instance was in flight) spills its tail back into the
+        // window too — nothing is ever silently dropped.
+        let (mut batch, deferred) = partition_compatible(valid);
+        let cap = self.effective_max_batch().min(batch.len());
+        let mut overflow = batch.split_off(cap);
+        overflow.extend(deferred);
+        self.window = overflow;
+        let cfg = self.config.proposer_config(self.directory.num_replicas());
+        let mut proposer =
+            Proposer::new_batch(cfg, self.group, self.node.0 as u64, batch, position.next());
+        let actions = proposer.start();
+        self.inflight = Some(Inflight {
+            proposer,
+            started_at: now,
+            timer_tokens: HashMap::new(),
+        });
+        self.translate(now, actions, out);
+    }
+
+    /// Feed an incoming message (commit-protocol replies) into the
+    /// committer.
+    pub fn on_message(&mut self, now: SimTime, from: NodeId, msg: &Msg) -> Vec<ClientAction> {
+        let Msg::Paxos(paxos_msg) = msg else {
+            return Vec::new();
+        };
+        let Some(replica) = self.directory.replica_of_service(from) else {
+            return Vec::new();
+        };
+        let event = match paxos_msg {
+            PaxosMsg::PrepareReply {
+                position,
+                ballot,
+                promised,
+                next_bal,
+                last_vote,
+                ..
+            } => ProposerEvent::PrepareReply {
+                from: replica,
+                position: *position,
+                ballot: *ballot,
+                promised: *promised,
+                next_bal: *next_bal,
+                last_vote: last_vote.clone(),
+            },
+            PaxosMsg::AcceptReply {
+                position,
+                ballot,
+                accepted,
+                ..
+            } => ProposerEvent::AcceptReply {
+                from: replica,
+                position: *position,
+                ballot: *ballot,
+                accepted: *accepted,
+            },
+            PaxosMsg::LeaderClaimReply {
+                position, granted, ..
+            } => ProposerEvent::FastPathReply {
+                position: *position,
+                granted: *granted,
+            },
+            _ => return Vec::new(),
+        };
+        self.drive(now, event)
+    }
+
+    /// Feed a timer expiration (tag previously returned in
+    /// [`ClientAction::ArmTimer`]) into the committer.
+    pub fn on_timer(&mut self, now: SimTime, tag: u64) -> Vec<ClientAction> {
+        if self.window_tag == Some(tag) {
+            self.window_tag = None;
+            return self.flush(now);
+        }
+        let Some(inflight) = self.inflight.as_mut() else {
+            return Vec::new();
+        };
+        let Some(token) = inflight.timer_tokens.remove(&tag) else {
+            return Vec::new();
+        };
+        self.drive(now, ProposerEvent::Timer { token })
+    }
+
+    fn drive(&mut self, now: SimTime, event: ProposerEvent) -> Vec<ClientAction> {
+        let Some(inflight) = self.inflight.as_mut() else {
+            return Vec::new();
+        };
+        let actions = inflight.proposer.on_event(event);
+        let mut out = Vec::new();
+        self.translate(now, actions, &mut out);
+        out
+    }
+
+    fn translate(
+        &mut self,
+        now: SimTime,
+        actions: Vec<ProposerAction>,
+        out: &mut Vec<ClientAction>,
+    ) {
+        for action in actions {
+            match action {
+                ProposerAction::Broadcast(msg) => {
+                    for replica in 0..self.directory.num_replicas() {
+                        out.push(ClientAction::Send(
+                            self.directory.service_node(replica),
+                            Msg::Paxos(msg.clone()),
+                        ));
+                    }
+                }
+                ProposerAction::SendToLeader(msg) => {
+                    let leader = self.directory.leader_replica(
+                        self.home_replica,
+                        self.group,
+                        msg.position(),
+                    );
+                    out.push(ClientAction::Send(
+                        self.directory.service_node(leader),
+                        Msg::Paxos(msg),
+                    ));
+                }
+                ProposerAction::ArmTimer { token, kind } => {
+                    let delay = self.config.timer_delay(kind, &mut self.rng);
+                    self.next_tag += 1;
+                    let tag = self.next_tag;
+                    if let Some(inflight) = self.inflight.as_mut() {
+                        inflight.timer_tokens.insert(tag, token);
+                    }
+                    out.push(ClientAction::ArmTimer { delay, tag });
+                }
+                ProposerAction::Learned { position, entry } => {
+                    self.home_core()
+                        .lock()
+                        .install_entry(self.group, position, entry);
+                }
+                ProposerAction::Finished(outcome) => {
+                    let inflight = self
+                        .inflight
+                        .take()
+                        .expect("finished implies an in-flight batch");
+                    let latency = now.since(inflight.started_at);
+                    for _ in &outcome.committed_txns {
+                        out.push(ClientAction::Finished(TxnResult {
+                            committed: true,
+                            read_only: false,
+                            promotions: outcome.promotions,
+                            combined: outcome.combined,
+                            rounds: outcome.rounds,
+                            latency,
+                            total_latency: latency,
+                            abort_reason: None,
+                        }));
+                    }
+                    for (_, reason) in &outcome.aborted_txns {
+                        out.push(ClientAction::Finished(TxnResult {
+                            committed: false,
+                            read_only: false,
+                            promotions: outcome.promotions,
+                            combined: false,
+                            rounds: outcome.rounds,
+                            latency,
+                            total_latency: latency,
+                            abort_reason: Some(*reason),
+                        }));
+                    }
+                    // Deferred members (and anything submitted meanwhile)
+                    // form the next instance immediately.
+                    self.start_next_batch(now, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datacenter::DatacenterCore;
+    use walog::{ItemRef, TxnId};
+
+    fn harness() -> (Arc<Directory>, GroupCommitter) {
+        let dir = Directory::new();
+        dir.register_datacenter(NodeId(0), DatacenterCore::shared("dc0", 0));
+        dir.register_client(NodeId(5), 0);
+        let committer = GroupCommitter::new(
+            NodeId(5),
+            0,
+            GroupId(0),
+            dir.clone(),
+            ClientConfig::cp(),
+            BatchConfig::default().with_max_batch(2),
+        );
+        (dir, committer)
+    }
+
+    fn txn(dir: &Directory, seq: u64, attr: &str, read_position: LogPosition) -> Transaction {
+        let item = dir.symbols().item("row", attr);
+        Transaction::builder(TxnId::new(5, seq), GroupId(0), read_position)
+            .write(ItemRef::new(item.key, item.attr), "v")
+            .build()
+    }
+
+    #[test]
+    fn first_submission_arms_the_window_timer() {
+        let (dir, mut committer) = harness();
+        let actions = committer.submit(SimTime::ZERO, txn(&dir, 1, "a", LogPosition::ZERO));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], ClientAction::ArmTimer { .. }));
+        assert_eq!(committer.pending(), 1);
+        assert!(!committer.committing());
+    }
+
+    #[test]
+    fn full_window_flushes_into_one_instance() {
+        let (dir, mut committer) = harness();
+        committer.submit(SimTime::ZERO, txn(&dir, 1, "a", LogPosition::ZERO));
+        let actions = committer.submit(SimTime::ZERO, txn(&dir, 2, "b", LogPosition::ZERO));
+        // The flush starts the protocol: a leader claim (fast path) plus a
+        // timer.
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            ClientAction::Send(_, Msg::Paxos(PaxosMsg::LeaderClaim { .. }))
+        )));
+        assert!(committer.committing());
+        assert_eq!(committer.pending(), 0);
+    }
+
+    #[test]
+    fn window_timer_flushes_a_partial_window() {
+        let (dir, mut committer) = harness();
+        let actions = committer.submit(SimTime::ZERO, txn(&dir, 1, "a", LogPosition::ZERO));
+        let ClientAction::ArmTimer { tag, .. } = actions[0] else {
+            panic!("expected window timer");
+        };
+        let actions = committer.on_timer(SimTime::from_micros(5_000), tag);
+        assert!(!actions.is_empty());
+        assert!(committer.committing());
+    }
+
+    #[test]
+    fn conflicting_window_members_are_deferred_not_combined() {
+        let (dir, mut committer) = harness();
+        let item = dir.symbols().item("row", "a");
+        let writer = Transaction::builder(TxnId::new(5, 1), GroupId(0), LogPosition::ZERO)
+            .write(ItemRef::new(item.key, item.attr), "v")
+            .build();
+        let reader = Transaction::builder(TxnId::new(5, 2), GroupId(0), LogPosition::ZERO)
+            .read(ItemRef::new(item.key, item.attr), None)
+            .write(dir.symbols().item("row", "b"), "w")
+            .build();
+        committer.submit(SimTime::ZERO, writer);
+        committer.submit(SimTime::ZERO, reader);
+        // The reader reads the writer's item: it must not ride in the same
+        // entry, so it stays pending while the writer's instance runs.
+        assert!(committer.committing());
+        assert_eq!(committer.pending(), 1);
+    }
+
+    #[test]
+    fn submissions_piled_past_the_cap_spill_into_the_next_instance() {
+        // Single-replica cluster (majority 1), so the whole protocol can be
+        // driven by hand: fill the window (instance 1 starts with t1,t2),
+        // pile up three more submissions while it is in flight, then
+        // complete the instance and check that the next one takes exactly
+        // the cap and the tail stays pending — no transaction vanishes.
+        let (dir, mut committer) = harness();
+        let now = SimTime::ZERO;
+        committer.submit(now, txn(&dir, 1, "a", LogPosition::ZERO));
+        let actions = committer.submit(now, txn(&dir, 2, "b", LogPosition::ZERO));
+        assert!(committer.committing());
+        for (i, attr) in ["c", "d", "e"].iter().enumerate() {
+            committer.submit(now, txn(&dir, 3 + i as u64, attr, LogPosition::ZERO));
+        }
+        assert_eq!(committer.pending(), 3);
+
+        // Drive instance 1: grant the fast path, capture the accept's
+        // ballot, ack it (majority of 1), which finishes the batch and
+        // immediately starts instance 2 from the buffered window.
+        let claim_position = actions
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::Send(_, Msg::Paxos(PaxosMsg::LeaderClaim { position, .. })) => {
+                    Some(*position)
+                }
+                _ => None,
+            })
+            .expect("fast path claim");
+        let actions = committer.on_message(
+            now,
+            NodeId(0),
+            &Msg::Paxos(PaxosMsg::LeaderClaimReply {
+                group: GroupId(0),
+                position: claim_position,
+                granted: true,
+            }),
+        );
+        let (position, ballot) = actions
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::Send(
+                    _,
+                    Msg::Paxos(PaxosMsg::Accept {
+                        position, ballot, ..
+                    }),
+                ) => Some((*position, *ballot)),
+                _ => None,
+            })
+            .expect("accept broadcast");
+        let actions = committer.on_message(
+            now,
+            NodeId(0),
+            &Msg::Paxos(PaxosMsg::AcceptReply {
+                group: GroupId(0),
+                position,
+                ballot,
+                accepted: true,
+            }),
+        );
+        let finished = actions
+            .iter()
+            .filter(|a| matches!(a, ClientAction::Finished(r) if r.committed))
+            .count();
+        assert_eq!(finished, 2, "instance 1 commits t1 and t2");
+        // Instance 2 took t3,t4 (the cap); t5 spilled back into the window.
+        assert!(committer.committing());
+        assert_eq!(
+            committer.pending(),
+            1,
+            "the member past the cap must stay pending, not vanish"
+        );
+    }
+
+    #[test]
+    fn stale_members_abort_at_flush() {
+        let (dir, mut committer) = harness();
+        // Decide position 1 writing "a"; a member that read "a" at position
+        // 0 is stale by flush time.
+        let decided = txn(&dir, 9, "a", LogPosition::ZERO);
+        dir.core(0).lock().install_entry(
+            GroupId(0),
+            LogPosition(1),
+            Arc::new(walog::LogEntry::single(decided)),
+        );
+        let item = dir.symbols().item("row", "a");
+        let stale = Transaction::builder(TxnId::new(5, 1), GroupId(0), LogPosition::ZERO)
+            .read(ItemRef::new(item.key, item.attr), None)
+            .write(dir.symbols().item("row", "b"), "w")
+            .build();
+        committer.submit(SimTime::ZERO, stale);
+        let actions = committer.flush(SimTime::ZERO);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            ClientAction::Finished(TxnResult {
+                committed: false,
+                abort_reason: Some(paxos::AbortReason::Conflict),
+                ..
+            })
+        )));
+        assert!(!committer.committing());
+    }
+}

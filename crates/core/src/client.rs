@@ -85,7 +85,21 @@ impl ClientConfig {
         }
     }
 
-    fn proposer_config(&self, num_replicas: usize) -> ProposerConfig {
+    /// The concrete delay for a proposer timer request — shared by the
+    /// single-transaction client and the batching committer so their
+    /// timeout policies can never diverge.
+    pub(crate) fn timer_delay(&self, kind: TimerKind, rng: &mut StdRng) -> SimDuration {
+        match kind {
+            TimerKind::ReplyTimeout => self.message_timeout,
+            TimerKind::Backoff => {
+                let max = self.backoff_max.as_micros().max(1);
+                SimDuration::from_micros(rng.gen_range(0..max))
+            }
+            TimerKind::Gather => self.gather_window,
+        }
+    }
+
+    pub(crate) fn proposer_config(&self, num_replicas: usize) -> ProposerConfig {
         let base = match self.protocol {
             CommitProtocol::BasicPaxos => ProposerConfig::basic(num_replicas),
             CommitProtocol::PaxosCp => ProposerConfig::cp(num_replicas),
@@ -486,21 +500,18 @@ impl TransactionClient {
                     }
                 }
                 ProposerAction::SendToLeader(msg) => {
-                    let leader = self.leader_replica_for(msg.group(), msg.position());
+                    let leader = self.directory.leader_replica(
+                        self.home_replica,
+                        msg.group(),
+                        msg.position(),
+                    );
                     out.push(ClientAction::Send(
                         self.directory.service_node(leader),
                         Msg::Paxos(msg),
                     ));
                 }
                 ProposerAction::ArmTimer { token, kind } => {
-                    let delay = match kind {
-                        TimerKind::ReplyTimeout => self.config.message_timeout,
-                        TimerKind::Backoff => {
-                            let max = self.config.backoff_max.as_micros().max(1);
-                            SimDuration::from_micros(self.rng.gen_range(0..max))
-                        }
-                        TimerKind::Gather => self.config.gather_window,
-                    };
+                    let delay = self.config.timer_delay(kind, &mut self.rng);
                     self.next_tag += 1;
                     let tag = self.next_tag;
                     if let Some(txn) = self.active.as_mut() {
@@ -539,18 +550,6 @@ impl TransactionClient {
             }
         }
         out
-    }
-
-    /// The replica hosting the leader of `position`: the datacenter of the
-    /// client that won `position - 1`, defaulting to this client's own
-    /// datacenter when unknown (the very first position, a no-op entry, or a
-    /// winner from an unregistered client).
-    fn leader_replica_for(&self, group: GroupId, position: LogPosition) -> usize {
-        self.home_core()
-            .lock()
-            .previous_winner_client(group, position)
-            .and_then(|client| self.directory.replica_of_client_raw(client))
-            .unwrap_or(self.home_replica)
     }
 }
 

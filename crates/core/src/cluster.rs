@@ -230,6 +230,31 @@ impl Cluster {
             .map(|l| l.committed_transaction_count())
             .unwrap_or(0)
     }
+
+    /// Decided non-noop log entries (= Paxos instances that committed work)
+    /// in a replica's log for a group. Dividing
+    /// [`Cluster::committed_in_log_id`] by this gives the batching/
+    /// combination amortization: committed transactions per Paxos instance.
+    pub fn decided_instances_id(&self, replica: usize, group: GroupId) -> usize {
+        self.directory
+            .core(replica)
+            .lock()
+            .log(group)
+            .map(|l| l.iter().filter(|(_, e)| !e.is_noop()).count())
+            .unwrap_or(0)
+    }
+
+    /// Per-replica counts of remote reads expired by the Transaction
+    /// Services (answered `unavailable` after the requester's timeout), in
+    /// replica order. Harnesses fold these into
+    /// [`RunMetrics::expired_reads`](crate::RunMetrics).
+    pub fn expired_read_counts(&self) -> Vec<u64> {
+        self.directory
+            .cores()
+            .iter()
+            .map(|core| core.lock().expired_read_count())
+            .collect()
+    }
 }
 
 #[cfg(test)]

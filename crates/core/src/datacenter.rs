@@ -44,6 +44,11 @@ pub struct DatacenterCore {
     /// First client to claim each (group, position) via the leader fast
     /// path; later claimants are denied.
     leader_claims: HashMap<(GroupId, LogPosition), u64>,
+    /// Remote reads the local Transaction Service answered `unavailable`
+    /// and evicted because the requester timed out before the log caught
+    /// up. Lives here (not in the service actor) so harnesses can read it
+    /// after a run — the paper's services are stateless for a reason.
+    expired_reads: u64,
 }
 
 impl DatacenterCore {
@@ -55,7 +60,23 @@ impl DatacenterCore {
             store: MvKvStore::new(),
             logs: HashMap::new(),
             leader_claims: HashMap::new(),
+            expired_reads: 0,
         }
+    }
+
+    /// The store row key of an application item: the group id in the high
+    /// half, the row key in the low half. Qualifying rows by group keeps
+    /// every group's key space disjoint — two groups using the same row
+    /// name never collide in the shared store — and stays below the
+    /// reserved protocol-metadata region (bit 63, see
+    /// `paxos::AcceptorStore::state_key`) for every interner-assigned group
+    /// id.
+    fn app_key(group: GroupId, key: KeyId) -> Key {
+        debug_assert!(
+            group.0 < 1 << 31,
+            "group id space exceeds the application key region"
+        );
+        Key(((group.0 as u64) << 32) | key.0 as u64)
     }
 
     /// Convenience: wrap in the shared handle used across actors.
@@ -114,33 +135,33 @@ impl DatacenterCore {
         let log = self.logs.entry(group).or_default();
         log.install(position, entry)
             .expect("replication property R1 violated: conflicting entry for a decided position");
-        Self::apply_contiguous(log, &self.store);
+        Self::apply_contiguous(group, log, &self.store);
     }
 
     /// Apply every decided-but-unapplied entry in the gap-free prefix of the
     /// group's log to the key-value store.
-    fn apply_contiguous(log: &mut GroupLog, store: &MvKvStore) {
+    fn apply_contiguous(group: GroupId, log: &mut GroupLog, store: &MvKvStore) {
         let through = log.contiguous_prefix();
         let Some(pending) = log.unapplied_range(through) else {
             return;
         };
         for (pos, entry) in pending {
-            for (key, row) in Self::entry_writes(&entry) {
+            for (key, row) in Self::entry_writes(group, &entry) {
                 store.apply_idempotent(key, row, Timestamp(pos.0));
             }
             log.mark_applied_through(pos);
         }
     }
 
-    /// Collapse an entry's writes into one row-delta per key. Later
-    /// transactions in a combined entry overwrite earlier ones, matching the
-    /// serialization order within the entry.
-    fn entry_writes(entry: &LogEntry) -> BTreeMap<Key, Row> {
+    /// Collapse an entry's writes into one row-delta per (group-qualified)
+    /// key. Later transactions in a combined entry overwrite earlier ones,
+    /// matching the serialization order within the entry.
+    fn entry_writes(group: GroupId, entry: &LogEntry) -> BTreeMap<Key, Row> {
         let mut per_key: BTreeMap<Key, Row> = BTreeMap::new();
         for txn in entry.transactions() {
             for write in txn.writes() {
                 per_key
-                    .entry(write.item.key.store_key())
+                    .entry(Self::app_key(group, write.item.key))
                     .or_default()
                     .set(write.item.attr.into(), write.value.clone());
             }
@@ -165,13 +186,25 @@ impl DatacenterCore {
             if !missing.is_empty() {
                 return Err(CatchUpNeeded { missing });
             }
-            Self::apply_contiguous(log, &self.store);
+            Self::apply_contiguous(group, log, &self.store);
         }
         Ok(self.store.read_attr(
-            key.store_key(),
+            Self::app_key(group, key),
             attr.into(),
             Some(Timestamp(read_position.0)),
         ))
+    }
+
+    /// Count one remote read answered `unavailable` and evicted after its
+    /// requester timed out (recorded by the local Transaction Service).
+    pub fn note_expired_read(&mut self) {
+        self.expired_reads += 1;
+    }
+
+    /// Remote reads answered `unavailable` because their requester timed
+    /// out before the log caught up.
+    pub fn expired_read_count(&self) -> u64 {
+        self.expired_reads
     }
 
     /// Whether this datacenter has decided (locally installed) the entry at
@@ -271,6 +304,36 @@ mod tests {
             None
         );
         assert_eq!(core.committed_transactions(), 2);
+    }
+
+    #[test]
+    fn groups_with_the_same_row_key_do_not_alias_in_the_store() {
+        // Two groups both write row 0 / attr 0 at position 1 with different
+        // values: group-qualified store keys must keep them apart.
+        let mut core = DatacenterCore::new("dc0", 0);
+        let other = GroupId(1);
+        core.install_entry(GROUP, LogPosition(1), write_entry(0, 1, 0, A, "g0-value"));
+        let txn = Transaction::builder(TxnId::new(1, 1), other, LogPosition(0))
+            .write(ItemRef::new(ROW, A), "g1-value")
+            .build();
+        core.install_entry(other, LogPosition(1), Arc::new(LogEntry::single(txn)));
+        assert_eq!(
+            core.read(GROUP, ROW, A, LogPosition(1)).unwrap(),
+            Some("g0-value".to_string())
+        );
+        assert_eq!(
+            core.read(other, ROW, A, LogPosition(1)).unwrap(),
+            Some("g1-value".to_string())
+        );
+    }
+
+    #[test]
+    fn expired_read_counter_accumulates() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        assert_eq!(core.expired_read_count(), 0);
+        core.note_expired_read();
+        core.note_expired_read();
+        assert_eq!(core.expired_read_count(), 2);
     }
 
     #[test]

@@ -1,23 +1,34 @@
-//! Cluster directory: how clients and services find each other, and the
-//! shared symbol table they intern names through.
+//! Cluster directory: how clients and services find each other, the shared
+//! symbol table they intern names through, and the per-group leader map
+//! that shards log leadership across datacenters.
 
 use crate::datacenter::SharedCore;
 use parking_lot::RwLock;
 use simnet::NodeId;
 use std::collections::HashMap;
 use std::sync::Arc;
-use walog::SymbolTable;
+use walog::{GroupId, LogPosition, SymbolTable};
 
 /// Immutable-after-wiring lookup table shared by every actor in a cluster:
 /// which node is the Transaction Service of each replica, which datacenter a
-/// client lives in, the shared storage core of each datacenter, and the
+/// client lives in, the shared storage core of each datacenter, the
 /// cluster-wide [`SymbolTable`] mapping group/key/attribute names to the
-/// interned ids the whole data plane runs on.
+/// interned ids the whole data plane runs on, and the **group leader map**.
+///
+/// The leader map is what makes the sharded multi-group data plane scale:
+/// each transaction group's log has a *home* datacenter that prefers to
+/// lead its positions (the paper's leader-per-position fast path, §4.1,
+/// seeds from it), so disjoint subsets of groups are led by disjoint
+/// datacenters and commit in parallel with no cross-group coordination.
+/// By default homes are assigned round-robin by group id; explicit
+/// assignments override (e.g. to co-locate a group with the datacenter
+/// that generates its traffic).
 pub struct Directory {
     symbols: Arc<SymbolTable>,
     service_nodes: RwLock<Vec<NodeId>>,
     cores: RwLock<Vec<SharedCore>>,
     client_replica: RwLock<HashMap<NodeId, usize>>,
+    group_homes: RwLock<HashMap<GroupId, usize>>,
 }
 
 impl Default for Directory {
@@ -27,6 +38,7 @@ impl Default for Directory {
             service_nodes: RwLock::new(Vec::new()),
             cores: RwLock::new(Vec::new()),
             client_replica: RwLock::new(HashMap::new()),
+            group_homes: RwLock::new(HashMap::new()),
         }
     }
 }
@@ -98,6 +110,49 @@ impl Directory {
     pub fn replica_of_client_raw(&self, client_raw: u64) -> Option<usize> {
         self.replica_of_client(NodeId(client_raw as u32))
     }
+
+    /// The home datacenter of a transaction group: the replica that prefers
+    /// to lead the group's log positions. Explicit assignments (see
+    /// [`Directory::set_group_home`]) win; otherwise homes are spread
+    /// round-robin by group id so a cluster with `D` datacenters leads `D`
+    /// disjoint shards of the group space in parallel.
+    pub fn group_home(&self, group: GroupId) -> usize {
+        if let Some(home) = self.group_homes.read().get(&group) {
+            return *home;
+        }
+        let replicas = self.num_replicas();
+        if replicas == 0 {
+            0
+        } else {
+            group.0 as usize % replicas
+        }
+    }
+
+    /// Pin a group's home datacenter, overriding the round-robin default.
+    pub fn set_group_home(&self, group: GroupId, replica: usize) {
+        self.group_homes.write().insert(group, replica);
+    }
+
+    /// The replica hosting the leader of `position` in `group` (§4.1: the
+    /// site local to the client that won the previous position, read from
+    /// `home_replica`'s log), defaulting to the group's home in the leader
+    /// map when unknown — the very first position, a no-op entry, or a
+    /// winner from an unregistered client. The home default is what shards
+    /// leadership: each datacenter seeds the fast path for its own subset
+    /// of groups. Shared by the single-transaction client and the batching
+    /// committer so their routing can never diverge.
+    pub fn leader_replica(
+        &self,
+        home_replica: usize,
+        group: GroupId,
+        position: LogPosition,
+    ) -> usize {
+        self.core(home_replica)
+            .lock()
+            .previous_winner_client(group, position)
+            .and_then(|client| self.replica_of_client_raw(client))
+            .unwrap_or_else(|| self.group_home(group))
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +179,22 @@ mod tests {
         assert_eq!(dir.replica_of_client_raw(5), Some(1));
         assert_eq!(dir.core(0).lock().name(), "dc0");
         assert_eq!(dir.cores().len(), 2);
+    }
+
+    #[test]
+    fn group_homes_default_round_robin_and_accept_overrides() {
+        let dir = Directory::new();
+        dir.register_datacenter(NodeId(0), DatacenterCore::shared("dc0", 0));
+        dir.register_datacenter(NodeId(1), DatacenterCore::shared("dc1", 1));
+        dir.register_datacenter(NodeId(2), DatacenterCore::shared("dc2", 2));
+        assert_eq!(dir.group_home(GroupId(0)), 0);
+        assert_eq!(dir.group_home(GroupId(1)), 1);
+        assert_eq!(dir.group_home(GroupId(2)), 2);
+        assert_eq!(dir.group_home(GroupId(3)), 0);
+        dir.set_group_home(GroupId(3), 2);
+        assert_eq!(dir.group_home(GroupId(3)), 2);
+        // A directory with no datacenters yet falls back to replica 0.
+        assert_eq!(Directory::new().group_home(GroupId(7)), 0);
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //! * [`TransactionClient`] — the client library: `begin` / `read` / `write`
 //!   / `commit` with an optimistic read/write set, driving the Paxos or
 //!   Paxos-CP proposer (Algorithm 2) at commit time.
+//! * [`GroupCommitter`] — the batching commit pipeline: independent
+//!   transactions from one client window ride a single Paxos-CP instance
+//!   as one combined entry, amortizing the wide-area round trips; the
+//!   [`Directory`]'s per-group leader map shards leadership (and batching)
+//!   across datacenters.
 //! * [`Cluster`] — the harness that wires everything into a deterministic
 //!   simulation, injects failures, and verifies the resulting logs with the
 //!   serializability checker after every run.
@@ -35,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod client;
 pub mod cluster;
 pub mod datacenter;
@@ -44,6 +50,7 @@ pub mod msg;
 pub mod service;
 pub mod topology;
 
+pub use batch::{BatchConfig, GroupCommitter};
 pub use client::{ClientAction, ClientConfig, TransactionClient, TxnResult};
 pub use cluster::{Cluster, ClusterConfig};
 pub use datacenter::DatacenterCore;

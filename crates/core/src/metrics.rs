@@ -65,6 +65,13 @@ pub struct RunMetrics {
     pub commit_latency_us_by_promotion: Vec<Vec<u64>>,
     /// Latency samples of aborted transactions, in microseconds.
     pub abort_latency_us: Vec<u64>,
+    /// Remote reads the Transaction Services answered `unavailable` and
+    /// evicted because the requester timed out before the local log caught
+    /// up. Service-side (not per-transaction): harnesses populate it from
+    /// the datacenter cores after a run (see
+    /// `TransactionService::expired_read_count`), and [`RunMetrics::merge`]
+    /// accumulates it like every other counter.
+    pub expired_reads: u64,
 }
 
 impl RunMetrics {
@@ -101,6 +108,7 @@ impl RunMetrics {
         self.aborted += other.aborted;
         self.combined_commits += other.combined_commits;
         self.read_only += other.read_only;
+        self.expired_reads += other.expired_reads;
         if self.commits_by_promotion.len() < other.commits_by_promotion.len() {
             self.commits_by_promotion
                 .resize(other.commits_by_promotion.len(), 0);
@@ -220,10 +228,13 @@ mod tests {
         let mut b = RunMetrics::default();
         b.record(&result(true, 3, 15));
         b.record(&result(false, 0, 5));
+        b.expired_reads = 3;
+        a.expired_reads = 1;
         a.merge(&b);
         assert_eq!(a.attempted, 3);
         assert_eq!(a.committed, 2);
         assert_eq!(a.commits_by_promotion, vec![1, 0, 0, 1]);
         assert_eq!(a.abort_latency_us.len(), 1);
+        assert_eq!(a.expired_reads, 4);
     }
 }

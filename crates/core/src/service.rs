@@ -11,6 +11,16 @@
 //! * catch up missing log positions by running recovery Paxos instances
 //!   proposing no-ops (§4.1, Fault Tolerance and Recovery).
 //!
+//! The service is group-agnostic by construction: every message names its
+//! transaction group, per-group state lives in the shared
+//! [`DatacenterCore`](crate::DatacenterCore) (one log per group,
+//! group-qualified store rows), and a decided `Apply` — whether it carries
+//! a single transaction or a whole batched/combined entry — installs in
+//! one step and unblocks only its own group's parked reads. Sharding the
+//! workload over many groups therefore needs no service-side changes:
+//! each datacenter leads its subset of groups (see
+//! [`crate::Directory::group_home`]) while acting as acceptor for all.
+//!
 //! Reads that arrive before the local log caught up are parked in a map
 //! keyed by `(group, read position)`: one bucket per position being waited
 //! on, duplicate requests (same requester and correlation id) replace their
@@ -59,9 +69,6 @@ pub struct TransactionService {
     /// Parked remote reads, bucketed by the (group, read position) they
     /// wait for.
     pending_reads: HashMap<(GroupId, LogPosition), Vec<PendingRead>>,
-    /// Parked reads answered `unavailable` and evicted because their
-    /// requester timed out before the log caught up.
-    expired_reads: u64,
 }
 
 impl TransactionService {
@@ -83,7 +90,6 @@ impl TransactionService {
             timers: HashMap::new(),
             next_tag: 0,
             pending_reads: HashMap::new(),
-            expired_reads: 0,
         }
     }
 
@@ -97,9 +103,12 @@ impl TransactionService {
         self.pending_reads.values().map(Vec::len).sum()
     }
 
-    /// Parked reads answered `unavailable` because their requester timed out.
+    /// Parked reads answered `unavailable` because their requester timed
+    /// out. The counter lives in the datacenter's shared [`SharedCore`], so
+    /// experiment harnesses can surface it in their run metrics after the
+    /// service actor has been consumed by the simulation.
     pub fn expired_read_count(&self) -> u64 {
-        self.expired_reads
+        self.core.lock().expired_read_count()
     }
 
     fn node_for_replica(&self, replica: ReplicaId) -> NodeId {
@@ -269,7 +278,7 @@ impl TransactionService {
                 // fresh request is never expired — expiry only applies to
                 // re-attempts of parked reads, after serving was tried.
                 if ctx.now().since(pending.enqueued_at) > self.message_timeout {
-                    self.expired_reads += 1;
+                    self.core.lock().note_expired_read();
                     ctx.send(
                         pending.from,
                         Msg::ReadReply {

@@ -1,24 +1,44 @@
 //! The proposer role of the Transaction Client (Algorithm 2), including the
-//! Paxos-CP promotion loop, as a driver-agnostic state machine.
+//! Paxos-CP promotion loop and client-side proposal batching, as a
+//! driver-agnostic state machine.
 //!
-//! The embedding layer (the `mdstore` transaction client) feeds the machine
-//! with [`ProposerEvent`]s — replica replies and timer expirations — and
-//! executes the [`ProposerAction`]s it returns: broadcasting messages,
-//! arming timers, installing learned log entries, and finally reporting the
+//! The embedding layer (the `mdstore` transaction client or the batching
+//! [`mdstore` group committer]) feeds the machine with [`ProposerEvent`]s —
+//! replica replies and timer expirations — and executes the
+//! [`ProposerAction`]s it returns: broadcasting messages, arming timers,
+//! installing learned log entries, and finally reporting the
 //! [`CommitOutcome`] to the application.
 //!
-//! The proposer's own value is built once as an `Arc<LogEntry>` and shared
-//! with every accept/apply message and learned-entry installation; the
-//! promotion conflict test runs as integer-set lookups against the winning
-//! entry's cached write set.
+//! # Batching
+//!
+//! A proposer built with [`Proposer::new_batch`] commits an *ordered batch*
+//! of mutually compatible transactions (validated by
+//! [`walog::combine::partition_compatible`]) in **one** Paxos-CP instance:
+//! one prepare/accept round trip and one piggybacked apply broadcast decide
+//! the whole batch, amortizing the wide-area round trips that dominate
+//! geo-replicated commit latency. The state machine handles partial fates:
+//! members a competing winner invalidates are dropped (aborted with
+//! [`AbortReason::Conflict`]) while the surviving sub-batch promotes to the
+//! next position, and members that another proposer's combined entry already
+//! committed are recognized and never proposed twice. The per-member fates
+//! are reported in [`CommitOutcome::committed_txns`] /
+//! [`CommitOutcome::aborted_txns`].
+//!
+//! The proposer's own value is built once per batch composition as an
+//! `Arc<LogEntry>` and shared with every accept/apply message and
+//! learned-entry installation (it is only rebuilt when members leave the
+//! batch); the promotion conflict test runs as integer-set lookups against
+//! the winning entry's cached write set.
+//!
+//! [`mdstore` group committer]: ../../mdstore/batch/index.html
 
 use crate::ballot::Ballot;
 use crate::config::{CommitProtocol, ProposerConfig};
 use crate::msg::{PaxosMsg, ReplicaId};
-use crate::selector::{enhanced_find_winning_val, find_winning_val, ValueChoice, Vote};
+use crate::selector::{enhanced_find_winning_val_batch, find_winning_val, ValueChoice, Vote};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use walog::{GroupId, LogEntry, LogPosition, Transaction};
+use walog::{GroupId, LogEntry, LogPosition, Transaction, TxnId};
 
 /// Which timer a [`ProposerAction::ArmTimer`] request refers to. The driver
 /// chooses the concrete durations (the paper uses a 2 s reply timeout and a
@@ -120,22 +140,31 @@ pub enum AbortReason {
     RoundLimit,
 }
 
-/// Result of a commit attempt.
+/// Result of a commit attempt (a single transaction or a whole batch).
 #[derive(Clone, Debug, PartialEq)]
 pub struct CommitOutcome {
-    /// Whether the transaction committed.
+    /// Whether anything committed: the transaction itself for a single-
+    /// transaction proposer, at least one member for a batch.
     pub committed: bool,
-    /// The position it committed at (when committed).
+    /// The position of the last decide that committed members (when
+    /// committed). For a batch that split across promotions this is where
+    /// the final surviving members landed.
     pub position: Option<LogPosition>,
     /// Number of promotions performed before the final outcome.
     pub promotions: u32,
-    /// Whether the transaction committed as part of a combined (multi
-    /// transaction) entry.
+    /// Whether the committing log entry held more than one transaction
+    /// (client-side batch and/or Paxos-CP combination).
     pub combined: bool,
     /// Total prepare/accept rounds executed across positions.
     pub rounds: u32,
-    /// Abort reason (when not committed).
+    /// Abort reason (when nothing committed): the fate of the first member
+    /// to abort.
     pub abort_reason: Option<AbortReason>,
+    /// Ids of the members that committed, in batch order (empty for
+    /// recovery proposers).
+    pub committed_txns: Vec<TxnId>,
+    /// Ids of the members that aborted, each with its reason.
+    pub aborted_txns: Vec<(TxnId, AbortReason)>,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -160,8 +189,10 @@ struct RoundState {
 /// What the proposer is trying to get decided.
 #[derive(Clone, Debug)]
 enum Goal {
-    /// Commit an application transaction (the normal case).
-    Commit(Transaction),
+    /// Commit an ordered batch of mutually compatible application
+    /// transactions (a single transaction is a batch of one). The list
+    /// shrinks as members commit or abort.
+    Commit(Vec<Transaction>),
     /// Learn (or force) the value of a position by proposing a no-op — the
     /// recovery path of §4.1: a Transaction Service with a log gap runs a
     /// Paxos instance to learn the missing entry.
@@ -187,6 +218,15 @@ pub struct Proposer {
     total_rounds: u32,
     timer_token: u64,
     finished: bool,
+    /// Members already committed (by our decide or by another proposer's
+    /// combined entry), in the order they were observed committed.
+    committed_ids: Vec<TxnId>,
+    /// Members dropped along the way, each with its reason.
+    aborted_ids: Vec<(TxnId, AbortReason)>,
+    /// Position of the last decide that committed members.
+    committed_position: Option<LogPosition>,
+    /// Whether any committing entry held more than one transaction.
+    committed_combined: bool,
 }
 
 impl Proposer {
@@ -203,9 +243,32 @@ impl Proposer {
             cfg,
             group,
             client_id,
-            Goal::Commit(own_txn),
+            Goal::Commit(vec![own_txn]),
             commit_position,
         )
+    }
+
+    /// Create a proposer that commits an ordered batch of transactions in a
+    /// single Paxos-CP instance: the whole batch is proposed as one combined
+    /// log entry, so one prepare/accept exchange and one apply broadcast
+    /// decide every member.
+    ///
+    /// The batch must be a valid combination in the order given — no member
+    /// may read an item written by an earlier member (callers produce such
+    /// batches with [`walog::combine::partition_compatible`]).
+    pub fn new_batch(
+        cfg: ProposerConfig,
+        group: GroupId,
+        client_id: u64,
+        batch: Vec<Transaction>,
+        commit_position: LogPosition,
+    ) -> Self {
+        assert!(!batch.is_empty(), "a batch needs at least one transaction");
+        debug_assert!(
+            walog::combine::is_valid_combination(&batch),
+            "batch members must form a valid combination; partition first"
+        );
+        Self::with_goal(cfg, group, client_id, Goal::Commit(batch), commit_position)
     }
 
     /// Create a recovery proposer that proposes a no-op for `position` in
@@ -230,7 +293,7 @@ impl Proposer {
         commit_position: LogPosition,
     ) -> Self {
         let own_entry = match &goal {
-            Goal::Commit(txn) => Arc::new(LogEntry::single(txn.clone())),
+            Goal::Commit(txns) => Arc::new(LogEntry::combined(txns.clone())),
             Goal::Recover => Arc::new(LogEntry::noop()),
         };
         Proposer {
@@ -249,6 +312,10 @@ impl Proposer {
             total_rounds: 0,
             timer_token: 0,
             finished: false,
+            committed_ids: Vec::new(),
+            aborted_ids: Vec::new(),
+            committed_position: None,
+            committed_combined: false,
         }
     }
 
@@ -266,12 +333,19 @@ impl Proposer {
         self.position
     }
 
-    /// The transaction being committed (`None` for recovery proposers).
-    pub fn transaction(&self) -> Option<&Transaction> {
+    /// The transactions still being committed, in batch order (empty for
+    /// recovery proposers; shrinks as members commit or abort).
+    pub fn transactions(&self) -> &[Transaction] {
         match &self.goal {
-            Goal::Commit(txn) => Some(txn),
-            Goal::Recover => None,
+            Goal::Commit(txns) => txns,
+            Goal::Recover => &[],
         }
+    }
+
+    /// The first transaction still being committed (`None` for recovery
+    /// proposers).
+    pub fn transaction(&self) -> Option<&Transaction> {
+        self.transactions().first()
     }
 
     /// Number of promotions performed so far.
@@ -447,14 +521,14 @@ impl Proposer {
             }
             // Promotion decisions are already conclusive at a majority: if a
             // value has a majority of votes, waiting cannot change the fact.
-            let Goal::Commit(own_txn) = &self.goal else {
+            let Goal::Commit(own_txns) = &self.goal else {
                 self.choose_and_accept(out);
                 return;
             };
             let votes: Vec<Vote> = self.round.prepare_replies.values().cloned().collect();
-            if let ValueChoice::Promote { decided } = enhanced_find_winning_val(
+            if let ValueChoice::Promote { decided } = enhanced_find_winning_val_batch(
                 &votes,
-                own_txn,
+                own_txns,
                 &self.own_entry,
                 self.cfg.num_replicas,
                 self.cfg.combination_enabled,
@@ -480,10 +554,10 @@ impl Proposer {
                 let value = find_winning_val(&votes, &self.own_entry);
                 self.begin_accept(value, out);
             }
-            (Goal::Commit(own_txn), CommitProtocol::PaxosCp) => {
-                match enhanced_find_winning_val(
+            (Goal::Commit(own_txns), CommitProtocol::PaxosCp) => {
+                match enhanced_find_winning_val_batch(
                     &votes,
-                    own_txn,
+                    own_txns,
                     &self.own_entry,
                     self.cfg.num_replicas,
                     self.cfg.combination_enabled,
@@ -517,6 +591,9 @@ impl Proposer {
             .proposed
             .clone()
             .expect("accept phase always has a proposed value");
+        // The decide broadcast *is* the apply: one message per replica
+        // installs the whole (possibly multi-transaction) entry, so a batch
+        // piggybacks every member's apply on a single broadcast.
         out.push(ProposerAction::Broadcast(PaxosMsg::Apply {
             group: self.group,
             position: self.position,
@@ -527,44 +604,97 @@ impl Proposer {
             position: self.position,
             entry: Arc::clone(&decided),
         });
-        let own_id = match &self.goal {
-            Goal::Commit(txn) => Some(txn.id),
-            Goal::Recover => None,
-        };
-        match own_id {
+        let Goal::Commit(members) = &mut self.goal else {
             // Recovery: the position is now learned; report a non-commit
             // outcome (nothing of ours was committed).
-            None => self.finish_abort_with(None, out),
-            Some(id) if decided.contains(id) => self.finish_commit(decided.len() > 1, out),
-            Some(_) => {
-                // We pushed someone else's value through (mandated by the
-                // Paxos safety rule). Our own transaction lost this position.
-                match self.cfg.protocol {
-                    CommitProtocol::BasicPaxos => self.finish_abort(AbortReason::Conflict, out),
-                    CommitProtocol::PaxosCp => self.handle_loss(&decided, out),
-                }
+            self.finish_final(out);
+            return;
+        };
+        // Partition the batch by whether the decided entry committed it.
+        let before = self.committed_ids.len();
+        let mut rest = Vec::new();
+        for txn in members.drain(..) {
+            if decided.contains(txn.id) {
+                self.committed_ids.push(txn.id);
+            } else {
+                rest.push(txn);
             }
+        }
+        if self.committed_ids.len() > before {
+            self.committed_position = Some(self.position);
+            if decided.len() > 1 {
+                self.committed_combined = true;
+            }
+        }
+        if rest.is_empty() {
+            self.finish_final(out);
+            return;
+        }
+        // We pushed a value through (mandated by the Paxos safety rule) that
+        // did not include these members: they lost this position.
+        *members = rest;
+        match self.cfg.protocol {
+            CommitProtocol::BasicPaxos => self.finish_abort(AbortReason::Conflict, out),
+            CommitProtocol::PaxosCp => self.handle_loss(&decided, out),
         }
     }
 
-    /// The current position was (or will be) won by `winner` without our
-    /// transaction: abort on conflict, otherwise promote to the next
-    /// position if the cap allows.
+    /// The current position was (or will be) won by `winner` without (all
+    /// of) our members: drop the members whose reads `winner` invalidates,
+    /// then promote the survivors to the next position if the cap allows.
     fn handle_loss(&mut self, winner: &LogEntry, out: &mut Vec<ProposerAction>) {
-        let Goal::Commit(own_txn) = &self.goal else {
+        let Goal::Commit(members) = &mut self.goal else {
             // Recovery proposers never lose anything of their own.
-            self.finish_abort_with(None, out);
+            self.finish_final(out);
             return;
         };
-        if winner.invalidates_reads_of(own_txn) {
-            self.finish_abort(AbortReason::Conflict, out);
+        // A member the winner itself contains (another proposer combined it
+        // into its entry) is committed — it must be recognized here, before
+        // the conflict test, and never proposed again. Members whose reads
+        // the winner invalidates can be neither combined with nor promoted
+        // past it: they abort. Everyone else survives and promotes.
+        let before = self.committed_ids.len();
+        let mut survivors = Vec::with_capacity(members.len());
+        for txn in members.drain(..) {
+            if winner.contains(txn.id) {
+                self.committed_ids.push(txn.id);
+            } else if winner.invalidates_reads_of(&txn) {
+                self.aborted_ids.push((txn.id, AbortReason::Conflict));
+            } else {
+                survivors.push(txn);
+            }
+        }
+        if self.committed_ids.len() > before {
+            // The winner is (or will be) the decided value of the current
+            // position: that is where these members committed.
+            self.committed_position = Some(self.position);
+            if winner.len() > 1 {
+                self.committed_combined = true;
+            }
+        }
+        if survivors.is_empty() {
+            self.finish_final(out);
             return;
         }
         if let Some(cap) = self.cfg.max_promotions {
             if self.promotions >= cap {
-                self.finish_abort(AbortReason::PromotionLimit, out);
+                for txn in &survivors {
+                    self.aborted_ids.push((txn.id, AbortReason::PromotionLimit));
+                }
+                self.finish_final(out);
                 return;
             }
+        }
+        // The survivors promote together as a (still valid) batch. The
+        // proposed value is rebuilt only when the batch actually shrank
+        // (members committed elsewhere or dropped — here or in
+        // `on_decided`); an intact batch keeps sharing the same
+        // `Arc<LogEntry>` across promotions. Survivors are always a subset
+        // of the entry's transactions, so an equal count means an equal
+        // set.
+        *members = survivors;
+        if members.len() != self.own_entry.len() {
+            self.own_entry = Arc::new(LogEntry::combined(members.clone()));
         }
         self.promotions += 1;
         self.position = self.position.next();
@@ -614,33 +744,35 @@ impl Proposer {
         }
     }
 
-    fn finish_commit(&mut self, combined: bool, out: &mut Vec<ProposerAction>) {
-        self.phase = Phase::Done;
-        self.finished = true;
-        out.push(ProposerAction::Finished(CommitOutcome {
-            committed: true,
-            position: Some(self.position),
-            promotions: self.promotions,
-            combined,
-            rounds: self.total_rounds,
-            abort_reason: None,
-        }));
-    }
-
+    /// Abort every member still in flight with `reason`, then finish.
     fn finish_abort(&mut self, reason: AbortReason, out: &mut Vec<ProposerAction>) {
-        self.finish_abort_with(Some(reason), out);
+        if let Goal::Commit(members) = &mut self.goal {
+            for txn in members.drain(..) {
+                self.aborted_ids.push((txn.id, reason));
+            }
+        }
+        self.finish_final(out);
     }
 
-    fn finish_abort_with(&mut self, reason: Option<AbortReason>, out: &mut Vec<ProposerAction>) {
+    /// Emit the final [`CommitOutcome`] from the per-member fates collected
+    /// along the way.
+    fn finish_final(&mut self, out: &mut Vec<ProposerAction>) {
         self.phase = Phase::Done;
         self.finished = true;
+        let committed = !self.committed_ids.is_empty();
         out.push(ProposerAction::Finished(CommitOutcome {
-            committed: false,
-            position: None,
+            committed,
+            position: self.committed_position,
             promotions: self.promotions,
-            combined: false,
+            combined: self.committed_combined,
             rounds: self.total_rounds,
-            abort_reason: reason,
+            abort_reason: if committed {
+                None
+            } else {
+                self.aborted_ids.first().map(|(_, reason)| *reason)
+            },
+            committed_txns: std::mem::take(&mut self.committed_ids),
+            aborted_txns: std::mem::take(&mut self.aborted_ids),
         }));
     }
 }
@@ -1090,6 +1222,174 @@ mod tests {
             })
             .unwrap();
         assert_eq!(outcome.abort_reason, Some(AbortReason::RoundLimit));
+    }
+
+    fn batch(txns: Vec<Transaction>) -> Proposer {
+        Proposer::new_batch(
+            ProposerConfig::cp(3).with_fast_path(false),
+            GroupId(0),
+            7,
+            txns,
+            LogPosition(1),
+        )
+    }
+
+    fn batch_txn(seq: u64, reads: &[u32], writes: &[u32]) -> Transaction {
+        let mut b = Transaction::builder(TxnId::new(7, seq), GroupId(0), LogPosition(0));
+        for r in reads {
+            b = b.read(item(*r), Some("v"));
+        }
+        for w in writes {
+            b = b.write(item(*w), "x");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn batch_commits_every_member_in_one_instance() {
+        let mut p = batch(vec![batch_txn(1, &[0], &[0]), batch_txn(2, &[1], &[1])]);
+        let actions = p.start();
+        // One prepare broadcast for the whole batch.
+        assert!(matches!(
+            actions[0],
+            ProposerAction::Broadcast(PaxosMsg::Prepare { .. })
+        ));
+        p.on_event(prepare_reply(&p, 0, true, None));
+        let actions = p.on_event(prepare_reply(&p, 1, true, None));
+        // The proposed value carries both members.
+        match &actions[0] {
+            ProposerAction::Broadcast(PaxosMsg::Accept { value, .. }) => {
+                assert_eq!(value.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        p.on_event(accept_reply(&p, 0, true));
+        let actions = p.on_event(accept_reply(&p, 1, true));
+        // One apply broadcast decides (and installs) every member at once.
+        assert!(matches!(
+            actions[0],
+            ProposerAction::Broadcast(PaxosMsg::Apply { .. })
+        ));
+        let outcome = finished(&actions).unwrap();
+        assert!(outcome.committed);
+        assert!(outcome.combined);
+        assert_eq!(outcome.position, Some(LogPosition(1)));
+        assert_eq!(
+            outcome.committed_txns,
+            vec![TxnId::new(7, 1), TxnId::new(7, 2)]
+        );
+        assert!(outcome.aborted_txns.is_empty());
+        assert_eq!(outcome.rounds, 1);
+    }
+
+    #[test]
+    fn batch_splits_on_loss_conflicting_member_aborts_survivor_promotes() {
+        // Member 1 reads a0, member 2 reads a1; the winner writes a0:
+        // member 1 is invalidated and aborts, member 2 promotes alone.
+        let mut p = batch(vec![batch_txn(1, &[0], &[0]), batch_txn(2, &[1], &[1])]);
+        p.start();
+        let winner = other_entry(&[A]);
+        let vote = Some((
+            Ballot {
+                round: 3,
+                proposer: 2,
+            },
+            winner,
+        ));
+        p.on_event(prepare_reply(&p, 0, true, vote.clone()));
+        let actions = p.on_event(prepare_reply(&p, 1, true, vote));
+        // Promotion for the survivor: a prepare for position 2.
+        match &actions[0] {
+            ProposerAction::Broadcast(PaxosMsg::Prepare { position, .. }) => {
+                assert_eq!(*position, LogPosition(2))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(p.transactions().len(), 1);
+        assert_eq!(p.transactions()[0].id, TxnId::new(7, 2));
+        // Clean prepare/accept on position 2 commits the survivor.
+        p.on_event(prepare_reply(&p, 0, true, None));
+        p.on_event(prepare_reply(&p, 1, true, None));
+        p.on_event(accept_reply(&p, 0, true));
+        let actions = p.on_event(accept_reply(&p, 1, true));
+        let outcome = finished(&actions).unwrap();
+        assert!(outcome.committed);
+        assert_eq!(outcome.position, Some(LogPosition(2)));
+        assert_eq!(outcome.committed_txns, vec![TxnId::new(7, 2)]);
+        assert_eq!(
+            outcome.aborted_txns,
+            vec![(TxnId::new(7, 1), AbortReason::Conflict)]
+        );
+        assert_eq!(outcome.promotions, 1);
+    }
+
+    #[test]
+    fn batch_whose_members_all_conflict_with_winner_aborts_entirely() {
+        let mut p = batch(vec![batch_txn(1, &[0], &[5]), batch_txn(2, &[0], &[6])]);
+        p.start();
+        let winner = other_entry(&[A]);
+        let vote = Some((
+            Ballot {
+                round: 3,
+                proposer: 2,
+            },
+            winner,
+        ));
+        p.on_event(prepare_reply(&p, 0, true, vote.clone()));
+        let actions = p.on_event(prepare_reply(&p, 1, true, vote));
+        let outcome = finished(&actions).unwrap();
+        assert!(!outcome.committed);
+        assert_eq!(outcome.abort_reason, Some(AbortReason::Conflict));
+        assert_eq!(outcome.aborted_txns.len(), 2);
+        assert!(outcome.committed_txns.is_empty());
+    }
+
+    #[test]
+    fn member_committed_by_someone_elses_combined_entry_is_not_proposed_twice() {
+        // Another proposer's combined entry that already contains member 1
+        // wins the position: member 1 must be recognized as committed and
+        // only member 2 may promote.
+        let m1 = batch_txn(1, &[0], &[0]);
+        let m2 = batch_txn(2, &[1], &[1]);
+        let mut p = batch(vec![m1.clone(), m2.clone()]);
+        p.start();
+        let foreign = Transaction::builder(TxnId::new(9, 50), GroupId(0), LogPosition(0))
+            .write(item(Z), "y")
+            .build();
+        let winner = Arc::new(LogEntry::combined(vec![foreign, m1.clone()]));
+        let vote = Some((
+            Ballot {
+                round: 3,
+                proposer: 2,
+            },
+            Arc::clone(&winner),
+        ));
+        // Majority votes for the foreign combined entry: it has the
+        // position, member 1 rides in it (committed, not re-proposed), and
+        // member 2 promotes alone.
+        p.on_event(prepare_reply(&p, 0, true, vote.clone()));
+        let actions = p.on_event(prepare_reply(&p, 1, true, vote));
+        match &actions[0] {
+            ProposerAction::Broadcast(PaxosMsg::Prepare { position, .. }) => {
+                assert_eq!(*position, LogPosition(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let in_flight: Vec<TxnId> = p.transactions().iter().map(|t| t.id).collect();
+        assert_eq!(in_flight, vec![m2.id], "only member 2 may be re-proposed");
+        // Commit the survivor at position 2 and check the combined outcome.
+        p.on_event(prepare_reply(&p, 0, true, None));
+        p.on_event(prepare_reply(&p, 1, true, None));
+        p.on_event(accept_reply(&p, 0, true));
+        let actions = p.on_event(accept_reply(&p, 1, true));
+        let outcome = finished(&actions).unwrap();
+        assert!(outcome.committed);
+        assert_eq!(outcome.committed_txns, vec![m1.id, m2.id]);
+        assert!(outcome.aborted_txns.is_empty());
+        assert!(
+            outcome.combined,
+            "member 1 committed inside a multi-transaction entry"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::ballot::Ballot;
 use crate::msg::ReplicaId;
 use std::sync::Arc;
-use walog::combine::best_combination;
+use walog::combine::{best_combination, can_append};
 use walog::{LogEntry, Transaction};
 
 /// One replica's answer collected during the prepare phase.
@@ -69,7 +69,38 @@ pub fn enhanced_find_winning_val(
     num_replicas: usize,
     combination_enabled: bool,
 ) -> ValueChoice {
-    debug_assert!(own_entry.contains(own_txn.id));
+    enhanced_find_winning_val_batch(
+        votes,
+        std::slice::from_ref(own_txn),
+        own_entry,
+        num_replicas,
+        combination_enabled,
+    )
+}
+
+/// Batch-aware `enhancedFindWinningVal`: the proposer's value is an ordered
+/// list of one *or more* mutually compatible transactions (a client-side
+/// batch, see [`walog::combine::partition_compatible`]) cached in
+/// `own_entry`.
+///
+/// The decision rules are the same as [`enhanced_find_winning_val`]; the
+/// generalizations are:
+///
+/// * *combination* greedily appends vote-carried transactions to the whole
+///   batch (each appended transaction must not read an item written by any
+///   batch member or earlier appendee);
+/// * *promotion* triggers when some value has a majority of votes and it
+///   does not contain **every** batch member — the caller then drops the
+///   members the winner invalidates and promotes the survivors.
+pub fn enhanced_find_winning_val_batch(
+    votes: &[Vote],
+    own_txns: &[Transaction],
+    own_entry: &Arc<LogEntry>,
+    num_replicas: usize,
+    combination_enabled: bool,
+) -> ValueChoice {
+    debug_assert!(!own_txns.is_empty());
+    debug_assert!(own_txns.iter().all(|t| own_entry.contains(t.id)));
     let majority = num_replicas / 2 + 1;
     let responses = votes.len();
 
@@ -108,8 +139,21 @@ pub fn enhanced_find_winning_val(
             // Nothing to combine with: propose the cached own entry as-is.
             return ValueChoice::Propose(Arc::clone(own_entry));
         }
-        let combined = best_combination(own_txn, &candidates);
-        if combined.len() == 1 {
+        let combined = if own_txns.len() == 1 {
+            best_combination(&own_txns[0], &candidates)
+        } else {
+            // Batch: keep every member (they are already a valid ordered
+            // combination) and greedily append each distinct candidate that
+            // still fits.
+            let mut list = own_txns.to_vec();
+            for cand in candidates {
+                if list.iter().all(|t| t.id != cand.id) && can_append(&list, &cand) {
+                    list.push(cand);
+                }
+            }
+            list
+        };
+        if combined.len() == own_txns.len() {
             return ValueChoice::Propose(Arc::clone(own_entry));
         }
         return ValueChoice::Propose(Arc::new(LogEntry::combined(combined)));
@@ -117,7 +161,7 @@ pub fn enhanced_find_winning_val(
 
     if max_votes >= majority {
         let decided = Arc::clone(max_val.expect("max_votes > 0 implies a value"));
-        if !decided.contains(own_txn.id) {
+        if !own_txns.iter().all(|t| decided.contains(t.id)) {
             return ValueChoice::Promote { decided };
         }
         // Our transaction is already part of the winning value: push it
@@ -280,6 +324,71 @@ mod tests {
         ];
         match enhanced_find_winning_val(&votes, &own, &own_entry, 3, true) {
             ValueChoice::Propose(e) => assert!(Arc::ptr_eq(&e, &winner)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_combination_keeps_all_members_and_appends_candidates() {
+        let members = vec![txn(0, 1, &[0], &[0]), txn(0, 2, &[1], &[1])];
+        let own_entry = Arc::new(LogEntry::combined(members.clone()));
+        // One minority vote carrying a disjoint transaction: the combine
+        // window is open (1 + 0 < 2 with all three responses in).
+        let other = entry(txn(1, 5, &[9], &[9]));
+        let votes = vec![
+            vote(0, None),
+            vote(1, None),
+            vote(2, Some((ballot(1), other))),
+        ];
+        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true) {
+            ValueChoice::Propose(e) => {
+                assert_eq!(e.len(), 3);
+                assert!(e.contains(TxnId::new(0, 1)));
+                assert!(e.contains(TxnId::new(0, 2)));
+                assert!(e.contains(TxnId::new(1, 5)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A candidate that reads a batch member's write cannot be appended.
+        let conflicting = entry(txn(1, 6, &[0], &[9]));
+        let votes = vec![
+            vote(0, None),
+            vote(1, None),
+            vote(2, Some((ballot(1), conflicting))),
+        ];
+        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true) {
+            ValueChoice::Propose(e) => assert!(Arc::ptr_eq(&e, &own_entry)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_promotes_unless_winner_contains_every_member() {
+        let members = vec![txn(0, 1, &[0], &[0]), txn(0, 2, &[1], &[1])];
+        let own_entry = Arc::new(LogEntry::combined(members.clone()));
+        // Winner contains only the first member: promote (the second member
+        // still needs a position).
+        let partial = Arc::new(LogEntry::combined(vec![
+            members[0].clone(),
+            txn(1, 5, &[9], &[9]),
+        ]));
+        let votes = vec![
+            vote(0, Some((ballot(2), Arc::clone(&partial)))),
+            vote(1, Some((ballot(2), Arc::clone(&partial)))),
+            vote(2, None),
+        ];
+        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true) {
+            ValueChoice::Promote { decided } => assert!(Arc::ptr_eq(&decided, &partial)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Winner contains both members: push it through with the basic rule.
+        let full = Arc::new(LogEntry::combined(members.clone()));
+        let votes = vec![
+            vote(0, Some((ballot(2), Arc::clone(&full)))),
+            vote(1, Some((ballot(2), Arc::clone(&full)))),
+        ];
+        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true) {
+            ValueChoice::Propose(e) => assert!(Arc::ptr_eq(&e, &full)),
             other => panic!("unexpected {other:?}"),
         }
     }

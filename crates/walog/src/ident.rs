@@ -69,9 +69,15 @@ impl fmt::Display for AttrId {
 }
 
 impl KeyId {
-    /// The store key this row id maps to. Application rows occupy the
-    /// low half of the store's key space; protocol metadata (acceptor
-    /// state) lives above `1 << 63` and can never collide.
+    /// The raw (group-unqualified) store key this row id maps to.
+    ///
+    /// Application rows occupy the low half of the store's key space;
+    /// protocol metadata (acceptor state) lives above `1 << 63` and can
+    /// never collide. The transaction tier qualifies application rows by
+    /// transaction group before touching the store (group id in the high
+    /// 32 bits of the key, see `mdstore`'s `DatacenterCore`), so two
+    /// groups using the same row name never alias; this raw mapping is
+    /// for single-group embedders and tests.
     pub fn store_key(self) -> mvkv::Key {
         mvkv::Key(self.0 as u64)
     }

@@ -88,6 +88,9 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     for metrics in &per_client {
         totals.merge(metrics);
     }
+    // Service-side counter: remote reads the Transaction Services expired
+    // (ROADMAP follow-up — surfaced here so experiments can assert on it).
+    totals.expired_reads = cluster.expired_read_counts().iter().sum();
     assert_eq!(
         totals.attempted,
         spec.total_transactions(),
