@@ -12,9 +12,10 @@
 //! the paper figures and the ablation.
 
 use bench_suite::{
-    ablation_specs, batch_sweep_specs, fig4_specs, fig5_specs, fig6_specs, fig7_specs, fig8_specs,
-    format_commit_table, format_latency_table, format_per_replica_table, format_scaling_table,
-    group_sweep_specs, results_to_json, run_scaling,
+    ablation_specs, adaptive_latency_specs, batch_sweep_specs, fig4_specs, fig5_specs, fig6_specs,
+    fig7_specs, fig8_specs, format_commit_table, format_latency_table, format_per_replica_table,
+    format_pipeline_table, format_scaling_table, group_sweep_specs, pipeline_sweep_specs,
+    results_to_json, run_scaling,
 };
 use workload::{run_experiment, ExperimentResult, ExperimentSpec};
 
@@ -139,6 +140,35 @@ fn main() {
             .collect();
         println!("=== Scaling: batch-size sweep (16 writers, 4 groups, VVV) ===");
         println!("{}", format_scaling_table(&batch_results));
+        let pipeline_results: Vec<_> = pipeline_sweep_specs(opts.quick)
+            .iter()
+            .map(|spec| {
+                eprintln!(
+                    "   running pipeline depth {} x batch {} ({} transactions)...",
+                    spec.pipeline_depth,
+                    spec.batch_size,
+                    spec.total_transactions()
+                );
+                run_scaling(spec)
+            })
+            .collect();
+        println!(
+            "=== Pipeline: depth 1/2/4 x batch cap 1/4/8, equal offered load (burst, VVV) ==="
+        );
+        println!("{}", format_pipeline_table(&pipeline_results));
+        let latency_results: Vec<_> = adaptive_latency_specs(opts.quick)
+            .iter()
+            .map(|spec| {
+                eprintln!(
+                    "   running {} windows latency trickle ({} transactions)...",
+                    if spec.adaptive { "adaptive" } else { "static" },
+                    spec.total_transactions()
+                );
+                run_scaling(spec)
+            })
+            .collect();
+        println!("=== Adaptive windows: uncontended trickle, static batch-4 vs adaptive (VVV) ===");
+        println!("{}", format_pipeline_table(&latency_results));
     }
     if wants("ablation") {
         let results = run_batch("ablation", ablation_specs(opts.quick));

@@ -29,6 +29,6 @@ pub use report::{
     format_commit_table, format_latency_table, format_per_replica_table, results_to_json,
 };
 pub use scaling::{
-    batch_sweep_specs, format_scaling_table, group_sweep_specs, run_scaling, ScalingResult,
-    ScalingSpec,
+    adaptive_latency_specs, batch_sweep_specs, format_pipeline_table, format_scaling_table,
+    group_sweep_specs, pipeline_sweep_specs, run_scaling, ScalingResult, ScalingSpec,
 };

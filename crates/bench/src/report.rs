@@ -130,6 +130,9 @@ pub fn results_to_json(results: &[ExperimentResult]) -> String {
                 "  {{\"name\": \"{}\", \"cluster\": \"{}\", \"protocol\": \"{}\", ",
                 "\"attempted\": {}, \"committed\": {}, \"aborted\": {}, ",
                 "\"combined_commits\": {}, \"expired_reads\": {}, ",
+                "\"reclaimed_versions\": {}, \"batch_splits\": {}, ",
+                "\"stale_member_aborts\": {}, \"mean_window_occupancy\": {:.3}, ",
+                "\"max_pipeline_depth\": {}, ",
                 "\"commits_by_promotion\": [{}], ",
                 "\"commit_latency_ms\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}}, ",
                 "\"messages_sent\": {}, \"messages_delivered\": {}, \"duration_s\": {:.3}}}{}\n",
@@ -142,6 +145,11 @@ pub fn results_to_json(results: &[ExperimentResult]) -> String {
             r.totals.aborted,
             r.totals.combined_commits,
             r.totals.expired_reads,
+            r.totals.reclaimed_versions,
+            r.totals.batch_splits,
+            r.totals.stale_member_aborts,
+            r.totals.mean_window_occupancy(),
+            r.totals.max_pipeline_depth(),
             rounds,
             latency.mean_ms,
             latency.p50_ms,
@@ -203,12 +211,20 @@ mod tests {
     fn json_output_contains_core_fields_and_escapes() {
         let mut results = vec![fake_result("exp-a"), fake_result("quote\"name")];
         results[0].totals.combined_commits = 3;
+        results[0].totals.reclaimed_versions = 11;
+        results[0].totals.batch_splits = 2;
+        results[0].totals.window_occupancy = vec![4];
+        results[0].totals.pipeline_depth = vec![2];
         let json = results_to_json(&results);
         assert!(json.starts_with("[\n") && json.ends_with("]\n"));
         assert!(json.contains("\"name\": \"exp-a\""));
         assert!(json.contains("quote\\\"name"));
         assert!(json.contains("\"commits_by_promotion\": [5, 2]"));
         assert!(json.contains("\"combined_commits\": 3"));
+        assert!(json.contains("\"reclaimed_versions\": 11"));
+        assert!(json.contains("\"batch_splits\": 2"));
+        assert!(json.contains("\"mean_window_occupancy\": 4.000"));
+        assert!(json.contains("\"max_pipeline_depth\": 2"));
     }
 
     #[test]

@@ -1,19 +1,28 @@
-//! Sharded multi-group scaling workload: sweep the number of transaction
-//! groups and the batch size, measuring aggregate committed
-//! transactions/sec of simulated time.
+//! Sharded multi-group scaling workloads: sweep the number of transaction
+//! groups, the batch size and the **commit-pipeline depth**, measuring
+//! aggregate committed transactions/sec of simulated time and commit
+//! latency percentiles.
 //!
 //! The paper's §2.1 data model partitions rows into transaction groups so
-//! that independent groups commit in parallel; this workload exercises
+//! that independent groups commit in parallel; these workloads exercise
 //! exactly that. A fixed pool of batching writers (each a
 //! [`mdstore::GroupCommitter`] driving windows of independent
 //! transactions) is sharded over `groups` groups, each writer homed in its
-//! group's leader datacenter per the directory's leader map. With one
-//! group every writer contends for the same log; with many groups the same
-//! offered concurrency spreads over independent logs and commits in
-//! parallel — aggregate throughput scales with group count. The batch-size
-//! sweep holds the sharding fixed and varies the window size, measuring
-//! committed transactions per Paxos instance (the round-trip
-//! amortization).
+//! group's leader datacenter per the directory's leader map.
+//!
+//! Three load shapes:
+//!
+//! * **closed loop** (default) — each writer submits one window, waits for
+//!   every outcome, then starts the next round: the group/batch sweeps of
+//!   PR 2, unchanged for comparability (depth 1, static windows).
+//! * **burst** ([`ScalingSpec::with_burst`]) — each writer submits its
+//!   whole quota up front. Equal offered load across pipeline depths: the
+//!   committer drains the backlog with up to `pipeline_depth` instances in
+//!   flight, so the depth sweep isolates what pipelining buys.
+//! * **trickle** ([`ScalingSpec::with_interarrival`]) — one transaction per
+//!   interval per writer: the uncontended low-occupancy regime where the
+//!   adaptive window controller should shrink to latency mode and beat a
+//!   static window's deadline wait.
 //!
 //! Every run is verified (replica agreement + one-copy serializability per
 //! group) before its numbers are reported.
@@ -27,10 +36,10 @@ use simnet::{Actor, Context, NodeId, SimDuration};
 use std::sync::Arc;
 use walog::{GroupId, ItemRef, Transaction, TxnId};
 
-/// Reserved timer tag for "start the next submission round".
+/// Reserved timer tag for "start the next submission round / next trickle".
 const NEXT_ROUND_TAG: u64 = u64::MAX;
 
-/// One point of the scaling sweep.
+/// One point of a scaling sweep.
 #[derive(Clone, Debug)]
 pub struct ScalingSpec {
     /// Cluster layout.
@@ -39,16 +48,26 @@ pub struct ScalingSpec {
     pub groups: usize,
     /// Total batching writers (round-robin over the groups).
     pub writers: usize,
-    /// Submission rounds per writer (each round submits one full window).
+    /// Submission rounds per writer (each round submits one full window;
+    /// with burst or trickle, `rounds * batch_size` is the writer's quota).
     pub rounds: usize,
     /// Transactions per window (= the committer's `max_batch`).
     pub batch_size: usize,
+    /// Commit-pipeline depth of every committer (1 = flush-and-wait).
+    pub pipeline_depth: usize,
+    /// Whether the committers' adaptive window controller is on.
+    pub adaptive: bool,
+    /// Submit each writer's whole quota up front (open loop).
+    pub burst: bool,
+    /// Trickle mode: one transaction per interval per writer.
+    pub interarrival: Option<SimDuration>,
     /// Simulation seed.
     pub seed: u64,
 }
 
 impl ScalingSpec {
-    /// A sweep point on the default three-Virginia cluster.
+    /// A sweep point on the default three-Virginia cluster (closed loop,
+    /// depth 1, static windows — the PR 2 configuration).
     pub fn new(groups: usize, batch_size: usize) -> Self {
         ScalingSpec {
             topology: Topology::vvv(),
@@ -56,6 +75,10 @@ impl ScalingSpec {
             writers: 16,
             rounds: 4,
             batch_size: batch_size.max(1),
+            pipeline_depth: 1,
+            adaptive: false,
+            burst: false,
+            interarrival: None,
             seed: 42,
         }
     }
@@ -69,6 +92,30 @@ impl ScalingSpec {
     /// Builder-style rounds override.
     pub fn with_rounds(mut self, rounds: usize) -> Self {
         self.rounds = rounds.max(1);
+        self
+    }
+
+    /// Builder-style pipeline-depth override.
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Builder-style adaptive-window switch.
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Builder-style burst-mode switch (submit the whole quota up front).
+    pub fn with_burst(mut self, burst: bool) -> Self {
+        self.burst = burst;
+        self
+    }
+
+    /// Builder-style trickle mode: one transaction per `gap` per writer.
+    pub fn with_interarrival(mut self, gap: SimDuration) -> Self {
+        self.interarrival = Some(gap);
         self
     }
 
@@ -89,8 +136,12 @@ impl ScalingSpec {
 pub struct ScalingResult {
     /// Number of groups the load was sharded over.
     pub groups: usize,
-    /// Window size (`max_batch`).
+    /// Window size cap (`max_batch`).
     pub batch_size: usize,
+    /// Configured commit-pipeline depth.
+    pub pipeline_depth: usize,
+    /// Whether adaptive windows were on.
+    pub adaptive: bool,
     /// Transactions attempted.
     pub attempted: usize,
     /// Transactions committed.
@@ -103,20 +154,32 @@ pub struct ScalingResult {
     /// Committed transactions per Paxos instance (batching/combination
     /// amortization).
     pub txns_per_instance: f64,
+    /// Mean transactions per flushed window (the controller's signal).
+    pub mean_window_occupancy: f64,
+    /// Deepest pipeline any committer reached.
+    pub max_pipeline_depth: u32,
+    /// Median commit latency in milliseconds of simulated time.
+    pub commit_p50_ms: f64,
+    /// Store versions reclaimed by the apply-time GC across replicas.
+    pub reclaimed_versions: u64,
     /// Virtual time the run took, in seconds.
     pub sim_seconds: f64,
     /// Aggregate committed transactions per second of simulated time.
     pub throughput_tps: f64,
 }
 
-/// One batching writer: submits `rounds` windows of `batch_size`
-/// independent transactions (each touching its own attribute) to its
-/// group's committer.
+/// One batching writer, driving its committer in one of the three load
+/// shapes (closed loop, burst, trickle).
 struct BatchWriter {
     committer: Option<GroupCommitter>,
-    /// Items this writer's window sessions write, one per slot.
+    /// Items this writer's transactions write, cycled per submission.
     items: Vec<ItemRef>,
+    /// Closed loop: windows still to submit.
     rounds_left: usize,
+    /// Transactions still to submit (burst/trickle quota).
+    quota: usize,
+    burst: bool,
+    interarrival: Option<SimDuration>,
     outstanding: usize,
     seq: u64,
     metrics: Arc<Mutex<RunMetrics>>,
@@ -131,9 +194,18 @@ impl BatchWriter {
                     ctx.set_timer(delay, tag);
                 }
                 ClientAction::Finished(result) => {
-                    self.metrics.lock().record(&result);
+                    {
+                        let mut metrics = self.metrics.lock();
+                        metrics.record(&result);
+                        metrics.last_decision_us =
+                            metrics.last_decision_us.max(ctx.now().as_micros());
+                    }
                     self.outstanding = self.outstanding.saturating_sub(1);
-                    if self.outstanding == 0 && self.rounds_left > 0 {
+                    if self.outstanding == 0
+                        && self.rounds_left > 0
+                        && !self.burst
+                        && self.interarrival.is_none()
+                    {
                         ctx.set_timer(SimDuration::from_millis(1), NEXT_ROUND_TAG);
                     }
                 }
@@ -141,32 +213,57 @@ impl BatchWriter {
         }
     }
 
-    fn start_round(&mut self, ctx: &mut Context<Msg>) {
-        if self.rounds_left == 0 {
-            return;
-        }
-        self.rounds_left -= 1;
+    fn submit_one(&mut self, ctx: &mut Context<Msg>, actions: &mut Vec<ClientAction>) {
         let committer = self.committer.as_mut().unwrap();
         let group = committer.group();
         let read_position = committer.read_position();
         let node = ctx.node().0;
-        let mut batch_actions = Vec::new();
-        self.outstanding = self.items.len();
-        for item in self.items.clone() {
-            self.seq += 1;
-            let txn = Transaction::builder(TxnId::new(node, self.seq), group, read_position)
-                .write(item, format!("v{}-{}", node, self.seq))
-                .build();
+        self.seq += 1;
+        let item = self.items[(self.seq as usize - 1) % self.items.len()];
+        let txn = Transaction::builder(TxnId::new(node, self.seq), group, read_position)
+            .write(item, format!("v{}-{}", node, self.seq))
+            .build();
+        self.outstanding += 1;
+        let committer = self.committer.as_mut().unwrap();
+        actions.extend(committer.submit(ctx.now(), txn));
+    }
+
+    fn tick(&mut self, ctx: &mut Context<Msg>) {
+        let mut actions = Vec::new();
+        if self.interarrival.is_some() {
+            // Trickle: one transaction per tick.
+            if self.quota > 0 {
+                self.quota -= 1;
+                self.submit_one(ctx, &mut actions);
+                if self.quota > 0 {
+                    ctx.set_timer(self.interarrival.unwrap(), NEXT_ROUND_TAG);
+                }
+            }
+        } else if self.burst {
+            // Burst: the whole quota up front; the committer pipelines it.
+            while self.quota > 0 {
+                self.quota -= 1;
+                self.submit_one(ctx, &mut actions);
+            }
             let committer = self.committer.as_mut().unwrap();
-            batch_actions.extend(committer.submit(ctx.now(), txn));
+            actions.extend(committer.flush(ctx.now()));
+        } else {
+            // Closed loop: one window per round.
+            if self.rounds_left == 0 {
+                return;
+            }
+            self.rounds_left -= 1;
+            for _ in 0..self.items.len() {
+                self.submit_one(ctx, &mut actions);
+            }
         }
-        self.apply(ctx, batch_actions);
+        self.apply(ctx, actions);
     }
 }
 
 impl Actor<Msg> for BatchWriter {
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
-        self.start_round(ctx);
+        self.tick(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
@@ -177,7 +274,7 @@ impl Actor<Msg> for BatchWriter {
 
     fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
         if tag == NEXT_ROUND_TAG {
-            self.start_round(ctx);
+            self.tick(ctx);
         } else {
             let committer = self.committer.as_mut().unwrap();
             let actions = committer.on_timer(ctx.now(), tag);
@@ -212,22 +309,27 @@ pub fn run_scaling(spec: &ScalingSpec) -> ScalingResult {
         sinks.push(metrics.clone());
         let mut client_config = cluster.client_config();
         client_config.max_promotions = None;
-        let batch_config = BatchConfig::default().with_max_batch(spec.batch_size);
+        let batch_config = BatchConfig::default()
+            .with_max_batch(spec.batch_size)
+            .with_pipeline_depth(spec.pipeline_depth)
+            .with_adaptive(spec.adaptive);
         let dir = directory.clone();
         let rounds = spec.rounds;
+        let quota = spec.rounds * spec.batch_size;
+        let burst = spec.burst;
+        let interarrival = spec.interarrival;
         let sink = metrics;
         cluster.add_client(home, move |node| {
             Box::new(BatchWriter {
-                committer: Some(GroupCommitter::new(
-                    node,
-                    home,
-                    group,
-                    dir,
-                    client_config,
-                    batch_config,
-                )),
+                committer: Some(
+                    GroupCommitter::new(node, home, group, dir, client_config, batch_config)
+                        .with_metrics(sink.clone()),
+                ),
                 items,
                 rounds_left: rounds,
+                quota,
+                burst,
+                interarrival,
                 outstanding: 0,
                 seq: 0,
                 metrics: sink,
@@ -237,7 +339,6 @@ pub fn run_scaling(spec: &ScalingSpec) -> ScalingResult {
 
     let started = cluster.now();
     cluster.run_to_completion();
-    let duration = cluster.now() - started;
     cluster
         .verify()
         .expect("scaling run produced a non-serializable or diverged history");
@@ -246,14 +347,21 @@ pub fn run_scaling(spec: &ScalingSpec) -> ScalingResult {
     for sink in &sinks {
         totals.merge(&sink.lock());
     }
+    totals.reclaimed_versions = cluster.reclaimed_version_counts().iter().sum();
     let instances: usize = groups
         .iter()
         .map(|g| cluster.decided_instances_id(0, *g))
         .sum();
-    let sim_seconds = duration.as_micros() as f64 / 1_000_000.0;
+    // Measure the working span — start to the last commit/abort decision —
+    // not the idle tail of trailing reply-timeout timers the run-until-idle
+    // loop waits out.
+    let worked = totals.last_decision_us.saturating_sub(started.as_micros());
+    let sim_seconds = worked as f64 / 1_000_000.0;
     ScalingResult {
         groups: spec.groups,
         batch_size: spec.batch_size,
+        pipeline_depth: spec.pipeline_depth,
+        adaptive: spec.adaptive,
         attempted: totals.attempted,
         committed: totals.committed,
         aborted: totals.aborted,
@@ -263,6 +371,10 @@ pub fn run_scaling(spec: &ScalingSpec) -> ScalingResult {
         } else {
             totals.committed as f64 / instances as f64
         },
+        mean_window_occupancy: totals.mean_window_occupancy(),
+        max_pipeline_depth: totals.max_pipeline_depth(),
+        commit_p50_ms: totals.commit_latency().p50_ms,
+        reclaimed_versions: totals.reclaimed_versions,
         sim_seconds,
         throughput_tps: if sim_seconds > 0.0 {
             totals.committed as f64 / sim_seconds
@@ -273,7 +385,8 @@ pub fn run_scaling(spec: &ScalingSpec) -> ScalingResult {
 }
 
 /// The group-count sweep: the same writer pool sharded over 1, 4, 16 and
-/// 64 groups (batch size 4).
+/// 64 groups (batch size 4; depth 1, static windows for PR 2
+/// comparability).
 pub fn group_sweep_specs(quick: bool) -> Vec<ScalingSpec> {
     [1usize, 4, 16, 64]
         .into_iter()
@@ -286,7 +399,8 @@ pub fn group_sweep_specs(quick: bool) -> Vec<ScalingSpec> {
         .collect()
 }
 
-/// The batch-size sweep: 4 groups, window sizes 1, 2, 4 and 8.
+/// The batch-size sweep: 4 groups, window sizes 1, 2, 4 and 8 (depth 1,
+/// static windows for PR 2 comparability).
 pub fn batch_sweep_specs(quick: bool) -> Vec<ScalingSpec> {
     [1usize, 2, 4, 8]
         .into_iter()
@@ -297,6 +411,47 @@ pub fn batch_sweep_specs(quick: bool) -> Vec<ScalingSpec> {
                 .with_seed(190 + batch as u64)
         })
         .collect()
+}
+
+/// The pipeline sweep: depth 1/2/4 × batch cap 1/4/8 at **equal offered
+/// load** — every cell bursts the same per-writer quota up front, so the
+/// depth axis isolates what overlapping instances buys at each window
+/// size. 4 writers over 4 groups (one per group: uncontended logs).
+pub fn pipeline_sweep_specs(quick: bool) -> Vec<ScalingSpec> {
+    let quota = if quick { 8 } else { 16 };
+    let mut specs = Vec::new();
+    for depth in [1usize, 2, 4] {
+        for cap in [1usize, 4, 8] {
+            specs.push(
+                ScalingSpec::new(4, cap)
+                    .with_writers(4)
+                    .with_rounds(quota / cap.max(1))
+                    .with_pipeline_depth(depth)
+                    .with_burst(true)
+                    .with_seed(290 + (depth * 10 + cap) as u64),
+            );
+        }
+    }
+    specs
+}
+
+/// The adaptive-window latency pair: an uncontended trickle (one
+/// transaction per 25 ms per writer, far below one full window) run with a
+/// static batch-4 window versus the adaptive controller. The static window
+/// pays the 5 ms window deadline on every commit; the adaptive controller
+/// shrinks to latency mode and commits on submit.
+pub fn adaptive_latency_specs(quick: bool) -> Vec<ScalingSpec> {
+    let rounds = if quick { 2 } else { 8 };
+    let base = |adaptive: bool| {
+        ScalingSpec::new(4, 4)
+            .with_writers(4)
+            .with_rounds(rounds)
+            .with_pipeline_depth(2)
+            .with_interarrival(SimDuration::from_millis(25))
+            .with_adaptive(adaptive)
+            .with_seed(410)
+    };
+    vec![base(false), base(true)]
 }
 
 /// Format a sweep as an aligned text table.
@@ -315,6 +470,31 @@ pub fn format_scaling_table(results: &[ScalingResult]) -> String {
             r.aborted,
             r.instances,
             r.txns_per_instance,
+            r.sim_seconds,
+            r.throughput_tps,
+        ));
+    }
+    out
+}
+
+/// Format the pipeline sweep (and the adaptive-latency pair) as an aligned
+/// text table with the pipeline/controller observables.
+pub fn format_pipeline_table(results: &[ScalingResult]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "depth  batch  adapt  attempted  committed  occ(avg)  depth(max)  p50(ms)  sim_s    agg tx/s\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{:>5}  {:>5}  {:>5}  {:>9}  {:>9}  {:>8.2}  {:>10}  {:>7.2}  {:>7.2}  {:>9.1}\n",
+            r.pipeline_depth,
+            r.batch_size,
+            if r.adaptive { "yes" } else { "no" },
+            r.attempted,
+            r.committed,
+            r.mean_window_occupancy,
+            r.max_pipeline_depth,
+            r.commit_p50_ms,
             r.sim_seconds,
             r.throughput_tps,
         ));
@@ -357,5 +537,50 @@ mod tests {
             .collect();
         assert_eq!(batches, vec![1, 2, 4, 8]);
         assert!(group_sweep_specs(false)[0].total_transactions() > 0);
+        // Pipeline sweep: 3 depths × 3 caps, equal per-writer quota.
+        let specs = pipeline_sweep_specs(false);
+        assert_eq!(specs.len(), 9);
+        assert!(specs
+            .iter()
+            .all(|s| s.rounds * s.batch_size == 16 && s.burst));
+        let latency = adaptive_latency_specs(true);
+        assert_eq!(latency.len(), 2);
+        assert!(!latency[0].adaptive && latency[1].adaptive);
+    }
+
+    #[test]
+    fn pipeline_depth_two_raises_throughput_at_equal_offered_load() {
+        let base = ScalingSpec::new(2, 4)
+            .with_writers(2)
+            .with_rounds(4)
+            .with_burst(true)
+            .with_seed(33);
+        let d1 = run_scaling(&base.clone().with_pipeline_depth(1));
+        let d2 = run_scaling(&base.with_pipeline_depth(2));
+        assert_eq!(d1.attempted, d2.attempted, "equal offered load");
+        assert_eq!(d2.committed, d2.attempted, "pipelined burst must drain");
+        assert!(d2.max_pipeline_depth >= 2, "depth 2 must actually overlap");
+        assert!(
+            d2.throughput_tps > d1.throughput_tps,
+            "pipelining must raise throughput: depth1 {:.1} tx/s vs depth2 {:.1} tx/s",
+            d1.throughput_tps,
+            d2.throughput_tps
+        );
+    }
+
+    #[test]
+    fn adaptive_windows_cut_uncontended_p50_latency() {
+        // Full-size specs: the controller needs a handful of low-occupancy
+        // windows to shrink, so the quick pair's p50 still straddles them.
+        let specs = adaptive_latency_specs(false);
+        let fixed = run_scaling(&specs[0]);
+        let adaptive = run_scaling(&specs[1]);
+        assert_eq!(fixed.attempted, adaptive.attempted);
+        assert!(
+            adaptive.commit_p50_ms < fixed.commit_p50_ms,
+            "adaptive windows must cut uncontended p50: static {:.2} ms vs adaptive {:.2} ms",
+            fixed.commit_p50_ms,
+            adaptive.commit_p50_ms
+        );
     }
 }

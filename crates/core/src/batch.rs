@@ -1,62 +1,90 @@
-//! Client-side proposal batching: the per-group committer.
+//! Client-side proposal batching: the per-group pipelined commit engine.
 //!
-//! The paper's evaluation runs one Paxos instance per transaction. A
-//! [`GroupCommitter`] instead collects the independent transactions a
-//! client produces for one group within a submission window and commits
-//! them in a **single** Paxos-CP instance: the batch travels as one
-//! combined log entry, so one prepare/accept exchange plus one piggybacked
-//! apply broadcast decide every member — the wide-area round trips that
-//! dominate geo-replicated commit latency are amortized over the whole
-//! batch.
+//! The paper's evaluation runs one Paxos instance per transaction, one at a
+//! time. A [`GroupCommitter`] instead drives a **pipelined, adaptive**
+//! commit engine for one transaction group:
 //!
-//! The pipeline per window:
+//! * **Batching** — the independent transactions a client produces within a
+//!   submission window commit in a *single* Paxos-CP instance: the window
+//!   travels as one combined log entry, so one prepare/accept exchange plus
+//!   one piggybacked apply broadcast decide every member, amortizing the
+//!   wide-area round trips that dominate geo-replicated commit latency.
+//! * **Pipelining** — up to [`BatchConfig::pipeline_depth`] instances run
+//!   concurrently at consecutive log positions (p, p+1, …): instance p+1
+//!   opens while p is still in its accept phase. Accepts complete out of
+//!   order; the write-ahead log applies strictly in position order (a
+//!   decided p+1 parks until p decides), so pipelining never reorders the
+//!   serialization.
+//! * **Adaptive windows** — a small EWMA controller steers the window-size
+//!   trigger between latency mode and throughput mode: windows that flush
+//!   at the deadline with low occupancy shrink the target toward 1 (an
+//!   uncontended submission starts its instance immediately instead of
+//!   waiting out the window), windows that fill before the deadline grow it
+//!   toward [`BatchConfig::max_batch`].
 //!
-//! 1. [`GroupCommitter::submit`] buffers finished transactions; a window
-//!    flushes when it reaches [`BatchConfig::max_batch`] members, when its
-//!    [`BatchConfig::window`] deadline fires, or on an explicit
-//!    [`GroupCommitter::flush`].
-//! 2. At flush, members whose reads a log entry decided since their read
-//!    position has invalidated are aborted immediately (ordinary optimistic
-//!    validation); the rest run through
-//!    [`walog::combine::partition_compatible`] — members that would read an
-//!    earlier member's write are deferred to the next instance, so an
-//!    internally conflicting window *splits* instead of proposing an
-//!    invalid combination.
-//! 3. The surviving batch drives one [`paxos::Proposer`] (built with
-//!    [`paxos::Proposer::new_batch`]). Losses are handled per member:
-//!    members a winning entry invalidates abort, members the winner already
-//!    contains are recognized as committed, and the rest promote together.
-//! 4. Every member's fate is reported as its own
-//!    [`ClientAction::Finished`]; the next window (including deferred
-//!    members) starts automatically.
+//! # Pipeline invariants
 //!
-//! The committer routes its fast-path leader claim through the directory's
+//! 1. **In-order apply.** Slots complete (decide) in any order, but entries
+//!    install into the shared [`DatacenterCore`](crate::DatacenterCore)
+//!    log, which applies only its gap-free prefix — a slot that decides
+//!    ahead of its predecessor is installed but not applied until the
+//!    predecessor decides.
+//! 2. **Speculation is blind-write-only.** A slot above the head proposes
+//!    for a position whose predecessors are undecided; a member with reads
+//!    could be invalidated by whatever wins those positions. Only members
+//!    (and combination candidates) with *empty read sets* — which no
+//!    earlier entry can invalidate — may ride a speculative slot; members
+//!    with reads wait for the pipeline to drain and board the head, where
+//!    every earlier position is decided and their reads are revalidated.
+//! 3. **Slot recovery.** A slot that loses its position (another proposer's
+//!    value wins) pushes the winner through so the position still decides
+//!    and installs, then reports the members the winner did not invalidate
+//!    back as survivors ([`paxos::CommitOutcome::survivors`]); the
+//!    committer reschedules them — in order, ahead of newer submissions —
+//!    at the pipeline tail. Members the winner contains are recognized as
+//!    committed and never proposed twice.
+//!
+//! The committer routes its fast-path leader claims through the directory's
 //! per-group leader map ([`Directory::group_home`]), so a sharded workload
 //! has each datacenter leading — and batching for — its own subset of
-//! groups.
+//! groups. Wire a committer with [`GroupCommitter::with_metrics`] to record
+//! per-window occupancy, pipeline depth and split/stale counters into a
+//! shared [`RunMetrics`].
 
 use crate::client::{ClientAction, ClientConfig, TxnResult};
 use crate::datacenter::SharedCore;
 use crate::directory::Directory;
+use crate::metrics::RunMetrics;
 use crate::msg::Msg;
-use paxos::{CommitProtocol, PaxosMsg, Proposer, ProposerAction, ProposerEvent};
+use parking_lot::Mutex;
+use paxos::{CommitOutcome, CommitProtocol, PaxosMsg, Proposer, ProposerAction, ProposerEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simnet::{NodeId, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use walog::combine::partition_compatible;
-use walog::{GroupId, LogPosition, Transaction};
+use walog::combine::can_append;
+use walog::{GroupId, LogPosition, Transaction, TxnId};
+
+/// EWMA smoothing factor of the adaptive window controller: the weight of
+/// the newest window's occupancy sample.
+const OCCUPANCY_ALPHA: f64 = 0.35;
 
 /// Tuning knobs of a [`GroupCommitter`].
 #[derive(Clone, Debug)]
 pub struct BatchConfig {
-    /// Flush the window as soon as it holds this many transactions.
+    /// Hard cap on transactions per window (= per Paxos-CP instance).
     /// Batching is a Paxos-CP mechanism (one log entry, many transactions);
     /// under [`CommitProtocol::BasicPaxos`] the effective batch size is 1.
     pub max_batch: usize,
     /// Flush an incomplete window this long after its first submission.
     pub window: SimDuration,
+    /// Maximum commit instances in flight at consecutive log positions
+    /// (1 = the flush-and-wait behaviour of one instance at a time).
+    pub pipeline_depth: usize,
+    /// Steer the window-size trigger with the EWMA occupancy controller;
+    /// when false the trigger is statically [`BatchConfig::max_batch`].
+    pub adaptive: bool,
 }
 
 impl Default for BatchConfig {
@@ -64,6 +92,8 @@ impl Default for BatchConfig {
         BatchConfig {
             max_batch: 8,
             window: SimDuration::from_millis(5),
+            pipeline_depth: 2,
+            adaptive: true,
         }
     }
 }
@@ -74,17 +104,58 @@ impl BatchConfig {
         self.max_batch = n.max(1);
         self
     }
+
+    /// Builder-style pipeline-depth override.
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Builder-style switch for the adaptive window controller.
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
 }
 
-/// One in-flight batch instance.
-struct Inflight {
+/// Observable counters of one [`GroupCommitter`] (also mirrored into a
+/// shared [`RunMetrics`] when wired with [`GroupCommitter::with_metrics`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommitterStats {
+    /// Windows flushed into instances.
+    pub windows_flushed: u64,
+    /// Windows split because a member read an earlier member's write.
+    pub batch_splits: u64,
+    /// Members aborted by optimistic revalidation at flush time.
+    pub stale_member_aborts: u64,
+    /// Members rescheduled after their slot lost its position.
+    pub survivor_resubmissions: u64,
+    /// Deepest pipeline observed (instances in flight).
+    pub max_depth_in_flight: u32,
+}
+
+/// A transaction waiting for an instance, with its pipeline bookkeeping.
+struct PendingTxn {
+    txn: Transaction,
+    /// Positions this transaction already lost in earlier slots.
+    promotions: u32,
+    /// When it was first submitted (end-to-end latency baseline).
+    enqueued_at: SimTime,
+    /// Reads verified un-invalidated by every decided entry through this
+    /// position; revalidation resumes from here at the next opening.
+    validated_through: LogPosition,
+}
+
+/// One in-flight pipeline slot: an instance competing for one position.
+struct Slot {
+    position: LogPosition,
     proposer: Proposer,
     started_at: SimTime,
-    /// Committer timer tag → proposer timer token.
-    timer_tokens: HashMap<u64, u64>,
+    /// Submission time of each member (survivors keep theirs across slots).
+    enqueued: HashMap<TxnId, SimTime>,
 }
 
-/// A batching commit pipeline for one transaction group.
+/// The pipelined, adaptive commit engine for one transaction group.
 ///
 /// Unlike [`crate::TransactionClient`] — which owns the read/write sets of
 /// a single active transaction — the committer accepts fully built
@@ -100,12 +171,27 @@ pub struct GroupCommitter {
     config: ClientConfig,
     batch: BatchConfig,
     rng: StdRng,
-    /// Transactions waiting for the next instance (submission order).
-    window: Vec<Transaction>,
+    /// Transactions waiting for an instance. Submission order, except that
+    /// survivors of a lost slot re-enter at the front (they are older).
+    window: VecDeque<PendingTxn>,
     /// Tag of the armed window-deadline timer, if any.
     window_tag: Option<u64>,
-    inflight: Option<Inflight>,
+    /// In-flight instances, ascending by position.
+    slots: Vec<Slot>,
+    /// Highest position any slot has competed for. A speculative open must
+    /// go strictly above it: a completed middle/tail slot's position is
+    /// *decided*, and reopening it while the head is still in flight would
+    /// be a guaranteed-loss retry loop. (An empty pipeline re-opens at the
+    /// prefix regardless — re-proposing a possibly-orphaned position there
+    /// is the self-healing path.)
+    highest_opened: LogPosition,
+    /// Committer timer tag → (slot position, proposer timer token).
+    timer_routes: HashMap<u64, (LogPosition, u64)>,
     next_tag: u64,
+    /// EWMA of window occupancy (members / max_batch), the controller input.
+    ewma_occupancy: f64,
+    stats: CommitterStats,
+    metrics: Option<Arc<Mutex<RunMetrics>>>,
 }
 
 impl GroupCommitter {
@@ -127,11 +213,26 @@ impl GroupCommitter {
             config,
             batch,
             rng: StdRng::seed_from_u64(0x51ed_270b ^ node.0 as u64),
-            window: Vec::new(),
+            window: VecDeque::new(),
             window_tag: None,
-            inflight: None,
+            slots: Vec::new(),
+            highest_opened: LogPosition::ZERO,
+            timer_routes: HashMap::new(),
             next_tag: 0,
+            // Start in throughput mode (target = max_batch), matching the
+            // static configuration until low occupancy is observed.
+            ewma_occupancy: 1.0,
+            stats: CommitterStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Record per-window occupancy, pipeline depth and split/stale counters
+    /// into a shared [`RunMetrics`] sink as they happen (the same sink the
+    /// embedding actor typically records [`TxnResult`]s into).
+    pub fn with_metrics(mut self, metrics: Arc<Mutex<RunMetrics>>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The group this committer serves.
@@ -150,122 +251,251 @@ impl GroupCommitter {
         self.window.len()
     }
 
-    /// Whether a batch instance is currently in flight.
+    /// Whether any instance is currently in flight.
     pub fn committing(&self) -> bool {
-        self.inflight.is_some()
+        !self.slots.is_empty()
+    }
+
+    /// Number of instances currently in flight (pipeline occupancy).
+    pub fn depth_in_flight(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The log positions of the in-flight instances, ascending.
+    pub fn slot_positions(&self) -> Vec<LogPosition> {
+        self.slots.iter().map(|s| s.position).collect()
+    }
+
+    /// The controller's current window-size trigger: a window flushes as
+    /// soon as it holds this many transactions. 1 is latency mode (commit
+    /// immediately), [`BatchConfig::max_batch`] is throughput mode.
+    pub fn window_target(&self) -> usize {
+        self.effective_cap()
+    }
+
+    /// Snapshot of the committer's observability counters.
+    pub fn stats(&self) -> CommitterStats {
+        self.stats
     }
 
     fn home_core(&self) -> SharedCore {
         self.directory.core(self.home_replica)
     }
 
-    fn effective_max_batch(&self) -> usize {
+    fn effective_cap(&self) -> usize {
         match self.config.protocol {
             CommitProtocol::BasicPaxos => 1,
-            CommitProtocol::PaxosCp => self.batch.max_batch.max(1),
+            CommitProtocol::PaxosCp => {
+                let max = self.batch.max_batch.max(1);
+                if self.batch.adaptive {
+                    ((self.ewma_occupancy * max as f64).round() as usize).clamp(1, max)
+                } else {
+                    max
+                }
+            }
         }
     }
 
+    /// Feed one closed window's demand into the EWMA controller. Demand is
+    /// the flushed members *plus* the backlog still buffered: a shrunken
+    /// window flushes few members by construction, so the backlog is what
+    /// signals that load returned and the target should grow again.
+    fn update_controller(&mut self, demand: usize) {
+        if !self.batch.adaptive {
+            return;
+        }
+        let occ = (demand as f64 / self.batch.max_batch.max(1) as f64).min(1.0);
+        self.ewma_occupancy = (1.0 - OCCUPANCY_ALPHA) * self.ewma_occupancy + OCCUPANCY_ALPHA * occ;
+    }
+
     /// Submit a finished transaction for group commit. Returns the actions
-    /// to execute (a flush's protocol messages when the window filled, or a
-    /// window-deadline timer).
+    /// to execute (a flush's protocol messages when the window-size trigger
+    /// fired, or a window-deadline timer).
     pub fn submit(&mut self, now: SimTime, txn: Transaction) -> Vec<ClientAction> {
         debug_assert_eq!(
             txn.group, self.group,
             "transaction routed to wrong committer"
         );
-        self.window.push(txn);
+        let validated_through = txn.read_position;
+        self.window.push_back(PendingTxn {
+            txn,
+            promotions: 0,
+            enqueued_at: now,
+            validated_through,
+        });
         let mut out = Vec::new();
-        if self.inflight.is_none() && self.window.len() >= self.effective_max_batch() {
-            self.start_next_batch(now, &mut out);
-        } else if self.inflight.is_none() && self.window_tag.is_none() {
-            self.next_tag += 1;
-            let tag = self.next_tag;
-            self.window_tag = Some(tag);
-            out.push(ClientAction::ArmTimer {
-                delay: self.batch.window,
-                tag,
-            });
-        }
+        self.open_slots(now, &mut out, false);
+        self.ensure_window_timer(&mut out);
         out
     }
 
-    /// Flush the current window immediately (no-op while an instance is in
-    /// flight — the window flushes automatically when it finishes).
+    /// Flush the current window immediately (into a speculative slot when
+    /// instances are already in flight and depth allows).
     pub fn flush(&mut self, now: SimTime) -> Vec<ClientAction> {
         let mut out = Vec::new();
-        self.start_next_batch(now, &mut out);
+        self.open_slots(now, &mut out, true);
+        self.ensure_window_timer(&mut out);
         out
     }
 
-    /// A member read at `read_position`; entries decided since then must
-    /// not have written anything it read (optimistic validation before the
-    /// batch competes for `position + 1`).
-    fn is_stale(&self, txn: &Transaction, through: LogPosition) -> bool {
-        let core = self.home_core();
-        let core = core.lock();
-        let Some(log) = core.log(self.group) else {
-            return false;
-        };
-        (txn.read_position.0 + 1..=through.0)
-            .map(LogPosition)
-            .filter_map(|p| log.get(p))
-            .any(|entry| entry.invalidates_reads_of(txn))
+    fn ensure_window_timer(&mut self, out: &mut Vec<ClientAction>) {
+        if self.window.is_empty() {
+            self.window_tag = None;
+            return;
+        }
+        if self.window_tag.is_some() {
+            return;
+        }
+        self.next_tag += 1;
+        let tag = self.next_tag;
+        self.window_tag = Some(tag);
+        out.push(ClientAction::ArmTimer {
+            delay: self.batch.window,
+            tag,
+        });
     }
 
-    fn start_next_batch(&mut self, now: SimTime, out: &mut Vec<ClientAction>) {
-        if self.inflight.is_some() || self.window.is_empty() {
-            return;
-        }
-        self.window_tag = None;
-        let position = self.read_position();
-        // Optimistic validation: abort members whose reads are already
-        // known to be invalidated by entries decided since they read.
-        let candidates = std::mem::take(&mut self.window);
-        let mut valid = Vec::with_capacity(candidates.len());
-        for txn in candidates {
-            if self.is_stale(&txn, position) {
-                out.push(ClientAction::Finished(TxnResult {
-                    committed: false,
-                    read_only: false,
-                    promotions: 0,
-                    combined: false,
-                    rounds: 0,
-                    latency: SimDuration::ZERO,
-                    total_latency: SimDuration::ZERO,
-                    abort_reason: Some(paxos::AbortReason::Conflict),
-                }));
-            } else {
-                valid.push(txn);
+    /// Open as many pipeline slots as the window, the depth and the
+    /// speculation rules allow. With `force` false, a slot opens only when
+    /// the buffered window has reached the controller's size trigger
+    /// (submission path); deadline/flush/completion paths force.
+    fn open_slots(&mut self, now: SimTime, out: &mut Vec<ClientAction>, force: bool) {
+        loop {
+            if self.slots.len() >= self.batch.pipeline_depth.max(1) || self.window.is_empty() {
+                return;
             }
+            let cap = self.effective_cap();
+            if !force && self.window.len() < cap {
+                return;
+            }
+            let core = self.home_core();
+            let core_guard = core.lock();
+            let prefix = core_guard.read_position(self.group);
+            // The head slot proposes for the first undecided position; a
+            // speculative slot for the position after the last in-flight one
+            // (invariant 2: blind-write members only above the head).
+            let speculative = !self.slots.is_empty();
+            let position = match self.slots.last() {
+                Some(last) => last
+                    .position
+                    .next()
+                    .max(prefix.next())
+                    .max(self.highest_opened.next()),
+                None => prefix.next(),
+            };
+            let pendings: Vec<PendingTxn> = self.window.drain(..).collect();
+            // Chosen members move into `txns` (the proposer owns them);
+            // only the Copy bookkeeping survives alongside.
+            let mut chosen_meta: Vec<(TxnId, SimTime)> = Vec::new();
+            let mut promo_class: Option<u32> = None;
+            let mut txns: Vec<Transaction> = Vec::new();
+            let mut kept: VecDeque<PendingTxn> = VecDeque::new();
+            let mut split = false;
+            for mut pending in pendings {
+                // Optimistic revalidation, incremental: entries decided
+                // since the member's last validated position must not have
+                // written anything it read. One core lock covers the whole
+                // opening; a member already validated through this prefix
+                // costs nothing.
+                if pending.validated_through < prefix {
+                    let log = core_guard.log(self.group);
+                    let invalidated = log.is_some_and(|log| {
+                        (pending.validated_through.0 + 1..=prefix.0)
+                            .map(LogPosition)
+                            .filter_map(|p| log.get(p))
+                            .any(|entry| entry.invalidates_reads_of(&pending.txn))
+                    });
+                    if invalidated {
+                        self.stats.stale_member_aborts += 1;
+                        if let Some(metrics) = &self.metrics {
+                            metrics.lock().stale_member_aborts += 1;
+                        }
+                        out.push(ClientAction::Finished(TxnResult {
+                            committed: false,
+                            read_only: false,
+                            promotions: pending.promotions,
+                            combined: false,
+                            rounds: 0,
+                            latency: now.since(pending.enqueued_at),
+                            total_latency: now.since(pending.enqueued_at),
+                            abort_reason: Some(paxos::AbortReason::Conflict),
+                        }));
+                        continue;
+                    }
+                    pending.validated_through = prefix;
+                }
+                // A slot's batch is homogeneous in promotion count: the
+                // proposer carries one `prior_promotions` for the whole
+                // batch (for the cap and for reporting), so a fresh member
+                // must not ride with a rescheduled survivor and inherit its
+                // losses. Survivors sit at the window front, so they form
+                // their own slot first.
+                let same_class = promo_class.is_none_or(|class| class == pending.promotions);
+                let eligible = (!speculative || pending.txn.reads().is_empty()) && same_class;
+                if eligible && chosen_meta.len() < cap {
+                    if can_append(&txns, &pending.txn) {
+                        promo_class = Some(pending.promotions);
+                        chosen_meta.push((pending.txn.id, pending.enqueued_at));
+                        txns.push(pending.txn);
+                        continue;
+                    }
+                    // Internally conflicting window: the member reads an
+                    // earlier member's write, so it waits for a later
+                    // instance instead of invalidating the combination.
+                    split = true;
+                }
+                kept.push_back(pending);
+            }
+            // Release the core before driving the proposer: its `Learned`
+            // installs re-lock the same mutex.
+            drop(core_guard);
+            self.window = kept;
+            if split {
+                self.stats.batch_splits += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.lock().batch_splits += 1;
+                }
+            }
+            if chosen_meta.is_empty() {
+                return;
+            }
+            let prior = promo_class.unwrap_or(0);
+            let cfg = self.config.proposer_config(self.directory.num_replicas());
+            let mut proposer = Proposer::new_batch_pipelined(
+                cfg,
+                self.group,
+                self.node.0 as u64,
+                txns,
+                position,
+                prior,
+                speculative,
+            );
+            let actions = proposer.start();
+            let occupancy = chosen_meta.len();
+            let enqueued = chosen_meta.into_iter().collect();
+            self.slots.push(Slot {
+                position,
+                proposer,
+                started_at: now,
+                enqueued,
+            });
+            self.highest_opened = self.highest_opened.max(position);
+            let depth = self.slots.len() as u32;
+            self.stats.windows_flushed += 1;
+            self.stats.max_depth_in_flight = self.stats.max_depth_in_flight.max(depth);
+            let demand = occupancy + self.window.len();
+            self.update_controller(demand);
+            if let Some(metrics) = &self.metrics {
+                let mut metrics = metrics.lock();
+                metrics.window_occupancy.push(occupancy as u32);
+                metrics.pipeline_depth.push(depth);
+            }
+            self.apply_slot_actions(now, position, actions, out);
         }
-        if valid.is_empty() {
-            return;
-        }
-        // Split internally conflicting windows: deferred members wait for
-        // the next instance instead of invalidating the combination. A
-        // batch larger than the cap (possible when submissions piled up
-        // while an instance was in flight) spills its tail back into the
-        // window too — nothing is ever silently dropped.
-        let (mut batch, deferred) = partition_compatible(valid);
-        let cap = self.effective_max_batch().min(batch.len());
-        let mut overflow = batch.split_off(cap);
-        overflow.extend(deferred);
-        self.window = overflow;
-        let cfg = self.config.proposer_config(self.directory.num_replicas());
-        let mut proposer =
-            Proposer::new_batch(cfg, self.group, self.node.0 as u64, batch, position.next());
-        let actions = proposer.start();
-        self.inflight = Some(Inflight {
-            proposer,
-            started_at: now,
-            timer_tokens: HashMap::new(),
-        });
-        self.translate(now, actions, out);
     }
 
     /// Feed an incoming message (commit-protocol replies) into the
-    /// committer.
+    /// committer; the carried position routes it to its pipeline slot.
     pub fn on_message(&mut self, now: SimTime, from: NodeId, msg: &Msg) -> Vec<ClientAction> {
         let Msg::Paxos(paxos_msg) = msg else {
             return Vec::new();
@@ -308,7 +538,8 @@ impl GroupCommitter {
             },
             _ => return Vec::new(),
         };
-        self.drive(now, event)
+        let position = paxos_msg.position();
+        self.drive_slot(now, position, event)
     }
 
     /// Feed a timer expiration (tag previously returned in
@@ -318,28 +549,32 @@ impl GroupCommitter {
             self.window_tag = None;
             return self.flush(now);
         }
-        let Some(inflight) = self.inflight.as_mut() else {
+        let Some((position, token)) = self.timer_routes.remove(&tag) else {
             return Vec::new();
         };
-        let Some(token) = inflight.timer_tokens.remove(&tag) else {
-            return Vec::new();
-        };
-        self.drive(now, ProposerEvent::Timer { token })
+        self.drive_slot(now, position, ProposerEvent::Timer { token })
     }
 
-    fn drive(&mut self, now: SimTime, event: ProposerEvent) -> Vec<ClientAction> {
-        let Some(inflight) = self.inflight.as_mut() else {
+    fn drive_slot(
+        &mut self,
+        now: SimTime,
+        position: LogPosition,
+        event: ProposerEvent,
+    ) -> Vec<ClientAction> {
+        let Some(idx) = self.slots.iter().position(|s| s.position == position) else {
+            // A reply or timer for a slot that already finished.
             return Vec::new();
         };
-        let actions = inflight.proposer.on_event(event);
+        let actions = self.slots[idx].proposer.on_event(event);
         let mut out = Vec::new();
-        self.translate(now, actions, &mut out);
+        self.apply_slot_actions(now, position, actions, &mut out);
         out
     }
 
-    fn translate(
+    fn apply_slot_actions(
         &mut self,
         now: SimTime,
+        slot_position: LogPosition,
         actions: Vec<ProposerAction>,
         out: &mut Vec<ClientAction>,
     ) {
@@ -368,9 +603,7 @@ impl GroupCommitter {
                     let delay = self.config.timer_delay(kind, &mut self.rng);
                     self.next_tag += 1;
                     let tag = self.next_tag;
-                    if let Some(inflight) = self.inflight.as_mut() {
-                        inflight.timer_tokens.insert(tag, token);
-                    }
+                    self.timer_routes.insert(tag, (slot_position, token));
                     out.push(ClientAction::ArmTimer { delay, tag });
                 }
                 ProposerAction::Learned { position, entry } => {
@@ -379,41 +612,78 @@ impl GroupCommitter {
                         .install_entry(self.group, position, entry);
                 }
                 ProposerAction::Finished(outcome) => {
-                    let inflight = self
-                        .inflight
-                        .take()
-                        .expect("finished implies an in-flight batch");
-                    let latency = now.since(inflight.started_at);
-                    for _ in &outcome.committed_txns {
-                        out.push(ClientAction::Finished(TxnResult {
-                            committed: true,
-                            read_only: false,
-                            promotions: outcome.promotions,
-                            combined: outcome.combined,
-                            rounds: outcome.rounds,
-                            latency,
-                            total_latency: latency,
-                            abort_reason: None,
-                        }));
-                    }
-                    for (_, reason) in &outcome.aborted_txns {
-                        out.push(ClientAction::Finished(TxnResult {
-                            committed: false,
-                            read_only: false,
-                            promotions: outcome.promotions,
-                            combined: false,
-                            rounds: outcome.rounds,
-                            latency,
-                            total_latency: latency,
-                            abort_reason: Some(*reason),
-                        }));
-                    }
-                    // Deferred members (and anything submitted meanwhile)
-                    // form the next instance immediately.
-                    self.start_next_batch(now, out);
+                    self.finish_slot(now, slot_position, outcome, out);
                 }
             }
         }
+    }
+
+    /// A slot's instance finished: report per-member fates, reschedule
+    /// survivors at the pipeline tail (in order, ahead of newer
+    /// submissions) and refill the pipeline.
+    fn finish_slot(
+        &mut self,
+        now: SimTime,
+        position: LogPosition,
+        outcome: CommitOutcome,
+        out: &mut Vec<ClientAction>,
+    ) {
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.position == position)
+            .expect("finished implies an in-flight slot");
+        let slot = self.slots.remove(idx);
+        // For a batched commit the submission *is* the commit request, so
+        // commit latency runs from `submit` — it includes the window wait
+        // the adaptive controller exists to cut, not just the protocol
+        // round trips of the final instance.
+        let latency_of = |id: &TxnId| {
+            slot.enqueued
+                .get(id)
+                .map(|t| now.since(*t))
+                .unwrap_or_else(|| now.since(slot.started_at))
+        };
+        for id in &outcome.committed_txns {
+            out.push(ClientAction::Finished(TxnResult {
+                committed: true,
+                read_only: false,
+                promotions: outcome.promotions,
+                combined: outcome.combined,
+                rounds: outcome.rounds,
+                latency: latency_of(id),
+                total_latency: latency_of(id),
+                abort_reason: None,
+            }));
+        }
+        for (id, reason) in &outcome.aborted_txns {
+            out.push(ClientAction::Finished(TxnResult {
+                committed: false,
+                read_only: false,
+                promotions: outcome.promotions,
+                combined: false,
+                rounds: outcome.rounds,
+                latency: latency_of(id),
+                total_latency: latency_of(id),
+                abort_reason: Some(*reason),
+            }));
+        }
+        for txn in outcome.survivors.into_iter().rev() {
+            self.stats.survivor_resubmissions += 1;
+            let enqueued_at = slot.enqueued.get(&txn.id).copied().unwrap_or(now);
+            // Survivors revalidate from scratch: the winner that displaced
+            // them was checked (`invalidates_reads_of`), but other
+            // positions may have decided since their original validation.
+            let validated_through = txn.read_position;
+            self.window.push_front(PendingTxn {
+                txn,
+                promotions: outcome.promotions,
+                enqueued_at,
+                validated_through,
+            });
+        }
+        self.open_slots(now, out, true);
+        self.ensure_window_timer(out);
     }
 }
 
@@ -421,9 +691,10 @@ impl GroupCommitter {
 mod tests {
     use super::*;
     use crate::datacenter::DatacenterCore;
-    use walog::{ItemRef, TxnId};
+    use paxos::Ballot;
+    use walog::{ItemRef, LogEntry, TxnId};
 
-    fn harness() -> (Arc<Directory>, GroupCommitter) {
+    fn harness_with(batch: BatchConfig) -> (Arc<Directory>, GroupCommitter) {
         let dir = Directory::new();
         dir.register_datacenter(NodeId(0), DatacenterCore::shared("dc0", 0));
         dir.register_client(NodeId(5), 0);
@@ -433,9 +704,13 @@ mod tests {
             GroupId(0),
             dir.clone(),
             ClientConfig::cp(),
-            BatchConfig::default().with_max_batch(2),
+            batch,
         );
         (dir, committer)
+    }
+
+    fn harness() -> (Arc<Directory>, GroupCommitter) {
+        harness_with(BatchConfig::default().with_max_batch(2))
     }
 
     fn txn(dir: &Directory, seq: u64, attr: &str, read_position: LogPosition) -> Transaction {
@@ -443,6 +718,55 @@ mod tests {
         Transaction::builder(TxnId::new(5, seq), GroupId(0), read_position)
             .write(ItemRef::new(item.key, item.attr), "v")
             .build()
+    }
+
+    /// Drive one slot's instance to completion against the single-replica
+    /// harness: grant its fast-path claim, then ack its accept.
+    fn complete_instance(
+        committer: &mut GroupCommitter,
+        now: SimTime,
+        actions: &[ClientAction],
+    ) -> Vec<ClientAction> {
+        let claim_position = actions
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::Send(_, Msg::Paxos(PaxosMsg::LeaderClaim { position, .. })) => {
+                    Some(*position)
+                }
+                _ => None,
+            })
+            .expect("fast path claim");
+        let actions = committer.on_message(
+            now,
+            NodeId(0),
+            &Msg::Paxos(PaxosMsg::LeaderClaimReply {
+                group: GroupId(0),
+                position: claim_position,
+                granted: true,
+            }),
+        );
+        let (position, ballot) = actions
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::Send(
+                    _,
+                    Msg::Paxos(PaxosMsg::Accept {
+                        position, ballot, ..
+                    }),
+                ) => Some((*position, *ballot)),
+                _ => None,
+            })
+            .expect("accept broadcast");
+        committer.on_message(
+            now,
+            NodeId(0),
+            &Msg::Paxos(PaxosMsg::AcceptReply {
+                group: GroupId(0),
+                position,
+                ballot,
+                accepted: true,
+            }),
+        )
     }
 
     #[test]
@@ -496,19 +820,26 @@ mod tests {
         committer.submit(SimTime::ZERO, writer);
         committer.submit(SimTime::ZERO, reader);
         // The reader reads the writer's item: it must not ride in the same
-        // entry, so it stays pending while the writer's instance runs.
+        // entry, so it stays pending while the writer's instance runs — and
+        // it must not board a speculative slot either (it has reads).
         assert!(committer.committing());
+        assert_eq!(committer.depth_in_flight(), 1);
         assert_eq!(committer.pending(), 1);
+        assert_eq!(committer.stats().batch_splits, 1);
     }
 
     #[test]
     fn submissions_piled_past_the_cap_spill_into_the_next_instance() {
-        // Single-replica cluster (majority 1), so the whole protocol can be
-        // driven by hand: fill the window (instance 1 starts with t1,t2),
-        // pile up three more submissions while it is in flight, then
+        // Depth 1 (flush-and-wait): fill the window (instance 1 starts with
+        // t1,t2), pile up three more submissions while it is in flight, then
         // complete the instance and check that the next one takes exactly
         // the cap and the tail stays pending — no transaction vanishes.
-        let (dir, mut committer) = harness();
+        let (dir, mut committer) = harness_with(
+            BatchConfig::default()
+                .with_max_batch(2)
+                .with_pipeline_depth(1)
+                .with_adaptive(false),
+        );
         let now = SimTime::ZERO;
         committer.submit(now, txn(&dir, 1, "a", LogPosition::ZERO));
         let actions = committer.submit(now, txn(&dir, 2, "b", LogPosition::ZERO));
@@ -518,49 +849,7 @@ mod tests {
         }
         assert_eq!(committer.pending(), 3);
 
-        // Drive instance 1: grant the fast path, capture the accept's
-        // ballot, ack it (majority of 1), which finishes the batch and
-        // immediately starts instance 2 from the buffered window.
-        let claim_position = actions
-            .iter()
-            .find_map(|a| match a {
-                ClientAction::Send(_, Msg::Paxos(PaxosMsg::LeaderClaim { position, .. })) => {
-                    Some(*position)
-                }
-                _ => None,
-            })
-            .expect("fast path claim");
-        let actions = committer.on_message(
-            now,
-            NodeId(0),
-            &Msg::Paxos(PaxosMsg::LeaderClaimReply {
-                group: GroupId(0),
-                position: claim_position,
-                granted: true,
-            }),
-        );
-        let (position, ballot) = actions
-            .iter()
-            .find_map(|a| match a {
-                ClientAction::Send(
-                    _,
-                    Msg::Paxos(PaxosMsg::Accept {
-                        position, ballot, ..
-                    }),
-                ) => Some((*position, *ballot)),
-                _ => None,
-            })
-            .expect("accept broadcast");
-        let actions = committer.on_message(
-            now,
-            NodeId(0),
-            &Msg::Paxos(PaxosMsg::AcceptReply {
-                group: GroupId(0),
-                position,
-                ballot,
-                accepted: true,
-            }),
-        );
+        let actions = complete_instance(&mut committer, now, &actions);
         let finished = actions
             .iter()
             .filter(|a| matches!(a, ClientAction::Finished(r) if r.committed))
@@ -602,5 +891,304 @@ mod tests {
             })
         )));
         assert!(!committer.committing());
+        assert_eq!(committer.stats().stale_member_aborts, 1);
+    }
+
+    #[test]
+    fn pipeline_opens_a_second_slot_while_the_first_is_in_flight() {
+        let (dir, mut committer) = harness_with(
+            BatchConfig::default()
+                .with_max_batch(2)
+                .with_pipeline_depth(2)
+                .with_adaptive(false),
+        );
+        let now = SimTime::ZERO;
+        committer.submit(now, txn(&dir, 1, "a", LogPosition::ZERO));
+        committer.submit(now, txn(&dir, 2, "b", LogPosition::ZERO));
+        assert_eq!(committer.depth_in_flight(), 1);
+        committer.submit(now, txn(&dir, 3, "c", LogPosition::ZERO));
+        let actions = committer.submit(now, txn(&dir, 4, "d", LogPosition::ZERO));
+        // The second window opens instance p+1 while p is still in flight.
+        assert_eq!(committer.depth_in_flight(), 2);
+        assert_eq!(
+            committer.slot_positions(),
+            vec![LogPosition(1), LogPosition(2)]
+        );
+        assert_eq!(committer.pending(), 0);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            ClientAction::Send(
+                _,
+                Msg::Paxos(PaxosMsg::LeaderClaim {
+                    position: LogPosition(2),
+                    ..
+                })
+            )
+        )));
+        assert_eq!(committer.stats().max_depth_in_flight, 2);
+    }
+
+    #[test]
+    fn out_of_order_decide_installs_but_defers_apply_to_position_order() {
+        // Two slots in flight; the *second* position decides first. Its
+        // entry must be installed (durable) but the group's read position
+        // must stay put until the first position decides too.
+        let (dir, mut committer) = harness_with(
+            BatchConfig::default()
+                .with_max_batch(1)
+                .with_pipeline_depth(2)
+                .with_adaptive(false),
+        );
+        let now = SimTime::ZERO;
+        let a1 = committer.submit(now, txn(&dir, 1, "a", LogPosition::ZERO));
+        let a2 = committer.submit(now, txn(&dir, 2, "b", LogPosition::ZERO));
+        assert_eq!(committer.depth_in_flight(), 2);
+        // Complete slot 2 (position 2) first.
+        let done2 = complete_instance(&mut committer, now, &a2);
+        assert!(done2
+            .iter()
+            .any(|a| matches!(a, ClientAction::Finished(r) if r.committed)));
+        assert!(dir.core(0).lock().has_entry(GroupId(0), LogPosition(2)));
+        assert_eq!(
+            dir.core(0).lock().read_position(GroupId(0)),
+            LogPosition::ZERO,
+            "position 2 must not apply before position 1 decides"
+        );
+        // Now complete slot 1; the prefix catches up through both.
+        complete_instance(&mut committer, now, &a1);
+        assert_eq!(dir.core(0).lock().read_position(GroupId(0)), LogPosition(2));
+        assert!(!committer.committing());
+    }
+
+    #[test]
+    fn completed_tail_position_is_not_reopened_while_the_head_is_in_flight() {
+        // Slots at positions 1 and 2; position 2 decides first. A member
+        // submitted afterwards must open at position 3 — position 2 is
+        // decided, and competing for it again would be a guaranteed loss.
+        let (dir, mut committer) = harness_with(
+            BatchConfig::default()
+                .with_max_batch(1)
+                .with_pipeline_depth(2)
+                .with_adaptive(false),
+        );
+        let now = SimTime::ZERO;
+        committer.submit(now, txn(&dir, 1, "a", LogPosition::ZERO));
+        let a2 = committer.submit(now, txn(&dir, 2, "b", LogPosition::ZERO));
+        complete_instance(&mut committer, now, &a2);
+        assert_eq!(committer.slot_positions(), vec![LogPosition(1)]);
+        committer.submit(now, txn(&dir, 3, "c", LogPosition::ZERO));
+        assert_eq!(
+            committer.slot_positions(),
+            vec![LogPosition(1), LogPosition(3)],
+            "the decided position 2 must be skipped"
+        );
+    }
+
+    #[test]
+    fn speculative_slots_carry_only_blind_writes() {
+        let (dir, mut committer) = harness_with(
+            BatchConfig::default()
+                .with_max_batch(1)
+                .with_pipeline_depth(3)
+                .with_adaptive(false),
+        );
+        let now = SimTime::ZERO;
+        committer.submit(now, txn(&dir, 1, "a", LogPosition::ZERO));
+        assert_eq!(committer.depth_in_flight(), 1);
+        // A member with reads must not board a speculative slot.
+        let item = dir.symbols().item("row", "z");
+        let reader = Transaction::builder(TxnId::new(5, 2), GroupId(0), LogPosition::ZERO)
+            .read(ItemRef::new(item.key, item.attr), None)
+            .write(dir.symbols().item("row", "y"), "w")
+            .build();
+        committer.submit(now, reader);
+        assert_eq!(committer.depth_in_flight(), 1, "reader must not speculate");
+        assert_eq!(committer.pending(), 1);
+        // A blind write may.
+        committer.submit(now, txn(&dir, 3, "c", LogPosition::ZERO));
+        assert_eq!(committer.depth_in_flight(), 2);
+        assert_eq!(committer.pending(), 1, "the reader still waits");
+    }
+
+    #[test]
+    fn lost_slot_installs_winner_and_resubmits_survivors_at_the_tail() {
+        // Another proposer's value already has a (single-replica) majority
+        // of votes for position 1. The slot must adopt and push it through
+        // (so the local prefix advances), then reschedule its members into
+        // a new instance at position 2 — exactly once.
+        let (dir, mut committer) = harness_with(
+            BatchConfig::default()
+                .with_max_batch(2)
+                .with_pipeline_depth(2)
+                .with_adaptive(false),
+        );
+        let now = SimTime::ZERO;
+        let foreign = Transaction::builder(TxnId::new(9, 50), GroupId(0), LogPosition::ZERO)
+            .write(dir.symbols().item("row", "f"), "theirs")
+            .build();
+        let foreign_entry = Arc::new(LogEntry::single(foreign));
+        let foreign_ballot = Ballot::initial(9);
+        committer.submit(now, txn(&dir, 1, "a", LogPosition::ZERO));
+        let actions = committer.submit(now, txn(&dir, 2, "b", LogPosition::ZERO));
+        // Deny the fast path so the slot runs a full prepare.
+        let claim_position = actions
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::Send(_, Msg::Paxos(PaxosMsg::LeaderClaim { position, .. })) => {
+                    Some(*position)
+                }
+                _ => None,
+            })
+            .expect("claim");
+        let actions = committer.on_message(
+            now,
+            NodeId(0),
+            &Msg::Paxos(PaxosMsg::LeaderClaimReply {
+                group: GroupId(0),
+                position: claim_position,
+                granted: false,
+            }),
+        );
+        let (position, ballot) = actions
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::Send(
+                    _,
+                    Msg::Paxos(PaxosMsg::Prepare {
+                        position, ballot, ..
+                    }),
+                ) => Some((*position, *ballot)),
+                _ => None,
+            })
+            .expect("prepare broadcast");
+        // The only replica's vote carries the foreign value: a majority.
+        let actions = committer.on_message(
+            now,
+            NodeId(0),
+            &Msg::Paxos(PaxosMsg::PrepareReply {
+                group: GroupId(0),
+                position,
+                ballot,
+                promised: true,
+                next_bal: None,
+                last_vote: Some((foreign_ballot, Arc::clone(&foreign_entry))),
+            }),
+        );
+        // The slot adopts the winner and pushes it through accept.
+        let (position, ballot) = actions
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::Send(
+                    _,
+                    Msg::Paxos(PaxosMsg::Accept {
+                        position,
+                        ballot,
+                        value,
+                        ..
+                    }),
+                ) if Arc::ptr_eq(value, &foreign_entry) => Some((*position, *ballot)),
+                _ => None,
+            })
+            .expect("the lost slot must push the winning value through");
+        let actions = committer.on_message(
+            now,
+            NodeId(0),
+            &Msg::Paxos(PaxosMsg::AcceptReply {
+                group: GroupId(0),
+                position,
+                ballot,
+                accepted: true,
+            }),
+        );
+        // The winner installed locally; survivors were rescheduled into a
+        // fresh instance at position 2, nothing finished as committed yet.
+        assert!(dir.core(0).lock().has_entry(GroupId(0), LogPosition(1)));
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, ClientAction::Finished(r) if r.committed)));
+        assert_eq!(committer.stats().survivor_resubmissions, 2);
+        assert_eq!(committer.slot_positions(), vec![LogPosition(2)]);
+        assert_eq!(committer.pending(), 0);
+        // Completing the new instance commits both members exactly once,
+        // with the lost position counted as a promotion.
+        let done = complete_instance(&mut committer, now, &actions);
+        let commits: Vec<&TxnResult> = done
+            .iter()
+            .filter_map(|a| match a {
+                ClientAction::Finished(r) if r.committed => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(commits.len(), 2);
+        assert!(commits.iter().all(|r| r.promotions == 1));
+        assert!(!committer.committing());
+    }
+
+    #[test]
+    fn adaptive_window_shrinks_to_one_under_trickle_load_and_regrows() {
+        let (dir, mut committer) = harness_with(
+            BatchConfig::default()
+                .with_max_batch(8)
+                .with_pipeline_depth(1),
+        );
+        assert_eq!(
+            committer.window_target(),
+            8,
+            "the controller starts in throughput mode"
+        );
+        // A trickle: each window holds one transaction, flushed by its
+        // deadline, instance completed before the next submission.
+        let mut now = SimTime::ZERO;
+        for seq in 1..=20 {
+            now = SimTime::from_micros(seq * 50_000);
+            let actions = committer.submit(now, txn(&dir, seq, "a", committer.read_position()));
+            let actions = if committer.committing() {
+                actions
+            } else {
+                // Deadline flush.
+                let tag = actions
+                    .iter()
+                    .find_map(|a| match a {
+                        ClientAction::ArmTimer { tag, .. } => Some(*tag),
+                        _ => None,
+                    })
+                    .expect("window timer");
+                committer.on_timer(now, tag)
+            };
+            complete_instance(&mut committer, now, &actions);
+            if committer.window_target() == 1 {
+                break;
+            }
+        }
+        assert_eq!(
+            committer.window_target(),
+            1,
+            "low occupancy must shrink the window to latency mode"
+        );
+        // In latency mode a single submission flushes immediately.
+        let actions = committer.submit(now, txn(&dir, 90, "b", committer.read_position()));
+        assert!(committer.committing(), "latency mode commits on submit");
+        let done = complete_instance(&mut committer, now, &actions);
+        assert!(done
+            .iter()
+            .any(|a| matches!(a, ClientAction::Finished(r) if r.committed)));
+        // A returning burst (deep backlog at every flush) grows the target
+        // back toward the cap while the pipeline drains it.
+        let mut actions = Vec::new();
+        for seq in 0..40 {
+            actions.extend(
+                committer.submit(now, txn(&dir, 100 + seq, "c", committer.read_position())),
+            );
+        }
+        let mut grew = committer.window_target();
+        let mut guard = 0;
+        while committer.committing() {
+            actions = complete_instance(&mut committer, now, &actions);
+            grew = grew.max(committer.window_target());
+            guard += 1;
+            assert!(guard < 100, "the burst must drain");
+        }
+        assert!(grew >= 4, "a deep backlog must grow the target, got {grew}");
+        assert_eq!(committer.pending(), 0, "the burst must fully drain");
     }
 }

@@ -180,6 +180,9 @@ impl std::error::Error for ClientError {}
 struct ActiveTxn {
     group: GroupId,
     read_position: LogPosition,
+    /// The datacenter holding this transaction's read lease (the home at
+    /// `begin` time — re-homing mid-transaction must release there).
+    lease_replica: usize,
     reads: Vec<ReadRecord>,
     writes: Vec<WriteRecord>,
     write_index: BTreeMap<ItemRef, String>,
@@ -265,15 +268,24 @@ impl TransactionClient {
     }
 
     /// Start a transaction on a pre-interned group. The read position is the
-    /// local datacenter's latest gap-free log position.
+    /// local datacenter's latest gap-free log position; the client leases it
+    /// so version GC keeps every version the transaction's reads can need
+    /// until the commit decision.
     pub fn begin_id(&mut self, now: SimTime, group: GroupId) -> Result<(), ClientError> {
         if self.active.is_some() {
             return Err(ClientError::TransactionInProgress);
         }
-        let read_position = self.home_core().lock().read_position(group);
+        let read_position = {
+            let core = self.home_core();
+            let mut core = core.lock();
+            let read_position = core.read_position(group);
+            core.begin_read_lease(group, read_position);
+            read_position
+        };
         self.active = Some(ActiveTxn {
             group,
             read_position,
+            lease_replica: self.home_replica,
             reads: Vec::new(),
             writes: Vec::new(),
             write_index: BTreeMap::new(),
@@ -282,6 +294,14 @@ impl TransactionClient {
             commit: None,
         });
         Ok(())
+    }
+
+    /// Release the read lease a finished transaction held.
+    fn release_lease(&self, txn: &ActiveTxn) {
+        self.directory
+            .core(txn.lease_replica)
+            .lock()
+            .end_read_lease(txn.group, txn.read_position);
     }
 
     /// Read one item of the active transaction's group, interning the names.
@@ -377,7 +397,8 @@ impl TransactionClient {
         txn.commit_started_at = Some(now);
         if txn.writes.is_empty() {
             let began = txn.began_at;
-            self.active = None;
+            let finished = self.active.take().expect("checked above");
+            self.release_lease(&finished);
             return Ok(vec![ClientAction::Finished(TxnResult {
                 committed: true,
                 read_only: true,
@@ -535,6 +556,7 @@ impl TransactionClient {
                         .active
                         .take()
                         .expect("finished implies an active transaction");
+                    self.release_lease(&txn);
                     let commit_started = txn.commit_started_at.unwrap_or(txn.began_at);
                     out.push(ClientAction::Finished(TxnResult {
                         committed: outcome.committed,

@@ -255,6 +255,18 @@ impl Cluster {
             .map(|core| core.lock().expired_read_count())
             .collect()
     }
+
+    /// Per-replica counts of multi-version store versions reclaimed by the
+    /// apply-time GC behind the read-lease watermark, in replica order.
+    /// Harnesses fold these into
+    /// [`RunMetrics::reclaimed_versions`](crate::RunMetrics).
+    pub fn reclaimed_version_counts(&self) -> Vec<u64> {
+        self.directory
+            .cores()
+            .iter()
+            .map(|core| core.lock().reclaimed_version_count())
+            .collect()
+    }
 }
 
 #[cfg(test)]

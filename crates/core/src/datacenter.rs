@@ -16,12 +16,16 @@
 use mvkv::{Key, MvKvStore, Row, Timestamp};
 use parking_lot::Mutex;
 use paxos::AcceptorStore;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 use walog::{AttrId, GroupId, GroupLog, KeyId, LogEntry, LogPosition};
 
 /// Shared handle to a datacenter's storage state.
 pub type SharedCore = Arc<Mutex<DatacenterCore>>;
+
+/// Default version-GC horizon: positions of history kept below the
+/// watermark (see the `gc_horizon` field of [`DatacenterCore`]).
+const DEFAULT_GC_HORIZON: u64 = 16;
 
 /// Failure returned when a read cannot be served because the local log has
 /// gaps below the requested read position; the caller must catch up first.
@@ -29,6 +33,27 @@ pub type SharedCore = Arc<Mutex<DatacenterCore>>;
 pub struct CatchUpNeeded {
     /// The positions that are missing locally.
     pub missing: Vec<LogPosition>,
+}
+
+/// What one [`DatacenterCore::install_entry`] did to the group's gap-free
+/// prefix. The Transaction Service reacts to *prefix advances* (pipeline
+/// completions at the head), not to every decided position: a position
+/// decided above a gap installs durably but cannot apply or unblock reads
+/// until the gap fills.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// The group's gap-free prefix before the install.
+    pub prefix_before: LogPosition,
+    /// The group's gap-free prefix after the install (applied through).
+    pub prefix: LogPosition,
+}
+
+impl ApplyOutcome {
+    /// Whether the install advanced the applied prefix (and may therefore
+    /// have made parked reads servable).
+    pub fn advanced(&self) -> bool {
+        self.prefix > self.prefix_before
+    }
 }
 
 /// The durable state of one datacenter: multi-version store, write-ahead
@@ -49,6 +74,20 @@ pub struct DatacenterCore {
     /// up. Lives here (not in the service actor) so harnesses can read it
     /// after a run — the paper's services are stateless for a reason.
     expired_reads: u64,
+    /// Active read leases per group: position → number of readers pinned at
+    /// it. Local clients lease their read position between `begin` and the
+    /// commit decision, and the Transaction Service leases the position of
+    /// every parked remote read; the per-group minimum is the version-GC
+    /// watermark — no version a leased reader can still need is reclaimed.
+    read_leases: HashMap<GroupId, BTreeMap<u64, usize>>,
+    /// Positions of history the GC always keeps below the watermark.
+    /// Leases cover every *local* reader and every *parked* remote read,
+    /// but a remote read served on arrival reads at a position its
+    /// requester leased in a different datacenter — the horizon keeps the
+    /// few positions such a read can lag by (a WAN round trip) servable.
+    gc_horizon: u64,
+    /// Multi-version store versions reclaimed by the apply-time GC.
+    reclaimed_versions: u64,
 }
 
 impl DatacenterCore {
@@ -61,7 +100,17 @@ impl DatacenterCore {
             logs: HashMap::new(),
             leader_claims: HashMap::new(),
             expired_reads: 0,
+            read_leases: HashMap::new(),
+            gc_horizon: DEFAULT_GC_HORIZON,
+            reclaimed_versions: 0,
         }
+    }
+
+    /// Override the version-GC horizon (positions of history always kept
+    /// below the watermark). Tests pin it to 0 to exercise the lease
+    /// machinery exactly; deployments trade memory for remote-read slack.
+    pub fn set_gc_horizon(&mut self, horizon: u64) {
+        self.gc_horizon = horizon;
     }
 
     /// The store row key of an application item: the group id in the high
@@ -126,31 +175,129 @@ impl DatacenterCore {
     }
 
     /// Install a decided entry into the local log (idempotent) and eagerly
-    /// apply every gap-free entry to the key-value store.
+    /// apply every gap-free entry to the key-value store, reporting how far
+    /// the applied prefix moved. Entries decided out of pipeline order
+    /// install durably but apply strictly in position order: an entry above
+    /// a gap waits, and the returned [`ApplyOutcome`] does not advance.
+    /// Keys written by newly applied entries are version-GC'd behind the
+    /// group's read-lease watermark (see
+    /// [`DatacenterCore::begin_read_lease`]).
     ///
     /// Panics if a *different* entry was already installed at the position:
     /// that would violate replication property (R1) and indicates a protocol
     /// bug, which tests must surface loudly.
-    pub fn install_entry(&mut self, group: GroupId, position: LogPosition, entry: Arc<LogEntry>) {
+    pub fn install_entry(
+        &mut self,
+        group: GroupId,
+        position: LogPosition,
+        entry: Arc<LogEntry>,
+    ) -> ApplyOutcome {
         let log = self.logs.entry(group).or_default();
+        let prefix_before = log.contiguous_prefix();
         log.install(position, entry)
             .expect("replication property R1 violated: conflicting entry for a decided position");
-        Self::apply_contiguous(group, log, &self.store);
+        let applied_keys = Self::apply_contiguous(group, log, &self.store);
+        let prefix = log.contiguous_prefix();
+        self.gc_applied_keys(group, applied_keys);
+        ApplyOutcome {
+            prefix_before,
+            prefix,
+        }
     }
 
     /// Apply every decided-but-unapplied entry in the gap-free prefix of the
-    /// group's log to the key-value store.
-    fn apply_contiguous(group: GroupId, log: &mut GroupLog, store: &MvKvStore) {
+    /// group's log to the key-value store; returns the store keys written.
+    fn apply_contiguous(group: GroupId, log: &mut GroupLog, store: &MvKvStore) -> Vec<Key> {
         let through = log.contiguous_prefix();
         let Some(pending) = log.unapplied_range(through) else {
-            return;
+            return Vec::new();
         };
+        let mut applied: BTreeSet<Key> = BTreeSet::new();
         for (pos, entry) in pending {
             for (key, row) in Self::entry_writes(group, &entry) {
                 store.apply_idempotent(key, row, Timestamp(pos.0));
+                applied.insert(key);
             }
             log.mark_applied_through(pos);
         }
+        applied.into_iter().collect()
+    }
+
+    /// Reclaim store versions of freshly written keys that no active reader
+    /// can still need: everything strictly older than the newest version at
+    /// or below the group's watermark (min leased read position, capped by
+    /// the applied prefix).
+    fn gc_applied_keys(&mut self, group: GroupId, keys: Vec<Key>) {
+        if keys.is_empty() {
+            return;
+        }
+        let watermark = self.gc_watermark(group);
+        if watermark == LogPosition::ZERO {
+            return;
+        }
+        for key in keys {
+            if let Some(floor) = self.store.version_floor(key, Timestamp(watermark.0)) {
+                self.reclaimed_versions += self.store.gc_versions_before(key, floor) as u64;
+            }
+        }
+    }
+
+    /// The version-GC watermark of a group: no reader is (or will be)
+    /// pinned below it. Future readers begin at the applied prefix; active
+    /// ones hold leases; the horizon covers remote reads leased elsewhere.
+    fn gc_watermark(&self, group: GroupId) -> LogPosition {
+        let prefix = self.read_position(group);
+        let horizon_cap = LogPosition(prefix.0.saturating_sub(self.gc_horizon));
+        match self
+            .read_leases
+            .get(&group)
+            .and_then(|leases| leases.keys().next())
+        {
+            Some(min) => LogPosition(*min).min(horizon_cap),
+            None => horizon_cap,
+        }
+    }
+
+    /// Pin `position` as an active read position of `group`: versions a
+    /// reader at this position can see will survive GC until the lease is
+    /// released with [`DatacenterCore::end_read_lease`]. Leases are
+    /// refcounted per position.
+    pub fn begin_read_lease(&mut self, group: GroupId, position: LogPosition) {
+        *self
+            .read_leases
+            .entry(group)
+            .or_default()
+            .entry(position.0)
+            .or_insert(0) += 1;
+    }
+
+    /// Release one lease on `position` previously taken with
+    /// [`DatacenterCore::begin_read_lease`].
+    pub fn end_read_lease(&mut self, group: GroupId, position: LogPosition) {
+        let Some(leases) = self.read_leases.get_mut(&group) else {
+            debug_assert!(false, "lease release without a lease");
+            return;
+        };
+        match leases.get_mut(&position.0) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                leases.remove(&position.0);
+            }
+            None => debug_assert!(false, "lease release without a lease"),
+        }
+    }
+
+    /// Active read leases across all groups (observability and tests).
+    pub fn read_lease_count(&self) -> usize {
+        self.read_leases
+            .values()
+            .map(|m| m.values().sum::<usize>())
+            .sum()
+    }
+
+    /// Multi-version store versions reclaimed by the apply-time GC.
+    pub fn reclaimed_version_count(&self) -> u64 {
+        self.reclaimed_versions
     }
 
     /// Collapse an entry's writes into one row-delta per (group-qualified)
@@ -186,7 +333,10 @@ impl DatacenterCore {
             if !missing.is_empty() {
                 return Err(CatchUpNeeded { missing });
             }
-            Self::apply_contiguous(group, log, &self.store);
+            // Apply but do not GC here: a read being served right now may
+            // have just released its parked-read lease, so reclamation is
+            // deferred to the next install (GC runs only on apply).
+            let _ = Self::apply_contiguous(group, log, &self.store);
         }
         Ok(self.store.read_attr(
             Self::app_key(group, key),
@@ -400,6 +550,73 @@ mod tests {
             core.install_entry(GROUP, LogPosition(1), write_entry(9, 9, 0, A, "x"));
         }));
         assert!(result.is_err(), "conflicting install must panic (R1)");
+    }
+
+    #[test]
+    fn install_reports_prefix_advance_and_defers_out_of_order_applies() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        // Position 2 installs above a gap: durable but not applied.
+        let out = core.install_entry(GROUP, LogPosition(2), write_entry(0, 2, 1, A, "2"));
+        assert!(!out.advanced());
+        assert_eq!(out.prefix, LogPosition::ZERO);
+        assert!(core.has_entry(GROUP, LogPosition(2)));
+        // Filling position 1 advances the prefix through both.
+        let out = core.install_entry(GROUP, LogPosition(1), write_entry(0, 1, 0, A, "1"));
+        assert!(out.advanced());
+        assert_eq!(out.prefix_before, LogPosition::ZERO);
+        assert_eq!(out.prefix, LogPosition(2));
+        assert_eq!(
+            core.read(GROUP, ROW, A, LogPosition(2)).unwrap(),
+            Some("2".to_string())
+        );
+    }
+
+    #[test]
+    fn apply_time_gc_reclaims_versions_behind_the_watermark() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        core.set_gc_horizon(0);
+        // Five entries rewrite the same item; with no leases the watermark
+        // follows the prefix, so each apply reclaims the newly superseded
+        // version (the first apply has nothing older to drop).
+        for p in 1..=5 {
+            core.install_entry(GROUP, LogPosition(p), write_entry(0, p, p - 1, A, "v"));
+        }
+        assert_eq!(core.reclaimed_version_count(), 4);
+        // The store key of (GROUP 0, ROW 0) is Key(0): only the newest
+        // version survives.
+        assert_eq!(core.store().version_count(mvkv::Key(0)), 1);
+        assert_eq!(
+            core.read(GROUP, ROW, A, LogPosition(5)).unwrap(),
+            Some("v".to_string())
+        );
+    }
+
+    #[test]
+    fn read_leases_pin_versions_against_gc() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        core.set_gc_horizon(0);
+        core.install_entry(GROUP, LogPosition(1), write_entry(0, 1, 0, A, "1"));
+        core.install_entry(GROUP, LogPosition(2), write_entry(0, 2, 1, A, "2"));
+        // A reader pins position 2, then three more entries apply: the
+        // version serving position 2 must survive.
+        core.begin_read_lease(GROUP, LogPosition(2));
+        assert_eq!(core.read_lease_count(), 1);
+        for p in 3..=5 {
+            core.install_entry(GROUP, LogPosition(p), write_entry(0, p, p - 1, A, "v"));
+        }
+        assert_eq!(
+            core.read(GROUP, ROW, A, LogPosition(2)).unwrap(),
+            Some("2".to_string()),
+            "the leased read position must stay servable"
+        );
+        // Releasing the lease lets the next apply reclaim what the reader
+        // needed.
+        core.end_read_lease(GROUP, LogPosition(2));
+        assert_eq!(core.read_lease_count(), 0);
+        let before = core.reclaimed_version_count();
+        core.install_entry(GROUP, LogPosition(6), write_entry(0, 6, 5, A, "v"));
+        assert!(core.reclaimed_version_count() > before);
+        assert_eq!(core.store().version_count(mvkv::Key(0)), 1);
     }
 
     #[test]

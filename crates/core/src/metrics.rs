@@ -72,6 +72,33 @@ pub struct RunMetrics {
     /// `TransactionService::expired_read_count`), and [`RunMetrics::merge`]
     /// accumulates it like every other counter.
     pub expired_reads: u64,
+    /// Windows a [`GroupCommitter`](crate::GroupCommitter) split because
+    /// they were internally conflicting (a member read an earlier member's
+    /// write — the `walog::combine::can_append` rule): the deferred
+    /// members waited for a later instance instead of riding an invalid
+    /// combination. Recorded by committers wired with
+    /// [`GroupCommitter::with_metrics`](crate::GroupCommitter::with_metrics).
+    pub batch_splits: u64,
+    /// Window members aborted by the committer's optimistic revalidation at
+    /// flush time: an entry decided since the member's read position had
+    /// already invalidated its reads, so it never entered an instance.
+    pub stale_member_aborts: u64,
+    /// Multi-version store versions reclaimed by the watermark-driven GC
+    /// that runs when decided entries apply (see
+    /// `DatacenterCore::reclaimed_version_count`). Service-side; harnesses
+    /// populate it from the datacenter cores after a run.
+    pub reclaimed_versions: u64,
+    /// Transactions per flushed committer window, one sample per window —
+    /// the occupancy signal the adaptive window controller steers on.
+    pub window_occupancy: Vec<u32>,
+    /// Commit-pipeline depth in flight, sampled when each instance opens
+    /// (1 = flush-and-wait behaviour, ≥ 2 = overlapping instances).
+    pub pipeline_depth: Vec<u32>,
+    /// Absolute simulated time (microseconds) of the latest recorded
+    /// outcome. Harness actors stamp it after each decision so throughput
+    /// can be measured over the *working* span of a run — `run until idle`
+    /// otherwise pads the span with trailing reply-timeout timers.
+    pub last_decision_us: u64,
 }
 
 impl RunMetrics {
@@ -109,6 +136,13 @@ impl RunMetrics {
         self.combined_commits += other.combined_commits;
         self.read_only += other.read_only;
         self.expired_reads += other.expired_reads;
+        self.batch_splits += other.batch_splits;
+        self.stale_member_aborts += other.stale_member_aborts;
+        self.reclaimed_versions += other.reclaimed_versions;
+        self.window_occupancy
+            .extend_from_slice(&other.window_occupancy);
+        self.pipeline_depth.extend_from_slice(&other.pipeline_depth);
+        self.last_decision_us = self.last_decision_us.max(other.last_decision_us);
         if self.commits_by_promotion.len() < other.commits_by_promotion.len() {
             self.commits_by_promotion
                 .resize(other.commits_by_promotion.len(), 0);
@@ -170,6 +204,22 @@ impl RunMetrics {
             .rposition(|n| *n > 0)
             .unwrap_or(0)
     }
+
+    /// Mean transactions per flushed committer window (0 when no committer
+    /// reported samples).
+    pub fn mean_window_occupancy(&self) -> f64 {
+        if self.window_occupancy.is_empty() {
+            return 0.0;
+        }
+        self.window_occupancy.iter().map(|n| *n as u64).sum::<u64>() as f64
+            / self.window_occupancy.len() as f64
+    }
+
+    /// The deepest commit pipeline observed (0 when no committer reported
+    /// samples; 1 means instances never overlapped).
+    pub fn max_pipeline_depth(&self) -> u32 {
+        self.pipeline_depth.iter().copied().max().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -229,12 +279,32 @@ mod tests {
         b.record(&result(true, 3, 15));
         b.record(&result(false, 0, 5));
         b.expired_reads = 3;
+        b.batch_splits = 2;
+        b.stale_member_aborts = 1;
+        b.reclaimed_versions = 7;
+        b.window_occupancy = vec![4, 2];
+        b.pipeline_depth = vec![1, 2];
         a.expired_reads = 1;
+        a.window_occupancy = vec![6];
+        a.pipeline_depth = vec![1];
         a.merge(&b);
         assert_eq!(a.attempted, 3);
         assert_eq!(a.committed, 2);
         assert_eq!(a.commits_by_promotion, vec![1, 0, 0, 1]);
         assert_eq!(a.abort_latency_us.len(), 1);
         assert_eq!(a.expired_reads, 4);
+        assert_eq!(a.batch_splits, 2);
+        assert_eq!(a.stale_member_aborts, 1);
+        assert_eq!(a.reclaimed_versions, 7);
+        assert_eq!(a.window_occupancy, vec![6, 4, 2]);
+        assert_eq!(a.max_pipeline_depth(), 2);
+        assert!((a.mean_window_occupancy() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_observability_defaults_are_empty() {
+        let m = RunMetrics::default();
+        assert_eq!(m.mean_window_occupancy(), 0.0);
+        assert_eq!(m.max_pipeline_depth(), 0);
     }
 }

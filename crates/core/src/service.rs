@@ -69,6 +69,13 @@ pub struct TransactionService {
     /// Parked remote reads, bucketed by the (group, read position) they
     /// wait for.
     pending_reads: HashMap<(GroupId, LogPosition), Vec<PendingRead>>,
+    /// The applied prefix this service last reacted to, per group. The
+    /// shared core's prefix can advance *between* Apply messages (a local
+    /// proposer's `Learned` installs directly), so the service compares
+    /// against what it last saw rather than the per-install delta — every
+    /// decide is followed by an Apply broadcast to every service, so no
+    /// advance goes unobserved for long.
+    flushed_through: HashMap<GroupId, LogPosition>,
 }
 
 impl TransactionService {
@@ -90,6 +97,7 @@ impl TransactionService {
             timers: HashMap::new(),
             next_tag: 0,
             pending_reads: HashMap::new(),
+            flushed_through: HashMap::new(),
         }
     }
 
@@ -166,16 +174,18 @@ impl TransactionService {
                 ballot,
                 value,
             } => {
-                {
+                let outcome = {
                     let mut core = self.core.lock();
                     core.acceptor()
                         .handle_apply(group, position, ballot, &value);
-                    core.install_entry(group, position, value);
-                }
-                // A decided position may unblock queued remote reads of this
-                // group and makes any recovery instance for it redundant.
+                    core.install_entry(group, position, value)
+                };
+                // The decide makes any recovery instance for the position
+                // redundant; parked reads react only to *prefix advances*
+                // (a pipelined decide above a gap cannot unblock anything —
+                // entries apply strictly in position order).
                 self.recovery.remove(&(group, position));
-                self.flush_pending_reads_for(ctx, group);
+                self.react_to_prefix(ctx, group, outcome.prefix);
             }
             PaxosMsg::LeaderClaim { group, position } => {
                 let granted = self
@@ -278,18 +288,7 @@ impl TransactionService {
                 // fresh request is never expired — expiry only applies to
                 // re-attempts of parked reads, after serving was tried.
                 if ctx.now().since(pending.enqueued_at) > self.message_timeout {
-                    self.core.lock().note_expired_read();
-                    ctx.send(
-                        pending.from,
-                        Msg::ReadReply {
-                            req_id: pending.req_id,
-                            group: pending.group,
-                            key: pending.key,
-                            attr: pending.attr,
-                            value: None,
-                            unavailable: true,
-                        },
-                    );
+                    self.expire_read(ctx, pending);
                     return;
                 }
                 // Start a recovery instance for every missing position, then
@@ -302,9 +301,29 @@ impl TransactionService {
         }
     }
 
+    /// Give up on a read whose requester's patience ran out: answer
+    /// `unavailable` (so a patient requester can retry elsewhere) and
+    /// count it. The caller has already removed it from the parked map.
+    fn expire_read(&mut self, ctx: &mut Context<Msg>, read: PendingRead) {
+        self.core.lock().note_expired_read();
+        ctx.send(
+            read.from,
+            Msg::ReadReply {
+                req_id: read.req_id,
+                group: read.group,
+                key: read.key,
+                attr: read.attr,
+                value: None,
+                unavailable: true,
+            },
+        );
+    }
+
     /// Park a read in its `(group, read position)` bucket, replacing any
     /// earlier entry for the same requester and correlation id (a retried
-    /// request must not accumulate).
+    /// request must not accumulate). A newly parked read leases its
+    /// position in the datacenter core so version GC cannot reclaim what
+    /// it will need once servable.
     fn park_read(&mut self, pending: PendingRead) {
         let bucket = self
             .pending_reads
@@ -316,8 +335,25 @@ impl TransactionService {
         {
             *existing = pending;
         } else {
+            self.core
+                .lock()
+                .begin_read_lease(pending.group, pending.read_position);
             bucket.push(pending);
         }
+    }
+
+    /// Remove one bucket from the parked-read map, releasing its leases.
+    /// Reads the caller re-parks (still gapped, within their requester's
+    /// patience) take a fresh lease in [`TransactionService::park_read`].
+    fn unpark_bucket(&mut self, key: (GroupId, LogPosition)) -> Vec<PendingRead> {
+        let bucket = self.pending_reads.remove(&key).unwrap_or_default();
+        if !bucket.is_empty() {
+            let mut core = self.core.lock();
+            for _ in &bucket {
+                core.end_read_lease(key.0, key.1);
+            }
+        }
+        bucket
     }
 
     /// Re-attempt every parked read (all groups): used after an outage,
@@ -325,33 +361,87 @@ impl TransactionService {
     /// first; only reads that are *still* gapped are expired or re-parked
     /// (see [`TransactionService::handle_read`]).
     fn flush_pending_reads(&mut self, ctx: &mut Context<Msg>) {
-        let pending: Vec<PendingRead> = self
-            .pending_reads
-            .drain()
-            .flat_map(|(_, bucket)| bucket)
-            .collect();
-        for read in pending {
-            self.handle_read(ctx, read);
+        let keys: Vec<(GroupId, LogPosition)> = self.pending_reads.keys().copied().collect();
+        for key in keys {
+            for read in self.unpark_bucket(key) {
+                self.handle_read(ctx, read);
+            }
         }
     }
 
-    /// Re-attempt the parked reads of one group: a decided position can
-    /// only unblock reads of that group's log, so the per-decide flush
-    /// leaves other groups' buckets untouched.
-    fn flush_pending_reads_for(&mut self, ctx: &mut Context<Msg>, group: GroupId) {
-        let keys: Vec<(GroupId, LogPosition)> = self
+    /// React iff `prefix` moved past what this service last flushed at —
+    /// whether this install advanced it or a local proposer's `Learned`
+    /// already had. Serving is advance-driven, but overdue reads are
+    /// expired on every decide of the group regardless: a wedged prefix
+    /// (stalled recovery below pipelined decides) must not leave a
+    /// requester waiting forever, nor its lease pinning the GC watermark.
+    fn react_to_prefix(&mut self, ctx: &mut Context<Msg>, group: GroupId, prefix: LogPosition) {
+        let seen = self
+            .flushed_through
+            .get(&group)
+            .copied()
+            .unwrap_or(LogPosition::ZERO);
+        if prefix > seen {
+            self.flushed_through.insert(group, prefix);
+            self.on_prefix_advance(ctx, group, prefix);
+        } else {
+            self.expire_overdue_gapped(ctx, group, prefix);
+        }
+    }
+
+    /// The group's applied prefix advanced (a pipeline completion at the
+    /// head): serve every parked read the new prefix covers, and evict
+    /// overdue reads that are still gapped above it. Reads of other groups
+    /// and reads parked above a prefix that did not move are untouched —
+    /// the service loop is driven by completions, not by per-flush polling.
+    fn on_prefix_advance(&mut self, ctx: &mut Context<Msg>, group: GroupId, prefix: LogPosition) {
+        let (servable, gapped): (Vec<_>, Vec<_>) = self
             .pending_reads
             .keys()
             .filter(|(g, _)| *g == group)
             .copied()
+            .partition(|(_, position)| *position <= prefix);
+        for key in servable {
+            for read in self.unpark_bucket(key) {
+                self.handle_read(ctx, read);
+            }
+        }
+        // Reads still gapped whose requester has given up are answered
+        // `unavailable` and evicted; the rest keep waiting (and keep their
+        // leases).
+        for key in gapped {
+            self.expire_overdue_in_bucket(ctx, key);
+        }
+    }
+
+    /// Evict the overdue reads of every still-gapped bucket of `group`
+    /// (parked above `prefix`): answer `unavailable`, release the lease.
+    /// Patient reads are re-parked untouched.
+    fn expire_overdue_gapped(
+        &mut self,
+        ctx: &mut Context<Msg>,
+        group: GroupId,
+        prefix: LogPosition,
+    ) {
+        let gapped: Vec<(GroupId, LogPosition)> = self
+            .pending_reads
+            .keys()
+            .filter(|(g, position)| *g == group && *position > prefix)
+            .copied()
             .collect();
-        let pending: Vec<PendingRead> = keys
-            .into_iter()
-            .filter_map(|key| self.pending_reads.remove(&key))
-            .flatten()
-            .collect();
-        for read in pending {
-            self.handle_read(ctx, read);
+        for key in gapped {
+            self.expire_overdue_in_bucket(ctx, key);
+        }
+    }
+
+    fn expire_overdue_in_bucket(&mut self, ctx: &mut Context<Msg>, key: (GroupId, LogPosition)) {
+        let bucket = self.unpark_bucket(key);
+        for read in bucket {
+            if ctx.now().since(read.enqueued_at) > self.message_timeout {
+                self.expire_read(ctx, read);
+            } else {
+                self.park_read(read);
+            }
         }
     }
 
@@ -416,7 +506,10 @@ impl TransactionService {
                 }
                 ProposerAction::Finished(_) => {
                     self.recovery.remove(&key);
-                    self.flush_pending_reads_for(ctx, key.0);
+                    // The recovery instance learned (and installed) its
+                    // position; react to however far the prefix reaches now.
+                    let prefix = self.core.lock().read_position(key.0);
+                    self.react_to_prefix(ctx, key.0, prefix);
                 }
             }
         }
@@ -862,6 +955,53 @@ mod tests {
             received.lock().is_empty(),
             "an unrelated group's decide must not answer group 0's parked read"
         );
+    }
+
+    #[test]
+    fn out_of_order_applies_leave_reads_parked_until_the_prefix_advances() {
+        // A read waits at position 2. Position 2's entry decides FIRST
+        // (a pipelined out-of-order completion): it installs durably but
+        // the prefix stays 0, so the read stays parked — no premature
+        // serve, no premature expiry. Position 1 then decides, the prefix
+        // jumps to 2, and the read is served with position 2's value.
+        let (mut sim, service_node, received) =
+            stalled_recovery_harness(vec![read_request_at(3, 2)]);
+        sim.run_for(SimDuration::from_secs(1));
+        let helper = Prober {
+            to_send: vec![(
+                service_node,
+                Msg::Paxos(PaxosMsg::Apply {
+                    group: GROUP,
+                    position: LogPosition(2),
+                    ballot: Ballot::initial(9),
+                    value: entry(2, A, "p2"),
+                }),
+            )],
+            received: StdArc::new(parking_lot::Mutex::new(Vec::new())),
+        };
+        let site = sim.network().site_of(service_node);
+        sim.add_node(site, Box::new(helper));
+        // Run far past the 2 s requester timeout: with only position 2
+        // decided the prefix has not advanced, so the read must neither be
+        // answered nor expired.
+        sim.run_for(SimDuration::from_secs(10));
+        assert!(
+            received.lock().is_empty(),
+            "an out-of-order decide must not disturb the parked read"
+        );
+        apply_position_one(&mut sim, service_node, "p1");
+        sim.run_for(SimDuration::from_secs(5));
+        let got = received.lock();
+        assert_eq!(got.len(), 1);
+        match &got[0] {
+            Msg::ReadReply {
+                req_id: 3,
+                value,
+                unavailable: false,
+                ..
+            } => assert_eq!(value.as_deref(), Some("p2")),
+            other => panic!("expected position 2's value, got {other:?}"),
+        }
     }
 
     #[test]

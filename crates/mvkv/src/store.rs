@@ -200,6 +200,18 @@ impl MvKvStore {
         self.inner.read().rows.len()
     }
 
+    /// The timestamp of the newest version of `key` at or before `at`: the
+    /// oldest version a reader pinned at `at` can still need, and therefore
+    /// the safe `keep_from` cutoff for [`MvKvStore::gc_versions_before`].
+    /// `None` when the key has no version at or before `at`.
+    pub fn version_floor(&self, key: Key, at: Timestamp) -> Option<Timestamp> {
+        self.inner
+            .read()
+            .rows
+            .get(&key)
+            .and_then(|r| r.at(at).map(|(ts, _)| *ts))
+    }
+
     /// Drop all versions of `key` strictly older than `keep_from`, keeping at
     /// least the latest version. Returns the number of versions removed.
     pub fn gc_versions_before(&self, key: Key, keep_from: Timestamp) -> usize {
@@ -381,6 +393,29 @@ mod tests {
         assert_eq!(removed, 1);
         assert_eq!(store.version_count(K), 1);
         assert_eq!(store.gc_versions_before(Key(999), Timestamp(1)), 0);
+    }
+
+    #[test]
+    fn version_floor_names_the_version_a_pinned_reader_needs() {
+        let store = MvKvStore::new();
+        store
+            .write(K, row(&[(A, "2")]), Some(Timestamp(2)))
+            .unwrap();
+        store
+            .write(K, row(&[(A, "5")]), Some(Timestamp(5)))
+            .unwrap();
+        assert_eq!(store.version_floor(K, Timestamp(1)), None);
+        assert_eq!(store.version_floor(K, Timestamp(2)), Some(Timestamp(2)));
+        assert_eq!(store.version_floor(K, Timestamp(4)), Some(Timestamp(2)));
+        assert_eq!(store.version_floor(K, Timestamp(9)), Some(Timestamp(5)));
+        assert_eq!(store.version_floor(Key(999), Timestamp(9)), None);
+        // GC at the floor keeps exactly what a reader pinned there needs.
+        let floor = store.version_floor(K, Timestamp(4)).unwrap();
+        assert_eq!(store.gc_versions_before(K, floor), 0);
+        assert_eq!(
+            store.read_attr(K, A, Some(Timestamp(4))).as_deref(),
+            Some("2")
+        );
     }
 
     #[test]

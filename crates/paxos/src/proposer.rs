@@ -165,6 +165,13 @@ pub struct CommitOutcome {
     pub committed_txns: Vec<TxnId>,
     /// Ids of the members that aborted, each with its reason.
     pub aborted_txns: Vec<(TxnId, AbortReason)>,
+    /// Members that lost the position but remain committable (their reads
+    /// were not invalidated by the winning entry). Only a proposer built
+    /// with [`Proposer::new_batch_pipelined`] reports survivors — instead
+    /// of promoting inline to `position + 1` (which a pipelined committer
+    /// may already be driving), it hands them back so the embedding
+    /// pipeline can reschedule them at its tail. Always empty otherwise.
+    pub survivors: Vec<Transaction>,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -227,6 +234,16 @@ pub struct Proposer {
     committed_position: Option<LogPosition>,
     /// Whether any committing entry held more than one transaction.
     committed_combined: bool,
+    /// Pipelined mode: on loss, report survivors through the outcome
+    /// instead of promoting inline to the next position (which the
+    /// embedding pipeline may already be driving with another instance).
+    defer_promotion: bool,
+    /// Pipelined mode: this instance's position sits above still-undecided
+    /// positions, so combination is restricted to blind-write candidates
+    /// (see [`enhanced_find_winning_val_batch`]).
+    speculative: bool,
+    /// Survivors collected by a deferred loss, handed over in the outcome.
+    deferred_survivors: Vec<Transaction>,
 }
 
 impl Proposer {
@@ -254,8 +271,9 @@ impl Proposer {
     /// decide every member.
     ///
     /// The batch must be a valid combination in the order given — no member
-    /// may read an item written by an earlier member (callers produce such
-    /// batches with [`walog::combine::partition_compatible`]).
+    /// may read an item written by an earlier member (callers build such
+    /// batches with the [`walog::combine::can_append`] /
+    /// [`walog::combine::partition_compatible`] rule).
     pub fn new_batch(
         cfg: ProposerConfig,
         group: GroupId,
@@ -269,6 +287,39 @@ impl Proposer {
             "batch members must form a valid combination; partition first"
         );
         Self::with_goal(cfg, group, client_id, Goal::Commit(batch), commit_position)
+    }
+
+    /// Create a proposer for one slot of a commit *pipeline*: it competes
+    /// for exactly `commit_position` and never moves. On losing the
+    /// position it does not promote inline — the next position may already
+    /// be driven by another pipeline slot — but instead reports the
+    /// still-committable members in [`CommitOutcome::survivors`] so the
+    /// embedding pipeline can reschedule them at its tail. Losses are also
+    /// resolved pessimistically: where a flush-and-wait proposer stops
+    /// competing as soon as a majority of votes favours another value, a
+    /// pipelined slot pushes the winning value through the accept phase
+    /// first (Paxos's adoption rule), so the position is *decided and
+    /// installed* before its members are rescheduled and the local log
+    /// prefix keeps advancing.
+    ///
+    /// `prior_promotions` carries the number of positions the batch already
+    /// lost in earlier slots (for the promotion cap and reporting), and
+    /// `speculative` marks a slot above still-undecided positions, which
+    /// restricts combination to blind-write candidates.
+    pub fn new_batch_pipelined(
+        cfg: ProposerConfig,
+        group: GroupId,
+        client_id: u64,
+        batch: Vec<Transaction>,
+        commit_position: LogPosition,
+        prior_promotions: u32,
+        speculative: bool,
+    ) -> Self {
+        let mut proposer = Self::new_batch(cfg, group, client_id, batch, commit_position);
+        proposer.defer_promotion = true;
+        proposer.speculative = speculative;
+        proposer.promotions = prior_promotions;
+        proposer
     }
 
     /// Create a recovery proposer that proposes a no-op for `position` in
@@ -316,6 +367,9 @@ impl Proposer {
             aborted_ids: Vec::new(),
             committed_position: None,
             committed_combined: false,
+            defer_promotion: false,
+            speculative: false,
+            deferred_survivors: Vec::new(),
         }
     }
 
@@ -532,8 +586,16 @@ impl Proposer {
                 &self.own_entry,
                 self.cfg.num_replicas,
                 self.cfg.combination_enabled,
+                self.speculative,
             ) {
-                self.handle_loss(&decided, out);
+                if self.defer_promotion {
+                    // A pipelined slot resolves the position pessimistically:
+                    // push the winner through the accept phase (the position
+                    // decides and installs) and defer the loss to the decide.
+                    self.choose_and_accept(out);
+                } else {
+                    self.handle_loss(&decided, out);
+                }
                 return;
             }
             if !self.round.gathering {
@@ -561,12 +623,22 @@ impl Proposer {
                     &self.own_entry,
                     self.cfg.num_replicas,
                     self.cfg.combination_enabled,
+                    self.speculative,
                 ) {
                     ValueChoice::Propose(value) => self.begin_accept(value, out),
-                    ValueChoice::Promote { decided } => {
+                    ValueChoice::Promote { decided } if !self.defer_promotion => {
                         // Stop competing for this position (no accepts are
                         // sent) and either promote or abort.
                         self.handle_loss(&decided, out);
+                    }
+                    ValueChoice::Promote { .. } => {
+                        // Pipelined slot: adopt per the Paxos safety rule and
+                        // push the winner through, so the position decides
+                        // (and installs locally) before the loss is handled
+                        // at `on_decided` — the pipeline's apply prefix must
+                        // keep advancing even through lost slots.
+                        let value = find_winning_val(&votes, &self.own_entry);
+                        self.begin_accept(value, out);
                     }
                 }
             }
@@ -685,6 +757,15 @@ impl Proposer {
                 return;
             }
         }
+        if self.defer_promotion {
+            // Pipelined slot: the next position may already be in flight in
+            // another slot, so hand the survivors back through the outcome —
+            // the embedding pipeline reschedules them at its tail, in order.
+            self.promotions += 1;
+            self.deferred_survivors = survivors;
+            self.finish_final(out);
+            return;
+        }
         // The survivors promote together as a (still valid) batch. The
         // proposed value is rebuilt only when the batch actually shrank
         // (members committed elsewhere or dropped — here or in
@@ -773,6 +854,7 @@ impl Proposer {
             },
             committed_txns: std::mem::take(&mut self.committed_ids),
             aborted_txns: std::mem::take(&mut self.aborted_ids),
+            survivors: std::mem::take(&mut self.deferred_survivors),
         }));
     }
 }
@@ -1342,6 +1424,110 @@ mod tests {
         assert_eq!(outcome.abort_reason, Some(AbortReason::Conflict));
         assert_eq!(outcome.aborted_txns.len(), 2);
         assert!(outcome.committed_txns.is_empty());
+    }
+
+    #[test]
+    fn pipelined_slot_pushes_winner_through_and_reports_survivors() {
+        // Member 1 reads a0 (invalidated by the winner), member 2 is a blind
+        // write (survives). A pipelined slot must not promote inline:
+        // instead it adopts the winner, pushes it through accept so the
+        // position decides and installs, and hands the survivor back.
+        let mut p = Proposer::new_batch_pipelined(
+            ProposerConfig::cp(3).with_fast_path(false),
+            GroupId(0),
+            7,
+            vec![batch_txn(1, &[0], &[0]), batch_txn(2, &[], &[1])],
+            LogPosition(1),
+            0,
+            false,
+        );
+        p.start();
+        let winner = other_entry(&[A]);
+        let vote = Some((
+            Ballot {
+                round: 3,
+                proposer: 2,
+            },
+            Arc::clone(&winner),
+        ));
+        p.on_event(prepare_reply(&p, 0, true, vote.clone()));
+        let actions = p.on_event(prepare_reply(&p, 1, true, vote));
+        // Majority voted for the winner: instead of an early promotion the
+        // slot adopts it and sends accepts — no prepare for position 2.
+        match &actions[0] {
+            ProposerAction::Broadcast(PaxosMsg::Accept {
+                position, value, ..
+            }) => {
+                assert_eq!(*position, LogPosition(1));
+                assert!(Arc::ptr_eq(value, &winner));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        p.on_event(accept_reply(&p, 0, true));
+        let actions = p.on_event(accept_reply(&p, 1, true));
+        // The winner decides: Apply broadcast + local install, then the
+        // final outcome carries the per-member fates and the survivor.
+        assert!(matches!(
+            actions[0],
+            ProposerAction::Broadcast(PaxosMsg::Apply { .. })
+        ));
+        assert!(
+            matches!(&actions[1], ProposerAction::Learned { position, entry }
+                if *position == LogPosition(1) && Arc::ptr_eq(entry, &winner)),
+            "the lost slot must still install the decided winner"
+        );
+        let outcome = finished(&actions).unwrap();
+        assert!(!outcome.committed);
+        assert_eq!(
+            outcome.aborted_txns,
+            vec![(TxnId::new(7, 1), AbortReason::Conflict)]
+        );
+        assert_eq!(outcome.survivors.len(), 1);
+        assert_eq!(outcome.survivors[0].id, TxnId::new(7, 2));
+        assert_eq!(outcome.promotions, 1, "the deferred loss counts as one");
+        assert_eq!(
+            p.current_position(),
+            LogPosition(1),
+            "a pipelined slot never moves"
+        );
+    }
+
+    #[test]
+    fn pipelined_slot_honours_the_promotion_cap_across_slots() {
+        // The batch already lost one slot (prior promotions = 1) and the cap
+        // is 1: the next loss aborts the survivors with PromotionLimit
+        // instead of handing them back for yet another slot.
+        let mut p = Proposer::new_batch_pipelined(
+            ProposerConfig::cp(3)
+                .with_fast_path(false)
+                .with_max_promotions(Some(1)),
+            GroupId(0),
+            7,
+            vec![batch_txn(2, &[], &[1])],
+            LogPosition(4),
+            1,
+            true,
+        );
+        p.start();
+        let winner = other_entry(&[Z]);
+        let vote = Some((
+            Ballot {
+                round: 3,
+                proposer: 2,
+            },
+            Arc::clone(&winner),
+        ));
+        p.on_event(prepare_reply(&p, 0, true, vote.clone()));
+        p.on_event(prepare_reply(&p, 1, true, vote));
+        p.on_event(accept_reply(&p, 0, true));
+        let actions = p.on_event(accept_reply(&p, 1, true));
+        let outcome = finished(&actions).unwrap();
+        assert!(!outcome.committed);
+        assert!(outcome.survivors.is_empty());
+        assert_eq!(
+            outcome.aborted_txns,
+            vec![(TxnId::new(7, 2), AbortReason::PromotionLimit)]
+        );
     }
 
     #[test]

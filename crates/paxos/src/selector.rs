@@ -75,6 +75,7 @@ pub fn enhanced_find_winning_val(
         own_entry,
         num_replicas,
         combination_enabled,
+        false,
     )
 }
 
@@ -92,12 +93,24 @@ pub fn enhanced_find_winning_val(
 /// * *promotion* triggers when some value has a majority of votes and it
 ///   does not contain **every** batch member — the caller then drops the
 ///   members the winner invalidates and promotes the survivors.
+///
+/// `speculative` marks a proposal for a *pipelined* log position: one or
+/// more earlier positions are still undecided when the proposer chooses its
+/// value (see the `mdstore` commit pipeline). A transaction whose read set
+/// is non-empty could be invalidated by whatever wins those earlier
+/// positions, so a speculative proposer must not adopt responsibility for
+/// committing it: combination is restricted to candidates with empty read
+/// sets (blind writes, which no earlier entry can invalidate). Adopting a
+/// previously voted value is unrestricted — that is mandated by the Paxos
+/// safety rule and the value's serializability remains the obligation of
+/// the proposer that first chose it for the position.
 pub fn enhanced_find_winning_val_batch(
     votes: &[Vote],
     own_txns: &[Transaction],
     own_entry: &Arc<LogEntry>,
     num_replicas: usize,
     combination_enabled: bool,
+    speculative: bool,
 ) -> ValueChoice {
     debug_assert!(!own_txns.is_empty());
     debug_assert!(own_txns.iter().all(|t| own_entry.contains(t.id)));
@@ -134,6 +147,7 @@ pub fn enhanced_find_winning_val_batch(
             .iter()
             .filter_map(|v| v.last_vote.as_ref())
             .flat_map(|(_, entry)| entry.transactions().iter().cloned())
+            .filter(|t| !speculative || t.reads().is_empty())
             .collect();
         if candidates.is_empty() {
             // Nothing to combine with: propose the cached own entry as-is.
@@ -340,7 +354,7 @@ mod tests {
             vote(1, None),
             vote(2, Some((ballot(1), other))),
         ];
-        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true) {
+        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true, false) {
             ValueChoice::Propose(e) => {
                 assert_eq!(e.len(), 3);
                 assert!(e.contains(TxnId::new(0, 1)));
@@ -356,7 +370,7 @@ mod tests {
             vote(1, None),
             vote(2, Some((ballot(1), conflicting))),
         ];
-        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true) {
+        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true, false) {
             ValueChoice::Propose(e) => assert!(Arc::ptr_eq(&e, &own_entry)),
             other => panic!("unexpected {other:?}"),
         }
@@ -377,7 +391,7 @@ mod tests {
             vote(1, Some((ballot(2), Arc::clone(&partial)))),
             vote(2, None),
         ];
-        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true) {
+        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true, false) {
             ValueChoice::Promote { decided } => assert!(Arc::ptr_eq(&decided, &partial)),
             other => panic!("unexpected {other:?}"),
         }
@@ -387,8 +401,39 @@ mod tests {
             vote(0, Some((ballot(2), Arc::clone(&full)))),
             vote(1, Some((ballot(2), Arc::clone(&full)))),
         ];
-        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true) {
+        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true, false) {
             ValueChoice::Propose(e) => assert!(Arc::ptr_eq(&e, &full)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn speculative_combination_only_accepts_blind_write_candidates() {
+        // Two minority votes: one blind write, one reader. At a speculative
+        // (pipelined) position only the blind write may be combined — the
+        // reader's reads could be invalidated by a still-undecided earlier
+        // position.
+        let members = vec![txn(0, 1, &[], &[0])];
+        let own_entry = Arc::new(LogEntry::combined(members.clone()));
+        let blind = entry(txn(1, 5, &[], &[9]));
+        let reader = entry(txn(2, 6, &[3], &[4]));
+        let votes = vec![
+            vote(0, None),
+            vote(1, Some((ballot(1), blind))),
+            vote(2, Some((ballot(1), reader))),
+        ];
+        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true, true) {
+            ValueChoice::Propose(e) => {
+                assert_eq!(e.len(), 2);
+                assert!(e.contains(TxnId::new(0, 1)));
+                assert!(e.contains(TxnId::new(1, 5)), "blind write combines");
+                assert!(!e.contains(TxnId::new(2, 6)), "reader must not ride");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The same votes at a non-speculative position combine all three.
+        match enhanced_find_winning_val_batch(&votes, &members, &own_entry, 3, true, false) {
+            ValueChoice::Propose(e) => assert_eq!(e.len(), 3),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -80,6 +80,11 @@ pub fn best_combination(own: &Transaction, candidates: &[Transaction]) -> Vec<Tr
 /// The conflict test is the packed-write-set intersection cached on every
 /// [`Transaction`], so partitioning a window of `n` transactions costs
 /// `O(n²)` integer binary searches and no allocation beyond the outputs.
+///
+/// This is the *reference* form of the partition: the `mdstore` committer
+/// inlines the same [`can_append`] rule in its slot-selection loop (which
+/// also enforces window caps and pipeline speculation limits), so keep the
+/// two in agreement when the rule changes.
 pub fn partition_compatible(txns: Vec<Transaction>) -> (Vec<Transaction>, Vec<Transaction>) {
     let mut batch: Vec<Transaction> = Vec::with_capacity(txns.len());
     let mut deferred = Vec::new();

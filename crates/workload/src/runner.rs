@@ -88,9 +88,11 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     for metrics in &per_client {
         totals.merge(metrics);
     }
-    // Service-side counter: remote reads the Transaction Services expired
-    // (ROADMAP follow-up — surfaced here so experiments can assert on it).
+    // Service-side counters: remote reads the Transaction Services expired
+    // and store versions the apply-time GC reclaimed (ROADMAP follow-ups —
+    // surfaced here so experiments can assert on them).
     totals.expired_reads = cluster.expired_read_counts().iter().sum();
+    totals.reclaimed_versions = cluster.reclaimed_version_counts().iter().sum();
     assert_eq!(
         totals.attempted,
         spec.total_transactions(),

@@ -15,10 +15,14 @@ use paxos_cp::walog::{ItemRef, LogEntry, LogPosition, Transaction, TxnId};
 use std::sync::Arc;
 
 /// A minimal closed-loop writer client used by the fault-injection tests.
+/// By default each transaction read-modify-writes a shared counter; with
+/// `blind_attr` set it blind-writes its own attribute instead (no reads —
+/// such transactions promote past competing writers rather than abort).
 struct Writer {
     client: Option<TransactionClient>,
     remaining: usize,
     pause: SimDuration,
+    blind_attr: Option<String>,
     metrics: Arc<Mutex<RunMetrics>>,
 }
 
@@ -47,14 +51,23 @@ impl Writer {
         self.remaining -= 1;
         let client = self.client.as_mut().unwrap();
         client.begin(ctx.now(), "g").unwrap();
-        let counter = client
-            .read("row", "counter")
-            .unwrap()
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(0);
-        client
-            .write("row", "counter", (counter + 1).to_string())
-            .unwrap();
+        if let Some(prefix) = self.blind_attr.clone() {
+            let client = self.client.as_mut().unwrap();
+            client
+                .write("row", &format!("{prefix}{}", self.remaining), "1")
+                .unwrap();
+        } else {
+            let counter = client
+                .read("row", "counter")
+                .unwrap()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            let client = self.client.as_mut().unwrap();
+            client
+                .write("row", "counter", (counter + 1).to_string())
+                .unwrap();
+        }
+        let client = self.client.as_mut().unwrap();
         let actions = client.commit(ctx.now()).unwrap();
         self.apply(ctx, actions);
     }
@@ -80,7 +93,12 @@ impl Actor<Msg> for Writer {
     }
 }
 
-fn add_writer(cluster: &mut Cluster, replica: usize, count: usize) -> Arc<Mutex<RunMetrics>> {
+fn add_writer_with(
+    cluster: &mut Cluster,
+    replica: usize,
+    count: usize,
+    blind_attr: Option<String>,
+) -> Arc<Mutex<RunMetrics>> {
     let metrics = Arc::new(Mutex::new(RunMetrics::default()));
     let directory = cluster.directory();
     let client_config = cluster.client_config();
@@ -95,10 +113,15 @@ fn add_writer(cluster: &mut Cluster, replica: usize, count: usize) -> Arc<Mutex<
             )),
             remaining: count,
             pause: SimDuration::from_millis(50),
+            blind_attr,
             metrics: sink,
         })
     });
     metrics
+}
+
+fn add_writer(cluster: &mut Cluster, replica: usize, count: usize) -> Arc<Mutex<RunMetrics>> {
+    add_writer_with(cluster, replica, count, None)
 }
 
 #[test]
@@ -336,11 +359,16 @@ fn expired_remote_reads_are_counted_and_surfaced_in_run_metrics() {
     assert_eq!(totals.expired_reads, 1);
 }
 
+/// Reserved timer tag for a [`BatchSubmitter`]'s delayed start (committer
+/// tags count up from 1 and can never collide with it).
+const SUBMITTER_START_TAG: u64 = u64::MAX;
+
 /// Embeds a [`GroupCommitter`], submits one window of transactions at
-/// start, and records per-member outcomes.
+/// start (optionally after a delay), and records per-member outcomes.
 struct BatchSubmitter {
     committer: Option<GroupCommitter>,
     window: Vec<Transaction>,
+    start_after: Option<SimDuration>,
     metrics: Arc<Mutex<RunMetrics>>,
 }
 
@@ -358,10 +386,8 @@ impl BatchSubmitter {
             }
         }
     }
-}
 
-impl Actor<Msg> for BatchSubmitter {
-    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+    fn submit_window(&mut self, ctx: &mut Context<Msg>) {
         let mut actions = Vec::new();
         let committer = self.committer.as_mut().unwrap();
         for txn in self.window.drain(..) {
@@ -371,12 +397,27 @@ impl Actor<Msg> for BatchSubmitter {
         actions.extend(committer.flush(ctx.now()));
         self.apply(ctx, actions);
     }
+}
+
+impl Actor<Msg> for BatchSubmitter {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        match self.start_after.take() {
+            Some(delay) => {
+                ctx.set_timer(delay, SUBMITTER_START_TAG);
+            }
+            None => self.submit_window(ctx),
+        }
+    }
     fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
         let committer = self.committer.as_mut().unwrap();
         let actions = committer.on_message(ctx.now(), from, &msg);
         self.apply(ctx, actions);
     }
     fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
+        if tag == SUBMITTER_START_TAG {
+            self.submit_window(ctx);
+            return;
+        }
         let committer = self.committer.as_mut().unwrap();
         let actions = committer.on_timer(ctx.now(), tag);
         self.apply(ctx, actions);
@@ -388,7 +429,8 @@ fn add_batch_submitter(
     replica: usize,
     group: paxos_cp::walog::GroupId,
     window: Vec<Transaction>,
-    max_batch: usize,
+    batch_config: BatchConfig,
+    start_after: Option<SimDuration>,
 ) -> Arc<Mutex<RunMetrics>> {
     let metrics = Arc::new(Mutex::new(RunMetrics::default()));
     let directory = cluster.directory();
@@ -396,15 +438,12 @@ fn add_batch_submitter(
     let sink = metrics.clone();
     cluster.add_client(replica, move |node| {
         Box::new(BatchSubmitter {
-            committer: Some(GroupCommitter::new(
-                node,
-                replica,
-                group,
-                directory,
-                client_config,
-                BatchConfig::default().with_max_batch(max_batch),
-            )),
+            committer: Some(
+                GroupCommitter::new(node, replica, group, directory, client_config, batch_config)
+                    .with_metrics(sink.clone()),
+            ),
             window,
+            start_after,
             metrics: sink,
         })
     });
@@ -429,7 +468,14 @@ fn internally_conflicting_batch_splits_instead_of_committing_invalid_entry() {
         .read(x, None)
         .write(y, "reader")
         .build();
-    let metrics = add_batch_submitter(&mut cluster, 0, group, vec![writer, reader], 2);
+    let metrics = add_batch_submitter(
+        &mut cluster,
+        0,
+        group,
+        vec![writer, reader],
+        BatchConfig::default().with_max_batch(2),
+        None,
+    );
     cluster.run_to_completion();
 
     let m = metrics.lock();
@@ -459,7 +505,14 @@ fn leader_failover_mid_batch_commits_every_member_exactly_once() {
                 .build()
         })
         .collect();
-    let metrics = add_batch_submitter(&mut cluster, 0, group, window, 4);
+    let metrics = add_batch_submitter(
+        &mut cluster,
+        0,
+        group,
+        window,
+        BatchConfig::default().with_max_batch(4),
+        None,
+    );
 
     // Crash the leader while the claim is still in flight (Virginia ↔
     // Oregon is a 45 ms one-way hop): the committer must time out, fall
@@ -488,6 +541,198 @@ fn leader_failover_mid_batch_commits_every_member_exactly_once() {
     cluster
         .verify()
         .expect("post-failover logs must agree and be serializable");
+}
+
+#[test]
+fn leader_isolated_from_the_majority_stalls_while_the_majority_elects_and_progresses() {
+    // VOC; Virginia (dc0) leads group "g". A partition isolates the leader
+    // from BOTH other datacenters: dc1+dc2 form a connected majority with
+    // no leader. The leader-side writer must stop committing (no majority
+    // reachable); the majority-side writer must take over leadership via
+    // the prepare path (its fast-path claims to dc0 time out) and keep
+    // committing. After healing, every transaction reaches an outcome and
+    // the logs agree.
+    let mut cluster = Cluster::build(ClusterConfig::new(Topology::voc(), CommitProtocol::PaxosCp));
+    let group = cluster.symbols().group("g");
+    cluster.directory().set_group_home(group, 0);
+    // Both writers blind-write their own attributes: losing a position to
+    // the competitor (or to the dead leader's orphaned majority-voted
+    // value) promotes the transaction instead of aborting it — the
+    // liveness path a takeover needs. The majority side carries enough
+    // work to span the whole partition window.
+    let leader_side = add_writer_with(&mut cluster, 0, 40, Some("a".into()));
+    let majority_side = add_writer_with(&mut cluster, 1, 400, Some("b".into()));
+    cluster.run_for(SimDuration::from_secs(2));
+
+    {
+        let net = cluster.sim_mut().network_mut();
+        net.partition(paxos_cp::simnet::SiteId(0), paxos_cp::simnet::SiteId(1));
+        net.partition(paxos_cp::simnet::SiteId(0), paxos_cp::simnet::SiteId(2));
+    }
+    // Let anything already past its accept quorum settle, then measure.
+    cluster.run_for(SimDuration::from_secs(5));
+    let leader_commits_at_partition = leader_side.lock().committed;
+    let majority_commits_at_partition = majority_side.lock().committed;
+    cluster.run_for(SimDuration::from_secs(30));
+    assert_eq!(
+        leader_side.lock().committed,
+        leader_commits_at_partition,
+        "the isolated leader must not commit without a majority"
+    );
+    assert!(
+        majority_side.lock().committed > majority_commits_at_partition,
+        "the connected majority must elect new leadership and progress"
+    );
+
+    cluster.sim_mut().network_mut().heal_all();
+    cluster.run_to_completion();
+    let leader = leader_side.lock();
+    let majority = majority_side.lock();
+    assert_eq!(leader.committed + leader.aborted, 40);
+    assert_eq!(majority.committed + majority.aborted, 400);
+    drop(leader);
+    drop(majority);
+    cluster
+        .verify()
+        .expect("post-partition logs must agree and be serializable");
+}
+
+#[test]
+fn correlated_crash_during_accept_across_two_pipeline_slots_commits_exactly_once() {
+    // Oregon (dc1) leads the group; the pipelined committer in Virginia
+    // opens two slots at positions 1 and 2 whose fast-path grants return
+    // at ~90 ms and whose accept broadcasts leave immediately after. The
+    // leader crashes at 100 ms — while BOTH slots are mid-accept — so each
+    // slot must reach its majority through the surviving datacenters, and
+    // every member must commit exactly once (no double-apply, no loss).
+    let mut cluster = Cluster::build(ClusterConfig::new(Topology::voc(), CommitProtocol::PaxosCp));
+    let symbols = cluster.symbols();
+    let group = symbols.group("g");
+    cluster.directory().set_group_home(group, 1);
+    let window: Vec<Transaction> = (0..8)
+        .map(|s| {
+            Transaction::builder(TxnId::new(3, s + 1), group, LogPosition(0))
+                .write(symbols.item("row", &format!("a{s}")), format!("v{s}"))
+                .build()
+        })
+        .collect();
+    let metrics = add_batch_submitter(
+        &mut cluster,
+        0,
+        group,
+        window,
+        BatchConfig::default()
+            .with_max_batch(4)
+            .with_pipeline_depth(2)
+            .with_adaptive(false),
+        None,
+    );
+
+    cluster.run_for(SimDuration::from_millis(100));
+    cluster.crash_datacenter(1);
+    cluster.run_for(SimDuration::from_secs(30));
+
+    let m = metrics.lock();
+    assert_eq!(m.committed, 8, "every member of both slots commits");
+    assert_eq!(m.aborted, 0);
+    assert_eq!(
+        m.max_pipeline_depth(),
+        2,
+        "both instances must have been in flight together"
+    );
+    drop(m);
+    assert_eq!(cluster.committed_in_log(0, "g"), 8, "no double-apply");
+    assert_eq!(cluster.decided_instances_id(0, group), 2);
+
+    cluster.recover_datacenter(1);
+    cluster.run_to_completion();
+    cluster
+        .verify()
+        .expect("post-crash logs must agree and be serializable");
+}
+
+#[test]
+fn lost_pipeline_slot_resubmits_survivors_in_order_exactly_once() {
+    // A competing committer (same datacenter) claims position 1 first and
+    // decides its own value there. The pipelined committer's head slot —
+    // already mid-flight for position 1 with members t1..t4 while its
+    // speculative slot drives t5..t8 at position 2 — loses: it must adopt
+    // and push the winner through (so position 1 still decides locally),
+    // then reschedule t1..t4, in order, at the pipeline tail (position 3).
+    // Every transaction commits exactly once and the per-position entries
+    // prove the recovery order.
+    let mut cluster = Cluster::build(ClusterConfig::new(Topology::voc(), CommitProtocol::PaxosCp));
+    let symbols = cluster.symbols();
+    let group = symbols.group("g");
+    cluster.directory().set_group_home(group, 0);
+    let foreign = Transaction::builder(TxnId::new(9, 1), group, LogPosition(0))
+        .write(symbols.item("row", "theirs"), "b")
+        .build();
+    let b_metrics = add_batch_submitter(
+        &mut cluster,
+        0,
+        group,
+        vec![foreign],
+        BatchConfig::default()
+            .with_max_batch(1)
+            .with_pipeline_depth(1),
+        None,
+    );
+    let window: Vec<Transaction> = (0..8)
+        .map(|s| {
+            Transaction::builder(TxnId::new(3, s + 1), group, LogPosition(0))
+                .write(symbols.item("row", &format!("a{s}")), format!("v{s}"))
+                .build()
+        })
+        .collect();
+    let a_metrics = add_batch_submitter(
+        &mut cluster,
+        0,
+        group,
+        window,
+        BatchConfig::default()
+            .with_max_batch(4)
+            .with_pipeline_depth(2)
+            .with_adaptive(false),
+        Some(SimDuration::from_millis(5)),
+    );
+    cluster.run_to_completion();
+
+    let a = a_metrics.lock();
+    assert_eq!(a.committed, 8, "all pipelined members commit exactly once");
+    assert_eq!(a.aborted, 0);
+    assert_eq!(
+        a.commits_by_promotion,
+        vec![4, 4],
+        "the speculative slot commits directly, the lost head's survivors \
+         commit after exactly one rescheduling"
+    );
+    drop(a);
+    assert_eq!(b_metrics.lock().committed, 1);
+    assert_eq!(cluster.committed_in_log(0, "g"), 9, "no double-apply");
+    assert_eq!(cluster.decided_instances_id(0, group), 3);
+
+    // The per-position entries prove in-order recovery: the competitor won
+    // position 1, the speculative slot kept position 2, and the lost
+    // head's survivors were rescheduled — as one block, in submission
+    // order — at the tail position 3.
+    let core = cluster.core(0);
+    let core = core.lock();
+    let log = core.log(group).expect("group log");
+    let ids_at = |p: u64| -> Vec<TxnId> { log.get(LogPosition(p)).unwrap().txn_ids() };
+    assert_eq!(ids_at(1), vec![TxnId::new(9, 1)]);
+    assert_eq!(
+        ids_at(2),
+        (5..=8).map(|s| TxnId::new(3, s)).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        ids_at(3),
+        (1..=4).map(|s| TxnId::new(3, s)).collect::<Vec<_>>()
+    );
+    drop(core);
+    cluster
+        .verify()
+        .expect("slot-loss recovery must stay serializable");
 }
 
 #[test]
