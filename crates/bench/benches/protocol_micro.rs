@@ -5,7 +5,7 @@
 //! the simulated VVV cluster.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mdstore::{Cluster, ClusterConfig, CommitProtocol, Topology, TransactionClient};
+use mdstore::{Cluster, ClusterConfig, CommitProtocol, CommitRoute, Session, Topology};
 use mvkv::{Attr, Key, MvKvStore, Row, Timestamp};
 use paxos::{AcceptorStore, Ballot};
 use simnet::SimTime;
@@ -254,76 +254,80 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
-/// A full uncontended read/write transaction committed through the simulated
-/// three-replica Virginia cluster, including all message rounds.
+/// A single uncontended read/write transaction committed through the
+/// simulated three-replica Virginia cluster, including all message rounds.
+/// Drives the session's direct route (the paper's client-side proposer) or
+/// the submitted route (service-hosted group committer).
+fn one_shot_commit(protocol: CommitProtocol, route: CommitRoute) {
+    use mdstore::{ClientAction, Msg};
+    use simnet::{Actor, Context, NodeId};
+    struct OneShot {
+        session: Option<Session>,
+    }
+    impl OneShot {
+        fn apply(&mut self, ctx: &mut Context<Msg>, actions: Vec<ClientAction>) {
+            for action in actions {
+                match action {
+                    ClientAction::Send(to, msg) => ctx.send(to, msg),
+                    ClientAction::ArmTimer { delay, tag } => {
+                        ctx.set_timer(delay, tag);
+                    }
+                    ClientAction::Finished(result) => assert!(result.committed),
+                }
+            }
+        }
+    }
+    impl Actor<Msg> for OneShot {
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            let session = self.session.as_mut().unwrap();
+            let h = session.begin(ctx.now(), "g");
+            session.write(h, "row", "a", "1").unwrap();
+            let actions = session.commit(ctx.now(), h).unwrap();
+            self.apply(ctx, actions);
+        }
+        fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+            let session = self.session.as_mut().unwrap();
+            let actions = session.on_message(ctx.now(), from, &msg);
+            self.apply(ctx, actions);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
+            let session = self.session.as_mut().unwrap();
+            let actions = session.on_timer(ctx.now(), tag);
+            self.apply(ctx, actions);
+        }
+    }
+    let mut cluster = Cluster::build(ClusterConfig::new(Topology::vvv(), protocol).with_seed(1));
+    let directory = cluster.directory();
+    let client_config = cluster.client_config().with_route(route);
+    cluster.add_client(0, |node| {
+        Box::new(OneShot {
+            session: Some(Session::new(node, 0, directory, client_config)),
+        })
+    });
+    cluster.run_to_completion();
+    assert_eq!(cluster.committed_in_log(0, "g"), 1);
+}
+
 fn bench_end_to_end_commit(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_commit");
     group.sample_size(20);
     for protocol in [CommitProtocol::BasicPaxos, CommitProtocol::PaxosCp] {
         group.bench_function(protocol.name(), |b| {
             b.iter(|| {
-                let mut cluster =
-                    Cluster::build(ClusterConfig::new(Topology::vvv(), protocol).with_seed(1));
-                let directory = cluster.directory();
-                // Drive a single client synchronously by pumping the
-                // simulation between client actions.
-                struct OneShot {
-                    client: Option<TransactionClient>,
-                }
-                use mdstore::{ClientAction, Msg};
-                use simnet::{Actor, Context, NodeId};
-                impl Actor<Msg> for OneShot {
-                    fn on_start(&mut self, ctx: &mut Context<Msg>) {
-                        let client = self.client.as_mut().unwrap();
-                        client.begin(ctx.now(), "g").unwrap();
-                        client.write("row", "a", "1").unwrap();
-                        for action in client.commit(ctx.now()).unwrap() {
-                            match action {
-                                ClientAction::Send(to, msg) => ctx.send(to, msg),
-                                ClientAction::ArmTimer { delay, tag } => {
-                                    ctx.set_timer(delay, tag);
-                                }
-                                ClientAction::Finished(_) => {}
-                            }
-                        }
-                    }
-                    fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
-                        let client = self.client.as_mut().unwrap();
-                        for action in client.on_message(ctx.now(), from, &msg) {
-                            match action {
-                                ClientAction::Send(to, msg) => ctx.send(to, msg),
-                                ClientAction::ArmTimer { delay, tag } => {
-                                    ctx.set_timer(delay, tag);
-                                }
-                                ClientAction::Finished(result) => assert!(result.committed),
-                            }
-                        }
-                    }
-                    fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
-                        let client = self.client.as_mut().unwrap();
-                        for action in client.on_timer(ctx.now(), tag) {
-                            match action {
-                                ClientAction::Send(to, msg) => ctx.send(to, msg),
-                                ClientAction::ArmTimer { delay, tag } => {
-                                    ctx.set_timer(delay, tag);
-                                }
-                                ClientAction::Finished(result) => assert!(result.committed),
-                            }
-                        }
-                    }
-                }
-                let client_config = cluster.client_config();
-                cluster.add_client(0, |node| {
-                    Box::new(OneShot {
-                        client: Some(TransactionClient::new(node, 0, directory, client_config)),
-                    })
-                });
-                cluster.run_to_completion();
-                assert_eq!(cluster.committed_in_log(0, "g"), 1);
+                one_shot_commit(protocol, CommitRoute::Direct);
                 SimTime::ZERO
             });
         });
     }
+    // The submitted route on the same workload: one extra intra-site hop to
+    // the group home's hosted committer, windowing deferred to the adaptive
+    // controller.
+    group.bench_function("paxos-cp-submitted", |b| {
+        b.iter(|| {
+            one_shot_commit(CommitProtocol::PaxosCp, CommitRoute::Submitted);
+            SimTime::ZERO
+        });
+    });
     group.finish();
 }
 

@@ -7,15 +7,16 @@
 //! cargo run --release -p bench-suite --bin experiments -- scaling
 //! ```
 //!
-//! `scaling` runs the sharded multi-group and batch-size sweeps (not part
+//! `scaling` runs the sharded multi-group and batch-size sweeps, and
+//! `routes` the direct-vs-submitted commit-route comparison (neither part
 //! of the paper; see `docs/BENCHMARKS.md`); `all` includes them alongside
 //! the paper figures and the ablation.
 
 use bench_suite::{
-    ablation_specs, adaptive_latency_specs, batch_sweep_specs, fig4_specs, fig5_specs, fig6_specs,
-    fig7_specs, fig8_specs, format_commit_table, format_latency_table, format_per_replica_table,
-    format_pipeline_table, format_scaling_table, group_sweep_specs, pipeline_sweep_specs,
-    results_to_json, run_scaling,
+    ablation_specs, adaptive_latency_specs, batch_sweep_specs, committed_tps, fig4_specs,
+    fig5_specs, fig6_specs, fig7_specs, fig8_specs, format_commit_table, format_latency_table,
+    format_per_replica_table, format_pipeline_table, format_route_table, format_scaling_table,
+    group_sweep_specs, pipeline_sweep_specs, results_to_json, route_compare_specs, run_scaling,
 };
 use workload::{run_experiment, ExperimentResult, ExperimentSpec};
 
@@ -169,6 +170,20 @@ fn main() {
             .collect();
         println!("=== Adaptive windows: uncontended trickle, static batch-4 vs adaptive (VVV) ===");
         println!("{}", format_pipeline_table(&latency_results));
+    }
+    if wants("routes") {
+        let results = run_batch("routes", route_compare_specs(8, opts.quick));
+        println!(
+            "\n=== Commit routes: direct (client proposer) vs submitted (service-hosted \
+             committer), contended workload, 8 writers, VVV ==="
+        );
+        println!("{}", format_route_table(&results));
+        let (direct, submitted) = (&results[0], &results[1]);
+        eprintln!(
+            "submitted/direct committed-tx/s ratio: {:.2}",
+            committed_tps(submitted) / committed_tps(direct).max(f64::EPSILON)
+        );
+        all_results.extend(results);
     }
     if wants("ablation") {
         let results = run_batch("ablation", ablation_specs(opts.quick));

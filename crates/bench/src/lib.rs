@@ -20,6 +20,7 @@
 
 pub mod figures;
 pub mod report;
+pub mod routes;
 pub mod scaling;
 
 pub use figures::{
@@ -28,6 +29,7 @@ pub use figures::{
 pub use report::{
     format_commit_table, format_latency_table, format_per_replica_table, results_to_json,
 };
+pub use routes::{committed_tps, format_route_table, route_compare_specs, route_spec};
 pub use scaling::{
     adaptive_latency_specs, batch_sweep_specs, format_pipeline_table, format_scaling_table,
     group_sweep_specs, pipeline_sweep_specs, run_scaling, ScalingResult, ScalingSpec,

@@ -5,16 +5,20 @@
 //!
 //! The paper's §2.1 data model partitions rows into transaction groups so
 //! that independent groups commit in parallel; these workloads exercise
-//! exactly that. A fixed pool of batching writers (each a
-//! [`mdstore::GroupCommitter`] driving windows of independent
-//! transactions) is sharded over `groups` groups, each writer homed in its
-//! group's leader datacenter per the directory's leader map.
+//! exactly that. A fixed pool of writers is sharded over `groups` groups,
+//! each writer homed in its group's leader datacenter per the directory's
+//! leader map. Writers drive the **submitted commit route**: every
+//! finished transaction ships to the group home's Transaction Service as a
+//! [`mdstore::Msg::CommitRequest`], and the *service-hosted*
+//! [`mdstore::GroupCommitter`] (one per led group, shared by every writer
+//! of the group) windows, pipelines and adapts — the same engine, wired
+//! the same way, that real client sessions use.
 //!
 //! Three load shapes:
 //!
-//! * **closed loop** (default) — each writer submits one window, waits for
-//!   every outcome, then starts the next round: the group/batch sweeps of
-//!   PR 2, unchanged for comparability (depth 1, static windows).
+//! * **closed loop** (default) — each writer submits one window's worth,
+//!   waits for every outcome, then starts the next round: the group/batch
+//!   sweeps of PR 2 (depth 1, static windows).
 //! * **burst** ([`ScalingSpec::with_burst`]) — each writer submits its
 //!   whole quota up front. Equal offered load across pipeline depths: the
 //!   committer drains the backlog with up to `pipeline_depth` instances in
@@ -28,11 +32,11 @@
 //! group) before its numbers are reported.
 
 use mdstore::{
-    BatchConfig, ClientAction, Cluster, ClusterConfig, CommitProtocol, GroupCommitter, Msg,
-    RunMetrics, Topology,
+    BatchConfig, Cluster, ClusterConfig, CommitProtocol, Msg, RunMetrics, Topology, TxnResult,
 };
 use parking_lot::Mutex;
-use simnet::{Actor, Context, NodeId, SimDuration};
+use simnet::{Actor, Context, NodeId, SimDuration, SimTime};
+use std::collections::HashMap;
 use std::sync::Arc;
 use walog::{GroupId, ItemRef, Transaction, TxnId};
 
@@ -46,14 +50,15 @@ pub struct ScalingSpec {
     pub topology: Topology,
     /// Number of transaction groups the writers shard over.
     pub groups: usize,
-    /// Total batching writers (round-robin over the groups).
+    /// Total writers (round-robin over the groups).
     pub writers: usize,
     /// Submission rounds per writer (each round submits one full window;
     /// with burst or trickle, `rounds * batch_size` is the writer's quota).
     pub rounds: usize,
-    /// Transactions per window (= the committer's `max_batch`).
+    /// Transactions per window (= the service committers' `max_batch`).
     pub batch_size: usize,
-    /// Commit-pipeline depth of every committer (1 = flush-and-wait).
+    /// Commit-pipeline depth of the service committers (1 =
+    /// flush-and-wait).
     pub pipeline_depth: usize,
     /// Whether the committers' adaptive window controller is on.
     pub adaptive: bool,
@@ -129,6 +134,14 @@ impl ScalingSpec {
     pub fn total_transactions(&self) -> usize {
         self.writers * self.rounds * self.batch_size
     }
+
+    /// The service-committer configuration this sweep point runs with.
+    pub fn batch_config(&self) -> BatchConfig {
+        BatchConfig::default()
+            .with_max_batch(self.batch_size)
+            .with_pipeline_depth(self.pipeline_depth)
+            .with_adaptive(self.adaptive)
+    }
 }
 
 /// Measurements of one sweep point.
@@ -168,10 +181,16 @@ pub struct ScalingResult {
     pub throughput_tps: f64,
 }
 
-/// One batching writer, driving its committer in one of the three load
-/// shapes (closed loop, burst, trickle).
-struct BatchWriter {
-    committer: Option<GroupCommitter>,
+/// One writer, shipping blind-write transactions to its group home's
+/// service-hosted committer via the submitted commit route, in one of the
+/// three load shapes (closed loop, burst, trickle).
+struct RouteWriter {
+    directory: Arc<mdstore::Directory>,
+    group: GroupId,
+    /// The group home's Transaction Service node.
+    service: NodeId,
+    /// Replica index of the writer's (= the group home's) datacenter.
+    home: usize,
     /// Items this writer's transactions write, cycled per submission.
     items: Vec<ItemRef>,
     /// Closed loop: windows still to submit.
@@ -182,103 +201,116 @@ struct BatchWriter {
     interarrival: Option<SimDuration>,
     outstanding: usize,
     seq: u64,
+    /// Submission time per outstanding request id.
+    pending: HashMap<u64, SimTime>,
     metrics: Arc<Mutex<RunMetrics>>,
 }
 
-impl BatchWriter {
-    fn apply(&mut self, ctx: &mut Context<Msg>, actions: Vec<ClientAction>) {
-        for action in actions {
-            match action {
-                ClientAction::Send(to, msg) => ctx.send(to, msg),
-                ClientAction::ArmTimer { delay, tag } => {
-                    ctx.set_timer(delay, tag);
-                }
-                ClientAction::Finished(result) => {
-                    {
-                        let mut metrics = self.metrics.lock();
-                        metrics.record(&result);
-                        metrics.last_decision_us =
-                            metrics.last_decision_us.max(ctx.now().as_micros());
-                    }
-                    self.outstanding = self.outstanding.saturating_sub(1);
-                    if self.outstanding == 0
-                        && self.rounds_left > 0
-                        && !self.burst
-                        && self.interarrival.is_none()
-                    {
-                        ctx.set_timer(SimDuration::from_millis(1), NEXT_ROUND_TAG);
-                    }
-                }
-            }
-        }
-    }
-
-    fn submit_one(&mut self, ctx: &mut Context<Msg>, actions: &mut Vec<ClientAction>) {
-        let committer = self.committer.as_mut().unwrap();
-        let group = committer.group();
-        let read_position = committer.read_position();
+impl RouteWriter {
+    fn submit_one(&mut self, ctx: &mut Context<Msg>) {
+        let read_position = self
+            .directory
+            .core(self.home)
+            .lock()
+            .read_position(self.group);
         let node = ctx.node().0;
         self.seq += 1;
         let item = self.items[(self.seq as usize - 1) % self.items.len()];
-        let txn = Transaction::builder(TxnId::new(node, self.seq), group, read_position)
+        let txn = Transaction::builder(TxnId::new(node, self.seq), self.group, read_position)
             .write(item, format!("v{}-{}", node, self.seq))
             .build();
         self.outstanding += 1;
-        let committer = self.committer.as_mut().unwrap();
-        actions.extend(committer.submit(ctx.now(), txn));
+        self.pending.insert(self.seq, ctx.now());
+        ctx.send(
+            self.service,
+            Msg::CommitRequest {
+                req_id: self.seq,
+                txn,
+            },
+        );
     }
 
     fn tick(&mut self, ctx: &mut Context<Msg>) {
-        let mut actions = Vec::new();
         if self.interarrival.is_some() {
             // Trickle: one transaction per tick.
             if self.quota > 0 {
                 self.quota -= 1;
-                self.submit_one(ctx, &mut actions);
+                self.submit_one(ctx);
                 if self.quota > 0 {
                     ctx.set_timer(self.interarrival.unwrap(), NEXT_ROUND_TAG);
                 }
             }
         } else if self.burst {
-            // Burst: the whole quota up front; the committer pipelines it.
+            // Burst: the whole quota up front; the service committer
+            // pipelines it.
             while self.quota > 0 {
                 self.quota -= 1;
-                self.submit_one(ctx, &mut actions);
+                self.submit_one(ctx);
             }
-            let committer = self.committer.as_mut().unwrap();
-            actions.extend(committer.flush(ctx.now()));
         } else {
-            // Closed loop: one window per round.
+            // Closed loop: one window's worth per round.
             if self.rounds_left == 0 {
                 return;
             }
             self.rounds_left -= 1;
             for _ in 0..self.items.len() {
-                self.submit_one(ctx, &mut actions);
+                self.submit_one(ctx);
             }
         }
-        self.apply(ctx, actions);
     }
 }
 
-impl Actor<Msg> for BatchWriter {
+impl Actor<Msg> for RouteWriter {
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
         self.tick(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
-        let committer = self.committer.as_mut().unwrap();
-        let actions = committer.on_message(ctx.now(), from, &msg);
-        self.apply(ctx, actions);
+    fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+        let Msg::CommitReply {
+            req_id,
+            txn,
+            committed,
+            promotions,
+            combined,
+            rounds,
+            abort_reason,
+            ..
+        } = msg
+        else {
+            return;
+        };
+        let Some(submitted_at) = self.pending.remove(&req_id) else {
+            return;
+        };
+        let latency = ctx.now().since(submitted_at);
+        {
+            let mut metrics = self.metrics.lock();
+            metrics.record(&TxnResult {
+                committed,
+                read_only: false,
+                promotions,
+                combined,
+                rounds,
+                latency,
+                total_latency: latency,
+                abort_reason,
+                txn: Some(txn),
+            });
+            metrics.last_decision_us = metrics.last_decision_us.max(ctx.now().as_micros());
+        }
+        self.outstanding = self.outstanding.saturating_sub(1);
+        if self.outstanding == 0
+            && self.rounds_left > 0
+            && !self.burst
+            && self.interarrival.is_none()
+        {
+            ctx.set_timer(SimDuration::from_millis(1), NEXT_ROUND_TAG);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
         if tag == NEXT_ROUND_TAG {
             self.tick(ctx);
-        } else {
-            let committer = self.committer.as_mut().unwrap();
-            let actions = committer.on_timer(ctx.now(), tag);
-            self.apply(ctx, actions);
         }
     }
 }
@@ -286,7 +318,9 @@ impl Actor<Msg> for BatchWriter {
 /// Run one sweep point to completion, verify it, and measure it.
 pub fn run_scaling(spec: &ScalingSpec) -> ScalingResult {
     let mut cluster = Cluster::build(
-        ClusterConfig::new(spec.topology.clone(), CommitProtocol::PaxosCp).with_seed(spec.seed),
+        ClusterConfig::new(spec.topology.clone(), CommitProtocol::PaxosCp)
+            .with_batch(spec.batch_config())
+            .with_seed(spec.seed),
     );
     let directory = cluster.directory();
     // Intern the group names first so their ids (and therefore their homes
@@ -299,7 +333,8 @@ pub fn run_scaling(spec: &ScalingSpec) -> ScalingResult {
     for w in 0..spec.writers {
         let group = groups[w % groups.len()];
         // Home each writer in its group's leader datacenter: the sharded
-        // locality the leader map exists for.
+        // locality the leader map exists for, and one intra-site hop to the
+        // service hosting the group's committer.
         let home = directory.group_home(group);
         let row = directory.symbols().key(&format!("row{w}"));
         let items: Vec<ItemRef> = (0..spec.batch_size)
@@ -307,24 +342,19 @@ pub fn run_scaling(spec: &ScalingSpec) -> ScalingResult {
             .collect();
         let metrics = Arc::new(Mutex::new(RunMetrics::default()));
         sinks.push(metrics.clone());
-        let mut client_config = cluster.client_config();
-        client_config.max_promotions = None;
-        let batch_config = BatchConfig::default()
-            .with_max_batch(spec.batch_size)
-            .with_pipeline_depth(spec.pipeline_depth)
-            .with_adaptive(spec.adaptive);
         let dir = directory.clone();
+        let service = cluster.service_node(home);
         let rounds = spec.rounds;
         let quota = spec.rounds * spec.batch_size;
         let burst = spec.burst;
         let interarrival = spec.interarrival;
         let sink = metrics;
-        cluster.add_client(home, move |node| {
-            Box::new(BatchWriter {
-                committer: Some(
-                    GroupCommitter::new(node, home, group, dir, client_config, batch_config)
-                        .with_metrics(sink.clone()),
-                ),
+        cluster.add_client(home, move |_node| {
+            Box::new(RouteWriter {
+                directory: dir,
+                group,
+                service,
+                home,
                 items,
                 rounds_left: rounds,
                 quota,
@@ -332,6 +362,7 @@ pub fn run_scaling(spec: &ScalingSpec) -> ScalingResult {
                 interarrival,
                 outstanding: 0,
                 seq: 0,
+                pending: HashMap::new(),
                 metrics: sink,
             })
         });
@@ -347,6 +378,9 @@ pub fn run_scaling(spec: &ScalingSpec) -> ScalingResult {
     for sink in &sinks {
         totals.merge(&sink.lock());
     }
+    // The windowing/pipelining observables live with the service-hosted
+    // committers now.
+    totals.merge(&cluster.service_commit_metrics());
     totals.reclaimed_versions = cluster.reclaimed_version_counts().iter().sum();
     let instances: usize = groups
         .iter()

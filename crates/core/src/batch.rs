@@ -51,11 +51,11 @@
 //! per-window occupancy, pipeline depth and split/stale counters into a
 //! shared [`RunMetrics`].
 
-use crate::client::{ClientAction, ClientConfig, TxnResult};
 use crate::datacenter::SharedCore;
 use crate::directory::Directory;
 use crate::metrics::RunMetrics;
 use crate::msg::Msg;
+use crate::session::{ClientAction, ClientConfig, TxnResult};
 use parking_lot::Mutex;
 use paxos::{CommitOutcome, CommitProtocol, PaxosMsg, Proposer, ProposerAction, ProposerEvent};
 use rand::rngs::StdRng;
@@ -157,12 +157,14 @@ struct Slot {
 
 /// The pipelined, adaptive commit engine for one transaction group.
 ///
-/// Unlike [`crate::TransactionClient`] — which owns the read/write sets of
-/// a single active transaction — the committer accepts fully built
-/// [`Transaction`]s (several application sessions' worth per window) and
-/// owns only their journey through the commit protocol. The embedding
-/// actor forwards messages/timers and executes the returned
-/// [`ClientAction`]s, exactly as it would for a `TransactionClient`.
+/// Unlike [`crate::Session`] — which owns the read/write sets of its open
+/// transactions — the committer accepts fully built [`Transaction`]s
+/// (several application sessions' worth per window) and owns only their
+/// journey through the commit protocol. The embedding actor — the group
+/// home's [`crate::TransactionService`] for the submitted commit route, or
+/// a harness actor driving the committer directly — forwards
+/// messages/timers and executes the returned [`ClientAction`]s, exactly as
+/// it would for a `Session`.
 pub struct GroupCommitter {
     node: NodeId,
     group: GroupId,
@@ -419,6 +421,7 @@ impl GroupCommitter {
                             latency: now.since(pending.enqueued_at),
                             total_latency: now.since(pending.enqueued_at),
                             abort_reason: Some(paxos::AbortReason::Conflict),
+                            txn: Some(pending.txn.id),
                         }));
                         continue;
                     }
@@ -654,6 +657,7 @@ impl GroupCommitter {
                 latency: latency_of(id),
                 total_latency: latency_of(id),
                 abort_reason: None,
+                txn: Some(*id),
             }));
         }
         for (id, reason) in &outcome.aborted_txns {
@@ -666,6 +670,7 @@ impl GroupCommitter {
                 latency: latency_of(id),
                 total_latency: latency_of(id),
                 abort_reason: Some(*reason),
+                txn: Some(*id),
             }));
         }
         for txn in outcome.survivors.into_iter().rev() {

@@ -2,12 +2,15 @@
 //! deterministic simulation, with failure injection and post-run
 //! verification.
 
-use crate::client::ClientConfig;
+use crate::batch::BatchConfig;
 use crate::datacenter::{DatacenterCore, SharedCore};
 use crate::directory::Directory;
+use crate::metrics::RunMetrics;
 use crate::msg::Msg;
 use crate::service::TransactionService;
+use crate::session::ClientConfig;
 use crate::topology::Topology;
+use parking_lot::Mutex;
 use paxos::CommitProtocol;
 use simnet::{Actor, NodeId, SimDuration, SimTime, Simulation};
 use std::collections::BTreeSet;
@@ -22,6 +25,11 @@ pub struct ClusterConfig {
     pub topology: Topology,
     /// Commit protocol every client uses (individual clients may override).
     pub protocol: CommitProtocol,
+    /// Window/pipeline settings of the commit engines the Transaction
+    /// Services host for the submitted commit route.
+    pub batch: BatchConfig,
+    /// Whether the services run the orphaned-position janitor.
+    pub janitor: bool,
     /// Simulation seed (same seed ⇒ identical execution).
     pub seed: u64,
 }
@@ -32,6 +40,8 @@ impl ClusterConfig {
         ClusterConfig {
             topology,
             protocol,
+            batch: BatchConfig::default(),
+            janitor: true,
             seed: 42,
         }
     }
@@ -39,6 +49,19 @@ impl ClusterConfig {
     /// Builder-style seed override.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the service-hosted commit engines'
+    /// window/pipeline settings.
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Builder-style switch for the services' orphaned-position janitor.
+    pub fn with_janitor(mut self, enabled: bool) -> Self {
+        self.janitor = enabled;
         self
     }
 }
@@ -51,34 +74,48 @@ pub struct Cluster {
     directory: Arc<Directory>,
     config: ClusterConfig,
     service_nodes: Vec<NodeId>,
+    /// Per-replica sinks the service-hosted committers record their window
+    /// occupancy, pipeline depth and split/stale counters into.
+    service_metrics: Vec<Arc<Mutex<RunMetrics>>>,
 }
 
 impl Cluster {
     /// Build the cluster: one site, one storage core and one Transaction
-    /// Service per datacenter in the topology.
+    /// Service per datacenter in the topology. Every service hosts a commit
+    /// engine for the submitted route, configured from
+    /// [`ClusterConfig::batch`] and the cluster's protocol.
     pub fn build(config: ClusterConfig) -> Self {
         let mut sim: Simulation<Msg> =
             Simulation::new(config.topology.network_config(), config.seed);
         let directory = Directory::new();
         let mut service_nodes = Vec::new();
+        let mut service_metrics = Vec::new();
+        let mut commit_config = ClientConfig::for_protocol(config.protocol);
+        commit_config.message_timeout = config.topology.message_timeout;
         for (replica, region) in config.topology.regions().iter().enumerate() {
             let site = sim.add_site(format!("{region}-{replica}"));
             let core: SharedCore = DatacenterCore::shared(format!("{region}-{replica}"), replica);
+            let sink = Arc::new(Mutex::new(RunMetrics::default()));
             let service = TransactionService::new(
                 replica,
                 core.clone(),
                 directory.clone(),
                 config.topology.message_timeout,
-            );
+            )
+            .with_commit_engine(commit_config.clone(), config.batch.clone())
+            .with_commit_metrics(sink.clone())
+            .with_janitor(config.janitor);
             let node = sim.add_node(site, Box::new(service));
             directory.register_datacenter(node, core);
             service_nodes.push(node);
+            service_metrics.push(sink);
         }
         Cluster {
             sim,
             directory,
             config,
             service_nodes,
+            service_metrics,
         }
     }
 
@@ -122,7 +159,7 @@ impl Cluster {
 
     /// Add a client actor homed in `replica`'s datacenter. The closure
     /// receives the node id the actor will run as (so it can construct its
-    /// embedded [`crate::TransactionClient`]).
+    /// embedded [`crate::Session`]).
     pub fn add_client<F>(&mut self, replica: usize, make_actor: F) -> NodeId
     where
         F: FnOnce(NodeId) -> Box<dyn Actor<Msg>>,
@@ -266,6 +303,18 @@ impl Cluster {
             .iter()
             .map(|core| core.lock().reclaimed_version_count())
             .collect()
+    }
+
+    /// The aggregate counters the service-hosted commit engines recorded
+    /// (window occupancy, pipeline depth, batch splits, stale-member
+    /// aborts), merged over all replicas. Harnesses fold this into their
+    /// run totals after a submitted-route run.
+    pub fn service_commit_metrics(&self) -> RunMetrics {
+        let mut total = RunMetrics::default();
+        for sink in &self.service_metrics {
+            total.merge(&sink.lock());
+        }
+        total
     }
 }
 

@@ -25,14 +25,20 @@
 //!   begin/read requests from remote clients, plays the Paxos acceptor role
 //!   (Algorithm 1), installs decided entries, catches up missing log
 //!   positions by running recovery Paxos instances with no-op values.
-//! * [`TransactionClient`] — the client library: `begin` / `read` / `write`
-//!   / `commit` with an optimistic read/write set, driving the Paxos or
-//!   Paxos-CP proposer (Algorithm 2) at commit time.
+//! * [`Session`] — the client library: `begin` returns a [`TxnHandle`];
+//!   `read` / `write` / `commit` take the handle, so any number of
+//!   transactions may be open concurrently. Commit routes down
+//!   [`CommitRoute::Direct`] (the paper's client-driven proposer,
+//!   Algorithm 2) or [`CommitRoute::Submitted`] (ship the transaction to
+//!   the group home's service, which batches it with other clients'
+//!   commits).
 //! * [`GroupCommitter`] — the batching commit pipeline: independent
-//!   transactions from one client window ride a single Paxos-CP instance
-//!   as one combined entry, amortizing the wide-area round trips; the
-//!   [`Directory`]'s per-group leader map shards leadership (and batching)
-//!   across datacenters.
+//!   transactions ride a single Paxos-CP instance as one combined entry,
+//!   amortizing the wide-area round trips. Hosted by the group home's
+//!   [`TransactionService`] for the submitted route (one committer per led
+//!   group, serving every client of the group), or embedded directly by
+//!   harness actors; the [`Directory`]'s per-group leader map shards
+//!   leadership (and batching) across datacenters.
 //! * [`Cluster`] — the harness that wires everything into a deterministic
 //!   simulation, injects failures, and verifies the resulting logs with the
 //!   serializability checker after every run.
@@ -41,17 +47,16 @@
 #![warn(missing_docs)]
 
 pub mod batch;
-pub mod client;
 pub mod cluster;
 pub mod datacenter;
 pub mod directory;
 pub mod metrics;
 pub mod msg;
 pub mod service;
+pub mod session;
 pub mod topology;
 
 pub use batch::{BatchConfig, GroupCommitter};
-pub use client::{ClientAction, ClientConfig, TransactionClient, TxnResult};
 pub use cluster::{Cluster, ClusterConfig};
 pub use datacenter::DatacenterCore;
 pub use directory::Directory;
@@ -59,4 +64,7 @@ pub use metrics::{LatencyStats, RunMetrics};
 pub use msg::Msg;
 pub use paxos::{CommitProtocol, ProposerConfig};
 pub use service::TransactionService;
+pub use session::{
+    ClientAction, ClientConfig, CommitRoute, Session, SessionError, TxnHandle, TxnResult,
+};
 pub use topology::{Region, Topology};

@@ -103,7 +103,7 @@ pub struct RunMetrics {
 
 impl RunMetrics {
     /// Record one transaction outcome.
-    pub fn record(&mut self, result: &crate::client::TxnResult) {
+    pub fn record(&mut self, result: &crate::session::TxnResult) {
         self.attempted += 1;
         if result.read_only {
             self.read_only += 1;
@@ -225,7 +225,7 @@ impl RunMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::TxnResult;
+    use crate::session::TxnResult;
 
     fn result(committed: bool, promotions: u32, latency_ms: u64) -> TxnResult {
         TxnResult {
@@ -237,6 +237,7 @@ mod tests {
             latency: SimDuration::from_millis(latency_ms),
             total_latency: SimDuration::from_millis(latency_ms),
             abort_reason: None,
+            txn: None,
         }
     }
 

@@ -1,17 +1,23 @@
 //! The wire protocol between Transaction Clients and Transaction Services.
 //!
 //! Everything a client cannot do against its local datacenter's store goes
-//! over the simulated network: the Paxos commit protocol, and the
-//! begin/read fallback used when the local datacenter is unavailable
-//! (§2.2: "If a Transaction Client cannot access the Transaction Service
-//! within its own datacenter, it can access the Transaction Service in
-//! another datacenter").
+//! over the simulated network: the Paxos commit protocol, the begin/read
+//! fallback used when the local datacenter is unavailable (§2.2: "If a
+//! Transaction Client cannot access the Transaction Service within its own
+//! datacenter, it can access the Transaction Service in another
+//! datacenter"), and the **submitted commit route**: a session that commits
+//! with [`crate::session::CommitRoute::Submitted`] ships its finished
+//! transaction to the group home's Transaction Service as a
+//! [`Msg::CommitRequest`] and receives the decision as a
+//! [`Msg::CommitReply`], letting the service-hosted
+//! [`crate::GroupCommitter`] batch and pipeline commits from every client
+//! of the group.
 //!
 //! Groups, keys and attributes travel as interned `Copy` ids; only read
 //! *values* are owned strings.
 
-use paxos::PaxosMsg;
-use walog::{AttrId, GroupId, KeyId, LogPosition};
+use paxos::{AbortReason, PaxosMsg};
+use walog::{AttrId, GroupId, KeyId, LogPosition, Transaction, TxnId};
 
 /// All messages exchanged in the system.
 #[derive(Clone, Debug, PartialEq)]
@@ -66,6 +72,36 @@ pub enum Msg {
         /// catching up); the client should retry elsewhere.
         unavailable: bool,
     },
+    /// Submitted commit route: ship a finished transaction to the group
+    /// home's Transaction Service, whose hosted
+    /// [`crate::GroupCommitter`] batches it with other clients' commits
+    /// into pipelined Paxos-CP instances.
+    CommitRequest {
+        /// Client-chosen correlation id.
+        req_id: u64,
+        /// The finished transaction (reads, writes, read position).
+        txn: Transaction,
+    },
+    /// Answer to [`Msg::CommitRequest`]: the per-member fate of the
+    /// transaction as decided by the service-hosted commit engine.
+    CommitReply {
+        /// Echoed correlation id.
+        req_id: u64,
+        /// Transaction group.
+        group: GroupId,
+        /// The transaction the fate is for.
+        txn: TxnId,
+        /// Whether the transaction committed.
+        committed: bool,
+        /// Paxos-CP promotions (lost positions) it went through.
+        promotions: u32,
+        /// Whether it committed inside a combined (multi-transaction) entry.
+        combined: bool,
+        /// Prepare/accept rounds executed across all positions.
+        rounds: u32,
+        /// Abort reason when not committed.
+        abort_reason: Option<AbortReason>,
+    },
 }
 
 impl Msg {
@@ -77,6 +113,8 @@ impl Msg {
             Msg::BeginReply { .. } => "begin_reply",
             Msg::ReadRequest { .. } => "read_request",
             Msg::ReadReply { .. } => "read_reply",
+            Msg::CommitRequest { .. } => "commit_request",
+            Msg::CommitReply { .. } => "commit_reply",
         }
     }
 }

@@ -9,7 +9,18 @@
 //! * install decided entries into the local write-ahead log and apply them
 //!   to the local key-value store;
 //! * catch up missing log positions by running recovery Paxos instances
-//!   proposing no-ops (§4.1, Fault Tolerance and Recovery).
+//!   proposing no-ops (§4.1, Fault Tolerance and Recovery);
+//! * host the **group commit engine** for the submitted commit route: a
+//!   [`Msg::CommitRequest`] carrying a finished transaction is submitted to
+//!   a lazily-created per-group [`GroupCommitter`], which batches commits
+//!   from every client of the group into pipelined Paxos-CP instances; the
+//!   per-member fate returns to the requester as a [`Msg::CommitReply`];
+//! * run the **orphaned-position janitor**: when the first undecided
+//!   position of a group stays orphaned past a timeout — a dead proposer's
+//!   majority-voted value that nobody pushes through, which wedges
+//!   read-carrying transactions into conflict-abort loops — the service
+//!   re-proposes it through a recovery instance, adopting the voted value
+//!   (or filling a no-op) so the prefix advances and liveness returns.
 //!
 //! The service is group-agnostic by construction: every message names its
 //! transaction group, per-group state lives in the shared
@@ -30,16 +41,36 @@
 //! failure mode of the original flat list cannot occur, and a read whose
 //! data became servable is always served, however late.
 
+use crate::batch::{BatchConfig, GroupCommitter};
 use crate::datacenter::SharedCore;
 use crate::directory::Directory;
+use crate::metrics::RunMetrics;
 use crate::msg::Msg;
+use crate::session::{ClientAction, ClientConfig};
+use parking_lot::Mutex;
 use paxos::{
     PaxosMsg, Proposer, ProposerAction, ProposerConfig, ProposerEvent, ReplicaId, TimerKind,
 };
 use simnet::{Actor, Context, NodeId, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use walog::{AttrId, GroupId, KeyId, LogPosition};
+use walog::{AttrId, GroupId, KeyId, LogPosition, Transaction, TxnId};
+
+/// Timer tag reserved for the janitor tick (recovery/committer tags count
+/// up from 1 and can never collide with it).
+const JANITOR_TAG: u64 = u64::MAX;
+
+/// High bit mixed into the ballot identity of service-side recovery
+/// proposers. The service's hosted committers propose under the service
+/// node's own id; a recovery instance racing a committer slot for the same
+/// position must not share its ballot identity, or the acceptors (and the
+/// two proposers' reply filters) could not tell their rounds apart.
+const RECOVERY_BALLOT_BIT: u64 = 1 << 40;
+
+/// Janitor attempts per orphaned position before giving up (a position
+/// that cannot decide — e.g. behind a long partition — must not keep the
+/// simulation busy forever; reads still trigger recovery on demand).
+const JANITOR_MAX_ATTEMPTS: u32 = 5;
 
 /// A remote read waiting for the local log to catch up.
 #[derive(Clone, Debug)]
@@ -76,17 +107,52 @@ pub struct TransactionService {
     /// decide is followed by an Apply broadcast to every service, so no
     /// advance goes unobserved for long.
     flushed_through: HashMap<GroupId, LogPosition>,
+    /// Protocol settings of the hosted commit engine (promotion cap,
+    /// combination, timeouts); the route field is irrelevant here.
+    commit_config: ClientConfig,
+    /// Window/pipeline settings of the hosted committers.
+    batch_config: BatchConfig,
+    /// One lazily-created commit engine per group this service has received
+    /// `CommitRequest`s for (normally the groups it is the home of).
+    committers: HashMap<GroupId, GroupCommitter>,
+    /// Timer tag → (group, committer-local timer tag).
+    committer_timers: HashMap<u64, (GroupId, u64)>,
+    /// In-flight submitted commits: the member's id → (requester,
+    /// correlation id). Duplicate requests for an in-flight id are ignored
+    /// — resubmitting a transaction the committer already carries would
+    /// commit it twice.
+    commit_requests: HashMap<TxnId, (NodeId, u64)>,
+    /// Optional sink the hosted committers record window occupancy,
+    /// pipeline depth and split/stale counters into.
+    commit_metrics: Option<Arc<Mutex<RunMetrics>>>,
+    /// Whether the orphaned-position janitor runs.
+    janitor_enabled: bool,
+    /// How long the first undecided position may stay orphaned before the
+    /// janitor re-proposes it.
+    janitor_patience: SimDuration,
+    /// Whether a janitor tick timer is currently armed.
+    janitor_armed: bool,
+    /// Groups whose recent traffic (votes cast, out-of-order installs) may
+    /// have left an orphaned position; the tick scans only these.
+    orphan_hints: HashSet<GroupId>,
+    /// Per-group watch state: the first undecided position last observed,
+    /// when it was first seen there, and re-proposal attempts made for it.
+    orphan_watch: HashMap<GroupId, (LogPosition, SimTime, u32)>,
 }
 
 impl TransactionService {
     /// Create the service for `replica`, backed by the datacenter's shared
-    /// storage core.
+    /// storage core. The hosted commit engine defaults to Paxos-CP with the
+    /// given message timeout and default batching; override with
+    /// [`TransactionService::with_commit_engine`].
     pub fn new(
         replica: usize,
         core: SharedCore,
         directory: Arc<Directory>,
         message_timeout: SimDuration,
     ) -> Self {
+        let mut commit_config = ClientConfig::cp();
+        commit_config.message_timeout = message_timeout;
         TransactionService {
             replica,
             core,
@@ -98,12 +164,52 @@ impl TransactionService {
             next_tag: 0,
             pending_reads: HashMap::new(),
             flushed_through: HashMap::new(),
+            commit_config,
+            batch_config: BatchConfig::default(),
+            committers: HashMap::new(),
+            committer_timers: HashMap::new(),
+            commit_requests: HashMap::new(),
+            commit_metrics: None,
+            janitor_enabled: true,
+            janitor_patience: message_timeout,
+            janitor_armed: false,
+            orphan_hints: HashSet::new(),
+            orphan_watch: HashMap::new(),
         }
+    }
+
+    /// Configure the hosted commit engine: the commit-protocol settings and
+    /// the window/pipeline settings its per-group committers run with.
+    pub fn with_commit_engine(mut self, config: ClientConfig, batch: BatchConfig) -> Self {
+        self.commit_config = config;
+        self.batch_config = batch;
+        self
+    }
+
+    /// Record the hosted committers' window occupancy, pipeline depth and
+    /// split/stale counters into a shared [`RunMetrics`] sink.
+    pub fn with_commit_metrics(mut self, metrics: Arc<Mutex<RunMetrics>>) -> Self {
+        self.commit_metrics = Some(metrics);
+        self
+    }
+
+    /// Enable or disable the orphaned-position janitor (enabled by
+    /// default; regression tests disable it to demonstrate the wedge).
+    pub fn with_janitor(mut self, enabled: bool) -> Self {
+        self.janitor_enabled = enabled;
+        self
     }
 
     /// The replica index this service belongs to.
     pub fn replica(&self) -> usize {
         self.replica
+    }
+
+    /// Groups this service currently hosts a commit engine for.
+    pub fn hosted_committer_groups(&self) -> Vec<GroupId> {
+        let mut groups: Vec<GroupId> = self.committers.keys().copied().collect();
+        groups.sort_unstable();
+        groups
     }
 
     /// Number of remote reads currently parked waiting for log catch-up.
@@ -124,6 +230,19 @@ impl TransactionService {
     }
 
     fn handle_paxos(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: PaxosMsg) {
+        // Proposer replies may belong to a hosted committer's pipeline slot
+        // rather than a recovery instance; the committer filters by slot
+        // position and ballot, so offering every reply is safe (recovery
+        // proposers carry a distinct ballot identity, see
+        // `RECOVERY_BALLOT_BIT`).
+        if matches!(
+            msg,
+            PaxosMsg::PrepareReply { .. }
+                | PaxosMsg::AcceptReply { .. }
+                | PaxosMsg::LeaderClaimReply { .. }
+        ) {
+            self.drive_committer_reply(ctx, from, &msg);
+        }
         match msg {
             PaxosMsg::Prepare {
                 group,
@@ -146,6 +265,10 @@ impl TransactionService {
                         last_vote: outcome.last_vote,
                     }),
                 );
+                // A prepare at an undecided position is exactly the wedge
+                // signal — read-carrying clients re-preparing behind an
+                // orphaned vote — so let the janitor take a look.
+                self.hint_orphan(ctx, group);
             }
             PaxosMsg::Accept {
                 group,
@@ -167,6 +290,13 @@ impl TransactionService {
                         accepted,
                     }),
                 );
+                // A cast vote is what an orphaned position is made of: if
+                // its proposer dies before the decide, only the janitor (or
+                // a pipelined slot) will push the value through. A rejected
+                // accept still signals proposer activity at an undecided
+                // position (e.g. a stale retry after a partition healed), so
+                // hint regardless — the tick validates orphanhood.
+                self.hint_orphan(ctx, group);
             }
             PaxosMsg::Apply {
                 group,
@@ -185,6 +315,11 @@ impl TransactionService {
                 // (a pipelined decide above a gap cannot unblock anything —
                 // entries apply strictly in position order).
                 self.recovery.remove(&(group, position));
+                // An out-of-order install means a gap below a decided
+                // position: the first undecided position may be orphaned.
+                if position > outcome.prefix {
+                    self.hint_orphan(ctx, group);
+                }
                 self.react_to_prefix(ctx, group, outcome.prefix);
             }
             PaxosMsg::LeaderClaim { group, position } => {
@@ -242,9 +377,192 @@ impl TransactionService {
                 );
             }
             PaxosMsg::LeaderClaimReply { .. } => {
-                // Recovery proposers never use the fast path; nothing to do.
+                // Recovery proposers never use the fast path; the hosted
+                // committers were offered the reply above.
             }
         }
+    }
+
+    /// Offer a proposer reply to the hosted committer of its group (the
+    /// committer routes it to the pipeline slot at the carried position).
+    fn drive_committer_reply(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: &PaxosMsg) {
+        let group = msg.group();
+        let Some(committer) = self.committers.get_mut(&group) else {
+            // No hosted committer for this group (e.g. a pure direct-route
+            // run): skip before cloning the reply.
+            return;
+        };
+        let wrapped = Msg::Paxos(msg.clone());
+        let actions = committer.on_message(ctx.now(), from, &wrapped);
+        self.apply_committer_actions(ctx, group, actions);
+    }
+
+    /// Submitted commit route: feed the finished transaction into the
+    /// group's hosted commit engine, creating it on first use.
+    fn handle_commit_request(
+        &mut self,
+        ctx: &mut Context<Msg>,
+        from: NodeId,
+        req_id: u64,
+        txn: Transaction,
+    ) {
+        // A duplicate of an in-flight member must not be resubmitted: the
+        // committer already carries it, and proposing it twice could commit
+        // it twice.
+        if self.commit_requests.contains_key(&txn.id) {
+            return;
+        }
+        let group = txn.group;
+        self.commit_requests.insert(txn.id, (from, req_id));
+        if !self.committers.contains_key(&group) {
+            let mut committer = GroupCommitter::new(
+                ctx.node(),
+                self.replica,
+                group,
+                Arc::clone(&self.directory),
+                self.commit_config.clone(),
+                self.batch_config.clone(),
+            );
+            if let Some(sink) = &self.commit_metrics {
+                committer = committer.with_metrics(Arc::clone(sink));
+            }
+            self.committers.insert(group, committer);
+        }
+        let actions = self
+            .committers
+            .get_mut(&group)
+            .expect("inserted above")
+            .submit(ctx.now(), txn);
+        self.apply_committer_actions(ctx, group, actions);
+    }
+
+    /// Execute a hosted committer's requested effects: wire sends go out as
+    /// this service's messages, timers are re-tagged into the service's tag
+    /// space, and per-member outcomes return to their requesters as
+    /// [`Msg::CommitReply`]s.
+    fn apply_committer_actions(
+        &mut self,
+        ctx: &mut Context<Msg>,
+        group: GroupId,
+        actions: Vec<ClientAction>,
+    ) {
+        for action in actions {
+            match action {
+                ClientAction::Send(to, msg) => ctx.send(to, msg),
+                ClientAction::ArmTimer { delay, tag } => {
+                    self.next_tag += 1;
+                    let service_tag = self.next_tag;
+                    self.committer_timers.insert(service_tag, (group, tag));
+                    ctx.set_timer(delay, service_tag);
+                }
+                ClientAction::Finished(result) => {
+                    let Some(id) = result.txn else {
+                        continue;
+                    };
+                    let Some((requester, req_id)) = self.commit_requests.remove(&id) else {
+                        continue;
+                    };
+                    ctx.send(
+                        requester,
+                        Msg::CommitReply {
+                            req_id,
+                            group,
+                            txn: id,
+                            committed: result.committed,
+                            promotions: result.promotions,
+                            combined: result.combined,
+                            rounds: result.rounds,
+                            abort_reason: result.abort_reason,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Note that `group` may have an orphaned position and make sure a
+    /// janitor tick is scheduled to look.
+    fn hint_orphan(&mut self, ctx: &mut Context<Msg>, group: GroupId) {
+        if !self.janitor_enabled {
+            return;
+        }
+        self.orphan_hints.insert(group);
+        self.ensure_janitor(ctx);
+    }
+
+    fn janitor_period(&self) -> SimDuration {
+        SimDuration::from_micros((self.janitor_patience.as_micros() / 2).max(1))
+    }
+
+    fn ensure_janitor(&mut self, ctx: &mut Context<Msg>) {
+        if !self.janitor_enabled || self.janitor_armed || self.orphan_hints.is_empty() {
+            return;
+        }
+        self.janitor_armed = true;
+        ctx.set_timer(self.janitor_period(), JANITOR_TAG);
+    }
+
+    /// One janitor pass: for every hinted group, find the first undecided
+    /// position; if it is orphaned — decided entries sit above it, or a
+    /// majority-voted value lingers at it, and nobody is pushing it through
+    /// — and it has stayed put past the patience window, re-propose it via
+    /// a recovery instance (which adopts any voted value per the Paxos
+    /// safety rule, or fills a no-op).
+    fn janitor_tick(&mut self, ctx: &mut Context<Msg>) {
+        self.janitor_armed = false;
+        let now = ctx.now();
+        let mut hinted: Vec<GroupId> = self.orphan_hints.iter().copied().collect();
+        hinted.sort_unstable();
+        let mut to_recover = Vec::new();
+        {
+            let core = self.core.lock();
+            for group in hinted {
+                let prefix = core.read_position(group);
+                let candidate = prefix.next();
+                let orphaned = !core.has_entry(group, candidate)
+                    && (core
+                        .log(group)
+                        .is_some_and(|log| log.last_decided() > candidate)
+                        || core.acceptor().current_vote(group, candidate).is_some());
+                if !orphaned {
+                    self.orphan_hints.remove(&group);
+                    self.orphan_watch.remove(&group);
+                    continue;
+                }
+                let watch = self
+                    .orphan_watch
+                    .entry(group)
+                    .or_insert((candidate, now, 0));
+                if watch.0 != candidate {
+                    *watch = (candidate, now, 0);
+                }
+                if watch.2 >= JANITOR_MAX_ATTEMPTS {
+                    // Stop burning ticks on a position that cannot decide
+                    // (e.g. behind a partition). Drop the watch along with
+                    // the hint: when new traffic re-hints the group (say,
+                    // after the partition heals), the position gets a fresh
+                    // budget of attempts instead of being abandoned forever.
+                    self.orphan_hints.remove(&group);
+                    self.orphan_watch.remove(&group);
+                    continue;
+                }
+                let committer_competing = self
+                    .committers
+                    .get(&group)
+                    .is_some_and(|c| c.slot_positions().contains(&candidate));
+                if now.since(watch.1) >= self.janitor_patience
+                    && !committer_competing
+                    && !self.recovery.contains_key(&(group, candidate))
+                {
+                    watch.2 += 1;
+                    to_recover.push((group, candidate));
+                }
+            }
+        }
+        for (group, position) in to_recover {
+            self.start_recovery(ctx, group, position);
+        }
+        self.ensure_janitor(ctx);
     }
 
     fn handle_begin(&mut self, ctx: &mut Context<Msg>, from: NodeId, req_id: u64, group: GroupId) {
@@ -453,7 +771,10 @@ impl TransactionService {
             return;
         }
         let cfg = ProposerConfig::basic(self.directory.num_replicas());
-        let mut proposer = Proposer::new_recovery(cfg, group, ctx.node().0 as u64, position);
+        // Recovery ballots carry a marked identity so they can never alias
+        // a hosted committer's ballots (both run on this service's node).
+        let proposer_id = ctx.node().0 as u64 | RECOVERY_BALLOT_BIT;
+        let mut proposer = Proposer::new_recovery(cfg, group, proposer_id, position);
         let actions = proposer.start();
         self.recovery.insert((group, position), proposer);
         self.apply_recovery_actions(ctx, (group, position), actions);
@@ -539,14 +860,29 @@ impl Actor<Msg> for TransactionService {
                 };
                 self.handle_read(ctx, pending);
             }
-            Msg::BeginReply { .. } | Msg::ReadReply { .. } => {
-                // Services never issue begin/read requests; stray replies are
-                // ignored.
+            Msg::CommitRequest { req_id, txn } => {
+                self.handle_commit_request(ctx, from, req_id, txn);
+            }
+            Msg::BeginReply { .. } | Msg::ReadReply { .. } | Msg::CommitReply { .. } => {
+                // Services never issue begin/read/commit requests; stray
+                // replies are ignored.
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
+        if tag == JANITOR_TAG {
+            self.janitor_tick(ctx);
+            return;
+        }
+        if let Some((group, committer_tag)) = self.committer_timers.remove(&tag) {
+            let actions = match self.committers.get_mut(&group) {
+                Some(committer) => committer.on_timer(ctx.now(), committer_tag),
+                None => return,
+            };
+            self.apply_committer_actions(ctx, group, actions);
+            return;
+        }
         if let Some((key, token)) = self.timers.remove(&tag) {
             self.drive_recovery(ctx, key, ProposerEvent::Timer { token });
         }
@@ -735,6 +1071,94 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn commit_request_is_batched_and_answered_with_the_member_fate() {
+        // Two clients' transactions arrive as CommitRequests; the hosted
+        // committer windows them into one instance (single replica: its own
+        // acceptor is the majority) and answers each requester.
+        let txn_a = Transaction::builder(TxnId::new(9, 1), GROUP, LogPosition(0))
+            .write(ItemRef::new(ROW, A), "a")
+            .build();
+        let txn_b = Transaction::builder(TxnId::new(9, 2), GROUP, LogPosition(0))
+            .write(ItemRef::new(ROW, AttrId(1)), "b")
+            .build();
+        let (mut sim, core, received) = single_dc_harness(move |svc| {
+            vec![
+                (
+                    svc,
+                    Msg::CommitRequest {
+                        req_id: 1,
+                        txn: txn_a.clone(),
+                    },
+                ),
+                (
+                    svc,
+                    Msg::CommitRequest {
+                        req_id: 2,
+                        txn: txn_b.clone(),
+                    },
+                ),
+            ]
+        });
+        sim.run_until_idle_capped(100_000);
+        let got = received.lock();
+        let replies: Vec<(u64, bool)> = got
+            .iter()
+            .filter_map(|m| match m {
+                Msg::CommitReply {
+                    req_id, committed, ..
+                } => Some((*req_id, *committed)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(replies.len(), 2, "every request gets one reply: {got:?}");
+        assert!(replies.iter().all(|(_, committed)| *committed));
+        drop(got);
+        // Both members rode one combined entry at position 1.
+        let core = core.lock();
+        let log = core.log(GROUP).expect("group log");
+        assert_eq!(log.get(LogPosition(1)).unwrap().txn_ids().len(), 2);
+        assert_eq!(core.read_position(GROUP), LogPosition(1));
+    }
+
+    #[test]
+    fn duplicate_commit_requests_are_not_resubmitted() {
+        let txn = Transaction::builder(TxnId::new(9, 1), GROUP, LogPosition(0))
+            .write(ItemRef::new(ROW, A), "a")
+            .build();
+        let (mut sim, core, received) = single_dc_harness(move |svc| {
+            vec![
+                (
+                    svc,
+                    Msg::CommitRequest {
+                        req_id: 1,
+                        txn: txn.clone(),
+                    },
+                ),
+                (
+                    svc,
+                    Msg::CommitRequest {
+                        req_id: 1,
+                        txn: txn.clone(),
+                    },
+                ),
+            ]
+        });
+        sim.run_until_idle_capped(100_000);
+        let replies = received
+            .lock()
+            .iter()
+            .filter(|m| matches!(m, Msg::CommitReply { .. }))
+            .count();
+        assert_eq!(replies, 1, "the duplicate must be ignored, not re-proposed");
+        let core = core.lock();
+        assert_eq!(
+            core.log(GROUP).unwrap().committed_transaction_count(),
+            1,
+            "the member must commit exactly once"
+        );
     }
 
     #[test]

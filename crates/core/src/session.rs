@@ -1,0 +1,1262 @@
+//! The session-based Transaction Client: the library an application
+//! instance links against to run transactions (§2.2, §4).
+//!
+//! A [`Session`] replaces the old single-active-transaction client with a
+//! **session + handle** API: [`Session::begin`] opens a transaction and
+//! returns a [`TxnHandle`]; reads, writes and commit take the handle, and
+//! any number of transactions may be open (and committing) concurrently on
+//! one client node. The session keeps each transaction's optimistic
+//! read/write sets, serves `begin`/`read` against the local datacenter's
+//! store (the paper's prototype optimization), buffers writes locally, and
+//! at commit time routes the finished transaction down one of two
+//! [`CommitRoute`]s:
+//!
+//! * [`CommitRoute::Direct`] — the paper-faithful baseline (§2.2,
+//!   Algorithm 2): the session itself drives one Paxos / Paxos-CP
+//!   [`Proposer`] per transaction over the simulated network. Direct
+//!   commits of the *same group* are serialized within a session (two
+//!   in-flight proposers from one node would share ballot identities and
+//!   race for the same position); a commit issued while another is in
+//!   flight queues and starts when the slot frees. Commits of different
+//!   groups run concurrently.
+//! * [`CommitRoute::Submitted`] — the scalable path: the finished
+//!   [`Transaction`] ships to the group home's Transaction Service as a
+//!   [`Msg::CommitRequest`]; the service-hosted
+//!   [`crate::GroupCommitter`] batches it with commits from every client
+//!   of the group into pipelined Paxos-CP instances and answers with a
+//!   [`Msg::CommitReply`]. Any number of submitted commits may be in
+//!   flight at once — this is where overlapping transactions pay off.
+//!
+//! The embedding actor (a workload driver or an application model)
+//! forwards incoming messages and timer expirations and executes the
+//! [`ClientAction`]s the session returns.
+//!
+//! Names cross into the interned data plane exactly once, at this API
+//! boundary: the string-accepting methods (`begin`, `read`, `write`)
+//! intern through the cluster's shared [`walog::SymbolTable`] and delegate
+//! to the id-based fast paths (`begin_id`, `read_id`, `write_id`) that hot
+//! workload drivers call directly with pre-interned ids.
+
+use crate::datacenter::SharedCore;
+use crate::directory::Directory;
+use crate::msg::Msg;
+use paxos::{
+    AbortReason, CommitProtocol, PaxosMsg, Proposer, ProposerAction, ProposerConfig, ProposerEvent,
+    TimerKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{NodeId, SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+use walog::{
+    AttrId, GroupId, ItemRef, KeyId, LogPosition, ReadRecord, Transaction, TxnId, WriteRecord,
+};
+
+/// How a session's commits reach the replicated log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CommitRoute {
+    /// The paper's client-driven proposer: one Paxos / Paxos-CP instance
+    /// per transaction, driven by the session itself (Algorithm 2).
+    #[default]
+    Direct,
+    /// Ship the finished transaction to the group home's Transaction
+    /// Service ([`Msg::CommitRequest`]), whose hosted
+    /// [`crate::GroupCommitter`] batches and pipelines it with other
+    /// clients' commits.
+    Submitted,
+}
+
+impl CommitRoute {
+    /// Short name for tables and labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommitRoute::Direct => "direct",
+            CommitRoute::Submitted => "submitted",
+        }
+    }
+}
+
+/// Tuning knobs of a transaction session.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Which commit protocol to run.
+    pub protocol: CommitProtocol,
+    /// Which route commits take (see [`CommitRoute`]).
+    pub route: CommitRoute,
+    /// Promotion cap (`None` = unlimited, the paper's evaluation setting).
+    pub max_promotions: Option<u32>,
+    /// Whether Paxos-CP combination is enabled.
+    pub combination: bool,
+    /// Whether the leader fast path is attempted.
+    pub fast_path: bool,
+    /// Reply timeout (the paper uses 2 s for loss detection).
+    pub message_timeout: SimDuration,
+    /// Upper bound of the randomized backoff before re-preparing.
+    pub backoff_max: SimDuration,
+    /// Extra window Paxos-CP waits for straggler prepare replies when votes
+    /// are present (see `paxos::TimerKind::Gather`).
+    pub gather_window: SimDuration,
+}
+
+impl ClientConfig {
+    /// Basic Paxos with the paper's timeouts.
+    pub fn basic() -> Self {
+        ClientConfig {
+            protocol: CommitProtocol::BasicPaxos,
+            route: CommitRoute::Direct,
+            max_promotions: Some(0),
+            combination: false,
+            fast_path: true,
+            message_timeout: SimDuration::from_secs(2),
+            backoff_max: SimDuration::from_millis(150),
+            gather_window: SimDuration::from_millis(50),
+        }
+    }
+
+    /// Paxos-CP with the paper's evaluation settings (unlimited promotions).
+    pub fn cp() -> Self {
+        ClientConfig {
+            protocol: CommitProtocol::PaxosCp,
+            max_promotions: None,
+            combination: true,
+            fast_path: true,
+            ..ClientConfig::basic()
+        }
+    }
+
+    /// Config for the requested protocol variant.
+    pub fn for_protocol(protocol: CommitProtocol) -> Self {
+        match protocol {
+            CommitProtocol::BasicPaxos => ClientConfig::basic(),
+            CommitProtocol::PaxosCp => ClientConfig::cp(),
+        }
+    }
+
+    /// Builder-style commit-route override.
+    pub fn with_route(mut self, route: CommitRoute) -> Self {
+        self.route = route;
+        self
+    }
+
+    /// How long a submitted commit waits for its [`Msg::CommitReply`]
+    /// before reporting [`AbortReason::Unavailable`]. Generous — the
+    /// service retries the commit protocol through failovers on the
+    /// client's behalf — but bounded, so a crashed group home cannot wedge
+    /// the session forever.
+    pub fn submit_patience(&self) -> SimDuration {
+        SimDuration::from_micros(self.message_timeout.as_micros().saturating_mul(8))
+    }
+
+    /// The concrete delay for a proposer timer request — shared by the
+    /// session's direct route and the batching committer so their timeout
+    /// policies can never diverge.
+    pub(crate) fn timer_delay(&self, kind: TimerKind, rng: &mut StdRng) -> SimDuration {
+        match kind {
+            TimerKind::ReplyTimeout => self.message_timeout,
+            TimerKind::Backoff => {
+                let max = self.backoff_max.as_micros().max(1);
+                SimDuration::from_micros(rng.gen_range(0..max))
+            }
+            TimerKind::Gather => self.gather_window,
+        }
+    }
+
+    pub(crate) fn proposer_config(&self, num_replicas: usize) -> ProposerConfig {
+        let base = match self.protocol {
+            CommitProtocol::BasicPaxos => ProposerConfig::basic(num_replicas),
+            CommitProtocol::PaxosCp => ProposerConfig::cp(num_replicas),
+        };
+        base.with_max_promotions(match self.protocol {
+            CommitProtocol::BasicPaxos => Some(0),
+            CommitProtocol::PaxosCp => self.max_promotions,
+        })
+        .with_combination(self.combination)
+        .with_fast_path(self.fast_path)
+    }
+}
+
+/// Handle to one open transaction of a [`Session`]. Handles are cheap,
+/// `Copy`, unique per session, and become invalid once the transaction
+/// finishes (the session then reports [`SessionError::UnknownHandle`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnHandle(u64);
+
+impl TxnHandle {
+    /// The raw handle value (stable for the life of the transaction; useful
+    /// for embedding actors that key their own per-transaction state or
+    /// timer tags by handle).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxnHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// Outcome of one transaction, as reported to the application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxnResult {
+    /// Whether the transaction committed.
+    pub committed: bool,
+    /// True when the transaction had no writes (read-only transactions
+    /// commit locally without touching the log, §2.2).
+    pub read_only: bool,
+    /// Number of Paxos-CP promotions it went through.
+    pub promotions: u32,
+    /// Whether it committed inside a combined (multi-transaction) log entry.
+    pub combined: bool,
+    /// Prepare/accept rounds executed across all positions.
+    pub rounds: u32,
+    /// Commit-protocol latency: from the `commit` call to the commit/abort
+    /// decision (what Figures 4(b) and 5(b) plot). For batched commits this
+    /// runs from submission and includes the window wait.
+    pub latency: SimDuration,
+    /// End-to-end latency: from `begin` to the decision (includes the
+    /// application's own operation execution time).
+    pub total_latency: SimDuration,
+    /// Abort reason when not committed.
+    pub abort_reason: Option<AbortReason>,
+    /// The id the transaction travelled the log under (`None` for
+    /// read-only transactions, which never enter the log). Lets embedding
+    /// layers — the Transaction Service routing committer outcomes back to
+    /// requesters, or drivers correlating results — identify the member.
+    pub txn: Option<TxnId>,
+}
+
+/// Effects the embedding actor must carry out on behalf of the session.
+#[derive(Clone, Debug)]
+pub enum ClientAction {
+    /// Send a message to a node.
+    Send(NodeId, Msg),
+    /// Arm a timer; deliver the tag back via [`Session::on_timer`].
+    ArmTimer {
+        /// Delay before firing.
+        delay: SimDuration,
+        /// Tag to echo back.
+        tag: u64,
+    },
+    /// A transaction finished.
+    Finished(TxnResult),
+}
+
+/// Errors from misusing the session API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// The handle does not name an open transaction (never opened, or
+    /// already finished).
+    UnknownHandle,
+    /// The transaction is already in its commit phase; reads, writes and
+    /// repeated commits are rejected.
+    CommitInProgress,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            SessionError::UnknownHandle => "no open transaction with this handle",
+            SessionError::CommitInProgress => "commit already in progress",
+        };
+        f.write_str(text)
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Where an open transaction is in its life cycle.
+enum Phase {
+    /// Executing operations; commit not yet requested.
+    Executing,
+    /// Commit requested on the direct route, waiting for the group's
+    /// in-flight direct commit to finish.
+    Queued,
+    /// Direct route: the session is driving this proposer.
+    Direct(Box<Proposer>),
+    /// Submitted route: waiting for the group home's `CommitReply`.
+    Submitted {
+        /// Correlation id of the outstanding `CommitRequest`.
+        req_id: u64,
+    },
+}
+
+struct OpenTxn {
+    group: GroupId,
+    read_position: LogPosition,
+    /// The datacenter holding this transaction's read lease (the home at
+    /// `begin` time — re-homing mid-transaction must release there).
+    lease_replica: usize,
+    reads: Vec<ReadRecord>,
+    writes: Vec<WriteRecord>,
+    write_index: BTreeMap<ItemRef, String>,
+    began_at: SimTime,
+    commit_started_at: Option<SimTime>,
+    /// The id assigned when the commit was built (None before commit and
+    /// for read-only transactions).
+    id: Option<TxnId>,
+    phase: Phase,
+}
+
+/// Which session object a fired timer belongs to.
+enum TimerRoute {
+    /// A direct-route proposer timer.
+    Proposer { handle: u64, token: u64 },
+    /// The patience timer of a submitted commit.
+    SubmitPatience { handle: u64, req_id: u64 },
+}
+
+/// The transaction session: the client library.
+pub struct Session {
+    node: NodeId,
+    home_replica: usize,
+    directory: Arc<Directory>,
+    config: ClientConfig,
+    rng: StdRng,
+    seq: u64,
+    next_tag: u64,
+    next_handle: u64,
+    next_req: u64,
+    /// Open transactions by raw handle (ordered for determinism).
+    open: BTreeMap<u64, OpenTxn>,
+    /// The handle driving the in-flight direct commit of each group.
+    direct_busy: HashMap<GroupId, u64>,
+    /// Direct commits waiting for their group's slot, in commit-call order.
+    direct_queue: HashMap<GroupId, VecDeque<u64>>,
+    /// Outstanding submitted commits: request id → raw handle.
+    submitted: HashMap<u64, u64>,
+    /// Armed timer tags.
+    timers: HashMap<u64, TimerRoute>,
+}
+
+impl Session {
+    /// Create a session running on `node`, homed in the datacenter with
+    /// replica index `home_replica`.
+    pub fn new(
+        node: NodeId,
+        home_replica: usize,
+        directory: Arc<Directory>,
+        config: ClientConfig,
+    ) -> Self {
+        Session {
+            node,
+            home_replica,
+            directory,
+            config,
+            rng: StdRng::seed_from_u64(0x9e37_79b9 ^ node.0 as u64),
+            seq: 0,
+            next_tag: 0,
+            next_handle: 0,
+            next_req: 0,
+            open: BTreeMap::new(),
+            direct_busy: HashMap::new(),
+            direct_queue: HashMap::new(),
+            submitted: HashMap::new(),
+            timers: HashMap::new(),
+        }
+    }
+
+    /// The datacenter this session currently considers local.
+    pub fn home_replica(&self) -> usize {
+        self.home_replica
+    }
+
+    /// Re-home the session to another datacenter (failover after its local
+    /// datacenter became unavailable). Affects transactions begun after the
+    /// call; open ones keep their lease where they took it.
+    pub fn set_home_replica(&mut self, replica: usize) {
+        self.home_replica = replica;
+    }
+
+    /// The cluster's shared symbol table (for callers that pre-intern).
+    pub fn symbols(&self) -> &Arc<walog::SymbolTable> {
+        self.directory.symbols()
+    }
+
+    /// Number of open transactions (executing, queued or committing).
+    pub fn open_transactions(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Whether the handle names an open transaction.
+    pub fn is_open(&self, handle: TxnHandle) -> bool {
+        self.open.contains_key(&handle.0)
+    }
+
+    /// Reconstruct the handle for a raw id (see [`TxnHandle::raw`]) if it
+    /// still names an open transaction — for embedding actors that key
+    /// their own per-transaction state or timer tags by the raw id.
+    pub fn handle_from_raw(&self, raw: u64) -> Option<TxnHandle> {
+        self.open.contains_key(&raw).then_some(TxnHandle(raw))
+    }
+
+    /// Whether the transaction is in its commit phase (queued, driving a
+    /// proposer, or waiting for a `CommitReply`).
+    pub fn committing(&self, handle: TxnHandle) -> bool {
+        self.open
+            .get(&handle.0)
+            .is_some_and(|t| !matches!(t.phase, Phase::Executing))
+    }
+
+    fn home_core(&self) -> SharedCore {
+        self.directory.core(self.home_replica)
+    }
+
+    /// Open a transaction on the named group at simulated time `now`,
+    /// interning the name through the cluster symbol table.
+    pub fn begin(&mut self, now: SimTime, group: &str) -> TxnHandle {
+        let group = self.directory.symbols().group(group);
+        self.begin_id(now, group)
+    }
+
+    /// Open a transaction on a pre-interned group. The read position is the
+    /// local datacenter's latest gap-free log position; the session leases
+    /// it so version GC keeps every version the transaction's reads can
+    /// need until the commit decision.
+    pub fn begin_id(&mut self, now: SimTime, group: GroupId) -> TxnHandle {
+        let read_position = {
+            let core = self.home_core();
+            let mut core = core.lock();
+            let read_position = core.read_position(group);
+            core.begin_read_lease(group, read_position);
+            read_position
+        };
+        self.next_handle += 1;
+        let handle = self.next_handle;
+        self.open.insert(
+            handle,
+            OpenTxn {
+                group,
+                read_position,
+                lease_replica: self.home_replica,
+                reads: Vec::new(),
+                writes: Vec::new(),
+                write_index: BTreeMap::new(),
+                began_at: now,
+                commit_started_at: None,
+                id: None,
+                phase: Phase::Executing,
+            },
+        );
+        TxnHandle(handle)
+    }
+
+    /// Release the read lease a finished transaction held.
+    fn release_lease(&self, txn: &OpenTxn) {
+        self.directory
+            .core(txn.lease_replica)
+            .lock()
+            .end_read_lease(txn.group, txn.read_position);
+    }
+
+    /// Read one item of the transaction's group, interning the names.
+    pub fn read(
+        &mut self,
+        handle: TxnHandle,
+        key: &str,
+        attr: &str,
+    ) -> Result<Option<String>, SessionError> {
+        let item = self.directory.symbols().item(key, attr);
+        self.read_id(handle, item.key, item.attr)
+    }
+
+    /// Read one pre-interned item of the transaction's group.
+    ///
+    /// Reads first consult the transaction's own write set (A1,
+    /// read-your-writes); otherwise they are served from the local store at
+    /// the transaction's read position (A2) and recorded in the read set.
+    pub fn read_id(
+        &mut self,
+        handle: TxnHandle,
+        key: KeyId,
+        attr: AttrId,
+    ) -> Result<Option<String>, SessionError> {
+        let txn = self
+            .open
+            .get_mut(&handle.0)
+            .ok_or(SessionError::UnknownHandle)?;
+        if !matches!(txn.phase, Phase::Executing) {
+            return Err(SessionError::CommitInProgress);
+        }
+        let item = ItemRef::new(key, attr);
+        if let Some(value) = txn.write_index.get(&item) {
+            return Ok(Some(value.clone()));
+        }
+        let observed = self
+            .directory
+            .core(self.home_replica)
+            .lock()
+            .read(txn.group, key, attr, txn.read_position)
+            .unwrap_or_else(|_gap| {
+                // The read position was taken from the local gap-free prefix,
+                // so a gap at or below it is impossible; treat defensively as
+                // a missing value rather than panicking in release runs.
+                debug_assert!(
+                    false,
+                    "local read below the gap-free prefix cannot need catch-up"
+                );
+                None
+            });
+        txn.reads.push(ReadRecord {
+            item,
+            observed: observed.clone(),
+        });
+        Ok(observed)
+    }
+
+    /// Buffer a write to one item of the transaction's group, interning the
+    /// names.
+    pub fn write(
+        &mut self,
+        handle: TxnHandle,
+        key: &str,
+        attr: &str,
+        value: impl Into<String>,
+    ) -> Result<(), SessionError> {
+        let item = self.directory.symbols().item(key, attr);
+        self.write_id(handle, item.key, item.attr, value)
+    }
+
+    /// Buffer a write to one pre-interned item of the transaction's group.
+    pub fn write_id(
+        &mut self,
+        handle: TxnHandle,
+        key: KeyId,
+        attr: AttrId,
+        value: impl Into<String>,
+    ) -> Result<(), SessionError> {
+        let txn = self
+            .open
+            .get_mut(&handle.0)
+            .ok_or(SessionError::UnknownHandle)?;
+        if !matches!(txn.phase, Phase::Executing) {
+            return Err(SessionError::CommitInProgress);
+        }
+        let value = value.into();
+        let item = ItemRef::new(key, attr);
+        txn.write_index.insert(item, value.clone());
+        txn.writes.push(WriteRecord { item, value });
+        Ok(())
+    }
+
+    /// Try to commit a transaction. Read-only transactions finish
+    /// immediately; read/write transactions enter the configured
+    /// [`CommitRoute`] and finish later via [`ClientAction::Finished`].
+    pub fn commit(
+        &mut self,
+        now: SimTime,
+        handle: TxnHandle,
+    ) -> Result<Vec<ClientAction>, SessionError> {
+        let txn = self
+            .open
+            .get_mut(&handle.0)
+            .ok_or(SessionError::UnknownHandle)?;
+        if !matches!(txn.phase, Phase::Executing) {
+            return Err(SessionError::CommitInProgress);
+        }
+        txn.commit_started_at = Some(now);
+        if txn.writes.is_empty() {
+            let finished = self.open.remove(&handle.0).expect("checked above");
+            self.release_lease(&finished);
+            return Ok(vec![ClientAction::Finished(TxnResult {
+                committed: true,
+                read_only: true,
+                promotions: 0,
+                combined: false,
+                rounds: 0,
+                latency: SimDuration::ZERO,
+                total_latency: now.since(finished.began_at),
+                abort_reason: None,
+                txn: None,
+            })]);
+        }
+        match self.config.route {
+            CommitRoute::Direct => {
+                let group = txn.group;
+                if self.direct_busy.contains_key(&group) {
+                    txn.phase = Phase::Queued;
+                    self.direct_queue
+                        .entry(group)
+                        .or_default()
+                        .push_back(handle.0);
+                    Ok(Vec::new())
+                } else {
+                    let mut out = Vec::new();
+                    self.start_direct(now, handle.0, &mut out);
+                    Ok(out)
+                }
+            }
+            CommitRoute::Submitted => Ok(self.start_submitted(handle.0)),
+        }
+    }
+
+    /// Build the wire transaction of an open handle and assign its id.
+    fn build_transaction(&mut self, handle: u64) -> Transaction {
+        self.seq += 1;
+        let id = TxnId::new(self.node.0, self.seq);
+        let txn = self.open.get_mut(&handle).expect("caller checked");
+        txn.id = Some(id);
+        Transaction::new(
+            id,
+            txn.group,
+            txn.read_position,
+            txn.reads.clone(),
+            txn.writes.clone(),
+        )
+    }
+
+    /// Start a direct-route proposer for `handle` (the group slot is free).
+    fn start_direct(&mut self, now: SimTime, handle: u64, out: &mut Vec<ClientAction>) {
+        let transaction = self.build_transaction(handle);
+        let group = transaction.group;
+        let commit_position = transaction.read_position.next();
+        let cfg = self.config.proposer_config(self.directory.num_replicas());
+        let mut proposer =
+            Proposer::new(cfg, group, self.node.0 as u64, transaction, commit_position);
+        let actions = proposer.start();
+        let txn = self.open.get_mut(&handle).expect("caller checked");
+        txn.phase = Phase::Direct(Box::new(proposer));
+        self.direct_busy.insert(group, handle);
+        self.translate(now, handle, group, actions, out);
+    }
+
+    /// Ship `handle`'s finished transaction to the group home's service.
+    fn start_submitted(&mut self, handle: u64) -> Vec<ClientAction> {
+        let transaction = self.build_transaction(handle);
+        let group = transaction.group;
+        self.next_req += 1;
+        let req_id = self.next_req;
+        let txn = self.open.get_mut(&handle).expect("caller checked");
+        txn.phase = Phase::Submitted { req_id };
+        self.submitted.insert(req_id, handle);
+        let home = self.directory.group_home(group);
+        let mut out = vec![ClientAction::Send(
+            self.directory.service_node(home),
+            Msg::CommitRequest {
+                req_id,
+                txn: transaction,
+            },
+        )];
+        self.next_tag += 1;
+        let tag = self.next_tag;
+        self.timers
+            .insert(tag, TimerRoute::SubmitPatience { handle, req_id });
+        out.push(ClientAction::ArmTimer {
+            delay: self.config.submit_patience(),
+            tag,
+        });
+        out
+    }
+
+    /// Feed an incoming message (commit-protocol or commit-reply traffic)
+    /// into the session.
+    pub fn on_message(&mut self, now: SimTime, from: NodeId, msg: &Msg) -> Vec<ClientAction> {
+        match msg {
+            Msg::Paxos(paxos_msg) => self.on_paxos(now, from, paxos_msg),
+            Msg::CommitReply {
+                req_id,
+                committed,
+                promotions,
+                combined,
+                rounds,
+                abort_reason,
+                ..
+            } => {
+                let Some(handle) = self.submitted.remove(req_id) else {
+                    return Vec::new();
+                };
+                let txn = self
+                    .open
+                    .remove(&handle)
+                    .expect("submitted commits stay open until their reply");
+                debug_assert!(
+                    matches!(txn.phase, Phase::Submitted { req_id: r } if r == *req_id),
+                    "commit reply must match the handle's outstanding request"
+                );
+                self.release_lease(&txn);
+                let commit_started = txn.commit_started_at.unwrap_or(txn.began_at);
+                vec![ClientAction::Finished(TxnResult {
+                    committed: *committed,
+                    read_only: false,
+                    promotions: *promotions,
+                    combined: *combined,
+                    rounds: *rounds,
+                    latency: now.since(commit_started),
+                    total_latency: now.since(txn.began_at),
+                    abort_reason: *abort_reason,
+                    txn: txn.id,
+                })]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_paxos(&mut self, now: SimTime, from: NodeId, paxos_msg: &PaxosMsg) -> Vec<ClientAction> {
+        let Some(replica) = self.directory.replica_of_service(from) else {
+            return Vec::new();
+        };
+        // Direct commits are serialized per group, so the message's group
+        // routes it to the one proposer that can be waiting for it.
+        let group = paxos_msg.group();
+        let Some(&handle) = self.direct_busy.get(&group) else {
+            return Vec::new();
+        };
+        let event = match paxos_msg {
+            PaxosMsg::PrepareReply {
+                position,
+                ballot,
+                promised,
+                next_bal,
+                last_vote,
+                ..
+            } => ProposerEvent::PrepareReply {
+                from: replica,
+                position: *position,
+                ballot: *ballot,
+                promised: *promised,
+                next_bal: *next_bal,
+                last_vote: last_vote.clone(),
+            },
+            PaxosMsg::AcceptReply {
+                position,
+                ballot,
+                accepted,
+                ..
+            } => ProposerEvent::AcceptReply {
+                from: replica,
+                position: *position,
+                ballot: *ballot,
+                accepted: *accepted,
+            },
+            PaxosMsg::LeaderClaimReply {
+                position, granted, ..
+            } => ProposerEvent::FastPathReply {
+                position: *position,
+                granted: *granted,
+            },
+            _ => return Vec::new(),
+        };
+        self.drive(now, handle, group, event)
+    }
+
+    /// Feed a timer expiration (tag previously returned in
+    /// [`ClientAction::ArmTimer`]) into the session.
+    pub fn on_timer(&mut self, now: SimTime, tag: u64) -> Vec<ClientAction> {
+        match self.timers.remove(&tag) {
+            Some(TimerRoute::Proposer { handle, token }) => {
+                let Some(txn) = self.open.get(&handle) else {
+                    return Vec::new();
+                };
+                let group = txn.group;
+                self.drive(now, handle, group, ProposerEvent::Timer { token })
+            }
+            Some(TimerRoute::SubmitPatience { handle, req_id }) => {
+                // Only meaningful while the reply is still outstanding.
+                if self.submitted.get(&req_id) != Some(&handle) {
+                    return Vec::new();
+                }
+                self.submitted.remove(&req_id);
+                let txn = self
+                    .open
+                    .remove(&handle)
+                    .expect("submitted commits stay open until their reply");
+                self.release_lease(&txn);
+                let commit_started = txn.commit_started_at.unwrap_or(txn.began_at);
+                vec![ClientAction::Finished(TxnResult {
+                    committed: false,
+                    read_only: false,
+                    promotions: 0,
+                    combined: false,
+                    rounds: 0,
+                    latency: now.since(commit_started),
+                    total_latency: now.since(txn.began_at),
+                    abort_reason: Some(AbortReason::Unavailable),
+                    txn: txn.id,
+                })]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn drive(
+        &mut self,
+        now: SimTime,
+        handle: u64,
+        group: GroupId,
+        event: ProposerEvent,
+    ) -> Vec<ClientAction> {
+        let Some(txn) = self.open.get_mut(&handle) else {
+            return Vec::new();
+        };
+        let Phase::Direct(proposer) = &mut txn.phase else {
+            return Vec::new();
+        };
+        let actions = proposer.on_event(event);
+        let mut out = Vec::new();
+        self.translate(now, handle, group, actions, &mut out);
+        out
+    }
+
+    /// Turn proposer actions into client actions. The transaction's group
+    /// is resolved by the caller *before* the loop: a `Learned` entry is
+    /// installed unconditionally, even when a `Finished` earlier in the
+    /// same action batch already closed the transaction — the learned
+    /// value is the group's decided history, not session state, and
+    /// dropping it would stall the local read position.
+    fn translate(
+        &mut self,
+        now: SimTime,
+        handle: u64,
+        group: GroupId,
+        actions: Vec<ProposerAction>,
+        out: &mut Vec<ClientAction>,
+    ) {
+        for action in actions {
+            match action {
+                ProposerAction::Broadcast(msg) => {
+                    for replica in 0..self.directory.num_replicas() {
+                        out.push(ClientAction::Send(
+                            self.directory.service_node(replica),
+                            Msg::Paxos(msg.clone()),
+                        ));
+                    }
+                }
+                ProposerAction::SendToLeader(msg) => {
+                    let leader = self.directory.leader_replica(
+                        self.home_replica,
+                        msg.group(),
+                        msg.position(),
+                    );
+                    out.push(ClientAction::Send(
+                        self.directory.service_node(leader),
+                        Msg::Paxos(msg),
+                    ));
+                }
+                ProposerAction::ArmTimer { token, kind } => {
+                    let delay = self.config.timer_delay(kind, &mut self.rng);
+                    self.next_tag += 1;
+                    let tag = self.next_tag;
+                    self.timers
+                        .insert(tag, TimerRoute::Proposer { handle, token });
+                    out.push(ClientAction::ArmTimer { delay, tag });
+                }
+                ProposerAction::Learned { position, entry } => {
+                    // Install what the proposer learned into the local
+                    // datacenter so the next transaction's read position
+                    // advances immediately — regardless of whether this
+                    // transaction is still open.
+                    self.directory
+                        .core(self.home_replica)
+                        .lock()
+                        .install_entry(group, position, entry);
+                }
+                ProposerAction::Finished(outcome) => {
+                    let txn = self
+                        .open
+                        .remove(&handle)
+                        .expect("finished implies an open transaction");
+                    self.release_lease(&txn);
+                    if self.direct_busy.get(&group) == Some(&handle) {
+                        self.direct_busy.remove(&group);
+                    }
+                    let commit_started = txn.commit_started_at.unwrap_or(txn.began_at);
+                    out.push(ClientAction::Finished(TxnResult {
+                        committed: outcome.committed,
+                        read_only: false,
+                        promotions: outcome.promotions,
+                        combined: outcome.combined,
+                        rounds: outcome.rounds,
+                        latency: now.since(commit_started),
+                        total_latency: now.since(txn.began_at),
+                        abort_reason: outcome.abort_reason,
+                        txn: txn.id,
+                    }));
+                    // The group's direct slot freed: start the next queued
+                    // commit, if any.
+                    if let Some(next) = self.pop_queued(group) {
+                        self.start_direct(now, next, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn pop_queued(&mut self, group: GroupId) -> Option<u64> {
+        let queue = self.direct_queue.get_mut(&group)?;
+        let next = queue.pop_front();
+        if queue.is_empty() {
+            self.direct_queue.remove(&group);
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datacenter::DatacenterCore;
+    use paxos::CommitOutcome;
+    use walog::LogEntry;
+
+    fn directory_with_one_dc() -> (Arc<Directory>, SharedCore) {
+        let dir = Directory::new();
+        let core = DatacenterCore::shared("dc0", 0);
+        dir.register_datacenter(NodeId(0), core.clone());
+        (dir, core)
+    }
+
+    fn seeded_entry(dir: &Directory, core: &SharedCore, position: u64, attr: &str, value: &str) {
+        let group = dir.symbols().group("g");
+        let txn = Transaction::builder(TxnId::new(0, position), group, LogPosition(position - 1))
+            .write(dir.symbols().item("row", attr), value)
+            .build();
+        core.lock().install_entry(
+            group,
+            LogPosition(position),
+            Arc::new(LogEntry::single(txn)),
+        );
+    }
+
+    fn register(session: &Session) {
+        session
+            .directory
+            .register_client(session.node, session.home_replica);
+    }
+
+    #[test]
+    fn begin_read_write_and_read_your_writes() {
+        let (dir, core) = directory_with_one_dc();
+        seeded_entry(&dir, &core, 1, "a", "committed");
+        let mut session = Session::new(NodeId(5), 0, dir, ClientConfig::cp());
+        register(&session);
+        let h = session.begin(SimTime::ZERO, "g");
+        assert!(session.is_open(h));
+        // Read of committed data.
+        assert_eq!(
+            session.read(h, "row", "a").unwrap().as_deref(),
+            Some("committed")
+        );
+        // Read of never-written data.
+        assert_eq!(session.read(h, "row", "b").unwrap(), None);
+        // Read-your-writes.
+        session.write(h, "row", "b", "mine").unwrap();
+        assert_eq!(
+            session.read(h, "row", "b").unwrap().as_deref(),
+            Some("mine")
+        );
+    }
+
+    #[test]
+    fn multiple_transactions_are_open_concurrently() {
+        let (dir, core) = directory_with_one_dc();
+        seeded_entry(&dir, &core, 1, "a", "base");
+        let mut session = Session::new(NodeId(5), 0, dir, ClientConfig::cp());
+        let h1 = session.begin(SimTime::ZERO, "g");
+        let h2 = session.begin(SimTime::ZERO, "g");
+        assert_ne!(h1, h2);
+        assert_eq!(session.open_transactions(), 2);
+        // Writes are isolated per handle: h1's write is invisible to h2.
+        session.write(h1, "row", "b", "one").unwrap();
+        assert_eq!(
+            session.read(h1, "row", "b").unwrap().as_deref(),
+            Some("one")
+        );
+        assert_eq!(session.read(h2, "row", "b").unwrap(), None);
+        // Both see the committed store.
+        assert_eq!(
+            session.read(h2, "row", "a").unwrap().as_deref(),
+            Some("base")
+        );
+    }
+
+    #[test]
+    fn read_only_transactions_commit_immediately() {
+        let (dir, core) = directory_with_one_dc();
+        seeded_entry(&dir, &core, 1, "a", "x");
+        let mut session = Session::new(NodeId(5), 0, dir, ClientConfig::basic());
+        let h = session.begin(SimTime::from_micros(10), "g");
+        session.read(h, "row", "a").unwrap();
+        let actions = session.commit(SimTime::from_micros(30), h).unwrap();
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            ClientAction::Finished(result) => {
+                assert!(result.committed);
+                assert!(result.read_only);
+                assert_eq!(result.latency, SimDuration::ZERO);
+                assert_eq!(result.total_latency, SimDuration::from_micros(20));
+                assert_eq!(result.txn, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!session.is_open(h));
+    }
+
+    #[test]
+    fn direct_commit_of_write_transaction_contacts_the_leader() {
+        let (dir, _core) = directory_with_one_dc();
+        let mut session = Session::new(NodeId(5), 0, dir, ClientConfig::cp());
+        let h = session.begin(SimTime::ZERO, "g");
+        session.write(h, "row", "a", "1").unwrap();
+        let actions = session.commit(SimTime::ZERO, h).unwrap();
+        // Fast path enabled: first action is a leader claim to the local
+        // service, plus a timer.
+        assert!(matches!(
+            &actions[0],
+            ClientAction::Send(NodeId(0), Msg::Paxos(PaxosMsg::LeaderClaim { .. }))
+        ));
+        assert!(matches!(actions[1], ClientAction::ArmTimer { .. }));
+        assert!(session.committing(h));
+        // Operations during commit are rejected.
+        assert_eq!(
+            session.read(h, "row", "a").unwrap_err(),
+            SessionError::CommitInProgress
+        );
+        assert_eq!(
+            session.commit(SimTime::ZERO, h).unwrap_err(),
+            SessionError::CommitInProgress
+        );
+    }
+
+    #[test]
+    fn direct_commits_of_one_group_queue_behind_the_in_flight_one() {
+        let (dir, _core) = directory_with_one_dc();
+        let mut session = Session::new(NodeId(5), 0, dir, ClientConfig::cp());
+        let h1 = session.begin(SimTime::ZERO, "g");
+        let h2 = session.begin(SimTime::ZERO, "g");
+        session.write(h1, "row", "a", "1").unwrap();
+        session.write(h2, "row", "b", "2").unwrap();
+        let first = session.commit(SimTime::ZERO, h1).unwrap();
+        assert!(!first.is_empty());
+        // The second commit queues: no wire actions until the slot frees.
+        let second = session.commit(SimTime::ZERO, h2).unwrap();
+        assert!(second.is_empty(), "same-group direct commit must queue");
+        assert!(session.committing(h2));
+        // Complete h1's instance: claim granted, accept acked.
+        let actions = session.on_message(
+            SimTime::ZERO,
+            NodeId(0),
+            &Msg::Paxos(PaxosMsg::LeaderClaimReply {
+                group: session.symbols().group("g"),
+                position: LogPosition(1),
+                granted: true,
+            }),
+        );
+        let (position, ballot) = actions
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::Send(
+                    _,
+                    Msg::Paxos(PaxosMsg::Accept {
+                        position, ballot, ..
+                    }),
+                ) => Some((*position, *ballot)),
+                _ => None,
+            })
+            .expect("accept broadcast");
+        let actions = session.on_message(
+            SimTime::ZERO,
+            NodeId(0),
+            &Msg::Paxos(PaxosMsg::AcceptReply {
+                group: session.symbols().group("g"),
+                position,
+                ballot,
+                accepted: true,
+            }),
+        );
+        // h1 finished and h2's proposer started in the same action batch.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ClientAction::Finished(r) if r.committed)));
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                ClientAction::Send(_, Msg::Paxos(PaxosMsg::LeaderClaim { .. }))
+            )),
+            "the queued commit must start when the slot frees"
+        );
+        assert!(!session.is_open(h1));
+        assert!(session.committing(h2));
+    }
+
+    #[test]
+    fn learned_entries_install_even_after_finished_cleared_the_transaction() {
+        // Regression: a `Finished` earlier in the same action batch used to
+        // clear the active transaction, and the `Learned` that followed was
+        // dropped because the group could no longer be resolved — stalling
+        // the local read position. The group is now resolved before the
+        // batch is processed and the install is unconditional.
+        let (dir, core) = directory_with_one_dc();
+        let group = dir.symbols().group("g");
+        let mut session = Session::new(NodeId(5), 0, dir.clone(), ClientConfig::cp());
+        let h = session.begin(SimTime::ZERO, "g");
+        session.write(h, "row", "a", "1").unwrap();
+        session.commit(SimTime::ZERO, h).unwrap();
+        let learned = Arc::new(LogEntry::single(
+            Transaction::builder(TxnId::new(9, 1), group, LogPosition(0))
+                .write(dir.symbols().item("row", "w"), "winner")
+                .build(),
+        ));
+        let actions = vec![
+            ProposerAction::Finished(CommitOutcome {
+                committed: false,
+                position: None,
+                promotions: 0,
+                combined: false,
+                rounds: 1,
+                abort_reason: Some(AbortReason::Conflict),
+                committed_txns: Vec::new(),
+                aborted_txns: Vec::new(),
+                survivors: Vec::new(),
+            }),
+            ProposerAction::Learned {
+                position: LogPosition(1),
+                entry: Arc::clone(&learned),
+            },
+        ];
+        let mut out = Vec::new();
+        session.translate(SimTime::ZERO, h.raw(), group, actions, &mut out);
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, ClientAction::Finished(r) if !r.committed)));
+        assert!(
+            core.lock().has_entry(group, LogPosition(1)),
+            "the learned entry must install even though the transaction is gone"
+        );
+        assert_eq!(core.lock().read_position(group), LogPosition(1));
+    }
+
+    #[test]
+    fn submitted_commit_ships_to_the_group_home_and_finishes_on_reply() {
+        let (dir, _core) = directory_with_one_dc();
+        let config = ClientConfig::cp().with_route(CommitRoute::Submitted);
+        let mut session = Session::new(NodeId(5), 0, dir.clone(), config);
+        let h = session.begin(SimTime::ZERO, "g");
+        session.write(h, "row", "a", "1").unwrap();
+        let actions = session.commit(SimTime::from_micros(50), h).unwrap();
+        let (req_id, txn_id, group) = actions
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::Send(NodeId(0), Msg::CommitRequest { req_id, txn }) => {
+                    Some((*req_id, txn.id, txn.group))
+                }
+                _ => None,
+            })
+            .expect("commit request to the group home service");
+        assert!(matches!(actions[1], ClientAction::ArmTimer { .. }));
+        assert!(session.committing(h));
+        let done = session.on_message(
+            SimTime::from_micros(950),
+            NodeId(0),
+            &Msg::CommitReply {
+                req_id,
+                group,
+                txn: txn_id,
+                committed: true,
+                promotions: 1,
+                combined: true,
+                rounds: 2,
+                abort_reason: None,
+            },
+        );
+        match &done[..] {
+            [ClientAction::Finished(r)] => {
+                assert!(r.committed);
+                assert!(r.combined);
+                assert_eq!(r.promotions, 1);
+                assert_eq!(r.txn, Some(txn_id));
+                assert_eq!(r.latency, SimDuration::from_micros(900));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!session.is_open(h));
+    }
+
+    #[test]
+    fn submitted_commit_times_out_as_unavailable() {
+        let (dir, _core) = directory_with_one_dc();
+        let config = ClientConfig::cp().with_route(CommitRoute::Submitted);
+        let mut session = Session::new(NodeId(5), 0, dir, config);
+        let h = session.begin(SimTime::ZERO, "g");
+        session.write(h, "row", "a", "1").unwrap();
+        let actions = session.commit(SimTime::ZERO, h).unwrap();
+        let tag = actions
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::ArmTimer { tag, .. } => Some(*tag),
+                _ => None,
+            })
+            .expect("patience timer");
+        let done = session.on_timer(SimTime::from_micros(16_000_000), tag);
+        match &done[..] {
+            [ClientAction::Finished(r)] => {
+                assert!(!r.committed);
+                assert_eq!(r.abort_reason, Some(AbortReason::Unavailable));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!session.is_open(h));
+        assert_eq!(session.open_transactions(), 0);
+    }
+
+    #[test]
+    fn id_fast_paths_match_the_string_api() {
+        let (dir, core) = directory_with_one_dc();
+        seeded_entry(&dir, &core, 1, "a", "seeded");
+        let group = dir.symbols().group("g");
+        let item = dir.symbols().item("row", "a");
+        let mut session = Session::new(NodeId(5), 0, dir, ClientConfig::cp());
+        let h = session.begin_id(SimTime::ZERO, group);
+        assert_eq!(
+            session.read_id(h, item.key, item.attr).unwrap().as_deref(),
+            Some("seeded")
+        );
+        session.write_id(h, item.key, item.attr, "next").unwrap();
+        // Read-your-writes through the string API sees the id-written value.
+        assert_eq!(
+            session.read(h, "row", "a").unwrap().as_deref(),
+            Some("next")
+        );
+    }
+
+    #[test]
+    fn unknown_handles_are_rejected() {
+        let (dir, _core) = directory_with_one_dc();
+        let mut session = Session::new(NodeId(5), 0, dir, ClientConfig::basic());
+        let h = session.begin(SimTime::ZERO, "g");
+        let actions = session.commit(SimTime::ZERO, h).unwrap();
+        assert_eq!(actions.len(), 1, "read-only commit finishes immediately");
+        // The handle is dead now.
+        assert_eq!(
+            session.read(h, "row", "a").unwrap_err(),
+            SessionError::UnknownHandle
+        );
+        assert_eq!(
+            session.write(h, "row", "a", "1").unwrap_err(),
+            SessionError::UnknownHandle
+        );
+        assert_eq!(
+            session.commit(SimTime::ZERO, h).unwrap_err(),
+            SessionError::UnknownHandle
+        );
+    }
+
+    #[test]
+    fn rehoming_changes_the_local_datacenter() {
+        let dir = Directory::new();
+        let core0 = DatacenterCore::shared("dc0", 0);
+        let core1 = DatacenterCore::shared("dc1", 1);
+        dir.register_datacenter(NodeId(0), core0);
+        dir.register_datacenter(NodeId(1), core1.clone());
+        seeded_entry(&dir, &core1, 1, "a", "dc1-value");
+        let mut session = Session::new(NodeId(5), 0, dir, ClientConfig::basic());
+        assert_eq!(session.home_replica(), 0);
+        session.set_home_replica(1);
+        let h = session.begin(SimTime::ZERO, "g");
+        assert_eq!(
+            session.read(h, "row", "a").unwrap().as_deref(),
+            Some("dc1-value")
+        );
+    }
+}

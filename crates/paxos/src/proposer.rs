@@ -138,6 +138,11 @@ pub enum AbortReason {
     /// The per-position round safety valve was exceeded (pathological
     /// message loss or partition).
     RoundLimit,
+    /// The commit request could not be decided in time: a submitted-route
+    /// client gave up waiting for the group home's `CommitReply` (service
+    /// unreachable or reply lost). The transaction may be retried as a new
+    /// transaction; proposers never report this reason themselves.
+    Unavailable,
 }
 
 /// Result of a commit attempt (a single transaction or a whole batch).

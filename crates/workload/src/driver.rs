@@ -1,21 +1,33 @@
 //! One benchmark client thread, as a simulation actor.
+//!
+//! The driver owns a [`Session`] and can keep up to
+//! [`DriverConfig::max_open`] transactions open (and committing)
+//! concurrently — the paper's YCSB thread is `max_open == 1`; higher
+//! values model an application instance multiplexing requests over one
+//! client library, which is what the submitted commit route
+//! ([`mdstore::CommitRoute::Submitted`], selected via the session's
+//! [`mdstore::ClientConfig::route`]) exists to serve.
 
-use mdstore::{ClientAction, ClientConfig, Directory, Msg, RunMetrics, TransactionClient};
+use mdstore::{ClientAction, ClientConfig, Directory, Msg, RunMetrics, Session, TxnHandle};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::{Actor, Context, NodeId, SimDuration, SimTime};
+use std::collections::HashMap;
 use std::sync::Arc;
 use walog::{AttrId, GroupId, KeyId};
 
 /// Metrics sink shared between a driver actor and the experiment harness.
 pub type SharedMetrics = Arc<Mutex<RunMetrics>>;
 
-/// Reserved timer tag used by the driver itself (client timers use the tags
-/// the client allocates, which start at 1).
+/// Reserved timer tag used by the driver itself (session timers use the
+/// tags the session allocates, which start at 1).
 const START_TXN_TAG: u64 = u64::MAX;
-/// Reserved timer tag for "execute the next operation of the open txn".
-const NEXT_OP_TAG: u64 = u64::MAX - 1;
+/// Base of the per-transaction "execute the next operation" tags: the tag
+/// for a transaction is `OP_TAG_BASE + handle.raw()`. Session tags and
+/// handles both count up from 1, so the two ranges can never meet in any
+/// realistic run.
+const OP_TAG_BASE: u64 = u64::MAX >> 1;
 
 /// Configuration of one benchmark client thread.
 #[derive(Clone, Debug)]
@@ -34,9 +46,14 @@ pub struct DriverConfig {
     /// Fraction of operations that are reads (the paper uses 0.5).
     pub read_fraction: f64,
     /// Target transaction rate: a new transaction is started no sooner than
-    /// `1 / target_tps` after the previous one started (and never before the
-    /// previous one finished).
+    /// `1 / target_tps` after the previous one started (and never while
+    /// [`DriverConfig::max_open`] transactions are already in flight).
     pub target_tps: f64,
+    /// Maximum transactions open (executing or committing) at once. 1 is
+    /// the paper's closed-loop YCSB thread; larger values issue
+    /// *overlapping* transactions, which the submitted commit route
+    /// batches into shared Paxos-CP instances.
+    pub max_open: usize,
     /// Delay before the first transaction (staggered starts).
     pub start_delay: SimDuration,
     /// Simulated execution cost of one application operation: the paper's
@@ -68,6 +85,7 @@ impl Default for DriverConfig {
             ops_per_txn: 10,
             read_fraction: 0.5,
             target_tps: 1.0,
+            max_open: 1,
             start_delay: SimDuration::ZERO,
             op_delay: SimDuration::from_millis(10),
             op_jitter: 0.5,
@@ -88,16 +106,16 @@ impl DriverConfig {
     }
 }
 
-/// One benchmark client thread: owns a [`TransactionClient`], issues
-/// transactions per its schedule, and records outcomes into the shared
-/// metrics sink.
+/// One benchmark client thread: owns a [`Session`], issues transactions per
+/// its schedule — overlapping up to [`DriverConfig::max_open`] — and
+/// records outcomes into the shared metrics sink.
 ///
 /// All names are interned once at construction: the hot operation loop
-/// issues reads and writes through the client's id-based fast paths and
+/// issues reads and writes through the session's id-based fast paths and
 /// never touches the symbol table again.
 pub struct ClientDriver {
     config: DriverConfig,
-    client: TransactionClient,
+    session: Session,
     metrics: SharedMetrics,
     rng: StdRng,
     group: GroupId,
@@ -106,9 +124,10 @@ pub struct ClientDriver {
     attrs: Vec<AttrId>,
     issued: usize,
     last_start: Option<SimTime>,
-    waiting_commit: bool,
-    /// Operations still to execute for the currently open transaction.
-    ops_remaining: usize,
+    /// Operations still to execute per open (not yet committing) handle.
+    ops_remaining: HashMap<u64, usize>,
+    /// Commits in flight (handle has left `ops_remaining`).
+    committing: usize,
     op_seq: u64,
 }
 
@@ -130,7 +149,7 @@ impl ClientDriver {
             .map(|i| symbols.attr(&format!("a{i}")))
             .collect();
         ClientDriver {
-            client: TransactionClient::new(node, home_replica, directory, client_config),
+            session: Session::new(node, home_replica, directory, client_config),
             config,
             metrics,
             rng: StdRng::seed_from_u64(seed),
@@ -139,8 +158,8 @@ impl ClientDriver {
             attrs,
             issued: 0,
             last_start: None,
-            waiting_commit: false,
-            ops_remaining: 0,
+            ops_remaining: HashMap::new(),
+            committing: 0,
             op_seq: 0,
         }
     }
@@ -148,6 +167,10 @@ impl ClientDriver {
     /// Number of transactions issued so far.
     pub fn issued(&self) -> usize {
         self.issued
+    }
+
+    fn in_flight(&self) -> usize {
+        self.ops_remaining.len() + self.committing
     }
 
     fn pick_attr(&mut self) -> AttrId {
@@ -171,8 +194,13 @@ impl ClientDriver {
                     ctx.set_timer(delay, tag);
                 }
                 ClientAction::Finished(result) => {
-                    self.metrics.lock().record(&result);
-                    self.waiting_commit = false;
+                    {
+                        let mut metrics = self.metrics.lock();
+                        metrics.record(&result);
+                        metrics.last_decision_us =
+                            metrics.last_decision_us.max(ctx.now().as_micros());
+                    }
+                    self.committing = self.committing.saturating_sub(1);
                     self.schedule_next(ctx);
                 }
             }
@@ -180,7 +208,9 @@ impl ClientDriver {
     }
 
     fn schedule_next(&mut self, ctx: &mut Context<Msg>) {
-        if self.issued >= self.config.num_transactions {
+        if self.issued >= self.config.num_transactions
+            || self.in_flight() >= self.config.max_open.max(1)
+        {
             return;
         }
         let gap = self.jittered(self.config.interarrival(), self.config.arrival_jitter);
@@ -197,70 +227,84 @@ impl ClientDriver {
     }
 
     fn start_transaction(&mut self, ctx: &mut Context<Msg>) {
-        if self.waiting_commit
-            || self.client.in_transaction()
-            || self.issued >= self.config.num_transactions
+        if self.issued >= self.config.num_transactions
+            || self.in_flight() >= self.config.max_open.max(1)
         {
             return;
         }
         self.issued += 1;
         self.last_start = Some(ctx.now());
-        self.client
-            .begin_id(ctx.now(), self.group)
-            .expect("driver issues transactions sequentially");
-        self.ops_remaining = self.config.ops_per_txn;
+        let handle = self.session.begin_id(ctx.now(), self.group);
+        self.ops_remaining
+            .insert(handle.raw(), self.config.ops_per_txn);
         // Each operation costs `op_delay` of simulated execution time; the
         // transaction stays open while they run, which is what creates
         // contention for its commit position.
-        self.schedule_or_run_next_op(ctx);
+        self.schedule_or_run_ops(ctx, handle);
+        // With room for overlap, line up the next transaction too.
+        self.schedule_next(ctx);
     }
 
-    fn schedule_or_run_next_op(&mut self, ctx: &mut Context<Msg>) {
+    fn schedule_or_run_ops(&mut self, ctx: &mut Context<Msg>, handle: TxnHandle) {
         if self.config.op_delay == SimDuration::ZERO {
-            while self.ops_remaining > 0 {
-                self.run_one_op(ctx);
+            while self
+                .ops_remaining
+                .get(&handle.raw())
+                .is_some_and(|n| *n > 0)
+            {
+                self.run_one_op(ctx, handle);
             }
-            self.start_commit(ctx);
+            self.start_commit(ctx, handle);
         } else {
             let delay = self.jittered(self.config.op_delay, self.config.op_jitter);
-            ctx.set_timer(delay, NEXT_OP_TAG);
+            ctx.set_timer(delay, OP_TAG_BASE + handle.raw());
         }
     }
 
-    fn run_one_op(&mut self, ctx: &mut Context<Msg>) {
+    fn run_one_op(&mut self, ctx: &mut Context<Msg>, handle: TxnHandle) {
         let attr = self.pick_attr();
         if self.rng.gen::<f64>() < self.config.read_fraction {
-            self.client
-                .read_id(self.row, attr)
-                .expect("read inside an active transaction");
+            self.session
+                .read_id(handle, self.row, attr)
+                .expect("read inside an open transaction");
         } else {
             self.op_seq += 1;
             let value = format!("v{}-{}", ctx.node().0, self.op_seq);
-            self.client
-                .write_id(self.row, attr, value)
-                .expect("write inside an active transaction");
+            self.session
+                .write_id(handle, self.row, attr, value)
+                .expect("write inside an open transaction");
         }
-        self.ops_remaining -= 1;
+        if let Some(remaining) = self.ops_remaining.get_mut(&handle.raw()) {
+            *remaining -= 1;
+        }
     }
 
-    fn on_op_timer(&mut self, ctx: &mut Context<Msg>) {
-        if self.ops_remaining == 0 || !self.client.in_transaction() {
+    fn on_op_timer(&mut self, ctx: &mut Context<Msg>, handle: TxnHandle) {
+        let Some(remaining) = self.ops_remaining.get(&handle.raw()).copied() else {
+            return;
+        };
+        if remaining == 0 || !self.session.is_open(handle) {
             return;
         }
-        self.run_one_op(ctx);
-        if self.ops_remaining > 0 {
+        self.run_one_op(ctx, handle);
+        if self
+            .ops_remaining
+            .get(&handle.raw())
+            .is_some_and(|n| *n > 0)
+        {
             let delay = self.jittered(self.config.op_delay, self.config.op_jitter);
-            ctx.set_timer(delay, NEXT_OP_TAG);
+            ctx.set_timer(delay, OP_TAG_BASE + handle.raw());
         } else {
-            self.start_commit(ctx);
+            self.start_commit(ctx, handle);
         }
     }
 
-    fn start_commit(&mut self, ctx: &mut Context<Msg>) {
-        self.waiting_commit = true;
+    fn start_commit(&mut self, ctx: &mut Context<Msg>, handle: TxnHandle) {
+        self.ops_remaining.remove(&handle.raw());
+        self.committing += 1;
         let actions = self
-            .client
-            .commit(ctx.now())
+            .session
+            .commit(ctx.now(), handle)
             .expect("commit of the just-built transaction");
         self.apply_actions(ctx, actions);
     }
@@ -276,19 +320,24 @@ impl Actor<Msg> for ClientDriver {
 
     fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
         let now = ctx.now();
-        let actions = self.client.on_message(now, from, &msg);
+        let actions = self.session.on_message(now, from, &msg);
         self.apply_actions(ctx, actions);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
-        match tag {
-            START_TXN_TAG => self.start_transaction(ctx),
-            NEXT_OP_TAG => self.on_op_timer(ctx),
-            _ => {
-                let now = ctx.now();
-                let actions = self.client.on_timer(now, tag);
-                self.apply_actions(ctx, actions);
+        if tag == START_TXN_TAG {
+            self.start_transaction(ctx);
+        } else if tag >= OP_TAG_BASE {
+            // Per-transaction operation tick; dead handles are ignored
+            // (`on_op_timer` also returns harmlessly when the transaction
+            // has no operations left).
+            if let Some(handle) = self.session.handle_from_raw(tag - OP_TAG_BASE) {
+                self.on_op_timer(ctx, handle);
             }
+        } else {
+            let now = ctx.now();
+            let actions = self.session.on_timer(now, tag);
+            self.apply_actions(ctx, actions);
         }
     }
 }
@@ -315,5 +364,6 @@ mod tests {
         assert!((cfg.read_fraction - 0.5).abs() < f64::EPSILON);
         assert_eq!(cfg.num_attributes, 100);
         assert!((cfg.target_tps - 1.0).abs() < f64::EPSILON);
+        assert_eq!(cfg.max_open, 1, "the paper's thread is strictly serial");
     }
 }

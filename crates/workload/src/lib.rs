@@ -11,8 +11,9 @@
 //! cluster:
 //!
 //! * [`DriverConfig`] / [`ClientDriver`] — one benchmark "thread": an actor
-//!   owning a [`mdstore::TransactionClient`], issuing transactions on a
-//!   schedule and recording outcomes;
+//!   owning a [`mdstore::Session`], issuing transactions on a schedule —
+//!   up to [`DriverConfig::max_open`] open concurrently, committing down
+//!   either [`mdstore::CommitRoute`] — and recording outcomes;
 //! * [`ExperimentSpec`] / [`run_experiment`] — build a cluster from a
 //!   topology, place drivers, run the simulation to completion, verify the
 //!   resulting logs with the serializability checker, and aggregate metrics

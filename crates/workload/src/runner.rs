@@ -28,6 +28,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
         client_replicas.push(replica);
 
         let mut client_config = cluster.client_config();
+        client_config.route = spec.route;
         if let Some(cap) = spec.max_promotions {
             client_config.max_promotions = cap;
         }
@@ -46,6 +47,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             ops_per_txn: spec.ops_per_txn,
             read_fraction: spec.read_fraction,
             target_tps: spec.target_tps,
+            max_open: spec.max_open,
             op_delay: spec.op_delay,
             op_jitter: 0.5,
             arrival_jitter: 0.3,
@@ -88,11 +90,13 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     for metrics in &per_client {
         totals.merge(metrics);
     }
-    // Service-side counters: remote reads the Transaction Services expired
-    // and store versions the apply-time GC reclaimed (ROADMAP follow-ups —
-    // surfaced here so experiments can assert on them).
+    // Service-side counters: remote reads the Transaction Services expired,
+    // store versions the apply-time GC reclaimed, and — for the submitted
+    // commit route — the hosted committers' window occupancy, pipeline
+    // depth and split/stale counters.
     totals.expired_reads = cluster.expired_read_counts().iter().sum();
     totals.reclaimed_versions = cluster.reclaimed_version_counts().iter().sum();
+    totals.merge(&cluster.service_commit_metrics());
     assert_eq!(
         totals.attempted,
         spec.total_transactions(),
@@ -132,6 +136,24 @@ mod tests {
         assert!(!result.check.is_empty());
         assert_eq!(result.per_client.len(), 2);
         assert!(result.commit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn submitted_route_runs_and_verifies() {
+        use mdstore::CommitRoute;
+        let spec = ExperimentSpec::paper_default(Topology::vvv(), CommitProtocol::PaxosCp)
+            .with_clients(3, 8)
+            .with_route(CommitRoute::Submitted)
+            .with_max_open(2)
+            .with_seed(13);
+        let result = run_experiment(&spec);
+        assert_eq!(result.attempted, 24);
+        assert_eq!(result.totals.committed + result.totals.aborted, 24);
+        assert!(result.totals.committed > 0);
+        assert!(
+            !result.totals.window_occupancy.is_empty(),
+            "the service-hosted committer must have flushed windows"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Experiment specifications and results.
 
-use mdstore::{CommitProtocol, RunMetrics, Topology};
+use mdstore::{CommitProtocol, CommitRoute, RunMetrics, Topology};
 use simnet::{NetStats, SimDuration};
 use walog::checker::CheckReport;
 
@@ -24,8 +24,15 @@ pub struct ExperimentSpec {
     pub topology: Topology,
     /// Commit protocol under test.
     pub protocol: CommitProtocol,
+    /// Commit route every client uses: `Direct` (the paper's client-driven
+    /// proposer) or `Submitted` (ship to the group home's service-hosted
+    /// commit engine).
+    pub route: CommitRoute,
     /// Number of concurrent benchmark clients (the paper uses 4 threads).
     pub num_clients: usize,
+    /// Transactions each client keeps open (and committing) concurrently
+    /// (1 = the paper's strictly serial thread).
+    pub max_open: usize,
     /// Client placement.
     pub placement: Placement,
     /// Transactions issued per client.
@@ -63,6 +70,8 @@ impl ExperimentSpec {
             name: format!("{}-{}", topology.name(), protocol.name()),
             topology,
             protocol,
+            route: CommitRoute::Direct,
+            max_open: 1,
             num_clients: 4,
             placement: Placement::AllAt(0),
             transactions_per_client: 125,
@@ -118,6 +127,18 @@ impl ExperimentSpec {
     pub fn with_clients(mut self, clients: usize, transactions_each: usize) -> Self {
         self.num_clients = clients;
         self.transactions_per_client = transactions_each;
+        self
+    }
+
+    /// Builder-style commit-route override.
+    pub fn with_route(mut self, route: CommitRoute) -> Self {
+        self.route = route;
+        self
+    }
+
+    /// Builder-style override of the per-client open-transaction cap.
+    pub fn with_max_open(mut self, max_open: usize) -> Self {
+        self.max_open = max_open.max(1);
         self
     }
 

@@ -10,7 +10,7 @@
 
 use parking_lot::Mutex;
 use paxos_cp::mdstore::{
-    ClientAction, Cluster, ClusterConfig, CommitProtocol, Msg, Topology, TransactionClient,
+    ClientAction, Cluster, ClusterConfig, CommitProtocol, Msg, Session, Topology,
 };
 use paxos_cp::simnet::{Actor, Context, NodeId, SimDuration};
 use std::sync::Arc;
@@ -30,7 +30,7 @@ struct Stats {
 /// two random accounts (aborted transfers are simply dropped — conservation
 /// of money never depends on retries, only on serializability).
 struct Teller {
-    client: Option<TransactionClient>,
+    session: Option<Session>,
     transfers_left: usize,
     rng_state: u64,
     stats: Arc<Mutex<Stats>>,
@@ -80,27 +80,31 @@ impl Teller {
             to = (to + 1) % ACCOUNTS;
         }
         let amount = (self.next_rand() % 50) as i64 + 1;
-        let client = self.client.as_mut().unwrap();
-        client
-            .begin(ctx.now(), GROUP)
-            .expect("sequential transfers");
+        let session = self.session.as_mut().unwrap();
+        let txn = session.begin(ctx.now(), GROUP);
         let balance = |v: Option<String>| {
             v.and_then(|s| s.parse::<i64>().ok())
                 .unwrap_or(INITIAL_BALANCE)
         };
-        let from_balance = balance(client.read(ROW, &format!("acct{from}")).unwrap());
-        let to_balance = balance(client.read(ROW, &format!("acct{to}")).unwrap());
-        client
+        let from_balance = balance(session.read(txn, ROW, &format!("acct{from}")).unwrap());
+        let to_balance = balance(session.read(txn, ROW, &format!("acct{to}")).unwrap());
+        session
             .write(
+                txn,
                 ROW,
                 &format!("acct{from}"),
                 (from_balance - amount).to_string(),
             )
             .unwrap();
-        client
-            .write(ROW, &format!("acct{to}"), (to_balance + amount).to_string())
+        session
+            .write(
+                txn,
+                ROW,
+                &format!("acct{to}"),
+                (to_balance + amount).to_string(),
+            )
             .unwrap();
-        let actions = client.commit(ctx.now()).unwrap();
+        let actions = session.commit(ctx.now(), txn).unwrap();
         self.apply(ctx, actions);
     }
 }
@@ -110,16 +114,16 @@ impl Actor<Msg> for Teller {
         self.start_transfer(ctx);
     }
     fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
-        let client = self.client.as_mut().unwrap();
-        let actions = client.on_message(ctx.now(), from, &msg);
+        let session = self.session.as_mut().unwrap();
+        let actions = session.on_message(ctx.now(), from, &msg);
         self.apply(ctx, actions);
     }
     fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
         if tag == u64::MAX {
             self.start_transfer(ctx);
         } else {
-            let client = self.client.as_mut().unwrap();
-            let actions = client.on_timer(ctx.now(), tag);
+            let session = self.session.as_mut().unwrap();
+            let actions = session.on_timer(ctx.now(), tag);
             self.apply(ctx, actions);
         }
     }
@@ -135,12 +139,7 @@ fn main() {
         let sink = stats.clone();
         cluster.add_client(replica, |node| {
             Box::new(Teller {
-                client: Some(TransactionClient::new(
-                    node,
-                    replica,
-                    directory,
-                    client_config,
-                )),
+                session: Some(Session::new(node, replica, directory, client_config)),
                 transfers_left: 25,
                 rng_state: 0xA5A5_0000 + node.0 as u64,
                 stats: sink,

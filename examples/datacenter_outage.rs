@@ -10,15 +10,14 @@
 
 use parking_lot::Mutex;
 use paxos_cp::mdstore::{
-    ClientAction, Cluster, ClusterConfig, CommitProtocol, Msg, RunMetrics, Topology,
-    TransactionClient,
+    ClientAction, Cluster, ClusterConfig, CommitProtocol, Msg, RunMetrics, Session, Topology,
 };
 use paxos_cp::simnet::{Actor, Context, NodeId, SimDuration};
 use std::sync::Arc;
 
 /// A client that issues short read/write transactions back to back.
 struct Writer {
-    client: Option<TransactionClient>,
+    session: Option<Session>,
     remaining: usize,
     metrics: Arc<Mutex<RunMetrics>>,
     attr: String,
@@ -45,16 +44,19 @@ impl Writer {
             return;
         }
         self.remaining -= 1;
-        let client = self.client.as_mut().expect("client is set at construction");
-        client
-            .begin(ctx.now(), "accounts")
-            .expect("sequential transactions");
-        let current = client.read("balances", &self.attr).expect("read in txn");
+        let session = self
+            .session
+            .as_mut()
+            .expect("session is set at construction");
+        let txn = session.begin(ctx.now(), "accounts");
+        let current = session
+            .read(txn, "balances", &self.attr)
+            .expect("read in txn");
         let next = current.and_then(|v| v.parse::<u64>().ok()).unwrap_or(0) + 1;
-        client
-            .write("balances", &self.attr, next.to_string())
+        session
+            .write(txn, "balances", &self.attr, next.to_string())
             .expect("write in txn");
-        let actions = client.commit(ctx.now()).expect("commit");
+        let actions = session.commit(ctx.now(), txn).expect("commit");
         self.apply(ctx, actions);
     }
 }
@@ -64,13 +66,13 @@ impl Actor<Msg> for Writer {
         self.start_next(ctx);
     }
     fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
-        let client = self.client.as_mut().unwrap();
-        let actions = client.on_message(ctx.now(), from, &msg);
+        let session = self.session.as_mut().unwrap();
+        let actions = session.on_message(ctx.now(), from, &msg);
         self.apply(ctx, actions);
     }
     fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
-        let client = self.client.as_mut().unwrap();
-        let actions = client.on_timer(ctx.now(), tag);
+        let session = self.session.as_mut().unwrap();
+        let actions = session.on_timer(ctx.now(), tag);
         self.apply(ctx, actions);
     }
 }
@@ -83,7 +85,7 @@ fn main() {
     let sink = metrics.clone();
     cluster.add_client(0, |node| {
         Box::new(Writer {
-            client: Some(TransactionClient::new(node, 0, directory, client_config)),
+            session: Some(Session::new(node, 0, directory, client_config)),
             remaining: 200,
             metrics: sink,
             attr: "alice".into(),

@@ -1,43 +1,58 @@
 //! Quickstart: build a three-datacenter cluster, run a small transactional
-//! workload under Paxos-CP, and verify one-copy serializability.
+//! workload under Paxos-CP down both commit routes, and verify one-copy
+//! serializability.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use paxos_cp::mdstore::{Cluster, ClusterConfig, CommitProtocol, Topology};
+use paxos_cp::mdstore::{Cluster, ClusterConfig, CommitProtocol, CommitRoute, Topology};
 use paxos_cp::workload::{run_experiment, ExperimentSpec};
 
 fn main() {
     // --- The one-call path: describe an experiment and run it. -------------
-    let spec = ExperimentSpec::paper_default(Topology::vvv(), CommitProtocol::PaxosCp)
-        .named("quickstart")
-        .with_clients(3, 20)
-        .with_seed(7);
-    println!(
-        "running {} transactions over a {} cluster with {}...",
-        spec.total_transactions(),
-        spec.topology.name(),
-        spec.protocol.name()
-    );
-    let result = run_experiment(&spec);
-    println!(
-        "committed {}/{} transactions ({} needed a promotion, {} were combined)",
-        result.totals.committed,
-        result.attempted,
-        result.totals.promoted_commits(),
-        result.totals.combined_commits
-    );
-    println!(
-        "mean commit latency: {:.1} ms (p95 {:.1} ms)",
-        result.totals.commit_latency().mean_ms,
-        result.totals.commit_latency().p95_ms
-    );
-    for (group, report) in &result.check {
+    //
+    // Clients are `mdstore::Session`s: `begin()` hands back a `TxnHandle`,
+    // reads/writes/commit take the handle, and several transactions can be
+    // open concurrently (`with_max_open`). Commit takes one of two routes:
+    // `Direct` drives the paper's client-side Paxos-CP proposer, one
+    // instance per transaction; `Submitted` ships the finished transaction
+    // to the group home's Transaction Service, whose hosted group committer
+    // batches commits from every client into pipelined shared instances.
+    for route in [CommitRoute::Direct, CommitRoute::Submitted] {
+        let spec = ExperimentSpec::paper_default(Topology::vvv(), CommitProtocol::PaxosCp)
+            .named(format!("quickstart-{}", route.name()))
+            .with_clients(3, 20)
+            .with_route(route)
+            .with_max_open(2)
+            .with_seed(7);
         println!(
-            "serializability verified for group {group}: {} positions, {} transactions, {} combined entries",
-            report.positions, report.transactions, report.combined_positions
+            "running {} transactions over a {} cluster with {} (route: {})...",
+            spec.total_transactions(),
+            spec.topology.name(),
+            spec.protocol.name(),
+            route.name(),
         );
+        let result = run_experiment(&spec);
+        println!(
+            "committed {}/{} transactions ({} needed a promotion, {} were combined)",
+            result.totals.committed,
+            result.attempted,
+            result.totals.promoted_commits(),
+            result.totals.combined_commits
+        );
+        println!(
+            "mean commit latency: {:.1} ms (p95 {:.1} ms)",
+            result.totals.commit_latency().mean_ms,
+            result.totals.commit_latency().p95_ms
+        );
+        for (group, report) in &result.check {
+            println!(
+                "serializability verified for group {group}: {} positions, {} transactions, {} combined entries",
+                report.positions, report.transactions, report.combined_positions
+            );
+        }
+        println!();
     }
 
     // --- The lower-level path: build a cluster by hand and poke at it. -----
@@ -46,13 +61,14 @@ fn main() {
         CommitProtocol::PaxosCp,
     ));
     println!(
-        "\nbuilt a {} cluster with {} datacenters; services at {:?}",
+        "built a {} cluster with {} datacenters; services at {:?}",
         cluster.config().topology.name(),
         cluster.num_datacenters(),
         (0..cluster.num_datacenters())
             .map(|r| cluster.service_node(r))
             .collect::<Vec<_>>()
     );
-    println!("each datacenter holds a multi-version store and a replicated write-ahead log;");
-    println!("add client actors with Cluster::add_client and drive them with the simulator.");
+    println!("each datacenter holds a multi-version store, a replicated write-ahead log,");
+    println!("and a Transaction Service hosting the group commit engine; add `Session`-owning");
+    println!("client actors with Cluster::add_client and drive them with the simulator.");
 }

@@ -7,7 +7,7 @@
 use parking_lot::Mutex;
 use paxos_cp::mdstore::{
     BatchConfig, ClientAction, Cluster, ClusterConfig, CommitProtocol, GroupCommitter, Msg,
-    RunMetrics, Topology, TransactionClient,
+    RunMetrics, Session, Topology,
 };
 use paxos_cp::paxos::{Ballot, PaxosMsg};
 use paxos_cp::simnet::{Actor, Context, NodeId, SimDuration};
@@ -19,7 +19,7 @@ use std::sync::Arc;
 /// `blind_attr` set it blind-writes its own attribute instead (no reads —
 /// such transactions promote past competing writers rather than abort).
 struct Writer {
-    client: Option<TransactionClient>,
+    session: Option<Session>,
     remaining: usize,
     pause: SimDuration,
     blind_attr: Option<String>,
@@ -49,26 +49,23 @@ impl Writer {
             return;
         }
         self.remaining -= 1;
-        let client = self.client.as_mut().unwrap();
-        client.begin(ctx.now(), "g").unwrap();
+        let session = self.session.as_mut().unwrap();
+        let h = session.begin(ctx.now(), "g");
         if let Some(prefix) = self.blind_attr.clone() {
-            let client = self.client.as_mut().unwrap();
-            client
-                .write("row", &format!("{prefix}{}", self.remaining), "1")
+            session
+                .write(h, "row", &format!("{prefix}{}", self.remaining), "1")
                 .unwrap();
         } else {
-            let counter = client
-                .read("row", "counter")
+            let counter = session
+                .read(h, "row", "counter")
                 .unwrap()
                 .and_then(|v| v.parse::<u64>().ok())
                 .unwrap_or(0);
-            let client = self.client.as_mut().unwrap();
-            client
-                .write("row", "counter", (counter + 1).to_string())
+            session
+                .write(h, "row", "counter", (counter + 1).to_string())
                 .unwrap();
         }
-        let client = self.client.as_mut().unwrap();
-        let actions = client.commit(ctx.now()).unwrap();
+        let actions = session.commit(ctx.now(), h).unwrap();
         self.apply(ctx, actions);
     }
 }
@@ -78,16 +75,16 @@ impl Actor<Msg> for Writer {
         self.start(ctx);
     }
     fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
-        let client = self.client.as_mut().unwrap();
-        let actions = client.on_message(ctx.now(), from, &msg);
+        let session = self.session.as_mut().unwrap();
+        let actions = session.on_message(ctx.now(), from, &msg);
         self.apply(ctx, actions);
     }
     fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
         if tag == u64::MAX {
             self.start(ctx);
         } else {
-            let client = self.client.as_mut().unwrap();
-            let actions = client.on_timer(ctx.now(), tag);
+            let session = self.session.as_mut().unwrap();
+            let actions = session.on_timer(ctx.now(), tag);
             self.apply(ctx, actions);
         }
     }
@@ -105,12 +102,7 @@ fn add_writer_with(
     let sink = metrics.clone();
     cluster.add_client(replica, |node| {
         Box::new(Writer {
-            client: Some(TransactionClient::new(
-                node,
-                replica,
-                directory,
-                client_config,
-            )),
+            session: Some(Session::new(node, replica, directory, client_config)),
             remaining: count,
             pause: SimDuration::from_millis(50),
             blind_attr,
@@ -595,6 +587,202 @@ fn leader_isolated_from_the_majority_stalls_while_the_majority_elects_and_progre
     cluster
         .verify()
         .expect("post-partition logs must agree and be serializable");
+}
+
+/// Seed the ROADMAP's orphaned-position wedge: a dead proposer's value,
+/// voted by every replica at position 1 but never applied (the proposer
+/// prepared, gathered its accept quorum, then died before the apply
+/// broadcast). The value writes the shared counter, so every read-carrying
+/// transaction that prepares at position 1 discovers it, sees its reads
+/// invalidated, and conflict-aborts *without completing the position* —
+/// the wedge. Runs the simulation briefly to let the votes land.
+fn seed_orphaned_position(cluster: &mut Cluster) {
+    let symbols = cluster.symbols();
+    let group = symbols.group("g");
+    let item = symbols.item("row", "counter");
+    let orphan = Transaction::builder(TxnId::new(99, 1), group, LogPosition(0))
+        .write(item, "orphaned")
+        .build();
+    let value = Arc::new(LogEntry::single(orphan));
+    let ballot = Ballot::initial(99);
+    // Phase 1: the dead proposer's prepares (promises recorded everywhere).
+    let prepares = (0..cluster.num_datacenters())
+        .map(|replica| {
+            (
+                cluster.service_node(replica),
+                Msg::Paxos(PaxosMsg::Prepare {
+                    group,
+                    position: LogPosition(1),
+                    ballot,
+                }),
+            )
+        })
+        .collect();
+    cluster.add_client(0, move |_node| {
+        Box::new(Prober {
+            to_send: prepares,
+            received: Arc::new(Mutex::new(Vec::new())),
+        })
+    });
+    cluster.run_for(SimDuration::from_millis(300));
+    // Phase 2: its accepts — every replica votes; no apply ever follows.
+    let accepts = (0..cluster.num_datacenters())
+        .map(|replica| {
+            (
+                cluster.service_node(replica),
+                Msg::Paxos(PaxosMsg::Accept {
+                    group,
+                    position: LogPosition(1),
+                    ballot,
+                    value: Arc::clone(&value),
+                }),
+            )
+        })
+        .collect();
+    cluster.add_client(0, move |_node| {
+        Box::new(Prober {
+            to_send: accepts,
+            received: Arc::new(Mutex::new(Vec::new())),
+        })
+    });
+    cluster.run_for(SimDuration::from_millis(300));
+    // Every replica now carries the orphan's vote.
+    for replica in 0..cluster.num_datacenters() {
+        let core = cluster.core(replica);
+        let core = core.lock();
+        assert!(
+            core.acceptor()
+                .current_vote(group, LogPosition(1))
+                .is_some(),
+            "replica {replica} must hold the orphan's vote"
+        );
+        assert!(!core.has_entry(group, LogPosition(1)));
+    }
+}
+
+#[test]
+fn orphaned_majority_voted_position_wedges_read_transactions_without_the_janitor() {
+    // Control arm: with the janitor disabled, the orphaned value at
+    // position 1 conflict-aborts every read-carrying transaction forever —
+    // the liveness failure mode of the ROADMAP.
+    let mut cluster = Cluster::build(
+        ClusterConfig::new(Topology::vvv(), CommitProtocol::PaxosCp).with_janitor(false),
+    );
+    seed_orphaned_position(&mut cluster);
+    let metrics = add_writer(&mut cluster, 0, 30);
+    cluster.run_for(SimDuration::from_secs(20));
+    let m = metrics.lock();
+    assert_eq!(
+        m.committed, 0,
+        "read-carrying transactions must stay wedged behind the orphan"
+    );
+    assert!(m.aborted > 0, "the writer must have tried and aborted");
+}
+
+#[test]
+fn janitor_reproposes_the_orphaned_position_and_unwedges_read_transactions() {
+    // Same wedge, janitor on (the default): once the first undecided
+    // position stays orphaned past the patience window, the service
+    // re-proposes it through a recovery instance, which adopts the
+    // majority-voted value per the Paxos safety rule. The position decides,
+    // the prefix advances, and read-carrying transactions commit again.
+    let mut cluster = Cluster::build(ClusterConfig::new(Topology::vvv(), CommitProtocol::PaxosCp));
+    seed_orphaned_position(&mut cluster);
+    let metrics = add_writer(&mut cluster, 0, 100);
+    cluster.run_for(SimDuration::from_secs(30));
+    let m = metrics.lock();
+    assert!(
+        m.committed > 0,
+        "the janitor must unwedge the log (aborted {} of {} attempts)",
+        m.aborted,
+        m.attempted
+    );
+    drop(m);
+    // The orphaned value itself was decided — adopted, not discarded.
+    let symbols = cluster.symbols();
+    let group = symbols.group("g");
+    let core = cluster.core(0);
+    let core = core.lock();
+    let entry = core
+        .log(group)
+        .and_then(|log| log.get(LogPosition(1)))
+        .expect("position 1 must have decided");
+    assert_eq!(entry.txn_ids(), vec![TxnId::new(99, 1)]);
+    drop(core);
+    cluster
+        .verify()
+        .expect("janitor recovery must stay serializable");
+}
+
+#[test]
+fn janitor_attempt_budget_resets_when_traffic_rehints_after_healing() {
+    // VV cluster (majority 2) with the peer down: the janitor's
+    // re-proposals of the orphaned position can never reach a majority and
+    // exhaust their attempt budget. Once the peer recovers, fresh traffic
+    // re-hints the group — the janitor must retry with a fresh budget and
+    // finally decide the position, not stay given up forever.
+    let mut cluster = Cluster::build(ClusterConfig::new(
+        Topology::from_name("VV").unwrap(),
+        CommitProtocol::PaxosCp,
+    ));
+    let symbols = cluster.symbols();
+    let group = symbols.group("g");
+    let orphan = Transaction::builder(TxnId::new(99, 1), group, LogPosition(0))
+        .write(symbols.item("row", "counter"), "orphaned")
+        .build();
+    let value = Arc::new(LogEntry::single(orphan));
+    let ballot = Ballot::initial(99);
+    cluster.crash_datacenter(1);
+    let seed_votes = |cluster: &mut Cluster| {
+        let target = cluster.service_node(0);
+        let to_send = vec![
+            (
+                target,
+                Msg::Paxos(PaxosMsg::Prepare {
+                    group,
+                    position: LogPosition(1),
+                    ballot,
+                }),
+            ),
+            (
+                target,
+                Msg::Paxos(PaxosMsg::Accept {
+                    group,
+                    position: LogPosition(1),
+                    ballot,
+                    value: Arc::clone(&value),
+                }),
+            ),
+        ];
+        cluster.add_client(0, move |_node| {
+            Box::new(Prober {
+                to_send,
+                received: Arc::new(Mutex::new(Vec::new())),
+            })
+        });
+    };
+    seed_votes(&mut cluster);
+    // Long enough for every janitor attempt to run its recovery instance
+    // into the round limit (64 rounds × ~2 s reply timeout each) and for
+    // the whole attempt budget to exhaust.
+    cluster.run_for(SimDuration::from_secs(1200));
+    assert!(
+        !cluster.core(0).lock().has_entry(group, LogPosition(1)),
+        "no majority exists; the position must still be undecided"
+    );
+
+    cluster.recover_datacenter(1);
+    // Fresh traffic (the dead proposer's duplicate accept) re-hints the
+    // group at dc0.
+    seed_votes(&mut cluster);
+    cluster.run_for(SimDuration::from_secs(60));
+    let core = cluster.core(0);
+    let core = core.lock();
+    let entry = core
+        .log(group)
+        .and_then(|log| log.get(LogPosition(1)))
+        .expect("the re-hinted janitor must decide the position after healing");
+    assert_eq!(entry.txn_ids(), vec![TxnId::new(99, 1)]);
 }
 
 #[test]

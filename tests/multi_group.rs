@@ -12,7 +12,7 @@
 use parking_lot::Mutex;
 use paxos_cp::mdstore::{
     BatchConfig, ClientAction, Cluster, ClusterConfig, CommitProtocol, GroupCommitter, Msg,
-    RunMetrics, Topology, TransactionClient,
+    RunMetrics, Session, Topology,
 };
 use paxos_cp::simnet::{Actor, Context, NodeId, SimDuration};
 use paxos_cp::walog::{GroupId, GroupLog, ItemRef, Transaction, TxnId};
@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 /// A client that issues `count` increment transactions against one group.
 struct GroupWriter {
-    client: Option<TransactionClient>,
+    session: Option<Session>,
     group: String,
     count: usize,
     metrics: Arc<Mutex<RunMetrics>>,
@@ -48,15 +48,15 @@ impl GroupWriter {
             return;
         }
         self.count -= 1;
-        let client = self.client.as_mut().unwrap();
-        client.begin(ctx.now(), &self.group).unwrap();
-        let n = client
-            .read("row", "n")
+        let session = self.session.as_mut().unwrap();
+        let h = session.begin(ctx.now(), &self.group);
+        let n = session
+            .read(h, "row", "n")
             .unwrap()
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(0);
-        client.write("row", "n", (n + 1).to_string()).unwrap();
-        let actions = client.commit(ctx.now()).unwrap();
+        session.write(h, "row", "n", (n + 1).to_string()).unwrap();
+        let actions = session.commit(ctx.now(), h).unwrap();
         self.apply(ctx, actions);
     }
 }
@@ -66,16 +66,16 @@ impl Actor<Msg> for GroupWriter {
         self.start(ctx);
     }
     fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
-        let client = self.client.as_mut().unwrap();
-        let actions = client.on_message(ctx.now(), from, &msg);
+        let session = self.session.as_mut().unwrap();
+        let actions = session.on_message(ctx.now(), from, &msg);
         self.apply(ctx, actions);
     }
     fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
         if tag == u64::MAX {
             self.start(ctx);
         } else {
-            let client = self.client.as_mut().unwrap();
-            let actions = client.on_timer(ctx.now(), tag);
+            let session = self.session.as_mut().unwrap();
+            let actions = session.on_timer(ctx.now(), tag);
             self.apply(ctx, actions);
         }
     }
@@ -94,12 +94,7 @@ fn add_group_writer(
     let group = group.to_string();
     cluster.add_client(replica, |node| {
         Box::new(GroupWriter {
-            client: Some(TransactionClient::new(
-                node,
-                replica,
-                directory,
-                client_config,
-            )),
+            session: Some(Session::new(node, replica, directory, client_config)),
             group,
             count,
             metrics: sink,
