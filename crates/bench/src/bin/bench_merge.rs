@@ -1,0 +1,314 @@
+//! Merge criterion-shim snapshot files into `BENCH_baseline.json`.
+//!
+//! The criterion shim and the `experiments -- openloop` harness *append*
+//! a JSON array of result rows to `$BENCH_JSON` on every run, so after a
+//! few bench invocations the file holds several concatenated arrays. This
+//! tool parses that tolerant superset (any number of back-to-back arrays
+//! of flat objects), deduplicates rows by `id` with the latest occurrence
+//! winning, folds them into the baseline — existing ids keep their
+//! position, new ids append at the end — and rewrites the baseline as one
+//! canonical array.
+//!
+//! ```text
+//! BENCH_JSON=/tmp/bench.json cargo bench -p bench-suite
+//! cargo run -p bench-suite --bin bench_merge -- /tmp/bench.json
+//! cargo run -p bench-suite --bin bench_merge            # uses $BENCH_JSON
+//! cargo run -p bench-suite --bin bench_merge -- --baseline other.json snap.json
+//! ```
+//!
+//! No JSON dependency: the parser below handles exactly the flat
+//! string/number objects the shim emits (and preserves unknown fields).
+
+use std::fmt::Write as _;
+
+/// One parsed result row: ordered key/value pairs with raw value text
+/// (strings keep their quotes), plus the extracted `id`.
+#[derive(Clone, Debug)]
+struct Row {
+    id: String,
+    fields: Vec<(String, String)>,
+}
+
+/// A character scanner over the snapshot text.
+struct Scanner<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Scanner {
+            text: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.text.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    /// Parse a JSON string literal, returning it with quotes included.
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while self.pos < self.text.len() {
+            match self.text[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    let inner = std::str::from_utf8(&self.text[start..self.pos])
+                        .map_err(|e| e.to_string())?;
+                    self.pos += 1;
+                    return Ok(format!("\"{inner}\""));
+                }
+                _ => self.pos += 1,
+            }
+        }
+        Err(format!("unterminated string starting at byte {start}"))
+    }
+
+    /// Parse a bare scalar (number, true/false/null) as raw text.
+    fn scalar(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.text.len()
+            && !matches!(self.text[self.pos], b',' | b'}' | b']')
+            && !self.text[self.pos].is_ascii_whitespace()
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a value at byte {start}"));
+        }
+        Ok(std::str::from_utf8(&self.text[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .to_string())
+    }
+
+    /// Parse one flat `{...}` object into ordered key/value pairs.
+    fn object(&mut self) -> Result<Row, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        let mut id = None;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Err("row object has no fields".to_string());
+        }
+        loop {
+            let key_quoted = self.string()?;
+            let key = key_quoted.trim_matches('"').to_string();
+            self.expect(b':')?;
+            let value = if self.peek() == Some(b'"') {
+                self.string()?
+            } else {
+                self.scalar()?
+            };
+            if key == "id" {
+                id = Some(value.trim_matches('"').to_string());
+            }
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                other => return Err(format!("expected ',' or '}}' in row, found {other:?}")),
+            }
+        }
+        let id = id.ok_or_else(|| "row object has no \"id\" field".to_string())?;
+        Ok(Row { id, fields })
+    }
+
+    /// Parse every row from any number of concatenated `[...]` arrays.
+    fn rows(&mut self) -> Result<Vec<Row>, String> {
+        let mut rows = Vec::new();
+        while let Some(b) = self.peek() {
+            if b != b'[' {
+                return Err(format!(
+                    "expected '[' at byte {}, found '{}'",
+                    self.pos, b as char
+                ));
+            }
+            self.pos += 1;
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                continue;
+            }
+            loop {
+                rows.push(self.object()?);
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    other => return Err(format!("expected ',' or ']' in array, found {other:?}")),
+                }
+            }
+        }
+        Ok(rows)
+    }
+}
+
+fn parse_rows(text: &str) -> Result<Vec<Row>, String> {
+    Scanner::new(text).rows()
+}
+
+/// Fold `updates` into `baseline`: latest occurrence of an id wins,
+/// existing ids keep their baseline position, new ids append in first-seen
+/// order.
+fn merge(baseline: Vec<Row>, updates: Vec<Row>) -> Vec<Row> {
+    let mut merged = baseline;
+    for row in updates {
+        if let Some(existing) = merged.iter_mut().find(|r| r.id == row.id) {
+            *existing = row;
+        } else {
+            merged.push(row);
+        }
+    }
+    merged
+}
+
+fn render(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str("  {");
+        for (j, (key, value)) in row.fields.iter().enumerate() {
+            let sep = if j + 1 == row.fields.len() { "" } else { ", " };
+            let _ = write!(out, "\"{key}\": {value}{sep}");
+        }
+        let _ = writeln!(out, "}}{comma}");
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() {
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut snapshots: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline_path = args.next().expect("--baseline needs a path");
+            }
+            other => snapshots.push(other.to_string()),
+        }
+    }
+    if snapshots.is_empty() {
+        match std::env::var("BENCH_JSON") {
+            Ok(path) => snapshots.push(path),
+            Err(_) => {
+                eprintln!("usage: bench_merge [--baseline BENCH_baseline.json] <snapshot.json>...");
+                eprintln!("       (with no snapshot arguments, $BENCH_JSON is used)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => parse_rows(&text)
+            .unwrap_or_else(|e| panic!("failed to parse baseline {baseline_path}: {e}")),
+        Err(_) => {
+            eprintln!("baseline {baseline_path} not found, starting empty");
+            Vec::new()
+        }
+    };
+    let before = baseline.len();
+
+    let mut merged = baseline;
+    for snapshot in &snapshots {
+        let text = std::fs::read_to_string(snapshot)
+            .unwrap_or_else(|e| panic!("failed to read snapshot {snapshot}: {e}"));
+        let rows = parse_rows(&text)
+            .unwrap_or_else(|e| panic!("failed to parse snapshot {snapshot}: {e}"));
+        eprintln!("{snapshot}: {} rows", rows.len());
+        merged = merge(merged, rows);
+    }
+
+    std::fs::write(&baseline_path, render(&merged))
+        .unwrap_or_else(|e| panic!("failed to write {baseline_path}: {e}"));
+    eprintln!(
+        "{baseline_path}: {} rows ({} before, {} updated/added)",
+        merged.len(),
+        before,
+        merged.len() - before,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_concatenated_arrays_and_dedups_latest_wins() {
+        let baseline = parse_rows(
+            r#"[
+  {"id": "a/x", "median_ns": 1.0, "mean_ns": 1.5, "iterations": 10},
+  {"id": "a/y", "median_ns": 2.0, "mean_ns": 2.5, "iterations": 20}
+]"#,
+        )
+        .unwrap();
+        let snapshot = parse_rows(
+            "[\n  {\"id\": \"a/y\", \"median_ns\": 9.0, \"mean_ns\": 9.5, \"iterations\": 90}\n]\n\
+             [\n  {\"id\": \"b/z\", \"median_ns\": 3.0, \"mean_ns\": 3.5, \"iterations\": 30},\n\
+             {\"id\": \"a/y\", \"median_ns\": 7.0, \"mean_ns\": 7.5, \"iterations\": 70}\n]\n",
+        )
+        .unwrap();
+        assert_eq!(snapshot.len(), 3);
+        let merged = merge(baseline, snapshot);
+        assert_eq!(
+            merged.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+            vec!["a/x", "a/y", "b/z"],
+        );
+        // Latest a/y won.
+        assert!(merged[1]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "median_ns" && v == "7.0"));
+        let rendered = render(&merged);
+        // Canonical output round-trips.
+        let reparsed = parse_rows(&rendered).unwrap();
+        assert_eq!(reparsed.len(), 3);
+        assert_eq!(reparsed[2].id, "b/z");
+    }
+
+    #[test]
+    fn empty_arrays_and_unknown_fields_are_tolerated() {
+        let rows =
+            parse_rows("[]\n[ {\"id\": \"q\", \"note\": \"hi, {braces}\", \"n\": 1} ]").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].id, "q");
+        let rendered = render(&rows);
+        assert!(rendered.contains("\"note\": \"hi, {braces}\""));
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        assert!(parse_rows("not json").is_err());
+        assert!(parse_rows("[ {\"no_id\": 1} ]").is_err());
+    }
+}

@@ -11,14 +11,21 @@
 //! `routes` the direct-vs-submitted commit-route comparison (neither part
 //! of the paper; see `docs/BENCHMARKS.md`); `all` includes them alongside
 //! the paper figures and the ablation.
+//!
+//! `openloop` runs the open-loop latency-vs-throughput sweep on the
+//! multi-threaded parallel runtime (wall-clock, not simulated time — so it
+//! is *not* part of `all`). `--quick` runs the CI smoke variant; set
+//! `BENCH_JSON` to append criterion-style snapshot rows.
 
 use bench_suite::{
     ablation_specs, adaptive_latency_specs, batch_sweep_specs, committed_tps, fig4_specs,
     fig5_specs, fig6_specs, fig7_specs, fig8_specs, format_commit_table, format_latency_table,
-    format_per_replica_table, format_pipeline_table, format_route_table, format_scaling_table,
-    group_sweep_specs, pipeline_sweep_specs, results_to_json, route_compare_specs, run_scaling,
+    format_openloop_summary, format_openloop_table, format_per_replica_table,
+    format_pipeline_table, format_route_table, format_scaling_table, group_sweep_specs,
+    peak_committed_tps, pipeline_sweep_specs, results_to_json, route_compare_specs,
+    run_openloop_ladder, run_scaling, OpenLoopSweepConfig,
 };
-use workload::{run_experiment, ExperimentResult, ExperimentSpec};
+use workload::{run_experiment, ExperimentResult, ExperimentSpec, OpenLoopResult};
 
 struct Options {
     targets: Vec<String>,
@@ -61,6 +68,61 @@ fn run_batch(name: &str, specs: Vec<ExperimentSpec>) -> Vec<ExperimentResult> {
             run_experiment(spec)
         })
         .collect()
+}
+
+/// Append criterion-shim-style snapshot rows for an open-loop sweep to
+/// `BENCH_JSON`, if set: per worker count, nanoseconds per committed
+/// transaction at the peak (1e9 / peak committed tx/s, `iterations` = the
+/// commit count behind it) and the p99 commit latency at the knee. Rows
+/// merge into `BENCH_baseline.json` via the `bench_merge` binary.
+fn emit_openloop_snapshot(ladders: &[(usize, Vec<OpenLoopResult>)]) {
+    use bench_suite::knee;
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let mut rows: Vec<(String, f64, u64)> = Vec::new();
+    for (workers, results) in ladders {
+        let peak = peak_committed_tps(results);
+        if peak > 0.0 {
+            let committed = results
+                .iter()
+                .max_by(|a, b| a.committed_tps.total_cmp(&b.committed_tps))
+                .map(|r| r.committed as u64)
+                .unwrap_or(0);
+            rows.push((
+                format!("openloop/peak_ns_per_committed_txn/w{workers}"),
+                1e9 / peak,
+                committed,
+            ));
+        }
+        if let Some(k) = knee(results) {
+            rows.push((
+                format!("openloop/knee_p99_latency/w{workers}"),
+                k.latency.p99_ms * 1e6,
+                k.latency.count as u64,
+            ));
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+    let mut out = String::from("[\n");
+    for (i, (id, ns, iterations)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"id\": \"{id}\", \"median_ns\": {ns:.1}, \"mean_ns\": {ns:.1}, \"iterations\": {iterations}}}{comma}\n"
+        ));
+    }
+    out.push_str("]\n");
+    let write = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, out.as_bytes()));
+    match write {
+        Ok(()) => eprintln!("appended {} open-loop snapshot rows to {path}", rows.len()),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
 }
 
 fn main() {
@@ -191,6 +253,45 @@ fn main() {
         println!("{}", format_commit_table(&results));
         println!("{}", format_latency_table(&results));
         all_results.extend(results);
+    }
+
+    // Open-loop runs in wall-clock time on real threads, so it is opted
+    // into explicitly rather than folded into `all`.
+    if opts.targets.iter().any(|t| t == "openloop") {
+        let config = if opts.quick {
+            OpenLoopSweepConfig::quick()
+        } else {
+            OpenLoopSweepConfig::full()
+        };
+        let mut ladders: Vec<(usize, Vec<OpenLoopResult>)> = Vec::new();
+        for &workers in &config.worker_counts {
+            eprintln!(
+                "== open loop: {workers} worker(s), {} groups, zipfian theta {} ==",
+                config.groups_per_worker * workers,
+                config.theta
+            );
+            let results = run_openloop_ladder(&config, workers);
+            println!(
+                "\n=== Open loop: latency vs offered load, {workers} worker(s) ({} groups, {} on {}) ===",
+                config.groups_per_worker * workers,
+                format_args!("zipfian theta {}", config.theta),
+                config.topology.name(),
+            );
+            println!("{}", format_openloop_table(&results));
+            ladders.push((workers, results));
+        }
+        println!("=== Open loop summary (weak scaling: constant groups per worker) ===");
+        println!("{}", format_openloop_summary(&ladders));
+        let points: usize = ladders.iter().map(|(_, r)| r.len()).sum();
+        let commits: usize = ladders
+            .iter()
+            .flat_map(|(_, r)| r.iter().map(|p| p.committed))
+            .sum();
+        eprintln!(
+            "verified {points} open-loop points / {commits} committed transactions \
+             (every point checker-verified)"
+        );
+        emit_openloop_snapshot(&ladders);
     }
 
     if let Some(path) = opts.json_path {

@@ -19,12 +19,17 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod openloop;
 pub mod report;
 pub mod routes;
 pub mod scaling;
 
 pub use figures::{
     ablation_specs, fig4_specs, fig5_specs, fig6_specs, fig7_specs, fig8_specs, FigureRun,
+};
+pub use openloop::{
+    format_openloop_summary, format_openloop_table, knee, peak_committed_tps, run_openloop_ladder,
+    OpenLoopSweepConfig,
 };
 pub use report::{
     format_commit_table, format_latency_table, format_per_replica_table, results_to_json,

@@ -1,0 +1,283 @@
+//! Open-loop latency-vs-throughput sweeps on the multi-threaded parallel
+//! runtime.
+//!
+//! For each worker-thread count the sweep offers load on an auto-doubling
+//! ladder — each rung doubles the offered tx/s — until the cluster
+//! saturates (committed throughput falls below 90 % of offered, or
+//! requests start timing out) or the rung cap is hit. Each point reports
+//! commit latency percentiles measured from *scheduled arrival* (open
+//! loop: no coordinated omission) and the committed throughput; the knee
+//! is the last unsaturated rung.
+//!
+//! **Weak scaling.** The sweep holds *groups per worker* constant, so the
+//! 1/2/4-worker points run 8/16/32 groups: each added worker brings a full
+//! replica set with its own group commit pipelines, exactly how Spinnaker
+//! scales by adding partitioned servers. Per-group capacity is bound by
+//! wide-area commit latency (batch × pipeline-depth per instance RTT),
+//! not CPU, so peak committed throughput scales with worker count even on
+//! a small host — and on a multi-core host the worker threads additionally
+//! run genuinely in parallel. Every point is verified by the
+//! serializability checker before its numbers are reported.
+
+use mdstore::{BatchConfig, LatencyStats, Topology};
+use std::time::Duration;
+use workload::{run_openloop, KeyDistribution, OpenLoopResult, OpenLoopSpec};
+
+/// Parameters of one open-loop sweep (shared by every worker count).
+#[derive(Clone, Debug)]
+pub struct OpenLoopSweepConfig {
+    /// Worker-thread counts to sweep.
+    pub worker_counts: Vec<usize>,
+    /// Transaction groups per worker (held constant — weak scaling).
+    pub groups_per_worker: usize,
+    /// First rung of the offered-load ladder, in tx/s per worker; rung
+    /// `i` offers `base * workers * 2^i`.
+    pub base_tps_per_worker: f64,
+    /// Ladder length cap.
+    pub max_rungs: usize,
+    /// Keyspace size.
+    pub keys: u64,
+    /// Zipfian skew of the key distribution.
+    pub theta: f64,
+    /// Wall-clock offered window per rung.
+    pub duration: Duration,
+    /// Drain window after the offered window.
+    pub grace: Duration,
+    /// Per-request patience before a timeout abort.
+    pub patience: Duration,
+    /// Cluster layout each shard replicates.
+    pub topology: Topology,
+    /// Latency scale on the topology RTTs.
+    pub rtt_scale: f64,
+    /// Commit-engine window/pipeline settings.
+    pub batch: BatchConfig,
+    /// Base seed (each rung perturbs it).
+    pub seed: u64,
+}
+
+impl OpenLoopSweepConfig {
+    /// The full sweep: 1/2/4 workers, 8 groups per worker on the paper's
+    /// VOC wide-area cluster at real RTTs, a million-key zipfian keyspace
+    /// (`theta = 0.99`), 1.2 s of offered load per rung.
+    ///
+    /// Modest windows (batch 4, depth 1) keep per-group capacity bound by
+    /// the wide-area commit latency — a few hundred tx/s per worker's 8
+    /// groups — so the weak-scaling ceiling grows with worker count
+    /// without the sweep degenerating into a host-CPU benchmark even on a
+    /// small machine.
+    pub fn full() -> Self {
+        OpenLoopSweepConfig {
+            worker_counts: vec![1, 2, 4],
+            groups_per_worker: 8,
+            base_tps_per_worker: 100.0,
+            max_rungs: 5,
+            keys: 1_000_000,
+            theta: 0.99,
+            duration: Duration::from_millis(1_200),
+            grace: Duration::from_millis(2_000),
+            patience: Duration::from_millis(1_500),
+            topology: Topology::voc(),
+            rtt_scale: 1.0,
+            batch: BatchConfig::default()
+                .with_max_batch(4)
+                .with_pipeline_depth(1),
+            seed: 42,
+        }
+    }
+
+    /// A CI smoke sweep: 1/2 workers, shorter windows, a scaled-down VVV
+    /// cluster and a two-rung ladder — finishes in a few seconds.
+    pub fn quick() -> Self {
+        OpenLoopSweepConfig {
+            worker_counts: vec![1, 2],
+            groups_per_worker: 4,
+            base_tps_per_worker: 100.0,
+            max_rungs: 2,
+            keys: 50_000,
+            theta: 0.99,
+            duration: Duration::from_millis(300),
+            grace: Duration::from_millis(700),
+            patience: Duration::from_millis(600),
+            topology: Topology::vvv(),
+            rtt_scale: 0.5,
+            batch: BatchConfig::default(),
+            seed: 42,
+        }
+    }
+
+    /// The spec of one sweep point.
+    pub fn point(&self, workers: usize, offered_tps: f64, rung: usize) -> OpenLoopSpec {
+        let workers = workers.max(1);
+        OpenLoopSpec::new(workers, offered_tps)
+            .with_groups(self.groups_per_worker.max(1) * workers)
+            .with_drivers(2 * workers)
+            .with_keys(self.keys)
+            .with_key_distribution(KeyDistribution::Zipfian { theta: self.theta })
+            .with_windows(self.duration, self.grace, self.patience)
+            .with_topology(self.topology.clone())
+            .with_rtt_scale(self.rtt_scale)
+            .with_seed(self.seed.wrapping_add(rung as u64 * 101 + workers as u64))
+    }
+}
+
+/// Run the offered-load ladder for one worker count: double the offered
+/// rate each rung, stop one rung after saturation (the saturated point
+/// anchors the right end of the latency-throughput curve).
+pub fn run_openloop_ladder(config: &OpenLoopSweepConfig, workers: usize) -> Vec<OpenLoopResult> {
+    let mut results = Vec::new();
+    let mut offered = config.base_tps_per_worker * workers.max(1) as f64;
+    for rung in 0..config.max_rungs.max(1) {
+        let mut spec = config.point(workers, offered, rung);
+        spec.batch = config.batch.clone();
+        let result = run_openloop(&spec);
+        let saturated = result.saturated;
+        results.push(result);
+        if saturated {
+            break;
+        }
+        offered *= 2.0;
+    }
+    results
+}
+
+/// The knee of a ladder: the last unsaturated point (highest offered load
+/// the cluster kept up with), if any rung was unsaturated.
+pub fn knee(results: &[OpenLoopResult]) -> Option<&OpenLoopResult> {
+    results.iter().rev().find(|r| !r.saturated)
+}
+
+/// Peak committed throughput over a ladder (tx/s).
+pub fn peak_committed_tps(results: &[OpenLoopResult]) -> f64 {
+    results.iter().map(|r| r.committed_tps).fold(0.0, f64::max)
+}
+
+/// Format one ladder as a latency-vs-throughput table.
+pub fn format_openloop_table(results: &[OpenLoopResult]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "workers groups  offered tx/s  committed tx/s    p50 ms    p99 ms  commits   aborts timeouts  sat\n",
+    );
+    for r in results {
+        let LatencyStats { p50_ms, p99_ms, .. } = r.latency;
+        out.push_str(&format!(
+            "{:>7} {:>6} {:>13.0} {:>15.1} {:>9.1} {:>9.1} {:>8} {:>8} {:>8} {:>4}\n",
+            r.workers,
+            r.groups,
+            r.offered_tps,
+            r.committed_tps,
+            p50_ms,
+            p99_ms,
+            r.committed,
+            r.aborted,
+            r.timed_out,
+            if r.saturated { "yes" } else { "no" },
+        ));
+    }
+    out
+}
+
+/// Format the cross-worker summary: peak committed throughput and knee per
+/// worker count, plus the scaling ratio of the last worker count over the
+/// first.
+pub fn format_openloop_summary(ladders: &[(usize, Vec<OpenLoopResult>)]) -> String {
+    let mut out = String::new();
+    out.push_str("workers  peak committed tx/s  knee offered tx/s  knee p99 ms\n");
+    for (workers, results) in ladders {
+        let peak = peak_committed_tps(results);
+        let (knee_offered, knee_p99) = knee(results)
+            .map(|k| (k.offered_tps, k.latency.p99_ms))
+            .unwrap_or((0.0, 0.0));
+        out.push_str(&format!(
+            "{:>7} {:>20.1} {:>18.0} {:>12.1}\n",
+            workers, peak, knee_offered, knee_p99
+        ));
+    }
+    if let (Some(first), Some(last)) = (ladders.first(), ladders.last()) {
+        if ladders.len() > 1 {
+            let base = peak_committed_tps(&first.1).max(1e-9);
+            let top = peak_committed_tps(&last.1);
+            out.push_str(&format!(
+                "scaling: {}w peak is {:.2}x the {}w peak (weak scaling, {} groups/worker)\n",
+                last.0,
+                top / base,
+                first.0,
+                results_groups_per_worker(ladders),
+            ));
+        }
+    }
+    out
+}
+
+fn results_groups_per_worker(ladders: &[(usize, Vec<OpenLoopResult>)]) -> usize {
+    ladders
+        .first()
+        .and_then(|(w, results)| results.first().map(|r| r.groups / w.max(&1)))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(workers: usize, offered: f64, committed_tps: f64, saturated: bool) -> OpenLoopResult {
+        OpenLoopResult {
+            offered_tps: offered,
+            workers,
+            groups: 8 * workers,
+            attempted: 100,
+            committed: 90,
+            aborted: 10,
+            timed_out: 0,
+            latency: LatencyStats::default(),
+            committed_tps,
+            saturated,
+            mean_window_occupancy: 1.0,
+            backpressure: 0,
+            checked_groups: 8 * workers,
+            wall: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn knee_is_last_unsaturated_point() {
+        let ladder = vec![
+            fake(1, 100.0, 99.0, false),
+            fake(1, 200.0, 198.0, false),
+            fake(1, 400.0, 250.0, true),
+        ];
+        assert_eq!(knee(&ladder).unwrap().offered_tps, 200.0);
+        assert!((peak_committed_tps(&ladder) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tables_render_every_row() {
+        let ladders = vec![
+            (
+                1,
+                vec![fake(1, 100.0, 99.0, false), fake(1, 200.0, 150.0, true)],
+            ),
+            (
+                2,
+                vec![fake(2, 200.0, 199.0, false), fake(2, 400.0, 320.0, true)],
+            ),
+        ];
+        let table = format_openloop_table(&ladders[0].1);
+        assert_eq!(table.lines().count(), 3);
+        let summary = format_openloop_summary(&ladders);
+        assert!(summary.contains("2w peak is"));
+        assert!(summary.contains("groups/worker"));
+    }
+
+    #[test]
+    fn quick_config_is_small() {
+        let config = OpenLoopSweepConfig::quick();
+        assert!(config.max_rungs <= 2);
+        let spec = config.point(2, 200.0, 0);
+        assert_eq!(spec.workers, 2);
+        assert_eq!(spec.groups, 8);
+        assert!(matches!(
+            spec.key_distribution,
+            KeyDistribution::Zipfian { .. }
+        ));
+    }
+}

@@ -5,12 +5,11 @@
 use crate::batch::BatchConfig;
 use crate::datacenter::{DatacenterCore, SharedCore};
 use crate::directory::Directory;
-use crate::metrics::RunMetrics;
+use crate::metrics::{MetricsHub, RunMetrics};
 use crate::msg::Msg;
 use crate::service::TransactionService;
 use crate::session::ClientConfig;
 use crate::topology::Topology;
-use parking_lot::Mutex;
 use paxos::CommitProtocol;
 use simnet::{Actor, NodeId, SimDuration, SimTime, Simulation};
 use std::collections::BTreeSet;
@@ -74,9 +73,12 @@ pub struct Cluster {
     directory: Arc<Directory>,
     config: ClusterConfig,
     service_nodes: Vec<NodeId>,
-    /// Per-replica sinks the service-hosted committers record their window
-    /// occupancy, pipeline depth and split/stale counters into.
-    service_metrics: Vec<Arc<Mutex<RunMetrics>>>,
+    /// One sink per service-hosted commit engine (window occupancy,
+    /// pipeline depth, split/stale counters), registered in a
+    /// [`MetricsHub`] and merged at run end — the same aggregation shape
+    /// the parallel runtime uses, where per-worker sinks must never share
+    /// a mutable aggregate.
+    service_metrics: MetricsHub,
 }
 
 impl Cluster {
@@ -89,13 +91,12 @@ impl Cluster {
             Simulation::new(config.topology.network_config(), config.seed);
         let directory = Directory::new();
         let mut service_nodes = Vec::new();
-        let mut service_metrics = Vec::new();
+        let service_metrics = MetricsHub::new();
         let mut commit_config = ClientConfig::for_protocol(config.protocol);
         commit_config.message_timeout = config.topology.message_timeout;
         for (replica, region) in config.topology.regions().iter().enumerate() {
             let site = sim.add_site(format!("{region}-{replica}"));
             let core: SharedCore = DatacenterCore::shared(format!("{region}-{replica}"), replica);
-            let sink = Arc::new(Mutex::new(RunMetrics::default()));
             let service = TransactionService::new(
                 replica,
                 core.clone(),
@@ -103,12 +104,11 @@ impl Cluster {
                 config.topology.message_timeout,
             )
             .with_commit_engine(commit_config.clone(), config.batch.clone())
-            .with_commit_metrics(sink.clone())
+            .with_commit_metrics(service_metrics.register())
             .with_janitor(config.janitor);
             let node = sim.add_node(site, Box::new(service));
             directory.register_datacenter(node, core);
             service_nodes.push(node);
-            service_metrics.push(sink);
         }
         Cluster {
             sim,
@@ -310,11 +310,7 @@ impl Cluster {
     /// aborts), merged over all replicas. Harnesses fold this into their
     /// run totals after a submitted-route run.
     pub fn service_commit_metrics(&self) -> RunMetrics {
-        let mut total = RunMetrics::default();
-        for sink in &self.service_metrics {
-            total.merge(&sink.lock());
-        }
-        total
+        self.service_metrics.merged()
     }
 }
 

@@ -49,6 +49,20 @@ impl Directory {
         Arc::new(Directory::default())
     }
 
+    /// Create an empty directory that interns through an existing symbol
+    /// table. Used by the parallel runtime's sharded bring-up: every shard
+    /// has its own replica set (and therefore its own directory), but
+    /// group/key/attribute names must resolve to the same ids cluster-wide.
+    pub fn with_symbols(symbols: Arc<SymbolTable>) -> Arc<Self> {
+        Arc::new(Directory {
+            symbols,
+            service_nodes: RwLock::new(Vec::new()),
+            cores: RwLock::new(Vec::new()),
+            client_replica: RwLock::new(HashMap::new()),
+            group_homes: RwLock::new(HashMap::new()),
+        })
+    }
+
     /// The cluster-wide symbol table.
     pub fn symbols(&self) -> &Arc<SymbolTable> {
         &self.symbols

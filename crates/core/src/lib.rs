@@ -52,6 +52,7 @@ pub mod datacenter;
 pub mod directory;
 pub mod metrics;
 pub mod msg;
+pub mod parallel;
 pub mod service;
 pub mod session;
 pub mod topology;
@@ -60,8 +61,9 @@ pub use batch::{BatchConfig, GroupCommitter};
 pub use cluster::{Cluster, ClusterConfig};
 pub use datacenter::DatacenterCore;
 pub use directory::Directory;
-pub use metrics::{LatencyStats, RunMetrics};
+pub use metrics::{LatencyStats, MetricsHub, RunMetrics};
 pub use msg::Msg;
+pub use parallel::{ParallelCluster, ParallelClusterConfig};
 pub use paxos::{CommitProtocol, ProposerConfig};
 pub use service::TransactionService;
 pub use session::{

@@ -13,6 +13,9 @@ pub struct LatencyStats {
     pub p50_ms: f64,
     /// 95th percentile latency in milliseconds.
     pub p95_ms: f64,
+    /// 99th percentile latency in milliseconds (the tail the open-loop
+    /// latency-vs-throughput curves report).
+    pub p99_ms: f64,
     /// Maximum latency in milliseconds.
     pub max_ms: f64,
 }
@@ -36,6 +39,7 @@ impl LatencyStats {
             mean_ms: mean,
             p50_ms: pct(0.50),
             p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
             max_ms: *ms.last().expect("non-empty"),
         }
     }
@@ -65,6 +69,11 @@ pub struct RunMetrics {
     pub commit_latency_us_by_promotion: Vec<Vec<u64>>,
     /// Latency samples of aborted transactions, in microseconds.
     pub abort_latency_us: Vec<u64>,
+    /// Transactions that timed out waiting for a commit decision (open-loop
+    /// harnesses count a request whose patience expired as an abort *and*
+    /// tick this counter; the closed-loop session never times out, so it
+    /// stays 0 there).
+    pub timed_out: u64,
     /// Remote reads the Transaction Services answered `unavailable` and
     /// evicted because the requester timed out before the local log caught
     /// up. Service-side (not per-transaction): harnesses populate it from
@@ -135,6 +144,7 @@ impl RunMetrics {
         self.aborted += other.aborted;
         self.combined_commits += other.combined_commits;
         self.read_only += other.read_only;
+        self.timed_out += other.timed_out;
         self.expired_reads += other.expired_reads;
         self.batch_splits += other.batch_splits;
         self.stale_member_aborts += other.stale_member_aborts;
@@ -219,6 +229,55 @@ impl RunMetrics {
     /// samples; 1 means instances never overlapped).
     pub fn max_pipeline_depth(&self) -> u32 {
         self.pipeline_depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// A registry of per-actor metrics sinks, merged at run end.
+///
+/// Every recording actor (a service-hosted commit engine, a workload
+/// driver) gets its *own* `Arc<Mutex<RunMetrics>>` via
+/// [`MetricsHub::register`], so under the parallel runtime no two worker
+/// threads ever contend on — or interleave partial updates into — a shared
+/// mutable sink. The harness calls [`MetricsHub::merged`] once the run has
+/// stopped, which folds every sink into one [`RunMetrics`] with the same
+/// `merge` semantics the single-threaded harnesses always used.
+#[derive(Default)]
+pub struct MetricsHub {
+    sinks: parking_lot::Mutex<Vec<std::sync::Arc<parking_lot::Mutex<RunMetrics>>>>,
+}
+
+impl MetricsHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        MetricsHub::default()
+    }
+
+    /// Create and track one fresh sink for a recording actor.
+    pub fn register(&self) -> std::sync::Arc<parking_lot::Mutex<RunMetrics>> {
+        let sink = std::sync::Arc::new(parking_lot::Mutex::new(RunMetrics::default()));
+        self.sinks.lock().push(sink.clone());
+        sink
+    }
+
+    /// Number of registered sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.lock().len()
+    }
+
+    /// Whether no sinks were registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fold every registered sink into one aggregate. Call after the run
+    /// has stopped (sinks still being written to are merged mid-flight but
+    /// never torn, since each is read under its own lock).
+    pub fn merged(&self) -> RunMetrics {
+        let mut total = RunMetrics::default();
+        for sink in self.sinks.lock().iter() {
+            total.merge(&sink.lock());
+        }
+        total
     }
 }
 
@@ -307,5 +366,30 @@ mod tests {
         let m = RunMetrics::default();
         assert_eq!(m.mean_window_occupancy(), 0.0);
         assert_eq!(m.max_pipeline_depth(), 0);
+    }
+
+    #[test]
+    fn p99_tracks_the_tail() {
+        let samples: Vec<SimDuration> = (1..=1000).map(SimDuration::from_millis).collect();
+        let stats = LatencyStats::from_samples(&samples);
+        assert!((stats.p99_ms - 990.0).abs() <= 2.0);
+        assert!(stats.p99_ms >= stats.p95_ms);
+    }
+
+    #[test]
+    fn hub_merges_independent_sinks() {
+        let hub = MetricsHub::new();
+        assert!(hub.is_empty());
+        let a = hub.register();
+        let b = hub.register();
+        a.lock().record(&result(true, 0, 10));
+        b.lock().record(&result(false, 0, 20));
+        b.lock().timed_out = 3;
+        assert_eq!(hub.len(), 2);
+        let total = hub.merged();
+        assert_eq!(total.attempted, 2);
+        assert_eq!(total.committed, 1);
+        assert_eq!(total.aborted, 1);
+        assert_eq!(total.timed_out, 3);
     }
 }

@@ -67,12 +67,14 @@
 
 mod actor;
 mod network;
+mod parallel;
 mod sim;
 mod stats;
 mod time;
 
 pub use actor::{Action, Actor, Context, TimerId};
 pub use network::{LatencyMatrix, Network, NetworkConfig, SiteId};
+pub use parallel::{ParallelReport, ParallelRuntime};
 pub use sim::{NodeId, Simulation};
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};

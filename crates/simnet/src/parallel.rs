@@ -1,0 +1,651 @@
+//! The parallel runtime: the same actors, sharded over OS worker threads.
+//!
+//! The deterministic [`Simulation`](crate::Simulation) executes every actor
+//! on one thread under virtual time — perfect for reproducibility, but "as
+//! fast as the hardware allows" means one core. [`ParallelRuntime`] is the
+//! second execution mode: actors are partitioned across worker threads
+//! (the caller picks the worker when adding a node — e.g. shard by
+//! transaction-group home), each worker runs its own event loop with a
+//! local timer heap, and cross-worker messages travel over bounded MPSC
+//! channels stamped with a wall-clock delivery deadline.
+//!
+//! The [`Actor`]/[`Context`] surface is identical to the simulation's, so
+//! protocol code runs unmodified on either runtime; the only extra
+//! requirement is `Send` (an actor moves to its worker's thread). Virtual
+//! time maps to wall-clock time: `ctx.now()` is the microseconds elapsed
+//! since the run started, and latencies from the [`NetworkConfig`] become
+//! real delays on the per-worker timer heaps. There is no crash/partition
+//! injection and no determinism here — the single-threaded simulation
+//! remains the canonical test and repro mode.
+//!
+//! ## Backpressure, not deadlock
+//!
+//! Cross-worker channels are bounded. A worker never blocks on a send:
+//! when a peer's channel is full the wire message parks in a local outbox
+//! that is retried at the top of every loop iteration (counted in
+//! [`ParallelReport::backpressure`]). Since workers only block in
+//! `recv_timeout` while their outbox is empty, a full cycle of workers
+//! waiting on each other's channels cannot form.
+
+use crate::actor::{Action, Actor, Context};
+use crate::network::{NetworkConfig, SiteId};
+use crate::sim::NodeId;
+use crate::stats::NetStats;
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Capacity of each worker's inbound wire channel. Deep enough that
+/// backpressure is rare under normal load; shallow enough that a stalled
+/// worker propagates pressure instead of buffering unboundedly.
+const CHANNEL_CAPACITY: usize = 16_384;
+
+/// Per-iteration cap on wires drained from the inbound channel.
+const DRAIN_BATCH: usize = 1_024;
+
+/// Per-iteration cap on due events dispatched before rechecking the
+/// channel and the stop flag.
+const DISPATCH_BATCH: usize = 4_096;
+
+/// A message crossing between workers: deliver `msg` from `from` to `to`
+/// no earlier than `at_us` microseconds after the run started.
+struct Wire<M> {
+    at_us: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+/// What a due heap entry does when it fires.
+enum DueKind<M> {
+    /// Deliver a network message to the owning node.
+    Deliver { from: NodeId, msg: M },
+    /// Fire a timer (raw id + actor tag) on the owning node.
+    Timer { id: u64, tag: u64 },
+}
+
+/// An entry in a worker's local heap, ordered by `(at_us, seq)` so ties
+/// break in scheduling order.
+struct Due<M> {
+    at_us: u64,
+    seq: u64,
+    node: NodeId,
+    kind: DueKind<M>,
+}
+
+impl<M> PartialEq for Due<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Due<M> {}
+
+impl<M> PartialOrd for Due<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Due<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
+    }
+}
+
+/// State shared by every worker thread (read-only after launch, except the
+/// atomics).
+struct Shared<M> {
+    config: NetworkConfig,
+    /// Site of each node, indexed by raw node id.
+    node_site: Vec<SiteId>,
+    /// Owning worker of each node, indexed by raw node id.
+    node_worker: Vec<usize>,
+    /// Inbound channel of each worker.
+    senders: Vec<SyncSender<Wire<M>>>,
+    /// Messages routed but not yet delivered, across all workers.
+    in_flight: AtomicI64,
+    /// Set once by the control thread; workers exit their loops on it.
+    stop: AtomicBool,
+}
+
+/// Counters one worker hands back when its loop exits.
+struct WorkerReport {
+    stats: NetStats,
+    backpressure: u64,
+}
+
+/// One worker: the actors it owns, its timer/delivery heap, its RNG and
+/// its inbound channel.
+struct Worker<M> {
+    index: usize,
+    actors: HashMap<u32, Box<dyn Actor<M> + Send>>,
+    heap: BinaryHeap<Reverse<Due<M>>>,
+    seq: u64,
+    rng: StdRng,
+    next_timer_id: u64,
+    cancelled: HashSet<u64>,
+    rx: Receiver<Wire<M>>,
+    outbox: VecDeque<(usize, Wire<M>)>,
+    stats: NetStats,
+    backpressure: u64,
+}
+
+impl<M: Send> Worker<M> {
+    /// Run one actor callback at the current wall-mapped time and apply the
+    /// actions it buffered.
+    fn invoke<F>(&mut self, shared: &Shared<M>, start: Instant, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Actor<M>, &mut Context<M>),
+    {
+        let Some(mut actor) = self.actors.remove(&node.0) else {
+            return;
+        };
+        let now = SimTime::from_micros(start.elapsed().as_micros() as u64);
+        let mut actions: Vec<Action<M>> = Vec::new();
+        {
+            let mut ctx = Context {
+                now,
+                node,
+                actions: &mut actions,
+                rng: &mut self.rng,
+                next_timer_id: &mut self.next_timer_id,
+            };
+            f(actor.as_mut(), &mut ctx);
+        }
+        self.actors.insert(node.0, actor);
+        let now_us = now.as_micros();
+        for action in actions {
+            self.apply(shared, now_us, node, action);
+        }
+    }
+
+    fn apply(&mut self, shared: &Shared<M>, now_us: u64, from: NodeId, action: Action<M>) {
+        match action {
+            Action::Send { to, msg } => self.route(shared, now_us, from, to, msg),
+            Action::SetTimer { id, delay, tag } => {
+                self.seq += 1;
+                self.heap.push(Reverse(Due {
+                    at_us: now_us + delay.as_micros().max(1),
+                    seq: self.seq,
+                    node: from,
+                    kind: DueKind::Timer { id: id.0, tag },
+                }));
+            }
+            Action::CancelTimer(id) => {
+                self.stats.timers_cancelled += 1;
+                self.cancelled.insert(id.0);
+            }
+        }
+    }
+
+    /// Apply the network model (latency, jitter, loss) and schedule the
+    /// delivery locally or ship it to the destination's worker.
+    fn route(&mut self, shared: &Shared<M>, now_us: u64, from: NodeId, to: NodeId, msg: M) {
+        self.stats.sent += 1;
+        if to.0 as usize >= shared.node_site.len() {
+            return;
+        }
+        let p = shared.config.loss_probability;
+        if p > 0.0 && self.rng.gen::<f64>() < p {
+            self.stats.dropped_loss += 1;
+            return;
+        }
+        let base = shared.config.latency.one_way(
+            shared.node_site[from.0 as usize],
+            shared.node_site[to.0 as usize],
+        );
+        let mut lat_us = base.as_micros();
+        if shared.config.jitter > 0.0 {
+            let factor = 1.0 + shared.config.jitter * (2.0 * self.rng.gen::<f64>() - 1.0);
+            lat_us = (lat_us as f64 * factor) as u64;
+        }
+        let at_us = now_us + lat_us.max(1);
+        let dest = shared.node_worker[to.0 as usize];
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        if dest == self.index {
+            self.seq += 1;
+            self.heap.push(Reverse(Due {
+                at_us,
+                seq: self.seq,
+                node: to,
+                kind: DueKind::Deliver { from, msg },
+            }));
+        } else {
+            self.post(
+                shared,
+                dest,
+                Wire {
+                    at_us,
+                    from,
+                    to,
+                    msg,
+                },
+            );
+        }
+    }
+
+    /// Non-blocking cross-worker send; parks in the outbox on backpressure.
+    fn post(&mut self, shared: &Shared<M>, dest: usize, wire: Wire<M>) {
+        if !self.outbox.is_empty() {
+            // Preserve send order behind already-parked wires.
+            self.outbox.push_back((dest, wire));
+            return;
+        }
+        match shared.senders[dest].try_send(wire) {
+            Ok(()) => {}
+            Err(TrySendError::Full(wire)) => {
+                self.backpressure += 1;
+                self.outbox.push_back((dest, wire));
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn flush_outbox(&mut self, shared: &Shared<M>) {
+        while let Some((dest, wire)) = self.outbox.pop_front() {
+            match shared.senders[dest].try_send(wire) {
+                Ok(()) => {}
+                Err(TrySendError::Full(wire)) => {
+                    self.outbox.push_front((dest, wire));
+                    return;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// Move a received wire onto the local heap.
+    fn accept(&mut self, wire: Wire<M>) {
+        self.seq += 1;
+        self.heap.push(Reverse(Due {
+            at_us: wire.at_us,
+            seq: self.seq,
+            node: wire.to,
+            kind: DueKind::Deliver {
+                from: wire.from,
+                msg: wire.msg,
+            },
+        }));
+    }
+
+    fn dispatch(&mut self, shared: &Shared<M>, start: Instant, due: Due<M>) {
+        match due.kind {
+            DueKind::Deliver { from, msg } => {
+                self.stats.delivered += 1;
+                self.invoke(shared, start, due.node, |actor, ctx| {
+                    actor.on_message(ctx, from, msg)
+                });
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            DueKind::Timer { id, tag } => {
+                if self.cancelled.remove(&id) {
+                    return;
+                }
+                self.stats.timers_fired += 1;
+                self.invoke(shared, start, due.node, |actor, ctx| {
+                    actor.on_timer(ctx, tag)
+                });
+            }
+        }
+    }
+
+    /// The worker's event loop: flush the outbox, drain the channel,
+    /// dispatch everything due, then sleep until the next deadline (or the
+    /// next inbound wire, whichever comes first).
+    fn run(mut self, shared: &Shared<M>, start: Instant) -> WorkerReport {
+        let mut ids: Vec<u32> = self.actors.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.invoke(shared, start, NodeId(id), |actor, ctx| actor.on_start(ctx));
+        }
+        while !shared.stop.load(Ordering::Relaxed) {
+            self.flush_outbox(shared);
+            let mut drained = 0;
+            while drained < DRAIN_BATCH {
+                match self.rx.try_recv() {
+                    Ok(wire) => {
+                        self.accept(wire);
+                        drained += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            let now_us = start.elapsed().as_micros() as u64;
+            let mut fired = 0;
+            while fired < DISPATCH_BATCH {
+                match self.heap.peek() {
+                    Some(Reverse(due)) if due.at_us <= now_us => {}
+                    _ => break,
+                }
+                let Reverse(due) = self.heap.pop().expect("peeked entry exists");
+                self.dispatch(shared, start, due);
+                fired += 1;
+            }
+            if drained == 0 && fired == 0 && self.outbox.is_empty() {
+                let wait_us = match self.heap.peek() {
+                    Some(Reverse(due)) => due
+                        .at_us
+                        .saturating_sub(start.elapsed().as_micros() as u64)
+                        .clamp(20, 1_000),
+                    None => 1_000,
+                };
+                match self.rx.recv_timeout(Duration::from_micros(wait_us)) {
+                    Ok(wire) => self.accept(wire),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        WorkerReport {
+            stats: self.stats,
+            backpressure: self.backpressure,
+        }
+    }
+}
+
+/// What a [`ParallelRuntime`] run measured.
+#[derive(Clone, Debug)]
+pub struct ParallelReport {
+    /// Number of worker threads the run used.
+    pub workers: usize,
+    /// Wall-clock time from launch to the last worker joining.
+    pub elapsed: Duration,
+    /// Network counters merged over all workers.
+    pub stats: NetStats,
+    /// Cross-worker sends that found the destination channel full and had
+    /// to park in an outbox (each parked wire counts once).
+    pub backpressure: u64,
+    /// Messages still routed-but-undelivered when the run stopped.
+    pub undelivered: u64,
+}
+
+/// A multi-threaded actor runtime: the caller assigns each node to a
+/// worker thread at registration time, then [`ParallelRuntime::run`]
+/// drives every worker's event loop until a stop condition holds.
+///
+/// Node ids are assigned densely in registration order, exactly like
+/// [`Simulation::add_node`](crate::Simulation::add_node), so directory
+/// wiring built for the simulation works unchanged.
+pub struct ParallelRuntime<M> {
+    config: NetworkConfig,
+    seed: u64,
+    sites: Vec<String>,
+    node_site: Vec<SiteId>,
+    node_worker: Vec<usize>,
+    staged: Vec<Vec<StagedActor<M>>>,
+}
+
+/// An actor staged for a worker thread, keyed by its node id.
+type StagedActor<M> = (NodeId, Box<dyn Actor<M> + Send>);
+
+impl<M: Send + 'static> ParallelRuntime<M> {
+    /// Create a runtime with `workers` threads (clamped to at least 1).
+    /// The seed derives each worker's RNG; scheduling is *not*
+    /// deterministic (wall-clock interleavings differ run to run).
+    pub fn new(config: NetworkConfig, workers: usize, seed: u64) -> Self {
+        let workers = workers.max(1);
+        ParallelRuntime {
+            config,
+            seed,
+            sites: Vec::new(),
+            node_site: Vec::new(),
+            node_worker: Vec::new(),
+            staged: (0..workers).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Register a site (a latency-matrix endpoint, e.g. one datacenter of
+    /// one shard).
+    pub fn add_site(&mut self, name: impl Into<String>) -> SiteId {
+        self.sites.push(name.into());
+        SiteId(self.sites.len() as u32 - 1)
+    }
+
+    /// Register an actor at `site`, owned by worker `worker`. Returns the
+    /// node's dense id. Panics if the site or worker is unknown.
+    pub fn add_node(
+        &mut self,
+        site: SiteId,
+        worker: usize,
+        actor: Box<dyn Actor<M> + Send>,
+    ) -> NodeId {
+        assert!((site.0 as usize) < self.sites.len(), "unknown site");
+        assert!(worker < self.staged.len(), "unknown worker");
+        let node = NodeId(self.node_site.len() as u32);
+        self.node_site.push(site);
+        self.node_worker.push(worker);
+        self.staged[worker].push((node, actor));
+        node
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_site.len()
+    }
+
+    /// Launch the worker threads and run until `done()` returns true or
+    /// `max_wall` elapses, whichever comes first. `done` is polled every
+    /// millisecond on the control thread; share state with your actors
+    /// (e.g. an `Arc<AtomicUsize>` of finished drivers) to signal it.
+    pub fn run<F>(self, max_wall: Duration, mut done: F) -> ParallelReport
+    where
+        F: FnMut() -> bool,
+    {
+        let workers = self.num_workers();
+        let mut senders = Vec::with_capacity(workers);
+        let mut receivers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Wire<M>>(CHANNEL_CAPACITY);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            config: self.config,
+            node_site: self.node_site,
+            node_worker: self.node_worker,
+            senders,
+            in_flight: AtomicI64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let mut worker_states: Vec<Worker<M>> = Vec::with_capacity(workers);
+        for (index, (staged, rx)) in self.staged.into_iter().zip(receivers).enumerate() {
+            worker_states.push(Worker {
+                index,
+                actors: staged.into_iter().map(|(n, a)| (n.0, a)).collect(),
+                heap: BinaryHeap::new(),
+                seq: 0,
+                rng: StdRng::seed_from_u64(
+                    self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (index as u64 + 1),
+                ),
+                // Worker-local counters offset into disjoint ranges so
+                // TimerIds are globally unique.
+                next_timer_id: (index as u64) << 48,
+                cancelled: HashSet::new(),
+                rx,
+                outbox: VecDeque::new(),
+                stats: NetStats::default(),
+                backpressure: 0,
+            });
+        }
+
+        let start = Instant::now();
+        let mut reports: Vec<WorkerReport> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for worker in worker_states.drain(..) {
+                let shared = Arc::clone(&shared);
+                handles.push(scope.spawn(move || worker.run(&shared, start)));
+            }
+            while start.elapsed() < max_wall && !done() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            shared.stop.store(true, Ordering::SeqCst);
+            for handle in handles {
+                reports.push(handle.join().expect("worker thread panicked"));
+            }
+        });
+        let elapsed = start.elapsed();
+
+        let mut stats = NetStats::default();
+        let mut backpressure = 0;
+        for report in &reports {
+            let s = &report.stats;
+            stats.sent += s.sent;
+            stats.delivered += s.delivered;
+            stats.dropped_loss += s.dropped_loss;
+            stats.timers_fired += s.timers_fired;
+            stats.timers_cancelled += s.timers_cancelled;
+            backpressure += report.backpressure;
+        }
+        let undelivered = shared.in_flight.load(Ordering::SeqCst).max(0) as u64;
+        ParallelReport {
+            workers,
+            elapsed,
+            stats,
+            backpressure,
+            undelivered,
+        }
+    }
+
+    /// Run for a fixed wall-clock span with no early-stop condition.
+    pub fn run_for(self, wall: Duration) -> ParallelReport {
+        self.run(wall, || false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use std::sync::atomic::AtomicUsize;
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    struct Pinger {
+        target: NodeId,
+        rounds: u32,
+        done: Arc<AtomicUsize>,
+    }
+
+    impl Actor<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            ctx.send(self.target, Msg::Ping(0));
+        }
+        fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+            if let Msg::Pong(n) = msg {
+                if n + 1 < self.rounds {
+                    ctx.send(self.target, Msg::Ping(n + 1));
+                } else {
+                    self.done.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    struct Ponger;
+
+    impl Actor<Msg> for Ponger {
+        fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+            if let Msg::Ping(n) = msg {
+                ctx.send(from, Msg::Pong(n));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_worker_ping_pong_completes() {
+        let config = NetworkConfig::uniform(SimDuration::from_micros(50));
+        let mut rt: ParallelRuntime<Msg> = ParallelRuntime::new(config, 2, 7);
+        let a = rt.add_site("a");
+        let b = rt.add_site("b");
+        let done = Arc::new(AtomicUsize::new(0));
+        let ponger = rt.add_node(a, 0, Box::new(Ponger));
+        rt.add_node(
+            b,
+            1,
+            Box::new(Pinger {
+                target: ponger,
+                rounds: 25,
+                done: done.clone(),
+            }),
+        );
+        let flag = done.clone();
+        let report = rt.run(Duration::from_secs(10), move || {
+            flag.load(Ordering::SeqCst) == 1
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        assert_eq!(report.workers, 2);
+        assert!(report.stats.delivered >= 50, "all rounds delivered");
+        assert_eq!(report.stats.dropped_loss, 0);
+    }
+
+    struct TimerChain {
+        left: u32,
+        done: Arc<AtomicUsize>,
+    }
+
+    impl Actor<Msg> for TimerChain {
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            let keep = ctx.set_timer(SimDuration::from_micros(200), 1);
+            let drop = ctx.set_timer(SimDuration::from_micros(100), 2);
+            let _ = keep;
+            ctx.cancel_timer(drop);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<Msg>, _from: NodeId, _msg: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
+            assert_eq!(tag, 1, "cancelled timer must not fire");
+            self.left -= 1;
+            if self.left == 0 {
+                self.done.fetch_add(1, Ordering::SeqCst);
+            } else {
+                let t = ctx.set_timer(SimDuration::from_micros(200), 1);
+                let dead = ctx.set_timer(SimDuration::from_micros(100), 2);
+                let _ = t;
+                ctx.cancel_timer(dead);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_cancel_per_worker() {
+        let config = NetworkConfig::uniform(SimDuration::from_micros(50));
+        let mut rt: ParallelRuntime<Msg> = ParallelRuntime::new(config, 1, 3);
+        let site = rt.add_site("only");
+        let done = Arc::new(AtomicUsize::new(0));
+        rt.add_node(
+            site,
+            0,
+            Box::new(TimerChain {
+                left: 5,
+                done: done.clone(),
+            }),
+        );
+        let flag = done.clone();
+        let report = rt.run(Duration::from_secs(10), move || {
+            flag.load(Ordering::SeqCst) == 1
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        assert_eq!(report.stats.timers_fired, 5);
+        assert_eq!(report.stats.timers_cancelled, 5);
+    }
+}

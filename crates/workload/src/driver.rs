@@ -8,6 +8,7 @@
 //! ([`mdstore::CommitRoute::Submitted`], selected via the session's
 //! [`mdstore::ClientConfig::route`]) exists to serve.
 
+use crate::zipf::{KeyDistribution, KeySampler};
 use mdstore::{ClientAction, ClientConfig, Directory, Msg, RunMetrics, Session, TxnHandle};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -37,8 +38,11 @@ pub struct DriverConfig {
     /// Row key of the entity group (the paper's evaluation uses one row).
     pub row_key: String,
     /// Number of attributes in the entity group; operations pick attributes
-    /// uniformly at random from `a0 .. a{n-1}`.
+    /// from `a0 .. a{n-1}` per [`DriverConfig::key_distribution`].
     pub num_attributes: usize,
+    /// How operations pick their attribute: uniform (the paper's YCSB
+    /// setting) or zipfian-skewed (attribute `a0` hottest).
+    pub key_distribution: KeyDistribution,
     /// Transactions this driver will issue.
     pub num_transactions: usize,
     /// Operations per transaction (the paper uses 10).
@@ -81,6 +85,7 @@ impl Default for DriverConfig {
             group: "group0".into(),
             row_key: "row0".into(),
             num_attributes: 100,
+            key_distribution: KeyDistribution::Uniform,
             num_transactions: 125,
             ops_per_txn: 10,
             read_fraction: 0.5,
@@ -122,6 +127,8 @@ pub struct ClientDriver {
     row: KeyId,
     /// Pre-interned attribute ids `a0 .. a{n-1}`.
     attrs: Vec<AttrId>,
+    /// Attribute-rank sampler (uniform or zipfian over `attrs`).
+    sampler: KeySampler,
     issued: usize,
     last_start: Option<SimTime>,
     /// Operations still to execute per open (not yet committing) handle.
@@ -145,9 +152,10 @@ impl ClientDriver {
         let symbols = directory.symbols();
         let group = symbols.group(&config.group);
         let row = symbols.key(&config.row_key);
-        let attrs = (0..config.num_attributes.max(1))
+        let attrs: Vec<AttrId> = (0..config.num_attributes.max(1))
             .map(|i| symbols.attr(&format!("a{i}")))
             .collect();
+        let sampler = KeySampler::new(config.key_distribution, attrs.len() as u64);
         ClientDriver {
             session: Session::new(node, home_replica, directory, client_config),
             config,
@@ -156,6 +164,7 @@ impl ClientDriver {
             group,
             row,
             attrs,
+            sampler,
             issued: 0,
             last_start: None,
             ops_remaining: HashMap::new(),
@@ -174,8 +183,8 @@ impl ClientDriver {
     }
 
     fn pick_attr(&mut self) -> AttrId {
-        let idx = self.rng.gen_range(0..self.attrs.len());
-        self.attrs[idx]
+        let idx = self.sampler.sample(&mut self.rng) as usize;
+        self.attrs[idx.min(self.attrs.len() - 1)]
     }
 
     fn jittered(&mut self, base: SimDuration, fraction: f64) -> SimDuration {

@@ -19,14 +19,24 @@
 //!   resulting logs with the serializability checker, and aggregate metrics
 //!   into an [`ExperimentResult`] (commit counts by promotion round, latency
 //!   by round, combination counts — the quantities plotted in Figures 4–8).
+//! * [`KeyDistribution`] / [`KeySampler`] — uniform and YCSB-zipfian key
+//!   selection shared by both the closed-loop and open-loop drivers;
+//! * [`OpenLoopSpec`] / [`run_openloop`] — an open-loop load harness for the
+//!   multi-threaded parallel runtime: arrivals scheduled independently of
+//!   completions, latency charged from scheduled arrival time, zipfian keys
+//!   over multi-million-key spaces, every run checker-verified.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod driver;
+mod openloop;
 mod runner;
 mod spec;
+mod zipf;
 
 pub use driver::{ClientDriver, DriverConfig, SharedMetrics};
+pub use openloop::{run_openloop, OpenLoopResult, OpenLoopSpec};
 pub use runner::run_experiment;
 pub use spec::{ExperimentResult, ExperimentSpec, Placement};
+pub use zipf::{KeyDistribution, KeySampler, Zipfian};

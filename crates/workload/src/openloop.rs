@@ -1,0 +1,544 @@
+//! Open-loop load generation against the parallel runtime.
+//!
+//! The closed-loop drivers of [`crate::run_experiment`] wait for each
+//! outcome before issuing more work, so offered load collapses to match
+//! capacity and saturation is invisible. The open-loop driver here does
+//! what a real latency-vs-throughput experiment does (Spinnaker's
+//! evaluation, YCSB's target rate): arrivals are scheduled by a Poisson
+//! (or fixed-interval) process *independent of completions*, every arrival
+//! is submitted when its time comes regardless of how many requests are
+//! still in flight, and latency is measured **from the scheduled arrival
+//! time** — so queueing delay under overload is charged to the system, not
+//! silently absorbed by the generator (no coordinated omission).
+//!
+//! Keys are drawn from a configurable [`KeyDistribution`] over a keyspace
+//! of millions of keys, factored as `(row, attribute)` pairs so the symbol
+//! table holds thousands of interned names, not millions. Key `k` routes
+//! to group `k mod groups`: under zipfian skew the hottest keys land in
+//! distinct groups, but hot *groups* still emerge and saturate their
+//! commit pipelines first.
+//!
+//! Every transaction is a blind write shipped down the submitted commit
+//! route, so runs are conflict-free (blind writes never invalidate) and
+//! the post-run serializability check plus a committed-count audit verify
+//! every point of a sweep.
+
+use crate::driver::SharedMetrics;
+use crate::zipf::{KeyDistribution, KeySampler};
+use mdstore::{
+    BatchConfig, CommitProtocol, LatencyStats, MetricsHub, Msg, ParallelCluster,
+    ParallelClusterConfig, RunMetrics, Topology, TxnResult,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{Actor, Context, NodeId, SimDuration};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use walog::{AttrId, GroupId, ItemRef, KeyId, LogPosition, Transaction, TxnId};
+
+/// The driver's only timer tag: the 1 ms arrival/expiry tick.
+const TICK_TAG: u64 = u64::MAX;
+
+/// Tick interval in microseconds. Arrivals due within a tick are submitted
+/// in a batch; latency is still stamped from each arrival's scheduled
+/// time, so tick granularity never hides queueing delay.
+const TICK_US: u64 = 1_000;
+
+/// Cap on interned row names; attributes absorb the rest of the keyspace.
+const MAX_ROWS: u64 = 1_024;
+
+/// One point of an open-loop run: offered load against a sharded parallel
+/// cluster.
+#[derive(Clone, Debug)]
+pub struct OpenLoopSpec {
+    /// Datacenter layout each shard replicates.
+    pub topology: Topology,
+    /// Worker threads (= shards, each a full replica set).
+    pub workers: usize,
+    /// Transaction groups, assigned round-robin to shards.
+    pub groups: usize,
+    /// Open-loop driver actors, spread round-robin over the workers; the
+    /// offered load is split evenly between them.
+    pub drivers: usize,
+    /// Keyspace size (keys factor into row × attribute names).
+    pub keys: u64,
+    /// Key-selection distribution.
+    pub key_distribution: KeyDistribution,
+    /// Aggregate offered load in transactions per second of wall time.
+    pub offered_tps: f64,
+    /// Poisson arrivals (true) or a fixed interarrival interval (false).
+    pub poisson: bool,
+    /// Wall-clock span over which load is offered.
+    pub duration: Duration,
+    /// Extra wall-clock span after the offered window for in-flight
+    /// requests to drain before they are force-expired.
+    pub grace: Duration,
+    /// Per-request patience: a request with no decision after this long is
+    /// recorded as a timed-out abort.
+    pub patience: Duration,
+    /// Latency scale applied to the topology's RTTs (1.0 = real time).
+    pub rtt_scale: f64,
+    /// Window/pipeline settings of the service-hosted commit engines.
+    pub batch: BatchConfig,
+    /// Commit protocol.
+    pub protocol: CommitProtocol,
+    /// Seed for samplers and per-worker RNGs.
+    pub seed: u64,
+}
+
+impl OpenLoopSpec {
+    /// A default sweep point: `workers` shards each owning 8 groups of the
+    /// paper's VOC wide-area cluster, 2 drivers per worker, a million-key
+    /// zipfian keyspace (`theta = 0.99`), Poisson arrivals at
+    /// `offered_tps`.
+    pub fn new(workers: usize, offered_tps: f64) -> Self {
+        let workers = workers.max(1);
+        OpenLoopSpec {
+            topology: Topology::voc(),
+            workers,
+            groups: 8 * workers,
+            drivers: 2 * workers,
+            keys: 1_000_000,
+            key_distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            offered_tps: offered_tps.max(1.0),
+            poisson: true,
+            duration: Duration::from_millis(1_200),
+            grace: Duration::from_millis(2_000),
+            patience: Duration::from_millis(1_500),
+            rtt_scale: 1.0,
+            batch: BatchConfig::default(),
+            protocol: CommitProtocol::PaxosCp,
+            seed: 42,
+        }
+    }
+
+    /// Builder-style group-count override.
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups.max(1);
+        self
+    }
+
+    /// Builder-style driver-count override.
+    pub fn with_drivers(mut self, drivers: usize) -> Self {
+        self.drivers = drivers.max(1);
+        self
+    }
+
+    /// Builder-style keyspace override.
+    pub fn with_keys(mut self, keys: u64) -> Self {
+        self.keys = keys.max(1);
+        self
+    }
+
+    /// Builder-style key-distribution override.
+    pub fn with_key_distribution(mut self, distribution: KeyDistribution) -> Self {
+        self.key_distribution = distribution;
+        self
+    }
+
+    /// Builder-style offered-window/grace/patience override.
+    pub fn with_windows(mut self, duration: Duration, grace: Duration, patience: Duration) -> Self {
+        self.duration = duration;
+        self.grace = grace;
+        self.patience = patience;
+        self
+    }
+
+    /// Builder-style topology override.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Builder-style latency-scale override.
+    pub fn with_rtt_scale(mut self, scale: f64) -> Self {
+        self.rtt_scale = scale;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything measured at one open-loop point.
+#[derive(Clone, Debug)]
+pub struct OpenLoopResult {
+    /// Offered load the point ran at (tx/s).
+    pub offered_tps: f64,
+    /// Worker threads the cluster ran with.
+    pub workers: usize,
+    /// Transaction groups.
+    pub groups: usize,
+    /// Requests that reached an outcome (reply or timeout).
+    pub attempted: usize,
+    /// Requests that committed.
+    pub committed: usize,
+    /// Requests that aborted (including timeouts).
+    pub aborted: usize,
+    /// Aborts that were patience expiries.
+    pub timed_out: u64,
+    /// Latency of committed requests, measured from scheduled arrival.
+    pub latency: LatencyStats,
+    /// Committed transactions per wall-clock second of the offered window.
+    pub committed_tps: f64,
+    /// Whether the point is saturated: committed throughput fell below
+    /// 90 % of offered, or any request timed out.
+    pub saturated: bool,
+    /// Transactions per flushed commit window (batching the skew bought).
+    pub mean_window_occupancy: f64,
+    /// Cross-worker sends that hit channel backpressure.
+    pub backpressure: u64,
+    /// Groups the post-run serializability checker verified.
+    pub checked_groups: usize,
+    /// Wall-clock time of the whole run including drain.
+    pub wall: Duration,
+}
+
+/// Where one group's commit requests go.
+struct GroupTarget {
+    group: GroupId,
+    service: NodeId,
+    core: mdstore::datacenter::SharedCore,
+}
+
+/// One open-loop driver actor: schedules arrivals, submits blind writes to
+/// each key's group service, expires overdue requests, and records
+/// outcomes into its own metrics sink.
+struct OpenLoopDriver {
+    targets: Arc<Vec<GroupTarget>>,
+    rows: Arc<Vec<KeyId>>,
+    attrs: Arc<Vec<AttrId>>,
+    sampler: KeySampler,
+    rng: StdRng,
+    /// Mean microseconds between this driver's arrivals.
+    mean_gap_us: f64,
+    poisson: bool,
+    /// Next scheduled arrival, in wall microseconds since run start.
+    next_due_us: f64,
+    /// No arrivals are scheduled at or past the cutoff.
+    cutoff_us: u64,
+    /// At the deadline every still-pending request is expired.
+    deadline_us: u64,
+    patience_us: u64,
+    seq: u64,
+    /// Scheduled arrival time per in-flight request id.
+    pending: HashMap<u64, u64>,
+    /// Request ids in submission order with their submit times, for
+    /// patience expiry (submission order is monotone in submit time).
+    order: VecDeque<(u64, u64)>,
+    /// Read position per group index, refreshed at most once per tick.
+    rp_cache: Vec<(u64, LogPosition)>,
+    metrics: SharedMetrics,
+    finished: bool,
+    done: Arc<AtomicUsize>,
+}
+
+impl OpenLoopDriver {
+    fn draw_gap(&mut self) -> f64 {
+        if self.poisson {
+            // Exponential interarrival; floored at 1 µs so the schedule
+            // always advances.
+            let u: f64 = self.rng.gen();
+            (-self.mean_gap_us * (1.0 - u).ln()).max(1.0)
+        } else {
+            self.mean_gap_us.max(1.0)
+        }
+    }
+
+    fn read_position(&mut self, tick: u64, target_idx: usize) -> LogPosition {
+        let (cached_tick, position) = self.rp_cache[target_idx];
+        if cached_tick == tick {
+            return position;
+        }
+        let target = &self.targets[target_idx];
+        let fresh = target.core.lock().read_position(target.group);
+        self.rp_cache[target_idx] = (tick, fresh);
+        fresh
+    }
+
+    fn submit(&mut self, ctx: &mut Context<Msg>, now_us: u64, scheduled_us: u64) {
+        let key = self.sampler.sample(&mut self.rng);
+        let target_idx = (key % self.targets.len() as u64) as usize;
+        let row = self.rows[(key % self.rows.len() as u64) as usize];
+        let attr = self.attrs[(key / self.rows.len() as u64) as usize];
+        let tick = now_us / TICK_US;
+        let read_position = self.read_position(tick, target_idx);
+        self.seq += 1;
+        let txn = Transaction::builder(
+            TxnId::new(ctx.node().0, self.seq),
+            self.targets[target_idx].group,
+            read_position,
+        )
+        .write(ItemRef::new(row, attr), format!("k{}-s{}", key, self.seq))
+        .build();
+        self.pending.insert(self.seq, scheduled_us);
+        self.order.push_back((self.seq, now_us));
+        ctx.send(
+            self.targets[target_idx].service,
+            Msg::CommitRequest {
+                req_id: self.seq,
+                txn,
+            },
+        );
+    }
+
+    /// Record one patience expiry as a timed-out abort.
+    fn expire(&mut self, latency_us: u64) {
+        let mut metrics = self.metrics.lock();
+        metrics.attempted += 1;
+        metrics.aborted += 1;
+        metrics.timed_out += 1;
+        metrics.abort_latency_us.push(latency_us);
+    }
+
+    fn finish(&mut self, now_us: u64) {
+        if self.finished {
+            return;
+        }
+        // Force-expire whatever is still in flight at the deadline.
+        let stale: Vec<u64> = self.pending.keys().copied().collect();
+        for req in stale {
+            if self.pending.remove(&req).is_some() {
+                self.expire(self.patience_us.min(now_us));
+            }
+        }
+        self.order.clear();
+        self.finished = true;
+        self.done.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn tick(&mut self, ctx: &mut Context<Msg>) {
+        if self.finished {
+            return;
+        }
+        let now_us = ctx.now().as_micros();
+        // Expire requests whose patience ran out.
+        while let Some(&(req, submitted_us)) = self.order.front() {
+            if submitted_us + self.patience_us > now_us {
+                break;
+            }
+            self.order.pop_front();
+            if self.pending.remove(&req).is_some() {
+                self.expire(now_us - submitted_us);
+            }
+        }
+        // Submit every arrival that has come due, at its scheduled time.
+        while self.next_due_us <= now_us as f64 && (self.next_due_us as u64) < self.cutoff_us {
+            let scheduled = self.next_due_us as u64;
+            self.submit(ctx, now_us, scheduled);
+            let gap = self.draw_gap();
+            self.next_due_us += gap;
+        }
+        if now_us >= self.cutoff_us && (self.pending.is_empty() || now_us >= self.deadline_us) {
+            self.finish(now_us);
+            return;
+        }
+        ctx.set_timer(SimDuration::from_micros(TICK_US), TICK_TAG);
+    }
+}
+
+impl Actor<Msg> for OpenLoopDriver {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        // Random phase offset so drivers' ticks do not align.
+        let phase = ctx.rand_below(TICK_US);
+        let first = self.draw_gap();
+        self.next_due_us = phase as f64 + first;
+        ctx.set_timer(SimDuration::from_micros(TICK_US + phase), TICK_TAG);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+        let Msg::CommitReply {
+            req_id,
+            txn,
+            committed,
+            promotions,
+            combined,
+            rounds,
+            abort_reason,
+            ..
+        } = msg
+        else {
+            return;
+        };
+        // Late replies for already-expired requests are dropped.
+        let Some(scheduled_us) = self.pending.remove(&req_id) else {
+            return;
+        };
+        let now_us = ctx.now().as_micros();
+        let latency = SimDuration::from_micros(now_us.saturating_sub(scheduled_us));
+        let mut metrics = self.metrics.lock();
+        metrics.record(&TxnResult {
+            committed,
+            read_only: false,
+            promotions,
+            combined,
+            rounds,
+            latency,
+            total_latency: latency,
+            abort_reason,
+            txn: Some(txn),
+        });
+        metrics.last_decision_us = metrics.last_decision_us.max(now_us);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
+        if tag == TICK_TAG {
+            self.tick(ctx);
+        }
+    }
+}
+
+/// Run one open-loop point: build the sharded cluster, offer load for the
+/// spec's window, drain, verify with the serializability checker, and
+/// aggregate per-driver metrics (merged at run end — no sink is shared
+/// across workers).
+///
+/// Panics if any group's logs violate replica agreement or one-copy
+/// serializability.
+pub fn run_openloop(spec: &OpenLoopSpec) -> OpenLoopResult {
+    let mut cluster = ParallelCluster::build(
+        ParallelClusterConfig::new(spec.topology.clone(), spec.protocol)
+            .with_workers(spec.workers)
+            .with_batch(spec.batch.clone())
+            .with_rtt_scale(spec.rtt_scale)
+            .with_seed(spec.seed),
+    );
+    let symbols = cluster.symbols();
+    let mut targets = Vec::with_capacity(spec.groups);
+    for g in 0..spec.groups.max(1) {
+        let group = cluster.register_group(&format!("g{g}"));
+        targets.push(GroupTarget {
+            group,
+            service: cluster.service_for_group(group),
+            core: cluster.home_core(group),
+        });
+    }
+    let targets = Arc::new(targets);
+
+    // Factor the keyspace into row × attribute names: key k maps to
+    // (k mod rows, k div rows), so a million keys intern ~2 000 symbols.
+    let rows_n = spec.keys.clamp(1, MAX_ROWS);
+    let attrs_n = spec.keys.div_ceil(rows_n);
+    let rows: Arc<Vec<KeyId>> =
+        Arc::new((0..rows_n).map(|r| symbols.key(&format!("r{r}"))).collect());
+    let attrs: Arc<Vec<AttrId>> = Arc::new(
+        (0..attrs_n)
+            .map(|a| symbols.attr(&format!("c{a}")))
+            .collect(),
+    );
+    let sampler = KeySampler::new(spec.key_distribution, spec.keys);
+
+    let drivers = spec.drivers.max(1);
+    let hub = MetricsHub::new();
+    let mut sinks: Vec<SharedMetrics> = Vec::with_capacity(drivers);
+    let done = Arc::new(AtomicUsize::new(0));
+    let mean_gap_us = 1_000_000.0 * drivers as f64 / spec.offered_tps.max(1.0);
+    let cutoff_us = spec.duration.as_micros() as u64;
+    let deadline_us = cutoff_us + spec.grace.as_micros() as u64;
+    let replicas = cluster.num_datacenters();
+    for d in 0..drivers {
+        let sink = hub.register();
+        sinks.push(sink.clone());
+        let driver = OpenLoopDriver {
+            targets: Arc::clone(&targets),
+            rows: Arc::clone(&rows),
+            attrs: Arc::clone(&attrs),
+            sampler: sampler.clone(),
+            rng: StdRng::seed_from_u64(
+                spec.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (d as u64 + 1),
+            ),
+            mean_gap_us,
+            poisson: spec.poisson,
+            next_due_us: 0.0,
+            cutoff_us,
+            deadline_us,
+            patience_us: spec.patience.as_micros() as u64,
+            seq: 0,
+            pending: HashMap::new(),
+            order: VecDeque::new(),
+            rp_cache: vec![(u64::MAX, LogPosition::ZERO); targets.len()],
+            metrics: sink,
+            finished: false,
+            done: Arc::clone(&done),
+        };
+        cluster.add_driver(d % spec.workers, d % replicas, move |_node| {
+            Box::new(driver)
+        });
+    }
+
+    let max_wall = spec.duration + spec.grace + Duration::from_secs(2);
+    let done_flag = Arc::clone(&done);
+    let report = cluster.run(max_wall, move || {
+        done_flag.load(Ordering::SeqCst) >= drivers
+    });
+
+    let check = cluster
+        .verify()
+        .expect("open-loop run produced a non-serializable or diverged history");
+
+    let mut totals = RunMetrics::default();
+    for sink in &sinks {
+        totals.merge(&sink.lock());
+    }
+    totals.merge(&cluster.service_commit_metrics());
+    let (expired, reclaimed) = cluster.service_side_counters();
+    totals.expired_reads += expired;
+    totals.reclaimed_versions += reclaimed;
+
+    let latency = totals.commit_latency();
+    let offered_secs = spec.duration.as_secs_f64().max(1e-9);
+    let committed_tps = totals.committed as f64 / offered_secs;
+    let saturated = committed_tps < 0.90 * spec.offered_tps || totals.timed_out > 0;
+    OpenLoopResult {
+        offered_tps: spec.offered_tps,
+        workers: spec.workers,
+        groups: spec.groups,
+        attempted: totals.attempted,
+        committed: totals.committed,
+        aborted: totals.aborted,
+        timed_out: totals.timed_out,
+        latency,
+        committed_tps,
+        saturated,
+        mean_window_occupancy: totals.mean_window_occupancy(),
+        backpressure: report.backpressure,
+        checked_groups: check.len(),
+        wall: report.elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small but real open-loop point on two workers: offered load low
+    /// enough to stay unsaturated on any machine, latencies scaled down so
+    /// the test finishes in about a second of wall time.
+    #[test]
+    fn small_openloop_point_runs_and_verifies() {
+        let spec = OpenLoopSpec::new(2, 300.0)
+            .with_groups(4)
+            .with_drivers(2)
+            .with_keys(10_000)
+            .with_topology(Topology::vvv())
+            .with_rtt_scale(0.5)
+            .with_windows(
+                Duration::from_millis(300),
+                Duration::from_millis(700),
+                Duration::from_millis(600),
+            )
+            .with_seed(7);
+        let result = run_openloop(&spec);
+        assert!(result.attempted > 0, "arrivals must have been offered");
+        assert!(result.committed > 0, "some transactions must commit");
+        assert_eq!(result.attempted, result.committed + result.aborted);
+        assert!(result.checked_groups > 0, "checker must have run");
+        assert_eq!(result.workers, 2);
+        assert!(result.latency.count > 0);
+    }
+}

@@ -43,6 +43,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
             group: "group0".into(),
             row_key: "row0".into(),
             num_attributes: spec.num_attributes,
+            key_distribution: spec.key_distribution,
             num_transactions: spec.transactions_per_client,
             ops_per_txn: spec.ops_per_txn,
             read_fraction: spec.read_fraction,

@@ -1,5 +1,6 @@
 //! Experiment specifications and results.
 
+use crate::zipf::KeyDistribution;
 use mdstore::{CommitProtocol, CommitRoute, RunMetrics, Topology};
 use simnet::{NetStats, SimDuration};
 use walog::checker::CheckReport;
@@ -43,6 +44,9 @@ pub struct ExperimentSpec {
     pub read_fraction: f64,
     /// Total attributes in the entity group (contention knob of Figure 6).
     pub num_attributes: usize,
+    /// How operations pick attributes: uniform (the paper's YCSB setting)
+    /// or zipfian-skewed, concentrating the load on a hot head.
+    pub key_distribution: KeyDistribution,
     /// Per-client target transaction rate (throughput knob of Figure 7).
     pub target_tps: f64,
     /// Simulated execution cost per application operation (models the YCSB
@@ -78,6 +82,7 @@ impl ExperimentSpec {
             ops_per_txn: 10,
             read_fraction: 0.5,
             num_attributes: 100,
+            key_distribution: KeyDistribution::Uniform,
             target_tps: 1.0,
             op_delay: SimDuration::from_millis(18),
             stagger: SimDuration::from_millis(250),
@@ -108,6 +113,12 @@ impl ExperimentSpec {
     /// Builder-style attribute-count override (contention knob).
     pub fn with_attributes(mut self, n: usize) -> Self {
         self.num_attributes = n;
+        self
+    }
+
+    /// Builder-style key-distribution override (skew knob).
+    pub fn with_key_distribution(mut self, distribution: KeyDistribution) -> Self {
+        self.key_distribution = distribution;
         self
     }
 

@@ -1,0 +1,192 @@
+//! Key-selection distributions: uniform and YCSB-style zipfian.
+//!
+//! The paper's YCSB workload picks attributes uniformly; real stores see
+//! heavy skew, which is what the open-loop harness stresses (hot groups
+//! saturate their commit pipeline first). [`Zipfian`] implements the
+//! standard YCSB zipfian generator (Gray et al.'s rejection-free inverse
+//! transform): rank 0 is the hottest key, and for the default
+//! `theta = 0.99` the top ~20 % of keys draw ~80 % of accesses, at any
+//! keyspace size — the harmonic normalization constant is precomputed
+//! once, so multi-million-key spaces sample in O(1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How a driver picks the key each operation touches.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    #[default]
+    Uniform,
+    /// YCSB zipfian with skew parameter `theta` in `[0, 1)`; rank 0 is the
+    /// hottest key. `theta = 0.99` is the YCSB default.
+    Zipfian {
+        /// Skew parameter (0 = uniform-ish, → 1 = extreme skew).
+        theta: f64,
+    },
+}
+
+/// The YCSB zipfian generator over ranks `0 .. n`.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Precompute the generator's constants for a keyspace of `n` ranks
+    /// (`n` clamped to at least 1; `theta` clamped into `[0, 0.999]` — the
+    /// formulas diverge at 1).
+    pub fn new(n: u64, theta: f64) -> Self {
+        let n = n.max(1);
+        let theta = theta.clamp(0.0, 0.999);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// The harmonic-like normalization `sum_{i=1..n} 1 / i^theta`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Keyspace size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw one rank in `[0, n)`; rank 0 is the hottest.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1.min(self.n - 1);
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// A ready-to-draw sampler over `[0, n)` for either distribution.
+#[derive(Clone, Debug)]
+pub struct KeySampler {
+    kind: SamplerKind,
+}
+
+#[derive(Clone, Debug)]
+enum SamplerKind {
+    Uniform { n: u64 },
+    Zipfian(Zipfian),
+}
+
+impl KeySampler {
+    /// Build a sampler over a keyspace of `n` keys (clamped to at least 1).
+    /// Zipfian construction is O(n) — build once per run and clone per
+    /// driver.
+    pub fn new(distribution: KeyDistribution, n: u64) -> Self {
+        let n = n.max(1);
+        let kind = match distribution {
+            KeyDistribution::Uniform => SamplerKind::Uniform { n },
+            KeyDistribution::Zipfian { theta } => SamplerKind::Zipfian(Zipfian::new(n, theta)),
+        };
+        KeySampler { kind }
+    }
+
+    /// Keyspace size.
+    pub fn n(&self) -> u64 {
+        match &self.kind {
+            SamplerKind::Uniform { n } => *n,
+            SamplerKind::Zipfian(z) => z.n(),
+        }
+    }
+
+    /// Draw one key in `[0, n)`.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match &self.kind {
+            SamplerKind::Uniform { n } => rng.gen_range(0..*n),
+            SamplerKind::Zipfian(z) => z.sample(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1u64, 2, 10, 1_000] {
+            let z = KeySampler::new(KeyDistribution::Zipfian { theta: 0.99 }, n);
+            let u = KeySampler::new(KeyDistribution::Uniform, n);
+            for _ in 0..2_000 {
+                assert!(z.sample(&mut rng) < n);
+                assert!(u.sample(&mut rng) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_rank_ordered() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let sampler = KeySampler::new(KeyDistribution::Zipfian { theta: 0.99 }, 10_000);
+        let mut counts = vec![0u64; 10_000];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        // Rank 0 is the hottest and draws several percent of all accesses.
+        assert!(counts[0] > draws / 50, "rank 0 drew {}", counts[0]);
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[100]);
+        // The head dominates: the hottest 1 % of keys draw well over a
+        // third of the accesses (uniform would give them 1 %).
+        let head: u64 = counts[..100].iter().sum();
+        assert!(head * 3 > draws, "head drew {head} of {draws}");
+    }
+
+    #[test]
+    fn uniform_is_not_skewed() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let sampler = KeySampler::new(KeyDistribution::Uniform, 1_000);
+        let mut counts = vec![0u64; 1_000];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        let head: u64 = counts[..10].iter().sum();
+        // The top 1 % of ranks draw about 1 %.
+        assert!(head < draws / 20, "uniform head drew {head}");
+    }
+
+    #[test]
+    fn million_key_spaces_construct_and_sample() {
+        let sampler = KeySampler::new(KeyDistribution::Zipfian { theta: 0.99 }, 2_000_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut max_seen = 0;
+        for _ in 0..10_000 {
+            max_seen = max_seen.max(sampler.sample(&mut rng));
+        }
+        assert!(max_seen < 2_000_000);
+        assert!(max_seen > 1_000, "tail must be reachable, saw {max_seen}");
+    }
+}

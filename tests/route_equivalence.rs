@@ -72,6 +72,7 @@ fn conflict_free_final_state(
             group: "shard".into(),
             row_key: format!("row{w}"),
             num_attributes: 6,
+            key_distribution: workload::KeyDistribution::Uniform,
             num_transactions: txns_each,
             ops_per_txn: 4,
             // Blind writes only, strictly serial per driver: a writer's own
