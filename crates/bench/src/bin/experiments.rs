@@ -14,8 +14,12 @@
 //!
 //! `openloop` runs the open-loop latency-vs-throughput sweep on the
 //! multi-threaded parallel runtime (wall-clock, not simulated time — so it
-//! is *not* part of `all`). `--quick` runs the CI smoke variant; set
-//! `BENCH_JSON` to append criterion-style snapshot rows.
+//! is *not* part of `all`). `chaos` runs the rolling-failure scenario
+//! (leader crashes, flapping partition, group-home churn) under open-loop
+//! load on the deterministic simulation; it asserts serializability,
+//! exactly-once and liveness, and is likewise opted into explicitly.
+//! `--quick` runs the CI smoke variants; set `BENCH_JSON` to append
+//! criterion-style snapshot rows.
 
 use bench_suite::{
     ablation_specs, adaptive_latency_specs, batch_sweep_specs, committed_tps, fig4_specs,
@@ -25,7 +29,10 @@ use bench_suite::{
     peak_committed_tps, pipeline_sweep_specs, results_to_json, route_compare_specs,
     run_openloop_ladder, run_scaling, OpenLoopSweepConfig,
 };
-use workload::{run_experiment, ExperimentResult, ExperimentSpec, OpenLoopResult};
+use workload::{
+    run_chaos, run_experiment, ChaosRunResult, ChaosRunSpec, ExperimentResult, ExperimentSpec,
+    OpenLoopResult,
+};
 
 struct Options {
     targets: Vec<String>,
@@ -103,6 +110,37 @@ fn emit_openloop_snapshot(ladders: &[(usize, Vec<OpenLoopResult>)]) {
             ));
         }
     }
+    append_bench_rows(&path, "open-loop", &rows);
+}
+
+/// Append criterion-shim-style snapshot rows for a chaos run to
+/// `BENCH_JSON`, if set: the p99 open-loop commit latency across the fault
+/// windows (the availability dip, ns) and the re-submission rate
+/// (re-submissions per thousand commits; the unit is a plain count, the
+/// `_ns` field names are the shared row schema's, not a promise).
+fn emit_chaos_snapshot(result: &ChaosRunResult) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let rows = vec![
+        (
+            "chaos/availability_dip_p99".to_string(),
+            result.availability_dip_p99_us as f64 * 1e3,
+            result.committed,
+        ),
+        (
+            "chaos/resubmission_rate".to_string(),
+            result.resubmission_rate() * 1e3,
+            result.resubmissions,
+        ),
+    ];
+    append_bench_rows(&path, "chaos", &rows);
+}
+
+/// Append rows in the criterion-shim snapshot format (`id` / `median_ns` /
+/// `mean_ns` / `iterations`) to `path`; `bench_merge` folds them into
+/// `BENCH_baseline.json` by id like any other benchmark row.
+fn append_bench_rows(path: &str, what: &str, rows: &[(String, f64, u64)]) {
     if rows.is_empty() {
         return;
     }
@@ -117,10 +155,10 @@ fn emit_openloop_snapshot(ladders: &[(usize, Vec<OpenLoopResult>)]) {
     let write = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
-        .open(&path)
+        .open(path)
         .and_then(|mut f| std::io::Write::write_all(&mut f, out.as_bytes()));
     match write {
-        Ok(()) => eprintln!("appended {} open-loop snapshot rows to {path}", rows.len()),
+        Ok(()) => eprintln!("appended {} {what} snapshot rows to {path}", rows.len()),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }
 }
@@ -292,6 +330,50 @@ fn main() {
              (every point checker-verified)"
         );
         emit_openloop_snapshot(&ladders);
+    }
+
+    // The chaos scenario runs in simulated time but is a fault-tolerance
+    // harness rather than a paper figure, so — like `openloop` — it is
+    // opted into explicitly rather than folded into `all`.
+    if opts.targets.iter().any(|t| t == "chaos") {
+        let load = if opts.quick {
+            simnet::SimDuration::from_secs(8)
+        } else {
+            simnet::SimDuration::from_secs(60)
+        };
+        let spec = ChaosRunSpec::rolling_failure(load);
+        eprintln!(
+            "== chaos: rolling failures over {}s of virtual time, {} drivers, {} tx/s offered ==",
+            load.as_micros() / 1_000_000,
+            spec.drivers,
+            spec.offered_tps
+        );
+        let result = run_chaos(&spec);
+        println!("\n=== Chaos: rolling leader crashes + flapping partition + home churn (VVV) ===");
+        println!(
+            "attempted {}  committed {}  aborted {}  unavailable {}",
+            result.attempted, result.committed, result.aborted, result.unavailable
+        );
+        println!(
+            "faults injected {}  resubmissions {}  duplicate suppressions {}",
+            result.faults_injected, result.resubmissions, result.duplicate_suppressions
+        );
+        println!(
+            "liveness: min {} commits per {}ms window ({} windows, all > 0)",
+            result.min_window_commits,
+            spec.liveness_window.as_micros() / 1_000,
+            result.window_commits.len()
+        );
+        println!(
+            "availability dip p99: {:.1} ms  resubmission rate: {:.3} per commit",
+            result.availability_dip_p99_us as f64 / 1e3,
+            result.resubmission_rate()
+        );
+        eprintln!(
+            "verified chaos run: serializable, exactly-once, zero unavailable = {}",
+            result.unavailable == 0
+        );
+        emit_chaos_snapshot(&result);
     }
 
     if let Some(path) = opts.json_path {

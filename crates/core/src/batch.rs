@@ -394,6 +394,28 @@ impl GroupCommitter {
             let mut kept: VecDeque<PendingTxn> = VecDeque::new();
             let mut split = false;
             for mut pending in pendings {
+                // A member already present in the group log is a retried
+                // submission whose original proposal won (the retry slipped
+                // past the service-side dedup, e.g. across a group-home
+                // migration). Proposing it again would commit it twice;
+                // answer committed instead.
+                if core_guard.is_committed(self.group, pending.txn.id) {
+                    if let Some(metrics) = &self.metrics {
+                        metrics.lock().duplicate_suppressions += 1;
+                    }
+                    out.push(ClientAction::Finished(TxnResult {
+                        committed: true,
+                        read_only: false,
+                        promotions: pending.promotions,
+                        combined: false,
+                        rounds: 0,
+                        latency: now.since(pending.enqueued_at),
+                        total_latency: now.since(pending.enqueued_at),
+                        abort_reason: None,
+                        txn: Some(pending.txn.id),
+                    }));
+                    continue;
+                }
                 // Optimistic revalidation, incremental: entries decided
                 // since the member's last validated position must not have
                 // written anything it read. One core lock covers the whole

@@ -16,9 +16,9 @@
 use mvkv::{Key, MvKvStore, Row, Timestamp};
 use parking_lot::Mutex;
 use paxos::AcceptorStore;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
-use walog::{AttrId, GroupId, GroupLog, KeyId, LogEntry, LogPosition};
+use walog::{AttrId, GroupId, GroupLog, KeyId, LogEntry, LogPosition, TxnId};
 
 /// Shared handle to a datacenter's storage state.
 pub type SharedCore = Arc<Mutex<DatacenterCore>>;
@@ -80,6 +80,12 @@ pub struct DatacenterCore {
     /// every parked remote read; the per-group minimum is the version-GC
     /// watermark — no version a leased reader can still need is reclaimed.
     read_leases: HashMap<GroupId, BTreeMap<u64, usize>>,
+    /// Every transaction id carried by a locally installed (decided) entry,
+    /// per group. This is the dedup index that makes commit retries safe
+    /// across group-home migration: a new home can answer "already
+    /// committed" in O(1) without scanning its log, so a re-submitted
+    /// transaction can never be proposed (and committed) twice.
+    committed_ids: HashMap<GroupId, HashSet<TxnId>>,
     /// Positions of history the GC always keeps below the watermark.
     /// Leases cover every *local* reader and every *parked* remote read,
     /// but a remote read served on arrival reads at a position its
@@ -99,6 +105,7 @@ impl DatacenterCore {
             store: MvKvStore::new(),
             logs: HashMap::new(),
             leader_claims: HashMap::new(),
+            committed_ids: HashMap::new(),
             expired_reads: 0,
             read_leases: HashMap::new(),
             gc_horizon: DEFAULT_GC_HORIZON,
@@ -194,8 +201,12 @@ impl DatacenterCore {
     ) -> ApplyOutcome {
         let log = self.logs.entry(group).or_default();
         let prefix_before = log.contiguous_prefix();
-        log.install(position, entry)
+        log.install(position, Arc::clone(&entry))
             .expect("replication property R1 violated: conflicting entry for a decided position");
+        let ids = self.committed_ids.entry(group).or_default();
+        for txn in entry.transactions() {
+            ids.insert(txn.id);
+        }
         let applied_keys = Self::apply_contiguous(group, log, &self.store);
         let prefix = log.contiguous_prefix();
         self.gc_applied_keys(group, applied_keys);
@@ -357,6 +368,15 @@ impl DatacenterCore {
         self.expired_reads
     }
 
+    /// Whether `id` rides any locally installed (decided) entry of `group`
+    /// — i.e. the transaction is known committed at this datacenter. O(1);
+    /// the index is maintained by [`DatacenterCore::install_entry`].
+    pub fn is_committed(&self, group: GroupId, id: TxnId) -> bool {
+        self.committed_ids
+            .get(&group)
+            .is_some_and(|ids| ids.contains(&id))
+    }
+
     /// Whether this datacenter has decided (locally installed) the entry at
     /// `position`.
     pub fn has_entry(&self, group: GroupId, position: LogPosition) -> bool {
@@ -484,6 +504,32 @@ mod tests {
         core.note_expired_read();
         core.note_expired_read();
         assert_eq!(core.expired_read_count(), 2);
+    }
+
+    #[test]
+    fn committed_id_index_tracks_installed_entries() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        let id = TxnId::new(0, 1);
+        assert!(!core.is_committed(GROUP, id));
+        core.install_entry(GROUP, LogPosition(1), write_entry(0, 1, 0, A, "1"));
+        assert!(core.is_committed(GROUP, id));
+        // Other groups and other ids are unaffected.
+        assert!(!core.is_committed(GroupId(1), id));
+        assert!(!core.is_committed(GROUP, TxnId::new(0, 2)));
+        // Combined entries index every member.
+        let first = Transaction::builder(TxnId::new(1, 7), GROUP, LogPosition(1))
+            .write(ItemRef::new(ROW, A), "x")
+            .build();
+        let second = Transaction::builder(TxnId::new(2, 8), GROUP, LogPosition(1))
+            .write(ItemRef::new(ROW, B), "y")
+            .build();
+        core.install_entry(
+            GROUP,
+            LogPosition(2),
+            Arc::new(LogEntry::combined(vec![first, second])),
+        );
+        assert!(core.is_committed(GROUP, TxnId::new(1, 7)));
+        assert!(core.is_committed(GROUP, TxnId::new(2, 8)));
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub use directory::Directory;
 pub use metrics::{LatencyStats, MetricsHub, RunMetrics};
 pub use msg::Msg;
 pub use parallel::{ParallelCluster, ParallelClusterConfig};
-pub use paxos::{CommitProtocol, ProposerConfig};
+pub use paxos::{AbortReason, CommitProtocol, ProposerConfig};
 pub use service::TransactionService;
 pub use session::{
     ClientAction, ClientConfig, CommitRoute, Session, SessionError, TxnHandle, TxnResult,

@@ -108,6 +108,18 @@ pub struct RunMetrics {
     /// can be measured over the *working* span of a run — `run until idle`
     /// otherwise pads the span with trailing reply-timeout timers.
     pub last_decision_us: u64,
+    /// Faults injected by a chaos schedule over the run (crashes,
+    /// partitions, group-home moves; repairs are not counted). Populated by
+    /// chaos harnesses from `ChaosSchedule::faults_injected`.
+    pub faults_injected: u64,
+    /// Commit attempts automatically re-submitted after an `Unavailable`
+    /// outcome or a submit-patience expiry (sessions and open-loop drivers
+    /// count each re-send; the transaction id never changes).
+    pub resubmissions: u64,
+    /// Duplicate commit submissions the services absorbed: retries of
+    /// in-flight transactions and retries answered from the decided-fate
+    /// memory, none of which reached the commit pipeline again.
+    pub duplicate_suppressions: u64,
 }
 
 impl RunMetrics {
@@ -153,6 +165,9 @@ impl RunMetrics {
             .extend_from_slice(&other.window_occupancy);
         self.pipeline_depth.extend_from_slice(&other.pipeline_depth);
         self.last_decision_us = self.last_decision_us.max(other.last_decision_us);
+        self.faults_injected += other.faults_injected;
+        self.resubmissions += other.resubmissions;
+        self.duplicate_suppressions += other.duplicate_suppressions;
         if self.commits_by_promotion.len() < other.commits_by_promotion.len() {
             self.commits_by_promotion
                 .resize(other.commits_by_promotion.len(), 0);

@@ -366,6 +366,10 @@ fn network_config(config: &ParallelClusterConfig) -> NetworkConfig {
         latency,
         loss_probability: config.topology.loss_probability,
         jitter: config.topology.jitter,
+        // The wall-clock runtime ignores chaos policies (see
+        // `simnet::ParallelRuntime`): deterministic chaos runs belong to
+        // the simulation, which the equivalence tests compare against.
+        chaos: simnet::ChaosConfig::default(),
     }
 }
 

@@ -49,7 +49,8 @@ use crate::msg::Msg;
 use crate::session::{ClientAction, ClientConfig};
 use parking_lot::Mutex;
 use paxos::{
-    PaxosMsg, Proposer, ProposerAction, ProposerConfig, ProposerEvent, ReplicaId, TimerKind,
+    AbortReason, PaxosMsg, Proposer, ProposerAction, ProposerConfig, ProposerEvent, ReplicaId,
+    TimerKind,
 };
 use simnet::{Actor, Context, NodeId, SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
@@ -71,6 +72,18 @@ const RECOVERY_BALLOT_BIT: u64 = 1 << 40;
 /// that cannot decide — e.g. behind a long partition — must not keep the
 /// simulation busy forever; reads still trigger recovery on demand).
 const JANITOR_MAX_ATTEMPTS: u32 = 5;
+
+/// The remembered outcome of a decided member: everything needed to
+/// reconstruct the original [`Msg::CommitReply`] for a retried submission.
+#[derive(Clone, Debug)]
+struct DecidedFate {
+    group: GroupId,
+    committed: bool,
+    promotions: u32,
+    combined: bool,
+    rounds: u32,
+    abort_reason: Option<AbortReason>,
+}
 
 /// A remote read waiting for the local log to catch up.
 #[derive(Clone, Debug)]
@@ -118,10 +131,15 @@ pub struct TransactionService {
     /// Timer tag → (group, committer-local timer tag).
     committer_timers: HashMap<u64, (GroupId, u64)>,
     /// In-flight submitted commits: the member's id → (requester,
-    /// correlation id). Duplicate requests for an in-flight id are ignored
-    /// — resubmitting a transaction the committer already carries would
-    /// commit it twice.
+    /// correlation id). Duplicate requests for an in-flight id are not
+    /// resubmitted — the committer already carries the member and proposing
+    /// it twice could commit it twice — but they do re-point the reply at
+    /// the latest requester so a retried submission still gets answered.
     commit_requests: HashMap<TxnId, (NodeId, u64)>,
+    /// Fates of members this service has already decided, so a retry of a
+    /// decided transaction (a reply lost to a crash or partition) is
+    /// answered with the original outcome instead of being re-proposed.
+    decided_fates: HashMap<TxnId, DecidedFate>,
     /// Optional sink the hosted committers record window occupancy,
     /// pipeline depth and split/stale counters into.
     commit_metrics: Option<Arc<Mutex<RunMetrics>>>,
@@ -169,6 +187,7 @@ impl TransactionService {
             committers: HashMap::new(),
             committer_timers: HashMap::new(),
             commit_requests: HashMap::new(),
+            decided_fates: HashMap::new(),
             commit_metrics: None,
             janitor_enabled: true,
             janitor_patience: message_timeout,
@@ -406,13 +425,56 @@ impl TransactionService {
         req_id: u64,
         txn: Transaction,
     ) {
-        // A duplicate of an in-flight member must not be resubmitted: the
-        // committer already carries it, and proposing it twice could commit
-        // it twice.
-        if self.commit_requests.contains_key(&txn.id) {
+        let group = txn.group;
+        // A retry of an already-decided member is answered with the
+        // original fate; re-proposing it could commit it twice.
+        if let Some(fate) = self.decided_fates.get(&txn.id) {
+            let fate = fate.clone();
+            self.note_duplicate_suppressed();
+            ctx.send(
+                from,
+                Msg::CommitReply {
+                    req_id,
+                    group: fate.group,
+                    txn: txn.id,
+                    committed: fate.committed,
+                    promotions: fate.promotions,
+                    combined: fate.combined,
+                    rounds: fate.rounds,
+                    abort_reason: fate.abort_reason,
+                },
+            );
             return;
         }
-        let group = txn.group;
+        // A retry that lands here after a group-home migration: this
+        // service never saw the original submission, but the replicated log
+        // may already carry the member (the old home decided it before
+        // failing over). Answer committed rather than double-committing.
+        if self.core.lock().is_committed(group, txn.id) {
+            self.note_duplicate_suppressed();
+            ctx.send(
+                from,
+                Msg::CommitReply {
+                    req_id,
+                    group,
+                    txn: txn.id,
+                    committed: true,
+                    promotions: 0,
+                    combined: false,
+                    rounds: 0,
+                    abort_reason: None,
+                },
+            );
+            return;
+        }
+        // A duplicate of an in-flight member must not be resubmitted — the
+        // committer already carries it — but the reply is re-pointed at the
+        // latest requester so the retry still gets answered.
+        if let Some(slot) = self.commit_requests.get_mut(&txn.id) {
+            *slot = (from, req_id);
+            self.note_duplicate_suppressed();
+            return;
+        }
         self.commit_requests.insert(txn.id, (from, req_id));
         if !self.committers.contains_key(&group) {
             let mut committer = GroupCommitter::new(
@@ -459,6 +521,23 @@ impl TransactionService {
                     let Some(id) = result.txn else {
                         continue;
                     };
+                    // Remember the fate before answering: a retry arriving
+                    // after the reply was lost must get the same outcome.
+                    // `Unavailable` is not a fate — the member may still be
+                    // undecided, and a retry must be allowed to re-drive it.
+                    if result.abort_reason != Some(AbortReason::Unavailable) {
+                        self.decided_fates.insert(
+                            id,
+                            DecidedFate {
+                                group,
+                                committed: result.committed,
+                                promotions: result.promotions,
+                                combined: result.combined,
+                                rounds: result.rounds,
+                                abort_reason: result.abort_reason,
+                            },
+                        );
+                    }
                     let Some((requester, req_id)) = self.commit_requests.remove(&id) else {
                         continue;
                     };
@@ -477,6 +556,14 @@ impl TransactionService {
                     );
                 }
             }
+        }
+    }
+
+    /// Count a duplicate submission this service absorbed instead of
+    /// re-proposing.
+    fn note_duplicate_suppressed(&self) {
+        if let Some(sink) = &self.commit_metrics {
+            sink.lock().duplicate_suppressions += 1;
         }
     }
 
@@ -894,6 +981,29 @@ impl Actor<Msg> for TransactionService {
         // recovery instances started by reads to fill gaps. Pending reads
         // accumulated before the crash are re-examined.
         self.flush_pending_reads(ctx);
+        // Timers that fired during the outage were suppressed, which would
+        // leave committer slots and recovery proposers wedged forever.
+        // Synthesize the fires now (sorted by tag for determinism). Firing a
+        // not-yet-due timer early only triggers a spurious-but-safe timeout
+        // round; a later real fire finds its map entry gone and is a no-op.
+        let mut committer_fires: Vec<(u64, (GroupId, u64))> =
+            self.committer_timers.drain().collect();
+        committer_fires.sort_unstable_by_key(|(tag, _)| *tag);
+        for (_, (group, committer_tag)) in committer_fires {
+            let actions = match self.committers.get_mut(&group) {
+                Some(committer) => committer.on_timer(ctx.now(), committer_tag),
+                None => continue,
+            };
+            self.apply_committer_actions(ctx, group, actions);
+        }
+        let mut recovery_fires: Vec<_> = self.timers.drain().collect();
+        recovery_fires.sort_unstable_by_key(|(tag, _)| *tag);
+        for (_, (key, token)) in recovery_fires {
+            self.drive_recovery(ctx, key, ProposerEvent::Timer { token });
+        }
+        // The janitor tick may also have been suppressed; re-arm it.
+        self.janitor_armed = false;
+        self.ensure_janitor(ctx);
     }
 }
 
@@ -1158,6 +1268,96 @@ mod tests {
             core.log(GROUP).unwrap().committed_transaction_count(),
             1,
             "the member must commit exactly once"
+        );
+    }
+
+    #[test]
+    fn retries_of_decided_transactions_get_the_original_fate() {
+        // Regression: a retry of an already-decided member (its reply was
+        // lost to a crash or partition) used to be silently dropped — the
+        // in-flight map entry was gone — leaving the client to time out as
+        // `Unavailable` even though the transaction had committed. The
+        // service now remembers decided fates and answers retries with the
+        // original outcome, without re-proposing.
+        struct RetryProber {
+            service: NodeId,
+            txn: Transaction,
+            received: StdArc<parking_lot::Mutex<Vec<Msg>>>,
+        }
+        impl Actor<Msg> for RetryProber {
+            fn on_start(&mut self, ctx: &mut Context<Msg>) {
+                ctx.send(
+                    self.service,
+                    Msg::CommitRequest {
+                        req_id: 1,
+                        txn: self.txn.clone(),
+                    },
+                );
+                // Retry well after the decision, as a resubmitting session
+                // whose first reply was lost would.
+                ctx.set_timer(SimDuration::from_secs(1), 7);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<Msg>, _tag: u64) {
+                ctx.send(
+                    self.service,
+                    Msg::CommitRequest {
+                        req_id: 2,
+                        txn: self.txn.clone(),
+                    },
+                );
+            }
+            fn on_message(&mut self, _ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+                self.received.lock().push(msg);
+            }
+        }
+        let mut sim: Simulation<Msg> =
+            Simulation::new(NetworkConfig::uniform(SimDuration::from_millis(1)), 1);
+        let site = sim.add_site("dc0");
+        let core = DatacenterCore::shared("dc0", 0);
+        let directory = Directory::new();
+        let service = TransactionService::new(
+            0,
+            core.clone(),
+            directory.clone(),
+            SimDuration::from_secs(2),
+        );
+        let service_node = sim.add_node(site, Box::new(service));
+        directory.register_datacenter(service_node, core.clone());
+        let received = StdArc::new(parking_lot::Mutex::new(Vec::new()));
+        let txn = Transaction::builder(TxnId::new(9, 1), GROUP, LogPosition(0))
+            .write(ItemRef::new(ROW, A), "a")
+            .build();
+        let prober_node = sim.add_node(
+            site,
+            Box::new(RetryProber {
+                service: service_node,
+                txn,
+                received: received.clone(),
+            }),
+        );
+        directory.register_client(prober_node, 0);
+        sim.run_until_idle_capped(100_000);
+        let got = received.lock();
+        let replies: Vec<(u64, bool)> = got
+            .iter()
+            .filter_map(|m| match m {
+                Msg::CommitReply {
+                    req_id, committed, ..
+                } => Some((*req_id, *committed)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            replies,
+            vec![(1, true), (2, true)],
+            "the retry must be answered with the original committed fate: {got:?}"
+        );
+        drop(got);
+        let core = core.lock();
+        assert_eq!(
+            core.log(GROUP).unwrap().committed_transaction_count(),
+            1,
+            "the retry must not commit the member a second time"
         );
     }
 

@@ -98,6 +98,16 @@ pub struct ClientConfig {
     /// Extra window Paxos-CP waits for straggler prepare replies when votes
     /// are present (see `paxos::TimerKind::Gather`).
     pub gather_window: SimDuration,
+    /// How many times a submitted commit is automatically re-submitted
+    /// (same transaction id, freshly resolved group home) after a patience
+    /// expiry or an [`AbortReason::Unavailable`] reply before the session
+    /// surfaces `Unavailable` to the application. Service-side transaction
+    /// id dedup makes the retries exactly-once; `0` disables retries.
+    pub max_resubmissions: u32,
+    /// Override of the submitted-route patience window (`None` = 8× the
+    /// message timeout; see [`ClientConfig::submit_patience`]). Chaos
+    /// harnesses shrink it so retries land within their fault windows.
+    pub patience: Option<SimDuration>,
 }
 
 impl ClientConfig {
@@ -112,6 +122,8 @@ impl ClientConfig {
             message_timeout: SimDuration::from_secs(2),
             backoff_max: SimDuration::from_millis(150),
             gather_window: SimDuration::from_millis(50),
+            max_resubmissions: 5,
+            patience: None,
         }
     }
 
@@ -140,13 +152,28 @@ impl ClientConfig {
         self
     }
 
+    /// Builder-style resubmission-budget override.
+    pub fn with_max_resubmissions(mut self, n: u32) -> Self {
+        self.max_resubmissions = n;
+        self
+    }
+
+    /// Builder-style patience-window override (see [`ClientConfig::patience`]).
+    pub fn with_submit_patience(mut self, patience: SimDuration) -> Self {
+        self.patience = Some(patience);
+        self
+    }
+
     /// How long a submitted commit waits for its [`Msg::CommitReply`]
-    /// before reporting [`AbortReason::Unavailable`]. Generous — the
+    /// before re-submitting (or, once the resubmission budget is spent,
+    /// reporting [`AbortReason::Unavailable`]). Generous by default — the
     /// service retries the commit protocol through failovers on the
     /// client's behalf — but bounded, so a crashed group home cannot wedge
     /// the session forever.
     pub fn submit_patience(&self) -> SimDuration {
-        SimDuration::from_micros(self.message_timeout.as_micros().saturating_mul(8))
+        self.patience.unwrap_or(SimDuration::from_micros(
+            self.message_timeout.as_micros().saturating_mul(8),
+        ))
     }
 
     /// The concrete delay for a proposer timer request — shared by the
@@ -297,6 +324,9 @@ struct OpenTxn {
     /// The id assigned when the commit was built (None before commit and
     /// for read-only transactions).
     id: Option<TxnId>,
+    /// Automatic re-submissions already made for this commit (submitted
+    /// route only; the id never changes across attempts).
+    submit_attempts: u32,
     phase: Phase,
 }
 
@@ -329,6 +359,8 @@ pub struct Session {
     submitted: HashMap<u64, u64>,
     /// Armed timer tags.
     timers: HashMap<u64, TimerRoute>,
+    /// Automatic re-submissions performed over the session's lifetime.
+    resubmissions: u64,
 }
 
 impl Session {
@@ -355,7 +387,14 @@ impl Session {
             direct_queue: HashMap::new(),
             submitted: HashMap::new(),
             timers: HashMap::new(),
+            resubmissions: 0,
         }
+    }
+
+    /// Automatic re-submissions the session has performed (see
+    /// [`ClientConfig::max_resubmissions`]).
+    pub fn resubmissions(&self) -> u64 {
+        self.resubmissions
     }
 
     /// The datacenter this session currently considers local.
@@ -390,6 +429,14 @@ impl Session {
     /// their own per-transaction state or timer tags by the raw id.
     pub fn handle_from_raw(&self, raw: u64) -> Option<TxnHandle> {
         self.open.contains_key(&raw).then_some(TxnHandle(raw))
+    }
+
+    /// The transaction id assigned to `handle`'s commit, once it has been
+    /// submitted (None while the transaction is still executing, or when the
+    /// handle is unknown). Embedding harnesses use this to correlate the
+    /// eventual [`TxnResult`] with per-transaction bookkeeping of their own.
+    pub fn txn_id(&self, handle: TxnHandle) -> Option<TxnId> {
+        self.open.get(&handle.0).and_then(|t| t.id)
     }
 
     /// Whether the transaction is in its commit phase (queued, driving a
@@ -437,6 +484,7 @@ impl Session {
                 began_at: now,
                 commit_started_at: None,
                 id: None,
+                submit_attempts: 0,
                 phase: Phase::Executing,
             },
         );
@@ -650,6 +698,71 @@ impl Session {
         out
     }
 
+    /// Re-fire every armed timer, in tag order. After a crash/recovery the
+    /// simulator has suppressed any timer that expired during the outage —
+    /// it will never fire, which would wedge in-flight commits forever.
+    /// The embedding actor calls this from its recovery hook. Early fires
+    /// are safe: a reply timeout triggers a (tolerated) extra protocol
+    /// round, a patience expiry a deduplicated resubmission, and a timer
+    /// that later really fires finds its tag gone and is a no-op.
+    pub fn refire_timers(&mut self, now: SimTime) -> Vec<ClientAction> {
+        let mut tags: Vec<u64> = self.timers.keys().copied().collect();
+        tags.sort_unstable();
+        let mut out = Vec::new();
+        for tag in tags {
+            out.extend(self.on_timer(now, tag));
+        }
+        out
+    }
+
+    /// Re-submit `handle`'s already-built transaction: same transaction id
+    /// (service-side dedup makes the retry exactly-once), fresh request id,
+    /// freshly resolved group home (the home may have migrated since the
+    /// last attempt), and a new patience timer with a growing randomized
+    /// backoff on top of the patience window.
+    fn resubmit_submitted(&mut self, handle: u64) -> Vec<ClientAction> {
+        self.resubmissions += 1;
+        self.next_req += 1;
+        let req_id = self.next_req;
+        let txn = self.open.get_mut(&handle).expect("caller checked");
+        txn.submit_attempts += 1;
+        let attempts = txn.submit_attempts;
+        let group = txn.group;
+        let transaction = Transaction::new(
+            txn.id.expect("submitted commits carry an id"),
+            group,
+            txn.read_position,
+            txn.reads.clone(),
+            txn.writes.clone(),
+        );
+        txn.phase = Phase::Submitted { req_id };
+        self.submitted.insert(req_id, handle);
+        let home = self.directory.group_home(group);
+        let mut out = vec![ClientAction::Send(
+            self.directory.service_node(home),
+            Msg::CommitRequest {
+                req_id,
+                txn: transaction,
+            },
+        )];
+        self.next_tag += 1;
+        let tag = self.next_tag;
+        self.timers
+            .insert(tag, TimerRoute::SubmitPatience { handle, req_id });
+        let backoff_cap = self
+            .config
+            .backoff_max
+            .as_micros()
+            .saturating_mul(attempts as u64)
+            .max(1);
+        let backoff = SimDuration::from_micros(self.rng.gen_range(0..backoff_cap));
+        out.push(ClientAction::ArmTimer {
+            delay: self.config.submit_patience() + backoff,
+            tag,
+        });
+        out
+    }
+
     /// Feed an incoming message (commit-protocol or commit-reply traffic)
     /// into the session.
     pub fn on_message(&mut self, now: SimTime, from: NodeId, msg: &Msg) -> Vec<ClientAction> {
@@ -667,6 +780,19 @@ impl Session {
                 let Some(handle) = self.submitted.remove(req_id) else {
                     return Vec::new();
                 };
+                // An `Unavailable` reply means the service gave up without
+                // a decision; retry while the budget lasts instead of
+                // surfacing it.
+                if !*committed && *abort_reason == Some(AbortReason::Unavailable) {
+                    let attempts = self
+                        .open
+                        .get(&handle)
+                        .map(|t| t.submit_attempts)
+                        .unwrap_or(u32::MAX);
+                    if attempts < self.config.max_resubmissions {
+                        return self.resubmit_submitted(handle);
+                    }
+                }
                 let txn = self
                     .open
                     .remove(&handle)
@@ -758,6 +884,17 @@ impl Session {
                     return Vec::new();
                 }
                 self.submitted.remove(&req_id);
+                // Patience ran out without a reply: re-submit while the
+                // budget lasts — the original request (or its reply) may
+                // have been lost to a crash, partition or home migration.
+                let attempts = self
+                    .open
+                    .get(&handle)
+                    .map(|t| t.submit_attempts)
+                    .unwrap_or(u32::MAX);
+                if attempts < self.config.max_resubmissions {
+                    return self.resubmit_submitted(handle);
+                }
                 let txn = self
                     .open
                     .remove(&handle)
@@ -1176,7 +1313,10 @@ mod tests {
     #[test]
     fn submitted_commit_times_out_as_unavailable() {
         let (dir, _core) = directory_with_one_dc();
-        let config = ClientConfig::cp().with_route(CommitRoute::Submitted);
+        // Retries disabled: patience expiry surfaces `Unavailable` directly.
+        let config = ClientConfig::cp()
+            .with_route(CommitRoute::Submitted)
+            .with_max_resubmissions(0);
         let mut session = Session::new(NodeId(5), 0, dir, config);
         let h = session.begin(SimTime::ZERO, "g");
         session.write(h, "row", "a", "1").unwrap();
@@ -1198,6 +1338,143 @@ mod tests {
         }
         assert!(!session.is_open(h));
         assert_eq!(session.open_transactions(), 0);
+    }
+
+    #[test]
+    fn patience_expiry_resubmits_with_the_same_id_before_giving_up() {
+        let (dir, _core) = directory_with_one_dc();
+        let config = ClientConfig::cp()
+            .with_route(CommitRoute::Submitted)
+            .with_max_resubmissions(2);
+        let mut session = Session::new(NodeId(5), 0, dir, config);
+        let h = session.begin(SimTime::ZERO, "g");
+        session.write(h, "row", "a", "1").unwrap();
+        let actions = session.commit(SimTime::ZERO, h).unwrap();
+        let first = actions
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::Send(_, Msg::CommitRequest { req_id, txn }) => {
+                    Some((*req_id, txn.id))
+                }
+                _ => None,
+            })
+            .expect("initial commit request");
+        let mut tag = actions
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::ArmTimer { tag, .. } => Some(*tag),
+                _ => None,
+            })
+            .expect("patience timer");
+        let mut now = SimTime::from_micros(16_000_000);
+        let mut last_req = first.0;
+        // Both budgeted retries re-send the SAME transaction id under a
+        // fresh request id and re-arm patience.
+        for attempt in 1..=2u64 {
+            let actions = session.on_timer(now, tag);
+            let (req_id, txn_id) = actions
+                .iter()
+                .find_map(|a| match a {
+                    ClientAction::Send(_, Msg::CommitRequest { req_id, txn }) => {
+                        Some((*req_id, txn.id))
+                    }
+                    _ => None,
+                })
+                .expect("resubmitted commit request");
+            assert_eq!(txn_id, first.1, "retries must keep the transaction id");
+            assert_ne!(req_id, last_req, "each attempt gets a fresh request id");
+            last_req = req_id;
+            assert_eq!(session.resubmissions(), attempt);
+            assert!(session.committing(h), "still waiting after a resubmit");
+            tag = actions
+                .iter()
+                .find_map(|a| match a {
+                    ClientAction::ArmTimer { tag, .. } => Some(*tag),
+                    _ => None,
+                })
+                .expect("re-armed patience timer");
+            now += SimDuration::from_secs(17);
+        }
+        // Budget exhausted: the next expiry surfaces `Unavailable`.
+        let done = session.on_timer(now, tag);
+        match &done[..] {
+            [ClientAction::Finished(r)] => {
+                assert!(!r.committed);
+                assert_eq!(r.abort_reason, Some(AbortReason::Unavailable));
+                assert_eq!(r.txn, Some(first.1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!session.is_open(h));
+    }
+
+    #[test]
+    fn unavailable_reply_triggers_a_resubmission() {
+        let (dir, _core) = directory_with_one_dc();
+        let config = ClientConfig::cp()
+            .with_route(CommitRoute::Submitted)
+            .with_max_resubmissions(1);
+        let mut session = Session::new(NodeId(5), 0, dir, config);
+        let h = session.begin(SimTime::ZERO, "g");
+        session.write(h, "row", "a", "1").unwrap();
+        let actions = session.commit(SimTime::ZERO, h).unwrap();
+        let (req_id, txn_id, group) = actions
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::Send(_, Msg::CommitRequest { req_id, txn }) => {
+                    Some((*req_id, txn.id, txn.group))
+                }
+                _ => None,
+            })
+            .expect("commit request");
+        let retry = session.on_message(
+            SimTime::from_micros(500),
+            NodeId(0),
+            &Msg::CommitReply {
+                req_id,
+                group,
+                txn: txn_id,
+                committed: false,
+                promotions: 0,
+                combined: false,
+                rounds: 0,
+                abort_reason: Some(AbortReason::Unavailable),
+            },
+        );
+        assert!(
+            retry.iter().any(|a| matches!(
+                a,
+                ClientAction::Send(_, Msg::CommitRequest { txn, .. }) if txn.id == txn_id
+            )),
+            "an Unavailable reply must trigger a resubmission, got {retry:?}"
+        );
+        assert_eq!(session.resubmissions(), 1);
+        assert!(session.committing(h));
+        // The retry's reply (answered from the service's decided-fate
+        // memory) finishes the transaction normally.
+        let new_req = retry
+            .iter()
+            .find_map(|a| match a {
+                ClientAction::Send(_, Msg::CommitRequest { req_id, .. }) => Some(*req_id),
+                _ => None,
+            })
+            .expect("retried request id");
+        let done = session.on_message(
+            SimTime::from_micros(900),
+            NodeId(0),
+            &Msg::CommitReply {
+                req_id: new_req,
+                group,
+                txn: txn_id,
+                committed: true,
+                promotions: 0,
+                combined: false,
+                rounds: 1,
+                abort_reason: None,
+            },
+        );
+        assert!(matches!(&done[..], [ClientAction::Finished(r)] if r.committed));
+        assert!(!session.is_open(h));
     }
 
     #[test]

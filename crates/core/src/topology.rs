@@ -166,6 +166,7 @@ impl Topology {
             latency,
             loss_probability: self.loss_probability,
             jitter: self.jitter,
+            chaos: simnet::ChaosConfig::default(),
         }
     }
 }

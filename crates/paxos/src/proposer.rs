@@ -654,11 +654,40 @@ impl Proposer {
         let acks = self.round.accept_acks;
         let rejects = self.round.accept_rejects;
         let outstanding = self.cfg.num_replicas - acks - rejects;
-        if acks >= self.cfg.majority() {
+        // A fast (round-0) ballot needs *every* replica's accept before it
+        // may decide. Fast votes are first-come-first-served rather than
+        // ordered by ballot, so two proposers racing for a virgin position
+        // can split the fast votes between them; if a bare majority sufficed,
+        // a later prepare that reaches only the minority voter could adopt
+        // the losing value over the decided one (the classic Fast Paxos
+        // recovery hazard). Unanimity restores the invariant a recovering
+        // prepare relies on: a decided fast value has a vote on every
+        // replica, so any quorum the prepare reaches either sees it or sees
+        // two conflicting round-0 votes — in which case neither was decided
+        // and the choice is free.
+        let needed = self.quorum_for_ballot();
+        if acks >= needed {
             self.on_decided(out);
-        } else if acks + outstanding < self.cfg.majority() {
-            // A majority can no longer be reached in this round.
-            self.enter_backoff(out);
+        } else if acks + outstanding < needed {
+            if self.ballot.is_fast() {
+                // The fast round cannot reach unanimity (a replica already
+                // voted for a rival or promised a higher ballot): recover
+                // through the classic prepare path at a regular ballot.
+                self.begin_prepare(out);
+            } else {
+                // A majority can no longer be reached in this round.
+                self.enter_backoff(out);
+            }
+        }
+    }
+
+    /// Accepts required to decide at the current ballot: all replicas for a
+    /// fast (round-0) ballot, a simple majority otherwise.
+    fn quorum_for_ballot(&self) -> usize {
+        if self.ballot.is_fast() {
+            self.cfg.num_replicas
+        } else {
+            self.cfg.majority()
         }
     }
 
@@ -817,8 +846,13 @@ impl Proposer {
                 }
             }
             Phase::Accept => {
-                if self.round.accept_acks >= self.cfg.majority() {
+                if self.round.accept_acks >= self.quorum_for_ballot() {
                     self.on_decided(out);
+                } else if self.ballot.is_fast() {
+                    // An incomplete fast round is never decided; recover it
+                    // through the classic prepare path rather than backing
+                    // off to retry the (already lost) fast ballot.
+                    self.begin_prepare(out);
                 } else {
                     self.enter_backoff(out);
                 }
@@ -1004,6 +1038,48 @@ mod tests {
         match &actions[0] {
             ProposerAction::Broadcast(PaxosMsg::Accept { ballot, .. }) => {
                 assert!(ballot.is_fast())
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fast_round_decides_only_on_unanimous_accepts() {
+        let mut p = proposer(ProposerConfig::basic(3));
+        p.start();
+        p.on_event(ProposerEvent::FastPathReply {
+            position: LogPosition(1),
+            granted: true,
+        });
+        // A bare majority of fast accepts must NOT decide: the third replica
+        // may hold a rival round-0 vote, and a recovering prepare that only
+        // reaches that replica would adopt the rival value.
+        assert!(p.on_event(accept_reply(&p, 0, true)).is_empty());
+        assert!(p.on_event(accept_reply(&p, 1, true)).is_empty());
+        let actions = p.on_event(accept_reply(&p, 2, true));
+        assert!(matches!(
+            actions[0],
+            ProposerAction::Broadcast(PaxosMsg::Apply { .. })
+        ));
+        assert!(finished(&actions).unwrap().committed);
+    }
+
+    #[test]
+    fn fast_round_reject_falls_back_to_classic_prepare() {
+        let mut p = proposer(ProposerConfig::basic(3));
+        p.start();
+        p.on_event(ProposerEvent::FastPathReply {
+            position: LogPosition(1),
+            granted: true,
+        });
+        p.on_event(accept_reply(&p, 0, true));
+        // One reject makes unanimity unreachable: the fast round is lost and
+        // the proposer re-enters the protocol at the prepare phase with a
+        // regular (round >= 1) ballot instead of backing off.
+        let actions = p.on_event(accept_reply(&p, 1, false));
+        match &actions[0] {
+            ProposerAction::Broadcast(PaxosMsg::Prepare { ballot, .. }) => {
+                assert!(!ballot.is_fast())
             }
             other => panic!("unexpected {other:?}"),
         }

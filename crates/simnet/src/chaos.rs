@@ -1,0 +1,372 @@
+//! Seeded rolling-failure schedules.
+//!
+//! A [`ChaosSpec`] declares a *continuous* fault scenario — rolling site
+//! crashes with staggered restarts, a flapping inter-site partition,
+//! periodic churn on a harness-owned placement map — and
+//! [`ChaosSchedule::generate`] expands it into a deterministic, seeded
+//! timeline of [`ChaosEvent`]s. The harness that owns the simulation
+//! drives the schedule between [`Simulation::run_until`] slices: pop the
+//! events that came due, apply the network-level ones with
+//! [`ChaosSchedule::apply_network`], and interpret the rest (e.g.
+//! [`ChaosEvent::MoveHome`]) against whatever placement state it owns.
+//!
+//! The schedule is data, not an actor: actors cannot mutate the network
+//! model from inside the run loop, and keeping the timeline explicit makes
+//! every run reproducible from `(spec, seed)` alone.
+
+use crate::network::SiteId;
+use crate::sim::Simulation;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled fault (or repair) of a rolling-failure scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Take a whole site (datacenter) offline.
+    CrashSite(SiteId),
+    /// Restart a crashed site (its actors get `on_recover`).
+    RecoverSite(SiteId),
+    /// Partition two sites from each other.
+    Partition(SiteId, SiteId),
+    /// Heal the partition between two sites.
+    Heal(SiteId, SiteId),
+    /// Move the home of the `group`-th group to `replica`. Not a
+    /// network-level event: [`ChaosSchedule::apply_network`] ignores it and
+    /// the harness owning the group-home map must interpret it.
+    MoveHome {
+        /// Index of the group whose home moves (harness-defined order).
+        group: usize,
+        /// Replica (site) index the home moves to.
+        replica: usize,
+    },
+}
+
+impl ChaosEvent {
+    /// Whether the event injects a fault (crashes, partitions and placement
+    /// churn count; repairs do not).
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            ChaosEvent::CrashSite(_) | ChaosEvent::Partition(..) | ChaosEvent::MoveHome { .. }
+        )
+    }
+}
+
+/// Declarative spec of a rolling-failure scenario over a fixed duration.
+#[derive(Clone, Debug)]
+pub struct ChaosSpec {
+    /// How long faults keep being injected (repairs may land later so the
+    /// cluster always ends healthy).
+    pub duration: SimDuration,
+    /// Number of sites the rolling crashes cycle over (sites `0..n`).
+    pub crash_sites: usize,
+    /// Cadence of rolling crashes (`None` disables them).
+    pub crash_period: Option<SimDuration>,
+    /// How long each crashed site stays down before its staggered restart.
+    pub crash_downtime: SimDuration,
+    /// Fraction of the crash period each crash instant is jittered by
+    /// (drawn from the schedule's seeded RNG).
+    pub stagger: f64,
+    /// Site pair whose link flaps (`None` disables flapping).
+    pub flap_pair: Option<(SiteId, SiteId)>,
+    /// Flap cadence: each period the pair partitions, then heals after
+    /// `flap_down` within the same period.
+    pub flap_period: Option<SimDuration>,
+    /// How long each flap keeps the pair partitioned.
+    pub flap_down: SimDuration,
+    /// Cadence of group-home churn events (`None` disables churn).
+    pub home_churn_period: Option<SimDuration>,
+    /// Number of groups churn events pick from (indices `0..n`).
+    pub home_churn_groups: usize,
+}
+
+impl ChaosSpec {
+    /// A scenario of the given length with every fault family disabled.
+    pub fn new(duration: SimDuration) -> Self {
+        ChaosSpec {
+            duration,
+            crash_sites: 0,
+            crash_period: None,
+            crash_downtime: SimDuration::from_millis(400),
+            stagger: 0.25,
+            flap_pair: None,
+            flap_period: None,
+            flap_down: SimDuration::from_millis(300),
+            home_churn_period: None,
+            home_churn_groups: 0,
+        }
+    }
+
+    /// Builder-style: rolling crashes cycling over sites `0..sites`, one
+    /// crash per `period`, each down for `downtime` before restarting.
+    pub fn with_rolling_crashes(
+        mut self,
+        sites: usize,
+        period: SimDuration,
+        downtime: SimDuration,
+    ) -> Self {
+        self.crash_sites = sites;
+        self.crash_period = Some(period);
+        self.crash_downtime = downtime;
+        self
+    }
+
+    /// Builder-style: set the crash-instant jitter fraction.
+    pub fn with_stagger(mut self, stagger: f64) -> Self {
+        self.stagger = stagger.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder-style: flap the link between `a` and `b` once per `period`,
+    /// keeping it partitioned for `down` each time.
+    pub fn with_flapping(
+        mut self,
+        a: SiteId,
+        b: SiteId,
+        period: SimDuration,
+        down: SimDuration,
+    ) -> Self {
+        self.flap_pair = Some((a, b));
+        self.flap_period = Some(period);
+        self.flap_down = down;
+        self
+    }
+
+    /// Builder-style: move a random one of `groups` group homes to a random
+    /// one of `crash_sites` replicas once per `period`.
+    pub fn with_home_churn(mut self, groups: usize, period: SimDuration) -> Self {
+        self.home_churn_groups = groups;
+        self.home_churn_period = Some(period);
+        self
+    }
+}
+
+/// A deterministic timeline of [`ChaosEvent`]s expanded from a
+/// [`ChaosSpec`] and a seed, consumed in time order by the harness.
+#[derive(Clone, Debug)]
+pub struct ChaosSchedule {
+    events: Vec<(SimTime, ChaosEvent)>,
+    cursor: usize,
+    faults_injected: u64,
+}
+
+impl ChaosSchedule {
+    /// Expand `spec` into a sorted event timeline. The same `(spec, seed)`
+    /// pair always yields the same timeline.
+    pub fn generate(spec: &ChaosSpec, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events: Vec<(SimTime, ChaosEvent)> = Vec::new();
+        let horizon = spec.duration.as_micros();
+
+        if let (Some(period), true) = (spec.crash_period, spec.crash_sites > 0) {
+            let period_us = period.as_micros().max(1);
+            let mut site = 0usize;
+            let mut t = period_us;
+            while t < horizon {
+                let jitter = (rng.gen::<f64>() * spec.stagger * period_us as f64).round() as u64;
+                let crash_at = SimTime::from_micros(t + jitter);
+                let recover_at = crash_at + spec.crash_downtime;
+                let target = SiteId((site % spec.crash_sites) as u32);
+                events.push((crash_at, ChaosEvent::CrashSite(target)));
+                events.push((recover_at, ChaosEvent::RecoverSite(target)));
+                site += 1;
+                t += period_us;
+            }
+        }
+
+        if let (Some((a, b)), Some(period)) = (spec.flap_pair, spec.flap_period) {
+            let period_us = period.as_micros().max(1);
+            let mut t = period_us / 2;
+            while t < horizon {
+                let cut_at = SimTime::from_micros(t);
+                events.push((cut_at, ChaosEvent::Partition(a, b)));
+                events.push((cut_at + spec.flap_down, ChaosEvent::Heal(a, b)));
+                t += period_us;
+            }
+        }
+
+        if let (Some(period), true) = (spec.home_churn_period, spec.home_churn_groups > 0) {
+            let period_us = period.as_micros().max(1);
+            let replicas = spec.crash_sites.max(1);
+            let mut t = period_us;
+            while t < horizon {
+                let group = rng.gen_range(0..spec.home_churn_groups);
+                let replica = rng.gen_range(0..replicas);
+                events.push((
+                    SimTime::from_micros(t),
+                    ChaosEvent::MoveHome { group, replica },
+                ));
+                t += period_us;
+            }
+        }
+
+        events.sort_by_key(|(time, _)| *time);
+        ChaosSchedule {
+            events,
+            cursor: 0,
+            faults_injected: 0,
+        }
+    }
+
+    /// The full timeline, in time order.
+    pub fn events(&self) -> &[(SimTime, ChaosEvent)] {
+        &self.events
+    }
+
+    /// Instant of the next event not yet popped, if any.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.events.get(self.cursor).map(|(time, _)| *time)
+    }
+
+    /// Pop every event due at or before `now`, counting the faults among
+    /// them into [`ChaosSchedule::faults_injected`].
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<ChaosEvent> {
+        let mut due = Vec::new();
+        while let Some((time, event)) = self.events.get(self.cursor) {
+            if *time > now {
+                break;
+            }
+            if event.is_fault() {
+                self.faults_injected += 1;
+            }
+            due.push(*event);
+            self.cursor += 1;
+        }
+        due
+    }
+
+    /// Whether every event has been popped.
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+
+    /// Faults popped so far (crashes, partitions, home moves; repairs are
+    /// not counted).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Apply a network-level event to a simulation. Returns `false` for
+    /// events the simulation cannot interpret ([`ChaosEvent::MoveHome`]),
+    /// which the harness must handle itself.
+    pub fn apply_network<M: Clone + 'static>(event: ChaosEvent, sim: &mut Simulation<M>) -> bool {
+        match event {
+            ChaosEvent::CrashSite(site) => {
+                sim.crash_site(site);
+                true
+            }
+            ChaosEvent::RecoverSite(site) => {
+                sim.recover_site(site);
+                true
+            }
+            ChaosEvent::Partition(a, b) => {
+                sim.network_mut().partition(a, b);
+                true
+            }
+            ChaosEvent::Heal(a, b) => {
+                sim.network_mut().heal(a, b);
+                true
+            }
+            ChaosEvent::MoveHome { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rolling_spec() -> ChaosSpec {
+        ChaosSpec::new(SimDuration::from_secs(10))
+            .with_rolling_crashes(3, SimDuration::from_secs(2), SimDuration::from_millis(400))
+            .with_flapping(
+                SiteId(0),
+                SiteId(1),
+                SimDuration::from_secs(2),
+                SimDuration::from_millis(300),
+            )
+            .with_home_churn(4, SimDuration::from_secs(3))
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = ChaosSchedule::generate(&rolling_spec(), 7);
+        let b = ChaosSchedule::generate(&rolling_spec(), 7);
+        assert_eq!(a.events(), b.events());
+        let c = ChaosSchedule::generate(&rolling_spec(), 8);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn every_crash_gets_a_staggered_restart() {
+        let schedule = ChaosSchedule::generate(&rolling_spec(), 1);
+        let crashes: Vec<_> = schedule
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, ChaosEvent::CrashSite(_)))
+            .collect();
+        let recoveries: Vec<_> = schedule
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, ChaosEvent::RecoverSite(_)))
+            .collect();
+        assert!(!crashes.is_empty());
+        assert_eq!(crashes.len(), recoveries.len());
+        // Sites cycle: within the horizon every site is crashed at least once.
+        for site in 0..3 {
+            assert!(
+                crashes
+                    .iter()
+                    .any(|(_, e)| *e == ChaosEvent::CrashSite(SiteId(site))),
+                "site {site} never crashed"
+            );
+        }
+    }
+
+    #[test]
+    fn pop_due_is_in_order_and_counts_faults() {
+        let mut schedule = ChaosSchedule::generate(&rolling_spec(), 3);
+        let total = schedule.events().len();
+        let first_due = schedule.next_due().unwrap();
+        assert!(schedule.pop_due(SimTime::ZERO).is_empty());
+        let due = schedule.pop_due(first_due);
+        assert!(!due.is_empty());
+        let rest = schedule.pop_due(SimTime::from_micros(u64::MAX));
+        assert_eq!(due.len() + rest.len(), total);
+        assert!(schedule.exhausted());
+        let faults = due.iter().chain(&rest).filter(|e| e.is_fault()).count();
+        assert_eq!(schedule.faults_injected(), faults as u64);
+        assert!(schedule.faults_injected() > 0);
+    }
+
+    #[test]
+    fn network_events_apply_to_a_simulation() {
+        let mut sim: Simulation<()> = Simulation::new(crate::network::NetworkConfig::default(), 1);
+        let a = sim.add_site("a");
+        let b = sim.add_site("b");
+        assert!(ChaosSchedule::apply_network(
+            ChaosEvent::Partition(a, b),
+            &mut sim
+        ));
+        assert!(ChaosSchedule::apply_network(
+            ChaosEvent::CrashSite(a),
+            &mut sim
+        ));
+        assert!(ChaosSchedule::apply_network(
+            ChaosEvent::RecoverSite(a),
+            &mut sim
+        ));
+        assert!(ChaosSchedule::apply_network(
+            ChaosEvent::Heal(a, b),
+            &mut sim
+        ));
+        assert!(!ChaosSchedule::apply_network(
+            ChaosEvent::MoveHome {
+                group: 0,
+                replica: 1
+            },
+            &mut sim
+        ));
+    }
+}

@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 
 mod actor;
+mod chaos;
 mod network;
 mod parallel;
 mod sim;
@@ -73,7 +74,8 @@ mod stats;
 mod time;
 
 pub use actor::{Action, Actor, Context, TimerId};
-pub use network::{LatencyMatrix, Network, NetworkConfig, SiteId};
+pub use chaos::{ChaosEvent, ChaosSchedule, ChaosSpec};
+pub use network::{ChaosConfig, LatencyMatrix, Network, NetworkConfig, SiteId};
 pub use parallel::{ParallelReport, ParallelRuntime};
 pub use sim::{NodeId, Simulation};
 pub use stats::NetStats;

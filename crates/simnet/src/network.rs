@@ -74,6 +74,69 @@ impl LatencyMatrix {
     }
 }
 
+/// Chaos policies applied to messages that the base model decided to
+/// deliver: independent duplication, reordering (holding a message back so
+/// later sends overtake it) and delay bursts. All probabilities default to
+/// zero, in which case the model draws no extra randomness and behaves
+/// bit-for-bit like the pre-chaos network.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Probability that a delivered message is delivered **twice** (the
+    /// duplicate arrives with an independently perturbed delay).
+    pub duplicate_probability: f64,
+    /// Probability that a delivered message is held back by
+    /// [`ChaosConfig::reorder_delay`], letting messages sent after it
+    /// overtake it.
+    pub reorder_probability: f64,
+    /// Extra one-way delay applied to reordered messages.
+    pub reorder_delay: SimDuration,
+    /// Probability that a message hits a delay burst.
+    pub burst_probability: f64,
+    /// Latency multiplier applied during a delay burst (clamped to ≥ 1).
+    pub burst_factor: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_delay: SimDuration::ZERO,
+            burst_probability: 0.0,
+            burst_factor: 1.0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Builder-style: set the duplicate-delivery probability.
+    pub fn with_duplicates(mut self, p: f64) -> Self {
+        self.duplicate_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder-style: set the reordering probability and hold-back delay.
+    pub fn with_reordering(mut self, p: f64, delay: SimDuration) -> Self {
+        self.reorder_probability = p.clamp(0.0, 1.0);
+        self.reorder_delay = delay;
+        self
+    }
+
+    /// Builder-style: set the delay-burst probability and multiplier.
+    pub fn with_bursts(mut self, p: f64, factor: f64) -> Self {
+        self.burst_probability = p.clamp(0.0, 1.0);
+        self.burst_factor = factor.max(1.0);
+        self
+    }
+
+    /// Whether any chaos policy can fire (any probability above zero).
+    pub fn is_active(&self) -> bool {
+        self.duplicate_probability > 0.0
+            || self.reorder_probability > 0.0
+            || self.burst_probability > 0.0
+    }
+}
+
 /// Static configuration of the network model.
 #[derive(Clone, Debug)]
 pub struct NetworkConfig {
@@ -84,6 +147,9 @@ pub struct NetworkConfig {
     /// Multiplicative jitter: the delivery latency is scaled by a factor
     /// drawn uniformly from `[1 - jitter, 1 + jitter]`.
     pub jitter: f64,
+    /// Duplication / reordering / delay-burst policies (inactive by
+    /// default).
+    pub chaos: ChaosConfig,
 }
 
 impl NetworkConfig {
@@ -94,6 +160,7 @@ impl NetworkConfig {
             latency: LatencyMatrix::new(one_way, one_way),
             loss_probability: 0.0,
             jitter: 0.0,
+            chaos: ChaosConfig::default(),
         }
     }
 
@@ -106,6 +173,12 @@ impl NetworkConfig {
     /// Builder-style: set the jitter fraction.
     pub fn with_jitter(mut self, jitter: f64) -> Self {
         self.jitter = jitter.max(0.0);
+        self
+    }
+
+    /// Builder-style: set the chaos policies.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
         self
     }
 }

@@ -5,7 +5,7 @@ use crate::network::{Delivery, DropReason, Network, NetworkConfig, SiteId};
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
@@ -70,7 +70,7 @@ pub struct Simulation<M> {
     started: bool,
 }
 
-impl<M: 'static> Simulation<M> {
+impl<M: Clone + 'static> Simulation<M> {
     /// Create an empty simulation with the given network configuration and
     /// RNG seed. The same seed and the same sequence of calls produce the
     /// same execution, bit for bit.
@@ -281,6 +281,38 @@ impl<M: 'static> Simulation<M> {
                 self.stats.sent += 1;
                 match self.network.route(source, to, &mut self.rng) {
                     Delivery::Deliver(latency) => {
+                        // Chaos policies perturb only messages the base
+                        // model decided to deliver; with every probability
+                        // at zero (the default) no extra randomness is
+                        // drawn, so pre-chaos traces are reproduced
+                        // bit for bit.
+                        let chaos = self.network.config().chaos.clone();
+                        let mut latency = latency;
+                        if chaos.burst_probability > 0.0
+                            && self.rng.gen::<f64>() < chaos.burst_probability
+                        {
+                            self.stats.delay_bursts += 1;
+                            latency = latency.mul_f64(chaos.burst_factor.max(1.0));
+                        }
+                        if chaos.reorder_probability > 0.0
+                            && self.rng.gen::<f64>() < chaos.reorder_probability
+                        {
+                            self.stats.reordered += 1;
+                            latency += chaos.reorder_delay;
+                        }
+                        if chaos.duplicate_probability > 0.0
+                            && self.rng.gen::<f64>() < chaos.duplicate_probability
+                        {
+                            self.stats.duplicated += 1;
+                            self.push_event(
+                                self.now + latency,
+                                EventKind::Deliver {
+                                    from: source,
+                                    to,
+                                    msg: msg.clone(),
+                                },
+                            );
+                        }
                         self.push_event(
                             self.now + latency,
                             EventKind::Deliver {
@@ -516,6 +548,47 @@ mod tests {
         sim.recover_site(oregon);
         sim.run_until_idle_capped(10_000);
         assert!(sim.stats().delivered >= 10);
+    }
+
+    #[test]
+    fn chaos_duplication_delivers_extra_copies() {
+        let (mut sim, _echo, _driver) = two_site_sim(0.0, 11);
+        sim.network_mut().config_mut().chaos =
+            crate::network::ChaosConfig::default().with_duplicates(1.0);
+        sim.run_until_idle_capped(10_000);
+        let stats = sim.stats();
+        assert_eq!(stats.duplicated, stats.sent);
+        // Every send arrives twice: the original plus the duplicate.
+        assert_eq!(stats.delivered, 2 * stats.sent);
+    }
+
+    #[test]
+    fn chaos_reorder_and_bursts_stretch_latency_and_count() {
+        let (mut sim, _echo, _driver) = two_site_sim(0.0, 13);
+        sim.network_mut().config_mut().chaos = crate::network::ChaosConfig::default()
+            .with_reordering(1.0, SimDuration::from_millis(10))
+            .with_bursts(1.0, 3.0);
+        sim.run_until_idle_capped(100_000);
+        let stats = sim.stats().clone();
+        assert_eq!(stats.reordered, stats.sent);
+        assert_eq!(stats.delay_bursts, stats.sent);
+        // 5 round trips, each one-way hop 45ms * 3 (burst) + 10ms (reorder).
+        assert_eq!(sim.now().as_micros(), 10 * (45_000 * 3 + 10_000));
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let (mut sim, _, _) = two_site_sim(0.2, seed);
+            sim.network_mut().config_mut().chaos = crate::network::ChaosConfig::default()
+                .with_duplicates(0.3)
+                .with_reordering(0.3, SimDuration::from_millis(5))
+                .with_bursts(0.2, 2.0);
+            sim.run_until_idle_capped(100_000);
+            (sim.now(), sim.stats().clone())
+        };
+        assert_eq!(run(21), run(21));
+        assert_ne!(run(21), run(22));
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub struct NetStats {
     pub timers_cancelled: u64,
     /// Timers suppressed because their owner was down when they fired.
     pub timers_suppressed: u64,
+    /// Extra deliveries injected by the chaos duplication policy (each one
+    /// also counts in `delivered` when it arrives).
+    pub duplicated: u64,
+    /// Deliveries held back by the chaos reordering policy.
+    pub reordered: u64,
+    /// Deliveries stretched by the chaos delay-burst policy.
+    pub delay_bursts: u64,
 }
 
 impl NetStats {

@@ -1,0 +1,577 @@
+//! Rolling-failure chaos harness on the deterministic simulation.
+//!
+//! [`run_chaos`] offers an open-loop transactional load (arrivals scheduled
+//! independently of completions, latency charged from the scheduled arrival
+//! instant) to a simulated cluster while a seeded [`ChaosSpec`] schedule
+//! crashes leaders with staggered restarts, flaps an inter-site partition
+//! and migrates group homes. Every run asserts, before returning:
+//!
+//! * **serializability** — the merged logs pass the checker, exactly like a
+//!   fault-free experiment;
+//! * **exactly-once** — every commit a client observed appears exactly once
+//!   in the merged decided log, across crashes, duplicated deliveries and
+//!   group-home handoffs;
+//! * **liveness** (optional) — committed throughput never flatlines to zero
+//!   in any [`ChaosRunSpec::liveness_window`] of the load phase.
+//!
+//! The drivers commit down [`mdstore::CommitRoute::Submitted`] and lean on
+//! the session's automatic re-submission: an `Unavailable` outcome or an
+//! expired submit-patience window triggers a deduplicated retry against the
+//! group's *current* home, so a fault window costs latency, not outcomes.
+
+use crate::driver::SharedMetrics;
+use crate::zipf::{KeyDistribution, KeySampler};
+use mdstore::{
+    AbortReason, ClientAction, ClientConfig, Cluster, ClusterConfig, CommitProtocol, CommitRoute,
+    Directory, Msg, RunMetrics, Session, Topology,
+};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{Actor, ChaosEvent, ChaosSchedule, ChaosSpec, Context, NodeId, SimDuration, SiteId};
+use std::collections::HashMap;
+use std::sync::Arc;
+use walog::{AttrId, GroupId, KeyId, TxnId};
+
+/// Reserved timer tag for the driver's arrival clock (session tags count up
+/// from 1 and can never collide).
+const ARRIVAL_TAG: u64 = u64::MAX;
+
+/// A complete chaos-run description: cluster, fault schedule and load.
+#[derive(Clone, Debug)]
+pub struct ChaosRunSpec {
+    /// Datacenter layout.
+    pub topology: Topology,
+    /// Commit protocol under test.
+    pub protocol: CommitProtocol,
+    /// Transaction groups (`g0 .. g{n-1}`), homes spread round-robin and
+    /// churned by the schedule's `MoveHome` events.
+    pub groups: usize,
+    /// Open-loop drivers, spread round-robin over the datacenters. Their
+    /// sites crash too — a driver rides through its own outages by
+    /// re-firing suppressed timers on recovery.
+    pub drivers: usize,
+    /// Attributes per entity group (`a0 .. a{n-1}`).
+    pub attributes: usize,
+    /// How writes pick their attribute (zipfian concentrates the load).
+    pub key_distribution: KeyDistribution,
+    /// Aggregate offered load over all drivers, in transactions per second.
+    pub offered_tps: f64,
+    /// Length of the arrival phase; the run then drains every outstanding
+    /// commit (and any late schedule events) to completion.
+    pub load_duration: SimDuration,
+    /// The fault scenario injected while the load runs.
+    pub chaos: ChaosSpec,
+    /// Liveness bucket width: with [`ChaosRunSpec::require_liveness`], every
+    /// full window of the load phase must commit at least one transaction.
+    pub liveness_window: SimDuration,
+    /// Session re-submission budget per transaction.
+    pub max_resubmissions: u32,
+    /// Session submit-patience override (`None` = the session default of
+    /// eight message timeouts).
+    pub submit_patience: Option<SimDuration>,
+    /// Panic if any full liveness window commits nothing.
+    pub require_liveness: bool,
+    /// Seed for the cluster, the drivers and the fault schedule.
+    pub seed: u64,
+}
+
+impl ChaosRunSpec {
+    /// The canonical rolling-failure scenario: a VVV cluster under zipfian
+    /// open-loop load while a leader crashes roughly every two seconds
+    /// (staggered restarts), the link between the two non-primary sites
+    /// flaps, and group homes churn every few seconds.
+    pub fn rolling_failure(load_duration: SimDuration) -> Self {
+        let chaos = ChaosSpec::new(load_duration)
+            .with_rolling_crashes(3, SimDuration::from_secs(2), SimDuration::from_millis(400))
+            .with_flapping(
+                SiteId(1),
+                SiteId(2),
+                SimDuration::from_secs(2),
+                SimDuration::from_millis(300),
+            )
+            .with_home_churn(4, SimDuration::from_secs(3));
+        ChaosRunSpec {
+            topology: Topology::vvv(),
+            protocol: CommitProtocol::PaxosCp,
+            groups: 4,
+            drivers: 6,
+            attributes: 64,
+            key_distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            offered_tps: 200.0,
+            load_duration,
+            chaos,
+            liveness_window: SimDuration::from_secs(1),
+            // Generous: a churned home can land on a crashed site, so one
+            // transaction may ride out several consecutive fault windows
+            // (patience + growing backoff per attempt) before it lands.
+            max_resubmissions: 32,
+            submit_patience: Some(SimDuration::from_millis(400)),
+            require_liveness: true,
+            seed: 42,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style fault-schedule override.
+    pub fn with_chaos(mut self, chaos: ChaosSpec) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Builder-style offered-load override.
+    pub fn with_offered_tps(mut self, tps: f64) -> Self {
+        self.offered_tps = tps;
+        self
+    }
+}
+
+/// Everything measured in one chaos run (the run panics before producing a
+/// result if serializability, exactly-once or required liveness fails).
+#[derive(Clone, Debug)]
+pub struct ChaosRunResult {
+    /// Transactions offered (every one reached an outcome).
+    pub attempted: u64,
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transactions that aborted for any reason.
+    pub aborted: u64,
+    /// Outcomes surfaced to clients as `Unavailable` after the
+    /// re-submission budget ran out (0 in a healthy run).
+    pub unavailable: u64,
+    /// Faults the schedule injected (crashes, partitions, home moves).
+    pub faults_injected: u64,
+    /// Automatic session re-submissions across all drivers.
+    pub resubmissions: u64,
+    /// Retries answered from the dedup layers instead of re-executing.
+    pub duplicate_suppressions: u64,
+    /// Commits per full liveness window of the load phase, in time order.
+    pub window_commits: Vec<u64>,
+    /// The quietest full window's commit count.
+    pub min_window_commits: u64,
+    /// p99 of open-loop commit latency (scheduled arrival → decision), µs.
+    /// Fault windows show up here as the availability dip.
+    pub availability_dip_p99_us: u64,
+    /// Aggregate client + service metrics.
+    pub totals: RunMetrics,
+    /// Virtual time the run took, including the drain phase.
+    pub duration: SimDuration,
+}
+
+impl ChaosRunResult {
+    /// Re-submissions per committed transaction (the overhead the fault
+    /// schedule extracted from the retry machinery).
+    pub fn resubmission_rate(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.resubmissions as f64 / self.committed as f64
+        }
+    }
+}
+
+/// Client-observed outcomes shared between the drivers and the harness.
+#[derive(Default)]
+struct Observations {
+    /// Decision instant of every committed transaction, µs of virtual time.
+    commit_times_us: Vec<u64>,
+    /// Open-loop latency (scheduled arrival → decision) per commit, µs.
+    latencies_us: Vec<u64>,
+    /// Ids the clients observed as committed (audited against the logs).
+    committed_ids: Vec<TxnId>,
+    /// Outcomes surfaced as `Unavailable` after the retry budget ran out.
+    unavailable: u64,
+}
+
+type SharedObservations = Arc<Mutex<Observations>>;
+
+/// One open-loop chaos driver: draws Poisson arrivals on its own clock,
+/// fires each as a single-write transaction through its [`Session`]
+/// (submitted route), and keeps the arrival process independent of
+/// completions — a fault window backlogs arrivals, it never pauses them.
+struct ChaosDriver {
+    session: Session,
+    metrics: SharedMetrics,
+    obs: SharedObservations,
+    rng: StdRng,
+    groups: Vec<GroupId>,
+    row: KeyId,
+    attrs: Vec<AttrId>,
+    sampler: KeySampler,
+    /// Mean inter-arrival gap in µs (exponential).
+    mean_gap_us: f64,
+    /// No arrivals are scheduled at or past this instant.
+    cutoff_us: u64,
+    /// Next scheduled arrival, µs. Advances monotonically; arrivals that
+    /// come due while the driver's site is down are issued (backdated) at
+    /// recovery, so downtime is charged to latency, not silently omitted.
+    next_arrival_us: u64,
+    /// Scheduled arrival instant per in-flight transaction id.
+    scheduled: HashMap<TxnId, u64>,
+    seq: u64,
+}
+
+impl ChaosDriver {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        node: NodeId,
+        home_replica: usize,
+        directory: Arc<Directory>,
+        client_config: ClientConfig,
+        spec: &ChaosRunSpec,
+        driver_index: usize,
+        metrics: SharedMetrics,
+        obs: SharedObservations,
+    ) -> Self {
+        let symbols = directory.symbols();
+        let groups: Vec<GroupId> = (0..spec.groups.max(1))
+            .map(|i| symbols.group(&format!("g{i}")))
+            .collect();
+        let row = symbols.key("row0");
+        let attrs: Vec<AttrId> = (0..spec.attributes.max(1))
+            .map(|i| symbols.attr(&format!("a{i}")))
+            .collect();
+        let sampler = KeySampler::new(spec.key_distribution, attrs.len() as u64);
+        let per_driver_tps = spec.offered_tps / spec.drivers.max(1) as f64;
+        let mean_gap_us = if per_driver_tps > 0.0 {
+            1_000_000.0 / per_driver_tps
+        } else {
+            f64::INFINITY
+        };
+        let seed = spec
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(driver_index as u64 + 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Staggered first arrivals so the drivers don't fire in phase.
+        let first = 1_000 + (rng.gen::<f64>() * mean_gap_us.min(1_000_000.0)) as u64;
+        ChaosDriver {
+            session: Session::new(node, home_replica, directory, client_config),
+            metrics,
+            obs,
+            rng,
+            groups,
+            row,
+            attrs,
+            sampler,
+            mean_gap_us,
+            cutoff_us: spec.load_duration.as_micros(),
+            next_arrival_us: first,
+            scheduled: HashMap::new(),
+            seq: 0,
+        }
+    }
+
+    fn advance_arrival(&mut self) {
+        let u: f64 = self.rng.gen();
+        let gap = (-(u.max(1e-12)).ln() * self.mean_gap_us).max(1.0);
+        self.next_arrival_us = self.next_arrival_us.saturating_add(gap as u64);
+    }
+
+    /// Issue every arrival scheduled at or before `now` (several at once
+    /// right after a recovery), then re-arm the arrival timer.
+    fn issue_due(&mut self, ctx: &mut Context<Msg>) {
+        let now = ctx.now();
+        while self.next_arrival_us < self.cutoff_us && self.next_arrival_us <= now.as_micros() {
+            let scheduled_us = self.next_arrival_us;
+            self.advance_arrival();
+            let group = self.groups[self.rng.gen_range(0..self.groups.len() as u64) as usize];
+            let handle = self.session.begin_id(now, group);
+            let rank = self.sampler.sample(&mut self.rng) as usize;
+            let attr = self.attrs[rank.min(self.attrs.len() - 1)];
+            self.seq += 1;
+            let value = format!("c{}-{}", ctx.node().0, self.seq);
+            self.session
+                .write_id(handle, self.row, attr, value)
+                .expect("write inside the just-opened transaction");
+            let actions = self
+                .session
+                .commit(now, handle)
+                .expect("commit of the just-built transaction");
+            if let Some(id) = self.session.txn_id(handle) {
+                self.scheduled.insert(id, scheduled_us);
+            }
+            self.apply_actions(ctx, actions);
+        }
+        if self.next_arrival_us < self.cutoff_us {
+            let delay = SimDuration::from_micros(
+                self.next_arrival_us.saturating_sub(now.as_micros()).max(1),
+            );
+            ctx.set_timer(delay, ARRIVAL_TAG);
+        }
+    }
+
+    fn apply_actions(&mut self, ctx: &mut Context<Msg>, actions: Vec<ClientAction>) {
+        for action in actions {
+            match action {
+                ClientAction::Send(to, msg) => ctx.send(to, msg),
+                ClientAction::ArmTimer { delay, tag } => {
+                    ctx.set_timer(delay, tag);
+                }
+                ClientAction::Finished(result) => {
+                    let now_us = ctx.now().as_micros();
+                    {
+                        let mut metrics = self.metrics.lock();
+                        metrics.record(&result);
+                        metrics.last_decision_us = metrics.last_decision_us.max(now_us);
+                        // Cumulative per-session counter: overwrite, the
+                        // sink belongs to this driver alone.
+                        metrics.resubmissions = self.session.resubmissions();
+                    }
+                    let mut obs = self.obs.lock();
+                    if let Some(id) = result.txn {
+                        let scheduled_us = self.scheduled.remove(&id).unwrap_or(now_us);
+                        if result.committed {
+                            obs.commit_times_us.push(now_us);
+                            obs.latencies_us.push(now_us.saturating_sub(scheduled_us));
+                            obs.committed_ids.push(id);
+                        }
+                    }
+                    if result.abort_reason == Some(AbortReason::Unavailable) {
+                        obs.unavailable += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Actor<Msg> for ChaosDriver {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        if self.next_arrival_us < self.cutoff_us {
+            ctx.set_timer(SimDuration::from_micros(self.next_arrival_us), ARRIVAL_TAG);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+        let now = ctx.now();
+        let actions = self.session.on_message(now, from, &msg);
+        self.apply_actions(ctx, actions);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
+        if tag == ARRIVAL_TAG {
+            self.issue_due(ctx);
+        } else {
+            let now = ctx.now();
+            let actions = self.session.on_timer(now, tag);
+            self.apply_actions(ctx, actions);
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<Msg>) {
+        // Timers suppressed during the outage never fire: re-fire the
+        // session's (commit patience → deduplicated re-submission) and
+        // catch the arrival clock up, issuing the backlog immediately.
+        let now = ctx.now();
+        let actions = self.session.refire_timers(now);
+        self.apply_actions(ctx, actions);
+        self.issue_due(ctx);
+    }
+}
+
+/// Run one chaos scenario to completion and return its measurements.
+///
+/// Panics if the history is non-serializable, if any client-observed commit
+/// is missing from (or duplicated in) the merged decided log, or — with
+/// [`ChaosRunSpec::require_liveness`] — if any full liveness window of the
+/// load phase commits nothing.
+pub fn run_chaos(spec: &ChaosRunSpec) -> ChaosRunResult {
+    let mut cluster = Cluster::build(
+        ClusterConfig::new(spec.topology.clone(), spec.protocol).with_seed(spec.seed),
+    );
+    let replicas = cluster.num_datacenters();
+
+    // Pre-intern the group names so home churn can address groups before
+    // their first commit creates a log.
+    let symbols = cluster.symbols();
+    let groups: Vec<GroupId> = (0..spec.groups.max(1))
+        .map(|i| symbols.group(&format!("g{i}")))
+        .collect();
+
+    let obs: SharedObservations = Arc::new(Mutex::new(Observations::default()));
+    let mut sinks: Vec<SharedMetrics> = Vec::with_capacity(spec.drivers);
+    for driver_index in 0..spec.drivers.max(1) {
+        let replica = driver_index % replicas;
+        let mut client_config = cluster
+            .client_config()
+            .with_max_resubmissions(spec.max_resubmissions);
+        client_config.route = CommitRoute::Submitted;
+        if let Some(patience) = spec.submit_patience {
+            client_config = client_config.with_submit_patience(patience);
+        }
+        let metrics: SharedMetrics = Arc::new(Mutex::new(RunMetrics::default()));
+        sinks.push(metrics.clone());
+        let directory = cluster.directory();
+        let obs = obs.clone();
+        let spec_ref = spec;
+        cluster.add_client(replica, move |node| {
+            Box::new(ChaosDriver::new(
+                node,
+                replica,
+                directory,
+                client_config,
+                spec_ref,
+                driver_index,
+                metrics,
+                obs,
+            ))
+        });
+    }
+
+    // Drive the fault schedule interleaved with the load, then drain.
+    let started = cluster.now();
+    let mut schedule = ChaosSchedule::generate(&spec.chaos, spec.seed);
+    while let Some(due) = schedule.next_due() {
+        cluster.sim_mut().run_until(due);
+        for event in schedule.pop_due(due) {
+            if !ChaosSchedule::apply_network(event, cluster.sim_mut()) {
+                if let ChaosEvent::MoveHome { group, replica } = event {
+                    cluster
+                        .directory()
+                        .set_group_home(groups[group % groups.len()], replica % replicas);
+                }
+            }
+        }
+    }
+    cluster.sim_mut().run_until(started + spec.load_duration);
+    cluster.run_to_completion();
+    let duration = cluster.now() - started;
+
+    // Serializability: same bar as a fault-free experiment.
+    cluster
+        .verify()
+        .expect("chaos run produced a non-serializable or diverged history");
+
+    // Exactly-once: merge the decided logs (replica agreement just verified,
+    // so the first replica seen at a position speaks for all) and demand
+    // every client-observed commit appears at exactly one position.
+    let mut decided_at: HashMap<(GroupId, walog::LogPosition), Vec<TxnId>> = HashMap::new();
+    for replica in 0..replicas {
+        let core = cluster.core(replica);
+        let core = core.lock();
+        for (group, log) in core.logs() {
+            for (position, entry) in log.iter() {
+                decided_at
+                    .entry((group, position))
+                    .or_insert_with(|| entry.transactions().iter().map(|t| t.id).collect());
+            }
+        }
+    }
+    let mut decided_count: HashMap<TxnId, usize> = HashMap::new();
+    for ids in decided_at.values() {
+        for id in ids {
+            *decided_count.entry(*id).or_default() += 1;
+        }
+    }
+    let observations = Arc::try_unwrap(obs)
+        .map(Mutex::into_inner)
+        .unwrap_or_else(|shared| {
+            // A driver clone still holds the Arc; copy the contents out.
+            let guard = shared.lock();
+            Observations {
+                commit_times_us: guard.commit_times_us.clone(),
+                latencies_us: guard.latencies_us.clone(),
+                committed_ids: guard.committed_ids.clone(),
+                unavailable: guard.unavailable,
+            }
+        });
+    for id in &observations.committed_ids {
+        assert_eq!(
+            decided_count.get(id).copied().unwrap_or(0),
+            1,
+            "client-observed commit {id:?} must appear exactly once in the merged decided log"
+        );
+    }
+
+    // Liveness: commits bucketed over the load phase.
+    let window_us = spec.liveness_window.as_micros().max(1);
+    let full_windows = (spec.load_duration.as_micros() / window_us) as usize;
+    let mut window_commits = vec![0u64; full_windows];
+    for &at in &observations.commit_times_us {
+        let window = (at / window_us) as usize;
+        if window < full_windows {
+            window_commits[window] += 1;
+        }
+    }
+    let min_window_commits = window_commits.iter().copied().min().unwrap_or(0);
+    if spec.require_liveness && full_windows > 0 {
+        assert!(
+            min_window_commits > 0,
+            "committed throughput flatlined to zero in a liveness window: {window_commits:?}"
+        );
+    }
+
+    let mut totals = RunMetrics::default();
+    for sink in &sinks {
+        totals.merge(&sink.lock());
+    }
+    totals.expired_reads = cluster.expired_read_counts().iter().sum();
+    totals.reclaimed_versions = cluster.reclaimed_version_counts().iter().sum();
+    totals.merge(&cluster.service_commit_metrics());
+    totals.faults_injected += schedule.faults_injected();
+
+    let mut latencies = observations.latencies_us.clone();
+    latencies.sort_unstable();
+    let availability_dip_p99_us = if latencies.is_empty() {
+        0
+    } else {
+        latencies[(latencies.len() - 1) * 99 / 100]
+    };
+
+    ChaosRunResult {
+        attempted: totals.attempted as u64,
+        committed: totals.committed as u64,
+        aborted: totals.aborted as u64,
+        unavailable: observations.unavailable,
+        faults_injected: totals.faults_injected,
+        resubmissions: totals.resubmissions,
+        duplicate_suppressions: totals.duplicate_suppressions,
+        window_commits,
+        min_window_commits,
+        availability_dip_p99_us,
+        totals,
+        duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_rolling_failure_run_is_serializable_and_live() {
+        let spec = ChaosRunSpec::rolling_failure(SimDuration::from_secs(6))
+            .with_offered_tps(80.0)
+            .with_seed(11);
+        let result = run_chaos(&spec);
+        assert!(result.committed > 0, "chaos run committed nothing");
+        assert!(result.faults_injected > 0, "schedule injected no faults");
+        assert_eq!(
+            result.unavailable, 0,
+            "re-submission must absorb fault windows"
+        );
+        assert_eq!(result.window_commits.len(), 6);
+        assert!(result.min_window_commits > 0);
+        assert!(result.availability_dip_p99_us > 0);
+    }
+
+    #[test]
+    fn fault_free_schedule_behaves_like_a_plain_run() {
+        let mut spec = ChaosRunSpec::rolling_failure(SimDuration::from_secs(3))
+            .with_chaos(ChaosSpec::new(SimDuration::from_secs(3)))
+            .with_offered_tps(50.0)
+            .with_seed(5);
+        spec.drivers = 3;
+        let result = run_chaos(&spec);
+        assert_eq!(result.faults_injected, 0);
+        assert_eq!(result.resubmissions, 0, "nothing to retry without faults");
+        assert_eq!(result.unavailable, 0);
+        assert!(result.committed > 0);
+    }
+}

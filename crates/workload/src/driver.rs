@@ -208,6 +208,9 @@ impl ClientDriver {
                         metrics.record(&result);
                         metrics.last_decision_us =
                             metrics.last_decision_us.max(ctx.now().as_micros());
+                        // The session's counter is cumulative, so overwrite
+                        // rather than add (this sink belongs to this driver).
+                        metrics.resubmissions = self.session.resubmissions();
                     }
                     self.committing = self.committing.saturating_sub(1);
                     self.schedule_next(ctx);
@@ -331,6 +334,26 @@ impl Actor<Msg> for ClientDriver {
         let now = ctx.now();
         let actions = self.session.on_message(now, from, &msg);
         self.apply_actions(ctx, actions);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<Msg>) {
+        // Timers that expired while the site was down were suppressed and
+        // will never fire; without intervention every open transaction (and
+        // the arrival loop itself) wedges. Re-fire the session's armed
+        // timers — early fires are safe, they degrade to deduplicated
+        // retries — and restart the operation/arrival ticks.
+        let now = ctx.now();
+        let actions = self.session.refire_timers(now);
+        self.apply_actions(ctx, actions);
+        let mut open: Vec<u64> = self.ops_remaining.keys().copied().collect();
+        open.sort_unstable();
+        for raw in open {
+            if self.session.handle_from_raw(raw).is_some() {
+                let delay = self.jittered(self.config.op_delay, self.config.op_jitter);
+                ctx.set_timer(delay, OP_TAG_BASE + raw);
+            }
+        }
+        self.schedule_next(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {

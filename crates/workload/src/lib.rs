@@ -29,12 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod driver;
 mod openloop;
 mod runner;
 mod spec;
 mod zipf;
 
+pub use chaos::{run_chaos, ChaosRunResult, ChaosRunSpec};
 pub use driver::{ClientDriver, DriverConfig, SharedMetrics};
 pub use openloop::{run_openloop, OpenLoopResult, OpenLoopSpec};
 pub use runner::run_experiment;

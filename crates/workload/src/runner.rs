@@ -4,7 +4,7 @@ use crate::driver::{ClientDriver, DriverConfig, SharedMetrics};
 use crate::spec::{ExperimentResult, ExperimentSpec};
 use mdstore::{Cluster, ClusterConfig, RunMetrics};
 use parking_lot::Mutex;
-use simnet::SimDuration;
+use simnet::{ChaosEvent, ChaosSchedule, SimDuration};
 use std::sync::Arc;
 
 /// Run one experiment to completion and return its measurements.
@@ -70,6 +70,31 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     }
 
     let started = cluster.now();
+    let mut faults_injected = 0;
+    if let Some(chaos_spec) = &spec.chaos {
+        // Drive the fault schedule interleaved with the workload: run the
+        // simulation up to each event's due time, apply it, continue. Events
+        // the network layer cannot apply (group-home churn) are routed to
+        // the directory, which the sessions re-consult on resubmission.
+        let mut schedule = ChaosSchedule::generate(chaos_spec, spec.seed);
+        let directory = cluster.directory();
+        let groups = cluster.groups();
+        let replicas = cluster.num_datacenters();
+        while let Some(due) = schedule.next_due() {
+            cluster.sim_mut().run_until(due);
+            for event in schedule.pop_due(due) {
+                if !ChaosSchedule::apply_network(event, cluster.sim_mut()) {
+                    if let ChaosEvent::MoveHome { group, replica } = event {
+                        if !groups.is_empty() {
+                            directory
+                                .set_group_home(groups[group % groups.len()], replica % replicas);
+                        }
+                    }
+                }
+            }
+        }
+        faults_injected = schedule.faults_injected();
+    }
     cluster.run_to_completion();
     let duration = cluster.now() - started;
 
@@ -98,6 +123,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
     totals.expired_reads = cluster.expired_read_counts().iter().sum();
     totals.reclaimed_versions = cluster.reclaimed_version_counts().iter().sum();
     totals.merge(&cluster.service_commit_metrics());
+    totals.faults_injected += faults_injected;
     assert_eq!(
         totals.attempted,
         spec.total_transactions(),

@@ -2,7 +2,7 @@
 
 use crate::zipf::KeyDistribution;
 use mdstore::{CommitProtocol, CommitRoute, RunMetrics, Topology};
-use simnet::{NetStats, SimDuration};
+use simnet::{ChaosSpec, NetStats, SimDuration};
 use walog::checker::CheckReport;
 
 /// Where benchmark clients are placed.
@@ -63,6 +63,11 @@ pub struct ExperimentSpec {
     pub combination: Option<bool>,
     /// Leader fast path override (`None` = protocol default).
     pub fast_path: Option<bool>,
+    /// Optional fault schedule injected while the workload runs: rolling
+    /// leader crashes, flapping inter-site partitions and group-home churn,
+    /// generated deterministically from the experiment seed. `None` runs
+    /// fault-free (byte-identical to the pre-chaos harness).
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl ExperimentSpec {
@@ -90,6 +95,7 @@ impl ExperimentSpec {
             max_promotions: None,
             combination: None,
             fast_path: None,
+            chaos: None,
         }
     }
 
@@ -150,6 +156,13 @@ impl ExperimentSpec {
     /// Builder-style override of the per-client open-transaction cap.
     pub fn with_max_open(mut self, max_open: usize) -> Self {
         self.max_open = max_open.max(1);
+        self
+    }
+
+    /// Builder-style chaos-schedule override: inject the given fault spec
+    /// while the workload runs.
+    pub fn with_chaos(mut self, chaos: ChaosSpec) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 
