@@ -14,7 +14,9 @@
 //!
 //! `openloop` runs the open-loop latency-vs-throughput sweep on the
 //! multi-threaded parallel runtime (wall-clock, not simulated time — so it
-//! is *not* part of `all`). `chaos` runs the rolling-failure scenario
+//! is *not* part of `all`). `readmostly` runs the snapshot-read scale-out
+//! sweep (read throughput vs serving-replica count) on the same runtime
+//! and is likewise opted into explicitly. `chaos` runs the rolling-failure scenario
 //! (leader crashes, flapping partition, group-home churn) under open-loop
 //! load on the deterministic simulation; it asserts serializability,
 //! exactly-once and liveness, and is likewise opted into explicitly.
@@ -25,13 +27,14 @@ use bench_suite::{
     ablation_specs, adaptive_latency_specs, batch_sweep_specs, committed_tps, fig4_specs,
     fig5_specs, fig6_specs, fig7_specs, fig8_specs, format_commit_table, format_latency_table,
     format_openloop_summary, format_openloop_table, format_per_replica_table,
-    format_pipeline_table, format_route_table, format_scaling_table, group_sweep_specs,
-    peak_committed_tps, pipeline_sweep_specs, results_to_json, route_compare_specs,
-    run_openloop_ladder, run_scaling, OpenLoopSweepConfig,
+    format_pipeline_table, format_readmostly_table, format_route_table, format_scaling_table,
+    group_sweep_specs, peak_committed_tps, pipeline_sweep_specs, read_scaling, results_to_json,
+    route_compare_specs, run_openloop_ladder, run_readmostly_sweep, run_scaling,
+    OpenLoopSweepConfig, ReadMostlySweepConfig,
 };
 use workload::{
     run_chaos, run_experiment, ChaosRunResult, ChaosRunSpec, ExperimentResult, ExperimentSpec,
-    OpenLoopResult,
+    OpenLoopResult, ReadMostlyResult,
 };
 
 struct Options {
@@ -115,40 +118,92 @@ fn emit_openloop_snapshot(ladders: &[(usize, Vec<OpenLoopResult>)]) {
 
 /// Append criterion-shim-style snapshot rows for a chaos run to
 /// `BENCH_JSON`, if set: the p99 open-loop commit latency across the fault
-/// windows (the availability dip, ns) and the re-submission rate
-/// (re-submissions per thousand commits; the unit is a plain count, the
-/// `_ns` field names are the shared row schema's, not a promise).
+/// windows (the availability dip, ns) and the re-submission rate. The rate
+/// is not a duration, so its row carries an explicit `"unit"` field per
+/// the snapshot schema's value/unit convention (see `docs/BENCHMARKS.md`).
 fn emit_chaos_snapshot(result: &ChaosRunResult) {
     let Ok(path) = std::env::var("BENCH_JSON") else {
         return;
     };
-    let rows = vec![
-        (
+    append_bench_rows(
+        &path,
+        "chaos",
+        &[(
             "chaos/availability_dip_p99".to_string(),
             result.availability_dip_p99_us as f64 * 1e3,
             result.committed,
-        ),
-        (
+        )],
+    );
+    append_bench_rows_with_unit(
+        &path,
+        "chaos",
+        "per_1000_commits",
+        &[(
             "chaos/resubmission_rate".to_string(),
             result.resubmission_rate() * 1e3,
             result.resubmissions,
-        ),
-    ];
-    append_bench_rows(&path, "chaos", &rows);
+        )],
+    );
+}
+
+/// Append criterion-shim-style snapshot rows for a read-mostly sweep to
+/// `BENCH_JSON`, if set: per serving-replica count, the completed-read
+/// throughput (a rate — the row carries `"unit": "reads_per_s"`) and the
+/// read p99 latency at that point (ns).
+fn emit_readmostly_snapshot(results: &[ReadMostlyResult]) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let mut tps_rows: Vec<(String, f64, u64)> = Vec::new();
+    let mut p99_rows: Vec<(String, f64, u64)> = Vec::new();
+    for r in results {
+        let serving = r.serving_replicas;
+        tps_rows.push((
+            format!("readmostly/read_tps/s{serving}"),
+            r.read_tps,
+            r.reads_completed as u64,
+        ));
+        if r.read_latency.count > 0 {
+            p99_rows.push((
+                format!("readmostly/read_p99/s{serving}"),
+                r.read_latency.p99_ms * 1e6,
+                r.read_latency.count as u64,
+            ));
+        }
+    }
+    append_bench_rows_with_unit(&path, "read-mostly", "reads_per_s", &tps_rows);
+    append_bench_rows(&path, "read-mostly", &p99_rows);
 }
 
 /// Append rows in the criterion-shim snapshot format (`id` / `median_ns` /
 /// `mean_ns` / `iterations`) to `path`; `bench_merge` folds them into
-/// `BENCH_baseline.json` by id like any other benchmark row.
+/// `BENCH_baseline.json` by id like any other benchmark row. Values are
+/// nanoseconds (no `"unit"` field — the schema default).
 fn append_bench_rows(path: &str, what: &str, rows: &[(String, f64, u64)]) {
+    append_rows(path, what, rows, None);
+}
+
+/// Like [`append_bench_rows`] but for rows whose value is *not* a
+/// duration: each row carries an explicit `"unit"` field declaring what
+/// the `median_ns`/`mean_ns` columns actually hold (the field names are
+/// the shared schema's, not a promise of nanoseconds). `bench_merge`
+/// preserves the extra field verbatim.
+fn append_bench_rows_with_unit(path: &str, what: &str, unit: &str, rows: &[(String, f64, u64)]) {
+    append_rows(path, what, rows, Some(unit));
+}
+
+fn append_rows(path: &str, what: &str, rows: &[(String, f64, u64)], unit: Option<&str>) {
     if rows.is_empty() {
         return;
     }
+    let unit_field = unit
+        .map(|u| format!(", \"unit\": \"{u}\""))
+        .unwrap_or_default();
     let mut out = String::from("[\n");
     for (i, (id, ns, iterations)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         out.push_str(&format!(
-            "  {{\"id\": \"{id}\", \"median_ns\": {ns:.1}, \"mean_ns\": {ns:.1}, \"iterations\": {iterations}}}{comma}\n"
+            "  {{\"id\": \"{id}\", \"median_ns\": {ns:.1}, \"mean_ns\": {ns:.1}, \"iterations\": {iterations}{unit_field}}}{comma}\n"
         ));
     }
     out.push_str("]\n");
@@ -330,6 +385,58 @@ fn main() {
              (every point checker-verified)"
         );
         emit_openloop_snapshot(&ladders);
+    }
+
+    // Read-mostly scale-out sweep: like `openloop` it runs in wall-clock
+    // time on real threads, so it is opted into explicitly.
+    if opts.targets.iter().any(|t| t == "readmostly") {
+        let config = if opts.quick {
+            ReadMostlySweepConfig::quick()
+        } else {
+            ReadMostlySweepConfig::full()
+        };
+        eprintln!(
+            "== read-mostly: serving {:?} of {} replicas, {} tx/s offered at {:.0}/{:.0} read/write, {} ==",
+            config.serving_counts,
+            config.topology.num_datacenters(),
+            config.offered_tps,
+            config.read_fraction * 100.0,
+            (1.0 - config.read_fraction) * 100.0,
+            config.topology.name(),
+        );
+        let results = run_readmostly_sweep(&config);
+        println!(
+            "\n=== Read-mostly: snapshot-read throughput vs serving replicas ({} workers, {}) ===",
+            config.workers,
+            config.topology.name(),
+        );
+        println!("{}", format_readmostly_table(&results));
+        let reads: usize = results.iter().map(|r| r.reads_completed).sum();
+        let verified: usize = results.iter().map(|r| r.reads_verified).sum();
+        let unavailable: usize = results.iter().map(|r| r.reads_unavailable).sum();
+        if let Some(ratio) = read_scaling(&results) {
+            println!(
+                "read scaling: {} serving replicas carry {ratio:.2}x the read throughput of {}",
+                results.last().map(|r| r.serving_replicas).unwrap_or(0),
+                results.first().map(|r| r.serving_replicas).unwrap_or(0),
+            );
+            if !opts.quick {
+                assert!(
+                    ratio >= 2.0,
+                    "scale-out read plane must carry >= 2x read throughput at \
+                     {} vs {} serving replicas (measured {ratio:.2}x)",
+                    results.last().map(|r| r.serving_replicas).unwrap_or(0),
+                    results.first().map(|r| r.serving_replicas).unwrap_or(0),
+                );
+            }
+        }
+        eprintln!(
+            "verified {} read-mostly points / {reads} snapshot reads: every point \
+             checker-verified, {verified} reads proven at their watermark, {unavailable} \
+             unavailable (non-aborting read plane)",
+            results.len()
+        );
+        emit_readmostly_snapshot(&results);
     }
 
     // The chaos scenario runs in simulated time but is a fault-tolerance

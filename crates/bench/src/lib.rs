@@ -20,6 +20,7 @@
 
 pub mod figures;
 pub mod openloop;
+pub mod readmostly;
 pub mod report;
 pub mod routes;
 pub mod scaling;
@@ -30,6 +31,9 @@ pub use figures::{
 pub use openloop::{
     format_openloop_summary, format_openloop_table, knee, peak_committed_tps, run_openloop_ladder,
     OpenLoopSweepConfig,
+};
+pub use readmostly::{
+    format_readmostly_table, read_scaling, run_readmostly_sweep, ReadMostlySweepConfig,
 };
 pub use report::{
     format_commit_table, format_latency_table, format_per_replica_table, results_to_json,

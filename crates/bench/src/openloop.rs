@@ -184,13 +184,21 @@ pub fn format_openloop_summary(ladders: &[(usize, Vec<OpenLoopResult>)]) -> Stri
     out.push_str("workers  peak committed tx/s  knee offered tx/s  knee p99 ms\n");
     for (workers, results) in ladders {
         let peak = peak_committed_tps(results);
-        let (knee_offered, knee_p99) = knee(results)
-            .map(|k| (k.offered_tps, k.latency.p99_ms))
-            .unwrap_or((0.0, 0.0));
-        out.push_str(&format!(
-            "{:>7} {:>20.1} {:>18.0} {:>12.1}\n",
-            workers, peak, knee_offered, knee_p99
-        ));
+        match knee(results) {
+            Some(k) => out.push_str(&format!(
+                "{:>7} {:>20.1} {:>18.0} {:>12.1}\n",
+                workers, peak, k.offered_tps, k.latency.p99_ms
+            )),
+            // Every rung saturated: there is no knee to report. Say so
+            // instead of printing a degenerate (0, 0) row — on a host
+            // with fewer cores than workers the first rung can already
+            // be CPU-bound, and a silent zero knee reads as a protocol
+            // regression (see docs/BENCHMARKS.md on the w4 row).
+            None => out.push_str(&format!(
+                "{:>7} {:>20.1} {:>18} {:>12}  saturated at every rung (no knee; host-bound?)\n",
+                workers, peak, "-", "-"
+            )),
+        }
     }
     if let (Some(first), Some(last)) = (ladders.first(), ladders.last()) {
         if ladders.len() > 1 {
@@ -266,6 +274,17 @@ mod tests {
         let summary = format_openloop_summary(&ladders);
         assert!(summary.contains("2w peak is"));
         assert!(summary.contains("groups/worker"));
+    }
+
+    #[test]
+    fn summary_reports_saturation_instead_of_a_zero_knee() {
+        let ladders = vec![(4, vec![fake(4, 400.0, 250.0, true)])];
+        let summary = format_openloop_summary(&ladders);
+        assert!(
+            summary.contains("saturated at every rung"),
+            "a knee-less ladder must be called out explicitly: {summary}"
+        );
+        assert!(!summary.contains(" 0  "), "no degenerate zero knee");
     }
 
     #[test]

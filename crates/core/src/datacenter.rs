@@ -349,10 +349,10 @@ impl DatacenterCore {
             // deferred to the next install (GC runs only on apply).
             let _ = Self::apply_contiguous(group, log, &self.store);
         }
-        Ok(self.store.read_attr(
+        Ok(self.store.read_attr_at(
             Self::app_key(group, key),
             attr.into(),
-            Some(Timestamp(read_position.0)),
+            Timestamp(read_position.0),
         ))
     }
 

@@ -147,6 +147,40 @@ impl Directory {
         self.group_homes.write().insert(group, replica);
     }
 
+    /// Pick the datacenter a snapshot (read-only) handle reads `group`
+    /// from. Watermark reads can be served by *any* replica — that is the
+    /// point of the snapshot read plane — so unlike
+    /// [`Directory::group_home`] this spreads read traffic across
+    /// datacenters instead of funneling it to the home: the client's own
+    /// datacenter (`nearest`) wins whenever it is in the serving set (reads
+    /// stay local, zero wide-area hops), otherwise the choice is a
+    /// deterministic pseudo-random spread over the serving replicas keyed
+    /// by `(group, salt)`. `serving_replicas` bounds the set to the first
+    /// `N` datacenters — sessions pass [`Directory::num_replicas`];
+    /// scale-out harnesses sweep `1..=D` to measure read throughput per
+    /// serving-replica count.
+    pub fn snapshot_replica(
+        &self,
+        group: GroupId,
+        nearest: usize,
+        salt: u64,
+        serving_replicas: usize,
+    ) -> usize {
+        let replicas = self.num_replicas();
+        if replicas == 0 {
+            return 0;
+        }
+        let serving = serving_replicas.clamp(1, replicas);
+        if nearest < serving {
+            return nearest;
+        }
+        let mix = (group.0 as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(salt)
+            .wrapping_mul(0xd129_0d3d_a3ac_b56b);
+        (mix % serving as u64) as usize
+    }
+
     /// The replica hosting the leader of `position` in `group` (§4.1: the
     /// site local to the client that won the previous position, read from
     /// `home_replica`'s log), defaulting to the group's home in the leader
@@ -209,6 +243,35 @@ mod tests {
         assert_eq!(dir.group_home(GroupId(3)), 2);
         // A directory with no datacenters yet falls back to replica 0.
         assert_eq!(Directory::new().group_home(GroupId(7)), 0);
+    }
+
+    #[test]
+    fn snapshot_replica_prefers_nearest_and_spreads_otherwise() {
+        let dir = Directory::new();
+        for r in 0..3 {
+            dir.register_datacenter(
+                NodeId(r),
+                DatacenterCore::shared(format!("dc{r}"), r as usize),
+            );
+        }
+        // The client's own datacenter serves whenever it is in the set.
+        assert_eq!(dir.snapshot_replica(GroupId(5), 2, 7, 3), 2);
+        assert_eq!(dir.snapshot_replica(GroupId(5), 0, 7, 3), 0);
+        // With the serving set narrowed below the client's replica, the
+        // pick falls inside the set and is deterministic.
+        let pick = dir.snapshot_replica(GroupId(5), 2, 7, 2);
+        assert!(pick < 2);
+        assert_eq!(pick, dir.snapshot_replica(GroupId(5), 2, 7, 2));
+        // Serving only one replica funnels everyone to it.
+        assert_eq!(dir.snapshot_replica(GroupId(5), 2, 7, 1), 0);
+        // Varying the salt spreads across the serving set.
+        let picks: std::collections::HashSet<usize> = (0..32)
+            .map(|salt| dir.snapshot_replica(GroupId(9), 5, salt, 3))
+            .collect();
+        assert!(picks.len() > 1, "salted picks must spread: {picks:?}");
+        assert!(picks.iter().all(|p| *p < 3));
+        // An empty directory falls back to replica 0.
+        assert_eq!(Directory::new().snapshot_replica(GroupId(1), 0, 0, 3), 0);
     }
 
     #[test]

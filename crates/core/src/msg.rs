@@ -72,6 +72,42 @@ pub enum Msg {
         /// catching up); the client should retry elsewhere.
         unavailable: bool,
     },
+    /// Snapshot read: ask *any* replica of the group — not just the home —
+    /// for the value of one item at or below a snapshot watermark. Unlike
+    /// [`Msg::ReadRequest`], a snapshot read never parks behind a log gap,
+    /// never triggers recovery, and never expires: a replica that has not
+    /// applied up to `at` answers `unavailable` immediately and the client
+    /// retries elsewhere (or at the same replica later).
+    SnapshotRead {
+        /// Client-chosen correlation id.
+        req_id: u64,
+        /// Transaction group.
+        group: GroupId,
+        /// Row key.
+        key: KeyId,
+        /// Attribute id.
+        attr: AttrId,
+        /// Snapshot watermark: the applied-prefix position captured at
+        /// `begin_read_only`; the read observes the newest version ≤ `at`.
+        at: LogPosition,
+    },
+    /// Answer to [`Msg::SnapshotRead`].
+    SnapshotReadReply {
+        /// Echoed correlation id.
+        req_id: u64,
+        /// Transaction group.
+        group: GroupId,
+        /// Row key.
+        key: KeyId,
+        /// Attribute id.
+        attr: AttrId,
+        /// The value observed at the watermark, or `None` if the item has
+        /// never been written at or below it.
+        value: Option<String>,
+        /// True when this replica has not applied up to the watermark; the
+        /// reply carries no value and the client should try another replica.
+        unavailable: bool,
+    },
     /// Submitted commit route: ship a finished transaction to the group
     /// home's Transaction Service, whose hosted
     /// [`crate::GroupCommitter`] batches it with other clients' commits
@@ -113,6 +149,8 @@ impl Msg {
             Msg::BeginReply { .. } => "begin_reply",
             Msg::ReadRequest { .. } => "read_request",
             Msg::ReadReply { .. } => "read_reply",
+            Msg::SnapshotRead { .. } => "snapshot_read",
+            Msg::SnapshotReadReply { .. } => "snapshot_read_reply",
             Msg::CommitRequest { .. } => "commit_request",
             Msg::CommitReply { .. } => "commit_reply",
         }

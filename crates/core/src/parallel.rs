@@ -230,6 +230,25 @@ impl ParallelCluster {
         shard.directory.core(shard.directory.group_home(group))
     }
 
+    /// The Transaction Service node of `replica` within the shard owning
+    /// `group`. Snapshot-read harnesses target non-home replicas with this
+    /// — any replica of the owning shard can serve the group's watermark
+    /// reads, which is what the scale-out read plane measures.
+    pub fn service_for_group_at(&self, group: GroupId, replica: usize) -> NodeId {
+        self.shards[self.shard_of_group(group)]
+            .directory
+            .service_node(replica)
+    }
+
+    /// The storage core of `replica` within the shard owning `group`
+    /// (snapshot-read harnesses refresh watermarks from — and hold read
+    /// leases on — the serving replica, not just the home).
+    pub fn core_for_group_at(&self, group: GroupId, replica: usize) -> SharedCore {
+        self.shards[self.shard_of_group(group)]
+            .directory
+            .core(replica)
+    }
+
     /// Add a driver actor on `worker`, placed at that shard's `replica`
     /// site. The closure receives the node id the actor will run as.
     pub fn add_driver<F>(&mut self, worker: usize, replica: usize, make_actor: F) -> NodeId
@@ -395,6 +414,10 @@ mod tests {
         let s1 = cluster.service_for_group(g1);
         assert!(s0.0 < 3, "shard 0 services are nodes 0..3");
         assert!((3..6).contains(&s1.0), "shard 1 services are nodes 3..6");
+        // Per-replica accessors reach every datacenter of the owning shard.
+        assert_eq!(cluster.service_for_group_at(g1, 0), NodeId(3));
+        assert_eq!(cluster.service_for_group_at(g1, 2), NodeId(5));
+        assert_eq!(cluster.core_for_group_at(g1, 2).lock().replica(), 2);
         assert_eq!(cluster.committed_in_log(g0), 0);
         assert!(cluster.verify().unwrap().is_empty());
         let (expired, reclaimed) = cluster.service_side_counters();

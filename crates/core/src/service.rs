@@ -5,6 +5,12 @@
 //! Responsibilities (§2.2, §4):
 //! * answer remote `begin` and `read` requests from Transaction Clients
 //!   whose local datacenter is unavailable;
+//! * serve **snapshot reads** ([`Msg::SnapshotRead`]): watermark-bounded
+//!   reads from read-only sessions, answered synchronously off the local
+//!   store at or below the carried position — never parked, never expiring,
+//!   never triggering recovery (`unavailable` on a gap, retry elsewhere) —
+//!   so *any* replica of a group can serve its read traffic, not just the
+//!   group home;
 //! * play the Paxos acceptor role (Algorithm 1) for every log position;
 //! * install decided entries into the local write-ahead log and apply them
 //!   to the local key-value store;
@@ -652,6 +658,46 @@ impl TransactionService {
         self.ensure_janitor(ctx);
     }
 
+    /// Serve a snapshot read synchronously at its watermark. The snapshot
+    /// plane deliberately bypasses the whole pending-read machinery: no
+    /// parking, no recovery instances, no expiry. A replica that has not
+    /// applied up to the watermark answers `unavailable` immediately and
+    /// the client retries elsewhere — snapshot reads are the non-blocking,
+    /// non-aborting path, and blocking here would reintroduce exactly the
+    /// coupling to the commit plane they exist to avoid. Consistency across
+    /// the calls of one snapshot handle comes from the client-held read
+    /// lease on the serving replica (see
+    /// [`crate::Session::begin_read_only`]), not from anything the service
+    /// retains: the core lock is held for the duration of the serve, so
+    /// apply-time version GC can never interleave within a single read.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_snapshot_read(
+        &mut self,
+        ctx: &mut Context<Msg>,
+        from: NodeId,
+        req_id: u64,
+        group: GroupId,
+        key: KeyId,
+        attr: AttrId,
+        at: LogPosition,
+    ) {
+        let (value, unavailable) = match self.core.lock().read(group, key, attr, at) {
+            Ok(value) => (value, false),
+            Err(_gap) => (None, true),
+        };
+        ctx.send(
+            from,
+            Msg::SnapshotReadReply {
+                req_id,
+                group,
+                key,
+                attr,
+                value,
+                unavailable,
+            },
+        );
+    }
+
     fn handle_begin(&mut self, ctx: &mut Context<Msg>, from: NodeId, req_id: u64, group: GroupId) {
         let read_position = self.core.lock().read_position(group);
         ctx.send(
@@ -947,10 +993,22 @@ impl Actor<Msg> for TransactionService {
                 };
                 self.handle_read(ctx, pending);
             }
+            Msg::SnapshotRead {
+                req_id,
+                group,
+                key,
+                attr,
+                at,
+            } => {
+                self.handle_snapshot_read(ctx, from, req_id, group, key, attr, at);
+            }
             Msg::CommitRequest { req_id, txn } => {
                 self.handle_commit_request(ctx, from, req_id, txn);
             }
-            Msg::BeginReply { .. } | Msg::ReadReply { .. } | Msg::CommitReply { .. } => {
+            Msg::BeginReply { .. }
+            | Msg::ReadReply { .. }
+            | Msg::SnapshotReadReply { .. }
+            | Msg::CommitReply { .. } => {
                 // Services never issue begin/read/commit requests; stray
                 // replies are ignored.
             }
@@ -1181,6 +1239,78 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn snapshot_read_is_served_at_the_watermark() {
+        // Two versions of the row exist (positions 1 and 2); a snapshot
+        // read at watermark 1 must observe position 1's value even though
+        // the store has moved on.
+        let (mut sim, core, received) = single_dc_harness(|svc| {
+            vec![(
+                svc,
+                Msg::SnapshotRead {
+                    req_id: 11,
+                    group: GROUP,
+                    key: ROW,
+                    attr: A,
+                    at: LogPosition(1),
+                },
+            )]
+        });
+        {
+            let mut core = core.lock();
+            core.install_entry(GROUP, LogPosition(1), entry(1, A, "old"));
+            core.install_entry(GROUP, LogPosition(2), entry(2, A, "new"));
+        }
+        sim.run_until_idle_capped(1_000);
+        let got = received.lock();
+        assert_eq!(got.len(), 1);
+        match &got[0] {
+            Msg::SnapshotReadReply {
+                req_id,
+                value,
+                unavailable,
+                ..
+            } => {
+                assert_eq!(*req_id, 11);
+                assert_eq!(value.as_deref(), Some("old"));
+                assert!(!unavailable);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gapped_snapshot_read_answers_unavailable_immediately_without_recovery() {
+        // The peer is crashed so any recovery instance would stall forever;
+        // a snapshot read above the applied prefix must NOT park or start
+        // recovery — it answers `unavailable` straight away so the client
+        // can retry at another replica.
+        let (mut sim, _service_node, received) =
+            stalled_recovery_harness(vec![Msg::SnapshotRead {
+                req_id: 13,
+                group: GROUP,
+                key: ROW,
+                attr: A,
+                at: LogPosition(1),
+            }]);
+        sim.run_for(SimDuration::from_millis(100));
+        let got = received.lock();
+        assert_eq!(
+            got.len(),
+            1,
+            "gapped snapshot read must be answered immediately, got {got:?}"
+        );
+        assert!(matches!(
+            &got[0],
+            Msg::SnapshotReadReply {
+                req_id: 13,
+                value: None,
+                unavailable: true,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //!   [`Msg::CommitReply`]. Any number of submitted commits may be in
 //!   flight at once — this is where overlapping transactions pay off.
 //!
+//! Read-mostly traffic has a third path that skips the commit machinery
+//! entirely: [`Session::begin_read_only`] opens a **snapshot handle**
+//! pinned to a per-group applied-prefix watermark and served by a chosen
+//! serving replica — any datacenter, not just the group home — over the
+//! snapshot read plane ([`Msg::SnapshotRead`]). Snapshot reads never run
+//! Paxos, never park behind a log gap and never abort; commit closes the
+//! handle route-free.
+//!
 //! The embedding actor (a workload driver or an application model)
 //! forwards incoming messages and timer expirations and executes the
 //! [`ClientAction`]s the session returns.
@@ -280,6 +288,9 @@ pub enum SessionError {
     /// The transaction is already in its commit phase; reads, writes and
     /// repeated commits are rejected.
     CommitInProgress,
+    /// The handle is a read-only snapshot transaction (see
+    /// [`Session::begin_read_only`]); writes are rejected.
+    ReadOnlyTransaction,
 }
 
 impl fmt::Display for SessionError {
@@ -287,6 +298,7 @@ impl fmt::Display for SessionError {
         let text = match self {
             SessionError::UnknownHandle => "no open transaction with this handle",
             SessionError::CommitInProgress => "commit already in progress",
+            SessionError::ReadOnlyTransaction => "snapshot transactions cannot write",
         };
         f.write_str(text)
     }
@@ -327,6 +339,11 @@ struct OpenTxn {
     /// Automatic re-submissions already made for this commit (submitted
     /// route only; the id never changes across attempts).
     submit_attempts: u32,
+    /// True for read-only snapshot handles (see
+    /// [`Session::begin_read_only`]): reads are served at the watermark
+    /// from the serving replica in `lease_replica`, writes are rejected,
+    /// and commit closes route-free without ever touching the log.
+    snapshot: bool,
     phase: Phase,
 }
 
@@ -485,10 +502,86 @@ impl Session {
                 commit_started_at: None,
                 id: None,
                 submit_attempts: 0,
+                snapshot: false,
                 phase: Phase::Executing,
             },
         );
         TxnHandle(handle)
+    }
+
+    /// Open a **read-only snapshot transaction** on the named group,
+    /// interning the name through the cluster symbol table. See
+    /// [`Session::begin_read_only_id`].
+    pub fn begin_read_only(&mut self, now: SimTime, group: &str) -> TxnHandle {
+        let group = self.directory.symbols().group(group);
+        self.begin_read_only_id(now, group)
+    }
+
+    /// Open a read-only snapshot transaction on a pre-interned group: a
+    /// handle whose reads never run Paxos and never abort.
+    ///
+    /// The session picks a **serving replica** — any datacenter, not just
+    /// the group home ([`Directory::snapshot_replica`]; the session's own
+    /// datacenter wins, so snapshot reads are local) — and captures that
+    /// replica's applied prefix as the handle's **snapshot watermark**.
+    /// Every [`Session::read_id`] on the handle is answered at or below
+    /// the watermark, and a read lease at the serving replica keeps
+    /// version GC from reclaiming anything the snapshot can still observe
+    /// until the handle closes. A transaction spanning several groups is a
+    /// set of such handles, one per group: together their watermarks form
+    /// the per-group applied-prefix *position vector* that bounds the
+    /// snapshot's staleness (per-key freshness cannot — see the read-plane
+    /// section of `docs/ARCHITECTURE.md`).
+    ///
+    /// Writing through the handle is rejected with
+    /// [`SessionError::ReadOnlyTransaction`]; [`Session::commit`] closes
+    /// it immediately, route-free, always committed.
+    pub fn begin_read_only_id(&mut self, now: SimTime, group: GroupId) -> TxnHandle {
+        self.next_handle += 1;
+        let handle = self.next_handle;
+        let serving = self.directory.snapshot_replica(
+            group,
+            self.home_replica,
+            handle,
+            self.directory.num_replicas(),
+        );
+        let read_position = {
+            let core = self.directory.core(serving);
+            let mut core = core.lock();
+            let read_position = core.read_position(group);
+            core.begin_read_lease(group, read_position);
+            read_position
+        };
+        self.open.insert(
+            handle,
+            OpenTxn {
+                group,
+                read_position,
+                lease_replica: serving,
+                reads: Vec::new(),
+                writes: Vec::new(),
+                write_index: BTreeMap::new(),
+                began_at: now,
+                commit_started_at: None,
+                id: None,
+                submit_attempts: 0,
+                snapshot: true,
+                phase: Phase::Executing,
+            },
+        );
+        TxnHandle(handle)
+    }
+
+    /// The serving replica and snapshot watermark of a read-only handle
+    /// (`None` for unknown handles and for regular read/write
+    /// transactions). Harnesses use this to assert bounded staleness:
+    /// every value the handle observed must be explained by the decided
+    /// prefix at or below the watermark.
+    pub fn snapshot_watermark(&self, handle: TxnHandle) -> Option<(usize, LogPosition)> {
+        self.open
+            .get(&handle.0)
+            .filter(|t| t.snapshot)
+            .map(|t| (t.lease_replica, t.read_position))
     }
 
     /// Release the read lease a finished transaction held.
@@ -513,8 +606,10 @@ impl Session {
     /// Read one pre-interned item of the transaction's group.
     ///
     /// Reads first consult the transaction's own write set (A1,
-    /// read-your-writes); otherwise they are served from the local store at
-    /// the transaction's read position (A2) and recorded in the read set.
+    /// read-your-writes); otherwise they are served at the transaction's
+    /// read position (A2) from the datacenter holding its read lease — the
+    /// session's home for regular transactions, the chosen serving replica
+    /// for snapshot handles — and recorded in the read set.
     pub fn read_id(
         &mut self,
         handle: TxnHandle,
@@ -534,7 +629,7 @@ impl Session {
         }
         let observed = self
             .directory
-            .core(self.home_replica)
+            .core(txn.lease_replica)
             .lock()
             .read(txn.group, key, attr, txn.read_position)
             .unwrap_or_else(|_gap| {
@@ -579,6 +674,9 @@ impl Session {
             .open
             .get_mut(&handle.0)
             .ok_or(SessionError::UnknownHandle)?;
+        if txn.snapshot {
+            return Err(SessionError::ReadOnlyTransaction);
+        }
         if !matches!(txn.phase, Phase::Executing) {
             return Err(SessionError::CommitInProgress);
         }
@@ -1128,6 +1226,86 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(!session.is_open(h));
+    }
+
+    #[test]
+    fn snapshot_handle_reads_at_its_watermark_and_rejects_writes() {
+        let (dir, core) = directory_with_one_dc();
+        seeded_entry(&dir, &core, 1, "a", "one");
+        let mut session = Session::new(NodeId(5), 0, dir.clone(), ClientConfig::cp());
+        let h = session.begin_read_only(SimTime::from_micros(10), "g");
+        let (serving, watermark) = session.snapshot_watermark(h).expect("snapshot handle");
+        assert_eq!(serving, 0);
+        assert_eq!(watermark, LogPosition(1));
+        // The watermark pins the view: a commit landing after begin is
+        // invisible to the handle.
+        seeded_entry(&dir, &core, 2, "a", "two");
+        assert_eq!(
+            session.read(h, "row", "a").unwrap().as_deref(),
+            Some("one"),
+            "snapshot reads must observe the watermark, not the latest state"
+        );
+        // Writes are rejected outright.
+        assert_eq!(
+            session.write(h, "row", "a", "nope").unwrap_err(),
+            SessionError::ReadOnlyTransaction
+        );
+        // Commit closes route-free, always committed, no wire traffic.
+        let actions = session.commit(SimTime::from_micros(40), h).unwrap();
+        match &actions[..] {
+            [ClientAction::Finished(r)] => {
+                assert!(r.committed);
+                assert!(r.read_only);
+                assert_eq!(r.txn, None);
+                assert_eq!(r.total_latency, SimDuration::from_micros(30));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!session.is_open(h));
+        assert_eq!(session.snapshot_watermark(h), None);
+    }
+
+    #[test]
+    fn snapshot_handle_lease_pins_versions_until_commit() {
+        let (dir, core) = directory_with_one_dc();
+        core.lock().set_gc_horizon(0);
+        seeded_entry(&dir, &core, 1, "a", "pinned");
+        let mut session = Session::new(NodeId(5), 0, dir.clone(), ClientConfig::cp());
+        let h = session.begin_read_only(SimTime::ZERO, "g");
+        assert_eq!(core.lock().read_lease_count(), 1);
+        // Five newer versions land while the snapshot is open; its view
+        // must survive the apply-time GC.
+        for p in 2..=6 {
+            seeded_entry(&dir, &core, p, "a", "newer");
+        }
+        assert_eq!(
+            session.read(h, "row", "a").unwrap().as_deref(),
+            Some("pinned"),
+            "version GC must not reclaim under an open snapshot"
+        );
+        session.commit(SimTime::ZERO, h).unwrap();
+        assert_eq!(core.lock().read_lease_count(), 0);
+        // With the lease gone the next apply reclaims the old versions.
+        let before = core.lock().reclaimed_version_count();
+        seeded_entry(&dir, &core, 7, "a", "latest");
+        assert!(core.lock().reclaimed_version_count() > before);
+    }
+
+    #[test]
+    fn regular_and_snapshot_watermark_introspection_do_not_cross() {
+        let (dir, core) = directory_with_one_dc();
+        seeded_entry(&dir, &core, 1, "a", "x");
+        let mut session = Session::new(NodeId(5), 0, dir, ClientConfig::cp());
+        let rw = session.begin(SimTime::ZERO, "g");
+        assert_eq!(
+            session.snapshot_watermark(rw),
+            None,
+            "regular handles are not snapshots"
+        );
+        let ro = session.begin_read_only(SimTime::ZERO, "g");
+        assert!(session.snapshot_watermark(ro).is_some());
+        // A regular handle keeps accepting writes alongside the snapshot.
+        session.write(rw, "row", "a", "1").unwrap();
     }
 
     #[test]

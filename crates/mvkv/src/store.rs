@@ -93,8 +93,28 @@ impl MvKvStore {
 
     /// Read a single attribute of `key` as of timestamp `at`.
     pub fn read_attr(&self, key: Key, attr: Attr, at: Option<Timestamp>) -> Option<String> {
-        self.read(key, at)
-            .and_then(|v| v.row.get(attr).map(str::to_owned))
+        match at {
+            Some(ts) => self.read_attr_at(key, attr, ts),
+            None => self
+                .read(key, None)
+                .and_then(|v| v.row.get(attr).map(str::to_owned)),
+        }
+    }
+
+    /// Fast-path read of a single attribute of `key` at or below `at`:
+    /// equivalent to [`MvKvStore::read_attr`] with `Some(at)` but clones
+    /// only the matched attribute's value instead of materializing the
+    /// whole row. Position-bounded reads — the commit plane's A2 reads and
+    /// the snapshot read plane's watermark reads — are single-attribute
+    /// point lookups, and the row clone dominated their cost.
+    pub fn read_attr_at(&self, key: Key, attr: Attr, at: Timestamp) -> Option<String> {
+        let mut inner = self.inner.write();
+        inner.stats.reads += 1;
+        inner
+            .rows
+            .get(&key)
+            .and_then(|r| r.at(at))
+            .and_then(|(_, row)| row.get(attr).map(str::to_owned))
     }
 
     /// Write `attrs` as a new version of `key`.
@@ -277,6 +297,30 @@ mod tests {
 
         assert!(store.read(K, Some(Timestamp::ZERO)).is_none());
         assert!(store.read(Key(999), None).is_none());
+    }
+
+    #[test]
+    fn read_attr_at_matches_the_row_materializing_path() {
+        let store = MvKvStore::new();
+        store
+            .write(K, row(&[(A, "v1"), (B, "b1")]), Some(Timestamp(1)))
+            .unwrap();
+        store
+            .write(K, row(&[(A, "v3")]), Some(Timestamp(3)))
+            .unwrap();
+        for ts in [0, 1, 2, 3, 9] {
+            for attr in [A, B, Attr(99)] {
+                let slow = store
+                    .read(K, Some(Timestamp(ts)))
+                    .and_then(|v| v.row.get(attr).map(str::to_owned));
+                assert_eq!(
+                    store.read_attr_at(K, attr, Timestamp(ts)),
+                    slow,
+                    "ts={ts} attr={attr:?}"
+                );
+            }
+        }
+        assert_eq!(store.read_attr_at(Key(999), A, Timestamp(5)), None);
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!   multi-threaded parallel runtime: arrivals scheduled independently of
 //!   completions, latency charged from scheduled arrival time, zipfian keys
 //!   over multi-million-key spaces, every run checker-verified.
+//! * [`ReadMostlySpec`] / [`run_readmostly`] — the read-mostly (95/5) mix
+//!   for the scale-out snapshot read plane: non-aborting watermark reads
+//!   served by any of the first N replicas, writes down the commit engine,
+//!   every completed read proven against the merged decided log at its
+//!   watermark ([`explain_snapshot_reads`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +37,7 @@
 mod chaos;
 mod driver;
 mod openloop;
+mod readmostly;
 mod runner;
 mod spec;
 mod zipf;
@@ -39,6 +45,9 @@ mod zipf;
 pub use chaos::{run_chaos, ChaosRunResult, ChaosRunSpec};
 pub use driver::{ClientDriver, DriverConfig, SharedMetrics};
 pub use openloop::{run_openloop, OpenLoopResult, OpenLoopSpec};
+pub use readmostly::{
+    explain_snapshot_reads, run_readmostly, ReadMostlyResult, ReadMostlySpec, SnapshotReadSample,
+};
 pub use runner::run_experiment;
 pub use spec::{ExperimentResult, ExperimentSpec, Placement};
 pub use zipf::{KeyDistribution, KeySampler, Zipfian};

@@ -1,0 +1,943 @@
+//! Read-mostly open-loop harness for the scale-out snapshot read plane.
+//!
+//! The open-loop harness of [`crate::run_openloop`] measures the *write*
+//! plane: every arrival is a blind write shipped through the group commit
+//! engine. This harness measures the *read* plane the snapshot-read
+//! protocol adds: a 95/5 (configurable) mix where reads are watermark
+//! snapshot reads ([`mdstore::Msg::SnapshotRead`]) served by **any** of
+//! the first [`ReadMostlySpec::serving_replicas`] datacenters, never by
+//! Paxos, and writes are the same open-loop blind writes as before.
+//!
+//! Reads are *semi-open*: arrivals are scheduled by the same Poisson
+//! process as writes (independent of completions, latency charged from
+//! scheduled arrival — no coordinated omission), but each driver holds at
+//! most [`ReadMostlySpec::max_open_reads`] reads in flight, queueing the
+//! rest. That bounded concurrency is what makes serving-replica count
+//! measurable: with one serving replica, drivers in other regions pay a
+//! wide-area round trip per read and their completion rate caps at
+//! `max_open_reads / RTT`; with a serving replica per region every read is
+//! local and aggregate read throughput scales with the replica count.
+//!
+//! Every read takes a read lease on the serving replica's core for its
+//! lifetime (so version GC cannot reclaim under it), and every completed
+//! read is recorded as a `(group, watermark, item, observed)` sample.
+//! After the run the harness replays each group's merged decided log and
+//! proves every sample is *explained at its watermark*: the observed value
+//! is exactly the latest committed write at or below the watermark.
+//! Staleness (home applied prefix minus the serving watermark, in log
+//! positions) is tracked per read so bounded staleness can be asserted.
+
+use crate::driver::SharedMetrics;
+use crate::zipf::{KeyDistribution, KeySampler};
+use mdstore::datacenter::SharedCore;
+use mdstore::{
+    BatchConfig, CommitProtocol, LatencyStats, MetricsHub, Msg, ParallelCluster,
+    ParallelClusterConfig, RunMetrics, Topology, TxnResult,
+};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{Actor, Context, NodeId, SimDuration};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use walog::checker;
+use walog::{AttrId, GroupId, GroupLog, ItemRef, KeyId, LogPosition, Transaction, TxnId};
+
+/// The driver's only timer tag: the 1 ms arrival/expiry tick.
+const TICK_TAG: u64 = u64::MAX;
+
+/// Tick interval in microseconds (see [`crate::run_openloop`]).
+const TICK_US: u64 = 1_000;
+
+/// Cap on interned row names; attributes absorb the rest of the keyspace.
+const MAX_ROWS: u64 = 1_024;
+
+/// One point of a read-mostly run: a snapshot-read/blind-write mix at a
+/// fixed offered load and serving-replica count.
+#[derive(Clone, Debug)]
+pub struct ReadMostlySpec {
+    /// Datacenter layout each shard replicates.
+    pub topology: Topology,
+    /// Worker threads (= shards, each a full replica set).
+    pub workers: usize,
+    /// Transaction groups, assigned round-robin to shards.
+    pub groups: usize,
+    /// Driver actors; defaults to one per (worker, datacenter) pair so
+    /// every region generates read traffic.
+    pub drivers: usize,
+    /// Keyspace size (keys factor into row × attribute names).
+    pub keys: u64,
+    /// Key-selection distribution (shared by reads and writes).
+    pub key_distribution: KeyDistribution,
+    /// Aggregate offered load (reads + writes) in tx/s of wall time.
+    pub offered_tps: f64,
+    /// Fraction of arrivals that are snapshot reads (the paper-style
+    /// read-mostly mix is 0.95).
+    pub read_fraction: f64,
+    /// Snapshot reads are served by the first `serving_replicas`
+    /// datacenters (clamped to the topology); sweeping 1→D measures the
+    /// read plane's scale-out.
+    pub serving_replicas: usize,
+    /// Per-driver cap on in-flight snapshot reads; arrivals beyond it
+    /// queue (latency still charged from scheduled arrival).
+    pub max_open_reads: usize,
+    /// Poisson arrivals (true) or a fixed interarrival interval (false).
+    pub poisson: bool,
+    /// Wall-clock span over which load is offered.
+    pub duration: Duration,
+    /// Extra wall-clock span for in-flight requests to drain.
+    pub grace: Duration,
+    /// Per-request patience: overdue writes become timeout aborts, and
+    /// queued reads older than this are shed (counted, never silent).
+    pub patience: Duration,
+    /// Latency scale applied to the topology's RTTs (1.0 = real time).
+    pub rtt_scale: f64,
+    /// Window/pipeline settings of the service-hosted commit engines.
+    pub batch: BatchConfig,
+    /// Commit protocol of the write plane.
+    pub protocol: CommitProtocol,
+    /// Seed for samplers and per-driver RNGs.
+    pub seed: u64,
+}
+
+impl ReadMostlySpec {
+    /// A default sweep point: `workers` shards of the paper's VOC
+    /// wide-area cluster, 4 groups per worker, one driver per (worker,
+    /// region), a 100 k-key zipfian keyspace (`theta = 0.99`), a 95/5
+    /// read/write mix at `offered_tps`, reads served by the first
+    /// `serving_replicas` datacenters.
+    pub fn new(workers: usize, offered_tps: f64, serving_replicas: usize) -> Self {
+        let workers = workers.max(1);
+        let topology = Topology::voc();
+        let drivers = workers * topology.num_datacenters();
+        ReadMostlySpec {
+            topology,
+            workers,
+            groups: 4 * workers,
+            drivers,
+            keys: 100_000,
+            key_distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            offered_tps: offered_tps.max(1.0),
+            read_fraction: 0.95,
+            serving_replicas: serving_replicas.max(1),
+            max_open_reads: 4,
+            poisson: true,
+            duration: Duration::from_millis(1_200),
+            grace: Duration::from_millis(2_000),
+            patience: Duration::from_millis(1_500),
+            rtt_scale: 1.0,
+            batch: BatchConfig::default(),
+            protocol: CommitProtocol::PaxosCp,
+            seed: 42,
+        }
+    }
+
+    /// Builder-style group-count override.
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups.max(1);
+        self
+    }
+
+    /// Builder-style driver-count override.
+    pub fn with_drivers(mut self, drivers: usize) -> Self {
+        self.drivers = drivers.max(1);
+        self
+    }
+
+    /// Builder-style keyspace override.
+    pub fn with_keys(mut self, keys: u64) -> Self {
+        self.keys = keys.max(1);
+        self
+    }
+
+    /// Builder-style read-fraction override (clamped to `[0, 1]`).
+    pub fn with_read_fraction(mut self, fraction: f64) -> Self {
+        self.read_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder-style in-flight read cap override.
+    pub fn with_max_open_reads(mut self, cap: usize) -> Self {
+        self.max_open_reads = cap.max(1);
+        self
+    }
+
+    /// Builder-style offered-window/grace/patience override.
+    pub fn with_windows(mut self, duration: Duration, grace: Duration, patience: Duration) -> Self {
+        self.duration = duration;
+        self.grace = grace;
+        self.patience = patience;
+        self
+    }
+
+    /// Builder-style topology override (drivers are re-defaulted to one
+    /// per (worker, datacenter) of the new topology).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.drivers = self.workers * topology.num_datacenters();
+        self.topology = topology;
+        self
+    }
+
+    /// Builder-style latency-scale override.
+    pub fn with_rtt_scale(mut self, scale: f64) -> Self {
+        self.rtt_scale = scale;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything measured at one read-mostly point.
+#[derive(Clone, Debug)]
+pub struct ReadMostlyResult {
+    /// Aggregate offered load the point ran at (reads + writes, tx/s).
+    pub offered_tps: f64,
+    /// Worker threads the cluster ran with.
+    pub workers: usize,
+    /// Transaction groups.
+    pub groups: usize,
+    /// Serving-replica count snapshot reads were spread over.
+    pub serving_replicas: usize,
+    /// Fraction of arrivals that were snapshot reads.
+    pub read_fraction: f64,
+    /// Write requests that reached an outcome (reply or timeout).
+    pub write_attempted: usize,
+    /// Writes that committed.
+    pub write_committed: usize,
+    /// Writes that aborted (including timeouts).
+    pub write_aborted: usize,
+    /// Write aborts that were patience expiries.
+    pub write_timed_out: u64,
+    /// Commit latency of writes, from scheduled arrival.
+    pub write_latency: LatencyStats,
+    /// Snapshot reads answered with a value at their watermark.
+    pub reads_completed: usize,
+    /// Snapshot reads the serving replica could not answer (applied prefix
+    /// behind the watermark). Zero by construction — the watermark is
+    /// captured from the serving replica itself — and asserted zero.
+    pub reads_unavailable: usize,
+    /// Read arrivals shed: queued past patience, or still queued/in flight
+    /// when the run ended. Sheds are overload accounting, not aborts.
+    pub reads_shed: usize,
+    /// Latency of completed reads, from scheduled arrival (queueing under
+    /// overload is charged to the system).
+    pub read_latency: LatencyStats,
+    /// Completed snapshot reads per wall-clock second of the offered
+    /// window — the scale-out headline number.
+    pub read_tps: f64,
+    /// Worst observed staleness: home applied prefix minus serving
+    /// watermark at issue time, in log positions.
+    pub max_staleness: u64,
+    /// Mean observed staleness in log positions.
+    pub mean_staleness: f64,
+    /// Samples proven against the merged decided log (equals
+    /// `reads_completed`; every read is explained at its watermark).
+    pub reads_verified: usize,
+    /// Whether the read plane saturated: reads were shed or completed
+    /// throughput fell below 90 % of the offered read rate.
+    pub read_saturated: bool,
+    /// Groups the post-run serializability checker verified.
+    pub checked_groups: usize,
+    /// Wall-clock time of the whole run including drain.
+    pub wall: Duration,
+}
+
+/// One snapshot read observation: which group, at which watermark, which
+/// item, and what came back. [`explain_snapshot_reads`] proves it against
+/// the group's decided log.
+#[derive(Clone, Debug)]
+pub struct SnapshotReadSample {
+    /// Transaction group the read hit.
+    pub group: GroupId,
+    /// Snapshot watermark the read ran at.
+    pub at: LogPosition,
+    /// Row key read.
+    pub row: KeyId,
+    /// Attribute read.
+    pub attr: AttrId,
+    /// Value the serving replica answered with.
+    pub observed: Option<String>,
+}
+
+/// Prove every snapshot read against its group's decided log: replay the
+/// log in position order and check each sample's observed value equals the
+/// latest committed write to its item at or below its watermark (`None`
+/// when nothing at or below the watermark wrote the item).
+///
+/// `logs` maps each group to its **merged** decided log (e.g.
+/// [`walog::checker::merged_log`] over every replica), so a watermark from
+/// any serving replica is covered. Returns the number of samples proven;
+/// the error describes the first unexplained read.
+pub fn explain_snapshot_reads(
+    logs: &HashMap<GroupId, GroupLog>,
+    samples: &[SnapshotReadSample],
+) -> Result<usize, String> {
+    let mut by_group: HashMap<GroupId, Vec<usize>> = HashMap::new();
+    for (i, sample) in samples.iter().enumerate() {
+        by_group.entry(sample.group).or_default().push(i);
+    }
+    let mut verified = 0;
+    for (group, mut idxs) in by_group {
+        let Some(log) = logs.get(&group) else {
+            return Err(format!(
+                "group {group:?} has {} snapshot reads but no decided log",
+                idxs.len()
+            ));
+        };
+        idxs.sort_by_key(|&i| samples[i].at.0);
+        let mut state: HashMap<u64, String> = HashMap::new();
+        let check = |state: &HashMap<u64, String>, sample: &SnapshotReadSample| {
+            let item = ItemRef::new(sample.row, sample.attr);
+            let expected = state.get(&item.packed()).map(String::as_str);
+            if expected == sample.observed.as_deref() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "snapshot read of {item:?} in {group:?} at watermark {} observed {:?} \
+                     but the decided log says {expected:?}",
+                    sample.at.0, sample.observed
+                ))
+            }
+        };
+        let mut cursor = 0;
+        for (position, entry) in log.iter() {
+            while cursor < idxs.len() && samples[idxs[cursor]].at.0 < position.0 {
+                check(&state, &samples[idxs[cursor]])?;
+                verified += 1;
+                cursor += 1;
+            }
+            for txn in entry.transactions() {
+                for (item, value) in txn.final_writes() {
+                    state.insert(item.packed(), value.to_string());
+                }
+            }
+        }
+        while cursor < idxs.len() {
+            check(&state, &samples[idxs[cursor]])?;
+            verified += 1;
+            cursor += 1;
+        }
+    }
+    Ok(verified)
+}
+
+/// Where one group's requests go: the home (writes) and every replica of
+/// the owning shard (snapshot reads).
+struct ReadTarget {
+    group: GroupId,
+    home_service: NodeId,
+    home_core: SharedCore,
+    services: Vec<NodeId>,
+    cores: Vec<SharedCore>,
+}
+
+/// A snapshot read in flight: enough to release its lease and record it.
+struct PendingRead {
+    scheduled_us: u64,
+    target_idx: usize,
+    replica: usize,
+    at: LogPosition,
+    row: KeyId,
+    attr: AttrId,
+    lag: u64,
+}
+
+/// Per-driver read-plane accounting, merged at run end.
+#[derive(Default)]
+struct ReadTally {
+    completed: usize,
+    unavailable: usize,
+    shed: usize,
+    latency_us: Vec<u64>,
+    staleness_max: u64,
+    staleness_sum: u64,
+    samples: Vec<SnapshotReadSample>,
+}
+
+/// One read-mostly driver: schedules mixed arrivals, issues snapshot reads
+/// (lease on the serving core, bounded in flight) and open-loop blind
+/// writes, and records outcomes.
+struct ReadMostlyDriver {
+    targets: Arc<Vec<ReadTarget>>,
+    rows: Arc<Vec<KeyId>>,
+    attrs: Arc<Vec<AttrId>>,
+    sampler: KeySampler,
+    rng: StdRng,
+    /// This driver's datacenter (replica index within its shard).
+    my_replica: usize,
+    /// Serving-replica count reads are spread over.
+    serving: usize,
+    max_open_reads: usize,
+    read_fraction: f64,
+    mean_gap_us: f64,
+    poisson: bool,
+    next_due_us: f64,
+    cutoff_us: u64,
+    deadline_us: u64,
+    patience_us: u64,
+    /// Write sequence (= write req_id space).
+    seq: u64,
+    /// Read sequence (= read req_id space; distinct message type, so the
+    /// two spaces never collide).
+    read_seq: u64,
+    /// Scheduled arrival time per in-flight write.
+    pending: HashMap<u64, u64>,
+    /// Write ids in submission order with submit times, for expiry.
+    order: VecDeque<(u64, u64)>,
+    /// Snapshot reads in flight, by read req_id.
+    pending_reads: HashMap<u64, PendingRead>,
+    /// Read arrivals waiting for an in-flight slot: (scheduled, key).
+    read_backlog: VecDeque<(u64, u64)>,
+    /// Home read position per target, refreshed at most once per tick
+    /// (write snapshots and the staleness reference).
+    rp_cache: Vec<(u64, LogPosition)>,
+    metrics: SharedMetrics,
+    reads: Arc<Mutex<ReadTally>>,
+    finished: bool,
+    done: Arc<AtomicUsize>,
+}
+
+impl ReadMostlyDriver {
+    fn draw_gap(&mut self) -> f64 {
+        if self.poisson {
+            let u: f64 = self.rng.gen();
+            (-self.mean_gap_us * (1.0 - u).ln()).max(1.0)
+        } else {
+            self.mean_gap_us.max(1.0)
+        }
+    }
+
+    fn home_position(&mut self, tick: u64, target_idx: usize) -> LogPosition {
+        let (cached_tick, position) = self.rp_cache[target_idx];
+        if cached_tick == tick {
+            return position;
+        }
+        let target = &self.targets[target_idx];
+        let fresh = target.home_core.lock().read_position(target.group);
+        self.rp_cache[target_idx] = (tick, fresh);
+        fresh
+    }
+
+    fn submit_write(&mut self, ctx: &mut Context<Msg>, now_us: u64, scheduled_us: u64) {
+        let key = self.sampler.sample(&mut self.rng);
+        let target_idx = (key % self.targets.len() as u64) as usize;
+        let row = self.rows[(key % self.rows.len() as u64) as usize];
+        let attr = self.attrs[(key / self.rows.len() as u64) as usize];
+        let read_position = self.home_position(now_us / TICK_US, target_idx);
+        self.seq += 1;
+        let txn = Transaction::builder(
+            TxnId::new(ctx.node().0, self.seq),
+            self.targets[target_idx].group,
+            read_position,
+        )
+        .write(ItemRef::new(row, attr), format!("k{}-s{}", key, self.seq))
+        .build();
+        self.pending.insert(self.seq, scheduled_us);
+        self.order.push_back((self.seq, now_us));
+        ctx.send(
+            self.targets[target_idx].home_service,
+            Msg::CommitRequest {
+                req_id: self.seq,
+                txn,
+            },
+        );
+    }
+
+    fn arrive_read(&mut self, ctx: &mut Context<Msg>, now_us: u64, scheduled_us: u64) {
+        let key = self.sampler.sample(&mut self.rng);
+        if self.pending_reads.len() >= self.max_open_reads {
+            self.read_backlog.push_back((scheduled_us, key));
+        } else {
+            self.issue_read(ctx, now_us, scheduled_us, key);
+        }
+    }
+
+    /// Issue one snapshot read: pick the serving replica (own datacenter
+    /// when in the serving set, deterministic spread otherwise — the same
+    /// policy as `Directory::snapshot_replica`), capture the watermark
+    /// from that replica's core *and take a read lease at it* under one
+    /// lock, then send the wire read.
+    fn issue_read(&mut self, ctx: &mut Context<Msg>, now_us: u64, scheduled_us: u64, key: u64) {
+        let target_idx = (key % self.targets.len() as u64) as usize;
+        let row = self.rows[(key % self.rows.len() as u64) as usize];
+        let attr = self.attrs[(key / self.rows.len() as u64) as usize];
+        let home = self.home_position(now_us / TICK_US, target_idx);
+        self.read_seq += 1;
+        let target = &self.targets[target_idx];
+        let replica = if self.my_replica < self.serving {
+            self.my_replica
+        } else {
+            let mix = (target.group.0 as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(self.read_seq)
+                .wrapping_mul(0xd129_0d3d_a3ac_b56b);
+            (mix % self.serving as u64) as usize
+        };
+        let at = {
+            let mut core = target.cores[replica].lock();
+            let at = core.read_position(target.group);
+            core.begin_read_lease(target.group, at);
+            at
+        };
+        self.pending_reads.insert(
+            self.read_seq,
+            PendingRead {
+                scheduled_us,
+                target_idx,
+                replica,
+                at,
+                row,
+                attr,
+                lag: home.0.saturating_sub(at.0),
+            },
+        );
+        ctx.send(
+            target.services[replica],
+            Msg::SnapshotRead {
+                req_id: self.read_seq,
+                group: target.group,
+                key: row,
+                attr,
+                at,
+            },
+        );
+    }
+
+    /// Record one write patience expiry as a timed-out abort.
+    fn expire_write(&mut self, latency_us: u64) {
+        let mut metrics = self.metrics.lock();
+        metrics.attempted += 1;
+        metrics.aborted += 1;
+        metrics.timed_out += 1;
+        metrics.abort_latency_us.push(latency_us);
+    }
+
+    fn finish(&mut self, now_us: u64) {
+        if self.finished {
+            return;
+        }
+        let stale: Vec<u64> = self.pending.keys().copied().collect();
+        for req in stale {
+            if self.pending.remove(&req).is_some() {
+                self.expire_write(self.patience_us.min(now_us));
+            }
+        }
+        self.order.clear();
+        // Release the lease of every read still in flight and shed it
+        // (a late reply finds no pending entry and is dropped).
+        let in_flight: Vec<u64> = self.pending_reads.keys().copied().collect();
+        let mut shed = 0;
+        for req in in_flight {
+            if let Some(read) = self.pending_reads.remove(&req) {
+                let target = &self.targets[read.target_idx];
+                target.cores[read.replica]
+                    .lock()
+                    .end_read_lease(target.group, read.at);
+                shed += 1;
+            }
+        }
+        shed += self.read_backlog.len();
+        self.read_backlog.clear();
+        self.reads.lock().shed += shed;
+        self.finished = true;
+        self.done.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn tick(&mut self, ctx: &mut Context<Msg>) {
+        if self.finished {
+            return;
+        }
+        let now_us = ctx.now().as_micros();
+        // Expire writes whose patience ran out.
+        while let Some(&(req, submitted_us)) = self.order.front() {
+            if submitted_us + self.patience_us > now_us {
+                break;
+            }
+            self.order.pop_front();
+            if self.pending.remove(&req).is_some() {
+                self.expire_write(now_us - submitted_us);
+            }
+        }
+        // Shed queued reads that outwaited patience.
+        let mut shed = 0;
+        while let Some(&(scheduled_us, _)) = self.read_backlog.front() {
+            if scheduled_us + self.patience_us > now_us {
+                break;
+            }
+            self.read_backlog.pop_front();
+            shed += 1;
+        }
+        if shed > 0 {
+            self.reads.lock().shed += shed;
+        }
+        // Submit every arrival that has come due, at its scheduled time.
+        while self.next_due_us <= now_us as f64 && (self.next_due_us as u64) < self.cutoff_us {
+            let scheduled = self.next_due_us as u64;
+            if self.rng.gen::<f64>() < self.read_fraction {
+                self.arrive_read(ctx, now_us, scheduled);
+            } else {
+                self.submit_write(ctx, now_us, scheduled);
+            }
+            let gap = self.draw_gap();
+            self.next_due_us += gap;
+        }
+        let drained = self.pending.is_empty()
+            && self.pending_reads.is_empty()
+            && self.read_backlog.is_empty();
+        if now_us >= self.cutoff_us && (drained || now_us >= self.deadline_us) {
+            self.finish(now_us);
+            return;
+        }
+        ctx.set_timer(SimDuration::from_micros(TICK_US), TICK_TAG);
+    }
+}
+
+impl Actor<Msg> for ReadMostlyDriver {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        let phase = ctx.rand_below(TICK_US);
+        let first = self.draw_gap();
+        self.next_due_us = phase as f64 + first;
+        ctx.set_timer(SimDuration::from_micros(TICK_US + phase), TICK_TAG);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::SnapshotReadReply {
+                req_id,
+                value,
+                unavailable,
+                ..
+            } => {
+                let Some(read) = self.pending_reads.remove(&req_id) else {
+                    return;
+                };
+                let target = &self.targets[read.target_idx];
+                target.cores[read.replica]
+                    .lock()
+                    .end_read_lease(target.group, read.at);
+                let now_us = ctx.now().as_micros();
+                {
+                    let mut tally = self.reads.lock();
+                    if unavailable {
+                        tally.unavailable += 1;
+                    } else {
+                        tally.completed += 1;
+                        tally
+                            .latency_us
+                            .push(now_us.saturating_sub(read.scheduled_us));
+                        tally.staleness_max = tally.staleness_max.max(read.lag);
+                        tally.staleness_sum += read.lag;
+                        tally.samples.push(SnapshotReadSample {
+                            group: target.group,
+                            at: read.at,
+                            row: read.row,
+                            attr: read.attr,
+                            observed: value,
+                        });
+                    }
+                }
+                // A freed slot pulls the oldest queued read immediately.
+                if !self.finished {
+                    if let Some((scheduled_us, key)) = self.read_backlog.pop_front() {
+                        self.issue_read(ctx, now_us, scheduled_us, key);
+                    }
+                }
+            }
+            Msg::CommitReply {
+                req_id,
+                txn,
+                committed,
+                promotions,
+                combined,
+                rounds,
+                abort_reason,
+                ..
+            } => {
+                let Some(scheduled_us) = self.pending.remove(&req_id) else {
+                    return;
+                };
+                let now_us = ctx.now().as_micros();
+                let latency = SimDuration::from_micros(now_us.saturating_sub(scheduled_us));
+                let mut metrics = self.metrics.lock();
+                metrics.record(&TxnResult {
+                    committed,
+                    read_only: false,
+                    promotions,
+                    combined,
+                    rounds,
+                    latency,
+                    total_latency: latency,
+                    abort_reason,
+                    txn: Some(txn),
+                });
+                metrics.last_decision_us = metrics.last_decision_us.max(now_us);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, tag: u64) {
+        if tag == TICK_TAG {
+            self.tick(ctx);
+        }
+    }
+}
+
+/// Run one read-mostly point: build the sharded cluster, offer the mixed
+/// load, drain, verify the write plane with the serializability checker,
+/// prove every snapshot read against the merged decided logs, and check
+/// every read lease was released.
+///
+/// Panics if any group's logs violate replica agreement or one-copy
+/// serializability, if any snapshot read came back unavailable (they are
+/// non-aborting by construction), if any read is not explained by its
+/// group's decided log at its watermark, or if a lease leaked.
+pub fn run_readmostly(spec: &ReadMostlySpec) -> ReadMostlyResult {
+    let mut cluster = ParallelCluster::build(
+        ParallelClusterConfig::new(spec.topology.clone(), spec.protocol)
+            .with_workers(spec.workers)
+            .with_batch(spec.batch.clone())
+            .with_rtt_scale(spec.rtt_scale)
+            .with_seed(spec.seed),
+    );
+    let replicas = cluster.num_datacenters();
+    let serving = spec.serving_replicas.clamp(1, replicas);
+    let symbols = cluster.symbols();
+    let mut targets = Vec::with_capacity(spec.groups);
+    for g in 0..spec.groups.max(1) {
+        let group = cluster.register_group(&format!("g{g}"));
+        targets.push(ReadTarget {
+            group,
+            home_service: cluster.service_for_group(group),
+            home_core: cluster.home_core(group),
+            services: (0..replicas)
+                .map(|r| cluster.service_for_group_at(group, r))
+                .collect(),
+            cores: (0..replicas)
+                .map(|r| cluster.core_for_group_at(group, r))
+                .collect(),
+        });
+    }
+    let targets = Arc::new(targets);
+
+    let rows_n = spec.keys.clamp(1, MAX_ROWS);
+    let attrs_n = spec.keys.div_ceil(rows_n);
+    let rows: Arc<Vec<KeyId>> =
+        Arc::new((0..rows_n).map(|r| symbols.key(&format!("r{r}"))).collect());
+    let attrs: Arc<Vec<AttrId>> = Arc::new(
+        (0..attrs_n)
+            .map(|a| symbols.attr(&format!("c{a}")))
+            .collect(),
+    );
+    let sampler = KeySampler::new(spec.key_distribution, spec.keys);
+
+    let drivers = spec.drivers.max(1);
+    let hub = MetricsHub::new();
+    let mut sinks: Vec<SharedMetrics> = Vec::with_capacity(drivers);
+    let mut tallies: Vec<Arc<Mutex<ReadTally>>> = Vec::with_capacity(drivers);
+    let done = Arc::new(AtomicUsize::new(0));
+    let mean_gap_us = 1_000_000.0 * drivers as f64 / spec.offered_tps.max(1.0);
+    let cutoff_us = spec.duration.as_micros() as u64;
+    let deadline_us = cutoff_us + spec.grace.as_micros() as u64;
+    for d in 0..drivers {
+        let sink = hub.register();
+        sinks.push(sink.clone());
+        let tally = Arc::new(Mutex::new(ReadTally::default()));
+        tallies.push(Arc::clone(&tally));
+        let driver = ReadMostlyDriver {
+            targets: Arc::clone(&targets),
+            rows: Arc::clone(&rows),
+            attrs: Arc::clone(&attrs),
+            sampler: sampler.clone(),
+            rng: StdRng::seed_from_u64(
+                spec.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (d as u64 + 1),
+            ),
+            my_replica: d % replicas,
+            serving,
+            max_open_reads: spec.max_open_reads.max(1),
+            read_fraction: spec.read_fraction.clamp(0.0, 1.0),
+            mean_gap_us,
+            poisson: spec.poisson,
+            next_due_us: 0.0,
+            cutoff_us,
+            deadline_us,
+            patience_us: spec.patience.as_micros() as u64,
+            seq: 0,
+            read_seq: 0,
+            pending: HashMap::new(),
+            order: VecDeque::new(),
+            pending_reads: HashMap::new(),
+            read_backlog: VecDeque::new(),
+            rp_cache: vec![(u64::MAX, LogPosition::ZERO); targets.len()],
+            metrics: sink,
+            reads: tally,
+            finished: false,
+            done: Arc::clone(&done),
+        };
+        cluster.add_driver(d % spec.workers, d % replicas, move |_node| {
+            Box::new(driver)
+        });
+    }
+
+    let max_wall = spec.duration + spec.grace + Duration::from_secs(2);
+    let done_flag = Arc::clone(&done);
+    let report = cluster.run(max_wall, move || {
+        done_flag.load(Ordering::SeqCst) >= drivers
+    });
+
+    let check = cluster
+        .verify()
+        .expect("read-mostly run produced a non-serializable or diverged history");
+
+    // Write-plane totals, as in the open-loop harness.
+    let mut totals = RunMetrics::default();
+    for sink in &sinks {
+        totals.merge(&sink.lock());
+    }
+    totals.merge(&cluster.service_commit_metrics());
+
+    // Read-plane totals.
+    let mut completed = 0;
+    let mut unavailable = 0;
+    let mut shed = 0;
+    let mut staleness_max = 0u64;
+    let mut staleness_sum = 0u64;
+    let mut latency_samples: Vec<SimDuration> = Vec::new();
+    let mut samples: Vec<SnapshotReadSample> = Vec::new();
+    for tally in &tallies {
+        let mut tally = tally.lock();
+        completed += tally.completed;
+        unavailable += tally.unavailable;
+        shed += tally.shed;
+        staleness_max = staleness_max.max(tally.staleness_max);
+        staleness_sum += tally.staleness_sum;
+        latency_samples.extend(
+            tally
+                .latency_us
+                .iter()
+                .map(|&us| SimDuration::from_micros(us)),
+        );
+        samples.append(&mut tally.samples);
+    }
+    assert_eq!(
+        unavailable, 0,
+        "snapshot reads are non-aborting: the watermark is captured from the serving \
+         replica itself, so it can never be ahead of that replica's applied prefix"
+    );
+    // Every lease must have been released (reads replied or force-shed).
+    let leaked: usize = targets
+        .iter()
+        .flat_map(|t| t.cores.iter())
+        .map(|core| core.lock().read_lease_count())
+        .sum();
+    assert_eq!(leaked, 0, "every snapshot-read lease must be released");
+
+    // Prove every completed read against the merged decided logs.
+    let mut logs: HashMap<GroupId, GroupLog> = HashMap::new();
+    for target in targets.iter() {
+        let cloned: Vec<GroupLog> = target
+            .cores
+            .iter()
+            .map(|core| core.lock().log(target.group).cloned().unwrap_or_default())
+            .collect();
+        let refs: Vec<&GroupLog> = cloned.iter().collect();
+        logs.insert(target.group, checker::merged_log(&refs));
+    }
+    let reads_verified = match explain_snapshot_reads(&logs, &samples) {
+        Ok(n) => n,
+        Err(e) => panic!("unexplained snapshot read: {e}"),
+    };
+
+    let offered_secs = spec.duration.as_secs_f64().max(1e-9);
+    let offered_reads = spec.offered_tps * spec.read_fraction.clamp(0.0, 1.0);
+    let read_tps = completed as f64 / offered_secs;
+    ReadMostlyResult {
+        offered_tps: spec.offered_tps,
+        workers: spec.workers,
+        groups: spec.groups,
+        serving_replicas: serving,
+        read_fraction: spec.read_fraction,
+        write_attempted: totals.attempted,
+        write_committed: totals.committed,
+        write_aborted: totals.aborted,
+        write_timed_out: totals.timed_out,
+        write_latency: totals.commit_latency(),
+        reads_completed: completed,
+        reads_unavailable: unavailable,
+        reads_shed: shed,
+        read_latency: LatencyStats::from_samples(&latency_samples),
+        read_tps,
+        max_staleness: staleness_max,
+        mean_staleness: staleness_sum as f64 / (completed.max(1)) as f64,
+        reads_verified,
+        read_saturated: shed > 0 || read_tps < 0.90 * offered_reads,
+        checked_groups: check.len(),
+        wall: report.elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small but real read-mostly point: every datacenter serves, so
+    /// reads stay local, nothing sheds, and every sample is proven.
+    #[test]
+    fn small_readmostly_point_runs_and_explains_every_read() {
+        let spec = ReadMostlySpec::new(2, 400.0, 3)
+            .with_groups(4)
+            .with_keys(10_000)
+            .with_topology(Topology::vvv())
+            .with_rtt_scale(0.5)
+            .with_windows(
+                Duration::from_millis(300),
+                Duration::from_millis(700),
+                Duration::from_millis(600),
+            )
+            .with_seed(7);
+        let result = run_readmostly(&spec);
+        assert!(result.reads_completed > 0, "snapshot reads must complete");
+        assert_eq!(result.reads_unavailable, 0);
+        assert_eq!(
+            result.reads_verified, result.reads_completed,
+            "every completed read is proven against the decided log"
+        );
+        assert!(result.write_committed > 0, "the write plane must commit");
+        assert!(result.checked_groups > 0, "checker must have run");
+        assert_eq!(result.serving_replicas, 3);
+        assert!(result.read_latency.count > 0);
+    }
+
+    /// The replay rejects an observation that no decided write explains.
+    #[test]
+    fn explain_rejects_an_unexplained_observation() {
+        let logs: HashMap<GroupId, GroupLog> = HashMap::from([(GroupId(1), GroupLog::default())]);
+        let sample = SnapshotReadSample {
+            group: GroupId(1),
+            at: LogPosition(3),
+            row: KeyId(1),
+            attr: AttrId(1),
+            observed: Some("phantom".to_string()),
+        };
+        let err = explain_snapshot_reads(&logs, &[sample]).unwrap_err();
+        assert!(
+            err.contains("phantom"),
+            "error names the observation: {err}"
+        );
+        // An explained (empty) observation passes.
+        let ok = SnapshotReadSample {
+            group: GroupId(1),
+            at: LogPosition(3),
+            row: KeyId(1),
+            attr: AttrId(1),
+            observed: None,
+        };
+        assert_eq!(explain_snapshot_reads(&logs, &[ok]).unwrap(), 1);
+    }
+}

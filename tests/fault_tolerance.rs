@@ -940,3 +940,94 @@ fn heavy_message_loss_slows_but_does_not_corrupt() {
         .verify()
         .expect("lossy runs must still be serializable");
 }
+
+/// GC safety of the snapshot read plane across failover: an open
+/// read-only handle's lease pins `MvKvStore::version_floor` at its
+/// watermark, so the apply-time GC — even at horizon 0 — never reclaims a
+/// version the snapshot can still read, including while the group leader
+/// crashes, another replica recovers its positions, and new commits keep
+/// applying (and collecting) on the serving core.
+#[test]
+fn snapshot_lease_pins_versions_across_leader_crash_and_recovery() {
+    let mut cluster =
+        Cluster::build(ClusterConfig::new(Topology::voc(), CommitProtocol::PaxosCp).with_seed(11));
+    // Horizon 0: without a lease, only the newest version of a rewritten
+    // key survives its next apply.
+    for replica in 0..cluster.num_datacenters() {
+        cluster.core(replica).lock().set_gc_horizon(0);
+    }
+    let metrics = add_writer(&mut cluster, 0, 8);
+    cluster.run_to_completion();
+    let committed = metrics.lock().committed;
+    assert!(committed > 0, "the seed burst must commit");
+
+    // Open a read-only handle homed at replica 1: it captures a watermark
+    // from (and leases) one of the serving cores.
+    let directory = cluster.directory();
+    let mut session = Session::new(NodeId(990), 1, directory.clone(), cluster.client_config());
+    let h = session.begin_read_only(cluster.now(), "g");
+    let (serving, watermark) = session.snapshot_watermark(h).expect("open snapshot");
+    assert_eq!(cluster.core(serving).lock().read_lease_count(), 1);
+    let pinned = session.read(h, "row", "counter").unwrap();
+    assert_eq!(
+        pinned,
+        Some(committed.to_string()),
+        "the snapshot sees the seed burst's counter"
+    );
+
+    // Crash the group's home (its position leader) and let a writer at a
+    // surviving datacenter drive recovery and a second burst of commits
+    // that rewrite the same row — every apply GCs the row's versions.
+    let group = cluster.symbols().group("g");
+    let home = directory.group_home(group);
+    assert_ne!(home, serving, "the lease must outlive the crashed home");
+    cluster.crash_datacenter(home);
+    let second = add_writer_with(&mut cluster, (home + 1) % 3, 8, Some("b".into()));
+    cluster.run_for(SimDuration::from_secs(30));
+    cluster.recover_datacenter(home);
+    cluster.run_to_completion();
+    assert!(
+        second.lock().committed > 0,
+        "the surviving majority must keep committing through the crash"
+    );
+
+    // The serving store's version floor for the row is still at or below
+    // the snapshot's watermark: nothing the handle can read was reclaimed.
+    let row = cluster.symbols().key("row");
+    let app_key = paxos_cp::mvkv::Key(((group.0 as u64) << 32) | row.0 as u64);
+    let floor = cluster
+        .core(serving)
+        .lock()
+        .store()
+        .version_floor(app_key, paxos_cp::mvkv::Timestamp(watermark.0))
+        .expect("the pinned version exists");
+    assert!(
+        floor.0 <= watermark.0,
+        "lease must pin the version a reader at {watermark:?} needs, floor was {floor:?}"
+    );
+    assert_eq!(
+        session.read(h, "row", "counter").unwrap(),
+        pinned,
+        "the snapshot still reads its watermark value after crash + recovery + GC"
+    );
+
+    // Closing the handle releases the lease; the next rewrites reclaim.
+    let now = cluster.now();
+    let actions = session.commit(now, h).expect("read-only close");
+    assert!(matches!(
+        actions.as_slice(),
+        [ClientAction::Finished(result)] if result.committed && result.read_only
+    ));
+    assert_eq!(cluster.core(serving).lock().read_lease_count(), 0);
+    let reclaimed_before = cluster.reclaimed_version_counts()[serving];
+    let third = add_writer(&mut cluster, serving, 6);
+    cluster.run_to_completion();
+    assert!(third.lock().committed > 0);
+    assert!(
+        cluster.reclaimed_version_counts()[serving] > reclaimed_before,
+        "with the lease gone, horizon-0 GC reclaims the old versions"
+    );
+    cluster
+        .verify()
+        .expect("the whole scenario must stay serializable");
+}
