@@ -1,0 +1,100 @@
+//! `protocol-lint` — run the protocol lint suite over the live workspace.
+//!
+//! Exit status 0 when clean (no active findings, no stale waivers), 1 when
+//! anything fires, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+protocol-lint: static protocol-invariant checks for this workspace
+
+USAGE:
+    protocol-lint [--root <dir>] [--waivers] [--list]
+
+OPTIONS:
+    --root <dir>   Workspace root (default: discovered from the current
+                   directory by walking up to a Cargo.toml with [workspace])
+    --waivers      Also print the waiver inventory (every intentional
+                   exception with its stated reason)
+    --list         List the lints and exit
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut show_waivers = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--waivers" => show_waivers = true,
+            "--list" => {
+                for lint in &analysis::lints::LINTS {
+                    println!("{:<22} {}", lint.name, lint.describe);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.map_or_else(discover_root, Ok) {
+        Ok(root) => root,
+        Err(err) => {
+            eprintln!("protocol-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let ws = match analysis::Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(err) => {
+            eprintln!(
+                "protocol-lint: failed to load workspace at {}: {err}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let report = analysis::run(&ws);
+    print!("{}", report.render());
+    if show_waivers {
+        print!("{}", report.render_waivers());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` declaring
+/// `[workspace]`.
+fn discover_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(
+                "no workspace root found above the current directory (pass --root)".to_string(),
+            );
+        }
+    }
+}

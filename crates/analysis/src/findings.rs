@@ -1,0 +1,158 @@
+//! Findings, waiver application and report formatting.
+
+use crate::source::Workspace;
+
+/// One lint violation, anchored to a source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint name (`determinism`, `msg-exhaustiveness`, ...).
+    pub lint: &'static str,
+    /// Workspace-relative file path.
+    pub rel: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// A finding suppressed by an inline waiver.
+#[derive(Clone, Debug)]
+pub struct Waived {
+    /// The suppressed finding.
+    pub finding: Finding,
+    /// The waiver's stated reason.
+    pub reason: String,
+}
+
+/// Result of a full lint run: what fires, what was waived (the intentional-
+/// exception inventory), and waivers that no longer suppress anything.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that fail the run.
+    pub active: Vec<Finding>,
+    /// Findings suppressed by `lint:allow` comments.
+    pub waived: Vec<Waived>,
+    /// Waivers that matched no finding — stale, and reported as
+    /// `unused-waiver` violations so the inventory cannot rot.
+    pub unused_waivers: Vec<Finding>,
+}
+
+impl Report {
+    /// True when nothing fails the run.
+    pub fn is_clean(&self) -> bool {
+        self.active.is_empty() && self.unused_waivers.is_empty()
+    }
+
+    /// Render the report for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.active {
+            out.push_str(&format!(
+                "{}: {}:{}: {}\n",
+                f.lint, f.rel, f.line, f.message
+            ));
+        }
+        for f in &self.unused_waivers {
+            out.push_str(&format!(
+                "{}: {}:{}: {}\n",
+                f.lint, f.rel, f.line, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "protocol-lint: {} violation(s), {} waived, {} stale waiver(s)\n",
+            self.active.len(),
+            self.waived.len(),
+            self.unused_waivers.len()
+        ));
+        out
+    }
+
+    /// Render the waiver inventory: every intentional exception with its
+    /// stated reason (the determinism-boundary audit trail).
+    pub fn render_waivers(&self) -> String {
+        let mut out = String::from("waiver inventory (intentional exceptions):\n");
+        for w in &self.waived {
+            out.push_str(&format!(
+                "  {}: {}:{}: {}\n",
+                w.finding.lint, w.finding.rel, w.finding.line, w.reason
+            ));
+        }
+        out
+    }
+}
+
+/// Split raw findings into active and waived using each file's waivers,
+/// then flag waivers that suppressed nothing.
+pub fn apply_waivers(ws: &Workspace, findings: Vec<Finding>) -> Report {
+    let mut report = Report::default();
+    let mut used = std::collections::BTreeSet::new(); // (rel, waiver line)
+    for finding in findings {
+        let waiver = ws
+            .files
+            .iter()
+            .find(|f| f.rel == finding.rel)
+            .and_then(|f| {
+                f.waivers
+                    .iter()
+                    .find(|w| w.lint == finding.lint && w.covers.contains(&finding.line))
+            });
+        match waiver {
+            Some(w) => {
+                used.insert((finding.rel.clone(), w.line));
+                report.waived.push(Waived {
+                    finding,
+                    reason: w.reason.clone(),
+                });
+            }
+            None => report.active.push(finding),
+        }
+    }
+    for file in &ws.files {
+        for w in &file.waivers {
+            if !used.contains(&(file.rel.clone(), w.line)) {
+                report.unused_waivers.push(Finding {
+                    lint: "unused-waiver",
+                    rel: file.rel.clone(),
+                    line: w.line,
+                    message: format!(
+                        "waiver for `{}` suppresses nothing — remove it or fix the reference",
+                        w.lint
+                    ),
+                });
+            }
+        }
+    }
+    report
+        .active
+        .sort_by(|a, b| (a.lint, &a.rel, a.line).cmp(&(b.lint, &b.rel, b.line)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waivers_suppress_and_stale_waivers_fire() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/core/src/x.rs",
+                "// lint:allow(determinism): ok\nlet a = 1;\n// lint:allow(determinism): stale\nlet b = 2;\n",
+            )],
+            &[],
+        );
+        let findings = vec![Finding {
+            lint: "determinism",
+            rel: "crates/core/src/x.rs".into(),
+            line: 2,
+            message: "violation".into(),
+        }];
+        let report = apply_waivers(&ws, findings);
+        assert_eq!(report.active.len(), 0);
+        assert_eq!(report.waived.len(), 1);
+        assert_eq!(report.waived[0].reason, "ok");
+        assert_eq!(report.unused_waivers.len(), 1);
+        assert!(!report.is_clean());
+        assert!(report.render().contains("stale waiver"));
+    }
+}

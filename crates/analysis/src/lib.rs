@@ -1,0 +1,35 @@
+//! In-tree protocol lint suite.
+//!
+//! The type system cannot see protocol invariants: that simnet-reachable
+//! code stays deterministic, that every message variant constructed has a
+//! handler, that every timer an actor sets is re-armed after a crash, that
+//! every metric collected reaches the exported schema, and that ballot
+//! proposer comparisons respect the recovery bit. This crate checks them
+//! statically, with a hand-rolled token scanner (the container has no
+//! registry access, so no `syn`) and an inline waiver syntax:
+//!
+//! ```text
+//! // lint:allow(<lint-name>): reason the exception is intentional
+//! ```
+//!
+//! A waiver covers its own line and the next code line, must carry a
+//! reason, and must suppress at least one finding — stale waivers fail the
+//! run as `unused-waiver`. See `docs/ANALYSIS.md` for the full lint
+//! catalogue and `protocol-lint --help` for the CLI.
+
+pub mod findings;
+pub mod lexer;
+pub mod lints;
+pub mod source;
+
+pub use findings::{Finding, Report, Waived};
+pub use source::Workspace;
+
+/// Run every lint over the workspace and fold waivers into a report.
+pub fn run(ws: &Workspace) -> Report {
+    let mut all = Vec::new();
+    for lint in &lints::LINTS {
+        all.extend((lint.run)(ws));
+    }
+    findings::apply_waivers(ws, all)
+}

@@ -1,0 +1,126 @@
+//! `ballot-discipline` — recovery ballots carry `RECOVERY_BALLOT_BIT` in
+//! their proposer id so a recovering leader's ballots outrank its own
+//! pre-crash ballots without colliding with live proposers. Any equality
+//! comparison against a ballot's `.proposer` that forgets to mask the bit
+//! silently misidentifies recovery ballots (e.g. "is this my ballot?"
+//! returns false for the node's own recovery proposals).
+//!
+//! The lint flags every statement in `core`/`paxos` that reads `.proposer`
+//! and contains `==` or `!=` without also mentioning
+//! `RECOVERY_BALLOT_BIT`. The file declaring `struct Ballot` is exempt —
+//! it owns the raw representation.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::Workspace;
+
+const SCOPE: [&str; 2] = ["core", "paxos"];
+
+/// Run the ballot-discipline lint over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let declaring: Vec<&str> = ws
+        .files
+        .iter()
+        .filter(|f| declares_ballot(f))
+        .map(|f| f.rel.as_str())
+        .collect();
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !SCOPE.contains(&file.krate.as_str()) || declaring.contains(&file.rel.as_str()) {
+            continue;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].in_test || toks[i].text != "proposer" || i == 0 || toks[i - 1].text != "." {
+                continue;
+            }
+            // Statement = tokens between the nearest `;`/`{`/`}` boundaries.
+            let start = (0..i)
+                .rev()
+                .find(|&j| matches!(toks[j].text.as_str(), ";" | "{" | "}"))
+                .map_or(0, |j| j + 1);
+            let end = (i..toks.len())
+                .find(|&j| matches!(toks[j].text.as_str(), ";" | "{" | "}"))
+                .unwrap_or(toks.len());
+            let stmt = &toks[start..end];
+            let compares = stmt.iter().any(|t| t.text == "==" || t.text == "!=");
+            let masked = stmt.iter().any(|t| t.text == "RECOVERY_BALLOT_BIT");
+            if compares && !masked {
+                out.push(Finding {
+                    lint: super::BALLOT_DISCIPLINE,
+                    rel: file.rel.clone(),
+                    line: toks[i].line,
+                    message: "`.proposer` equality comparison without masking RECOVERY_BALLOT_BIT — recovery ballots will be misidentified".to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn declares_ballot(file: &crate::source::SourceFile) -> bool {
+    file.tokens
+        .windows(2)
+        .any(|w| w[0].text == "struct" && w[1].kind == TokKind::Ident && w[1].text == "Ballot")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BALLOT: &str = "pub struct Ballot { pub round: u64, pub proposer: u64 }\n\
+                          impl Ballot { fn mine(&self, id: u64) -> bool { self.proposer == id } }";
+
+    #[test]
+    fn unmasked_comparison_fires() {
+        let ws = Workspace::from_sources(
+            &[
+                ("crates/paxos/src/ballot.rs", BALLOT),
+                (
+                    "crates/paxos/src/acceptor.rs",
+                    "fn is_mine(b: &Ballot, id: u64) -> bool { b.proposer == id }",
+                ),
+            ],
+            &[],
+        );
+        let f = run(&ws);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].rel.ends_with("acceptor.rs"));
+    }
+
+    #[test]
+    fn masked_comparison_is_clean() {
+        let ws = Workspace::from_sources(
+            &[
+                ("crates/paxos/src/ballot.rs", BALLOT),
+                (
+                    "crates/paxos/src/acceptor.rs",
+                    "fn is_mine(b: &Ballot, id: u64) -> bool { (b.proposer & !RECOVERY_BALLOT_BIT) == id }",
+                ),
+            ],
+            &[],
+        );
+        assert!(run(&ws).is_empty());
+    }
+
+    #[test]
+    fn non_comparison_reads_are_clean() {
+        let ws = Workspace::from_sources(
+            &[
+                ("crates/paxos/src/ballot.rs", BALLOT),
+                (
+                    "crates/paxos/src/acceptor.rs",
+                    "fn owner(b: &Ballot) -> u64 { b.proposer }\nfn bigger(a: &Ballot, b: &Ballot) -> bool { a.proposer > b.proposer }",
+                ),
+            ],
+            &[],
+        );
+        assert!(run(&ws).is_empty());
+    }
+
+    #[test]
+    fn declaring_file_is_exempt() {
+        let ws = Workspace::from_sources(&[("crates/paxos/src/ballot.rs", BALLOT)], &[]);
+        assert!(run(&ws).is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! `determinism` — the simnet's replay guarantee is only as strong as the
+//! absence of hidden entropy in simnet-reachable protocol code.
+//!
+//! In crates `core`, `paxos`, `walog` and `simnet` this lint flags:
+//!
+//! * wall-clock time sources (`std::time::Instant`, `SystemTime`) — the
+//!   simulation owns time; reading the host clock forks the timeline,
+//! * unseeded randomness (`thread_rng`, `from_entropy`) — every RNG must
+//!   derive from the run seed,
+//! * order-sensitive iteration over `HashMap`/`HashSet` (`iter`, `keys`,
+//!   `values`, `drain`, `retain`, `for x in &map`, ...) — std's hash maps
+//!   seed their hasher from process entropy, so iteration order differs
+//!   run to run; anything that feeds message order, timer order or the
+//!   decided log must iterate a `BTreeMap`/`BTreeSet` or sort first.
+//!
+//! The iteration check is name-based: it collects every binding or field
+//! declared with a `HashMap`/`HashSet` type (or initialized from
+//! `HashMap::new()`-style constructors) in a file, then flags iteration
+//! method calls and `for` loops over those names. `get`/`insert`/
+//! `contains_key` and friends stay silent — point lookups are order-free.
+
+use crate::findings::Finding;
+use crate::lexer::{TokKind, Token};
+use crate::source::Workspace;
+
+const SCOPE: [&str; 4] = ["core", "paxos", "walog", "simnet"];
+
+const BANNED_IDENTS: [(&str, &str); 4] = [
+    (
+        "Instant",
+        "wall-clock time source `Instant` in simnet-reachable code",
+    ),
+    (
+        "SystemTime",
+        "wall-clock time source `SystemTime` in simnet-reachable code",
+    ),
+    (
+        "thread_rng",
+        "unseeded RNG `thread_rng` in simnet-reachable code",
+    ),
+    (
+        "from_entropy",
+        "unseeded RNG `from_entropy` in simnet-reachable code",
+    ),
+];
+
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Run the determinism lint over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !SCOPE.contains(&file.krate.as_str()) {
+            continue;
+        }
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test || t.kind != TokKind::Ident {
+                continue;
+            }
+            if let Some((_, msg)) = BANNED_IDENTS.iter().find(|(name, _)| *name == t.text) {
+                // `use std::time::{Instant, ...}` and every expression use
+                // fire equally: the import alone is a liability.
+                out.push(Finding {
+                    lint: super::DETERMINISM,
+                    rel: file.rel.clone(),
+                    line: t.line,
+                    message: (*msg).to_string(),
+                });
+            }
+            let _ = i;
+        }
+        let hashed = hash_typed_names(toks);
+        if hashed.is_empty() {
+            continue;
+        }
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.in_test || t.kind != TokKind::Ident || !hashed.contains(&t.text) {
+                continue;
+            }
+            // `name.iter()` / `name.drain()` / ...
+            if toks.get(i + 1).is_some_and(|n| n.text == ".")
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+                && toks.get(i + 3).is_some_and(|p| p.text == "(")
+            {
+                out.push(Finding {
+                    lint: super::DETERMINISM,
+                    rel: file.rel.clone(),
+                    line: t.line,
+                    message: format!(
+                        "order-sensitive `{}` iteration over hash-ordered `{}` — use a BTreeMap/BTreeSet or sort before iterating",
+                        toks[i + 2].text, t.text
+                    ),
+                });
+            }
+            // `for x in &name {` / `for x in name {` / `for x in &mut self.name {`
+            if toks.get(i + 1).is_some_and(|n| n.text == "{") && preceded_by_in(toks, i) {
+                out.push(Finding {
+                    lint: super::DETERMINISM,
+                    rel: file.rel.clone(),
+                    line: t.line,
+                    message: format!(
+                        "order-sensitive `for` loop over hash-ordered `{}` — use a BTreeMap/BTreeSet or sort before iterating",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Walk back from a candidate loop subject over `&`, `mut`, `self` and `.`
+/// to see whether the expression is the object of a `for ... in`.
+fn preceded_by_in(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match toks[j].text.as_str() {
+            "&" | "mut" | "self" | "." => continue,
+            "in" => return toks[j].kind == TokKind::Ident,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Names declared with a `HashMap`/`HashSet` type (field or binding type
+/// annotations, plus `let name = HashMap::new()`-style initializers).
+fn hash_typed_names(toks: &[Token]) -> std::collections::BTreeSet<String> {
+    let mut names = std::collections::BTreeSet::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk back over a path prefix (`std :: collections ::`), references
+        // and `mut` to find `name :` or `let name =`.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].text == "::" && toks[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        while j >= 1 {
+            match toks[j - 1].text.as_str() {
+                "&" | "mut" => j -= 1,
+                _ => break,
+            }
+            continue;
+        }
+        if j >= 2 && toks[j - 1].text == ":" && toks[j - 2].kind == TokKind::Ident {
+            names.insert(toks[j - 2].text.clone());
+        } else if j >= 2 && toks[j - 1].text == "=" && toks[j - 2].kind == TokKind::Ident {
+            let is_let = toks.get(j.wrapping_sub(3)).is_some_and(|t| t.text == "let")
+                || (toks.get(j.wrapping_sub(3)).is_some_and(|t| t.text == "mut")
+                    && toks.get(j.wrapping_sub(4)).is_some_and(|t| t.text == "let"));
+            if is_let {
+                names.insert(toks[j - 2].text.clone());
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(&[("crates/core/src/x.rs", src)], &[]);
+        run(&ws)
+    }
+
+    #[test]
+    fn wall_clock_and_unseeded_rng_fire() {
+        let f = findings("use std::time::Instant;\nfn f() { let r = thread_rng(); }");
+        assert_eq!(f.len(), 2);
+        assert!(f[0].message.contains("Instant"));
+        assert!(f[1].message.contains("thread_rng"));
+    }
+
+    #[test]
+    fn hash_iteration_fires_btree_does_not() {
+        let src = "struct S { m: HashMap<u64, u64>, b: BTreeMap<u64, u64> }\n\
+                   impl S { fn f(&self) { for k in self.m.keys() {} for k in self.b.keys() {} } }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`m`"));
+    }
+
+    #[test]
+    fn for_loop_over_hash_set_fires() {
+        let src = "struct S { s: HashSet<u64> }\nimpl S { fn f(&self) { for k in &self.s {} } }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("for"));
+    }
+
+    #[test]
+    fn let_initializer_declares_the_name() {
+        let src = "fn f() { let m = HashMap::new(); for k in m.values() {} }";
+        assert_eq!(findings(src).len(), 1);
+    }
+
+    #[test]
+    fn lookups_are_silent_and_tests_are_skipped() {
+        let src = "struct S { m: HashMap<u64, u64> }\n\
+                   impl S { fn f(&self) { self.m.get(&1); self.m.contains_key(&2); } }\n\
+                   #[cfg(test)]\nmod tests { use std::time::Instant; fn t(m: HashMap<u64,u64>) { m.iter(); } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let ws = Workspace::from_sources(
+            &[("crates/workload/src/x.rs", "use std::time::Instant;")],
+            &[],
+        );
+        assert!(run(&ws).is_empty());
+    }
+}

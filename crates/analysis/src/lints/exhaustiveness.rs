@@ -1,0 +1,228 @@
+//! `msg-exhaustiveness` — every message variant the protocol constructs
+//! must have a handler somewhere.
+//!
+//! The check is enum-driven: it finds every `enum` whose name ends in
+//! `Msg`, collects its variants, then classifies each `Enum::Variant`
+//! token sequence in the workspace as either a *match arm* (the path,
+//! optionally followed by a balanced `(..)`/`{..}` pattern, leads to `=>`
+//! or `|`) or a *construction/reference*. A variant that is constructed
+//! anywhere but has no match arm **outside the enum's declaring file** is
+//! a finding — the declaring file is excluded because accessor methods
+//! like `kind()` match every variant by definition and would make the
+//! lint vacuous.
+
+use crate::findings::Finding;
+use crate::lexer::{self, TokKind, Token};
+use crate::source::Workspace;
+
+struct MsgEnum {
+    name: String,
+    declared_in: String,
+    variants: Vec<String>,
+}
+
+/// Run the msg-exhaustiveness lint over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let enums = collect_msg_enums(ws);
+    let mut out = Vec::new();
+    for e in &enums {
+        for variant in &e.variants {
+            let mut constructed_at: Option<(String, u32)> = None;
+            let mut handled = false;
+            for file in &ws.files {
+                for (i, t) in file.tokens.iter().enumerate() {
+                    if t.in_test
+                        || t.kind != TokKind::Ident
+                        || t.text != e.name
+                        || file.tokens.get(i + 1).map(|n| n.text.as_str()) != Some("::")
+                        || file.tokens.get(i + 2).map(|v| v.text.as_str()) != Some(variant.as_str())
+                    {
+                        continue;
+                    }
+                    if is_match_arm(&file.tokens, i + 2) {
+                        if file.rel != e.declared_in {
+                            handled = true;
+                        }
+                    } else if constructed_at.is_none() && file.rel != e.declared_in {
+                        constructed_at = Some((file.rel.clone(), t.line));
+                    }
+                }
+            }
+            if let Some((rel, line)) = constructed_at {
+                if !handled {
+                    out.push(Finding {
+                        lint: super::MSG_EXHAUSTIVENESS,
+                        rel,
+                        line,
+                        message: format!(
+                            "`{}::{}` is constructed but no handler matches it (outside {})",
+                            e.name, variant, e.declared_in
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// After `Enum::Variant` at index `vi`, skip an optional balanced pattern
+/// group and report whether the sequence is a match arm (`=>` or an
+/// or-pattern `|`).
+fn is_match_arm(toks: &[Token], vi: usize) -> bool {
+    let mut j = vi + 1;
+    if toks.get(j).is_some_and(|t| t.text == "(" || t.text == "{") {
+        j = lexer::skip_group(toks, j);
+    }
+    matches!(toks.get(j).map(|t| t.text.as_str()), Some("=>") | Some("|"))
+}
+
+/// Find `enum *Msg` declarations and their variant names.
+fn collect_msg_enums(ws: &Workspace) -> Vec<MsgEnum> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].text != "enum"
+                || toks[i].in_test
+                || !toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Ident && n.text.ends_with("Msg"))
+            {
+                continue;
+            }
+            // Find the body brace (skipping any generic params).
+            let mut j = i + 2;
+            while j < toks.len() && toks[j].text != "{" {
+                j += 1;
+            }
+            if j >= toks.len() {
+                continue;
+            }
+            let end = lexer::skip_group(toks, j);
+            let mut variants = Vec::new();
+            let mut k = j + 1;
+            while k < end.min(toks.len()) {
+                let t = &toks[k];
+                if t.text == "#" {
+                    // Skip variant attributes like #[doc = ".."].
+                    if toks.get(k + 1).is_some_and(|b| b.text == "[") {
+                        k = lexer::skip_group(toks, k + 1);
+                        continue;
+                    }
+                }
+                if t.kind == TokKind::Ident {
+                    variants.push(t.text.clone());
+                    k += 1;
+                    if toks.get(k).is_some_and(|n| n.text == "(" || n.text == "{") {
+                        k = lexer::skip_group(toks, k);
+                    }
+                    // Skip to past the variant separator.
+                    while k < end && toks[k].text != "," {
+                        k += 1;
+                    }
+                    k += 1;
+                } else {
+                    k += 1;
+                }
+            }
+            out.push(MsgEnum {
+                name: toks[i + 1].text.clone(),
+                declared_in: file.rel.clone(),
+                variants,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DECL: &str = "pub enum TestMsg { Ping(u64), Pong { id: u64 }, Halt }\n\
+                        impl TestMsg { fn kind(&self) -> &str { match self { \
+                        TestMsg::Ping(_) => \"ping\", TestMsg::Pong { .. } => \"pong\", \
+                        TestMsg::Halt => \"halt\" } } }";
+
+    #[test]
+    fn unhandled_constructed_variant_fires() {
+        let ws = Workspace::from_sources(
+            &[
+                ("crates/core/src/msg.rs", DECL),
+                (
+                    "crates/core/src/node.rs",
+                    "fn send() -> TestMsg { TestMsg::Halt }\n\
+                     fn on_msg(m: TestMsg) { match m { TestMsg::Ping(n) => drop(n), \
+                     TestMsg::Pong { id } => drop(id), _ => {} } }",
+                ),
+            ],
+            &[],
+        );
+        let f = run(&ws);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("TestMsg::Halt"));
+        assert_eq!(f[0].rel, "crates/core/src/node.rs");
+    }
+
+    #[test]
+    fn fully_handled_enum_is_clean() {
+        let ws = Workspace::from_sources(
+            &[
+                ("crates/core/src/msg.rs", DECL),
+                (
+                    "crates/core/src/node.rs",
+                    "fn send() -> Vec<TestMsg> { vec![TestMsg::Ping(1), TestMsg::Pong { id: 2 }, TestMsg::Halt] }\n\
+                     fn on_msg(m: TestMsg) { match m { TestMsg::Ping(n) => drop(n), \
+                     TestMsg::Pong { id } => drop(id), TestMsg::Halt => {} } }",
+                ),
+            ],
+            &[],
+        );
+        assert!(run(&ws).is_empty());
+    }
+
+    #[test]
+    fn accessor_arms_in_declaring_file_do_not_count() {
+        // DECL's own kind() matches everything; with a construction elsewhere
+        // and no external handler, the lint must still fire.
+        let ws = Workspace::from_sources(
+            &[
+                ("crates/core/src/msg.rs", DECL),
+                (
+                    "crates/core/src/node.rs",
+                    "fn send() -> TestMsg { TestMsg::Ping(7) }",
+                ),
+            ],
+            &[],
+        );
+        let f = run(&ws);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("TestMsg::Ping"));
+    }
+
+    #[test]
+    fn or_patterns_count_as_handling() {
+        let ws = Workspace::from_sources(
+            &[
+                ("crates/core/src/msg.rs", "pub enum TinyMsg { A, B }"),
+                (
+                    "crates/core/src/node.rs",
+                    "fn send() -> (TinyMsg, TinyMsg) { (TinyMsg::A, TinyMsg::B) }\n\
+                     fn on_msg(m: TinyMsg) { match m { TinyMsg::A | TinyMsg::B => {} } }",
+                ),
+            ],
+            &[],
+        );
+        assert!(run(&ws).is_empty());
+    }
+
+    #[test]
+    fn unconstructed_variants_are_not_required_to_be_handled() {
+        let ws = Workspace::from_sources(
+            &[("crates/core/src/msg.rs", "pub enum IdleMsg { Never(u8) }")],
+            &[],
+        );
+        assert!(run(&ws).is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! `metrics-completeness` — a counter nobody exports is a counter nobody
+//! reads. Every field of `RunMetrics` must reach two places:
+//!
+//! * the JSON export (`report.rs` — its text must mention the field name),
+//! * the documented schema (`docs/BENCHMARKS.md`).
+//!
+//! The check is substring-based on purpose: an export key such as
+//! `mean_window_occupancy` legitimately covers the field
+//! `window_occupancy`, and demanding token-exact matches would force
+//! export keys to mirror internal field names.
+
+use crate::findings::Finding;
+use crate::lexer::{self, TokKind};
+use crate::source::Workspace;
+
+/// Run the metrics-completeness lint over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let report_text: String = ws
+        .files
+        .iter()
+        .filter(|f| f.rel.ends_with("/report.rs"))
+        .map(|f| f.text.as_str())
+        .collect();
+    let schema_text: String = ws
+        .docs
+        .iter()
+        .filter(|d| d.rel.ends_with("BENCHMARKS.md"))
+        .map(|d| d.text.as_str())
+        .collect();
+    for file in &ws.files {
+        for (name, line) in run_metrics_fields(file) {
+            if !report_text.is_empty() && !report_text.contains(&name) {
+                out.push(Finding {
+                    lint: super::METRICS_COMPLETENESS,
+                    rel: file.rel.clone(),
+                    line,
+                    message: format!(
+                        "`RunMetrics::{name}` is collected but missing from the JSON export (report.rs)"
+                    ),
+                });
+            }
+            if !schema_text.is_empty() && !schema_text.contains(&name) {
+                out.push(Finding {
+                    lint: super::METRICS_COMPLETENESS,
+                    rel: file.rel.clone(),
+                    line,
+                    message: format!(
+                        "`RunMetrics::{name}` is collected but undocumented in docs/BENCHMARKS.md"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Field names and declaration lines of a `struct RunMetrics` in `file`.
+fn run_metrics_fields(file: &crate::source::SourceFile) -> Vec<(String, u32)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].text != "struct"
+            || toks[i].in_test
+            || toks.get(i + 1).map(|n| n.text.as_str()) != Some("RunMetrics")
+        {
+            continue;
+        }
+        let mut j = i + 2;
+        while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].text != "{" {
+            continue;
+        }
+        let end = lexer::skip_group(toks, j);
+        let mut k = j + 1;
+        while k < end.min(toks.len()) {
+            let t = &toks[k];
+            if t.text == "#" && toks.get(k + 1).is_some_and(|b| b.text == "[") {
+                k = lexer::skip_group(toks, k + 1);
+                continue;
+            }
+            if t.text == "pub" {
+                k += 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident && toks.get(k + 1).is_some_and(|c| c.text == ":") {
+                out.push((t.text.clone(), t.line));
+                // Skip the type up to the field separator, stepping over any
+                // bracketed groups so commas inside generics don't end early.
+                k += 2;
+                let mut depth = 0i32;
+                while k < end {
+                    match toks[k].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        "," if depth <= 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                k += 1;
+            } else {
+                k += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Workspace;
+
+    const METRICS: &str = "pub struct RunMetrics { pub committed: u64, pub window_occupancy: Vec<(u64, usize)>, pub timed_out: u64 }";
+
+    #[test]
+    fn unexported_and_undocumented_fields_fire() {
+        let ws = Workspace::from_sources(
+            &[
+                ("crates/core/src/metrics.rs", METRICS),
+                (
+                    "crates/bench/src/report.rs",
+                    "fn export() { push(\"committed\"); push(\"mean_window_occupancy\"); }",
+                ),
+            ],
+            &[(
+                "docs/BENCHMARKS.md",
+                "| committed | commits | \n| window_occupancy | samples |",
+            )],
+        );
+        let f = run(&ws);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("timed_out"));
+        assert!(f[0].message.contains("JSON export"));
+        assert!(f[1].message.contains("timed_out"));
+        assert!(f[1].message.contains("undocumented"));
+    }
+
+    #[test]
+    fn substring_coverage_counts() {
+        // `mean_window_occupancy` in the export covers `window_occupancy`.
+        let ws = Workspace::from_sources(
+            &[
+                ("crates/core/src/metrics.rs", METRICS),
+                (
+                    "crates/bench/src/report.rs",
+                    "fn export() { push(\"committed\"); push(\"mean_window_occupancy\"); push(\"timed_out\"); }",
+                ),
+            ],
+            &[(
+                "docs/BENCHMARKS.md",
+                "committed, window_occupancy, timed_out",
+            )],
+        );
+        assert!(run(&ws).is_empty());
+    }
+
+    #[test]
+    fn absent_report_or_docs_disable_the_check() {
+        // A fixture workspace with no report.rs and no schema doc should not
+        // drown in findings — each half of the check needs its target.
+        let ws = Workspace::from_sources(&[("crates/core/src/metrics.rs", METRICS)], &[]);
+        assert!(run(&ws).is_empty());
+    }
+}

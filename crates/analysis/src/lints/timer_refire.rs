@@ -1,0 +1,202 @@
+//! `timer-refire` — crash recovery must re-arm every timer namespace.
+//!
+//! The simnet clears an actor's pending timers when it crashes; an actor
+//! whose recovery path forgets to re-arm a timer tag silently stalls that
+//! state machine forever (the PR 7 fast-path bug class). This lint treats
+//! every all-caps ident containing `TAG` that appears inside a
+//! `set_timer(...)` argument list as a timer namespace, and requires each
+//! namespace to be reachable from the file's recovery entry points:
+//! `fn on_recover` or `fn refire_timers`, either directly in their bodies
+//! or in the body of a same-file function those bodies call (one level of
+//! indirection covers the `on_recover -> ensure_janitor -> JANITOR_TAG`
+//! shape without needing a full call graph).
+//!
+//! Files that set tagged timers but define no recovery entry point at all
+//! are findings too — harnesses that genuinely never restart mid-run waive
+//! them, which keeps the exception explicit and inventoried.
+
+use crate::findings::Finding;
+use crate::lexer::{self, TokKind, Token};
+use crate::source::Workspace;
+
+/// Run the timer-refire lint over the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let toks = &file.tokens;
+        let tags = tags_set_in(toks);
+        if tags.is_empty() {
+            continue;
+        }
+        let fns = fn_bodies(toks);
+        let mut covered = std::collections::BTreeSet::new();
+        let mut has_recovery = false;
+        for entry in ["on_recover", "refire_timers"] {
+            let Some(&(start, end)) = fns.get(entry) else {
+                continue;
+            };
+            has_recovery = true;
+            collect_idents(toks, start, end, &mut covered);
+            // One level of indirection: same-file functions the entry calls.
+            for i in start..end {
+                if toks[i].kind == TokKind::Ident && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                {
+                    if let Some(&(cs, ce)) = fns.get(toks[i].text.as_str()) {
+                        collect_idents(toks, cs, ce, &mut covered);
+                    }
+                }
+            }
+        }
+        for (tag, line) in &tags {
+            let message = if !has_recovery {
+                format!(
+                    "timer tag `{tag}` is set but this actor has no `on_recover`/`refire_timers` to re-arm it after a crash"
+                )
+            } else if !covered.contains(tag.as_str()) {
+                format!(
+                    "timer tag `{tag}` is set but never re-armed by `on_recover`/`refire_timers` — it dies with the first crash"
+                )
+            } else {
+                continue;
+            };
+            out.push(Finding {
+                lint: super::TIMER_REFIRE,
+                rel: file.rel.clone(),
+                line: *line,
+                message,
+            });
+        }
+    }
+    out
+}
+
+/// Tag namespaces set in this file: all-caps `*TAG*` idents appearing inside
+/// `set_timer(...)` argument lists, with the first line each is seen on.
+fn tags_set_in(toks: &[Token]) -> Vec<(String, u32)> {
+    let mut tags: Vec<(String, u32)> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].in_test || toks[i].text != "set_timer" {
+            continue;
+        }
+        let Some(open) = toks.get(i + 1).filter(|t| t.text == "(") else {
+            continue;
+        };
+        let _ = open;
+        let end = lexer::skip_group(toks, i + 1);
+        for t in &toks[i + 2..end.min(toks.len())] {
+            if t.kind == TokKind::Ident
+                && t.text.contains("TAG")
+                && t.text.chars().all(|c| c.is_ascii_uppercase() || c == '_')
+                && !tags.iter().any(|(name, _)| *name == t.text)
+            {
+                tags.push((t.text.clone(), t.line));
+            }
+        }
+    }
+    tags
+}
+
+/// Map each non-test `fn name` to its body token range `(start, end)`.
+fn fn_bodies(toks: &[Token]) -> std::collections::BTreeMap<&str, (usize, usize)> {
+    let mut out = std::collections::BTreeMap::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "fn"
+            && !toks[i].in_test
+            && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            let name = toks[i + 1].text.as_str();
+            // Find the body brace, skipping the signature. Generic bounds and
+            // return types may themselves contain no braces before the body.
+            let mut j = i + 2;
+            while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+                if toks[j].text == "(" || toks[j].text == "[" {
+                    j = lexer::skip_group(toks, j);
+                } else {
+                    j += 1;
+                }
+            }
+            if j < toks.len() && toks[j].text == "{" {
+                let end = lexer::skip_group(toks, j);
+                out.insert(name, (j + 1, end.saturating_sub(1)));
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn collect_idents<'t>(
+    toks: &'t [Token],
+    start: usize,
+    end: usize,
+    out: &mut std::collections::BTreeSet<&'t str>,
+) {
+    for t in &toks[start..end.min(toks.len())] {
+        if t.kind == TokKind::Ident {
+            out.insert(t.text.as_str());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(&[("crates/core/src/x.rs", src)], &[]);
+        run(&ws)
+    }
+
+    #[test]
+    fn unrefired_tag_fires() {
+        let src = "const TICK_TAG: u64 = 1; const PING_TAG: u64 = 2;\n\
+                   impl A { fn start(&mut self) { self.set_timer(d, TICK_TAG); self.set_timer(d, PING_TAG); }\n\
+                   fn on_recover(&mut self) { self.set_timer(d, TICK_TAG); } }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("PING_TAG"));
+        assert!(f[0].message.contains("never re-armed"));
+    }
+
+    #[test]
+    fn directly_refired_tags_are_clean() {
+        let src = "const TICK_TAG: u64 = 1;\n\
+                   impl A { fn start(&mut self) { self.set_timer(d, TICK_TAG); }\n\
+                   fn refire_timers(&mut self) { self.set_timer(d, TICK_TAG); } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn one_level_of_indirection_counts() {
+        let src = "const JANITOR_TAG: u64 = 1;\n\
+                   impl A { fn ensure_janitor(&mut self) { self.set_timer(d, JANITOR_TAG); }\n\
+                   fn start(&mut self) { self.ensure_janitor(); }\n\
+                   fn on_recover(&mut self) { self.ensure_janitor(); } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn missing_recovery_entry_point_fires() {
+        let src = "const TICK_TAG: u64 = 1;\n\
+                   impl A { fn start(&mut self) { self.set_timer(d, TICK_TAG); } }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("no `on_recover`"));
+    }
+
+    #[test]
+    fn non_tag_consts_in_set_timer_args_are_ignored() {
+        let src = "const TICK_US: u64 = 50; const TICK_TAG: u64 = 1;\n\
+                   impl A { fn start(&mut self) { self.set_timer(SimDuration::from_micros(TICK_US), TICK_TAG); }\n\
+                   fn on_recover(&mut self) { self.set_timer(SimDuration::from_micros(TICK_US), TICK_TAG); } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn files_without_timers_are_clean() {
+        assert!(findings("fn f() {}").is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! Workspace model: lexed source files, documentation files, and waivers.
+
+use crate::lexer::{self, Comment, Token};
+use std::path::Path;
+
+/// An inline waiver: `// lint:allow(<name>): reason`.
+///
+/// A waiver covers the line it is written on and the next line that carries
+/// code, so both trailing (`stmt; // lint:allow(...)`) and preceding
+/// (waiver on its own line above the statement) placements work. Every
+/// waiver must suppress at least one finding or the suite reports it as
+/// `unused-waiver` — the waiver list doubles as an inventory of every
+/// intentional exception, and stale entries would rot that inventory.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// The lint this waiver suppresses.
+    pub lint: String,
+    /// Why the exception is intentional (required).
+    pub reason: String,
+    /// Line the waiver comment starts on.
+    pub line: u32,
+    /// Lines this waiver covers (its own and the next code line).
+    pub covers: Vec<u32>,
+}
+
+/// One lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, unix-style.
+    pub rel: String,
+    /// Workspace crate the file belongs to (`core`, `paxos`, ... or `root`
+    /// for the top-level package).
+    pub krate: String,
+    /// Raw text (used by text-level checks like metrics-completeness).
+    pub text: String,
+    /// Token stream with test code marked.
+    pub tokens: Vec<Token>,
+    /// Waivers declared in this file.
+    pub waivers: Vec<Waiver>,
+}
+
+/// A documentation file checked by text-level lints.
+#[derive(Debug)]
+pub struct DocFile {
+    /// Path relative to the workspace root.
+    pub rel: String,
+    /// Raw text.
+    pub text: String,
+}
+
+/// Everything the lints look at.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Lexed Rust sources.
+    pub files: Vec<SourceFile>,
+    /// Markdown documentation.
+    pub docs: Vec<DocFile>,
+}
+
+impl SourceFile {
+    /// Lex and model one source file from its text.
+    pub fn parse(rel: &str, text: String) -> SourceFile {
+        let (mut tokens, comments) = lexer::lex(&text);
+        lexer::mark_test_code(&mut tokens);
+        let waivers = parse_waivers(&comments, &tokens);
+        SourceFile {
+            rel: rel.to_string(),
+            krate: crate_of(rel),
+            text,
+            tokens,
+            waivers,
+        }
+    }
+}
+
+impl Workspace {
+    /// Build a workspace from in-memory `(relative path, text)` pairs —
+    /// used by the fixture tests.
+    pub fn from_sources(sources: &[(&str, &str)], docs: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: sources
+                .iter()
+                .map(|(rel, text)| SourceFile::parse(rel, (*text).to_string()))
+                .collect(),
+            docs: docs
+                .iter()
+                .map(|(rel, text)| DocFile {
+                    rel: (*rel).to_string(),
+                    text: (*text).to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Load the live workspace rooted at `root`: every `.rs` file under the
+    /// protocol crates' `src/` directories plus the root package's `src/`,
+    /// and the benchmark schema document. Shim crates are skipped (they
+    /// stand in for external dependencies and are not simnet-reachable
+    /// protocol code), as is this analysis crate itself (its fixtures are
+    /// deliberately full of violations).
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut files = Vec::new();
+        let crate_srcs = [
+            "crates/simnet/src",
+            "crates/mvkv/src",
+            "crates/walog/src",
+            "crates/paxos/src",
+            "crates/core/src",
+            "crates/workload/src",
+            "crates/bench/src",
+            "src",
+        ];
+        for dir in crate_srcs {
+            collect_rs(&root.join(dir), root, &mut files)?;
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        let mut docs = Vec::new();
+        let doc = "docs/BENCHMARKS.md";
+        let path = root.join(doc);
+        if path.is_file() {
+            docs.push(DocFile {
+                rel: doc.to_string(),
+                text: std::fs::read_to_string(path)?,
+            });
+        }
+        Ok(Workspace { files, docs })
+    }
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = std::fs::read_to_string(&path)?;
+            out.push(SourceFile::parse(&rel, text));
+        }
+    }
+    Ok(())
+}
+
+/// The workspace crate a relative path belongs to.
+fn crate_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some((name, _)) = rest.split_once('/') {
+            return name.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+/// Extract `lint:allow(...)` waivers from comments. A waiver covers its own
+/// line and the next line that carries a token.
+fn parse_waivers(comments: &[Comment], tokens: &[Token]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for comment in comments {
+        let Some(at) = comment.text.find("lint:allow(") else {
+            continue;
+        };
+        let after = &comment.text[at + "lint:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let lint = after[..close].trim().to_string();
+        let reason = after[close + 1..]
+            .trim_start_matches(':')
+            .trim()
+            .to_string();
+        let mut covers = vec![comment.line];
+        if let Some(next) = tokens
+            .iter()
+            .map(|t| t.line)
+            .filter(|l| *l > comment.line)
+            .min()
+        {
+            covers.push(next);
+        }
+        out.push(Waiver {
+            lint,
+            reason,
+            line: comment.line,
+            covers,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_covers_its_line_and_the_next_code_line() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "// lint:allow(determinism): wall clock is the point\nlet a = 1;\nlet b = 2; // lint:allow(timer-refire): never crashed\n".to_string(),
+        );
+        assert_eq!(f.waivers.len(), 2);
+        assert_eq!(f.waivers[0].lint, "determinism");
+        assert_eq!(f.waivers[0].reason, "wall clock is the point");
+        assert!(f.waivers[0].covers.contains(&1) && f.waivers[0].covers.contains(&2));
+        assert_eq!(f.waivers[1].lint, "timer-refire");
+        assert!(f.waivers[1].covers.contains(&3));
+    }
+
+    #[test]
+    fn crate_names_resolve_from_paths() {
+        assert_eq!(crate_of("crates/core/src/service.rs"), "core");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+    }
+
+    #[test]
+    fn fixture_workspaces_build_from_memory() {
+        let ws = Workspace::from_sources(
+            &[("crates/core/src/a.rs", "fn f() {}")],
+            &[("docs/BENCHMARKS.md", "# schema")],
+        );
+        assert_eq!(ws.files.len(), 1);
+        assert_eq!(ws.files[0].krate, "core");
+        assert_eq!(ws.docs.len(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: compares the raw proposer id — a recovery ballot (proposer id
+// with RECOVERY_BALLOT_BIT set) from this very node would compare unequal.
+fn is_own_ballot(ballot: &Ballot, node_id: u64) -> bool {
+    ballot.proposer == node_id
+}
+
+fn highest_ranked(a: &Ballot, b: &Ballot) -> bool {
+    a.round > b.round || a.proposer > b.proposer
+}

@@ -1,0 +1,11 @@
+// Fixture: the ballot type. Declaring file — exempt from the lint.
+pub struct Ballot {
+    pub round: u64,
+    pub proposer: u64,
+}
+
+impl Ballot {
+    pub fn is_mine(&self, id: u64) -> bool {
+        self.proposer == id
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: the same raw comparison, waived.
+fn is_exact_ballot(ballot: &Ballot, raw_id: u64) -> bool {
+    // lint:allow(ballot-discipline): callers pass ids with the bit baked in
+    ballot.proposer == raw_id
+}

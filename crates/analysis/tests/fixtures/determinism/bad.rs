@@ -1,0 +1,34 @@
+// Fixture: every determinism violation class, unwaived.
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+struct Tracker {
+    seen: HashSet<u64>,
+    routes: HashMap<u64, u32>,
+}
+
+impl Tracker {
+    fn stamp(&self) -> Instant {
+        Instant::now()
+    }
+
+    fn wall(&self) -> SystemTime {
+        SystemTime::now()
+    }
+
+    fn shuffle(&mut self) {
+        let mut rng = thread_rng();
+        let _ = rng;
+    }
+
+    fn broadcast(&self) -> Vec<u32> {
+        // Hash-ordered iteration: reply order differs run to run.
+        self.routes.values().copied().collect()
+    }
+
+    fn sweep(&self) {
+        for id in &self.seen {
+            let _ = id;
+        }
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: the same violations, each covered by a lint:allow waiver.
+struct Probe {
+    routes: HashMap<u64, u32>,
+}
+
+impl Probe {
+    fn stamp_micros(&self) -> u64 {
+        // lint:allow(determinism): wall clock is this probe's whole purpose
+        Instant::now().elapsed().as_micros() as u64
+    }
+
+    fn broadcast(&self) -> u64 {
+        // lint:allow(determinism): order folded through a commutative sum
+        self.routes.values().map(|v| *v as u64).sum()
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: constructs all three variants but only handles two — the
+// handler silently drops FixtureMsg::Bye.
+fn send_all() -> Vec<FixtureMsg> {
+    vec![
+        FixtureMsg::Hello(1),
+        FixtureMsg::Data { seq: 2 },
+        FixtureMsg::Bye,
+    ]
+}
+
+fn on_message(msg: FixtureMsg) {
+    match msg {
+        FixtureMsg::Hello(n) => drop(n),
+        FixtureMsg::Data { seq } => drop(seq),
+        _ => {}
+    }
+}

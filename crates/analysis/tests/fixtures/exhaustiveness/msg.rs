@@ -1,0 +1,17 @@
+// Fixture: message enum declaration. The kind() accessor matches every
+// variant but must NOT count as handling — it lives in the declaring file.
+pub enum FixtureMsg {
+    Hello(u64),
+    Data { seq: u64 },
+    Bye,
+}
+
+impl FixtureMsg {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FixtureMsg::Hello(_) => "hello",
+            FixtureMsg::Data { .. } => "data",
+            FixtureMsg::Bye => "bye",
+        }
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: the same dropped variant, waived at the construction site.
+fn send_all() -> Vec<FixtureMsg> {
+    vec![
+        FixtureMsg::Hello(1),
+        FixtureMsg::Data { seq: 2 },
+        // lint:allow(msg-exhaustiveness): Bye is a tombstone nobody reads
+        FixtureMsg::Bye,
+    ]
+}
+
+fn on_message(msg: FixtureMsg) {
+    match msg {
+        FixtureMsg::Hello(n) => drop(n),
+        FixtureMsg::Data { seq } => drop(seq),
+        _ => {}
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: a RunMetrics whose last field never reaches the export or docs.
+pub struct RunMetrics {
+    pub attempted: usize,
+    pub committed: usize,
+    pub ghost_counter: u64,
+}

@@ -1,0 +1,7 @@
+// Fixture: JSON export that covers every field but the last one.
+pub fn results_to_json(m: &RunMetrics) -> String {
+    format!(
+        "{{\"attempted\": {}, \"committed\": {}}}",
+        m.attempted, m.committed
+    )
+}

@@ -1,0 +1,7 @@
+// Fixture: the unexported field, waived where it is declared.
+pub struct RunMetrics {
+    pub attempted: usize,
+    pub committed: usize,
+    // lint:allow(metrics-completeness): scratch counter, export pending
+    pub ghost_counter: u64,
+}

@@ -1,0 +1,15 @@
+// Fixture: two timer namespaces; recovery re-arms only one of them, and
+// the PING_TAG state machine wedges after the first crash.
+const TICK_TAG: u64 = 1;
+const PING_TAG: u64 = 2;
+
+impl Driver {
+    fn on_start(&mut self, ctx: &mut Context) {
+        ctx.set_timer(self.interval, TICK_TAG);
+        ctx.set_timer(self.interval, PING_TAG);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context) {
+        ctx.set_timer(self.interval, TICK_TAG);
+    }
+}

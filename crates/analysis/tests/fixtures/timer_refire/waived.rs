@@ -1,0 +1,9 @@
+// Fixture: a harness actor with no recovery path at all, waived.
+const TICK_TAG: u64 = 1;
+
+impl Harness {
+    fn on_start(&mut self, ctx: &mut Context) {
+        // lint:allow(timer-refire): measurement harness, never crashed
+        ctx.set_timer(self.interval, TICK_TAG);
+    }
+}

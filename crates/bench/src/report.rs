@@ -112,12 +112,14 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Render experiment results as a JSON array (hand-rolled — the build
-/// environment has no serde). Covers the fields downstream analysis uses:
-/// identity, commit counts by round, latency summaries and network totals.
+/// environment has no serde). Exports every `RunMetrics` counter (the
+/// `metrics-completeness` lint holds this function to that) plus identity,
+/// latency summaries and network totals.
 pub fn results_to_json(results: &[ExperimentResult]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         let latency = r.totals.commit_latency();
+        let abort_latency = r.totals.abort_latency();
         let rounds = r
             .totals
             .commits_by_promotion
@@ -129,12 +131,16 @@ pub fn results_to_json(results: &[ExperimentResult]) -> String {
             concat!(
                 "  {{\"name\": \"{}\", \"cluster\": \"{}\", \"protocol\": \"{}\", ",
                 "\"attempted\": {}, \"committed\": {}, \"aborted\": {}, ",
+                "\"read_only\": {}, \"timed_out\": {}, ",
                 "\"combined_commits\": {}, \"expired_reads\": {}, ",
                 "\"reclaimed_versions\": {}, \"batch_splits\": {}, ",
                 "\"stale_member_aborts\": {}, \"mean_window_occupancy\": {:.3}, ",
                 "\"max_pipeline_depth\": {}, ",
+                "\"faults_injected\": {}, \"resubmissions\": {}, ",
+                "\"duplicate_suppressions\": {}, \"last_decision_us\": {}, ",
                 "\"commits_by_promotion\": [{}], ",
                 "\"commit_latency_ms\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}}, ",
+                "\"abort_latency_ms\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p95\": {:.3}, \"max\": {:.3}}}, ",
                 "\"messages_sent\": {}, \"messages_delivered\": {}, \"duration_s\": {:.3}}}{}\n",
             ),
             json_escape(&r.name),
@@ -143,6 +149,8 @@ pub fn results_to_json(results: &[ExperimentResult]) -> String {
             r.attempted,
             r.totals.committed,
             r.totals.aborted,
+            r.totals.read_only,
+            r.totals.timed_out,
             r.totals.combined_commits,
             r.totals.expired_reads,
             r.totals.reclaimed_versions,
@@ -150,11 +158,19 @@ pub fn results_to_json(results: &[ExperimentResult]) -> String {
             r.totals.stale_member_aborts,
             r.totals.mean_window_occupancy(),
             r.totals.max_pipeline_depth(),
+            r.totals.faults_injected,
+            r.totals.resubmissions,
+            r.totals.duplicate_suppressions,
+            r.totals.last_decision_us,
             rounds,
             latency.mean_ms,
             latency.p50_ms,
             latency.p95_ms,
             latency.max_ms,
+            abort_latency.mean_ms,
+            abort_latency.p50_ms,
+            abort_latency.p95_ms,
+            abort_latency.max_ms,
             r.net.sent,
             r.net.delivered,
             r.duration.as_secs_f64(),
@@ -215,6 +231,13 @@ mod tests {
         results[0].totals.batch_splits = 2;
         results[0].totals.window_occupancy = vec![4];
         results[0].totals.pipeline_depth = vec![2];
+        results[0].totals.read_only = 1;
+        results[0].totals.timed_out = 4;
+        results[0].totals.faults_injected = 6;
+        results[0].totals.resubmissions = 8;
+        results[0].totals.duplicate_suppressions = 5;
+        results[0].totals.last_decision_us = 900_000;
+        results[0].totals.abort_latency_us = vec![3_000];
         let json = results_to_json(&results);
         assert!(json.starts_with("[\n") && json.ends_with("]\n"));
         assert!(json.contains("\"name\": \"exp-a\""));
@@ -225,6 +248,13 @@ mod tests {
         assert!(json.contains("\"batch_splits\": 2"));
         assert!(json.contains("\"mean_window_occupancy\": 4.000"));
         assert!(json.contains("\"max_pipeline_depth\": 2"));
+        assert!(json.contains("\"read_only\": 1"));
+        assert!(json.contains("\"timed_out\": 4"));
+        assert!(json.contains("\"faults_injected\": 6"));
+        assert!(json.contains("\"resubmissions\": 8"));
+        assert!(json.contains("\"duplicate_suppressions\": 5"));
+        assert!(json.contains("\"last_decision_us\": 900000"));
+        assert!(json.contains("\"abort_latency_ms\": {\"mean\": 3.000"));
     }
 
     #[test]

@@ -237,6 +237,7 @@ impl RouteWriter {
                 self.quota -= 1;
                 self.submit_one(ctx);
                 if self.quota > 0 {
+                    // lint:allow(timer-refire): bench driver, never crashed
                     ctx.set_timer(self.interarrival.unwrap(), NEXT_ROUND_TAG);
                 }
             }

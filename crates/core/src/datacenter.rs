@@ -16,7 +16,7 @@
 use mvkv::{Key, MvKvStore, Row, Timestamp};
 use parking_lot::Mutex;
 use paxos::AcceptorStore;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use walog::{AttrId, GroupId, GroupLog, KeyId, LogEntry, LogPosition, TxnId};
 
@@ -65,10 +65,10 @@ pub struct DatacenterCore {
     /// Replica index of this datacenter within the cluster.
     replica: usize,
     store: MvKvStore,
-    logs: HashMap<GroupId, GroupLog>,
+    logs: BTreeMap<GroupId, GroupLog>,
     /// First client to claim each (group, position) via the leader fast
     /// path; later claimants are denied.
-    leader_claims: HashMap<(GroupId, LogPosition), u64>,
+    leader_claims: BTreeMap<(GroupId, LogPosition), u64>,
     /// Remote reads the local Transaction Service answered `unavailable`
     /// and evicted because the requester timed out before the log caught
     /// up. Lives here (not in the service actor) so harnesses can read it
@@ -79,13 +79,13 @@ pub struct DatacenterCore {
     /// commit decision, and the Transaction Service leases the position of
     /// every parked remote read; the per-group minimum is the version-GC
     /// watermark — no version a leased reader can still need is reclaimed.
-    read_leases: HashMap<GroupId, BTreeMap<u64, usize>>,
+    read_leases: BTreeMap<GroupId, BTreeMap<u64, usize>>,
     /// Every transaction id carried by a locally installed (decided) entry,
     /// per group. This is the dedup index that makes commit retries safe
     /// across group-home migration: a new home can answer "already
     /// committed" in O(1) without scanning its log, so a re-submitted
     /// transaction can never be proposed (and committed) twice.
-    committed_ids: HashMap<GroupId, HashSet<TxnId>>,
+    committed_ids: BTreeMap<GroupId, BTreeSet<TxnId>>,
     /// Positions of history the GC always keeps below the watermark.
     /// Leases cover every *local* reader and every *parked* remote read,
     /// but a remote read served on arrival reads at a position its
@@ -103,11 +103,11 @@ impl DatacenterCore {
             name: name.into(),
             replica,
             store: MvKvStore::new(),
-            logs: HashMap::new(),
-            leader_claims: HashMap::new(),
-            committed_ids: HashMap::new(),
+            logs: BTreeMap::new(),
+            leader_claims: BTreeMap::new(),
+            committed_ids: BTreeMap::new(),
             expired_reads: 0,
-            read_leases: HashMap::new(),
+            read_leases: BTreeMap::new(),
             gc_horizon: DEFAULT_GC_HORIZON,
             reclaimed_versions: 0,
         }
@@ -398,8 +398,8 @@ impl DatacenterCore {
             return false;
         }
         match self.leader_claims.entry((group, position)) {
-            std::collections::hash_map::Entry::Occupied(existing) => *existing.get() == client,
-            std::collections::hash_map::Entry::Vacant(slot) => {
+            std::collections::btree_map::Entry::Occupied(existing) => *existing.get() == client,
+            std::collections::btree_map::Entry::Vacant(slot) => {
                 slot.insert(client);
                 true
             }

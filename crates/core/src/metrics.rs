@@ -200,6 +200,16 @@ impl RunMetrics {
         LatencyStats::from_samples(&samples)
     }
 
+    /// Latency statistics of aborted transactions.
+    pub fn abort_latency(&self) -> LatencyStats {
+        let samples: Vec<SimDuration> = self
+            .abort_latency_us
+            .iter()
+            .map(|us| SimDuration::from_micros(*us))
+            .collect();
+        LatencyStats::from_samples(&samples)
+    }
+
     /// Latency statistics of commits at a specific promotion round.
     pub fn commit_latency_at_round(&self, round: usize) -> LatencyStats {
         let samples: Vec<SimDuration> = self

@@ -59,7 +59,7 @@ use paxos::{
     TimerKind,
 };
 use simnet::{Actor, Context, NodeId, SimDuration, SimTime};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use walog::{AttrId, GroupId, KeyId, LogPosition, Transaction, TxnId};
 
@@ -112,20 +112,20 @@ pub struct TransactionService {
     directory: Arc<Directory>,
     message_timeout: SimDuration,
     backoff_max: SimDuration,
-    recovery: HashMap<(GroupId, LogPosition), Proposer>,
+    recovery: BTreeMap<(GroupId, LogPosition), Proposer>,
     /// Timer tag → (recovery instance key, proposer timer token).
-    timers: HashMap<u64, ((GroupId, LogPosition), u64)>,
+    timers: BTreeMap<u64, ((GroupId, LogPosition), u64)>,
     next_tag: u64,
     /// Parked remote reads, bucketed by the (group, read position) they
     /// wait for.
-    pending_reads: HashMap<(GroupId, LogPosition), Vec<PendingRead>>,
+    pending_reads: BTreeMap<(GroupId, LogPosition), Vec<PendingRead>>,
     /// The applied prefix this service last reacted to, per group. The
     /// shared core's prefix can advance *between* Apply messages (a local
     /// proposer's `Learned` installs directly), so the service compares
     /// against what it last saw rather than the per-install delta — every
     /// decide is followed by an Apply broadcast to every service, so no
     /// advance goes unobserved for long.
-    flushed_through: HashMap<GroupId, LogPosition>,
+    flushed_through: BTreeMap<GroupId, LogPosition>,
     /// Protocol settings of the hosted commit engine (promotion cap,
     /// combination, timeouts); the route field is irrelevant here.
     commit_config: ClientConfig,
@@ -133,19 +133,19 @@ pub struct TransactionService {
     batch_config: BatchConfig,
     /// One lazily-created commit engine per group this service has received
     /// `CommitRequest`s for (normally the groups it is the home of).
-    committers: HashMap<GroupId, GroupCommitter>,
+    committers: BTreeMap<GroupId, GroupCommitter>,
     /// Timer tag → (group, committer-local timer tag).
-    committer_timers: HashMap<u64, (GroupId, u64)>,
+    committer_timers: BTreeMap<u64, (GroupId, u64)>,
     /// In-flight submitted commits: the member's id → (requester,
     /// correlation id). Duplicate requests for an in-flight id are not
     /// resubmitted — the committer already carries the member and proposing
     /// it twice could commit it twice — but they do re-point the reply at
     /// the latest requester so a retried submission still gets answered.
-    commit_requests: HashMap<TxnId, (NodeId, u64)>,
+    commit_requests: BTreeMap<TxnId, (NodeId, u64)>,
     /// Fates of members this service has already decided, so a retry of a
     /// decided transaction (a reply lost to a crash or partition) is
     /// answered with the original outcome instead of being re-proposed.
-    decided_fates: HashMap<TxnId, DecidedFate>,
+    decided_fates: BTreeMap<TxnId, DecidedFate>,
     /// Optional sink the hosted committers record window occupancy,
     /// pipeline depth and split/stale counters into.
     commit_metrics: Option<Arc<Mutex<RunMetrics>>>,
@@ -158,10 +158,10 @@ pub struct TransactionService {
     janitor_armed: bool,
     /// Groups whose recent traffic (votes cast, out-of-order installs) may
     /// have left an orphaned position; the tick scans only these.
-    orphan_hints: HashSet<GroupId>,
+    orphan_hints: BTreeSet<GroupId>,
     /// Per-group watch state: the first undecided position last observed,
     /// when it was first seen there, and re-proposal attempts made for it.
-    orphan_watch: HashMap<GroupId, (LogPosition, SimTime, u32)>,
+    orphan_watch: BTreeMap<GroupId, (LogPosition, SimTime, u32)>,
 }
 
 impl TransactionService {
@@ -183,23 +183,23 @@ impl TransactionService {
             directory,
             message_timeout,
             backoff_max: SimDuration::from_millis(100),
-            recovery: HashMap::new(),
-            timers: HashMap::new(),
+            recovery: BTreeMap::new(),
+            timers: BTreeMap::new(),
             next_tag: 0,
-            pending_reads: HashMap::new(),
-            flushed_through: HashMap::new(),
+            pending_reads: BTreeMap::new(),
+            flushed_through: BTreeMap::new(),
             commit_config,
             batch_config: BatchConfig::default(),
-            committers: HashMap::new(),
-            committer_timers: HashMap::new(),
-            commit_requests: HashMap::new(),
-            decided_fates: HashMap::new(),
+            committers: BTreeMap::new(),
+            committer_timers: BTreeMap::new(),
+            commit_requests: BTreeMap::new(),
+            decided_fates: BTreeMap::new(),
             commit_metrics: None,
             janitor_enabled: true,
             janitor_patience: message_timeout,
             janitor_armed: false,
-            orphan_hints: HashSet::new(),
-            orphan_watch: HashMap::new(),
+            orphan_hints: BTreeSet::new(),
+            orphan_watch: BTreeMap::new(),
         }
     }
 
@@ -232,9 +232,7 @@ impl TransactionService {
 
     /// Groups this service currently hosts a commit engine for.
     pub fn hosted_committer_groups(&self) -> Vec<GroupId> {
-        let mut groups: Vec<GroupId> = self.committers.keys().copied().collect();
-        groups.sort_unstable();
-        groups
+        self.committers.keys().copied().collect()
     }
 
     /// Number of remote reads currently parked waiting for log catch-up.
@@ -604,8 +602,7 @@ impl TransactionService {
     fn janitor_tick(&mut self, ctx: &mut Context<Msg>) {
         self.janitor_armed = false;
         let now = ctx.now();
-        let mut hinted: Vec<GroupId> = self.orphan_hints.iter().copied().collect();
-        hinted.sort_unstable();
+        let hinted: Vec<GroupId> = self.orphan_hints.iter().copied().collect();
         let mut to_recover = Vec::new();
         {
             let core = self.core.lock();
@@ -1041,22 +1038,18 @@ impl Actor<Msg> for TransactionService {
         self.flush_pending_reads(ctx);
         // Timers that fired during the outage were suppressed, which would
         // leave committer slots and recovery proposers wedged forever.
-        // Synthesize the fires now (sorted by tag for determinism). Firing a
-        // not-yet-due timer early only triggers a spurious-but-safe timeout
-        // round; a later real fire finds its map entry gone and is a no-op.
-        let mut committer_fires: Vec<(u64, (GroupId, u64))> =
-            self.committer_timers.drain().collect();
-        committer_fires.sort_unstable_by_key(|(tag, _)| *tag);
-        for (_, (group, committer_tag)) in committer_fires {
+        // Synthesize the fires now (the maps iterate in tag order, which
+        // keeps replay deterministic). Firing a not-yet-due timer early only
+        // triggers a spurious-but-safe timeout round; a later real fire
+        // finds its map entry gone and is a no-op.
+        for (_, (group, committer_tag)) in std::mem::take(&mut self.committer_timers) {
             let actions = match self.committers.get_mut(&group) {
                 Some(committer) => committer.on_timer(ctx.now(), committer_tag),
                 None => continue,
             };
             self.apply_committer_actions(ctx, group, actions);
         }
-        let mut recovery_fires: Vec<_> = self.timers.drain().collect();
-        recovery_fires.sort_unstable_by_key(|(tag, _)| *tag);
-        for (_, (key, token)) in recovery_fires {
+        for (_, (key, token)) in std::mem::take(&mut self.timers) {
             self.drive_recovery(ctx, key, ProposerEvent::Timer { token });
         }
         // The janitor tick may also have been suppressed; re-arm it.

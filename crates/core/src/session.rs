@@ -55,7 +55,7 @@ use paxos::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::{NodeId, SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use walog::{
@@ -369,13 +369,13 @@ pub struct Session {
     /// Open transactions by raw handle (ordered for determinism).
     open: BTreeMap<u64, OpenTxn>,
     /// The handle driving the in-flight direct commit of each group.
-    direct_busy: HashMap<GroupId, u64>,
+    direct_busy: BTreeMap<GroupId, u64>,
     /// Direct commits waiting for their group's slot, in commit-call order.
-    direct_queue: HashMap<GroupId, VecDeque<u64>>,
+    direct_queue: BTreeMap<GroupId, VecDeque<u64>>,
     /// Outstanding submitted commits: request id → raw handle.
-    submitted: HashMap<u64, u64>,
+    submitted: BTreeMap<u64, u64>,
     /// Armed timer tags.
-    timers: HashMap<u64, TimerRoute>,
+    timers: BTreeMap<u64, TimerRoute>,
     /// Automatic re-submissions performed over the session's lifetime.
     resubmissions: u64,
 }
@@ -400,10 +400,10 @@ impl Session {
             next_handle: 0,
             next_req: 0,
             open: BTreeMap::new(),
-            direct_busy: HashMap::new(),
-            direct_queue: HashMap::new(),
-            submitted: HashMap::new(),
-            timers: HashMap::new(),
+            direct_busy: BTreeMap::new(),
+            direct_queue: BTreeMap::new(),
+            submitted: BTreeMap::new(),
+            timers: BTreeMap::new(),
             resubmissions: 0,
         }
     }
@@ -804,8 +804,7 @@ impl Session {
     /// round, a patience expiry a deduplicated resubmission, and a timer
     /// that later really fires finds its tag gone and is a no-op.
     pub fn refire_timers(&mut self, now: SimTime) -> Vec<ClientAction> {
-        let mut tags: Vec<u64> = self.timers.keys().copied().collect();
-        tags.sort_unstable();
+        let tags: Vec<u64> = self.timers.keys().copied().collect();
         let mut out = Vec::new();
         for tag in tags {
             out.extend(self.on_timer(now, tag));

@@ -35,10 +35,13 @@ use crate::time::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
+// lint:allow(determinism): the parallel runtime is the real-time execution
+// mode — wall-clock time IS simulation time here; replayable runs use the
+// single-threaded `Simulation` instead (see docs/ANALYSIS.md).
 use std::time::{Duration, Instant};
 
 /// Capacity of each worker's inbound wire channel. Deep enough that
@@ -125,7 +128,7 @@ struct WorkerReport {
 /// its inbound channel.
 struct Worker<M> {
     index: usize,
-    actors: HashMap<u32, Box<dyn Actor<M> + Send>>,
+    actors: BTreeMap<u32, Box<dyn Actor<M> + Send>>,
     heap: BinaryHeap<Reverse<Due<M>>>,
     seq: u64,
     rng: StdRng,
@@ -140,6 +143,7 @@ struct Worker<M> {
 impl<M: Send> Worker<M> {
     /// Run one actor callback at the current wall-mapped time and apply the
     /// actions it buffered.
+    // lint:allow(determinism): wall-mapped time is this runtime's contract
     fn invoke<F>(&mut self, shared: &Shared<M>, start: Instant, node: NodeId, f: F)
     where
         F: FnOnce(&mut dyn Actor<M>, &mut Context<M>),
@@ -279,6 +283,7 @@ impl<M: Send> Worker<M> {
         }));
     }
 
+    // lint:allow(determinism): wall-mapped time is this runtime's contract
     fn dispatch(&mut self, shared: &Shared<M>, start: Instant, due: Due<M>) {
         match due.kind {
             DueKind::Deliver { from, msg } => {
@@ -303,9 +308,9 @@ impl<M: Send> Worker<M> {
     /// The worker's event loop: flush the outbox, drain the channel,
     /// dispatch everything due, then sleep until the next deadline (or the
     /// next inbound wire, whichever comes first).
+    // lint:allow(determinism): wall-mapped time is this runtime's contract
     fn run(mut self, shared: &Shared<M>, start: Instant) -> WorkerReport {
-        let mut ids: Vec<u32> = self.actors.keys().copied().collect();
-        ids.sort_unstable();
+        let ids: Vec<u32> = self.actors.keys().copied().collect();
         for id in ids {
             self.invoke(shared, start, NodeId(id), |actor, ctx| actor.on_start(ctx));
         }
@@ -484,6 +489,7 @@ impl<M: Send + 'static> ParallelRuntime<M> {
             });
         }
 
+        // lint:allow(determinism): the run's epoch is real time by design
         let start = Instant::now();
         let mut reports: Vec<WorkerReport> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
