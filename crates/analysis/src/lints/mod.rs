@@ -8,6 +8,7 @@ pub mod ballot;
 pub mod determinism;
 pub mod exhaustiveness;
 pub mod metrics;
+pub mod persist;
 pub mod timer_refire;
 
 /// Lint name: hidden entropy in simnet-reachable crates.
@@ -20,6 +21,8 @@ pub const TIMER_REFIRE: &str = "timer-refire";
 pub const METRICS_COMPLETENESS: &str = "metrics-completeness";
 /// Lint name: ballot proposer comparisons must mask the recovery bit.
 pub const BALLOT_DISCIPLINE: &str = "ballot-discipline";
+/// Lint name: acceptor replies must be preceded by a persist call.
+pub const PERSIST_BEFORE_ACK: &str = "persist-before-ack";
 
 /// A registered lint: name, one-line description, and entry point.
 pub struct Lint {
@@ -32,7 +35,7 @@ pub struct Lint {
 }
 
 /// Every lint in the suite, in execution order.
-pub const LINTS: [Lint; 5] = [
+pub const LINTS: [Lint; 6] = [
     Lint {
         name: DETERMINISM,
         describe: "no wall-clock time, unseeded RNG, or hash-ordered iteration in simnet-reachable crates",
@@ -57,5 +60,10 @@ pub const LINTS: [Lint; 5] = [
         name: BALLOT_DISCIPLINE,
         describe: "ballot proposer equality comparisons mask RECOVERY_BALLOT_BIT",
         run: ballot::run,
+    },
+    Lint {
+        name: PERSIST_BEFORE_ACK,
+        describe: "constructing PaxosMsg::PrepareReply/AcceptReply requires a prior persist*() call in the same handler",
+        run: persist::run,
     },
 ];

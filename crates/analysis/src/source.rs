@@ -105,6 +105,7 @@ impl Workspace {
             "crates/mvkv/src",
             "crates/walog/src",
             "crates/paxos/src",
+            "crates/storage/src",
             "crates/core/src",
             "crates/workload/src",
             "crates/bench/src",

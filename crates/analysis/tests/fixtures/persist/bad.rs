@@ -1,0 +1,32 @@
+// Fixture: an acceptor that acks a promise and a vote without ever
+// touching the WAL — both replies vanish with the next crash.
+
+impl Acceptor {
+    fn on_prepare(&mut self, ctx: &mut Context, from: NodeId) {
+        let outcome = self.handle_prepare(self.group, self.position, self.ballot);
+        ctx.send(
+            from,
+            Msg::Paxos(PaxosMsg::PrepareReply {
+                group: self.group,
+                position: self.position,
+                ballot: self.ballot,
+                promised: outcome.promised,
+                next_bal: outcome.next_bal,
+                last_vote: outcome.last_vote,
+            }),
+        );
+    }
+
+    fn on_accept(&mut self, ctx: &mut Context, from: NodeId, value: LogEntry) {
+        let accepted = self.handle_accept(self.group, self.position, self.ballot, &value);
+        ctx.send(
+            from,
+            Msg::Paxos(PaxosMsg::AcceptReply {
+                group: self.group,
+                position: self.position,
+                ballot: self.ballot,
+                accepted,
+            }),
+        );
+    }
+}

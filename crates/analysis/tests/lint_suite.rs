@@ -179,6 +179,27 @@ fn ballot_discipline_waiver_suppresses() {
 }
 
 #[test]
+fn persist_before_ack_fires_on_unpersisted_replies() {
+    let ws = ws(&[("crates/core/src/service.rs", "persist/bad.rs")], &[]);
+    let report = analysis::run(&ws);
+    assert_eq!(report.active.len(), 2, "{}", report.render());
+    assert!(report
+        .active
+        .iter()
+        .all(|f| f.lint == lints::PERSIST_BEFORE_ACK));
+    assert!(report.active[0].message.contains("PrepareReply"));
+    assert!(report.active[1].message.contains("AcceptReply"));
+}
+
+#[test]
+fn persist_before_ack_waiver_suppresses() {
+    let ws = ws(&[("crates/core/src/service.rs", "persist/waived.rs")], &[]);
+    let report = analysis::run(&ws);
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.waived.len(), 2);
+}
+
+#[test]
 fn stale_waiver_fails_the_run() {
     let ws = Workspace::from_sources(
         &[(

@@ -310,6 +310,19 @@ impl GroupCommitter {
         self.ewma_occupancy = (1.0 - OCCUPANCY_ALPHA) * self.ewma_occupancy + OCCUPANCY_ALPHA * occ;
     }
 
+    /// Drop every not-yet-proposed window member and return their ids.
+    ///
+    /// Used by a service recovering from a crash for groups it no longer
+    /// homes: each dropped member's client timed out during the outage and
+    /// re-submitted to the new home (nothing pending was ever answered), so
+    /// flushing the stale copy here would race the new home's instance and
+    /// could commit the transaction twice. In-flight slots are untouched —
+    /// their instances were already proposed and must be driven to a
+    /// decision either way.
+    pub fn drop_pending_window(&mut self) -> Vec<TxnId> {
+        self.window.drain(..).map(|p| p.txn.id).collect()
+    }
+
     /// Submit a finished transaction for group commit. Returns the actions
     /// to execute (a flush's protocol messages when the window-size trigger
     /// fired, or a window-deadline timer).
@@ -456,7 +469,18 @@ impl GroupCommitter {
                 // losses. Survivors sit at the window front, so they form
                 // their own slot first.
                 let same_class = promo_class.is_none_or(|class| class == pending.promotions);
-                let eligible = (!speculative || pending.txn.reads().is_empty()) && same_class;
+                // A member's read snapshot must sit strictly below the slot
+                // it commits at, or the commit would be serialized before
+                // state the member already observed. Normally the home's
+                // prefix covers every local snapshot, but a member routed
+                // from a remote datacenter — or a home freshly restarted
+                // from disk — can carry a read position ahead of this
+                // replica's prefix; it waits in the window until catch-up
+                // brings the prefix past its snapshot.
+                let snapshot_below_slot = pending.txn.read_position < position;
+                let eligible = snapshot_below_slot
+                    && (!speculative || pending.txn.reads().is_empty())
+                    && same_class;
                 if eligible && chosen_meta.len() < cap {
                     if can_append(&txns, &pending.txn) {
                         promo_class = Some(pending.promotions);
@@ -853,6 +877,49 @@ mod tests {
         assert_eq!(committer.depth_in_flight(), 1);
         assert_eq!(committer.pending(), 1);
         assert_eq!(committer.stats().batch_splits, 1);
+    }
+
+    #[test]
+    fn a_member_whose_snapshot_is_ahead_of_the_home_waits_for_catch_up() {
+        // A commit request routed from an up-to-date datacenter can carry a
+        // read position the home has not reached (typically because the home
+        // just restarted and is still catching up). Boarding a slot at or
+        // below that snapshot would serialize the member before state it
+        // already observed, so it waits in the window until the home's
+        // prefix passes its read position.
+        let (dir, mut committer) = harness();
+        committer.submit(SimTime::ZERO, txn(&dir, 1, "a", LogPosition(3)));
+        committer.submit(SimTime::ZERO, txn(&dir, 2, "b", LogPosition(3)));
+        // The full window tried to flush, but position 1 sits below both
+        // snapshots: nothing proposes, everything stays pending.
+        assert!(!committer.committing());
+        assert_eq!(committer.pending(), 2);
+        // Catch-up: decided entries from the rest of the cluster land.
+        let core = dir.core(0);
+        for p in 1..=3u64 {
+            let filler = Transaction::builder(TxnId::new(9, p), GroupId(0), LogPosition(p - 1))
+                .write(dir.symbols().item("row", "z"), "w")
+                .build();
+            core.lock().install_entry(
+                GroupId(0),
+                LogPosition(p),
+                Arc::new(LogEntry::single(filler)),
+            );
+        }
+        committer.flush(SimTime::from_micros(5_000));
+        assert!(committer.committing(), "prefix 3 unlocks the slot at 4");
+        assert_eq!(committer.pending(), 0);
+    }
+
+    #[test]
+    fn drop_pending_window_returns_every_buffered_member() {
+        let (dir, mut committer) = harness_with(BatchConfig::default().with_max_batch(8));
+        committer.submit(SimTime::ZERO, txn(&dir, 1, "a", LogPosition::ZERO));
+        committer.submit(SimTime::ZERO, txn(&dir, 2, "b", LogPosition::ZERO));
+        let dropped = committer.drop_pending_window();
+        assert_eq!(dropped, vec![TxnId::new(5, 1), TxnId::new(5, 2)]);
+        assert_eq!(committer.pending(), 0);
+        assert!(!committer.committing());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! verification.
 
 use crate::batch::BatchConfig;
+use crate::datacenter::RestartReport;
 use crate::datacenter::{DatacenterCore, SharedCore};
 use crate::directory::Directory;
 use crate::metrics::{MetricsHub, RunMetrics};
@@ -14,6 +15,7 @@ use paxos::CommitProtocol;
 use simnet::{Actor, NodeId, SimDuration, SimTime, Simulation};
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use storage::{DcStorage, DurableConfig, StorageConfig, StorageError};
 use walog::checker::{self, CheckReport, Violation};
 use walog::{GroupId, GroupLog, SymbolTable};
 
@@ -31,6 +33,10 @@ pub struct ClusterConfig {
     pub janitor: bool,
     /// Simulation seed (same seed ⇒ identical execution).
     pub seed: u64,
+    /// Whether datacenters persist to disk ([`StorageConfig::InMemory`] by
+    /// default). In durable mode each replica gets a `dc<replica>`
+    /// subdirectory of the configured root.
+    pub storage: StorageConfig,
 }
 
 impl ClusterConfig {
@@ -42,6 +48,7 @@ impl ClusterConfig {
             batch: BatchConfig::default(),
             janitor: true,
             seed: 42,
+            storage: StorageConfig::InMemory,
         }
     }
 
@@ -62,6 +69,25 @@ impl ClusterConfig {
     pub fn with_janitor(mut self, enabled: bool) -> Self {
         self.janitor = enabled;
         self
+    }
+
+    /// Builder-style switch for the durable storage plane.
+    pub fn with_storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// The per-datacenter durable configuration (`dc<replica>` under the
+    /// configured root), or `None` in in-memory mode.
+    pub fn durable_config(&self, replica: usize) -> Option<DurableConfig> {
+        match &self.storage {
+            StorageConfig::InMemory => None,
+            StorageConfig::Durable(cfg) => {
+                let mut dc = cfg.clone();
+                dc.dir = cfg.dir.join(format!("dc{replica}"));
+                Some(dc)
+            }
+        }
     }
 }
 
@@ -106,6 +132,11 @@ impl Cluster {
             .with_commit_engine(commit_config.clone(), config.batch.clone())
             .with_commit_metrics(service_metrics.register())
             .with_janitor(config.janitor);
+            if let Some(durable) = config.durable_config(replica) {
+                let storage =
+                    DcStorage::open(durable).expect("durable storage directory must be creatable");
+                core.lock().attach_storage(storage);
+            }
             let node = sim.add_node(site, Box::new(service));
             directory.register_datacenter(node, core);
             service_nodes.push(node);
@@ -209,6 +240,45 @@ impl Cluster {
     /// Bring a datacenter back online.
     pub fn recover_datacenter(&mut self, replica: usize) {
         self.sim.recover_site(simnet::SiteId(replica as u32));
+    }
+
+    /// Crash-restart a datacenter's state from disk (durable mode only):
+    /// wipe what a process crash loses and rebuild from the latest group
+    /// snapshots plus the WAL tail. Asserts the rebuilt state fingerprint
+    /// matches the pre-crash one — with persist-before-ack nothing
+    /// acknowledged may be lost. Call between
+    /// [`Cluster::crash_datacenter`] and [`Cluster::recover_datacenter`].
+    ///
+    /// Panics when the cluster runs [`StorageConfig::InMemory`].
+    pub fn restart_datacenter_from_disk(
+        &mut self,
+        replica: usize,
+    ) -> Result<RestartReport, StorageError> {
+        let cfg = self
+            .config
+            .durable_config(replica)
+            .expect("restart_datacenter_from_disk requires StorageConfig::Durable");
+        let core = self.directory.core(replica);
+        let mut core = core.lock();
+        let before = core.state_fingerprint();
+        let report = core.restart_from_disk(&cfg)?;
+        let after = core.state_fingerprint();
+        assert_eq!(
+            before, after,
+            "restart-from-disk must reproduce the acknowledged state exactly \
+             (replica {replica}: {report:?})"
+        );
+        Ok(report)
+    }
+
+    /// Per-replica storage-plane counters (durable mode; `None` entries for
+    /// in-memory datacenters).
+    pub fn storage_stats(&self) -> Vec<Option<storage::StorageStats>> {
+        self.directory
+            .cores()
+            .iter()
+            .map(|core| core.lock().storage_stats())
+            .collect()
     }
 
     /// All transaction groups any datacenter has a log for.

@@ -15,9 +15,12 @@
 
 use mvkv::{Key, MvKvStore, Row, Timestamp};
 use parking_lot::Mutex;
-use paxos::AcceptorStore;
+use paxos::{AcceptorStore, Ballot};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use storage::{
+    DcStorage, DurableConfig, GroupSnapshot, SnapshotRow, StorageError, StorageStats, WalRecord,
+};
 use walog::{AttrId, GroupId, GroupLog, KeyId, LogEntry, LogPosition, TxnId};
 
 /// Shared handle to a datacenter's storage state.
@@ -94,6 +97,28 @@ pub struct DatacenterCore {
     gc_horizon: u64,
     /// Multi-version store versions reclaimed by the apply-time GC.
     reclaimed_versions: u64,
+    /// The durable storage plane, when this datacenter runs in durable
+    /// mode: WAL (persist-before-ack), group snapshots and the cold-version
+    /// pager. `None` keeps the original purely in-memory behavior.
+    storage: Option<DcStorage>,
+    /// Set while [`DatacenterCore::restart_from_disk`] replays the WAL:
+    /// replayed installs must not be re-logged or trigger snapshots.
+    replaying: bool,
+}
+
+/// What a [`DatacenterCore::restart_from_disk`] rebuilt, for harness
+/// assertions and observability.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RestartReport {
+    /// Group snapshots restored.
+    pub snapshots_restored: usize,
+    /// WAL records replayed (promises + votes + decided entries).
+    pub wal_records_replayed: usize,
+    /// Whether the WAL ended in a torn partial frame (tolerated: replay
+    /// stops at the last durable record).
+    pub torn_tail: bool,
+    /// Snapshot files skipped as corrupt.
+    pub corrupt_snapshots: usize,
 }
 
 impl DatacenterCore {
@@ -110,6 +135,74 @@ impl DatacenterCore {
             read_leases: BTreeMap::new(),
             gc_horizon: DEFAULT_GC_HORIZON,
             reclaimed_versions: 0,
+            storage: None,
+            replaying: false,
+        }
+    }
+
+    /// Attach the durable storage plane: from here on every promise, vote
+    /// and decided entry is written through the WAL before it may be
+    /// acknowledged, snapshots and WAL truncation run at the configured
+    /// cadence, and cold store versions page out to the buffer pool.
+    pub fn attach_storage(&mut self, storage: DcStorage) {
+        self.store
+            .set_cold_store(storage.pager(), storage.config().hot_keep);
+        self.storage = Some(storage);
+    }
+
+    /// Whether this datacenter runs with the durable storage plane.
+    pub fn is_durable(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// Storage-plane counters (`None` when running in-memory).
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        self.storage.as_ref().map(|s| s.stats())
+    }
+
+    /// Mutable access to the storage plane (fault injection in tests).
+    pub fn storage_mut(&mut self) -> Option<&mut DcStorage> {
+        self.storage.as_mut()
+    }
+
+    /// Make a phase-1 promise durable (persist-before-ack): the acceptor's
+    /// `PrepareReply` must not be sent unless this returns `true`. Always
+    /// `true` in-memory; with storage attached, `false` means the fsync
+    /// failed and the reply must be dropped (crash-equivalent: a promise
+    /// that was never made).
+    pub fn persist_promise(
+        &mut self,
+        group: GroupId,
+        position: LogPosition,
+        ballot: Ballot,
+    ) -> bool {
+        match &mut self.storage {
+            Some(s) => s.log(&WalRecord::Promise {
+                group,
+                position,
+                ballot,
+            }),
+            None => true,
+        }
+    }
+
+    /// Make a phase-2 vote durable (persist-before-ack); the acceptor's
+    /// `AcceptReply` must not be sent unless this returns `true`.
+    pub fn persist_vote(
+        &mut self,
+        group: GroupId,
+        position: LogPosition,
+        ballot: Ballot,
+        value: &Arc<LogEntry>,
+    ) -> bool {
+        match &mut self.storage {
+            Some(s) => s.log(&WalRecord::Vote {
+                group,
+                position,
+                ballot,
+                entry: Arc::clone(value),
+            }),
+            None => true,
         }
     }
 
@@ -207,12 +300,119 @@ impl DatacenterCore {
         for txn in entry.transactions() {
             ids.insert(txn.id);
         }
+        // Persist-before-apply: the decided entry goes through the WAL so a
+        // restart can rebuild the log tail above the last snapshot. Replayed
+        // installs are already on disk; a failed sync leaves the record
+        // buffered for the next sync (the decide itself is replicated, so
+        // durability here only bounds catch-up work after a restart).
+        if !self.replaying {
+            if let Some(s) = &mut self.storage {
+                s.log(&WalRecord::Decided {
+                    group,
+                    position,
+                    entry: Arc::clone(&entry),
+                });
+            }
+        }
         let applied_keys = Self::apply_contiguous(group, log, &self.store);
         let prefix = log.contiguous_prefix();
         self.gc_applied_keys(group, applied_keys);
+        self.maybe_snapshot(group, prefix);
         ApplyOutcome {
             prefix_before,
             prefix,
+        }
+    }
+
+    /// Snapshot-and-truncate trigger, run after every install: when the
+    /// group's applied prefix has advanced `snapshot_every` positions past
+    /// its last snapshot, capture the group's durable state, then truncate
+    /// the in-memory log and the WAL below the truncation floor. The floor
+    /// is the version-GC watermark — the minimum over every open read
+    /// lease's position and the horizon-capped prefix — so truncation never
+    /// crosses a position an active reader (or the MVCC version floor) can
+    /// still need.
+    fn maybe_snapshot(&mut self, group: GroupId, prefix: LogPosition) {
+        if self.replaying {
+            return;
+        }
+        let due = match &self.storage {
+            Some(s) => s.snapshot_due(group, prefix),
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        let floor = self.gc_watermark(group).min(prefix);
+        let current_base = self.logs.get(&group).map(|l| l.base()).unwrap_or_default();
+        let new_base = LogPosition(floor.0.saturating_sub(1)).max(current_base);
+        let snap = self.build_snapshot(group, prefix, new_base);
+        let Some(storage) = &mut self.storage else {
+            return;
+        };
+        if storage.save_snapshot(&snap).is_err() {
+            // Disk trouble writing the snapshot: keep the log and WAL
+            // intact — recovery falls back to the previous snapshot plus a
+            // longer replay, which is always safe.
+            return;
+        }
+        if floor > LogPosition::ZERO {
+            if let Some(log) = self.logs.get_mut(&group) {
+                log.truncate_below(floor);
+            }
+            // A WAL segment is deletable only when *every* group's records
+            // in it sit below that group's own snapshot base; groups
+            // without a snapshot floor pin their segments.
+            let floors: BTreeMap<GroupId, LogPosition> = self
+                .logs
+                .iter()
+                .map(|(g, l)| (*g, l.base().next()))
+                .collect();
+            storage.truncate_wal(&floors);
+        }
+    }
+
+    /// Capture one group's durable state: the applied prefix, the log base
+    /// the restart will resume from, every committed transaction id, and
+    /// every retained store version of the group's rows (cold versions are
+    /// fetched from the pager without promoting them).
+    fn build_snapshot(
+        &self,
+        group: GroupId,
+        prefix: LogPosition,
+        log_base: LogPosition,
+    ) -> GroupSnapshot {
+        let committed: Vec<TxnId> = self
+            .committed_ids
+            .get(&group)
+            .map(|ids| ids.iter().copied().collect())
+            .unwrap_or_default();
+        let group_half = group.0 as u64;
+        let rows: Vec<SnapshotRow> = self
+            .store
+            .dump_versions(|key| key.0 >> 32 == group_half)
+            .into_iter()
+            .map(|(key, versions)| SnapshotRow {
+                key: key.0,
+                versions: versions
+                    .into_iter()
+                    .map(|(ts, row)| {
+                        (
+                            ts.0,
+                            row.iter()
+                                .map(|(attr, value)| (attr.0, value.to_owned()))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        GroupSnapshot {
+            group,
+            position: prefix,
+            log_base,
+            committed,
+            rows,
         }
     }
 
@@ -428,6 +628,160 @@ impl DatacenterCore {
             .values()
             .map(|l| l.committed_transaction_count())
             .sum()
+    }
+
+    /// Crash-restart from disk: drop every in-memory structure a process
+    /// crash would lose, then rebuild from the latest group snapshots plus
+    /// the WAL tail — snapshots restore store rows, committed-id indexes
+    /// and the truncated log base; WAL replay re-records acceptor promises
+    /// and votes in append order and re-installs decided entries above each
+    /// base. A torn final WAL record (the crash hit mid-append) is
+    /// tolerated: replay stops at the last durable frame, and reopening the
+    /// WAL repairs the tail.
+    ///
+    /// Read leases are deliberately **preserved**: they are owned by
+    /// clients and services in *other* processes (parked remote reads,
+    /// open snapshot sessions), so wiping them would let version GC — and
+    /// WAL truncation, whose floor they bound — reclaim state a still-live
+    /// reader needs.
+    pub fn restart_from_disk(
+        &mut self,
+        cfg: &DurableConfig,
+    ) -> Result<RestartReport, StorageError> {
+        let data = DcStorage::read_for_restart(cfg)?;
+        // What a crash loses: the store, the logs, the leader fast-path
+        // claims, the dedup index and the counters. (Leases survive, see
+        // above; the dedup index and store are rebuilt below.)
+        self.store = MvKvStore::new();
+        self.logs.clear();
+        self.leader_claims.clear();
+        self.committed_ids.clear();
+        self.storage = None;
+        let report = RestartReport {
+            snapshots_restored: data.snapshots.len(),
+            wal_records_replayed: data.replay.records.len(),
+            torn_tail: data.replay.torn_tail,
+            corrupt_snapshots: data.corrupt_snapshots,
+        };
+        self.replaying = true;
+        for snap in &data.snapshots {
+            self.restore_snapshot(snap);
+        }
+        for record in &data.replay.records {
+            match record {
+                WalRecord::Promise {
+                    group,
+                    position,
+                    ballot,
+                } => self.acceptor().restore_promise(*group, *position, *ballot),
+                WalRecord::Vote {
+                    group,
+                    position,
+                    ballot,
+                    entry,
+                } => self
+                    .acceptor()
+                    .restore_vote(*group, *position, *ballot, entry),
+                WalRecord::Decided {
+                    group,
+                    position,
+                    entry,
+                } => {
+                    // Installs at or below a restored base are silent
+                    // no-ops; everything above re-applies idempotently.
+                    let _ = self.install_entry(*group, *position, Arc::clone(entry));
+                }
+            }
+        }
+        self.replaying = false;
+        // Reopen the storage plane last: open repairs the torn tail and
+        // starts a fresh segment, and attaching re-wires the (reset) cold
+        // pager into the rebuilt store.
+        let storage = DcStorage::open(cfg.clone())?;
+        self.attach_storage(storage);
+        Ok(report)
+    }
+
+    /// Restore one group snapshot: committed ids, the truncated log base
+    /// (which also marks everything at or below it as applied) and every
+    /// captured store version, in timestamp order.
+    fn restore_snapshot(&mut self, snap: &GroupSnapshot) {
+        let ids = self.committed_ids.entry(snap.group).or_default();
+        ids.extend(snap.committed.iter().copied());
+        self.logs
+            .entry(snap.group)
+            .or_default()
+            .restore_base(snap.log_base);
+        for row in &snap.rows {
+            for (ts, attrs) in &row.versions {
+                let mut restored = Row::new();
+                for (attr, value) in attrs {
+                    restored.set(mvkv::Attr(*attr), value.clone());
+                }
+                self.store
+                    .apply_idempotent(Key(row.key), restored, Timestamp(*ts));
+            }
+        }
+    }
+
+    /// Simulate a crash mid-append: leave a torn partial frame at the WAL
+    /// tail. No-op in-memory. The handle is assumed dead afterwards — the
+    /// next step is [`DatacenterCore::restart_from_disk`].
+    pub fn inject_torn_wal_tail(&mut self) {
+        if let Some(s) = &mut self.storage {
+            s.inject_torn_tail();
+        }
+    }
+
+    /// A deterministic digest of this datacenter's *durably reconstructable*
+    /// state: per-group log bases, decided entries, committed-id indexes,
+    /// and the latest version of every application row. Old row versions
+    /// are excluded on purpose — version-GC timing during replay may differ
+    /// from the original run — as is acceptor metadata for decided
+    /// positions. Equal fingerprints before a crash and after
+    /// [`DatacenterCore::restart_from_disk`] mean the restart lost nothing
+    /// that was acknowledged.
+    pub fn state_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for (group, log) in &self.logs {
+            eat(b"group");
+            eat(&group.0.to_le_bytes());
+            eat(&log.base().0.to_le_bytes());
+            for (position, entry) in log.iter() {
+                eat(&position.0.to_le_bytes());
+                eat(entry.encode().as_bytes());
+            }
+            if let Some(ids) = self.committed_ids.get(group) {
+                for id in ids {
+                    eat(&id.client.to_le_bytes());
+                    eat(&id.seq.to_le_bytes());
+                }
+            }
+        }
+        for key in self.store.keys() {
+            if key.0 & (1 << 63) != 0 {
+                continue; // protocol-metadata region
+            }
+            let Some(read) = self.store.read(key, None) else {
+                continue;
+            };
+            eat(b"row");
+            eat(&key.0.to_le_bytes());
+            eat(&read.timestamp.0.to_le_bytes());
+            for (attr, value) in read.row.iter() {
+                eat(&attr.0.to_le_bytes());
+                eat(value.as_bytes());
+            }
+        }
+        hash
     }
 }
 
@@ -683,6 +1037,94 @@ mod tests {
         core.acceptor()
             .handle_prepare(GROUP, LogPosition(1), paxos::Ballot::initial(5));
         assert!(!core.leader_claim(GROUP, LogPosition(1), 10));
+    }
+
+    fn durable_core(label: &str, snapshot_every: u64) -> (DatacenterCore, DurableConfig) {
+        let mut cfg = DurableConfig::new(storage::scratch_dir(label));
+        cfg.snapshot_every = snapshot_every;
+        cfg.segment_bytes = 128; // rotate nearly every record
+        let mut core = DatacenterCore::new("dc0", 0);
+        core.set_gc_horizon(0);
+        core.attach_storage(DcStorage::open(cfg.clone()).unwrap());
+        (core, cfg)
+    }
+
+    #[test]
+    fn durable_restart_reproduces_state_despite_a_torn_wal_tail() {
+        let (mut core, cfg) = durable_core("core-restart", 4);
+        assert!(core.is_durable());
+        // Acceptor activity for an undecided position rides the WAL too.
+        let ballot = paxos::Ballot::initial(3);
+        core.acceptor()
+            .handle_prepare(GROUP, LogPosition(20), ballot);
+        assert!(core.persist_promise(GROUP, LogPosition(20), ballot));
+        for p in 1..=10 {
+            core.install_entry(
+                GROUP,
+                LogPosition(p),
+                write_entry(0, p, p - 1, A, &format!("v{p}")),
+            );
+        }
+        let stats = core.storage_stats().unwrap();
+        assert!(stats.snapshots_written >= 1, "snapshot cadence must fire");
+        assert!(stats.segments_truncated >= 1, "old WAL segments must go");
+        assert!(core.log(GROUP).unwrap().base() > LogPosition::ZERO);
+        let fingerprint = core.state_fingerprint();
+        core.inject_torn_wal_tail();
+        let report = core.restart_from_disk(&cfg).unwrap();
+        assert!(report.torn_tail, "the injected tear must be observed");
+        assert!(report.snapshots_restored >= 1);
+        assert_eq!(
+            core.state_fingerprint(),
+            fingerprint,
+            "restart must rebuild exactly the acknowledged state"
+        );
+        assert_eq!(
+            core.read(GROUP, ROW, A, LogPosition(10)).unwrap(),
+            Some("v10".to_string())
+        );
+        assert!(core.is_committed(GROUP, TxnId::new(0, 10)));
+        // The replayed promise still guards the undecided position.
+        assert_eq!(
+            core.acceptor().promised_ballot(GROUP, LogPosition(20)),
+            Some(ballot)
+        );
+        storage::remove_scratch_dir(&cfg.dir);
+    }
+
+    #[test]
+    fn open_read_lease_pins_wal_truncation_until_released() {
+        let (mut core, cfg) = durable_core("core-lease-pin", 4);
+        core.begin_read_lease(GROUP, LogPosition(2));
+        for p in 1..=9 {
+            core.install_entry(GROUP, LogPosition(p), write_entry(0, p, p - 1, A, "v"));
+        }
+        // The snapshot fired, but the truncation floor is capped at the
+        // leased position: nothing at or above position 2 may go.
+        assert!(core.storage_stats().unwrap().snapshots_written >= 1);
+        assert!(core.log(GROUP).unwrap().base() < LogPosition(2));
+        assert_eq!(
+            core.read(GROUP, ROW, A, LogPosition(2)).unwrap(),
+            Some("v".to_string()),
+            "the leased position must stay servable"
+        );
+        // Releasing the lease lets the next snapshot advance the floor.
+        core.end_read_lease(GROUP, LogPosition(2));
+        for p in 10..=13 {
+            core.install_entry(GROUP, LogPosition(p), write_entry(0, p, p - 1, A, "v"));
+        }
+        assert!(core.log(GROUP).unwrap().base() >= LogPosition(2));
+        storage::remove_scratch_dir(&cfg.dir);
+    }
+
+    #[test]
+    fn in_memory_core_persists_nothing_and_always_acks() {
+        let mut core = DatacenterCore::new("dc0", 0);
+        assert!(!core.is_durable());
+        assert!(core.storage_stats().is_none());
+        assert!(core.persist_promise(GROUP, LogPosition(1), paxos::Ballot::initial(1)));
+        core.install_entry(GROUP, LogPosition(1), write_entry(0, 1, 0, A, "1"));
+        assert_eq!(core.log(GROUP).unwrap().base(), LogPosition::ZERO);
     }
 
     #[test]

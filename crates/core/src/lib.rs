@@ -59,7 +59,7 @@ pub mod topology;
 
 pub use batch::{BatchConfig, GroupCommitter};
 pub use cluster::{Cluster, ClusterConfig};
-pub use datacenter::DatacenterCore;
+pub use datacenter::{DatacenterCore, RestartReport};
 pub use directory::Directory;
 pub use metrics::{LatencyStats, MetricsHub, RunMetrics};
 pub use msg::Msg;
@@ -69,4 +69,5 @@ pub use service::TransactionService;
 pub use session::{
     ClientAction, ClientConfig, CommitRoute, Session, SessionError, TxnHandle, TxnResult,
 };
+pub use storage::{remove_scratch_dir, scratch_dir, DurableConfig, StorageConfig, StorageStats};
 pub use topology::{Region, Topology};

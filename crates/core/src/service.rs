@@ -272,22 +272,31 @@ impl TransactionService {
                 position,
                 ballot,
             } => {
-                let outcome = self
-                    .core
-                    .lock()
-                    .acceptor()
-                    .handle_prepare(group, position, ballot);
-                ctx.send(
-                    from,
-                    Msg::Paxos(PaxosMsg::PrepareReply {
-                        group,
-                        position,
-                        ballot,
-                        promised: outcome.promised,
-                        next_bal: outcome.next_bal,
-                        last_vote: outcome.last_vote,
-                    }),
-                );
+                // Persist-before-ack: a granted promise must hit the WAL
+                // before the reply leaves. A failed sync drops the reply —
+                // indistinguishable from a crash just before answering,
+                // which Paxos already tolerates. Rejections create no new
+                // durable state (the promise they reveal already is).
+                let (outcome, durable) = {
+                    let mut core = self.core.lock();
+                    let outcome = core.acceptor().handle_prepare(group, position, ballot);
+                    let durable =
+                        !outcome.promised || core.persist_promise(group, position, ballot);
+                    (outcome, durable)
+                };
+                if durable {
+                    ctx.send(
+                        from,
+                        Msg::Paxos(PaxosMsg::PrepareReply {
+                            group,
+                            position,
+                            ballot,
+                            promised: outcome.promised,
+                            next_bal: outcome.next_bal,
+                            last_vote: outcome.last_vote,
+                        }),
+                    );
+                }
                 // A prepare at an undecided position is exactly the wedge
                 // signal — read-carrying clients re-preparing behind an
                 // orphaned vote — so let the janitor take a look.
@@ -299,20 +308,27 @@ impl TransactionService {
                 ballot,
                 value,
             } => {
-                let accepted = self
-                    .core
-                    .lock()
-                    .acceptor()
-                    .handle_accept(group, position, ballot, &value);
-                ctx.send(
-                    from,
-                    Msg::Paxos(PaxosMsg::AcceptReply {
-                        group,
-                        position,
-                        ballot,
-                        accepted,
-                    }),
-                );
+                // Persist-before-ack, as for promises: a cast vote must be
+                // durable before the acceptance is acknowledged.
+                let (accepted, durable) = {
+                    let mut core = self.core.lock();
+                    let accepted = core
+                        .acceptor()
+                        .handle_accept(group, position, ballot, &value);
+                    let durable = !accepted || core.persist_vote(group, position, ballot, &value);
+                    (accepted, durable)
+                };
+                if durable {
+                    ctx.send(
+                        from,
+                        Msg::Paxos(PaxosMsg::AcceptReply {
+                            group,
+                            position,
+                            ballot,
+                            accepted,
+                        }),
+                    );
+                }
                 // A cast vote is what an orphaned position is made of: if
                 // its proposer dies before the decide, only the janitor (or
                 // a pipelined slot) will push the value through. A rejected
@@ -1036,6 +1052,25 @@ impl Actor<Msg> for TransactionService {
         // recovery instances started by reads to fill gaps. Pending reads
         // accumulated before the crash are re-examined.
         self.flush_pending_reads(ctx);
+        // Groups whose home migrated away during the outage: every client
+        // with a member still waiting in the local window has long timed
+        // out and re-submitted to the new home (pending means unanswered),
+        // so flushing the stale copies below would race the new home's
+        // instance and could commit a transaction at two positions. Drop
+        // them; the new home owns the reply.
+        let moved: Vec<GroupId> = self
+            .committers
+            .keys()
+            .filter(|group| self.directory.group_home(**group) != self.replica)
+            .copied()
+            .collect();
+        for group in moved {
+            if let Some(committer) = self.committers.get_mut(&group) {
+                for id in committer.drop_pending_window() {
+                    self.commit_requests.remove(&id);
+                }
+            }
+        }
         // Timers that fired during the outage were suppressed, which would
         // leave committer slots and recovery proposers wedged forever.
         // Synthesize the fires now (the maps iterate in tag order, which

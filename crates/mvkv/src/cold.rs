@@ -1,0 +1,31 @@
+//! Cold-version spill interface: the hook the storage plane's buffer pool
+//! plugs into so [`crate::MvKvStore`] can scale past memory.
+//!
+//! The store keeps the newest versions of every row *hot* (in the version
+//! map) and may hand older versions to a [`ColdStore`], replacing them with
+//! a placeholder slot. A read that lands on a cold version fetches it back
+//! and re-materializes it in place; GC of a cold version tells the backend
+//! to drop its copy. The trait is deliberately narrow — put, get, evict —
+//! so the in-memory default (no backend) and the paged disk backend are
+//! interchangeable and the store itself never learns about pages or
+//! frames.
+
+use crate::types::{Key, Row, Timestamp};
+
+/// A backend that can hold evicted (cold) row versions.
+///
+/// Implementations must be usable behind `Arc` from the store's internal
+/// lock; calls are already serialized by that lock.
+pub trait ColdStore: Send + Sync {
+    /// Persist one version. Returning `false` declines the spill (e.g. the
+    /// backend is out of space); the version then stays hot.
+    fn put(&self, key: Key, ts: Timestamp, row: &Row) -> bool;
+
+    /// Fetch a previously spilled version. `None` means the backend lost
+    /// it — the store treats that as the version not existing, so backends
+    /// must only drop what [`ColdStore::evict`] told them to.
+    fn get(&self, key: Key, ts: Timestamp) -> Option<Row>;
+
+    /// Drop a spilled version (its timestamp fell below the GC floor).
+    fn evict(&self, key: Key, ts: Timestamp);
+}

@@ -27,8 +27,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cold;
 mod store;
 mod types;
 
+pub use cold::ColdStore;
 pub use store::{CasOutcome, MvKvStore, StoreStats};
 pub use types::{Attr, Key, MvkvError, Row, Timestamp, VersionRead};

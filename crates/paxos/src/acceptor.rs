@@ -193,6 +193,37 @@ impl<'a> AcceptorStore<'a> {
         Arc::clone(value)
     }
 
+    /// Restart path: re-record a promise replayed from the write-ahead
+    /// log. Replay is in append order, so an unconditional merge write
+    /// reproduces exactly the state the compare-and-swap path built.
+    pub fn restore_promise(&self, group: GroupId, position: LogPosition, ballot: Ballot) {
+        let key = Self::state_key(group, position);
+        let _ = self
+            .store
+            .write(key, Row::new().with(ATTR_NEXT_BAL, ballot.encode()), None);
+    }
+
+    /// Restart path: re-record a vote replayed from the write-ahead log.
+    /// A vote also carries the implied promise (`nextBal = ballot`), just
+    /// as [`AcceptorStore::handle_accept`] wrote it.
+    pub fn restore_vote(
+        &self,
+        group: GroupId,
+        position: LogPosition,
+        ballot: Ballot,
+        value: &LogEntry,
+    ) {
+        let key = Self::state_key(group, position);
+        let _ = self.store.write(
+            key,
+            Row::new()
+                .with(ATTR_VOTE_BAL, ballot.encode())
+                .with(ATTR_VALUE, value.encode())
+                .with(ATTR_NEXT_BAL, ballot.encode()),
+            None,
+        );
+    }
+
     /// The vote currently recorded for `(group, position)`, if any — used by
     /// recovering services and by tests.
     pub fn current_vote(
@@ -339,6 +370,51 @@ mod tests {
             *acc.current_vote(group(), LogPosition(2)).unwrap().1,
             *value
         );
+    }
+
+    #[test]
+    fn restore_replay_reproduces_promise_and_vote_state() {
+        // Build reference state through the live handlers...
+        let live = MvKvStore::new();
+        let acc = AcceptorStore::new(&live);
+        let b1 = Ballot {
+            round: 1,
+            proposer: 1,
+        };
+        let b2 = Ballot {
+            round: 2,
+            proposer: 2,
+        };
+        let value = entry(5);
+        acc.handle_prepare(group(), LogPosition(1), b1);
+        acc.handle_accept(group(), LogPosition(1), b1, &value);
+        acc.handle_prepare(group(), LogPosition(1), b2);
+        // ...then replay the same durable events into a fresh store.
+        let restored = MvKvStore::new();
+        let racc = AcceptorStore::new(&restored);
+        racc.restore_promise(group(), LogPosition(1), b1);
+        racc.restore_vote(group(), LogPosition(1), b1, &value);
+        racc.restore_promise(group(), LogPosition(1), b2);
+        assert_eq!(
+            racc.promised_ballot(group(), LogPosition(1)),
+            acc.promised_ballot(group(), LogPosition(1))
+        );
+        let (vb, vv) = racc.current_vote(group(), LogPosition(1)).unwrap();
+        assert_eq!(vb, b1);
+        assert_eq!(*vv, *value);
+        // The restored acceptor behaves identically: refuses b1 accepts,
+        // reports the old vote to a higher prepare.
+        assert!(!racc.handle_accept(group(), LogPosition(1), b1, &entry(9)));
+        let out = racc.handle_prepare(
+            group(),
+            LogPosition(1),
+            Ballot {
+                round: 3,
+                proposer: 1,
+            },
+        );
+        assert!(out.promised);
+        assert_eq!(*out.last_vote.unwrap().1, *value);
     }
 
     #[test]

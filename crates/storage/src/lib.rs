@@ -1,0 +1,414 @@
+//! # storage — the durable storage plane
+//!
+//! Everything below the replication protocol that touches a disk lives
+//! here. The crate gives each datacenter a [`DcStorage`] handle bundling:
+//!
+//! * a segmented, CRC-framed **write-ahead log** ([`wal`]) through which
+//!   acceptor promises, votes and decided log entries become durable
+//!   *before* they are acknowledged (persist-before-ack), with batched
+//!   group-commit fsync;
+//! * **per-group snapshots** ([`snapshot`]) written atomically, which
+//!   together with whole-segment WAL truncation bound recovery time and
+//!   disk usage — truncation never crosses an open read lease's position
+//!   or the MVCC version floor (the caller computes floors from the GC
+//!   watermark, which already encodes both);
+//! * a **buffer-pooled page store** ([`pool`]) that accepts cold MVCC
+//!   versions evicted by `mvkv`, so the hot working set stays in a fixed
+//!   number of frames while history spills to disk;
+//! * **typed disk faults** ([`fault`]): torn tails, short reads and fsync
+//!   failures as first-class, injectable outcomes.
+//!
+//! The whole plane is optional: [`StorageConfig::InMemory`] (the default)
+//! keeps the original purely in-memory behavior, which is what unit tests
+//! and most simulations run. [`StorageConfig::Durable`] points at a
+//! directory and turns every knob on.
+//!
+//! This mirrors the Spinnaker design (Rao et al., VLDB 2011) the paper's
+//! availability story assumes underneath message-level replication: a
+//! replica recovers from local log + snapshot first, then catches up from
+//! its peers through the ordinary install path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod frame;
+pub mod pool;
+pub mod snapshot;
+#[cfg(test)]
+mod testutil;
+pub mod wal;
+
+pub use fault::{FaultPlan, StorageError};
+pub use pool::{BufferPool, DiskManager, PoolStats, VersionPager, PAGE_SIZE};
+pub use snapshot::{GroupSnapshot, SnapshotRow, SnapshotStore};
+pub use wal::{Wal, WalRecord, WalReplay};
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use walog::{GroupId, LogPosition};
+
+/// Whether (and how) a datacenter persists its state.
+#[derive(Clone, Debug, Default)]
+pub enum StorageConfig {
+    /// No disk: state lives and dies with the process (the seed behavior).
+    #[default]
+    InMemory,
+    /// Full durability under a directory.
+    Durable(DurableConfig),
+}
+
+impl StorageConfig {
+    /// True when a disk directory is configured.
+    pub fn is_durable(&self) -> bool {
+        matches!(self, StorageConfig::Durable(_))
+    }
+}
+
+/// Knobs for the durable plane.
+#[derive(Clone, Debug)]
+pub struct DurableConfig {
+    /// Root directory for this cluster's storage; each datacenter gets a
+    /// `dc<replica>` subdirectory.
+    pub dir: PathBuf,
+    /// WAL segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// Decided entries between per-group snapshots (0 disables snapshots
+    /// and therefore WAL truncation).
+    pub snapshot_every: u64,
+    /// Buffer-pool frames for the cold-version pager.
+    pub pool_frames: usize,
+    /// Newest versions per key kept hot in `mvkv` (older ones spill to the
+    /// pager); the latest version always stays hot.
+    pub hot_keep: usize,
+}
+
+impl DurableConfig {
+    /// Defaults tuned for the simulation workloads: 256 KiB segments,
+    /// a snapshot every 32 decided entries, 64 pool frames, 2 hot
+    /// versions per key.
+    pub fn new(dir: impl Into<PathBuf>) -> DurableConfig {
+        DurableConfig {
+            dir: dir.into(),
+            segment_bytes: 256 * 1024,
+            snapshot_every: 32,
+            pool_frames: 64,
+            hot_keep: 2,
+        }
+    }
+}
+
+/// Counters exposed by a [`DcStorage`] handle.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StorageStats {
+    /// WAL records made durable.
+    pub records_synced: u64,
+    /// `fsync` calls issued (group commit: one may cover many records).
+    pub syncs: u64,
+    /// Sync calls that failed (injected or real); the covered records were
+    /// not acknowledged.
+    pub sync_failures: u64,
+    /// Snapshots written.
+    pub snapshots_written: u64,
+    /// WAL segments deleted by truncation.
+    pub segments_truncated: u64,
+    /// WAL segments currently on disk.
+    pub segments_on_disk: usize,
+    /// Snapshot files that failed validation on the last restart read.
+    pub corrupt_snapshots: u64,
+}
+
+/// Everything read off disk when a datacenter restarts.
+#[derive(Debug)]
+pub struct RestartData {
+    /// Latest readable snapshot per group.
+    pub snapshots: Vec<GroupSnapshot>,
+    /// WAL replay: every durable record, in order, up to the first bad
+    /// frame.
+    pub replay: WalReplay,
+    /// Snapshot files skipped as corrupt.
+    pub corrupt_snapshots: usize,
+}
+
+fn wal_dir(cfg: &DurableConfig) -> PathBuf {
+    cfg.dir.join("wal")
+}
+
+fn snap_dir(cfg: &DurableConfig) -> PathBuf {
+    cfg.dir.join("snapshots")
+}
+
+fn pages_path(cfg: &DurableConfig) -> PathBuf {
+    cfg.dir.join("pages.db")
+}
+
+/// One datacenter's durable storage: WAL + snapshots + cold-version pager.
+#[derive(Debug)]
+pub struct DcStorage {
+    cfg: DurableConfig,
+    wal: Wal,
+    snaps: SnapshotStore,
+    pager: Arc<VersionPager>,
+    last_snapshot: BTreeMap<GroupId, LogPosition>,
+    sync_failures: u64,
+    snapshots_written: u64,
+    segments_truncated: u64,
+    corrupt_snapshots: u64,
+}
+
+impl DcStorage {
+    /// Open (creating or re-opening) the storage under `cfg.dir`. Reopening
+    /// after a crash repairs a torn WAL tail and starts a fresh segment;
+    /// the cold-version page file is always reset (it is a cache of state
+    /// reachable from snapshot + WAL).
+    pub fn open(cfg: DurableConfig) -> Result<DcStorage, StorageError> {
+        let wal = Wal::open(&wal_dir(&cfg), cfg.segment_bytes)?;
+        let snaps = SnapshotStore::open(&snap_dir(&cfg))?;
+        let pager = VersionPager::open(&pages_path(&cfg), cfg.pool_frames)?;
+        let (existing, corrupt) = snaps.load_all()?;
+        let last_snapshot = existing
+            .into_iter()
+            .map(|s| (s.group, s.position))
+            .collect();
+        Ok(DcStorage {
+            cfg,
+            wal,
+            snaps,
+            pager,
+            last_snapshot,
+            sync_failures: 0,
+            snapshots_written: 0,
+            segments_truncated: 0,
+            corrupt_snapshots: corrupt as u64,
+        })
+    }
+
+    /// Read snapshots + WAL for a restart, without opening a live handle.
+    /// Call before [`DcStorage::open`] so the torn-tail flag of the crashed
+    /// run is observed (open repairs the tail).
+    pub fn read_for_restart(cfg: &DurableConfig) -> Result<RestartData, StorageError> {
+        let snaps = SnapshotStore::open(&snap_dir(cfg))?;
+        let (snapshots, corrupt_snapshots) = snaps.load_all()?;
+        let replay = wal::replay(&wal_dir(cfg))?;
+        Ok(RestartData {
+            snapshots,
+            replay,
+            corrupt_snapshots,
+        })
+    }
+
+    /// The configuration this handle was opened with.
+    pub fn config(&self) -> &DurableConfig {
+        &self.cfg
+    }
+
+    /// The cold-version pager (shareable with `MvKvStore::set_cold_store`).
+    pub fn pager(&self) -> Arc<VersionPager> {
+        Arc::clone(&self.pager)
+    }
+
+    /// Buffer one WAL record for the next sync (group commit).
+    pub fn append(&mut self, record: &WalRecord) {
+        self.wal.append(record);
+    }
+
+    /// Group commit every buffered record. `false` means the records are
+    /// NOT durable and must not be acknowledged.
+    pub fn sync(&mut self) -> bool {
+        match self.wal.sync() {
+            Ok(_) => true,
+            Err(_) => {
+                self.sync_failures += 1;
+                false
+            }
+        }
+    }
+
+    /// Append one record and sync immediately; `false` on sync failure.
+    pub fn log(&mut self, record: &WalRecord) -> bool {
+        self.append(record);
+        self.sync()
+    }
+
+    /// True when the group's decided prefix has advanced far enough past
+    /// the last snapshot to warrant a new one.
+    pub fn snapshot_due(&self, group: GroupId, prefix: LogPosition) -> bool {
+        if self.cfg.snapshot_every == 0 {
+            return false;
+        }
+        let last = self
+            .last_snapshot
+            .get(&group)
+            .copied()
+            .unwrap_or(LogPosition::ZERO);
+        prefix.0 >= last.0 + self.cfg.snapshot_every
+    }
+
+    /// Atomically write the group's snapshot.
+    pub fn save_snapshot(&mut self, snap: &GroupSnapshot) -> Result<(), StorageError> {
+        self.snaps.save(snap)?;
+        self.last_snapshot.insert(snap.group, snap.position);
+        self.snapshots_written += 1;
+        Ok(())
+    }
+
+    /// Last snapshot position recorded for `group`.
+    pub fn last_snapshot(&self, group: GroupId) -> LogPosition {
+        self.last_snapshot
+            .get(&group)
+            .copied()
+            .unwrap_or(LogPosition::ZERO)
+    }
+
+    /// Delete sealed WAL segments fully below the per-group floors.
+    pub fn truncate_wal(&mut self, floors: &BTreeMap<GroupId, LogPosition>) -> usize {
+        match self.wal.truncate_below(floors) {
+            Ok(n) => {
+                self.segments_truncated += n as u64;
+                n
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// Simulate a crash mid-append: leave a torn partial frame at the tail
+    /// of the active segment.
+    pub fn inject_torn_tail(&mut self) {
+        let _ = self.wal.inject_torn_tail();
+    }
+
+    /// Fault-injection plan for the WAL.
+    pub fn fault_mut(&mut self) -> &mut FaultPlan {
+        self.wal.fault_mut()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StorageStats {
+        StorageStats {
+            records_synced: self.wal.records_synced(),
+            syncs: self.wal.syncs(),
+            sync_failures: self.sync_failures,
+            snapshots_written: self.snapshots_written,
+            segments_truncated: self.segments_truncated,
+            segments_on_disk: self.wal.segment_count(),
+            corrupt_snapshots: self.corrupt_snapshots,
+        }
+    }
+}
+
+/// Create a fresh scratch directory for durable-mode runs, derived from
+/// the process id and a monotonic counter (no wall clock — runs stay
+/// deterministic). The caller owns cleanup.
+pub fn scratch_dir(label: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!("paxos-cp-{label}-{}-{n}", std::process::id()));
+    let _ = std::fs::create_dir_all(&path);
+    path
+}
+
+/// Remove a scratch directory created by [`scratch_dir`]. Refuses paths
+/// outside the system temp root.
+pub fn remove_scratch_dir(path: &Path) {
+    if path.starts_with(std::env::temp_dir()) {
+        let _ = std::fs::remove_dir_all(path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use walog::{AttrId, ItemRef, KeyId, LogEntry, Transaction, TxnId};
+
+    fn decided(g: u32, p: u64) -> WalRecord {
+        let txn = Transaction::builder(TxnId::new(9, p), GroupId(g), LogPosition::ZERO)
+            .write(ItemRef::new(KeyId(0), AttrId(0)), "x")
+            .build();
+        WalRecord::Decided {
+            group: GroupId(g),
+            position: LogPosition(p),
+            entry: Arc::new(LogEntry::single(txn)),
+        }
+    }
+
+    fn temp_cfg(label: &str) -> DurableConfig {
+        DurableConfig::new(scratch_dir(label))
+    }
+
+    #[test]
+    fn open_log_restart_cycle() {
+        let cfg = temp_cfg("dc-cycle");
+        {
+            let mut dc = DcStorage::open(cfg.clone()).unwrap();
+            assert!(dc.log(&decided(0, 1)));
+            assert!(dc.log(&decided(0, 2)));
+            dc.inject_torn_tail();
+        }
+        let data = DcStorage::read_for_restart(&cfg).unwrap();
+        assert!(data.replay.torn_tail, "injected tear must be observed");
+        assert_eq!(data.replay.records.len(), 2);
+        assert!(data.snapshots.is_empty());
+        // Reopen repairs; a second restart read is clean.
+        let dc = DcStorage::open(cfg.clone()).unwrap();
+        drop(dc);
+        let data = DcStorage::read_for_restart(&cfg).unwrap();
+        assert!(!data.replay.torn_tail);
+        assert_eq!(data.replay.records.len(), 2);
+        remove_scratch_dir(&cfg.dir);
+    }
+
+    #[test]
+    fn snapshot_cadence_and_truncation() {
+        let mut cfg = temp_cfg("dc-snap");
+        cfg.snapshot_every = 4;
+        cfg.segment_bytes = 64; // force rotation nearly every record
+        let mut dc = DcStorage::open(cfg.clone()).unwrap();
+        for p in 1..=4 {
+            assert!(dc.log(&decided(0, p)));
+        }
+        assert!(dc.snapshot_due(GroupId(0), LogPosition(4)));
+        assert!(!dc.snapshot_due(GroupId(1), LogPosition(3)));
+        dc.save_snapshot(&GroupSnapshot {
+            group: GroupId(0),
+            position: LogPosition(4),
+            log_base: LogPosition(4),
+            committed: vec![],
+            rows: vec![],
+        })
+        .unwrap();
+        assert!(!dc.snapshot_due(GroupId(0), LogPosition(6)));
+        let mut floors = BTreeMap::new();
+        floors.insert(GroupId(0), LogPosition(5));
+        assert!(dc.truncate_wal(&floors) > 0);
+        let stats = dc.stats();
+        assert_eq!(stats.snapshots_written, 1);
+        assert!(stats.segments_truncated > 0);
+        // Restart sees the snapshot and only the surviving WAL tail.
+        drop(dc);
+        let data = DcStorage::read_for_restart(&cfg).unwrap();
+        assert_eq!(data.snapshots.len(), 1);
+        assert_eq!(data.snapshots[0].position, LogPosition(4));
+        // A reopened handle remembers the snapshot position.
+        let dc = DcStorage::open(cfg.clone()).unwrap();
+        assert_eq!(dc.last_snapshot(GroupId(0)), LogPosition(4));
+        remove_scratch_dir(&cfg.dir);
+    }
+
+    #[test]
+    fn sync_failure_counts_and_blocks_ack() {
+        let cfg = temp_cfg("dc-syncfail");
+        let mut dc = DcStorage::open(cfg.clone()).unwrap();
+        dc.fault_mut().fail_next_syncs(1);
+        assert!(!dc.log(&decided(0, 1)), "failed sync must refuse the ack");
+        assert_eq!(dc.stats().sync_failures, 1);
+        // Retry succeeds and persists the buffered record.
+        assert!(dc.sync());
+        drop(dc);
+        let data = DcStorage::read_for_restart(&cfg).unwrap();
+        assert_eq!(data.replay.records.len(), 1);
+        remove_scratch_dir(&cfg.dir);
+    }
+}

@@ -1,0 +1,682 @@
+//! Segmented write-ahead log with group-commit sync and tolerant replay.
+//!
+//! One WAL per datacenter records every durable acceptor event as a
+//! CRC-framed record (see [`crate::frame`]) in append-only segment files
+//! `wal-NNNNNN.seg`. Three record kinds cover the protocol:
+//!
+//! * [`WalRecord::Promise`] — the acceptor raised its promised ballot for a
+//!   position (must be durable before the `PrepareReply` is sent);
+//! * [`WalRecord::Vote`] — the acceptor accepted a value (durable before
+//!   the `AcceptReply`);
+//! * [`WalRecord::Decided`] — a decided log entry was installed locally.
+//!
+//! Appends buffer in memory; [`Wal::sync`] writes the whole buffer with one
+//! `write` + `fsync` pair — the group commit that keeps persist-before-ack
+//! off the per-message critical path when a batch of records lands
+//! together (e.g. a catch-up install of many decided entries).
+//!
+//! On reopen after a crash the final segment may end in a torn frame.
+//! [`Wal::open`] repairs it — truncating the last segment at the first bad
+//! frame — and then always starts a fresh segment, so a bad frame can only
+//! ever exist at the tail of the final segment written before a crash.
+//! [`replay`] stops cleanly at the first bad frame and reports it.
+//!
+//! Truncation is whole-segment: a sealed segment is deletable once every
+//! group that has records in it has its truncation floor strictly above
+//! the segment's highest recorded position for that group.
+
+use crate::fault::{FaultPlan, StorageError};
+use crate::frame::{append_frame, read_frame, FrameRead};
+use paxos::Ballot;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use walog::{GroupId, LogEntry, LogPosition};
+
+/// One durable acceptor event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Promise made in phase 1: never answer a lower ballot again.
+    Promise {
+        /// Transaction group.
+        group: GroupId,
+        /// Log position the promise covers.
+        position: LogPosition,
+        /// The promised ballot.
+        ballot: Ballot,
+    },
+    /// Vote cast in phase 2 for a concrete value.
+    Vote {
+        /// Transaction group.
+        group: GroupId,
+        /// Log position voted on.
+        position: LogPosition,
+        /// Ballot of the vote.
+        ballot: Ballot,
+        /// The value voted for.
+        entry: Arc<LogEntry>,
+    },
+    /// A decided entry installed into the local replica of the group log.
+    Decided {
+        /// Transaction group.
+        group: GroupId,
+        /// Decided log position.
+        position: LogPosition,
+        /// The decided value.
+        entry: Arc<LogEntry>,
+    },
+}
+
+impl WalRecord {
+    /// The transaction group this record belongs to.
+    pub fn group(&self) -> GroupId {
+        match self {
+            WalRecord::Promise { group, .. }
+            | WalRecord::Vote { group, .. }
+            | WalRecord::Decided { group, .. } => *group,
+        }
+    }
+
+    /// The log position this record covers.
+    pub fn position(&self) -> LogPosition {
+        match self {
+            WalRecord::Promise { position, .. }
+            | WalRecord::Vote { position, .. }
+            | WalRecord::Decided { position, .. } => *position,
+        }
+    }
+
+    /// Encode as the frame payload: an ASCII record reusing the
+    /// [`LogEntry`] codec for values and [`Ballot::encode`] for ballots.
+    pub fn encode(&self) -> Vec<u8> {
+        let text = match self {
+            WalRecord::Promise {
+                group,
+                position,
+                ballot,
+            } => format!("P {} {} {}", group.0, position.0, ballot.encode()),
+            WalRecord::Vote {
+                group,
+                position,
+                ballot,
+                entry,
+            } => {
+                let e = entry.encode();
+                format!(
+                    "V {} {} {} {}:{}",
+                    group.0,
+                    position.0,
+                    ballot.encode(),
+                    e.len(),
+                    e
+                )
+            }
+            WalRecord::Decided {
+                group,
+                position,
+                entry,
+            } => {
+                let e = entry.encode();
+                format!("D {} {} {}:{}", group.0, position.0, e.len(), e)
+            }
+        };
+        text.into_bytes()
+    }
+
+    /// Decode a frame payload; `None` for malformed input.
+    pub fn decode(payload: &[u8]) -> Option<WalRecord> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let (tag, rest) = text.split_once(' ')?;
+        let mut cur = Cursor(rest);
+        let group = GroupId(cur.num()? as u32);
+        let position = LogPosition(cur.num()?);
+        match tag {
+            "P" => {
+                let ballot = Ballot::decode(cur.rest())?;
+                Some(WalRecord::Promise {
+                    group,
+                    position,
+                    ballot,
+                })
+            }
+            "V" => {
+                let ballot = Ballot::decode(cur.word()?)?;
+                let entry = LogEntry::decode(cur.sized()?)?;
+                Some(WalRecord::Vote {
+                    group,
+                    position,
+                    ballot,
+                    entry: Arc::new(entry),
+                })
+            }
+            "D" => {
+                let entry = LogEntry::decode(cur.sized()?)?;
+                Some(WalRecord::Decided {
+                    group,
+                    position,
+                    entry: Arc::new(entry),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Minimal space-separated field reader for the record codec.
+struct Cursor<'a>(&'a str);
+
+impl<'a> Cursor<'a> {
+    fn word(&mut self) -> Option<&'a str> {
+        let s = self.0;
+        match s.split_once(' ') {
+            Some((w, rest)) => {
+                self.0 = rest;
+                Some(w)
+            }
+            None if !s.is_empty() => {
+                self.0 = "";
+                Some(s)
+            }
+            None => None,
+        }
+    }
+
+    fn num(&mut self) -> Option<u64> {
+        self.word()?.parse().ok()
+    }
+
+    /// A `len:bytes` field (the bytes may contain spaces).
+    fn sized(&mut self) -> Option<&'a str> {
+        let (len, rest) = self.0.split_once(':')?;
+        let len: usize = len.parse().ok()?;
+        let bytes = rest.get(..len)?;
+        self.0 = &rest[len..];
+        Some(bytes)
+    }
+
+    fn rest(&self) -> &'a str {
+        self.0
+    }
+}
+
+/// Result of replaying a WAL directory.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// All records recovered, in append order.
+    pub records: Vec<WalRecord>,
+    /// True when replay stopped at a torn or corrupt frame (everything
+    /// before it was recovered; nothing after it was trusted).
+    pub torn_tail: bool,
+    /// Segments scanned.
+    pub segments: usize,
+}
+
+/// Per-segment index: the highest position recorded per group, used to
+/// decide when a sealed segment can be deleted.
+type SegmentIndex = BTreeMap<GroupId, LogPosition>;
+
+/// The per-datacenter write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    segment_bytes: u64,
+    active: std::fs::File,
+    active_seq: u64,
+    active_len: u64,
+    pending: Vec<u8>,
+    pending_count: u64,
+    pending_max: SegmentIndex,
+    index: BTreeMap<u64, SegmentIndex>,
+    fault: FaultPlan,
+    records_synced: u64,
+    syncs: u64,
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:06}.seg"))
+}
+
+fn segment_seqs(dir: &Path) -> Result<Vec<u64>, StorageError> {
+    let mut seqs = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| StorageError::io("readdir", dir, e))? {
+        let entry = entry.map_err(|e| StorageError::io("readdir", dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(stem) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".seg"))
+        {
+            if let Ok(seq) = stem.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+/// Scan one segment file: decoded records plus the byte offset of the
+/// first bad frame, if any.
+fn scan_segment(path: &Path) -> Result<(Vec<WalRecord>, Option<usize>), StorageError> {
+    let data = std::fs::read(path).map_err(|e| StorageError::io("read", path, e))?;
+    let mut records = Vec::new();
+    let mut at = 0;
+    loop {
+        match read_frame(&data, at) {
+            FrameRead::Frame { payload, next } => match WalRecord::decode(payload) {
+                Some(rec) => {
+                    records.push(rec);
+                    at = next;
+                }
+                // A checksummed frame that fails to decode is treated like
+                // a torn frame: stop trusting the file at this offset.
+                None => return Ok((records, Some(at))),
+            },
+            FrameRead::End => return Ok((records, None)),
+            FrameRead::Torn => return Ok((records, Some(at))),
+        }
+    }
+}
+
+/// Replay every segment under `dir` in order, stopping cleanly at the
+/// first bad frame.
+pub fn replay(dir: &Path) -> Result<WalReplay, StorageError> {
+    let mut out = WalReplay::default();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    for seq in segment_seqs(dir)? {
+        out.segments += 1;
+        let (records, bad) = scan_segment(&segment_path(dir, seq))?;
+        out.records.extend(records);
+        if bad.is_some() {
+            out.torn_tail = true;
+            break;
+        }
+    }
+    Ok(out)
+}
+
+impl Wal {
+    /// Open the WAL under `dir`, repairing a torn tail on the final
+    /// existing segment and starting a fresh active segment.
+    pub fn open(dir: &Path, segment_bytes: u64) -> Result<Wal, StorageError> {
+        std::fs::create_dir_all(dir).map_err(|e| StorageError::io("mkdir", dir, e))?;
+        let seqs = segment_seqs(dir)?;
+        let mut index = BTreeMap::new();
+        for (i, &seq) in seqs.iter().enumerate() {
+            let path = segment_path(dir, seq);
+            let (records, bad) = scan_segment(&path)?;
+            if let Some(offset) = bad {
+                if i + 1 == seqs.len() {
+                    // Crash tore the tail of the final segment: truncate the
+                    // damage so later replays see only whole frames.
+                    let file = std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(&path)
+                        .map_err(|e| StorageError::io("open", &path, e))?;
+                    file.set_len(offset as u64)
+                        .map_err(|e| StorageError::io("truncate", &path, e))?;
+                } else {
+                    return Err(StorageError::Corrupt {
+                        path: path.display().to_string(),
+                        detail: format!("bad frame at offset {offset} in a sealed segment"),
+                    });
+                }
+            }
+            let mut seg_index = SegmentIndex::new();
+            for rec in &records {
+                let slot = seg_index.entry(rec.group()).or_insert(LogPosition::ZERO);
+                *slot = (*slot).max(rec.position());
+            }
+            index.insert(seq, seg_index);
+        }
+        let active_seq = seqs.last().map_or(1, |last| last + 1);
+        let path = segment_path(dir, active_seq);
+        let active = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StorageError::io("open", &path, e))?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            segment_bytes,
+            active,
+            active_seq,
+            active_len: 0,
+            pending: Vec::new(),
+            pending_count: 0,
+            pending_max: SegmentIndex::new(),
+            index,
+            fault: FaultPlan::default(),
+            records_synced: 0,
+            syncs: 0,
+        })
+    }
+
+    /// Buffer one record for the next [`Wal::sync`].
+    pub fn append(&mut self, record: &WalRecord) {
+        append_frame(&mut self.pending, &record.encode());
+        self.pending_count += 1;
+        let slot = self
+            .pending_max
+            .entry(record.group())
+            .or_insert(LogPosition::ZERO);
+        *slot = (*slot).max(record.position());
+    }
+
+    /// Group commit: write every buffered record and `fsync` once. Returns
+    /// the number of records made durable. On failure the buffer is kept —
+    /// the records are not durable and MUST NOT be acknowledged, but a
+    /// later successful sync may still persist them.
+    pub fn sync(&mut self) -> Result<u64, StorageError> {
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        let path = segment_path(&self.dir, self.active_seq);
+        if self.fault.take_sync_failure() {
+            return Err(StorageError::SyncFailed {
+                path: path.display().to_string(),
+                injected: true,
+            });
+        }
+        self.active
+            .write_all(&self.pending)
+            .map_err(|e| StorageError::io("write", &path, e))?;
+        self.active
+            .sync_data()
+            .map_err(|_| StorageError::SyncFailed {
+                path: path.display().to_string(),
+                injected: false,
+            })?;
+        self.active_len += self.pending.len() as u64;
+        let count = self.pending_count;
+        self.records_synced += count;
+        self.syncs += 1;
+        let seg_index = self.index.entry(self.active_seq).or_default();
+        for (group, pos) in std::mem::take(&mut self.pending_max) {
+            let slot = seg_index.entry(group).or_insert(LogPosition::ZERO);
+            *slot = (*slot).max(pos);
+        }
+        self.pending.clear();
+        self.pending_count = 0;
+        if self.active_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(count)
+    }
+
+    fn rotate(&mut self) -> Result<(), StorageError> {
+        self.active_seq += 1;
+        let path = segment_path(&self.dir, self.active_seq);
+        self.active = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StorageError::io("open", &path, e))?;
+        self.active_len = 0;
+        Ok(())
+    }
+
+    /// Delete every sealed segment whose records all fall strictly below
+    /// the per-group truncation floors. A segment containing a group with
+    /// no floor entry is never deleted. Returns segments removed.
+    pub fn truncate_below(
+        &mut self,
+        floors: &BTreeMap<GroupId, LogPosition>,
+    ) -> Result<usize, StorageError> {
+        let sealed: Vec<u64> = self
+            .index
+            .keys()
+            .copied()
+            .filter(|&seq| seq < self.active_seq)
+            .collect();
+        let mut removed = 0;
+        for seq in sealed {
+            let deletable = self.index[&seq]
+                .iter()
+                .all(|(group, max)| floors.get(group).is_some_and(|floor| *max < *floor));
+            if !deletable {
+                continue;
+            }
+            let path = segment_path(&self.dir, seq);
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(StorageError::io("remove", &path, e)),
+            }
+            self.index.remove(&seq);
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
+    /// Append a torn partial frame to the active segment, as a crash
+    /// mid-append would. The torn bytes are below any unsynced buffered
+    /// records, so nothing durable is lost.
+    pub fn inject_torn_tail(&mut self) -> Result<(), StorageError> {
+        // No rotation: the tear must sit at the tail of the final segment,
+        // exactly where a real crash leaves it, so the next open can
+        // repair it. The handle is assumed dead after this call (the
+        // simulated machine crashed).
+        let path = segment_path(&self.dir, self.active_seq);
+        crate::fault::tear_tail(&path)
+    }
+
+    /// Mutable access to the fault-injection plan.
+    pub fn fault_mut(&mut self) -> &mut FaultPlan {
+        &mut self.fault
+    }
+
+    /// Directory holding the segments.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence number of the active segment.
+    pub fn active_segment(&self) -> u64 {
+        self.active_seq
+    }
+
+    /// Total records made durable over this handle's lifetime.
+    pub fn records_synced(&self) -> u64 {
+        self.records_synced
+    }
+
+    /// Number of `fsync` calls issued (each may cover many records).
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Number of segments currently on disk (sealed + active).
+    pub fn segment_count(&self) -> usize {
+        // The active segment may not be in the index yet (no sync).
+        self.index.len() + usize::from(!self.index.contains_key(&self.active_seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+    use walog::{AttrId, ItemRef, KeyId, Transaction, TxnId};
+
+    fn entry(seq: u64) -> Arc<LogEntry> {
+        let txn = Transaction::builder(TxnId::new(7, seq), GroupId(0), LogPosition::ZERO)
+            .write(ItemRef::new(KeyId(1), AttrId(2)), format!("v{seq}"))
+            .build();
+        Arc::new(LogEntry::single(txn))
+    }
+
+    fn promise(g: u32, p: u64, round: u64) -> WalRecord {
+        WalRecord::Promise {
+            group: GroupId(g),
+            position: LogPosition(p),
+            ballot: Ballot { round, proposer: 3 },
+        }
+    }
+
+    fn decided(g: u32, p: u64) -> WalRecord {
+        WalRecord::Decided {
+            group: GroupId(g),
+            position: LogPosition(p),
+            entry: entry(p),
+        }
+    }
+
+    #[test]
+    fn record_codec_roundtrips() {
+        let records = vec![
+            promise(2, 9, 4),
+            WalRecord::Vote {
+                group: GroupId(1),
+                position: LogPosition(5),
+                ballot: Ballot {
+                    round: 0,
+                    proposer: 2,
+                },
+                entry: entry(11),
+            },
+            decided(0, 1),
+        ];
+        for rec in records {
+            let bytes = rec.encode();
+            assert_eq!(WalRecord::decode(&bytes).unwrap(), rec);
+        }
+        assert!(WalRecord::decode(b"X 1 2").is_none());
+        assert!(WalRecord::decode(b"P 1").is_none());
+    }
+
+    #[test]
+    fn append_sync_replay_roundtrip() {
+        let dir = TempDir::new("wal-roundtrip");
+        let mut wal = Wal::open(dir.path(), 1 << 20).unwrap();
+        wal.append(&promise(0, 1, 1));
+        wal.append(&decided(0, 1));
+        assert_eq!(wal.sync().unwrap(), 2);
+        wal.append(&decided(1, 1));
+        assert_eq!(wal.sync().unwrap(), 1);
+        assert_eq!(wal.syncs(), 2);
+        let replayed = replay(dir.path()).unwrap();
+        assert!(!replayed.torn_tail);
+        assert_eq!(replayed.records.len(), 3);
+        assert_eq!(replayed.records[0], promise(0, 1, 1));
+    }
+
+    #[test]
+    fn unsynced_records_are_not_replayed() {
+        let dir = TempDir::new("wal-unsynced");
+        let mut wal = Wal::open(dir.path(), 1 << 20).unwrap();
+        wal.append(&decided(0, 1));
+        wal.sync().unwrap();
+        wal.append(&decided(0, 2)); // never synced
+        let replayed = replay(dir.path()).unwrap();
+        assert_eq!(replayed.records.len(), 1);
+    }
+
+    #[test]
+    fn segments_rotate_at_the_size_threshold() {
+        let dir = TempDir::new("wal-rotate");
+        let mut wal = Wal::open(dir.path(), 64).unwrap();
+        for p in 1..=8 {
+            wal.append(&decided(0, p));
+            wal.sync().unwrap();
+        }
+        assert!(wal.active_segment() > 1, "small segments must rotate");
+        let replayed = replay(dir.path()).unwrap();
+        assert_eq!(replayed.records.len(), 8);
+        assert!(replayed.segments > 1);
+    }
+
+    #[test]
+    fn replay_stops_cleanly_at_a_torn_tail() {
+        let dir = TempDir::new("wal-torn");
+        let mut wal = Wal::open(dir.path(), 1 << 20).unwrap();
+        wal.append(&decided(0, 1));
+        wal.append(&decided(0, 2));
+        wal.sync().unwrap();
+        crate::fault::tear_tail(&segment_path(dir.path(), wal.active_segment())).unwrap();
+        let replayed = replay(dir.path()).unwrap();
+        assert!(replayed.torn_tail);
+        assert_eq!(replayed.records.len(), 2, "records above the tear survive");
+    }
+
+    #[test]
+    fn replay_stops_cleanly_at_a_short_read() {
+        let dir = TempDir::new("wal-short");
+        let mut wal = Wal::open(dir.path(), 1 << 20).unwrap();
+        wal.append(&decided(0, 1));
+        wal.append(&decided(0, 2));
+        wal.sync().unwrap();
+        // Drop the final few bytes: the last frame comes back short.
+        crate::fault::shorten_tail(&segment_path(dir.path(), wal.active_segment()), 3).unwrap();
+        let replayed = replay(dir.path()).unwrap();
+        assert!(replayed.torn_tail);
+        assert_eq!(replayed.records.len(), 1);
+    }
+
+    #[test]
+    fn reopen_repairs_the_torn_tail() {
+        let dir = TempDir::new("wal-repair");
+        {
+            let mut wal = Wal::open(dir.path(), 1 << 20).unwrap();
+            wal.append(&decided(0, 1));
+            wal.sync().unwrap();
+            wal.inject_torn_tail().unwrap();
+        }
+        // Reopen: the torn bytes are truncated away and a fresh segment
+        // starts, so a second replay is clean.
+        let wal = Wal::open(dir.path(), 1 << 20).unwrap();
+        let replayed = replay(dir.path()).unwrap();
+        assert!(!replayed.torn_tail);
+        assert_eq!(replayed.records.len(), 1);
+        drop(wal);
+    }
+
+    #[test]
+    fn injected_sync_failure_is_typed_and_recoverable() {
+        let dir = TempDir::new("wal-syncfail");
+        let mut wal = Wal::open(dir.path(), 1 << 20).unwrap();
+        wal.append(&decided(0, 1));
+        wal.fault_mut().fail_next_syncs(1);
+        match wal.sync() {
+            Err(StorageError::SyncFailed { injected: true, .. }) => {}
+            other => panic!("expected injected SyncFailed, got {other:?}"),
+        }
+        // The record stayed buffered; the next sync persists it.
+        assert_eq!(wal.sync().unwrap(), 1);
+        assert_eq!(replay(dir.path()).unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn truncation_deletes_only_fully_covered_sealed_segments() {
+        let dir = TempDir::new("wal-trunc");
+        let mut wal = Wal::open(dir.path(), 32).unwrap();
+        for p in 1..=6 {
+            wal.append(&decided(0, p));
+            wal.sync().unwrap(); // tiny segments: one record each
+        }
+        let before = segment_seqs(dir.path()).unwrap().len();
+        let mut floors = BTreeMap::new();
+        floors.insert(GroupId(0), LogPosition(4));
+        let removed = wal.truncate_below(&floors).unwrap();
+        assert!(removed >= 1, "segments below the floor are deleted");
+        assert!(segment_seqs(dir.path()).unwrap().len() < before);
+        let replayed = replay(dir.path()).unwrap();
+        assert!(replayed.records.iter().all(|r| r.position().0 >= 4));
+        // A group with no floor pins its segments.
+        wal.append(&decided(1, 1));
+        wal.sync().unwrap();
+        wal.append(&decided(0, 9));
+        wal.sync().unwrap();
+        let mut only_g0 = BTreeMap::new();
+        only_g0.insert(GroupId(0), LogPosition(100));
+        wal.truncate_below(&only_g0).unwrap();
+        let replayed = replay(dir.path()).unwrap();
+        assert!(
+            replayed.records.iter().any(|r| r.group() == GroupId(1)),
+            "segment holding group 1 must survive"
+        );
+    }
+}

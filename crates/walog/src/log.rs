@@ -44,10 +44,16 @@ impl std::error::Error for LogError {}
 /// position and the highest position up to which the prefix is gap-free,
 /// plus an *applied* cursor recording how far entries have been flushed into
 /// the local key-value store.
+///
+/// A log may be **truncated**: entries at or below the `base` position are
+/// dropped once a snapshot covers them (see the storage plane). The base
+/// starts at 0 (nothing truncated); installing at or below the base is a
+/// no-op, and the contiguous prefix is counted from `base + 1`.
 #[derive(Clone, Debug, Default)]
 pub struct GroupLog {
     entries: BTreeMap<LogPosition, Arc<LogEntry>>,
     applied_through: LogPosition,
+    base: LogPosition,
 }
 
 impl GroupLog {
@@ -60,6 +66,11 @@ impl GroupLog {
     /// entry at a decided position is an (R1) violation and returns an error.
     pub fn install(&mut self, position: LogPosition, entry: Arc<LogEntry>) -> Result<(), LogError> {
         debug_assert!(position > LogPosition::ZERO, "log positions start at 1");
+        if position <= self.base {
+            // The position was decided, applied, snapshotted and truncated
+            // away; re-learning it (e.g. from a slow peer) is a no-op.
+            return Ok(());
+        }
         match self.entries.get(&position) {
             Some(existing) => {
                 // Same shared allocation (the common case once a value is
@@ -87,21 +98,53 @@ impl GroupLog {
         self.entries.contains_key(&position)
     }
 
-    /// The highest decided position (0 when empty).
+    /// The highest decided position (the truncation base when no entries
+    /// are retained — everything at or below the base was decided).
     pub fn last_decided(&self) -> LogPosition {
         self.entries
             .keys()
             .next_back()
             .copied()
-            .unwrap_or(LogPosition::ZERO)
+            .unwrap_or(self.base)
     }
 
-    /// The highest position `p` such that every position `1..=p` is decided
-    /// locally; 0 when position 1 is missing. This is the position a local
-    /// read can safely be served at without catch-up.
+    /// The truncation base: every position `1..=base` was decided, applied
+    /// and truncated away (0 when nothing has been truncated).
+    pub fn base(&self) -> LogPosition {
+        self.base
+    }
+
+    /// Drop retained entries strictly below `floor` and raise the base to
+    /// `floor - 1`. The caller asserts that everything below `floor` is
+    /// durably covered by a snapshot. Returns entries removed.
+    pub fn truncate_below(&mut self, floor: LogPosition) -> usize {
+        let keep = self.entries.split_off(&floor);
+        let removed = self.entries.len();
+        self.entries = keep;
+        if floor.prev() > self.base {
+            self.base = floor.prev();
+        }
+        removed
+    }
+
+    /// Restart path: declare positions `1..=base` decided-and-applied from
+    /// a snapshot. The applied cursor advances to at least `base`.
+    pub fn restore_base(&mut self, base: LogPosition) {
+        if base > self.base {
+            self.base = base;
+        }
+        if base > self.applied_through {
+            self.applied_through = base;
+        }
+    }
+
+    /// The highest position `p` such that every position `base+1..=p` is
+    /// decided locally (positions at or below the base count as decided);
+    /// equals the base when position `base+1` is missing. This is the
+    /// position a local read can safely be served at without catch-up.
     pub fn contiguous_prefix(&self) -> LogPosition {
-        let mut expect = LogPosition(1);
-        for pos in self.entries.keys() {
+        let mut expect = self.base.next();
+        for (pos, _) in self.entries.range(self.base.next()..) {
             if *pos == expect {
                 expect = expect.next();
             } else if *pos > expect {
@@ -111,10 +154,11 @@ impl GroupLog {
         expect.prev()
     }
 
-    /// Positions `1..=through` that are not yet decided locally (the gaps a
-    /// recovering replica must learn before serving reads at `through`).
+    /// Positions `base+1..=through` that are not yet decided locally (the
+    /// gaps a recovering replica must learn before serving reads at
+    /// `through`).
     pub fn missing_up_to(&self, through: LogPosition) -> Vec<LogPosition> {
-        (1..=through.0)
+        (self.base.0 + 1..=through.0)
             .map(LogPosition)
             .filter(|p| !self.entries.contains_key(p))
             .collect()
@@ -240,6 +284,49 @@ mod tests {
         // A gap makes the range unavailable.
         log.install(LogPosition(5), entry(5)).unwrap();
         assert!(log.unapplied_range(LogPosition(5)).is_none());
+    }
+
+    #[test]
+    fn truncation_raises_the_base_and_stays_idempotent() {
+        let mut log = GroupLog::new();
+        for i in 1..=6 {
+            log.install(LogPosition(i), entry(i)).unwrap();
+        }
+        log.mark_applied_through(LogPosition(6));
+        let removed = log.truncate_below(LogPosition(4));
+        assert_eq!(removed, 3);
+        assert_eq!(log.base(), LogPosition(3));
+        assert_eq!(log.len(), 3);
+        // The prefix still counts truncated positions as decided.
+        assert_eq!(log.contiguous_prefix(), LogPosition(6));
+        assert_eq!(log.missing_up_to(LogPosition(6)), vec![]);
+        assert_eq!(log.last_decided(), LogPosition(6));
+        // Re-learning a truncated position is a silent no-op, even with a
+        // different value (the decided value is gone; trust the snapshot).
+        log.install(LogPosition(2), entry(99)).unwrap();
+        assert!(!log.contains(LogPosition(2)));
+        // Truncating below an older floor never lowers the base.
+        log.truncate_below(LogPosition(2));
+        assert_eq!(log.base(), LogPosition(3));
+    }
+
+    #[test]
+    fn restore_base_declares_the_snapshot_prefix_decided() {
+        let mut log = GroupLog::new();
+        log.restore_base(LogPosition(5));
+        assert_eq!(log.base(), LogPosition(5));
+        assert_eq!(log.applied_through(), LogPosition(5));
+        assert_eq!(log.contiguous_prefix(), LogPosition(5));
+        assert_eq!(log.last_decided(), LogPosition(5));
+        // Entries after the base extend the prefix normally.
+        log.install(LogPosition(6), entry(6)).unwrap();
+        assert_eq!(log.contiguous_prefix(), LogPosition(6));
+        assert_eq!(
+            log.missing_up_to(LogPosition(8)),
+            vec![LogPosition(7), LogPosition(8)]
+        );
+        let pending = log.unapplied_range(LogPosition(6)).unwrap();
+        assert_eq!(pending.len(), 1);
     }
 
     #[test]

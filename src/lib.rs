@@ -7,6 +7,7 @@
 //! * [`mvkv`] — multi-version key-value store substrate.
 //! * [`walog`] — write-ahead log model and serializability theory.
 //! * [`paxos`] — basic Paxos and Paxos-CP commit protocol state machines.
+//! * [`storage`] — durable plane: disk WAL, snapshots, buffer-pooled pager.
 //! * [`mdstore`] — the transaction tier (the paper's core contribution).
 //! * [`workload`] — YCSB-style workload generation and experiment runner.
 
@@ -14,5 +15,6 @@ pub use mdstore;
 pub use mvkv;
 pub use paxos;
 pub use simnet;
+pub use storage;
 pub use walog;
 pub use workload;
